@@ -1,0 +1,535 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// clue-table flavors (hash vs 16-bit index), the §3.4 multi-neighbor
+// variants, the cache-line co-location of candidate sets, the multibit
+// ("jumps", [24]) engine's stride, how Claim-1 coverage degrades as
+// neighbor tables diverge, and the paper's IPv6-scaling claim ("the
+// presented scheme is expected to give similar performances in IPv6 while
+// the Log W technique does not scale as good").
+package clueroute_test
+
+import (
+	"fmt"
+	"strconv"
+
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/ortc"
+	"repro/internal/synth"
+	"repro/internal/trie"
+)
+
+// ablationPair returns a fixed mid-size sender/receiver pair and a packet
+// workload that passed the §6 filter.
+func ablationPair(divergence float64) (st, rt *trie.Trie, sender *fib.Table, pkts []struct {
+	dest ip.Addr
+	clue int
+}) {
+	u := synth.NewUniverse(777, 14000)
+	s := u.Router(synth.RouterSpec{Name: "abl-S", Size: 10000, Divergence: divergence})
+	r := u.Router(synth.RouterSpec{Name: "abl-R", Size: 11000, Divergence: divergence})
+	st, rt = s.Trie(), r.Trie()
+	w := synth.NewWorkload(777, s)
+	for len(pkts) < 8192 {
+		d := w.Next()
+		if c, _, ok := st.Lookup(d, nil); ok && rt.Find(c) != nil {
+			pkts = append(pkts, struct {
+				dest ip.Addr
+				clue int
+			}{d, c.Clue()})
+		}
+	}
+	return st, rt, s, pkts
+}
+
+// BenchmarkAblationIndexedVsHash compares the two §3.3.1 learning flavors:
+// the hash table (5 header bits) and the sequential indexed table (5+16
+// bits, no hash function). Both settle at one reference per packet; the
+// indexed flavor trades header bits for hash-free probes and suffers
+// misses when the 16-bit index space wraps.
+func BenchmarkAblationIndexedVsHash(b *testing.B) {
+	st, rt, _, pkts := ablationPair(0.01)
+	eng := lookup.NewPatricia(rt)
+	cfg := core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: st.Contains, Learn: true}
+
+	hash := core.MustNewTable(cfg)
+	indexed, err := core.NewIndexedTable(cfg, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	indexer := core.NewIndexer(1 << 16)
+	var ch, ci mem.Counter
+	for _, p := range pkts { // warm both
+		clue := ip.DecodeClue(p.dest, p.clue)
+		hash.Process(p.dest, p.clue, nil)
+		indexed.Process(p.dest, p.clue, indexer.IndexFor(clue), nil)
+	}
+	for _, p := range pkts {
+		clue := ip.DecodeClue(p.dest, p.clue)
+		hash.Process(p.dest, p.clue, &ch)
+		indexed.Process(p.dest, p.clue, indexer.IndexFor(clue), &ci)
+	}
+	n := float64(len(pkts))
+	tab := mem.NewTable("Flavor", "Header bits", "Refs/packet", "Entries")
+	tab.AddRow("hash table", "5", fmt.Sprintf("%.3f", float64(ch.Count())/n), strconv.Itoa(hash.Len()))
+	tab.AddRow("indexed table", "5+16", fmt.Sprintf("%.3f", float64(ci.Count())/n), strconv.Itoa(indexed.Slots()))
+	printOnce("abl-indexed", "Ablation — §3.3.1 hash vs indexed clue table (warm)\n"+tab.String())
+
+	b.Run("hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pkts[i%len(pkts)]
+			hash.Process(p.dest, p.clue, nil)
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pkts[i%len(pkts)]
+			indexed.Process(p.dest, p.clue, indexer.IndexFor(ip.DecodeClue(p.dest, p.clue)), nil)
+		}
+	})
+}
+
+// BenchmarkAblationMultiNeighbor compares the §3.4 options for a router
+// with several neighbors: separate per-neighbor tables (full Advance,
+// maximal memory), one union table with a per-neighbor bit map (one entry
+// per clue, Simple-style searches when not final), and common+specific
+// sub-tables (up to two probes, full Advance on the mixed clues).
+func BenchmarkAblationMultiNeighbor(b *testing.B) {
+	u := synth.NewUniverse(778, 9000)
+	recv := u.Router(synth.RouterSpec{Name: "mn-R", Size: 6000, Divergence: 0.01})
+	rt := recv.Trie()
+	eng := lookup.NewPatricia(rt)
+	var infos []core.NeighborInfo
+	var senders []*trie.Trie
+	var workloads []*synth.Workload
+	for i := 0; i < 4; i++ {
+		nb := u.Router(synth.RouterSpec{Name: fmt.Sprintf("mn-N%d", i), Size: 5000 + 300*i, Divergence: 0.015})
+		nt := nb.Trie()
+		senders = append(senders, nt)
+		infos = append(infos, core.NeighborInfo{Name: nb.Name(), Sender: nt.Contains, Clues: nb.Prefixes()})
+		workloads = append(workloads, synth.NewWorkload(int64(1000+i), nb))
+	}
+	// Per-neighbor tables.
+	perN := make([]*core.Table, len(infos))
+	perEntries := 0
+	for i, info := range infos {
+		perN[i] = core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: info.Sender})
+		perN[i].Preprocess(info.Clues)
+		perEntries += perN[i].Len()
+	}
+	bitmap, err := core.NewBitmapTable(eng, rt, infos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := core.NewSubTables(eng, rt, infos)
+
+	// Workload round-robins over neighbors.
+	type pkt struct {
+		dest ip.Addr
+		clue int
+		nb   int
+	}
+	var pkts []pkt
+	for i := 0; len(pkts) < 8192; i++ {
+		nb := i % len(senders)
+		d := workloads[nb].Next()
+		if c, _, ok := senders[nb].Lookup(d, nil); ok && rt.Find(c) != nil {
+			pkts = append(pkts, pkt{d, c.Clue(), nb})
+		}
+	}
+	var cp, cb, cs mem.Counter
+	for _, p := range pkts {
+		perN[p.nb].Process(p.dest, p.clue, &cp)
+		bitmap.Process(p.dest, p.clue, p.nb, &cb, eng)
+		sub.Process(p.dest, p.clue, p.nb, &cs, eng)
+	}
+	n := float64(len(pkts))
+	specTotal := 0
+	for j := range infos {
+		specTotal += sub.SpecificLen(j)
+	}
+	tab := mem.NewTable("Variant", "Refs/packet", "Entries")
+	tab.AddRow("per-neighbor tables", fmt.Sprintf("%.3f", float64(cp.Count())/n), strconv.Itoa(perEntries))
+	tab.AddRow("union + bit map", fmt.Sprintf("%.3f", float64(cb.Count())/n), strconv.Itoa(bitmap.Len()))
+	tab.AddRow("common + specific", fmt.Sprintf("%.3f", float64(cs.Count())/n),
+		fmt.Sprintf("%d+%d", sub.CommonLen(), specTotal))
+	printOnce("abl-multi", "Ablation — §3.4 multi-neighbor clue tables (4 neighbors)\n"+tab.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%len(pkts)]
+		bitmap.Process(p.dest, p.clue, p.nb, nil, eng)
+	}
+}
+
+// BenchmarkAblationInlineColocate sweeps the §4 cache-line co-location
+// capacity of the 6-way engine's Advance micro arrays: 0 disables the
+// freebie, larger values let bigger candidate sets ride along with the
+// clue entry.
+func BenchmarkAblationInlineColocate(b *testing.B) {
+	st, rt, _, pkts := ablationPair(0.02)
+	tab := mem.NewTable("Inline capacity", "Advance refs/packet")
+	for _, inline := range []int{0, 1, 2, 4, 8} {
+		eng := lookup.NewArray(rt, 6, inline, "6-way")
+		ct := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: st.Contains, Learn: true})
+		for _, p := range pkts {
+			ct.Process(p.dest, p.clue, nil) // warm
+		}
+		var c mem.Counter
+		for _, p := range pkts {
+			ct.Process(p.dest, p.clue, &c)
+		}
+		tab.AddRow(strconv.Itoa(inline), fmt.Sprintf("%.3f", float64(c.Count())/float64(len(pkts))))
+	}
+	printOnce("abl-inline", "Ablation — §4 candidate co-location in the clue entry's cache line\n"+tab.String())
+	eng := lookup.NewBWay(rt)
+	ct := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: st.Contains, Learn: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%len(pkts)]
+		ct.Process(p.dest, p.clue, nil)
+	}
+}
+
+// BenchmarkAblationMultibitStride runs the [24]-style stride trie at
+// several strides, common and Advance.
+func BenchmarkAblationMultibitStride(b *testing.B) {
+	st, rt, _, pkts := ablationPair(0.01)
+	tab := mem.NewTable("Stride", "Common refs/packet", "Advance refs/packet")
+	for _, k := range []int{2, 4, 8} {
+		eng := lookup.NewMultibit(rt, k)
+		ct := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: st.Contains, Learn: true})
+		var cc, ca mem.Counter
+		for _, p := range pkts {
+			ct.Process(p.dest, p.clue, nil) // warm
+		}
+		for _, p := range pkts {
+			eng.Lookup(p.dest, &cc)
+			ct.Process(p.dest, p.clue, &ca)
+		}
+		n := float64(len(pkts))
+		tab.AddRow(strconv.Itoa(k), fmt.Sprintf("%.2f", float64(cc.Count())/n), fmt.Sprintf("%.3f", float64(ca.Count())/n))
+	}
+	printOnce("abl-stride", "Ablation — multibit (\"jumps\", [24]) stride vs clue benefit\n"+tab.String())
+	eng := lookup.NewMultibit(rt, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Lookup(pkts[i%len(pkts)].dest, nil)
+	}
+}
+
+// BenchmarkAblationDivergenceSweep measures where the method stops paying:
+// Claim-1 coverage and Advance cost as neighboring tables diverge.
+func BenchmarkAblationDivergenceSweep(b *testing.B) {
+	tab := mem.NewTable("Divergence", "Problematic clues", "Claim-1 coverage", "Advance refs/packet")
+	for _, d := range []float64{0.001, 0.01, 0.05, 0.1, 0.2, 0.4} {
+		u := synth.NewUniverse(779, 8000)
+		s := u.Router(synth.RouterSpec{Name: fmt.Sprintf("dv-S%.3f", d), Size: 5000, Divergence: d})
+		r := u.Router(synth.RouterSpec{Name: fmt.Sprintf("dv-R%.3f", d), Size: 5500, Divergence: d})
+		st, rt := s.Trie(), r.Trie()
+		clues := s.Prefixes()
+		bad := core.CountProblematic(rt, clues, st.Contains)
+		eng := lookup.NewPatricia(rt)
+		ct := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: st.Contains})
+		ct.Preprocess(clues)
+		w := synth.NewWorkload(7, s)
+		var c mem.Counter
+		packets := 0
+		for packets < 4000 {
+			dd := w.Next()
+			cl, _, ok := st.Lookup(dd, nil)
+			if !ok || rt.Find(cl) == nil {
+				continue
+			}
+			packets++
+			ct.Process(dd, cl.Clue(), &c)
+		}
+		tab.AddRow(fmt.Sprintf("%.3f", d),
+			fmt.Sprintf("%.2f%%", 100*float64(bad)/float64(len(clues))),
+			fmt.Sprintf("%.1f%%", 100*ct.FinalFraction()),
+			fmt.Sprintf("%.3f", float64(c.Count())/float64(packets)))
+	}
+	printOnce("abl-diverge", "Ablation — Claim-1 coverage vs neighbor-table divergence\n"+tab.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// BenchmarkAblationExtensionEngines runs the two engines beyond the
+// paper's five — the multibit "jumps" trie [24] and the Lulea-style
+// compressed table [6] — through the same clue pipeline: the clue helps
+// every structure, which is the §4 point ("the distributed IP lookup
+// method may work with either of them").
+func BenchmarkAblationExtensionEngines(b *testing.B) {
+	st, rt, _, pkts := ablationPair(0.01)
+	type eng struct {
+		e       lookup.ClueEngine
+		advance bool // Advance compilation is too costly for Lulea's micro tables
+	}
+	engines := []eng{
+		{lookup.NewPatricia(rt), true},
+		{lookup.NewMultibit(rt, 8), true},
+		{lookup.NewLulea(rt), false},
+	}
+	tab := mem.NewTable("Engine", "Common refs/pkt", "Simple refs/pkt", "Advance refs/pkt", "Footprint")
+	for _, en := range engines {
+		simple := core.MustNewTable(core.Config{Method: core.Simple, Engine: en.e, Local: rt, Learn: true})
+		var adv *core.Table
+		if en.advance {
+			adv = core.MustNewTable(core.Config{Method: core.Advance, Engine: en.e, Local: rt, Sender: st.Contains, Learn: true})
+		}
+		for _, p := range pkts { // warm
+			simple.Process(p.dest, p.clue, nil)
+			if adv != nil {
+				adv.Process(p.dest, p.clue, nil)
+			}
+		}
+		var cc, cs, ca mem.Counter
+		for _, p := range pkts {
+			en.e.Lookup(p.dest, &cc)
+			simple.Process(p.dest, p.clue, &cs)
+			if adv != nil {
+				adv.Process(p.dest, p.clue, &ca)
+			}
+		}
+		n := float64(len(pkts))
+		advCell := "n/a"
+		if adv != nil {
+			advCell = fmt.Sprintf("%.3f", float64(ca.Count())/n)
+		}
+		foot := "n/a"
+		if fp, ok := en.e.(lookup.Footprinter); ok {
+			foot = mem.HumanBytes(fp.Footprint())
+		}
+		tab.AddRow(en.e.Name(), fmt.Sprintf("%.2f", float64(cc.Count())/n),
+			fmt.Sprintf("%.3f", float64(cs.Count())/n), advCell, foot)
+	}
+	printOnce("abl-ext", "Ablation — extension engines through the clue pipeline\n"+tab.String())
+	lul := engines[2].e
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lul.Lookup(pkts[i%len(pkts)].dest, nil)
+	}
+}
+
+// BenchmarkAblationFlowSetup reproduces the §1/§2 argument against
+// per-flow label setup: the clue table is keyed by clue (shared across
+// every flow under the same prefix), while traffic/data-driven label
+// switching pays a setup per FLOW. With one-packet flows (UDP), label
+// setup dominates; the clue scheme barely notices.
+func BenchmarkAblationFlowSetup(b *testing.B) {
+	st, rt, sender, _ := ablationPair(0.01)
+	eng := lookup.NewPatricia(rt)
+	tab := mem.NewTable("Flow length", "Clue (learned) refs/pkt", "Data-driven labels refs/pkt", "Common Patricia refs/pkt")
+	const packets = 20000
+	for _, flowLen := range []int{1, 2, 8, 32} {
+		ct := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: st.Contains, Learn: true})
+		w := synth.NewFlowWorkload(5, sender, 1.2, flowLen)
+		flowLabels := make(map[ip.Addr]bool) // per-flow label table
+		var cClue, cLabel, cPlain mem.Counter
+		for i := 0; i < packets; i++ {
+			d, newFlow := w.Next()
+			s, _, ok := st.Lookup(d, nil)
+			if !ok {
+				continue
+			}
+			// Clue scheme: cold tables, learning as traffic flows.
+			ct.Process(d, s.Clue(), &cClue)
+			// Data-driven label switching: a new flow pays a full lookup
+			// (the setup that assigns the label); later packets of the
+			// flow switch in one reference.
+			if newFlow || !flowLabels[d] {
+				eng.Lookup(d, &cLabel)
+				flowLabels[d] = true
+			}
+			cLabel.Add(1) // the label-table reference every packet pays
+			// Plain IP lookup, for scale.
+			eng.Lookup(d, &cPlain)
+		}
+		n := float64(packets)
+		tab.AddRow(strconv.Itoa(flowLen),
+			fmt.Sprintf("%.3f", float64(cClue.Count())/n),
+			fmt.Sprintf("%.3f", float64(cLabel.Count())/n),
+			fmt.Sprintf("%.2f", float64(cPlain.Count())/n))
+	}
+	printOnce("abl-flow", "Ablation — §1/§2 per-flow setup cost: clues vs data-driven labels (cold start, Zipf traffic)\n"+tab.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// BenchmarkAblationStopBoolean measures the marginal value of the §4
+// per-vertex "should the search continue?" Boolean on Advance+Patricia.
+func BenchmarkAblationStopBoolean(b *testing.B) {
+	st, rt, _, pkts := ablationPair(0.05) // diverged pair: case 3 is common enough to matter
+	tab := mem.NewTable("Advance+Patricia variant", "Refs/packet")
+	for _, useStop := range []bool{false, true} {
+		eng := lookup.NewPatriciaOpts(rt, useStop)
+		ct := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: st.Contains, Learn: true})
+		for _, p := range pkts {
+			ct.Process(p.dest, p.clue, nil) // warm
+		}
+		var c mem.Counter
+		for _, p := range pkts {
+			ct.Process(p.dest, p.clue, &c)
+		}
+		name := "without stop Boolean"
+		if useStop {
+			name = "with stop Boolean"
+		}
+		tab.AddRow(name, fmt.Sprintf("%.4f", float64(c.Count())/float64(len(pkts))))
+	}
+	printOnce("abl-stop", "Ablation — §4 per-vertex stop Boolean on Advance+Patricia\n"+tab.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// BenchmarkAblationCacheVsClue compares the clue table against the §2
+// hardware baseline of caching recent lookup RESULTS ([16, 18]: "It is
+// possible to achieve a 90% hit rate but by employing a large and very
+// expensive cache based on the CAM technology"). A result cache needs
+// traffic locality and capacity; the clue table is keyed by the prefix the
+// upstream router already matched, so it wins even on dispersed traffic
+// and tiny state.
+func BenchmarkAblationCacheVsClue(b *testing.B) {
+	st, rt, sender, _ := ablationPair(0.01)
+	eng := lookup.NewPatricia(rt)
+	tab := mem.NewTable("Traffic", "Clue refs/pkt", "Cache(4k) refs/pkt", "Cache hit rate", "Cache(64k) refs/pkt")
+	for _, traffic := range []struct {
+		name    string
+		flowLen int
+		zipf    float64
+	}{
+		{"skewed flows (Zipf 1.3, len 8)", 8, 1.3},
+		{"dispersed (uniform, len 1)", 1, 1.001},
+	} {
+		ct := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: st.Contains, Learn: true})
+		small := lookup.NewCached(lookup.NewPatricia(rt), 4096)
+		big := lookup.NewCached(lookup.NewPatricia(rt), 65536)
+		w := synth.NewFlowWorkload(9, sender, traffic.zipf, traffic.flowLen)
+		var cClue, cSmall, cBig mem.Counter
+		const packets = 30000
+		for i := 0; i < packets; i++ {
+			d, _ := w.Next()
+			s, _, ok := st.Lookup(d, nil)
+			if !ok {
+				continue
+			}
+			ct.Process(d, s.Clue(), &cClue)
+			small.Lookup(d, &cSmall)
+			big.Lookup(d, &cBig)
+		}
+		tab.AddRow(traffic.name,
+			fmt.Sprintf("%.3f", float64(cClue.Count())/packets),
+			fmt.Sprintf("%.2f", float64(cSmall.Count())/packets),
+			fmt.Sprintf("%.0f%%", 100*small.HitRate()),
+			fmt.Sprintf("%.2f", float64(cBig.Count())/packets))
+	}
+	printOnce("abl-cache", "Ablation — clue table vs LRU result cache (§2 baseline [16,18])\n"+tab.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// BenchmarkAblationORTC quantifies the §3 tension between aggregation and
+// clue similarity: compressing the receiver's table with ORTC ([29] in
+// the paper's survey) shrinks it but removes the shared vertices that
+// sender clues point at, so more clues miss or go problematic. "Under BGP
+// a router may not aggregate prefixes which it does not administer" — and
+// this is the quantitative reason the clue scheme is glad of it.
+func BenchmarkAblationORTC(b *testing.B) {
+	u := synth.NewUniverse(781, 9000)
+	s := u.Router(synth.RouterSpec{Name: "or-S", Size: 6000, Divergence: 0.01, Hops: []string{"a", "b", "c"}})
+	r := u.Router(synth.RouterSpec{Name: "or-R", Size: 6600, Divergence: 0.01, Hops: []string{"a", "b", "c"}})
+	st := s.Trie()
+	original := r.Trie()
+	compressed := ortc.Compress(original)
+
+	tab := mem.NewTable("Receiver table", "Routes", "Problematic clues", "Advance refs/pkt", "Clue-vertex hit rate")
+	w0 := synth.NewWorkload(5, s)
+	for _, variant := range []struct {
+		name string
+		rt   *trie.Trie
+	}{{"original", original}, {"ORTC-compressed", compressed}} {
+		rt := variant.rt
+		clues := s.Prefixes()
+		bad := core.CountProblematic(rt, clues, st.Contains)
+		eng := lookup.NewPatricia(rt)
+		ct := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: st.Contains, Learn: true})
+		var c mem.Counter
+		packets, vertexHits := 0, 0
+		for packets < 6000 {
+			d := w0.Next()
+			cl, _, ok := st.Lookup(d, nil)
+			if !ok {
+				continue
+			}
+			packets++
+			if rt.Find(cl) != nil {
+				vertexHits++
+			}
+			ct.Process(d, cl.Clue(), nil) // warm
+			ct.Process(d, cl.Clue(), &c)
+		}
+		tab.AddRow(variant.name, strconv.Itoa(rt.Size()),
+			fmt.Sprintf("%.2f%%", 100*float64(bad)/float64(len(clues))),
+			fmt.Sprintf("%.3f", float64(c.Count())/float64(packets)),
+			fmt.Sprintf("%.1f%%", 100*float64(vertexHits)/float64(packets)))
+	}
+	printOnce("abl-ortc", "Ablation — ORTC-compressed receiver table vs clue effectiveness\n"+tab.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// BenchmarkAblationIPv6Scaling checks the paper's scaling remark: with
+// W=128 the Log W baseline's probes grow, while the Advance clue cost
+// stays where it was for IPv4.
+func BenchmarkAblationIPv6Scaling(b *testing.B) {
+	u6 := synth.NewUniverseV6(780, 9000)
+	s := u6.Router(synth.RouterSpec{Name: "v6-S", Size: 6000, Divergence: 0.01})
+	r := u6.Router(synth.RouterSpec{Name: "v6-R", Size: 6600, Divergence: 0.01})
+	st, rt := s.Trie(), r.Trie()
+	logw := lookup.NewLogW(rt)
+	pat := lookup.NewPatricia(rt)
+	ct := core.MustNewTable(core.Config{Method: core.Advance, Engine: pat, Local: rt, Sender: st.Contains, Learn: true})
+	w := synth.NewWorkload(7, s)
+	type pkt struct {
+		dest ip.Addr
+		clue int
+	}
+	var pkts []pkt
+	for len(pkts) < 4096 {
+		d := w.Next()
+		if c, _, ok := st.Lookup(d, nil); ok && rt.Find(c) != nil {
+			pkts = append(pkts, pkt{d, c.Clue()})
+		}
+	}
+	for _, p := range pkts {
+		ct.Process(p.dest, p.clue, nil) // warm
+	}
+	var cl, ca mem.Counter
+	for _, p := range pkts {
+		logw.Lookup(p.dest, &cl)
+		ct.Process(p.dest, p.clue, &ca)
+	}
+	n := float64(len(pkts))
+	tab := mem.NewTable("Scheme", "IPv6 refs/packet", "IPv4 refs/packet (Table 8)")
+	tab.AddRow("Common Log W", fmt.Sprintf("%.2f", float64(cl.Count())/n), "4.56")
+	tab.AddRow("Advance+Patricia", fmt.Sprintf("%.2f", float64(ca.Count())/n), "1.01")
+	printOnce("abl-v6", "Ablation — IPv6 (W=128): Log W grows with log W, the clue does not\n"+tab.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%len(pkts)]
+		ct.Process(p.dest, p.clue, nil)
+	}
+}

@@ -1,0 +1,220 @@
+// Package clueroute is a Go implementation of "Routing with a Clue"
+// (Bremler-Barr, Afek, Har-Peled; ACM SIGCOMM 1999): distributed IP lookup,
+// where each router piggybacks on the packet a 5-bit clue — the best
+// matching prefix it found, encoded as a length pointer into the
+// destination address — and the next router resumes its longest-prefix
+// match from that point instead of starting from scratch. Because
+// neighboring forwarding tables are very similar, the downstream lookup
+// almost always terminates in the single clue-table reference (the paper's
+// Advance method covers 95–99.5% of clues via its Claim 1), an order of
+// magnitude faster than the classic schemes, with no label distribution,
+// no setup latency and no router coordination.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - forwarding tables and snapshots (internal/fib, internal/synth)
+//   - the five §6 lookup engines (internal/lookup): Regular, Patricia,
+//     Binary, 6-way and Log W, all clue-capable
+//   - clue tables (internal/core): Simple and Advance, learned or
+//     preprocessed, hash or 16-bit-indexed, plus multi-neighbor variants
+//   - a multi-router simulator with hop-by-hop clue rewriting
+//     (internal/netsim) and routing-table computation (internal/routing)
+//   - the §5 variations: MPLS integration (internal/mpls), load
+//     balancing (internal/loadbal), filter classification (internal/classify)
+//   - the wire format: the clue as an IPv4 option / IPv6 hop-by-hop
+//     option (internal/header)
+//
+// # Quick start
+//
+//	local := clueroute.NewTable("R2", clueroute.IPv4)
+//	local.Add(clueroute.MustParsePrefix("10.0.0.0/8"), "port1")
+//	local.Add(clueroute.MustParsePrefix("10.1.0.0/16"), "port2")
+//
+//	engine := clueroute.NewPatriciaEngine(local)
+//	clues := clueroute.MustNewClueTable(clueroute.ClueConfig{
+//		Method: clueroute.Advance,
+//		Engine: engine,
+//		Local:  local.Trie(),
+//		Sender: senderTrie.Contains, // neighbor's prefixes, from routing
+//		Learn:  true,
+//	})
+//
+//	dest := clueroute.MustParseAddr("10.1.2.3")
+//	res := clues.Process(dest, clueLenFromHeader, nil)
+//	// res.Prefix is the BMP, local.HopName(res.Value) the next hop.
+//
+// See examples/ for runnable programs and bench_test.go for the harness
+// that regenerates every table and figure of the paper's evaluation.
+package clueroute
+
+import (
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/ortc"
+	"repro/internal/routing"
+	"repro/internal/synth"
+	"repro/internal/trie"
+)
+
+// Address and prefix types (internal/ip).
+type (
+	// Addr is an IPv4 or IPv6 address, stored left-aligned in 128 bits.
+	Addr = ip.Addr
+	// Prefix is an address prefix; its length is exactly the clue value
+	// carried in the packet header.
+	Prefix = ip.Prefix
+	// Family is IPv4 or IPv6.
+	Family = ip.Family
+)
+
+// Address families.
+const (
+	IPv4 = ip.IPv4
+	IPv6 = ip.IPv6
+)
+
+// Address/prefix constructors re-exported from internal/ip.
+var (
+	ParseAddr       = ip.ParseAddr
+	MustParseAddr   = ip.MustParseAddr
+	ParsePrefix     = ip.ParsePrefix
+	MustParsePrefix = ip.MustParsePrefix
+	AddrFrom32      = ip.AddrFrom32
+	AddrFrom4       = ip.AddrFrom4
+	// DecodeClue reconstructs the clue prefix from a destination address
+	// and the clue length carried in the header.
+	DecodeClue = ip.DecodeClue
+)
+
+// Forwarding tables (internal/fib).
+type (
+	// Table is one router's forwarding table (prefix → next hop).
+	Table = fib.Table
+	// Trie is the binary prefix trie of a forwarding table.
+	Trie = trie.Trie
+)
+
+// NewTable creates an empty forwarding table.
+func NewTable(router string, fam Family) *Table { return fib.New(router, fam) }
+
+// ReadTable parses a table from the snapshot text format.
+var ReadTable = fib.Read
+
+// Intersection counts the prefixes two tables share (the similarity the
+// clue scheme exploits).
+var Intersection = fib.Intersection
+
+// Lookup engines (internal/lookup).
+type (
+	// Engine is a compiled best-matching-prefix lookup structure.
+	Engine = lookup.Engine
+	// ClueEngine is an Engine that can resume a lookup below a clue.
+	ClueEngine = lookup.ClueEngine
+	// Counter counts memory references — the paper's cost metric. A nil
+	// *Counter is valid and free.
+	Counter = mem.Counter
+)
+
+// NewRegularEngine builds the classic bit-by-bit trie engine over a table.
+func NewRegularEngine(t *Table) ClueEngine { return lookup.NewRegular(t.Trie()) }
+
+// NewPatriciaEngine builds the path-compressed trie engine over a table.
+func NewPatriciaEngine(t *Table) ClueEngine { return lookup.NewPatricia(t.Trie()) }
+
+// NewBinaryEngine builds the binary-search-over-intervals engine [19].
+func NewBinaryEngine(t *Table) ClueEngine { return lookup.NewBinary(t.Trie()) }
+
+// NewBWayEngine builds the 6-way search engine [11].
+func NewBWayEngine(t *Table) ClueEngine { return lookup.NewBWay(t.Trie()) }
+
+// NewLogWEngine builds the binary-search-on-lengths engine [26].
+func NewLogWEngine(t *Table) ClueEngine { return lookup.NewLogW(t.Trie()) }
+
+// AllEngines builds all five §6 engines over one trie, in table order.
+var AllEngines = lookup.All
+
+// Clue tables (internal/core — the paper's contribution).
+type (
+	// ClueConfig configures a clue table.
+	ClueConfig = core.Config
+	// ClueTable is the per-neighbor clue table of §3.
+	ClueTable = core.Table
+	// IndexedClueTable is the §3.3.1 hash-free, 16-bit-indexed variant.
+	IndexedClueTable = core.IndexedTable
+	// ClueIndexer is the sender side of the indexing technique.
+	ClueIndexer = core.Indexer
+	// Result is a forwarding decision.
+	Result = core.Result
+	// Method selects Simple or Advance.
+	Method = core.Method
+	// Outcome classifies how a packet was decided.
+	Outcome = core.Outcome
+)
+
+// The two clue-processing disciplines of §3.1.
+const (
+	Simple  = core.Simple
+	Advance = core.Advance
+)
+
+// Clue-table constructors re-exported from internal/core.
+var (
+	NewClueTable        = core.NewTable
+	MustNewClueTable    = core.MustNewTable
+	NewIndexedClueTable = core.NewIndexedTable
+	NewClueIndexer      = core.NewIndexer
+	// NoSenderInfo degrades the Advance method to Simple behavior for a
+	// neighbor whose table is unknown.
+	NoSenderInfo = core.NoSenderInfo
+	// CountProblematic counts clues for which Claim 1 fails (Table 2).
+	CountProblematic = core.CountProblematic
+)
+
+// Network simulation (internal/netsim, internal/routing).
+type (
+	// Topology is a network graph with per-router prefix origination.
+	Topology = routing.Topology
+	// Network is a set of simulated routers exchanging clues.
+	Network = netsim.Network
+	// Trace is one packet's path, with per-hop clue and work accounting.
+	Trace = netsim.Trace
+)
+
+// NewTopology creates an empty topology; ComputeTables derives the
+// per-router forwarding tables.
+var NewTopology = routing.NewTopology
+
+// NewNetwork builds a clue-exchanging network over forwarding tables.
+var NewNetwork = netsim.New
+
+// Synthetic snapshots (internal/synth).
+var (
+	// PaperRouters generates the seven synthetic counterparts of the
+	// paper's router snapshots at a given scale.
+	PaperRouters = synth.PaperRouters
+	// NewWorkload draws random destinations inside a table's prefixes,
+	// the way the paper's evaluation does.
+	NewWorkload = synth.NewWorkload
+	// NewFlowWorkload draws Zipf-distributed flows (for per-flow setup
+	// comparisons, §1/§2).
+	NewFlowWorkload = synth.NewFlowWorkload
+)
+
+// ConcurrentClueTable wraps a ClueTable for concurrent forwarding
+// goroutines (read-locked hot path, write-locked learning and updates).
+type ConcurrentClueTable = core.ConcurrentTable
+
+// NewConcurrentClueTable wraps a clue table for concurrent use.
+var NewConcurrentClueTable = core.NewConcurrentTable
+
+// CompressTable returns the ORTC-minimal trie equivalent to t (the [29]
+// baseline; see internal/ortc).
+var CompressTable = ortc.Compress
+
+// NewCachedEngine wraps an engine with an LRU result cache (the §2
+// hardware baseline [16, 18]).
+var NewCachedEngine = lookup.NewCached

@@ -1,0 +1,174 @@
+package clueroute_test
+
+import (
+	"testing"
+
+	clueroute "repro"
+)
+
+// TestFacadeQuickstart exercises the documented public-API flow end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	// Two neighboring routers with similar tables.
+	r1 := clueroute.NewTable("R1", clueroute.IPv4)
+	r2 := clueroute.NewTable("R2", clueroute.IPv4)
+	for _, s := range []string{"10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"} {
+		r1.Add(clueroute.MustParsePrefix(s), "R2")
+		r2.Add(clueroute.MustParsePrefix(s), "up")
+	}
+	r2.Add(clueroute.MustParsePrefix("10.1.2.0/24"), "edge") // R2-only specific
+
+	t1, t2 := r1.Trie(), r2.Trie()
+	engine := clueroute.NewPatriciaEngine(r2)
+	clues := clueroute.MustNewClueTable(clueroute.ClueConfig{
+		Method: clueroute.Advance,
+		Engine: engine,
+		Local:  t2,
+		Sender: t1.Contains,
+		Learn:  true,
+	})
+
+	dest := clueroute.MustParseAddr("10.1.2.3")
+	clue, _, ok := t1.Lookup(dest, nil)
+	if !ok || clue.Len() != 16 {
+		t.Fatalf("sender BMP = %v/%v", clue, ok)
+	}
+	var c clueroute.Counter
+	res := clues.Process(dest, clue.Clue(), &c)
+	if !res.OK || res.Prefix.String() != "10.1.2.0/24" {
+		t.Fatalf("clue-assisted result = %+v", res)
+	}
+	if hop := r2.HopName(res.Value); hop != "edge" {
+		t.Fatalf("next hop = %q, want edge", hop)
+	}
+	// Second packet of the same clue hits the learned entry.
+	c.Reset()
+	res = clues.Process(dest, clue.Clue(), &c)
+	if res.Outcome.String() == "miss" {
+		t.Error("second packet should hit the learned entry")
+	}
+}
+
+func TestFacadeEngines(t *testing.T) {
+	tab := clueroute.NewTable("R", clueroute.IPv4)
+	tab.Add(clueroute.MustParsePrefix("192.168.0.0/16"), "a")
+	tab.Add(clueroute.MustParsePrefix("192.168.7.0/24"), "b")
+	dest := clueroute.MustParseAddr("192.168.7.7")
+	engines := []clueroute.ClueEngine{
+		clueroute.NewRegularEngine(tab),
+		clueroute.NewPatriciaEngine(tab),
+		clueroute.NewBinaryEngine(tab),
+		clueroute.NewBWayEngine(tab),
+		clueroute.NewLogWEngine(tab),
+	}
+	for _, e := range engines {
+		p, v, ok := e.Lookup(dest, nil)
+		if !ok || p.Len() != 24 || tab.HopName(v) != "b" {
+			t.Errorf("%s: %v %v %v", e.Name(), p, v, ok)
+		}
+	}
+	if got := len(clueroute.AllEngines(tab.Trie())); got != 5 {
+		t.Errorf("AllEngines = %d", got)
+	}
+}
+
+func TestFacadeNetworkSim(t *testing.T) {
+	top := clueroute.NewTopology()
+	if err := top.AddLink("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddLink("b", "c", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Originate("c", clueroute.MustParsePrefix("10.0.0.0/8")); err != nil {
+		t.Fatal(err)
+	}
+	net := clueroute.NewNetwork(top.ComputeTables())
+	tr, err := net.Send("a", clueroute.MustParseAddr("10.9.9.9"))
+	if err != nil || !tr.Delivered {
+		t.Fatalf("delivery failed: %v", err)
+	}
+	if len(tr.Hops) != 3 {
+		t.Errorf("hops = %d", len(tr.Hops))
+	}
+}
+
+func TestFacadeSynthAndStats(t *testing.T) {
+	routers := clueroute.PaperRouters(3, 0.01)
+	a, b := routers["AT&T-1"], routers["AT&T-2"]
+	if clueroute.Intersection(a, b) == 0 {
+		t.Error("paper pair should overlap")
+	}
+	at := a.Trie()
+	bad := clueroute.CountProblematic(b.Trie(), a.Prefixes(), at.Contains)
+	if bad < 0 || bad > a.Len() {
+		t.Errorf("problematic = %d", bad)
+	}
+	w := clueroute.NewWorkload(1, a)
+	if _, _, ok := at.Lookup(w.Next(), nil); !ok {
+		t.Error("workload destination misses the sender table")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	tab := clueroute.NewTable("R", clueroute.IPv4)
+	tab.Add(clueroute.MustParsePrefix("0.0.0.0/0"), "up")
+	tab.Add(clueroute.MustParsePrefix("10.0.0.0/8"), "up") // redundant
+	tab.Add(clueroute.MustParsePrefix("10.1.0.0/16"), "pop")
+
+	// ORTC compression drops the redundant /8.
+	compressed := clueroute.CompressTable(tab.Trie())
+	if compressed.Size() != 2 {
+		t.Errorf("CompressTable size = %d, want 2", compressed.Size())
+	}
+
+	// Cached engine answers like the plain engine.
+	eng := clueroute.NewPatriciaEngine(tab)
+	cached := clueroute.NewCachedEngine(eng, 16)
+	dest := clueroute.MustParseAddr("10.1.2.3")
+	p1, _, _ := eng.Lookup(dest, nil)
+	p2, _, _ := cached.Lookup(dest, nil)
+	if p1 != p2 {
+		t.Errorf("cache changed answer: %v vs %v", p1, p2)
+	}
+
+	// Concurrent table round trip.
+	ct := clueroute.NewConcurrentClueTable(clueroute.MustNewClueTable(clueroute.ClueConfig{
+		Method: clueroute.Simple, Engine: eng, Local: tab.Trie(), Learn: true,
+	}))
+	res := ct.Process(dest, 8, nil)
+	if !res.OK || res.Prefix.Len() != 16 {
+		t.Errorf("concurrent table result: %+v", res)
+	}
+
+	// Flow workload draws inside the table.
+	w := clueroute.NewFlowWorkload(1, tab, 1.2, 3)
+	tr := tab.Trie()
+	for i := 0; i < 50; i++ {
+		d, _ := w.Next()
+		if _, _, ok := tr.Lookup(d, nil); !ok {
+			t.Fatal("flow destination misses the table")
+		}
+	}
+}
+
+func TestFacadeIndexedVariant(t *testing.T) {
+	tab := clueroute.NewTable("R", clueroute.IPv4)
+	tab.Add(clueroute.MustParsePrefix("10.0.0.0/8"), "x")
+	it, err := clueroute.NewIndexedClueTable(clueroute.ClueConfig{
+		Method: clueroute.Simple,
+		Engine: clueroute.NewPatriciaEngine(tab),
+		Local:  tab.Trie(),
+	}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := clueroute.NewClueIndexer(64)
+	dest := clueroute.MustParseAddr("10.5.5.5")
+	clue := clueroute.DecodeClue(dest, 8)
+	i := idx.IndexFor(clue)
+	it.Process(dest, 8, i, nil) // learn
+	res := it.Process(dest, 8, i, nil)
+	if !res.OK || res.Prefix.Len() != 8 {
+		t.Errorf("indexed result = %+v", res)
+	}
+}

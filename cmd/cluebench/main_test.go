@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestSnapshotFileNames(t *testing.T) {
+	cases := map[string]string{
+		"MAE-East": "mae-east.routes",
+		"AT&T-1":   "att-1.routes",
+		"ISP-B-2":  "isp-b-2.routes",
+		"Paix":     "paix.routes",
+	}
+	for in, want := range cases {
+		if got := snapshotFile(in); got != want {
+			t.Errorf("snapshotFile(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadRoutersGenerated(t *testing.T) {
+	routers, err := loadRouters("", 7, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range synth.PaperRouterNames {
+		if routers[name] == nil {
+			t.Errorf("missing router %q", name)
+		}
+	}
+	if _, err := loadRouters("", 7, 0); err == nil {
+		t.Error("scale 0 should fail")
+	}
+	if _, err := loadRouters("", 7, 1.5); err == nil {
+		t.Error("scale 1.5 should fail")
+	}
+}
+
+// Round trip: write snapshots the way routegen does, load them the way
+// cluebench does.
+func TestLoadRoutersFromSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	gen := synth.PaperRouters(7, 0.01)
+	for _, name := range synth.PaperRouterNames {
+		f, err := os.Create(filepath.Join(dir, snapshotFile(name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gen[name].WriteTo(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, err := loadRouters(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range synth.PaperRouterNames {
+		if loaded[name] == nil {
+			t.Fatalf("router %q missing after round trip", name)
+		}
+		if loaded[name].Len() != gen[name].Len() {
+			t.Errorf("%s: %d prefixes loaded, want %d", name, loaded[name].Len(), gen[name].Len())
+		}
+	}
+	// Missing file errors cleanly.
+	if err := os.Remove(filepath.Join(dir, "paix.routes")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadRouters(dir, 0, 0); err == nil {
+		t.Error("missing snapshot should fail")
+	}
+}

@@ -1,0 +1,245 @@
+// Command cluestat analyzes router snapshots for clue-routing potential.
+//
+// With one snapshot it reports the table's shape: size, prefix-length
+// histogram, nesting depth, and how far ORTC compression would shrink it.
+// With two snapshots (sender then receiver) it additionally reports the
+// §3/§6 pair statistics: intersection, clue-vertex hit rate, problematic
+// clues (with examples), Claim-1 coverage, and the §3.5 clue-table space
+// estimate.
+//
+// Usage:
+//
+//	cluestat sender.routes [receiver.routes]
+//	cluestat -demo        (run on a generated AT&T-like pair)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/ortc"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cluestat: ")
+	demo := flag.Bool("demo", false, "analyze a generated AT&T-like pair instead of files")
+	scale := flag.Float64("scale", 0.25, "scale for -demo tables")
+	explain := flag.String("explain", "", "explain the clue decision for this destination (pair mode)")
+	flag.Parse()
+
+	var tables []*fib.Table
+	switch {
+	case *demo:
+		routers := synth.PaperRouters(1999, *scale)
+		tables = []*fib.Table{routers["AT&T-1"], routers["AT&T-2"]}
+	case flag.NArg() >= 1:
+		for _, path := range flag.Args()[:min(2, flag.NArg())] {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tab, err := fib.Read(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			tables = append(tables, tab)
+		}
+	default:
+		log.Fatal("usage: cluestat <snapshot> [<receiver snapshot>] | cluestat -demo")
+	}
+
+	for _, tab := range tables {
+		describeTable(tab)
+	}
+	if len(tables) == 2 {
+		describePair(tables[0], tables[1])
+		if *explain != "" {
+			dest, err := ip.ParseAddr(*explain)
+			if err != nil {
+				log.Fatalf("-explain: %v", err)
+			}
+			explainDecision(tables[0], tables[1], dest)
+		}
+	} else if *explain != "" {
+		log.Fatal("-explain needs a sender AND a receiver snapshot")
+	}
+}
+
+// explainDecision walks one destination through the whole §3 pipeline and
+// narrates every step — the clue, the entry's case, the candidates, and
+// the per-engine costs.
+func explainDecision(sender, receiver *fib.Table, dest ip.Addr) {
+	st, rt := sender.Trie(), receiver.Trie()
+	inSender := func(p ip.Prefix) bool { return st.Contains(p) }
+	fmt.Printf("== explain %v\n", dest)
+
+	clue, _, ok := st.Lookup(dest, nil)
+	if !ok {
+		fmt.Printf("%s has no route for %v: the packet would not reach %s this way\n",
+			sender.Name(), dest, receiver.Name())
+		return
+	}
+	hop, _ := sender.NextHop(clue)
+	fmt.Printf("at %s: BMP %v (next hop %s) -> clue value %d\n", sender.Name(), clue, hop, clue.Clue())
+
+	wp, wv, wok := rt.Lookup(dest, nil)
+	if wok {
+		fmt.Printf("at %s: direct lookup gives %v via %s\n", receiver.Name(), wp, receiver.HopName(wv))
+	} else {
+		fmt.Printf("at %s: no route\n", receiver.Name())
+	}
+
+	node := rt.Find(clue)
+	switch {
+	case node == nil:
+		fmt.Println("case 1: the clue vertex does not exist at the receiver; FD decides")
+	case rt.Claim1Holds(node, inSender):
+		fmt.Println("case 2: Claim 1 holds — every path below the clue meets a sender prefix first; FD decides")
+	default:
+		cand := rt.Candidates(node, inSender)
+		fmt.Printf("case 3: Claim 1 fails; %d candidate(s) below the clue:\n", len(cand))
+		for i, n := range cand {
+			if i == 8 {
+				fmt.Printf("  ... and %d more\n", len(cand)-8)
+				break
+			}
+			fmt.Printf("  %v\n", n.Prefix())
+		}
+	}
+	fp, _, fok := rt.BMPOf(clue)
+	if fok {
+		fmt.Printf("FD field: %v\n", fp)
+	} else {
+		fmt.Println("FD field: no match")
+	}
+
+	fmt.Println("\nper-engine cost for this packet (warm Advance table):")
+	out := mem.NewTable("Engine", "Common refs", "Advance refs")
+	for _, eng := range lookup.All(rt) {
+		tab := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: inSender, Learn: true})
+		tab.Process(dest, clue.Clue(), nil) // learn
+		var cc, ca mem.Counter
+		eng.Lookup(dest, &cc)
+		tab.Process(dest, clue.Clue(), &ca)
+		out.AddRow(eng.Name(), fmt.Sprint(cc.Count()), fmt.Sprint(ca.Count()))
+	}
+	fmt.Println(out.String())
+}
+
+func describeTable(tab *fib.Table) {
+	tr := tab.Trie()
+	fmt.Printf("== %s: %d prefixes (%s)\n", tab.Name(), tab.Len(), tab.Family())
+
+	hist := tab.LengthHistogram()
+	maxCount := 0
+	for _, c := range hist {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	out := mem.NewTable("Len", "Prefixes", "")
+	for l, c := range hist {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", c*40/maxCount)
+		out.AddRow("/"+strconv.Itoa(l), strconv.Itoa(c), bar)
+	}
+	fmt.Println(out.String())
+
+	// Nesting: prefixes with a shorter covering prefix in the same table.
+	nested := 0
+	tr.Walk(func(p ip.Prefix, _ int) bool {
+		if bp, _, ok := tr.BMPOf(p.Parent()); ok && bp.Len() < p.Len() {
+			nested++
+		}
+		return true
+	})
+	fmt.Printf("nested prefixes (have a covering aggregate): %d (%.1f%%)\n",
+		nested, 100*float64(nested)/float64(tab.Len()))
+	compressed := ortc.Compress(tr)
+	fmt.Printf("ORTC-minimal equivalent: %d routes (%.1f%%)\n",
+		compressed.Size(), 100*float64(compressed.Size())/float64(tab.Len()))
+	model := mem.TableModel{Entries: tab.Len(), EntryBytes: 12, LineBytes: 32}
+	fmt.Printf("clue table sized for this router's clues: %s (%d-byte entries)\n\n",
+		mem.HumanBytes(model.Bytes()), model.EntryBytes)
+}
+
+func describePair(sender, receiver *fib.Table) {
+	st, rt := sender.Trie(), receiver.Trie()
+	inSender := func(p ip.Prefix) bool { return st.Contains(p) }
+	clues := sender.Prefixes()
+
+	fmt.Printf("== pair %s -> %s\n", sender.Name(), receiver.Name())
+	fmt.Printf("intersection: %d prefixes (%.1f%% of the smaller table)\n",
+		fib.Intersection(sender, receiver),
+		100*float64(fib.Intersection(sender, receiver))/float64(min(sender.Len(), receiver.Len())))
+
+	vertex := 0
+	for _, c := range clues {
+		if rt.Find(c) != nil {
+			vertex++
+		}
+	}
+	fmt.Printf("clue vertices present at receiver: %d of %d (%.1f%%)\n",
+		vertex, len(clues), 100*float64(vertex)/float64(len(clues)))
+
+	bad := core.CountProblematic(rt, clues, inSender)
+	fmt.Printf("problematic clues (Claim 1 fails): %d (%.2f%%); Claim-1 coverage %.1f%%\n",
+		bad, 100*float64(bad)/float64(len(clues)), 100*(1-float64(bad)/float64(len(clues))))
+
+	// Show a few problematic clues with their candidate counts.
+	shown := 0
+	out := mem.NewTable("Problematic clue", "Receiver candidates", "Example candidate")
+	for _, c := range clues {
+		node := rt.Find(c)
+		if node == nil {
+			continue
+		}
+		cand := rt.Candidates(node, inSender)
+		if len(cand) == 0 {
+			continue
+		}
+		out.AddRow(c.String(), strconv.Itoa(len(cand)), cand[0].Prefix().String())
+		shown++
+		if shown == 10 {
+			break
+		}
+	}
+	if shown > 0 {
+		fmt.Println(out.String())
+	}
+	// Depth the restricted search would cover for problematic clues.
+	deepest := 0
+	for _, c := range clues {
+		node := rt.Find(c)
+		if node == nil {
+			continue
+		}
+		for _, n := range rt.Candidates(node, inSender) {
+			if d := n.Prefix().Len() - c.Len(); d > deepest {
+				deepest = d
+			}
+		}
+	}
+	fmt.Printf("deepest candidate below any clue: %d bits\n", deepest)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+// Command pathsim regenerates Figure 1 of the paper: the length of a
+// packet's best matching prefix along its path from source to destination,
+// and the per-router lookup work — the derivative of that curve, which the
+// clue scheme concentrates at the edges and away from the backbone.
+//
+// The simulated network is a chain of routers; the destination edge router
+// originates a nested prefix series whose more-specifics are visible only
+// near it (aggregation, §3), and every router forwards with learned clue
+// tables (internal/netsim).
+//
+// Usage:
+//
+//	pathsim [-hops 12] [-packets 64] [-legacy r3,r5] [-method advance|simple]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pathsim: ")
+	var (
+		hops    = flag.Int("hops", 12, "number of routers on the path (>= 3)")
+		packets = flag.Int("packets", 64, "packets to average over")
+		legacy  = flag.String("legacy", "", "comma-separated routers that do NOT participate (e.g. r3,r5)")
+		method  = flag.String("method", "advance", "clue method: advance or simple")
+	)
+	flag.Parse()
+	if *hops < 3 {
+		log.Fatal("-hops must be at least 3")
+	}
+
+	top := routing.NewTopology()
+	names := routing.Chain(top, "r", *hops)
+	host := ip.MustParseAddr("204.17.33.40")
+	lengths := []int{8, 12, 16, 20, 24, 28}
+	radii := []int{-1, *hops, *hops * 3 / 4, *hops / 2, *hops / 3, 2}
+	if err := routing.NestedOrigination(top, names[*hops-1], host, lengths, radii); err != nil {
+		log.Fatal(err)
+	}
+	for i, name := range names {
+		for k := 0; k < 30; k++ {
+			base := ip.AddrFrom32(uint32(20+i*5+k)<<24 | uint32(k)<<12)
+			if err := top.Originate(name, ip.PrefixFrom(base, 8+(k*7)%17)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	net := netsim.New(top.ComputeTables())
+	m := core.Advance
+	if *method == "simple" {
+		m = core.Simple
+	} else if *method != "advance" {
+		log.Fatalf("unknown -method %q", *method)
+	}
+	for _, name := range names {
+		net.Router(name).SetMethod(m)
+	}
+	for _, name := range strings.Split(*legacy, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r := net.Router(name)
+		if r == nil {
+			log.Fatalf("unknown -legacy router %q", name)
+		}
+		r.SetParticipates(false)
+	}
+
+	var dests []ip.Addr
+	for i := 0; i < *packets; i++ {
+		dests = append(dests, ip.AddrFrom32(host.Uint32()&^uint32(0xFF)|uint32(i%256)))
+	}
+	prof, err := net.PathProfile(names[0], dests, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Figure 1 — %d-hop path, %d packets, %s method\n", *hops, prof.Packets, m)
+	tab := mem.NewTable("Hop", "Router", "Avg BMP length", "Avg work (refs)", "Sparkline")
+	maxRefs := 0.0
+	for _, r := range prof.AvgRefs {
+		if r > maxRefs {
+			maxRefs = r
+		}
+	}
+	for i := range prof.Routers {
+		bar := strings.Repeat("#", int(prof.AvgRefs[i]/maxRefs*20+0.5))
+		tab.AddRow(fmt.Sprintf("%d", i), prof.Routers[i],
+			fmt.Sprintf("%.1f", prof.AvgBMPLen[i]), fmt.Sprintf("%.2f", prof.AvgRefs[i]), bar)
+	}
+	fmt.Println(tab.String())
+	total := 0.0
+	for _, r := range prof.AvgRefs {
+		total += r
+	}
+	fmt.Printf("total path work: %.1f refs/packet (%.2f per hop)\n", total, total/float64(len(prof.AvgRefs)))
+}

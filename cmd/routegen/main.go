@@ -1,0 +1,76 @@
+// Command routegen generates the synthetic router snapshots that stand in
+// for the paper's 1999 forwarding tables (see DESIGN.md §5) and writes
+// them in the text format of internal/fib, one file per router, so they
+// can be inspected, edited and fed back into cluebench -snapshots.
+//
+// Usage:
+//
+//	routegen [-out dir] [-scale 1.0] [-seed 1999] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("routegen: ")
+	var (
+		out   = flag.String("out", "snapshots", "output directory")
+		scale = flag.Float64("scale", 1.0, "snapshot scale in (0,1]; 1.0 = the paper's table sizes")
+		seed  = flag.Int64("seed", 1999, "generator seed")
+		list  = flag.Bool("list", false, "list router names and sizes without writing files")
+	)
+	flag.Parse()
+	if *scale <= 0 || *scale > 1 {
+		log.Fatalf("-scale %v outside (0,1]", *scale)
+	}
+
+	routers := synth.PaperRouters(*seed, *scale)
+	if *list {
+		for _, name := range synth.PaperRouterNames {
+			fmt.Printf("%-10s %6d prefixes\n", name, routers[name].Len())
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range synth.PaperRouterNames {
+		path := filepath.Join(*out, snapshotFile(name))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := routers[name].WriteTo(f); err != nil {
+			f.Close()
+			log.Fatalf("write %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d prefixes)\n", path, routers[name].Len())
+	}
+}
+
+// snapshotFile maps a router name to its snapshot filename (shared
+// convention with cmd/cluebench).
+func snapshotFile(router string) string {
+	out := make([]byte, 0, len(router))
+	for i := 0; i < len(router); i++ {
+		c := router[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c-'A'+'a')
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+			out = append(out, c)
+		}
+	}
+	return string(out) + ".routes"
+}

@@ -1,0 +1,80 @@
+package clueroute_test
+
+import (
+	"fmt"
+
+	clueroute "repro"
+)
+
+// The basic flow: the sender's best matching prefix travels as a 5-bit
+// clue; the receiver resolves the packet from its clue table.
+func Example() {
+	r1 := clueroute.NewTable("R1", clueroute.IPv4)
+	r2 := clueroute.NewTable("R2", clueroute.IPv4)
+	for _, s := range []string{"10.0.0.0/8", "10.1.0.0/16"} {
+		r1.Add(clueroute.MustParsePrefix(s), "R2")
+		r2.Add(clueroute.MustParsePrefix(s), "core")
+	}
+	r2.Add(clueroute.MustParsePrefix("10.1.2.0/24"), "customer")
+
+	t1, t2 := r1.Trie(), r2.Trie()
+	clues := clueroute.MustNewClueTable(clueroute.ClueConfig{
+		Method: clueroute.Advance,
+		Engine: clueroute.NewPatriciaEngine(r2),
+		Local:  t2,
+		Sender: t1.Contains,
+		Learn:  true,
+	})
+
+	dest := clueroute.MustParseAddr("10.1.2.3")
+	bmp, _, _ := t1.Lookup(dest, nil) // at R1
+	res := clues.Process(dest, bmp.Clue(), nil)
+	res = clues.Process(dest, bmp.Clue(), nil) // warm
+	fmt.Printf("clue %v -> %v via %s\n", bmp, res.Prefix, r2.HopName(res.Value))
+	// Output:
+	// clue 10.1.0.0/16 -> 10.1.2.0/24 via customer
+}
+
+// Clues are just length pointers into the destination address.
+func ExampleDecodeClue() {
+	dest := clueroute.MustParseAddr("192.168.7.9")
+	fmt.Println(clueroute.DecodeClue(dest, 16))
+	fmt.Println(clueroute.DecodeClue(dest, 24))
+	// Output:
+	// 192.168.0.0/16
+	// 192.168.7.0/24
+}
+
+// A topology computes forwarding tables, and the network simulator
+// forwards packets with hop-by-hop clue rewriting.
+func ExampleNetwork() {
+	top := clueroute.NewTopology()
+	_ = top.AddLink("edge", "core", 1)
+	_ = top.AddLink("core", "exit", 1)
+	_ = top.Originate("exit", clueroute.MustParsePrefix("203.0.113.0/24"))
+
+	net := clueroute.NewNetwork(top.ComputeTables())
+	tr, _ := net.Send("edge", clueroute.MustParseAddr("203.0.113.77"))
+	for _, h := range tr.Hops {
+		fmt.Printf("%s matched %v\n", h.Router, h.BMP)
+	}
+	fmt.Println("delivered:", tr.Delivered)
+	// Output:
+	// edge matched 203.0.113.0/24
+	// core matched 203.0.113.0/24
+	// exit matched 203.0.113.0/24
+	// delivered: true
+}
+
+// Counting memory references, the paper's cost metric.
+func ExampleCounter() {
+	tab := clueroute.NewTable("R", clueroute.IPv4)
+	tab.Add(clueroute.MustParsePrefix("10.0.0.0/8"), "x")
+	eng := clueroute.NewRegularEngine(tab)
+
+	var c clueroute.Counter
+	eng.Lookup(clueroute.MustParseAddr("10.1.2.3"), &c)
+	fmt.Println("bit-by-bit walk:", c.Count(), "references")
+	// Output:
+	// bit-by-bit walk: 9 references
+}

@@ -1,0 +1,99 @@
+// MPLS integration (§5.1): clues fix MPLS's aggregation-point problem.
+//
+// In topology-driven MPLS a label is bound to a prefix (FEC), and packets
+// are normally forwarded with one label-table reference. But at an
+// aggregation point — a router whose table holds prefixes extending the
+// packet's FEC, like R4 in the paper's Figure 8 — plain MPLS must fall
+// back to a complete IP lookup to pick the finer route and a new label.
+// Because every control-based label is associated with a clue, the label
+// can index the clue table directly and only the restricted search below
+// the FEC runs.
+//
+// Run: go run ./examples/mplsintegration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/mpls"
+	"repro/internal/routing"
+)
+
+func buildNetwork(mode mpls.Mode) (*mpls.Network, []string, []ip.Addr) {
+	// The Figure 8 scenario: R4 is an aggregation point where the /16 FEC
+	// splits into /24s.
+	top := routing.NewTopology()
+	names := routing.Chain(top, "R", 8)
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	check(top.Originate(names[7], ip.MustParsePrefix("10.1.0.0/16")))
+	check(top.OriginateScoped(names[7], ip.MustParsePrefix("10.1.1.0/24"), 3))
+	check(top.OriginateScoped(names[7], ip.MustParsePrefix("10.1.2.0/24"), 3))
+	for i, name := range names {
+		for k := 0; k < 15; k++ {
+			base := ip.AddrFrom32(uint32(40+i*9+k) << 24)
+			check(top.Originate(name, ip.PrefixFrom(base, 8+(k*5)%13)))
+		}
+	}
+	var dests []ip.Addr
+	for i := 0; i < 50; i++ {
+		dests = append(dests,
+			ip.MustParseAddr(fmt.Sprintf("10.1.1.%d", i)),
+			ip.MustParseAddr(fmt.Sprintf("10.1.2.%d", i)))
+	}
+	return mpls.New(top.ComputeTables(), mode), names, dests
+}
+
+func main() {
+	plain, namesP, dests := buildNetwork(mpls.Plain)
+	clued, namesC, _ := buildNetwork(mpls.WithClues)
+
+	var refsP, refsC, fullP, fullC int
+	for _, d := range dests {
+		trP, err := plain.Send(namesP[0], d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trC, err := clued.Send(namesC[0], d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !trP.Delivered || !trC.Delivered {
+			log.Fatalf("packet for %v not delivered", d)
+		}
+		refsP += trP.TotalRefs()
+		refsC += trC.TotalRefs()
+		fullP += trP.FullLookups()
+		fullC += trC.FullLookups()
+	}
+
+	n := float64(len(dests))
+	tab := mem.NewTable("Scheme", "Refs/path", "Full IP lookups/path")
+	tab.AddRow(mpls.Plain.String(), fmt.Sprintf("%.1f", float64(refsP)/n), fmt.Sprintf("%.2f", float64(fullP)/n))
+	tab.AddRow(mpls.WithClues.String(), fmt.Sprintf("%.1f", float64(refsC)/n), fmt.Sprintf("%.2f", float64(fullC)/n))
+	fmt.Println("Figure 8 scenario — 8-hop label-switched path with one aggregation point")
+	fmt.Println(tab.String())
+
+	// Show one trace so the aggregation point is visible.
+	tr, err := plain.Send(namesP[0], dests[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain-MPLS trace for %v:\n", dests[0])
+	for _, h := range tr.Hops {
+		mark := ""
+		if h.FullLookup {
+			mark = "  <-- full IP lookup"
+		}
+		fmt.Printf("  %-3s label %3d -> %3d  FEC %-16v %2d refs%s\n",
+			h.Router, h.LabelIn, h.LabelOut, h.FEC, h.Refs, mark)
+	}
+	fmt.Println("\nwith clues, only the ingress pays for a full lookup; the aggregation")
+	fmt.Println("point resolves the /24 from the label-indexed clue state.")
+}

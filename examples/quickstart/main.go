@@ -1,0 +1,69 @@
+// Quickstart: two neighboring routers, one clue.
+//
+// R1 looks up a packet, finds its best matching prefix, and encodes it as
+// a 5-bit clue (just the prefix length). R2 decodes the clue against the
+// destination address and — because neighboring tables are similar —
+// usually resolves the packet in a single clue-table reference.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	clueroute "repro"
+)
+
+func main() {
+	// R1's forwarding table (the sender).
+	r1 := clueroute.NewTable("R1", clueroute.IPv4)
+	r1.Add(clueroute.MustParsePrefix("0.0.0.0/0"), "upstream")
+	r1.Add(clueroute.MustParsePrefix("10.0.0.0/8"), "R2")
+	r1.Add(clueroute.MustParsePrefix("10.1.0.0/16"), "R2")
+	r1.Add(clueroute.MustParsePrefix("192.168.0.0/16"), "dmz")
+
+	// R2's table: mostly the same prefixes (the premise of the paper),
+	// plus a more-specific route R1 does not carry.
+	r2 := clueroute.NewTable("R2", clueroute.IPv4)
+	r2.Add(clueroute.MustParsePrefix("0.0.0.0/0"), "core")
+	r2.Add(clueroute.MustParsePrefix("10.0.0.0/8"), "core")
+	r2.Add(clueroute.MustParsePrefix("10.1.0.0/16"), "pop3")
+	r2.Add(clueroute.MustParsePrefix("10.1.2.0/24"), "customer7")
+
+	t1, t2 := r1.Trie(), r2.Trie()
+
+	// R2's clue table for packets arriving from R1, learning on the fly.
+	// The Advance method needs to know which prefixes R1 carries — in a
+	// real network the routing protocol supplies that (§3.3.2).
+	clues := clueroute.MustNewClueTable(clueroute.ClueConfig{
+		Method: clueroute.Advance,
+		Engine: clueroute.NewPatriciaEngine(r2),
+		Local:  t2,
+		Sender: t1.Contains,
+		Learn:  true,
+	})
+
+	for _, destStr := range []string{"10.1.2.3", "10.1.9.9", "10.200.0.1", "10.1.2.3"} {
+		dest := clueroute.MustParseAddr(destStr)
+
+		// --- at R1: ordinary lookup, then attach the clue ---
+		bmp, _, ok := t1.Lookup(dest, nil)
+		if !ok {
+			fmt.Printf("%-12s R1 has no route\n", destStr)
+			continue
+		}
+		clue := bmp.Clue() // the 5-bit value that goes in the header
+
+		// --- at R2: the clue drives the lookup ---
+		var refs clueroute.Counter
+		res := clues.Process(dest, clue, &refs)
+		fmt.Printf("%-12s R1 sends clue %v (len %2d); R2 -> %-18v via %-9s  %d refs (%v)\n",
+			destStr, clueroute.DecodeClue(dest, clue), clue,
+			res.Prefix, r2.HopName(res.Value), refs.Count(), res.Outcome)
+	}
+
+	fmt.Println()
+	fmt.Println("note the repeated 10.1.2.3: the first packet of a clue is a compulsory")
+	fmt.Println("miss that learns the entry; every later packet costs one reference or")
+	fmt.Println("a short restricted search — never a full lookup.")
+}

@@ -1,0 +1,199 @@
+// Package bgp implements the §5.2 scenario: BGP routes resolved over an
+// IGP. "The router goes twice through its forwarding table: in the first
+// time it finds the next hop is the BGP router on the other side of the AS
+// but no interface port is associated with this BMP. It then takes the IP
+// address of this router and goes with it for a second time through the
+// forwarding table to find out what is the next hop in the AS."
+//
+// The clue for such a packet "is still the first BMP it finds, since any
+// successive router starts by looking for the BMP of the packet
+// destination address. In some cases it might be beneficial to place both
+// BMPs on the packet" — the second clue is a length pointer into the BGP
+// gateway's address, which the receiver decodes against the gateway
+// address recorded in its own route. This package implements recursive
+// tables, single- and dual-clue processing, and the §5.2 cost comparison.
+package bgp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// NoClue marks an absent clue.
+const NoClue = -1
+
+// Route is one entry of a recursive forwarding table: either a direct
+// route (out a port) or a BGP route via a gateway address that must itself
+// be resolved.
+type Route struct {
+	Prefix  ip.Prefix
+	Port    string  // set for direct (IGP) routes
+	Gateway ip.Addr // set for recursive (BGP) routes
+}
+
+// Recursive reports whether the route needs a second lookup.
+func (r Route) Recursive() bool { return r.Port == "" }
+
+// Table is a forwarding table with recursive routes.
+type Table struct {
+	name   string
+	fam    ip.Family
+	trie   *trie.Trie
+	routes []Route
+}
+
+// New creates a recursive table. Routes must be well-formed: exactly one
+// of Port/Gateway set, gateway family matching.
+func New(name string, fam ip.Family, routes []Route) (*Table, error) {
+	t := &Table{name: name, fam: fam, trie: trie.New(fam)}
+	for _, r := range routes {
+		direct := r.Port != ""
+		viaGw := r.Gateway != ip.Addr{}
+		if direct == viaGw {
+			return nil, fmt.Errorf("bgp: route %v must have exactly one of Port or Gateway", r.Prefix)
+		}
+		if viaGw && r.Gateway.Family() != fam {
+			return nil, fmt.Errorf("bgp: gateway %v family mismatch", r.Gateway)
+		}
+		t.trie.Insert(r.Prefix, len(t.routes))
+		t.routes = append(t.routes, r)
+	}
+	return t, nil
+}
+
+// Name returns the router name.
+func (t *Table) Name() string { return t.name }
+
+// Trie exposes the prefix trie (payloads are route indices).
+func (t *Table) Trie() *trie.Trie { return t.trie }
+
+// Route returns a route by index.
+func (t *Table) Route(i int) Route { return t.routes[i] }
+
+// Resolution is the outcome of a (possibly recursive) lookup.
+type Resolution struct {
+	// BMP is the destination's best matching prefix (the first pass —
+	// and the §5.2 clue for downstream routers).
+	BMP ip.Prefix
+	// GatewayBMP is the gateway's best matching prefix (second pass);
+	// zero-valued for direct routes.
+	GatewayBMP ip.Prefix
+	// Gateway is the BGP next-hop address, when the route was recursive.
+	Gateway ip.Addr
+	// Port is the resolved output port.
+	Port string
+	// Passes is how many times the table was consulted (1 or 2; the §5.2
+	// double lookup).
+	Passes int
+}
+
+// maxPasses bounds recursive resolution (a gateway route pointing at
+// another gateway would otherwise loop).
+const maxPasses = 4
+
+// Resolve performs the full §5.2 resolution with an engine: BMP of dest,
+// then — if the route is recursive — BMP of the gateway address.
+func Resolve(t *Table, eng lookup.Engine, dest ip.Addr, c *mem.Counter) (Resolution, error) {
+	var res Resolution
+	addr := dest
+	for pass := 1; pass <= maxPasses; pass++ {
+		p, idx, ok := eng.Lookup(addr, c)
+		if !ok {
+			return res, fmt.Errorf("bgp: no route for %v (pass %d)", addr, pass)
+		}
+		res.Passes = pass
+		if pass == 1 {
+			res.BMP = p
+		} else {
+			res.GatewayBMP = p
+		}
+		r := t.routes[idx]
+		if !r.Recursive() {
+			res.Port = r.Port
+			return res, nil
+		}
+		if pass == 1 {
+			res.Gateway = r.Gateway
+		}
+		addr = r.Gateway
+	}
+	return res, fmt.Errorf("bgp: resolution for %v did not terminate in %d passes", dest, maxPasses)
+}
+
+// Clues is what travels in the packet header in the dual-clue variant:
+// length pointers into the destination address and (when the sender's
+// route was recursive) into the BGP gateway's address.
+type Clues struct {
+	Dest    int // BMP length of the destination; NoClue if absent
+	Gateway int // BMP length of the gateway address; NoClue if absent
+}
+
+// Router is a §5.2-capable router: a recursive table with clue tables for
+// both resolution passes.
+type Router struct {
+	table   *Table
+	engine  lookup.ClueEngine
+	destTab *core.Table
+	gwTab   *core.Table
+}
+
+// NewRouter builds the router with learned Simple clue tables (sound for
+// clues relayed across ASes, where the sender's table is unknown).
+func NewRouter(t *Table) *Router {
+	eng := lookup.NewPatricia(t.trie)
+	mk := func() *core.Table {
+		return core.MustNewTable(core.Config{
+			Method: core.Simple, Engine: eng, Local: t.trie, Learn: true,
+		})
+	}
+	return &Router{table: t, engine: eng, destTab: mk(), gwTab: mk()}
+}
+
+// Process resolves a packet using the incoming clues and returns the
+// resolution plus the clues for the downstream router ("the clue it
+// places on the packet is still the first BMP it finds").
+func (r *Router) Process(dest ip.Addr, in Clues, c *mem.Counter) (Resolution, Clues, error) {
+	var res Resolution
+	lookupOnce := func(tab *core.Table, addr ip.Addr, clue int) (ip.Prefix, int, bool) {
+		var cr core.Result
+		if clue == NoClue {
+			cr = tab.ProcessNoClue(addr, c)
+		} else {
+			cr = tab.Process(addr, clue, c)
+		}
+		return cr.Prefix, cr.Value, cr.OK
+	}
+	// Pass 1: the destination, helped by the destination clue.
+	p, idx, ok := lookupOnce(r.destTab, dest, in.Dest)
+	if !ok {
+		return res, Clues{NoClue, NoClue}, fmt.Errorf("bgp: no route for %v", dest)
+	}
+	res.BMP, res.Passes = p, 1
+	rt := r.table.routes[idx]
+	out := Clues{Dest: p.Clue(), Gateway: NoClue}
+	if !rt.Recursive() {
+		res.Port = rt.Port
+		return res, out, nil
+	}
+	// Pass 2: the gateway, helped by the gateway clue. Both routers carry
+	// the same BGP next-hop attribute, so a length pointer decodes against
+	// the receiver's own gateway address.
+	res.Gateway = rt.Gateway
+	gp, gidx, ok := lookupOnce(r.gwTab, rt.Gateway, in.Gateway)
+	if !ok {
+		return res, out, fmt.Errorf("bgp: no IGP route for gateway %v", rt.Gateway)
+	}
+	res.GatewayBMP, res.Passes = gp, 2
+	grt := r.table.routes[gidx]
+	if grt.Recursive() {
+		return res, out, fmt.Errorf("bgp: gateway %v resolves recursively again", rt.Gateway)
+	}
+	res.Port = grt.Port
+	out.Gateway = gp.Clue()
+	return res, out, nil
+}

@@ -1,0 +1,191 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+)
+
+// sampleTable: external BGP prefixes via a gateway, IGP routes direct.
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	gw := ip.MustParseAddr("192.168.50.2")
+	tab, err := New("R", ip.IPv4, []Route{
+		{Prefix: ip.MustParsePrefix("203.0.0.0/8"), Gateway: gw},
+		{Prefix: ip.MustParsePrefix("203.7.0.0/16"), Gateway: gw},
+		{Prefix: ip.MustParsePrefix("192.168.0.0/16"), Port: "eth0"},
+		{Prefix: ip.MustParsePrefix("192.168.50.0/24"), Port: "eth1"},
+		{Prefix: ip.MustParsePrefix("10.0.0.0/8"), Port: "eth2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("R", ip.IPv4, []Route{{Prefix: ip.MustParsePrefix("10.0.0.0/8")}}); err == nil {
+		t.Error("route with neither port nor gateway should fail")
+	}
+	if _, err := New("R", ip.IPv4, []Route{{
+		Prefix: ip.MustParsePrefix("10.0.0.0/8"), Port: "e0", Gateway: ip.MustParseAddr("1.1.1.1"),
+	}}); err == nil {
+		t.Error("route with both port and gateway should fail")
+	}
+	if _, err := New("R", ip.IPv4, []Route{{
+		Prefix: ip.MustParsePrefix("10.0.0.0/8"), Gateway: ip.MustParseAddr("2001:db8::1"),
+	}}); err == nil {
+		t.Error("gateway family mismatch should fail")
+	}
+}
+
+func TestResolveDirect(t *testing.T) {
+	tab := sampleTable(t)
+	eng := lookup.NewPatricia(tab.Trie())
+	var c mem.Counter
+	res, err := Resolve(tab, eng, ip.MustParseAddr("10.1.1.1"), &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Port != "eth2" || res.Passes != 1 || res.BMP.Len() != 8 {
+		t.Errorf("direct resolution: %+v", res)
+	}
+}
+
+func TestResolveRecursive(t *testing.T) {
+	tab := sampleTable(t)
+	eng := lookup.NewPatricia(tab.Trie())
+	var c mem.Counter
+	res, err := Resolve(tab, eng, ip.MustParseAddr("203.7.9.9"), &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes != 2 {
+		t.Fatalf("Passes = %d, want 2 (the §5.2 double lookup)", res.Passes)
+	}
+	if res.BMP.Len() != 16 || res.GatewayBMP.Len() != 24 || res.Port != "eth1" {
+		t.Errorf("recursive resolution: %+v", res)
+	}
+	if res.Gateway != ip.MustParseAddr("192.168.50.2") {
+		t.Errorf("gateway = %v", res.Gateway)
+	}
+	// Two passes cost roughly twice one pass.
+	var c1 mem.Counter
+	if _, err := Resolve(tab, eng, ip.MustParseAddr("10.1.1.1"), &c1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() <= c1.Count() {
+		t.Errorf("recursive cost %d not above direct %d", c.Count(), c1.Count())
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	tab := sampleTable(t)
+	eng := lookup.NewPatricia(tab.Trie())
+	if _, err := Resolve(tab, eng, ip.MustParseAddr("8.8.8.8"), nil); err == nil {
+		t.Error("unroutable destination should fail")
+	}
+	// A gateway that itself resolves via a gateway loops forever; the
+	// pass bound must catch it.
+	loop, err := New("L", ip.IPv4, []Route{
+		{Prefix: ip.MustParsePrefix("203.0.0.0/8"), Gateway: ip.MustParseAddr("198.18.0.1")},
+		{Prefix: ip.MustParsePrefix("198.18.0.0/15"), Gateway: ip.MustParseAddr("203.0.113.1")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leng := lookup.NewPatricia(loop.Trie())
+	if _, err := Resolve(loop, leng, ip.MustParseAddr("203.0.113.9"), nil); err == nil {
+		t.Error("recursive loop should fail, not hang")
+	}
+}
+
+// Dual-clue processing must agree with plain Resolve, and the second
+// packet of a flow must be much cheaper than the clue-less resolution.
+func TestRouterDualClues(t *testing.T) {
+	tab := sampleTable(t)
+	r := NewRouter(tab)
+	eng := lookup.NewPatricia(tab.Trie())
+	dest := ip.MustParseAddr("203.7.42.42")
+
+	want, err := Resolve(tab, eng, dest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First packet: no clues.
+	res1, out1, err := r.Process(dest, Clues{NoClue, NoClue}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Port != want.Port || res1.BMP != want.BMP || res1.GatewayBMP != want.GatewayBMP {
+		t.Fatalf("clue-less process %+v != resolve %+v", res1, want)
+	}
+	if out1.Dest != want.BMP.Clue() || out1.Gateway != want.GatewayBMP.Clue() {
+		t.Errorf("outgoing clues %+v", out1)
+	}
+	// Simulate the downstream router being this same router (identical
+	// tables): process with the clues it just emitted, twice (learn+hit).
+	r.Process(dest, out1, nil)
+	var c mem.Counter
+	res2, out2, err := r.Process(dest, out1, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Port != want.Port || out2 != out1 {
+		t.Fatalf("clued process diverged: %+v, clues %+v", res2, out2)
+	}
+	// Both passes clue-resolved: 2 references total.
+	if c.Count() != 2 {
+		t.Errorf("dual-clue warm cost = %d, want 2", c.Count())
+	}
+}
+
+// Property: for random recursive tables, dual-clue processing equals
+// Resolve for every destination, warm or cold.
+func TestQuickRouterMatchesResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		gw1 := ip.AddrFrom32(0xC0A80000 | rng.Uint32()&0xFFF) // inside 192.168/16
+		gw2 := ip.AddrFrom32(0xC0A81000 | rng.Uint32()&0xFFF)
+		routes := []Route{
+			{Prefix: ip.MustParsePrefix("192.168.0.0/16"), Port: "igp0"},
+			{Prefix: ip.MustParsePrefix("192.168.16.0/20"), Port: "igp1"},
+		}
+		for i := 0; i < 30; i++ {
+			p := ip.PrefixFrom(ip.AddrFrom32(rng.Uint32()&0x3F0FFFFF|0x40000000), 8+rng.Intn(17))
+			gw := gw1
+			if rng.Intn(2) == 0 {
+				gw = gw2
+			}
+			if p.Contains(gw) {
+				continue // keep gateways out of BGP space
+			}
+			routes = append(routes, Route{Prefix: p, Gateway: gw})
+		}
+		tab, err := New("Q", ip.IPv4, routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := lookup.NewPatricia(tab.Trie())
+		r := NewRouter(tab)
+		clues := Clues{NoClue, NoClue}
+		for i := 0; i < 200; i++ {
+			dest := ip.AddrFrom32(rng.Uint32()&0x3F0FFFFF | 0x40000000)
+			want, errW := Resolve(tab, eng, dest, nil)
+			got, out, errG := r.Process(dest, clues, nil)
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("error disagreement for %v: %v vs %v", dest, errW, errG)
+			}
+			if errW != nil {
+				continue
+			}
+			if got.Port != want.Port || got.BMP != want.BMP || got.GatewayBMP != want.GatewayBMP {
+				t.Fatalf("trial %d dest %v: %+v != %+v", trial, dest, got, want)
+			}
+			clues = out // feed the emitted clues back in (same-table neighbor)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package classify implements the §7 extension of the clue idea to packet
+// classification: "when a packet header is classified by several filters
+// (in QoS, or firewall applications), the clue being added to the packet is
+// the filter by which the packet is classified at a router. The receiving
+// router starts its classification process at the restricted domain of the
+// clue-filter. Moreover, similarly to Claim 1, any filter that both routers
+// have and that intersects the clue-filter can be discarded by R2 without
+// any processing."
+//
+// Filters are two-dimensional (source prefix, destination prefix) rules
+// with priorities, matched by a linear scan — the standard 1999 classifier
+// model, with the number of filters examined as the cost metric.
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+// Filter is one classification rule.
+type Filter struct {
+	ID       string
+	Src, Dst ip.Prefix
+	Priority int // higher wins
+	Action   string
+}
+
+// Matches reports whether the rule matches a (src, dst) header.
+func (f *Filter) Matches(src, dst ip.Addr) bool {
+	return f.Src.Contains(src) && f.Dst.Contains(dst)
+}
+
+// Intersects reports whether two filters can both match some packet: in
+// each dimension one prefix must contain the other.
+func (f *Filter) Intersects(g *Filter) bool {
+	return overlaps(f.Src, g.Src) && overlaps(f.Dst, g.Dst)
+}
+
+func overlaps(p, q ip.Prefix) bool {
+	return p.IsAncestorOf(q) || q.IsAncestorOf(p)
+}
+
+// RuleSet is one router's ordered filter list.
+type RuleSet struct {
+	name    string
+	filters []*Filter
+	byID    map[string]*Filter
+}
+
+// NewRuleSet creates a rule set. Filter IDs must be unique.
+func NewRuleSet(name string, filters []Filter) (*RuleSet, error) {
+	r := &RuleSet{name: name, byID: make(map[string]*Filter, len(filters))}
+	for i := range filters {
+		f := filters[i]
+		if _, dup := r.byID[f.ID]; dup {
+			return nil, fmt.Errorf("classify: duplicate filter ID %q", f.ID)
+		}
+		r.filters = append(r.filters, &f)
+		r.byID[f.ID] = &f
+	}
+	return r, nil
+}
+
+// Name returns the rule-set name.
+func (r *RuleSet) Name() string { return r.name }
+
+// Len returns the number of filters.
+func (r *RuleSet) Len() int { return len(r.filters) }
+
+// ByID returns a filter by ID, or nil.
+func (r *RuleSet) ByID(id string) *Filter { return r.byID[id] }
+
+// Classify scans all filters (one reference each) and returns the
+// highest-priority match; ties break toward the earlier rule.
+func (r *RuleSet) Classify(src, dst ip.Addr, c *mem.Counter) (*Filter, bool) {
+	return scan(r.filters, src, dst, c)
+}
+
+func scan(filters []*Filter, src, dst ip.Addr, c *mem.Counter) (*Filter, bool) {
+	var best *Filter
+	for _, f := range filters {
+		c.Add(1)
+		if f.Matches(src, dst) && (best == nil || f.Priority > best.Priority) {
+			best = f
+		}
+	}
+	return best, best != nil
+}
+
+// ClueTable is R2's per-neighbor classification clue table: for each
+// filter R1 may classify by, the (precomputed) list of R2 filters that
+// still need to be examined. A filter is a candidate only if it intersects
+// the clue-filter, and — the Claim-1 analog — shared filters with priority
+// above the clue-filter's are discarded outright: had they matched, the
+// sender would have classified by them instead.
+type ClueTable struct {
+	local      *RuleSet
+	candidates map[string][]*Filter
+}
+
+// NewClueTable precomputes candidate lists for every sender filter.
+func NewClueTable(local, sender *RuleSet) *ClueTable {
+	t := &ClueTable{local: local, candidates: make(map[string][]*Filter, sender.Len())}
+	shared := make(map[string]*Filter)
+	for _, f := range sender.filters {
+		if g := local.byID[f.ID]; g != nil {
+			shared[f.ID] = g
+		}
+	}
+	for _, clue := range sender.filters {
+		var cand []*Filter
+		for _, g := range local.filters {
+			if !g.Intersects(clue) {
+				continue
+			}
+			if sg, ok := shared[g.ID]; ok && sg.Priority > clue.Priority && g.ID != clue.ID {
+				continue // both routers have it; the sender would have used it
+			}
+			cand = append(cand, g)
+		}
+		t.candidates[clue.ID] = cand
+	}
+	return t
+}
+
+// CandidateCount returns the candidate-list size for a clue filter (for
+// the pruning-effectiveness statistics), or -1 for an unknown clue.
+func (t *ClueTable) CandidateCount(clueID string) int {
+	c, ok := t.candidates[clueID]
+	if !ok {
+		return -1
+	}
+	return len(c)
+}
+
+// Classify classifies a packet that arrived with a clue filter: only the
+// precomputed candidates are scanned (one reference each, plus one for the
+// clue-table probe). An unknown clue falls back to the full scan.
+func (t *ClueTable) Classify(clueID string, src, dst ip.Addr, c *mem.Counter) (*Filter, bool) {
+	c.Add(1) // clue-table reference
+	cand, ok := t.candidates[clueID]
+	if !ok {
+		return t.local.Classify(src, dst, c)
+	}
+	return scan(cand, src, dst, c)
+}

@@ -1,0 +1,187 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+func mustRuleSet(t *testing.T, name string, fs []Filter) *RuleSet {
+	t.Helper()
+	r, err := NewRuleSet(name, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMatchesAndIntersects(t *testing.T) {
+	f := &Filter{Src: ip.MustParsePrefix("10.0.0.0/8"), Dst: ip.MustParsePrefix("192.168.0.0/16")}
+	if !f.Matches(ip.MustParseAddr("10.1.1.1"), ip.MustParseAddr("192.168.3.4")) {
+		t.Error("should match")
+	}
+	if f.Matches(ip.MustParseAddr("11.1.1.1"), ip.MustParseAddr("192.168.3.4")) {
+		t.Error("wrong src matched")
+	}
+	g := &Filter{Src: ip.MustParsePrefix("10.1.0.0/16"), Dst: ip.MustParsePrefix("192.0.0.0/8")}
+	if !f.Intersects(g) || !g.Intersects(f) {
+		t.Error("nested filters should intersect")
+	}
+	h := &Filter{Src: ip.MustParsePrefix("11.0.0.0/8"), Dst: ip.MustParsePrefix("192.168.0.0/16")}
+	if f.Intersects(h) {
+		t.Error("disjoint src filters should not intersect")
+	}
+}
+
+func TestNewRuleSetDuplicateID(t *testing.T) {
+	if _, err := NewRuleSet("x", []Filter{{ID: "a"}, {ID: "a"}}); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+}
+
+func TestClassifyPriorityAndCost(t *testing.T) {
+	rs := mustRuleSet(t, "R", []Filter{
+		{ID: "any", Src: ip.MustParsePrefix("0.0.0.0/0"), Dst: ip.MustParsePrefix("0.0.0.0/0"), Priority: 0, Action: "permit"},
+		{ID: "net10", Src: ip.MustParsePrefix("10.0.0.0/8"), Dst: ip.MustParsePrefix("0.0.0.0/0"), Priority: 5, Action: "qos"},
+		{ID: "tight", Src: ip.MustParsePrefix("10.1.0.0/16"), Dst: ip.MustParsePrefix("20.0.0.0/8"), Priority: 9, Action: "deny"},
+	})
+	var c mem.Counter
+	f, ok := rs.Classify(ip.MustParseAddr("10.1.2.3"), ip.MustParseAddr("20.0.0.1"), &c)
+	if !ok || f.ID != "tight" {
+		t.Fatalf("Classify = %v %v", f, ok)
+	}
+	if c.Count() != 3 {
+		t.Errorf("full scan cost = %d, want 3", c.Count())
+	}
+	f, ok = rs.Classify(ip.MustParseAddr("10.2.2.3"), ip.MustParseAddr("30.0.0.1"), nil)
+	if !ok || f.ID != "net10" {
+		t.Errorf("Classify = %v %v, want net10", f, ok)
+	}
+	if rs.ByID("nope") != nil || rs.ByID("any") == nil || rs.Len() != 3 || rs.Name() != "R" {
+		t.Error("accessors wrong")
+	}
+}
+
+// randomFilters generates overlapping rule sets over a small prefix pool.
+func randomFilters(rng *rand.Rand, n int, tag string) []Filter {
+	pool := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "20.0.0.0/8", "20.5.0.0/16", "30.0.0.0/8"}
+	fs := make([]Filter, n)
+	for i := range fs {
+		fs[i] = Filter{
+			ID:       fmt.Sprintf("%s-%d", tag, i),
+			Src:      ip.MustParsePrefix(pool[rng.Intn(len(pool))]),
+			Dst:      ip.MustParsePrefix(pool[rng.Intn(len(pool))]),
+			Priority: rng.Intn(100),
+			Action:   "a",
+		}
+	}
+	return fs
+}
+
+// Property: clue-assisted classification returns the same winner as the
+// full scan, whenever the clue really is the sender's classification.
+func TestQuickClueClassificationSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		// Shared core plus private filters on each side (IDs identify
+		// shared rules; the shared copies keep identical priorities, as
+		// distributed rule bases do).
+		shared := randomFilters(rng, 20, "s")
+		senderFs := append(append([]Filter{}, shared...), randomFilters(rng, 8, "r1")...)
+		localFs := append(append([]Filter{}, shared...), randomFilters(rng, 8, "r2")...)
+		sender := mustRuleSet(t, "R1", senderFs)
+		local := mustRuleSet(t, "R2", localFs)
+		ct := NewClueTable(local, sender)
+		for i := 0; i < 300; i++ {
+			src := ip.AddrFrom32(rng.Uint32() & 0x3F0FFFFF)
+			dst := ip.AddrFrom32(rng.Uint32() & 0x3F0FFFFF)
+			clue, ok := sender.Classify(src, dst, nil)
+			if !ok {
+				continue
+			}
+			want, wantOK := local.Classify(src, dst, nil)
+			got, gotOK := ct.Classify(clue.ID, src, dst, nil)
+			if gotOK != wantOK {
+				t.Fatalf("trial %d: ok %v vs %v for clue %s", trial, gotOK, wantOK, clue.ID)
+			}
+			// Same priority class is required (distinct rules may tie).
+			if gotOK && got.Priority != want.Priority {
+				t.Fatalf("trial %d: clue-assisted %s (prio %d) vs full %s (prio %d)",
+					trial, got.ID, got.Priority, want.ID, want.Priority)
+			}
+		}
+	}
+}
+
+func TestCluePruningReducesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	shared := randomFilters(rng, 40, "s")
+	sender := mustRuleSet(t, "R1", shared)
+	local := mustRuleSet(t, "R2", shared)
+	ct := NewClueTable(local, sender)
+	var full, clued int
+	n := 0
+	for i := 0; i < 500; i++ {
+		src := ip.AddrFrom32(rng.Uint32() & 0x3F0FFFFF)
+		dst := ip.AddrFrom32(rng.Uint32() & 0x3F0FFFFF)
+		clue, ok := sender.Classify(src, dst, nil)
+		if !ok {
+			continue
+		}
+		n++
+		var cf, cc mem.Counter
+		local.Classify(src, dst, &cf)
+		ct.Classify(clue.ID, src, dst, &cc)
+		full += cf.Count()
+		clued += cc.Count()
+	}
+	if n == 0 {
+		t.Fatal("no classified packets")
+	}
+	if clued >= full {
+		t.Errorf("clued classification cost %d not below full %d over %d packets", clued, full, n)
+	}
+}
+
+func TestClueTableUnknownClueFallsBack(t *testing.T) {
+	rs := mustRuleSet(t, "R2", []Filter{
+		{ID: "any", Src: ip.MustParsePrefix("0.0.0.0/0"), Dst: ip.MustParsePrefix("0.0.0.0/0"), Priority: 1},
+	})
+	sender := mustRuleSet(t, "R1", nil)
+	ct := NewClueTable(rs, sender)
+	var c mem.Counter
+	f, ok := ct.Classify("ghost", ip.MustParseAddr("1.1.1.1"), ip.MustParseAddr("2.2.2.2"), &c)
+	if !ok || f.ID != "any" {
+		t.Errorf("fallback = %v %v", f, ok)
+	}
+	if c.Count() != 2 { // clue probe + 1-filter scan
+		t.Errorf("fallback cost = %d, want 2", c.Count())
+	}
+	if ct.CandidateCount("ghost") != -1 {
+		t.Error("unknown clue should report -1 candidates")
+	}
+}
+
+func TestSharedHigherPriorityDiscarded(t *testing.T) {
+	// Both routers share "vip" (priority 90). If the sender classified by
+	// "low" (priority 1), "vip" cannot match, so it must be pruned.
+	shared := []Filter{
+		{ID: "vip", Src: ip.MustParsePrefix("10.0.0.0/8"), Dst: ip.MustParsePrefix("0.0.0.0/0"), Priority: 90},
+		{ID: "low", Src: ip.MustParsePrefix("0.0.0.0/0"), Dst: ip.MustParsePrefix("0.0.0.0/0"), Priority: 1},
+	}
+	sender := mustRuleSet(t, "R1", shared)
+	local := mustRuleSet(t, "R2", shared)
+	ct := NewClueTable(local, sender)
+	if got := ct.CandidateCount("low"); got != 1 {
+		t.Errorf("candidates for clue 'low' = %d, want 1 (vip pruned)", got)
+	}
+	// And classification via the pruned list is still right.
+	src, dst := ip.MustParseAddr("20.0.0.1"), ip.MustParseAddr("9.9.9.9")
+	f, ok := ct.Classify("low", src, dst, nil)
+	if !ok || f.ID != "low" {
+		t.Errorf("clued classify = %v %v", f, ok)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+// ConcurrentTable wraps a Table for use by multiple forwarding goroutines.
+// The underlying Table is deliberately unsynchronized (a line card's
+// forwarding engine is single-threaded per port, and the simulators use it
+// that way); software routers that share one clue table across goroutines
+// use this wrapper instead.
+//
+// The hot path — a known, valid clue — takes only a read lock: compiled
+// entries are immutable after construction, so any number of packets can
+// resolve concurrently. Learning a new clue, invalidation and the
+// route-change updates take the write lock.
+type ConcurrentTable struct {
+	mu sync.RWMutex
+	t  *Table
+}
+
+// NewConcurrentTable wraps a clue table. The caller must not use the
+// wrapped table directly afterwards.
+func NewConcurrentTable(t *Table) *ConcurrentTable {
+	return &ConcurrentTable{t: t}
+}
+
+// Process is the concurrent equivalent of Table.Process.
+func (c *ConcurrentTable) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) Result {
+	clue := ip.DecodeClue(dest, clueLen)
+	cnt.Add(1)
+	c.mu.RLock()
+	e, ok := c.t.entries[clue]
+	if ok && e.valid {
+		res := processEntry(e, dest, cnt)
+		c.mu.RUnlock()
+		return res
+	}
+	c.mu.RUnlock()
+	// Slow path: miss or invalid entry. Take the write lock, re-check (a
+	// racing goroutine may have learned the clue meanwhile), learn, and
+	// route by full lookup.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok = c.t.entries[clue]
+	switch {
+	case ok && e.valid:
+		return processEntry(e, dest, cnt)
+	case ok: // invalid entry: full lookup, no relearning (§3.4 marking)
+		return c.t.fullLookup(dest, cnt, OutcomeInvalid)
+	default:
+		if c.t.cfg.Learn {
+			c.t.entries[clue] = c.t.newEntry(clue)
+			c.t.noteClue(clue)
+			c.t.learned++
+		}
+		return c.t.fullLookup(dest, cnt, OutcomeMiss)
+	}
+}
+
+// ProcessNoClue routes a clue-less packet (read lock: full lookups touch
+// only the engine, which is immutable outside Mutate).
+func (c *ConcurrentTable) ProcessNoClue(dest ip.Addr, cnt *mem.Counter) Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.ProcessNoClue(dest, cnt)
+}
+
+// Mutate runs fn under the write lock. Route changes mutate the live trie,
+// the engine and the clue table together; doing it inside Mutate makes the
+// change atomic with respect to concurrent Process calls:
+//
+//	ct.Mutate(func(t *core.Table) {
+//	    localTrie.Insert(p, hop)
+//	    t.SetEngine(rebuiltEngine) // if the engine is a compiled one
+//	    t.UpdateLocal(p)
+//	})
+func (c *ConcurrentTable) Mutate(fn func(*Table)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(c.t)
+}
+
+// Preprocess is Table.Preprocess under the write lock.
+func (c *ConcurrentTable) Preprocess(clues []ip.Prefix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t.Preprocess(clues)
+}
+
+// Invalidate is Table.Invalidate under the write lock.
+func (c *ConcurrentTable) Invalidate(clue ip.Prefix) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Invalidate(clue)
+}
+
+// Revalidate is Table.Revalidate under the write lock.
+func (c *ConcurrentTable) Revalidate(clue ip.Prefix) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Revalidate(clue)
+}
+
+// Len returns the number of entries.
+func (c *ConcurrentTable) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Len()
+}
+
+// FinalFraction is Table.FinalFraction under the read lock.
+func (c *ConcurrentTable) FinalFraction() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.FinalFraction()
+}

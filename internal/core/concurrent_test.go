@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+)
+
+func TestConcurrentTableBasics(t *testing.T) {
+	t2 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8"), ip.MustParsePrefix("10.1.0.0/16")})
+	eng := lookup.NewRegular(t2)
+	ct := NewConcurrentTable(MustNewTable(Config{Method: Simple, Engine: eng, Local: t2, Learn: true}))
+	dest := ip.MustParseAddr("10.1.2.3")
+
+	res := ct.Process(dest, 8, nil)
+	if res.Outcome != OutcomeMiss || !res.OK || res.Prefix.Len() != 16 {
+		t.Fatalf("first packet: %+v", res)
+	}
+	res = ct.Process(dest, 8, nil)
+	if res.Outcome == OutcomeMiss || res.Prefix.Len() != 16 {
+		t.Fatalf("second packet: %+v", res)
+	}
+	if ct.Len() != 1 {
+		t.Errorf("Len = %d", ct.Len())
+	}
+	if ct.FinalFraction() < 0 {
+		t.Error("FinalFraction broken")
+	}
+	if res := ct.ProcessNoClue(dest, nil); !res.OK || res.Prefix.Len() != 16 {
+		t.Errorf("ProcessNoClue: %+v", res)
+	}
+	clue := ip.MustParsePrefix("10.0.0.0/8")
+	if !ct.Invalidate(clue) {
+		t.Fatal("Invalidate failed")
+	}
+	if res := ct.Process(dest, 8, nil); res.Outcome != OutcomeInvalid {
+		t.Errorf("invalid entry outcome: %v", res.Outcome)
+	}
+	if !ct.Revalidate(clue) {
+		t.Fatal("Revalidate failed")
+	}
+	if res := ct.Process(dest, 8, nil); res.Outcome == OutcomeInvalid {
+		t.Error("entry still invalid")
+	}
+	ct.Preprocess([]ip.Prefix{ip.MustParsePrefix("10.1.0.0/16")})
+	if ct.Len() != 2 {
+		t.Errorf("after Preprocess Len = %d", ct.Len())
+	}
+}
+
+// Race test: many forwarding goroutines against a mutator applying route
+// churn through Mutate. Run with -race (the default `go test` in this
+// repo's CI loop includes it for this package).
+func TestConcurrentTableUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	t1, t2 := neighborPair(rng, 80)
+	inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+	eng := lookup.NewRegular(t2) // live-trie engine: mutations are atomic under Mutate
+	ct := NewConcurrentTable(MustNewTable(Config{Method: Advance, Engine: eng, Local: t2, Sender: inT1, Learn: true}))
+
+	// Pre-generate per-goroutine packet streams (clue = sender BMP).
+	type pkt struct {
+		dest ip.Addr
+		clue int
+	}
+	streams := make([][]pkt, 8)
+	for g := range streams {
+		r := rand.New(rand.NewSource(int64(100 + g)))
+		for len(streams[g]) < 400 {
+			a := ip.AddrFrom32(r.Uint32() & 0x3F0F00FF)
+			if s, _, ok := t1.Lookup(a, nil); ok {
+				streams[g] = append(streams[g], pkt{a, s.Clue()})
+			}
+		}
+	}
+	churn := make([]ip.Prefix, 60)
+	for i := range churn {
+		churn[i] = ip.PrefixFrom(ip.AddrFrom32(rng.Uint32()&0x3F0F00FF), 9+rng.Intn(16))
+	}
+
+	var wg sync.WaitGroup
+	for g := range streams {
+		wg.Add(1)
+		go func(stream []pkt) {
+			defer wg.Done()
+			for _, p := range stream {
+				res := ct.Process(p.dest, p.clue, nil)
+				// The answer must be internally consistent: when it
+				// matches, the prefix must contain the destination.
+				if res.OK && !res.Prefix.Contains(p.dest) {
+					t.Errorf("answer %v does not contain %v", res.Prefix, p.dest)
+					return
+				}
+			}
+		}(streams[g])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, p := range churn {
+			pp := p
+			if i%2 == 0 {
+				ct.Mutate(func(tab *Table) {
+					t2.Insert(pp, 1000+i)
+					tab.UpdateLocal(pp)
+				})
+			} else {
+				ct.Mutate(func(tab *Table) {
+					if t2.Delete(pp) {
+						tab.UpdateLocal(pp)
+					}
+				})
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles, full correctness must hold again.
+	for i := 0; i < 300; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		s, ok1 := func() (ip.Prefix, bool) {
+			p, _, ok := t1.Lookup(a, nil)
+			return p, ok
+		}()
+		if !ok1 {
+			continue
+		}
+		wp, wv, wok := t2.Lookup(a, nil)
+		res := ct.Process(a, s.Clue(), nil)
+		if res.OK != wok || (res.OK && (res.Prefix != wp || res.Value != wv)) {
+			t.Fatalf("post-churn: dest %v clue %v: got %v/%d/%v want %v/%d/%v",
+				a, s, res.Prefix, res.Value, res.OK, wp, wv, wok)
+		}
+	}
+}

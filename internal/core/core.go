@@ -1,0 +1,436 @@
+// Package core implements the paper's contribution: distributed IP lookup
+// with clues (§3). A router R1 forwarding a packet to neighbor R2 attaches
+// a clue — the best matching prefix it found, encoded as a 5-bit length
+// pointer into the destination address (7 bits for IPv6). R2 keeps a clue
+// table with, per clue, a final decision (FD) and a pointer (Ptr) from
+// which the search for a longer prefix continues when necessary.
+//
+// Two disciplines are provided:
+//
+//   - Simple (§3.1.1): continue the search below the clue whenever the clue
+//     vertex has descendants in R2's trie; otherwise the FD field already
+//     holds the answer.
+//   - Advance (§3.1.2): additionally evaluate Claim 1 against the sending
+//     neighbor's prefixes — if on every path down from the clue a sender
+//     prefix is met before the first receiver prefix, no longer match can
+//     exist at R2 and the entry is final. Empirically this covers 95–99.5%
+//     of clues, making the average lookup cost ≈1 memory reference.
+//
+// Tables can be built by preprocessing (from the routing protocol, §3.3.2)
+// or learned on the fly as clues arrive (§3.3.1), in both the hash-table
+// flavor (5 header bits) and the indexed flavor (5+16 header bits, no hash
+// function). §3.4's multi-neighbor variants (union with a per-neighbor bit
+// map, and common+specific sub-tables) are in multineighbor.go.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// Method selects the clue-processing discipline.
+type Method int
+
+// The two disciplines of §3.1.
+const (
+	Simple Method = iota
+	Advance
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if m == Simple {
+		return "Simple"
+	}
+	return "Advance"
+}
+
+// Outcome classifies how a clued packet was decided, for the experiment
+// harness and for tests.
+type Outcome int
+
+// Process outcomes.
+const (
+	// OutcomeFD: the entry's Ptr was Empty — the FD field decided the
+	// packet in the single clue-table reference (the paper's optimal case).
+	OutcomeFD Outcome = iota
+	// OutcomeResumeHit: the restricted search below the clue found a
+	// longer match (case 3 of §3.1.2).
+	OutcomeResumeHit
+	// OutcomeResumeFD: the restricted search failed; the FD field supplied
+	// the answer.
+	OutcomeResumeFD
+	// OutcomeMiss: the clue was unknown (or its hash slot held a different
+	// clue); a full lookup was performed and, in learning mode, the clue
+	// was learned.
+	OutcomeMiss
+	// OutcomeInvalid: the entry exists but is marked invalid (§3.4's
+	// never-remove-clues marking); a full lookup was performed.
+	OutcomeInvalid
+	// OutcomeNoClue: the packet carried no clue; a full lookup was
+	// performed (legacy upstream router, §5.3).
+	OutcomeNoClue
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeFD:
+		return "fd"
+	case OutcomeResumeHit:
+		return "resume-hit"
+	case OutcomeResumeFD:
+		return "resume-fd"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeInvalid:
+		return "invalid"
+	default:
+		return "no-clue"
+	}
+}
+
+// Result is the forwarding decision for one packet.
+type Result struct {
+	Prefix  ip.Prefix // the best matching prefix at this router
+	Value   int       // its payload (next-hop ID)
+	OK      bool      // false when no prefix matches
+	Outcome Outcome
+}
+
+// decision is the FD field: the precomputed final decision of a clue entry
+// ("either one of: the packet BMP, a pointer to that prefix entry in the
+// forwarding table, or simply the next hop" — we store prefix and payload).
+type decision struct {
+	prefix ip.Prefix
+	value  int
+	ok     bool
+}
+
+// Entry is one clue-table record (Figure 3 of the paper): the clue value
+// itself (so a hash or index collision is detected by a single compare),
+// the FD field, and the Ptr field (nil means Empty).
+type Entry struct {
+	clue  ip.Prefix
+	fd    decision
+	ptr   lookup.Resume
+	valid bool
+}
+
+// Clue returns the clue string this entry is for.
+func (e *Entry) Clue() ip.Prefix { return e.clue }
+
+// Final reports whether the entry decides packets without any search
+// (Ptr is Empty). The fraction of final entries is the paper's Claim-1
+// coverage (95–99.5% in §6).
+func (e *Entry) Final() bool { return e.ptr == nil }
+
+// NoSenderInfo is a sender predicate meaning "the receiver knows nothing
+// about the sending router's prefixes". With it the Advance method
+// degenerates exactly to Simple, which is the correct, safe behavior for a
+// neighbor whose table is unknown (e.g. a legacy router relaying clues).
+func NoSenderInfo(ip.Prefix) bool { return false }
+
+// Config configures a clue table.
+type Config struct {
+	// Method is Simple or Advance.
+	Method Method
+	// Engine is the receiving router's lookup structure, used for full
+	// lookups on clue misses and for compiling restricted searches.
+	Engine lookup.ClueEngine
+	// Local is the receiving router's trie (t2).
+	Local *trie.Trie
+	// Sender reports whether a binary string is a prefix of the sending
+	// neighbor's forwarding table; the Advance method evaluates Claim 1
+	// against it. §3.3.2: the information comes from the routing protocol.
+	// Required for Advance; ignored by Simple.
+	Sender func(ip.Prefix) bool
+	// Learn enables learning clues on the fly (§3.3.1). When false, a
+	// clue miss performs a full lookup but the table is not modified.
+	Learn bool
+}
+
+// Table is the per-neighbor clue hash table of §3 (the 5-bit-header,
+// hash-function flavor; see IndexedTable for the 5+16-bit flavor).
+type Table struct {
+	cfg     Config
+	entries map[ip.Prefix]*Entry
+	clues   *trie.Trie // shadow trie of clue keys, for route-change updates
+	learned int
+}
+
+// NewTable creates a clue table. The Advance method requires sender
+// knowledge.
+func NewTable(cfg Config) (*Table, error) {
+	if cfg.Engine == nil || cfg.Local == nil {
+		return nil, errors.New("core: Config.Engine and Config.Local are required")
+	}
+	if cfg.Method == Advance && cfg.Sender == nil {
+		return nil, errors.New("core: the Advance method requires Config.Sender (use NoSenderInfo to degrade to Simple behavior)")
+	}
+	return &Table{cfg: cfg, entries: make(map[ip.Prefix]*Entry)}, nil
+}
+
+// MustNewTable is NewTable that panics on error, for tests and examples.
+func MustNewTable(cfg Config) *Table {
+	t, err := NewTable(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of clue entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Learned returns how many entries were learned on the fly (as opposed to
+// preprocessed).
+func (t *Table) Learned() int { return t.learned }
+
+// Entry returns the entry for a clue, or nil.
+func (t *Table) Entry(c ip.Prefix) *Entry { return t.entries[c] }
+
+// newEntry builds the entry for clue c — the new-clue procedure of
+// Figure 5. It runs at table-construction/learning time and is not charged
+// memory references.
+func (t *Table) newEntry(c ip.Prefix) *Entry { return buildEntry(t.cfg, c) }
+
+func buildEntry(cfg Config, c ip.Prefix) *Entry {
+	e := &Entry{clue: c, valid: true}
+	fp, fv, fok := cfg.Local.BMPOf(c)
+	e.fd = decision{prefix: fp, value: fv, ok: fok}
+	node := cfg.Local.Find(c)
+	if node == nil {
+		// Case 1: the clue vertex does not exist at this router; the FD
+		// (BMP of the clue's least existing ancestor) is final.
+		return e
+	}
+	switch cfg.Method {
+	case Simple:
+		// Ptr is Empty iff the vertex has no descendants.
+		e.ptr = cfg.Engine.CompileResume(c, nil)
+	case Advance:
+		cand := cfg.Local.Candidates(node, cfg.Sender)
+		if len(cand) == 0 {
+			// Case 2: Claim 1 holds — no longer match can exist here.
+			return e
+		}
+		// Case 3: compile the search restricted to the candidate set.
+		ps := make([]ip.Prefix, len(cand))
+		for i, n := range cand {
+			ps[i] = n.Prefix()
+		}
+		e.ptr = cfg.Engine.CompileResume(c, ps)
+	}
+	return e
+}
+
+// Preprocess populates entries for the given clue set up front (§3.3.2) —
+// typically the sending neighbor's prefixes routed via this router, i.e.
+// fib.Table.Via(thisRouter) at the sender.
+func (t *Table) Preprocess(clues []ip.Prefix) {
+	for _, c := range clues {
+		if _, ok := t.entries[c]; !ok {
+			t.entries[c] = t.newEntry(c)
+			t.noteClue(c)
+		}
+	}
+}
+
+// Invalidate marks a clue entry invalid without removing it (§3.4: "a clue
+// is never removed from a clues table ... special marking for clues that
+// are not valid" keeps the hash function stable across routing changes).
+// It reports whether the entry exists.
+func (t *Table) Invalidate(c ip.Prefix) bool {
+	e, ok := t.entries[c]
+	if ok {
+		e.valid = false
+	}
+	return ok
+}
+
+// Revalidate recomputes and revalidates the entry for c, reporting whether
+// the entry existed.
+func (t *Table) Revalidate(c ip.Prefix) bool {
+	if _, ok := t.entries[c]; !ok {
+		return false
+	}
+	t.entries[c] = t.newEntry(c)
+	return true
+}
+
+// fullLookup routes the packet without clue help, charging the engine's
+// cost.
+func (t *Table) fullLookup(dest ip.Addr, c *mem.Counter, o Outcome) Result {
+	p, v, ok := t.cfg.Engine.Lookup(dest, c)
+	return Result{Prefix: p, Value: v, OK: ok, Outcome: o}
+}
+
+// ProcessNoClue routes a packet that arrived without a clue (from a legacy
+// router, §5.3): a plain full lookup.
+func (t *Table) ProcessNoClue(dest ip.Addr, c *mem.Counter) Result {
+	return t.fullLookup(dest, c, OutcomeNoClue)
+}
+
+// Process routes a packet that arrived with clue length clueLen, following
+// the receive procedure of Figure 5. The clue-table probe costs one memory
+// reference (the paper's minimum: "each IP lookup requires at least looking
+// up the clue in the clues table"); comparing the stored clue against the
+// packet's is free ("a check that can be done very fast in hardware or one
+// assembly instruction").
+func (t *Table) Process(dest ip.Addr, clueLen int, c *mem.Counter) Result {
+	clue := ip.DecodeClue(dest, clueLen)
+	c.Add(1) // the clue-table reference
+	e, ok := t.entries[clue]
+	if !ok {
+		// Never saw this clue: route by full lookup, then learn it.
+		if t.cfg.Learn {
+			t.entries[clue] = t.newEntry(clue)
+			t.noteClue(clue)
+			t.learned++
+		}
+		return t.fullLookup(dest, c, OutcomeMiss)
+	}
+	if !e.valid {
+		return t.fullLookup(dest, c, OutcomeInvalid)
+	}
+	return processEntry(e, dest, c)
+}
+
+// processEntry applies a clue entry to a destination: FD when Ptr is
+// Empty, otherwise the restricted search with FD as the fallback.
+func processEntry(e *Entry, dest ip.Addr, c *mem.Counter) Result {
+	if e.ptr == nil {
+		return Result{Prefix: e.fd.prefix, Value: e.fd.value, OK: e.fd.ok, Outcome: OutcomeFD}
+	}
+	if p, v, ok := e.ptr.Lookup(dest, c); ok {
+		return Result{Prefix: p, Value: v, OK: true, Outcome: OutcomeResumeHit}
+	}
+	return Result{Prefix: e.fd.prefix, Value: e.fd.value, OK: e.fd.ok, Outcome: OutcomeResumeFD}
+}
+
+// FinalFraction returns the fraction of entries whose Ptr is Empty — the
+// Claim-1 coverage the paper reports as 95–99.5% for the Advance method.
+func (t *Table) FinalFraction() float64 {
+	if len(t.entries) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range t.entries {
+		if e.Final() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.entries))
+}
+
+// SpaceModel returns the §3.5 size model for this table under the paper's
+// SDRAM assumptions (three 4-byte fields per entry, 32-byte lines).
+func (t *Table) SpaceModel() mem.TableModel {
+	return mem.TableModel{Entries: len(t.entries), EntryBytes: 12, LineBytes: 32}
+}
+
+// CountProblematic counts the clues in the given set for which Claim 1
+// does not hold at the receiver — the paper's Table 2 ("problematic
+// clues"). local is the receiver's trie, sender the membership predicate
+// of the sending router's prefixes.
+func CountProblematic(local *trie.Trie, clues []ip.Prefix, sender func(ip.Prefix) bool) int {
+	n := 0
+	for _, c := range clues {
+		if !local.Claim1Holds(local.Find(c), sender) {
+			n++
+		}
+	}
+	return n
+}
+
+// IndexedTable is the §3.3.1 indexing flavor: the sender enumerates its
+// clues and ships a 16-bit index alongside the 5-bit clue, and the
+// receiver's table is a plain array — no hash function at all. On an index
+// whose slot holds a different clue, the slot is overwritten with the new
+// clue ("inherently robust while still not requiring any
+// pre-synchronization").
+type IndexedTable struct {
+	cfg   Config
+	slots []*Entry
+}
+
+// NewIndexedTable creates an indexed clue table with the given number of
+// slots (the paper assumes at most 64K clues per neighbor pair).
+func NewIndexedTable(cfg Config, slots int) (*IndexedTable, error) {
+	if slots <= 0 || slots > 1<<16 {
+		return nil, fmt.Errorf("core: slot count %d outside (0, 65536]", slots)
+	}
+	if cfg.Engine == nil || cfg.Local == nil {
+		return nil, errors.New("core: Config.Engine and Config.Local are required")
+	}
+	if cfg.Method == Advance && cfg.Sender == nil {
+		return nil, errors.New("core: the Advance method requires Config.Sender")
+	}
+	return &IndexedTable{cfg: cfg, slots: make([]*Entry, slots)}, nil
+}
+
+// Slots returns the capacity of the table.
+func (t *IndexedTable) Slots() int { return len(t.slots) }
+
+// Process routes a packet carrying (clue, index). The single array read
+// costs one reference; a clue mismatch triggers a full lookup and the slot
+// is relearned.
+func (t *IndexedTable) Process(dest ip.Addr, clueLen, index int, c *mem.Counter) Result {
+	clue := ip.DecodeClue(dest, clueLen)
+	c.Add(1) // the sequential-table reference
+	if index < 0 || index >= len(t.slots) {
+		p, v, ok := t.cfg.Engine.Lookup(dest, c)
+		return Result{Prefix: p, Value: v, OK: ok, Outcome: OutcomeMiss}
+	}
+	e := t.slots[index]
+	if e == nil || e.clue != clue {
+		// New or reassigned index: overwrite the slot (learning).
+		t.slots[index] = buildEntry(t.cfg, clue)
+		p, v, ok := t.cfg.Engine.Lookup(dest, c)
+		return Result{Prefix: p, Value: v, OK: ok, Outcome: OutcomeMiss}
+	}
+	return processEntry(e, dest, c)
+}
+
+// Indexer is the sender side of the indexing technique: R1 sequentially
+// enumerates the clues it sends to a particular neighbor.
+type Indexer struct {
+	idx   map[ip.Prefix]int
+	owner []ip.Prefix // slot -> clue currently holding it
+	used  []bool
+	next  int
+}
+
+// NewIndexer creates an indexer with the given index space (≤ 64K).
+func NewIndexer(capacity int) *Indexer {
+	return &Indexer{
+		idx:   make(map[ip.Prefix]int),
+		owner: make([]ip.Prefix, capacity),
+		used:  make([]bool, capacity),
+	}
+}
+
+// IndexFor returns the index for a clue, assigning the next index in
+// sequence to a new clue. When the space is exhausted, indices wrap and
+// old clues are evicted (the receiver's overwrite rule keeps this correct,
+// at the cost of a miss on the evicted clue's next packet).
+func (x *Indexer) IndexFor(clue ip.Prefix) int {
+	if i, ok := x.idx[clue]; ok {
+		return i
+	}
+	i := x.next
+	x.next = (x.next + 1) % len(x.owner)
+	if x.used[i] {
+		delete(x.idx, x.owner[i])
+	}
+	x.owner[i] = clue
+	x.used[i] = true
+	x.idx[clue] = i
+	return i
+}

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+func randomPrefixes(rng *rand.Rand, n int, mask uint32) []ip.Prefix {
+	out := make([]ip.Prefix, 0, n)
+	for len(out) < n {
+		a := ip.AddrFrom32(rng.Uint32() & mask)
+		out = append(out, ip.PrefixFrom(a, rng.Intn(33)))
+	}
+	return out
+}
+
+func buildTrie(ps []ip.Prefix) *trie.Trie {
+	t := trie.New(ip.IPv4)
+	for i, p := range ps {
+		t.Insert(p, i)
+	}
+	return t
+}
+
+// neighborPair builds a sender/receiver trie pair with substantial overlap.
+func neighborPair(rng *rand.Rand, n int) (t1, t2 *trie.Trie) {
+	t1ps := randomPrefixes(rng, n, 0x3F0F00FF)
+	t2ps := randomPrefixes(rng, n, 0x3F0F00FF)
+	copy(t2ps[:n/2], t1ps[:n/2])
+	return buildTrie(t1ps), buildTrie(t2ps)
+}
+
+func TestNewTableValidation(t *testing.T) {
+	tr := buildTrie(nil)
+	eng := lookup.NewRegular(tr)
+	if _, err := NewTable(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := NewTable(Config{Method: Advance, Engine: eng, Local: tr}); err == nil {
+		t.Error("Advance without Sender should fail")
+	}
+	if _, err := NewTable(Config{Method: Advance, Engine: eng, Local: tr, Sender: NoSenderInfo}); err != nil {
+		t.Errorf("Advance with NoSenderInfo: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewTable should panic on bad config")
+		}
+	}()
+	MustNewTable(Config{})
+}
+
+// Property: clue-assisted processing equals direct lookup for every engine
+// and both methods, with learning on the fly — including the first (miss)
+// packet of every clue.
+func TestQuickProcessEqualsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		t1, t2 := neighborPair(rng, 80)
+		inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+		for _, eng := range lookup.All(t2) {
+			for _, method := range []Method{Simple, Advance} {
+				tab := MustNewTable(Config{Method: method, Engine: eng, Local: t2, Sender: inT1, Learn: true})
+				seen := make(map[ip.Prefix]bool)
+				for i := 0; i < 200; i++ {
+					a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+					s, _, ok := t1.Lookup(a, nil)
+					if !ok {
+						continue
+					}
+					wp, wv, wok := t2.Lookup(a, nil)
+					// Process the same packet twice: once learning (miss),
+					// once hitting the learned entry.
+					for pass := 0; pass < 2; pass++ {
+						res := tab.Process(a, s.Clue(), nil)
+						if res.OK != wok || (res.OK && (res.Prefix != wp || res.Value != wv)) {
+							t.Fatalf("trial %d %v+%s pass %d dest %v clue %v: got %v/%d/%v want %v/%d/%v (outcome %v)",
+								trial, method, eng.Name(), pass, a, s, res.Prefix, res.Value, res.OK, wp, wv, wok, res.Outcome)
+						}
+						if pass == 0 && !seen[s] && res.Outcome != OutcomeMiss {
+							t.Fatalf("first packet of clue %v outcome = %v, want miss", s, res.Outcome)
+						}
+						if pass == 1 && (res.Outcome == OutcomeMiss || res.Outcome == OutcomeNoClue) {
+							t.Fatalf("second packet outcome = %v, want table hit", res.Outcome)
+						}
+					}
+					seen[s] = true
+				}
+				if tab.Learned() != tab.Len() {
+					t.Fatalf("Learned %d != Len %d", tab.Learned(), tab.Len())
+				}
+			}
+		}
+	}
+}
+
+// quick.Check form of the central invariant: for arbitrary seeds, the
+// clue-assisted answer equals the direct lookup (Advance + Patricia; the
+// exhaustive engine × method grid is covered above).
+func TestQuickCheckProcessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		t1, t2 := neighborPair(rng, 50)
+		inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+		tab := MustNewTable(Config{
+			Method: Advance, Engine: lookup.NewPatricia(t2), Local: t2, Sender: inT1, Learn: true,
+		})
+		for i := 0; i < 60; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+			s, _, ok := t1.Lookup(a, nil)
+			if !ok {
+				continue
+			}
+			wp, wv, wok := t2.Lookup(a, nil)
+			res := tab.Process(a, s.Clue(), nil)
+			if res.OK != wok || (res.OK && (res.Prefix != wp || res.Value != wv)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The Simple method is sound for ANY clue that is a prefix of the
+// destination — even a garbage length (robustness, §3 and §5.3): the
+// answer must always equal the direct lookup.
+func TestQuickSimpleRobustToArbitraryClues(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	_, t2 := neighborPair(rng, 100)
+	for _, eng := range lookup.All(t2) {
+		tab := MustNewTable(Config{Method: Simple, Engine: eng, Local: t2, Learn: true})
+		for i := 0; i < 500; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+			clueLen := rng.Intn(33) // arbitrary, possibly nonsensical clue
+			wp, wv, wok := t2.Lookup(a, nil)
+			res := tab.Process(a, clueLen, nil)
+			if res.OK != wok || (res.OK && (res.Prefix != wp || res.Value != wv)) {
+				t.Fatalf("%s clueLen %d dest %v: got %v/%d/%v want %v/%d/%v",
+					eng.Name(), clueLen, a, res.Prefix, res.Value, res.OK, wp, wv, wok)
+			}
+			// Process again to exercise the learned-entry path too.
+			res = tab.Process(a, clueLen, nil)
+			if res.OK != wok || (res.OK && (res.Prefix != wp || res.Value != wv)) {
+				t.Fatalf("%s clueLen %d dest %v (hit): wrong answer", eng.Name(), clueLen, a)
+			}
+		}
+	}
+}
+
+// Identical neighboring tables: Claim 1 holds for every clue, so every
+// learned entry is final and every post-learning packet costs exactly one
+// memory reference — the paper's best case ("Then, router R2 performs IP
+// lookup for each packet arriving from R1 in one memory reference", §5.4).
+func TestAdvanceIdenticalTablesOneReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ps := randomPrefixes(rng, 150, 0x3F0F00FF)
+	t1, t2 := buildTrie(ps), buildTrie(ps)
+	inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+	eng := lookup.NewPatricia(t2)
+	tab := MustNewTable(Config{Method: Advance, Engine: eng, Local: t2, Sender: inT1, Learn: true})
+	for i := 0; i < 500; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		s, _, ok := t1.Lookup(a, nil)
+		if !ok {
+			continue
+		}
+		tab.Process(a, s.Clue(), nil) // learn
+		var c mem.Counter
+		res := tab.Process(a, s.Clue(), &c)
+		if res.Outcome != OutcomeFD {
+			t.Fatalf("identical tables: outcome %v, want fd", res.Outcome)
+		}
+		if c.Count() != 1 {
+			t.Fatalf("identical tables: cost %d, want 1", c.Count())
+		}
+	}
+	if tab.Len() > 0 && tab.FinalFraction() != 1.0 {
+		t.Errorf("FinalFraction = %v, want 1.0", tab.FinalFraction())
+	}
+}
+
+func TestPreprocessMatchesLearning(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	t1, t2 := neighborPair(rng, 60)
+	inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+	eng := lookup.NewBWay(t2)
+	clues := t1.Prefixes() // every sender prefix is a possible clue
+
+	pre := MustNewTable(Config{Method: Advance, Engine: eng, Local: t2, Sender: inT1})
+	pre.Preprocess(clues)
+	if pre.Len() != len(clues) {
+		t.Fatalf("Preprocess len = %d, want %d", pre.Len(), len(clues))
+	}
+	pre.Preprocess(clues) // idempotent
+	if pre.Len() != len(clues) {
+		t.Fatal("Preprocess not idempotent")
+	}
+
+	learn := MustNewTable(Config{Method: Advance, Engine: eng, Local: t2, Sender: inT1, Learn: true})
+	for i := 0; i < 300; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		s, _, ok := t1.Lookup(a, nil)
+		if !ok {
+			continue
+		}
+		learn.Process(a, s.Clue(), nil)
+		var cp, cl mem.Counter
+		rp := pre.Process(a, s.Clue(), &cp)
+		rl := learn.Process(a, s.Clue(), &cl)
+		if rp.Prefix != rl.Prefix || rp.OK != rl.OK || rp.Outcome != rl.Outcome || cp.Count() != cl.Count() {
+			t.Fatalf("preprocessed and learned disagree for %v: %+v/%d vs %+v/%d", a, rp, cp.Count(), rl, cl.Count())
+		}
+	}
+	if learn.Learned() == 0 || pre.Learned() != 0 {
+		t.Error("Learned counters wrong")
+	}
+}
+
+func TestNoLearnLeavesTableEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	_, t2 := neighborPair(rng, 40)
+	eng := lookup.NewRegular(t2)
+	tab := MustNewTable(Config{Method: Simple, Engine: eng, Local: t2})
+	a := ip.MustParseAddr("10.1.2.3")
+	res := tab.Process(a, 8, nil)
+	if res.Outcome != OutcomeMiss || tab.Len() != 0 {
+		t.Errorf("no-learn: outcome %v len %d", res.Outcome, tab.Len())
+	}
+}
+
+func TestInvalidateRevalidate(t *testing.T) {
+	t2 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8"), ip.MustParsePrefix("10.1.0.0/16")})
+	eng := lookup.NewRegular(t2)
+	tab := MustNewTable(Config{Method: Simple, Engine: eng, Local: t2, Learn: true})
+	a := ip.MustParseAddr("10.1.2.3")
+	tab.Process(a, 8, nil) // learn clue 10.0.0.0/8
+	clue := ip.MustParsePrefix("10.0.0.0/8")
+	if tab.Entry(clue) == nil {
+		t.Fatal("entry not learned")
+	}
+	if !tab.Invalidate(clue) {
+		t.Fatal("Invalidate returned false")
+	}
+	res := tab.Process(a, 8, nil)
+	if res.Outcome != OutcomeInvalid || !res.OK || res.Prefix.Len() != 16 {
+		t.Errorf("invalid entry: %+v", res)
+	}
+	if tab.Len() != 1 {
+		t.Error("Invalidate must not remove the entry (stable hash)")
+	}
+	if !tab.Revalidate(clue) {
+		t.Fatal("Revalidate returned false")
+	}
+	res = tab.Process(a, 8, nil)
+	if res.Outcome == OutcomeInvalid {
+		t.Error("entry still invalid after Revalidate")
+	}
+	if tab.Invalidate(ip.MustParsePrefix("99.0.0.0/8")) || tab.Revalidate(ip.MustParsePrefix("99.0.0.0/8")) {
+		t.Error("Invalidate/Revalidate of unknown clue should return false")
+	}
+}
+
+func TestProcessNoClue(t *testing.T) {
+	t2 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8")})
+	eng := lookup.NewRegular(t2)
+	tab := MustNewTable(Config{Method: Simple, Engine: eng, Local: t2})
+	var c mem.Counter
+	res := tab.ProcessNoClue(ip.MustParseAddr("10.9.9.9"), &c)
+	if res.Outcome != OutcomeNoClue || !res.OK || res.Prefix.Len() != 8 {
+		t.Errorf("ProcessNoClue: %+v", res)
+	}
+	if c.Count() != 9 { // full Regular walk: root + 8 bits
+		t.Errorf("no-clue cost = %d, want 9", c.Count())
+	}
+}
+
+func TestIndexedTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	t1, t2 := neighborPair(rng, 60)
+	inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+	eng := lookup.NewPatricia(t2)
+	it, err := NewIndexedTable(Config{Method: Advance, Engine: eng, Local: t2, Sender: inT1}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Slots() != 1024 {
+		t.Fatalf("Slots = %d", it.Slots())
+	}
+	idx := NewIndexer(1024)
+	for i := 0; i < 400; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		s, _, ok := t1.Lookup(a, nil)
+		if !ok {
+			continue
+		}
+		j := idx.IndexFor(s)
+		wp, _, wok := t2.Lookup(a, nil)
+		for pass := 0; pass < 2; pass++ {
+			res := it.Process(a, s.Clue(), j, nil)
+			if res.OK != wok || (res.OK && res.Prefix != wp) {
+				t.Fatalf("indexed pass %d dest %v: got %v/%v want %v/%v", pass, a, res.Prefix, res.OK, wp, wok)
+			}
+			if pass == 1 && res.Outcome == OutcomeMiss {
+				t.Fatalf("second indexed packet missed")
+			}
+		}
+	}
+	// Out-of-range index falls back to a full lookup.
+	a := ip.MustParseAddr("10.0.0.1")
+	if res := it.Process(a, 8, -1, nil); res.Outcome != OutcomeMiss {
+		t.Error("negative index should be a miss")
+	}
+	if res := it.Process(a, 8, 99999, nil); res.Outcome != OutcomeMiss {
+		t.Error("overflow index should be a miss")
+	}
+}
+
+func TestIndexedTableValidation(t *testing.T) {
+	tr := buildTrie(nil)
+	eng := lookup.NewRegular(tr)
+	if _, err := NewIndexedTable(Config{Engine: eng, Local: tr}, 0); err == nil {
+		t.Error("0 slots should fail")
+	}
+	if _, err := NewIndexedTable(Config{Engine: eng, Local: tr}, 1<<17); err == nil {
+		t.Error("too many slots should fail")
+	}
+	if _, err := NewIndexedTable(Config{Method: Advance, Engine: eng, Local: tr}, 16); err == nil {
+		t.Error("Advance without sender should fail")
+	}
+	if _, err := NewIndexedTable(Config{}, 16); err == nil {
+		t.Error("missing engine should fail")
+	}
+}
+
+func TestIndexerEviction(t *testing.T) {
+	x := NewIndexer(2)
+	a := x.IndexFor(ip.MustParsePrefix("10.0.0.0/8"))
+	b := x.IndexFor(ip.MustParsePrefix("11.0.0.0/8"))
+	if a == b {
+		t.Fatal("two clues share an index")
+	}
+	if x.IndexFor(ip.MustParsePrefix("10.0.0.0/8")) != a {
+		t.Fatal("index not stable")
+	}
+	c := x.IndexFor(ip.MustParsePrefix("12.0.0.0/8")) // evicts the oldest (a)
+	if c != a {
+		t.Fatalf("wrap: got %d, want %d", c, a)
+	}
+	// The evicted clue gets a fresh index on return.
+	d := x.IndexFor(ip.MustParsePrefix("10.0.0.0/8"))
+	if d != b {
+		t.Fatalf("re-add after eviction: got %d, want %d", d, b)
+	}
+}
+
+// naive problematic-clue count cross-check.
+func TestCountProblematic(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	t1, t2 := neighborPair(rng, 80)
+	inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+	clues := t1.Prefixes()
+	got := CountProblematic(t2, clues, inT1)
+	want := 0
+	for _, c := range clues {
+		node := t2.Find(c)
+		if node != nil && len(t2.Candidates(node, inT1)) > 0 {
+			want++
+		}
+	}
+	if got != want {
+		t.Errorf("CountProblematic = %d, want %d", got, want)
+	}
+	if got == 0 {
+		t.Log("warning: randomly generated pair had no problematic clues")
+	}
+}
+
+func TestSpaceModel(t *testing.T) {
+	t2 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8")})
+	eng := lookup.NewRegular(t2)
+	tab := MustNewTable(Config{Method: Simple, Engine: eng, Local: t2, Learn: true})
+	tab.Process(ip.MustParseAddr("10.0.0.1"), 8, nil)
+	m := tab.SpaceModel()
+	if m.Entries != 1 || m.EntryBytes != 12 || m.LineBytes != 32 {
+		t.Errorf("SpaceModel = %+v", m)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomeFD: "fd", OutcomeResumeHit: "resume-hit", OutcomeResumeFD: "resume-fd",
+		OutcomeMiss: "miss", OutcomeInvalid: "invalid", OutcomeNoClue: "no-clue",
+	} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+	if Simple.String() != "Simple" || Advance.String() != "Advance" {
+		t.Error("Method.String wrong")
+	}
+}

@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// The receive procedure of the paper's Figure 5: probe the clue table,
+// answer from FD when the entry is final, otherwise continue the search
+// below the clue.
+func ExampleTable_Process() {
+	// The sending neighbor's table (R1) and the local table (R2).
+	t1 := trie.New(ip.IPv4)
+	t1.Insert(ip.MustParsePrefix("10.0.0.0/8"), 0)
+	t1.Insert(ip.MustParsePrefix("10.1.0.0/16"), 0)
+
+	t2 := trie.New(ip.IPv4)
+	t2.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	t2.Insert(ip.MustParsePrefix("10.1.0.0/16"), 2)
+	t2.Insert(ip.MustParsePrefix("10.1.2.0/24"), 3) // local-only specific
+
+	tab := core.MustNewTable(core.Config{
+		Method: core.Advance,
+		Engine: lookup.NewPatricia(t2),
+		Local:  t2,
+		Sender: t1.Contains,
+		Learn:  true,
+	})
+
+	dest := ip.MustParseAddr("10.1.2.9")
+	clue, _, _ := t1.Lookup(dest, nil) // R1's BMP becomes the clue
+
+	tab.Process(dest, clue.Clue(), nil) // first packet learns the entry
+	var refs mem.Counter
+	res := tab.Process(dest, clue.Clue(), &refs)
+	fmt.Printf("%v (%v, %d refs)\n", res.Prefix, res.Outcome, refs.Count())
+
+	// A destination with no longer match at R2: the FD decides in one
+	// reference.
+	flat := ip.MustParseAddr("10.200.0.1")
+	clue, _, _ = t1.Lookup(flat, nil)
+	tab.Process(flat, clue.Clue(), nil)
+	refs.Reset()
+	res = tab.Process(flat, clue.Clue(), &refs)
+	fmt.Printf("%v (%v, %d refs)\n", res.Prefix, res.Outcome, refs.Count())
+	// Output:
+	// 10.1.2.0/24 (resume-hit, 3 refs)
+	// 10.0.0.0/8 (fd, 1 refs)
+}
+
+// Claim 1 of the paper, evaluated directly: the clue 10.0.0.0/8 is final
+// when every receiver prefix below it sits behind a sender prefix.
+func ExampleCountProblematic() {
+	sender := trie.New(ip.IPv4)
+	sender.Insert(ip.MustParsePrefix("10.0.0.0/8"), 0)
+	sender.Insert(ip.MustParsePrefix("20.0.0.0/8"), 0)
+
+	receiver := trie.New(ip.IPv4)
+	receiver.Insert(ip.MustParsePrefix("10.0.0.0/8"), 0)
+	receiver.Insert(ip.MustParsePrefix("20.0.0.0/8"), 0)
+	receiver.Insert(ip.MustParsePrefix("20.1.0.0/16"), 0) // receiver-only specific
+
+	clues := []ip.Prefix{ip.MustParsePrefix("10.0.0.0/8"), ip.MustParsePrefix("20.0.0.0/8")}
+	fmt.Println(core.CountProblematic(receiver, clues, sender.Contains), "problematic clue(s)")
+	// Output:
+	// 1 problematic clue(s)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// NeighborInfo describes one sending neighbor for the §3.4 combined-table
+// variants: its name, the membership predicate of its prefixes (for Claim
+// 1), and the set of clues it may send (its prefixes routed via this
+// router).
+type NeighborInfo struct {
+	Name   string
+	Sender func(ip.Prefix) bool
+	Clues  []ip.Prefix
+}
+
+// BitmapTable is the §3.4 "Bit Map" variant: one union table over all
+// neighbors; each entry carries a d-bit map with bit j set when the clue
+// directly implies the BMP for packets from neighbor j (Claim 1 holds for
+// that sender). "Notice that if the clue implies the BMP for several
+// routers, then it implies the same BMP to all of them" — so one FD field
+// suffices. When the bit is clear, the search continues from the shared
+// (sender-independent) resume point below the clue.
+type BitmapTable struct {
+	neighbors []string
+	entries   map[ip.Prefix]*bitmapEntry
+}
+
+type bitmapEntry struct {
+	fd    decision
+	final uint64 // bit j: final for neighbor j
+	ptr   lookup.Resume
+}
+
+// NewBitmapTable builds the union table. At most 64 neighbors are
+// supported (one bit each; real routers have far fewer).
+func NewBitmapTable(engine lookup.ClueEngine, local *trie.Trie, neighbors []NeighborInfo) (*BitmapTable, error) {
+	if len(neighbors) > 64 {
+		return nil, errors.New("core: BitmapTable supports at most 64 neighbors")
+	}
+	t := &BitmapTable{entries: make(map[ip.Prefix]*bitmapEntry)}
+	union := make(map[ip.Prefix]bool)
+	for _, nb := range neighbors {
+		t.neighbors = append(t.neighbors, nb.Name)
+		for _, c := range nb.Clues {
+			union[c] = true
+		}
+	}
+	for c := range union {
+		e := &bitmapEntry{}
+		fp, fv, fok := local.BMPOf(c)
+		e.fd = decision{prefix: fp, value: fv, ok: fok}
+		node := local.Find(c)
+		for j, nb := range neighbors {
+			if node == nil || local.Claim1Holds(node, nb.Sender) {
+				e.final |= 1 << uint(j)
+			}
+		}
+		if node != nil && e.final != (uint64(1)<<uint(len(neighbors)))-1 {
+			e.ptr = engine.CompileResume(c, nil)
+		}
+		t.entries[c] = e
+	}
+	return t, nil
+}
+
+// Len returns the number of union entries.
+func (t *BitmapTable) Len() int { return len(t.entries) }
+
+// Process routes a packet with clue length clueLen arriving from neighbor
+// j. One reference probes the union table; the j-th bit then selects FD or
+// the continued search.
+func (t *BitmapTable) Process(dest ip.Addr, clueLen, j int, c *mem.Counter, full lookup.Engine) Result {
+	clue := ip.DecodeClue(dest, clueLen)
+	c.Add(1)
+	e, ok := t.entries[clue]
+	if !ok {
+		p, v, okk := full.Lookup(dest, c)
+		return Result{Prefix: p, Value: v, OK: okk, Outcome: OutcomeMiss}
+	}
+	if e.final&(1<<uint(j)) != 0 || e.ptr == nil {
+		return Result{Prefix: e.fd.prefix, Value: e.fd.value, OK: e.fd.ok, Outcome: OutcomeFD}
+	}
+	if p, v, okk := e.ptr.Lookup(dest, c); okk {
+		return Result{Prefix: p, Value: v, OK: true, Outcome: OutcomeResumeHit}
+	}
+	return Result{Prefix: e.fd.prefix, Value: e.fd.value, OK: e.fd.ok, Outcome: OutcomeResumeFD}
+}
+
+// SpaceModel returns the size model for the union table (entries carry an
+// extra 8-byte bit map on top of the three 4-byte fields).
+func (t *BitmapTable) SpaceModel() mem.TableModel {
+	return mem.TableModel{Entries: len(t.entries), EntryBytes: 20, LineBytes: 32}
+}
+
+// SubTables is the §3.4 "Sub-tables" variant: one common table holds the
+// clues that behave identically for every neighbor that may send them
+// (final everywhere, or searched everywhere), and a small specific table
+// per neighbor holds the rest with full per-neighbor Advance treatment.
+// An arriving clue is looked up in the common table and, on a miss, in the
+// sender's specific table — at most two references before the decision.
+type SubTables struct {
+	common   map[ip.Prefix]*Entry
+	specific []map[ip.Prefix]*Entry // per neighbor
+	names    []string
+}
+
+// NewSubTables builds the common and specific tables.
+func NewSubTables(engine lookup.ClueEngine, local *trie.Trie, neighbors []NeighborInfo) *SubTables {
+	t := &SubTables{common: make(map[ip.Prefix]*Entry)}
+	senders := make(map[ip.Prefix][]int) // clue -> neighbor indices that may send it
+	for j, nb := range neighbors {
+		t.names = append(t.names, nb.Name)
+		t.specific = append(t.specific, make(map[ip.Prefix]*Entry))
+		for _, c := range nb.Clues {
+			senders[c] = append(senders[c], j)
+		}
+	}
+	for c, js := range senders {
+		node := local.Find(c)
+		allFinal, anyFinal := true, false
+		for _, j := range js {
+			if node == nil || local.Claim1Holds(node, neighbors[j].Sender) {
+				anyFinal = true
+			} else {
+				allFinal = false
+			}
+		}
+		fp, fv, fok := local.BMPOf(c)
+		fd := decision{prefix: fp, value: fv, ok: fok}
+		switch {
+		case allFinal:
+			t.common[c] = &Entry{clue: c, fd: fd, valid: true}
+		case !anyFinal:
+			// Searched from the same point for every sender.
+			t.common[c] = &Entry{clue: c, fd: fd, ptr: engine.CompileResume(c, nil), valid: true}
+		default:
+			// Mixed behavior: per-neighbor specific entries with full
+			// Advance treatment.
+			for _, j := range js {
+				cfg := Config{Method: Advance, Engine: engine, Local: local, Sender: neighbors[j].Sender}
+				t.specific[j][c] = buildEntry(cfg, c)
+			}
+		}
+	}
+	return t
+}
+
+// CommonLen returns the size of the common table.
+func (t *SubTables) CommonLen() int { return len(t.common) }
+
+// SpecificLen returns the size of neighbor j's specific table.
+func (t *SubTables) SpecificLen(j int) int { return len(t.specific[j]) }
+
+// Process routes a packet with clue length clueLen from neighbor j: probe
+// the common table (one reference), then the specific table (a second
+// reference) on a miss.
+func (t *SubTables) Process(dest ip.Addr, clueLen, j int, c *mem.Counter, full lookup.Engine) Result {
+	clue := ip.DecodeClue(dest, clueLen)
+	c.Add(1)
+	if e, ok := t.common[clue]; ok {
+		return processEntry(e, dest, c)
+	}
+	c.Add(1)
+	if e, ok := t.specific[j][clue]; ok {
+		return processEntry(e, dest, c)
+	}
+	p, v, ok := full.Lookup(dest, c)
+	return Result{Prefix: p, Value: v, OK: ok, Outcome: OutcomeMiss}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// threeNeighbors builds a receiver and three overlapping sender tables.
+func threeNeighbors(rng *rand.Rand, n int) (t2 *trie.Trie, senders []*trie.Trie, infos []NeighborInfo) {
+	base := randomPrefixes(rng, n, 0x3F0F00FF)
+	t2 = buildTrie(base)
+	names := []string{"A", "B", "C"}
+	for k := 0; k < 3; k++ {
+		ps := randomPrefixes(rng, n, 0x3F0F00FF)
+		copy(ps[:n/2], base[:n/2])
+		s := buildTrie(ps)
+		senders = append(senders, s)
+		st := s // capture
+		infos = append(infos, NeighborInfo{
+			Name:   names[k],
+			Sender: func(p ip.Prefix) bool { return st.Contains(p) },
+			Clues:  s.Prefixes(),
+		})
+	}
+	return t2, senders, infos
+}
+
+func TestBitmapTableCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	t2, senders, infos := threeNeighbors(rng, 60)
+	eng := lookup.NewPatricia(t2)
+	bt, err := NewBitmapTable(eng, t2, infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Len() == 0 {
+		t.Fatal("empty bitmap table")
+	}
+	for i := 0; i < 600; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		j := rng.Intn(3)
+		s, _, ok := senders[j].Lookup(a, nil)
+		if !ok {
+			continue
+		}
+		wp, _, wok := t2.Lookup(a, nil)
+		res := bt.Process(a, s.Clue(), j, nil, eng)
+		if res.OK != wok || (res.OK && res.Prefix != wp) {
+			t.Fatalf("bitmap neighbor %d dest %v clue %v: got %v/%v want %v/%v (outcome %v)",
+				j, a, s, res.Prefix, res.OK, wp, wok, res.Outcome)
+		}
+	}
+	if bt.SpaceModel().EntryBytes != 20 {
+		t.Error("bitmap entries should carry the extra bit map bytes")
+	}
+}
+
+func TestBitmapTableTooManyNeighbors(t *testing.T) {
+	t2 := buildTrie(nil)
+	eng := lookup.NewRegular(t2)
+	infos := make([]NeighborInfo, 65)
+	if _, err := NewBitmapTable(eng, t2, infos); err == nil {
+		t.Error("65 neighbors should fail")
+	}
+}
+
+func TestSubTablesCorrectnessAndSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	t2, senders, infos := threeNeighbors(rng, 60)
+	eng := lookup.NewPatricia(t2)
+	st := NewSubTables(eng, t2, infos)
+	union := make(map[ip.Prefix]bool)
+	for _, nb := range infos {
+		for _, c := range nb.Clues {
+			union[c] = true
+		}
+	}
+	total := st.CommonLen()
+	perNeighbor := 0
+	for j := range infos {
+		perNeighbor += st.SpecificLen(j)
+	}
+	if total == 0 {
+		t.Fatal("empty common table")
+	}
+	if total > len(union) {
+		t.Fatalf("common table larger than the clue union: %d > %d", total, len(union))
+	}
+	t.Logf("common=%d specific(total)=%d union=%d", total, perNeighbor, len(union))
+
+	var cost mem.Counter
+	packets := 0
+	for i := 0; i < 800; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		j := rng.Intn(3)
+		s, _, ok := senders[j].Lookup(a, nil)
+		if !ok {
+			continue
+		}
+		wp, _, wok := t2.Lookup(a, nil)
+		res := st.Process(a, s.Clue(), j, &cost, eng)
+		packets++
+		if res.OK != wok || (res.OK && res.Prefix != wp) {
+			t.Fatalf("subtables neighbor %d dest %v: got %v/%v want %v/%v", j, a, res.Prefix, res.OK, wp, wok)
+		}
+	}
+	if packets == 0 {
+		t.Fatal("no packets exercised")
+	}
+}
+
+// With identical sender tables, every clue behaves identically and the
+// specific tables must be empty.
+func TestSubTablesAllCommonWhenSendersIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ps := randomPrefixes(rng, 50, 0x3F0F00FF)
+	t2 := buildTrie(ps)
+	s := buildTrie(ps)
+	sender := func(p ip.Prefix) bool { return s.Contains(p) }
+	infos := []NeighborInfo{
+		{Name: "A", Sender: sender, Clues: s.Prefixes()},
+		{Name: "B", Sender: sender, Clues: s.Prefixes()},
+	}
+	eng := lookup.NewRegular(t2)
+	st := NewSubTables(eng, t2, infos)
+	if st.SpecificLen(0) != 0 || st.SpecificLen(1) != 0 {
+		t.Errorf("specific tables not empty: %d %d", st.SpecificLen(0), st.SpecificLen(1))
+	}
+	if st.CommonLen() != s.Size() {
+		t.Errorf("common = %d, want %d", st.CommonLen(), s.Size())
+	}
+}
+
+func TestMultiNeighborMiss(t *testing.T) {
+	t2 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8")})
+	eng := lookup.NewRegular(t2)
+	infos := []NeighborInfo{{Name: "A", Sender: NoSenderInfo, Clues: nil}}
+	bt, _ := NewBitmapTable(eng, t2, infos)
+	st := NewSubTables(eng, t2, infos)
+	a := ip.MustParseAddr("10.1.1.1")
+	if res := bt.Process(a, 8, 0, nil, eng); res.Outcome != OutcomeMiss || !res.OK {
+		t.Errorf("bitmap miss: %+v", res)
+	}
+	if res := st.Process(a, 8, 0, nil, eng); res.Outcome != OutcomeMiss || !res.OK {
+		t.Errorf("subtables miss: %+v", res)
+	}
+}

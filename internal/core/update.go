@@ -1,0 +1,112 @@
+package core
+
+import (
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/trie"
+)
+
+// Route-change maintenance. The paper requires it in two places: "placing
+// the next hop in the clues table requires updating the table upon changes
+// in the routes" (§3.1) and §3.4's suggestion to keep the hash stable by
+// never removing clues, only recomputing them ("inactivating or activating
+// a clue requires, in the Advance method, updates of other fields in the
+// clues table").
+//
+// A change of prefix p — at the receiver or at the sender — can only
+// affect clue entries comparable with p: ancestors of p (their subtree
+// gained or lost a vertex, so their Ptr/candidates change) and descendants
+// of p (their FD is the BMP of a string that p may now shadow or expose).
+// Ancestor clues are found by probing the entry map with every truncation
+// of p (at most W probes); descendant clues are enumerated from a shadow
+// trie of the table's clue set maintained on learning/preprocessing.
+
+// clueIndex returns the shadow trie of clues, building it on first use
+// (tables created before any update call pay nothing).
+func (t *Table) clueIndex() *trie.Trie {
+	if t.clues == nil {
+		t.clues = trie.New(t.cfg.Local.Family())
+		for c := range t.entries {
+			t.clues.Insert(c, 0)
+		}
+	}
+	return t.clues
+}
+
+// noteClue records a newly learned/preprocessed clue in the shadow trie
+// if it exists.
+func (t *Table) noteClue(c ip.Prefix) {
+	if t.clues != nil {
+		t.clues.Insert(c, 0)
+	}
+}
+
+// SetEngine swaps the lookup engine. Compiled engines (Patricia, Binary,
+// 6-way, Log W, Multibit) snapshot the forwarding table at build time, so
+// after a route change the router rebuilds the engine and swaps it in
+// before recomputing the affected entries; the Regular engine shares the
+// live trie and needs no swap.
+func (t *Table) SetEngine(e lookup.ClueEngine) { t.cfg.Engine = e }
+
+// affected collects the clue entries comparable with p: every entry whose
+// clue is an ancestor-or-self of p, plus every entry whose clue is a
+// strict descendant of p.
+func (t *Table) affected(p ip.Prefix) []ip.Prefix {
+	var out []ip.Prefix
+	for l := 0; l <= p.Len(); l++ {
+		c := p.Truncate(l)
+		if _, ok := t.entries[c]; ok {
+			out = append(out, c)
+		}
+	}
+	idx := t.clueIndex()
+	if node := idx.Find(p); node != nil {
+		for _, n := range idx.Candidates(node, NoSenderInfo) {
+			if _, ok := t.entries[n.Prefix()]; ok {
+				out = append(out, n.Prefix())
+			}
+		}
+	}
+	return out
+}
+
+// UpdateLocal recomputes the entries affected by a change (addition,
+// removal or next-hop change) of prefix p in the receiving router's own
+// table. Call it after applying the change to the Local trie and after
+// SetEngine (if the engine is a compiled one). It returns the number of
+// entries recomputed.
+func (t *Table) UpdateLocal(p ip.Prefix) int {
+	return t.recompute(t.affected(p))
+}
+
+// UpdateSender recomputes the entries affected by a change of prefix p in
+// the SENDING router's table. Only the Advance method consults the sender
+// (Claim 1), so Simple tables return 0 without work. The Sender predicate
+// must already reflect the change.
+func (t *Table) UpdateSender(p ip.Prefix) int {
+	if t.cfg.Method != Advance {
+		return 0
+	}
+	return t.recompute(t.affected(p))
+}
+
+// RefreshAll recomputes every entry — the batch fallback after a change
+// too large to track incrementally (e.g. a full table swap).
+func (t *Table) RefreshAll() int {
+	all := make([]ip.Prefix, 0, len(t.entries))
+	for c := range t.entries {
+		all = append(all, c)
+	}
+	return t.recompute(all)
+}
+
+func (t *Table) recompute(clues []ip.Prefix) int {
+	for _, c := range clues {
+		e := t.newEntry(c)
+		if old := t.entries[c]; old != nil && !old.valid {
+			e.valid = false // preserve explicit invalidation
+		}
+		t.entries[c] = e
+	}
+	return len(clues)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+)
+
+// TestUpdateLocalNecessaryAndSufficient shows a stale table gives a wrong
+// answer and UpdateLocal repairs exactly that.
+func TestUpdateLocalNecessaryAndSufficient(t *testing.T) {
+	t1 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8")})
+	t2 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8")})
+	inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+	eng := lookup.NewRegular(t2) // shares the live trie
+	tab := MustNewTable(Config{Method: Advance, Engine: eng, Local: t2, Sender: inT1, Learn: true})
+
+	dest := ip.MustParseAddr("10.1.2.3")
+	tab.Process(dest, 8, nil) // learn clue 10/8; tables identical -> final
+
+	// A new customer route appears at the receiver only.
+	newRoute := ip.MustParsePrefix("10.1.0.0/16")
+	t2.Insert(newRoute, 77)
+
+	// Without an update the entry is stale: it still answers /8.
+	res := tab.Process(dest, 8, nil)
+	if res.Prefix.Len() != 8 {
+		t.Fatalf("expected the stale answer before UpdateLocal, got %v", res.Prefix)
+	}
+	// UpdateLocal repairs it.
+	if n := tab.UpdateLocal(newRoute); n == 0 {
+		t.Fatal("UpdateLocal found no affected entries")
+	}
+	res = tab.Process(dest, 8, nil)
+	if res.Prefix != newRoute || res.Value != 77 {
+		t.Fatalf("after UpdateLocal: %+v, want the /16", res)
+	}
+
+	// Withdraw the route again: entries must revert.
+	t2.Delete(newRoute)
+	if n := tab.UpdateLocal(newRoute); n == 0 {
+		t.Fatal("UpdateLocal after withdraw found nothing")
+	}
+	res = tab.Process(dest, 8, nil)
+	if res.Prefix.Len() != 8 {
+		t.Fatalf("after withdraw: %+v, want the /8", res)
+	}
+}
+
+func TestUpdateSenderChangesFinality(t *testing.T) {
+	// Receiver has a /16 under the clue /8; sender initially lacks it, so
+	// the clue is problematic (case 3). When the sender gains the /16,
+	// Claim 1 starts to hold and the entry becomes final.
+	t1 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8")})
+	t2 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8"), ip.MustParsePrefix("10.1.0.0/16")})
+	inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+	eng := lookup.NewRegular(t2)
+	tab := MustNewTable(Config{Method: Advance, Engine: eng, Local: t2, Sender: inT1, Learn: true})
+	clue8 := ip.MustParsePrefix("10.0.0.0/8")
+	tab.Process(ip.MustParseAddr("10.9.9.9"), 8, nil) // learn
+	if tab.Entry(clue8).Final() {
+		t.Fatal("entry should not be final while the sender lacks the /16")
+	}
+	t1.Insert(ip.MustParsePrefix("10.1.0.0/16"), 1)
+	if n := tab.UpdateSender(ip.MustParsePrefix("10.1.0.0/16")); n == 0 {
+		t.Fatal("UpdateSender found nothing")
+	}
+	if !tab.Entry(clue8).Final() {
+		t.Fatal("entry should be final after the sender gains the /16")
+	}
+	// Simple tables ignore sender changes entirely.
+	simple := MustNewTable(Config{Method: Simple, Engine: eng, Local: t2, Learn: true})
+	simple.Process(ip.MustParseAddr("10.9.9.9"), 8, nil)
+	if simple.UpdateSender(ip.MustParsePrefix("10.1.0.0/16")) != 0 {
+		t.Error("Simple UpdateSender should be a no-op")
+	}
+}
+
+func TestUpdatePreservesInvalidation(t *testing.T) {
+	t2 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8")})
+	eng := lookup.NewRegular(t2)
+	tab := MustNewTable(Config{Method: Simple, Engine: eng, Local: t2, Learn: true})
+	tab.Process(ip.MustParseAddr("10.1.1.1"), 8, nil)
+	clue := ip.MustParsePrefix("10.0.0.0/8")
+	tab.Invalidate(clue)
+	t2.Insert(ip.MustParsePrefix("10.1.0.0/16"), 5)
+	tab.UpdateLocal(ip.MustParsePrefix("10.1.0.0/16"))
+	if res := tab.Process(ip.MustParseAddr("10.1.1.1"), 8, nil); res.Outcome != OutcomeInvalid {
+		t.Errorf("invalidation lost across UpdateLocal: %v", res.Outcome)
+	}
+}
+
+// Property: under random route churn with incremental updates, the table
+// keeps answering exactly like the direct lookup.
+func TestQuickChurnStaysCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 12; trial++ {
+		t1, t2 := neighborPair(rng, 60)
+		inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+		eng := lookup.NewRegular(t2)
+		tab := MustNewTable(Config{Method: Advance, Engine: eng, Local: t2, Sender: inT1, Learn: true})
+
+		check := func(stage string) {
+			for i := 0; i < 80; i++ {
+				a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+				s, _, ok := t1.Lookup(a, nil)
+				if !ok {
+					continue
+				}
+				wp, wv, wok := t2.Lookup(a, nil)
+				res := tab.Process(a, s.Clue(), nil)
+				if res.OK != wok || (res.OK && (res.Prefix != wp || res.Value != wv)) {
+					t.Fatalf("trial %d %s: dest %v clue %v: got %v/%d/%v want %v/%d/%v",
+						trial, stage, a, s, res.Prefix, res.Value, res.OK, wp, wv, wok)
+				}
+			}
+		}
+		check("initial")
+		// Churn: random adds/removes on both tables with updates.
+		for step := 0; step < 25; step++ {
+			p := ip.PrefixFrom(ip.AddrFrom32(rng.Uint32()&0x3F0F00FF), 1+rng.Intn(32))
+			switch rng.Intn(4) {
+			case 0: // receiver add
+				t2.Insert(p, rng.Intn(100))
+				tab.UpdateLocal(p)
+			case 1: // receiver remove (if present)
+				if t2.Delete(p) {
+					tab.UpdateLocal(p)
+				}
+			case 2: // sender add
+				t1.Insert(p, rng.Intn(100))
+				tab.UpdateSender(p)
+			default: // sender remove
+				if t1.Delete(p) {
+					tab.UpdateSender(p)
+				}
+			}
+		}
+		check("after churn")
+		// RefreshAll must be a no-op on an up-to-date table.
+		before := tab.Len()
+		if n := tab.RefreshAll(); n != before {
+			t.Fatalf("RefreshAll recomputed %d of %d", n, before)
+		}
+		check("after refresh")
+	}
+}
+
+// The shadow clue index must stay consistent with the entry map as clues
+// are learned after updates started.
+func TestClueIndexTracksLearning(t *testing.T) {
+	t2 := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8"), ip.MustParsePrefix("10.1.0.0/16")})
+	eng := lookup.NewRegular(t2)
+	tab := MustNewTable(Config{Method: Simple, Engine: eng, Local: t2, Learn: true})
+	tab.Process(ip.MustParseAddr("10.2.2.2"), 8, nil)  // learn /8
+	tab.UpdateLocal(ip.MustParsePrefix("10.0.0.0/8"))  // forces index build
+	tab.Process(ip.MustParseAddr("10.1.3.3"), 16, nil) // learn /16 AFTER the index exists
+	// A change under the /16 must now reach both entries.
+	t2.Insert(ip.MustParsePrefix("10.1.3.0/24"), 9)
+	if n := tab.UpdateLocal(ip.MustParsePrefix("10.1.3.0/24")); n != 2 {
+		t.Fatalf("UpdateLocal touched %d entries, want 2 (/8 and /16)", n)
+	}
+	res := tab.Process(ip.MustParseAddr("10.1.3.9"), 16, nil)
+	if res.Prefix.Len() != 24 {
+		t.Fatalf("post-learning update missed: %+v", res)
+	}
+}

@@ -1,0 +1,215 @@
+// Package experiment implements the §6 evaluation methodology: for a pair
+// of neighboring routers (R1 sending, R2 receiving), simulate packets with
+// random destinations drawn inside R1's prefixes, attach R1's best matching
+// prefix as the clue, and count the memory references R2 spends under each
+// of the paper's 15 schemes — {Common, Simple, Advance} × {Regular,
+// Patricia, Binary, 6-way, Log W}.
+//
+// Per the paper, a destination is used only if its BMP at R1 is a vertex in
+// R2's trie ("if the BMP is not a vertex in the trie of R2 the clues table
+// immediately provides the desired lookup, at the minimum cost of one
+// memory access" — dropping those cases only makes the results look worse).
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/synth"
+)
+
+// Methods in row order of the paper's tables.
+var Methods = []string{"Common", "Simple", "Advance"}
+
+// SchemeRow is one (method, engine) cell group of Tables 4–9.
+type SchemeRow struct {
+	Method string // Common, Simple or Advance
+	Engine string // Regular, Patricia, Binary, 6-way, Log W
+	Stats  mem.Stats
+}
+
+// PairReport is the full result of one sender→receiver experiment.
+type PairReport struct {
+	Sender, Receiver string
+	Packets          int // packets that passed the §6 filter
+	Generated        int // destinations drawn (including filtered-out)
+	Rows             []SchemeRow
+	// Clues is the number of possible clues (sender prefixes).
+	Clues int
+	// ProblematicClues is Table 2: clues for which Claim 1 fails at the
+	// receiver.
+	ProblematicClues int
+	// Intersection is Table 3: prefixes common to both tables.
+	Intersection int
+	// AdvanceFinalFraction is the Claim-1 coverage over the preprocessed
+	// Advance clue table (the paper's 95–99.5%).
+	AdvanceFinalFraction float64
+}
+
+// Row returns the row for a (method, engine) pair, or nil.
+func (r *PairReport) Row(method, engine string) *SchemeRow {
+	for i := range r.Rows {
+		if r.Rows[i].Method == method && r.Rows[i].Engine == engine {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Mean returns the mean references of a (method, engine) cell, or -1.
+func (r *PairReport) Mean(method, engine string) float64 {
+	row := r.Row(method, engine)
+	if row == nil {
+		return -1
+	}
+	return row.Stats.Mean()
+}
+
+// RunPair runs the experiment for one ordered router pair.
+//
+// Clue tables are preprocessed from the sender's full prefix set (§3.3.2),
+// so every simulated packet exercises the steady state the paper measures;
+// learning on the fly converges to the same tables (tested in internal/core)
+// but would charge first-packet compulsory misses the paper does not count.
+func RunPair(sender, receiver *fib.Table, packets int, seed int64) *PairReport {
+	st, rt := sender.Trie(), receiver.Trie()
+	inSender := func(p ip.Prefix) bool { return st.Contains(p) }
+	clues := sender.Prefixes()
+
+	rep := &PairReport{
+		Sender:           sender.Name(),
+		Receiver:         receiver.Name(),
+		Clues:            len(clues),
+		ProblematicClues: core.CountProblematic(rt, clues, inSender),
+		Intersection:     fib.Intersection(sender, receiver),
+	}
+
+	engines := lookup.All(rt)
+	type cell struct {
+		method string
+		engine lookup.ClueEngine
+		table  *core.Table // nil for Common
+		stats  *mem.Stats
+	}
+	var cells []*cell
+	for _, eng := range engines {
+		cells = append(cells, &cell{method: "Common", engine: eng, stats: &mem.Stats{}})
+	}
+	for _, eng := range engines {
+		tab := core.MustNewTable(core.Config{Method: core.Simple, Engine: eng, Local: rt})
+		tab.Preprocess(clues)
+		cells = append(cells, &cell{method: "Simple", engine: eng, table: tab, stats: &mem.Stats{}})
+	}
+	var advSample *core.Table
+	for _, eng := range engines {
+		tab := core.MustNewTable(core.Config{Method: core.Advance, Engine: eng, Local: rt, Sender: inSender})
+		tab.Preprocess(clues)
+		cells = append(cells, &cell{method: "Advance", engine: eng, table: tab, stats: &mem.Stats{}})
+		advSample = tab
+	}
+	rep.AdvanceFinalFraction = advSample.FinalFraction()
+
+	w := synth.NewWorkload(seed, sender)
+	for rep.Packets < packets {
+		rep.Generated++
+		dest := w.Next()
+		clue, _, ok := st.Lookup(dest, nil)
+		if !ok {
+			continue
+		}
+		// The §6 filter: the clue must be a vertex in the receiver's trie.
+		if rt.Find(clue) == nil {
+			continue
+		}
+		rep.Packets++
+		for _, c := range cells {
+			var cnt mem.Counter
+			if c.table == nil {
+				c.engine.Lookup(dest, &cnt)
+			} else {
+				c.table.Process(dest, clue.Clue(), &cnt)
+			}
+			c.stats.Record(cnt.Count())
+		}
+	}
+	for _, c := range cells {
+		rep.Rows = append(rep.Rows, SchemeRow{Method: c.method, Engine: c.engine.Name(), Stats: *c.stats})
+	}
+	return rep
+}
+
+// FormatTable renders the report in the layout of the paper's Tables 4–9:
+// one row per method, one column per lookup scheme, cells are mean memory
+// references.
+func (r *PairReport) FormatTable() string {
+	engines := []string{"Regular", "Patricia", "Binary", "6-way", "Log W"}
+	tab := mem.NewTable(append([]string{"Method"}, engines...)...)
+	for _, m := range Methods {
+		cells := []string{m}
+		for _, e := range engines {
+			cells = append(cells, fmt.Sprintf("%.2f", r.Mean(m, e)))
+		}
+		tab.AddRow(cells...)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s -> %s: %d packets (avg memory references)\n", r.Sender, r.Receiver, r.Packets)
+	sb.WriteString(tab.String())
+	fmt.Fprintf(&sb, "problematic clues: %d of %d (%.2f%%); Claim-1 coverage %.1f%%; intersection %d\n",
+		r.ProblematicClues, r.Clues, 100*float64(r.ProblematicClues)/float64(r.Clues),
+		100*r.AdvanceFinalFraction, r.Intersection)
+	return sb.String()
+}
+
+// FormatDetail renders the distribution behind the Advance row: the
+// fraction of packets decided in exactly one reference (the paper's "near
+// optimal" share) and the worst case, per engine.
+func (r *PairReport) FormatDetail() string {
+	engines := []string{"Regular", "Patricia", "Binary", "6-way", "Log W"}
+	tab := mem.NewTable("Advance +", "Mean refs", "Packets at 1 ref", "Worst packet")
+	for _, e := range engines {
+		row := r.Row("Advance", e)
+		if row == nil {
+			continue
+		}
+		tab.AddRow(e,
+			fmt.Sprintf("%.3f", row.Stats.Mean()),
+			fmt.Sprintf("%.1f%%", 100*row.Stats.FractionAtMost(1)),
+			fmt.Sprintf("%d refs", row.Stats.Max()))
+	}
+	return tab.String()
+}
+
+// SummaryTable renders one compact row per report: the headline columns
+// of the whole evaluation, for the cross-pair overview.
+func SummaryTable(reports []*PairReport) string {
+	tab := mem.NewTable("Pair", "Regular", "Log W", "Simple+Pat", "Advance+Pat", "Speedup", "Claim-1")
+	for _, r := range reports {
+		adv := r.Mean("Advance", "Patricia")
+		tab.AddRow(
+			fmt.Sprintf("%s -> %s", r.Sender, r.Receiver),
+			fmt.Sprintf("%.2f", r.Mean("Common", "Regular")),
+			fmt.Sprintf("%.2f", r.Mean("Common", "Log W")),
+			fmt.Sprintf("%.2f", r.Mean("Simple", "Patricia")),
+			fmt.Sprintf("%.2f", adv),
+			fmt.Sprintf("%.1fx", r.Mean("Common", "Regular")/adv),
+			fmt.Sprintf("%.1f%%", 100*r.AdvanceFinalFraction),
+		)
+	}
+	return tab.String()
+}
+
+// PaperPairs lists the ordered router pairs of Tables 4–9, in table order
+// (the paper presents six per-pair tables; we label them 4–9).
+var PaperPairs = [][2]string{
+	{"MAE-East", "MAE-West"}, // Table 4
+	{"MAE-West", "MAE-East"}, // Table 5
+	{"MAE-East", "Paix"},     // Table 6
+	{"Paix", "MAE-East"},     // Table 7
+	{"AT&T-1", "AT&T-2"},     // Table 8
+	{"ISP-B-1", "ISP-B-2"},   // Table 9
+}

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestPairReportShape runs a scaled-down AT&T pair and checks the
+// qualitative results the paper reports:
+//   - the Advance method is near-optimal (close to 1 reference),
+//   - Simple is a large improvement over every common scheme,
+//   - Advance beats Simple,
+//   - the Regular trie is the worst common scheme,
+//   - Claim-1 coverage is high.
+func TestPairReportShape(t *testing.T) {
+	routers := synth.PaperRouters(1234, 0.04)
+	rep := RunPair(routers["AT&T-1"], routers["AT&T-2"], 2000, 99)
+
+	if rep.Packets != 2000 {
+		t.Fatalf("Packets = %d", rep.Packets)
+	}
+	if len(rep.Rows) != 15 {
+		t.Fatalf("Rows = %d, want 15", len(rep.Rows))
+	}
+	if rep.Generated < rep.Packets {
+		t.Error("Generated must count filtered destinations too")
+	}
+
+	advPat := rep.Mean("Advance", "Patricia")
+	simplePat := rep.Mean("Simple", "Patricia")
+	commonReg := rep.Mean("Common", "Regular")
+	commonLogW := rep.Mean("Common", "Log W")
+
+	if advPat < 1.0 || advPat > 1.5 {
+		t.Errorf("Advance+Patricia mean = %.2f, want ≈1 (paper: 1.0–1.05)", advPat)
+	}
+	if simplePat >= commonReg/2 {
+		t.Errorf("Simple+Patricia %.2f not a big win over Regular %.2f", simplePat, commonReg)
+	}
+	if advPat > simplePat {
+		t.Errorf("Advance %.2f worse than Simple %.2f", advPat, simplePat)
+	}
+	if commonLogW >= commonReg {
+		t.Errorf("Log W %.2f should beat Regular %.2f", commonLogW, commonReg)
+	}
+	for _, e := range []string{"Regular", "Patricia", "Binary", "6-way", "Log W"} {
+		adv := rep.Mean("Advance", e)
+		if adv < 1.0 {
+			t.Errorf("Advance+%s mean %.2f below the 1-reference floor", e, adv)
+		}
+		if adv > rep.Mean("Common", e) {
+			t.Errorf("Advance+%s %.2f worse than Common+%s", e, adv, e)
+		}
+	}
+	if rep.AdvanceFinalFraction < 0.90 {
+		t.Errorf("Claim-1 coverage %.3f below 0.90 (paper: 0.95–0.995)", rep.AdvanceFinalFraction)
+	}
+	if frac := float64(rep.ProblematicClues) / float64(rep.Clues); frac > 0.10 {
+		t.Errorf("problematic fraction %.3f above the paper's <10%% bound", frac)
+	}
+	if rep.Intersection <= 0 {
+		t.Error("Intersection not computed")
+	}
+}
+
+func TestRunPairDeterministic(t *testing.T) {
+	routers := synth.PaperRouters(7, 0.01)
+	a := RunPair(routers["Paix"], routers["MAE-East"], 300, 5)
+	b := RunPair(routers["Paix"], routers["MAE-East"], 300, 5)
+	for i := range a.Rows {
+		if a.Rows[i].Stats.Total() != b.Rows[i].Stats.Total() {
+			t.Fatalf("row %d not deterministic: %d vs %d", i, a.Rows[i].Stats.Total(), b.Rows[i].Stats.Total())
+		}
+	}
+}
+
+func TestRowAndMeanLookups(t *testing.T) {
+	routers := synth.PaperRouters(7, 0.01)
+	rep := RunPair(routers["MAE-East"], routers["Paix"], 100, 5)
+	if rep.Row("Advance", "6-way") == nil {
+		t.Error("Row lookup failed")
+	}
+	if rep.Row("Nope", "6-way") != nil || rep.Mean("Nope", "6-way") != -1 {
+		t.Error("unknown method should yield nil/-1")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	routers := synth.PaperRouters(7, 0.01)
+	rep := RunPair(routers["MAE-East"], routers["MAE-West"], 100, 5)
+	out := rep.FormatTable()
+	for _, want := range []string{"MAE-East -> MAE-West", "Common", "Simple", "Advance", "Patricia", "problematic clues"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatDetail(t *testing.T) {
+	routers := synth.PaperRouters(7, 0.01)
+	rep := RunPair(routers["AT&T-1"], routers["AT&T-2"], 200, 5)
+	out := rep.FormatDetail()
+	for _, want := range []string{"Advance +", "Patricia", "Packets at 1 ref", "Worst packet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatDetail missing %q:\n%s", want, out)
+		}
+	}
+	// The 1-reference share must be high (the paper's near-optimal claim).
+	row := rep.Row("Advance", "Patricia")
+	if row.Stats.FractionAtMost(1) < 0.8 {
+		t.Errorf("1-ref share = %.2f, expected most packets at the floor", row.Stats.FractionAtMost(1))
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	routers := synth.PaperRouters(7, 0.01)
+	r1 := RunPair(routers["AT&T-1"], routers["AT&T-2"], 150, 5)
+	r2 := RunPair(routers["Paix"], routers["MAE-East"], 150, 5)
+	out := SummaryTable([]*PairReport{r1, r2})
+	for _, want := range []string{"AT&T-1 -> AT&T-2", "Paix -> MAE-East", "Speedup", "Claim-1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SummaryTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperPairsNamesResolve(t *testing.T) {
+	routers := synth.PaperRouters(7, 0.01)
+	for _, pair := range PaperPairs {
+		if routers[pair[0]] == nil || routers[pair[1]] == nil {
+			t.Errorf("pair %v references unknown router", pair)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package fib implements forwarding tables: the per-router mapping from
+// address prefixes to next hops that every lookup scheme in the paper
+// operates on. It provides set statistics (total prefixes, pairwise
+// intersections — Tables 1 and 3 of the paper), the per-neighbor clue set
+// ("the prefixes in R1's forwarding table for which R2 is the next hop",
+// §1), and a text serialization loosely modeled on `sh ip route` output so
+// snapshots can be saved and reloaded by the tools in cmd/.
+package fib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ip"
+	"repro/internal/trie"
+)
+
+// Table is one router's forwarding table. Next hops are interned: every
+// distinct next-hop name gets a small integer ID that is used as the trie
+// payload, which is what a real FIB stores in a prefix entry.
+type Table struct {
+	name    string
+	fam     ip.Family
+	entries map[ip.Prefix]int // prefix -> hop ID
+	hops    []string          // hop ID -> name
+	hopID   map[string]int
+}
+
+// New returns an empty table for a router with the given name and family.
+func New(name string, fam ip.Family) *Table {
+	return &Table{
+		name:    name,
+		fam:     fam,
+		entries: make(map[ip.Prefix]int),
+		hopID:   make(map[string]int),
+	}
+}
+
+// Name returns the router name.
+func (t *Table) Name() string { return t.name }
+
+// Family returns the table's address family.
+func (t *Table) Family() ip.Family { return t.fam }
+
+// Len returns the number of prefixes (the rows of Table 1).
+func (t *Table) Len() int { return len(t.entries) }
+
+// internHop returns the ID for a next-hop name, creating it if new.
+func (t *Table) internHop(hop string) int {
+	if id, ok := t.hopID[hop]; ok {
+		return id
+	}
+	id := len(t.hops)
+	t.hops = append(t.hops, hop)
+	t.hopID[hop] = id
+	return id
+}
+
+// HopName returns the next-hop name for an interned ID.
+func (t *Table) HopName(id int) string {
+	if id < 0 || id >= len(t.hops) {
+		return ""
+	}
+	return t.hops[id]
+}
+
+// HopID returns the interned ID of a next-hop name, or -1 if unknown.
+func (t *Table) HopID(hop string) int {
+	if id, ok := t.hopID[hop]; ok {
+		return id
+	}
+	return -1
+}
+
+// Hops returns all next-hop names in ID order.
+func (t *Table) Hops() []string { return append([]string(nil), t.hops...) }
+
+// Add inserts (or replaces) a route.
+func (t *Table) Add(p ip.Prefix, nextHop string) {
+	if p.Family() != t.fam {
+		panic("fib: family mismatch")
+	}
+	t.entries[p] = t.internHop(nextHop)
+}
+
+// Remove deletes a route, reporting whether it existed.
+func (t *Table) Remove(p ip.Prefix) bool {
+	if _, ok := t.entries[p]; !ok {
+		return false
+	}
+	delete(t.entries, p)
+	return true
+}
+
+// NextHop returns the next hop for an exact prefix.
+func (t *Table) NextHop(p ip.Prefix) (string, bool) {
+	id, ok := t.entries[p]
+	if !ok {
+		return "", false
+	}
+	return t.hops[id], true
+}
+
+// Contains reports whether the exact prefix is present.
+func (t *Table) Contains(p ip.Prefix) bool {
+	_, ok := t.entries[p]
+	return ok
+}
+
+// Prefixes returns all prefixes sorted by (address, length).
+func (t *Table) Prefixes() []ip.Prefix {
+	out := make([]ip.Prefix, 0, len(t.entries))
+	for p := range t.entries {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Via returns the prefixes whose next hop is the given neighbor — the set
+// of possible clues this router may send to that neighbor (§1: "the set of
+// possible clues from router R1 to router R2 are the prefixes in R1's
+// forwarding table for which R2 is the next hop").
+func (t *Table) Via(nextHop string) []ip.Prefix {
+	id, ok := t.hopID[nextHop]
+	if !ok {
+		return nil
+	}
+	var out []ip.Prefix
+	for p, h := range t.entries {
+		if h == id {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Trie builds the binary trie of the table, with hop IDs as payloads.
+func (t *Table) Trie() *trie.Trie {
+	tr := trie.New(t.fam)
+	for p, id := range t.entries {
+		tr.Insert(p, id)
+	}
+	return tr
+}
+
+// Diff returns the prefixes whose routing differs between t and other:
+// present in exactly one of the tables, or present in both with different
+// next hops. It is the change set a routing update produces, which drives
+// the incremental clue-table maintenance (core.Table.UpdateLocal).
+func (t *Table) Diff(other *Table) []ip.Prefix {
+	var out []ip.Prefix
+	for p, id := range t.entries {
+		hop, ok := other.NextHop(p)
+		if !ok || hop != t.hops[id] {
+			out = append(out, p)
+		}
+	}
+	for p := range other.entries {
+		if _, ok := t.entries[p]; !ok {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Intersection returns the number of prefixes present in both tables —
+// the quantity of Table 3 ("the total number of prefixes of one router
+// that also appear in the other").
+func Intersection(a, b *Table) int {
+	small, large := a, b
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	n := 0
+	for p := range small.entries {
+		if _, ok := large.entries[p]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// LengthHistogram returns a count of prefixes per prefix length, indexed
+// 0..W.
+func (t *Table) LengthHistogram() []int {
+	h := make([]int, t.fam.Width()+1)
+	for p := range t.entries {
+		h[p.Len()]++
+	}
+	return h
+}
+
+// WriteTo serializes the table in the snapshot text format:
+//
+//	# router <name> <family>
+//	<prefix> via <next-hop>
+//
+// sorted by prefix, one route per line.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	k, err := fmt.Fprintf(bw, "# router %s %s\n", t.name, t.fam)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, p := range t.Prefixes() {
+		hop, _ := t.NextHop(p)
+		k, err = fmt.Fprintf(bw, "%s via %s\n", p, hop)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a table from the snapshot text format produced by WriteTo.
+func Read(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var t *Table
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			// "# router <name> <family>"
+			if len(fields) >= 4 && fields[1] == "router" {
+				fam := ip.IPv4
+				if fields[3] == "IPv6" {
+					fam = ip.IPv6
+				}
+				t = New(fields[2], fam)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[1] != "via" {
+			return nil, fmt.Errorf("fib: line %d: want \"<prefix> via <hop>\", got %q", lineNo, line)
+		}
+		p, err := ip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("fib: line %d: %v", lineNo, err)
+		}
+		if t == nil {
+			t = New("unnamed", p.Family())
+		}
+		t.Add(p, fields[2])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, fmt.Errorf("fib: empty snapshot")
+	}
+	return t, nil
+}

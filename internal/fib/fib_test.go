@@ -1,0 +1,206 @@
+package fib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ip"
+)
+
+func sample() *Table {
+	t := New("R1", ip.IPv4)
+	t.Add(ip.MustParsePrefix("10.0.0.0/8"), "R2")
+	t.Add(ip.MustParsePrefix("10.1.0.0/16"), "R2")
+	t.Add(ip.MustParsePrefix("192.168.0.0/16"), "R3")
+	t.Add(ip.MustParsePrefix("0.0.0.0/0"), "R3")
+	return t
+}
+
+func TestAddRemoveNextHop(t *testing.T) {
+	tab := sample()
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	hop, ok := tab.NextHop(ip.MustParsePrefix("10.1.0.0/16"))
+	if !ok || hop != "R2" {
+		t.Errorf("NextHop = %q %v", hop, ok)
+	}
+	// Replace.
+	tab.Add(ip.MustParsePrefix("10.1.0.0/16"), "R3")
+	if hop, _ = tab.NextHop(ip.MustParsePrefix("10.1.0.0/16")); hop != "R3" {
+		t.Errorf("after replace NextHop = %q", hop)
+	}
+	if tab.Len() != 4 {
+		t.Errorf("Len after replace = %d", tab.Len())
+	}
+	if !tab.Remove(ip.MustParsePrefix("0.0.0.0/0")) || tab.Remove(ip.MustParsePrefix("0.0.0.0/0")) {
+		t.Error("Remove semantics wrong")
+	}
+	if tab.Contains(ip.MustParsePrefix("0.0.0.0/0")) {
+		t.Error("Contains after Remove")
+	}
+}
+
+func TestHopInterning(t *testing.T) {
+	tab := sample()
+	if tab.HopID("R2") < 0 || tab.HopID("R3") < 0 {
+		t.Fatal("hops not interned")
+	}
+	if tab.HopID("R2") == tab.HopID("R3") {
+		t.Error("distinct hops share an ID")
+	}
+	if tab.HopID("nope") != -1 {
+		t.Error("unknown hop should be -1")
+	}
+	if tab.HopName(tab.HopID("R2")) != "R2" {
+		t.Error("HopName round trip failed")
+	}
+	if tab.HopName(99) != "" {
+		t.Error("HopName out of range should be empty")
+	}
+	if got := tab.Hops(); len(got) != 2 {
+		t.Errorf("Hops = %v", got)
+	}
+}
+
+func TestViaCluesSet(t *testing.T) {
+	tab := sample()
+	via := tab.Via("R2")
+	if len(via) != 2 {
+		t.Fatalf("Via(R2) = %v", via)
+	}
+	if via[0].String() != "10.0.0.0/8" || via[1].String() != "10.1.0.0/16" {
+		t.Errorf("Via order = %v", via)
+	}
+	if tab.Via("nope") != nil {
+		t.Error("Via(unknown) should be nil")
+	}
+}
+
+func TestPrefixesSortedAndTrie(t *testing.T) {
+	tab := sample()
+	ps := tab.Prefixes()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Compare(ps[i]) >= 0 {
+			t.Fatalf("Prefixes not sorted: %v", ps)
+		}
+	}
+	tr := tab.Trie()
+	if tr.Size() != tab.Len() {
+		t.Fatalf("trie size %d != table %d", tr.Size(), tab.Len())
+	}
+	p, hopID, ok := tr.Lookup(ip.MustParseAddr("10.1.2.3"), nil)
+	if !ok || p.String() != "10.1.0.0/16" || tab.HopName(hopID) != "R2" {
+		t.Errorf("trie lookup = %v hop=%q ok=%v", p, tab.HopName(hopID), ok)
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := sample()
+	b := New("R9", ip.IPv4)
+	b.Add(ip.MustParsePrefix("10.0.0.0/8"), "X")
+	b.Add(ip.MustParsePrefix("10.2.0.0/16"), "X")
+	b.Add(ip.MustParsePrefix("192.168.0.0/16"), "Y")
+	if got := Intersection(a, b); got != 2 {
+		t.Errorf("Intersection = %d, want 2", got)
+	}
+	if Intersection(a, b) != Intersection(b, a) {
+		t.Error("Intersection not symmetric")
+	}
+	empty := New("E", ip.IPv4)
+	if Intersection(a, empty) != 0 {
+		t.Error("Intersection with empty should be 0")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := sample()
+	b := sample()
+	if got := a.Diff(b); len(got) != 0 {
+		t.Fatalf("identical tables diff = %v", got)
+	}
+	b.Add(ip.MustParsePrefix("10.1.0.0/16"), "R9")   // changed hop
+	b.Add(ip.MustParsePrefix("172.16.0.0/12"), "R2") // added
+	b.Remove(ip.MustParsePrefix("192.168.0.0/16"))   // removed
+	got := a.Diff(b)
+	want := map[string]bool{"10.1.0.0/16": true, "172.16.0.0/12": true, "192.168.0.0/16": true}
+	if len(got) != len(want) {
+		t.Fatalf("Diff = %v", got)
+	}
+	for _, p := range got {
+		if !want[p.String()] {
+			t.Errorf("unexpected diff entry %v", p)
+		}
+	}
+	// Sorted output.
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Compare(got[i]) >= 0 {
+			t.Fatal("Diff not sorted")
+		}
+	}
+}
+
+func TestLengthHistogram(t *testing.T) {
+	tab := sample()
+	h := tab.LengthHistogram()
+	if len(h) != 33 {
+		t.Fatalf("histogram len = %d", len(h))
+	}
+	if h[16] != 2 || h[8] != 1 || h[0] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	tab := sample()
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "R1" || got.Family() != ip.IPv4 || got.Len() != tab.Len() {
+		t.Fatalf("round trip header: %q %v %d", got.Name(), got.Family(), got.Len())
+	}
+	for _, p := range tab.Prefixes() {
+		wantHop, _ := tab.NextHop(p)
+		gotHop, ok := got.NextHop(p)
+		if !ok || gotHop != wantHop {
+			t.Errorf("route %v: got %q/%v want %q", p, gotHop, ok, wantHop)
+		}
+	}
+}
+
+func TestReadErrorsAndLoose(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty snapshot should error")
+	}
+	if _, err := Read(strings.NewReader("10.0.0.0/8 R2\n")); err == nil {
+		t.Error("malformed line should error")
+	}
+	if _, err := Read(strings.NewReader("zz/8 via R2\n")); err == nil {
+		t.Error("bad prefix should error")
+	}
+	// Headerless snapshots are accepted with a default name.
+	tab, err := Read(strings.NewReader("10.0.0.0/8 via R2\n\n# comment\n10.1.0.0/16 via R3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "unnamed" || tab.Len() != 2 {
+		t.Errorf("headerless parse: %q %d", tab.Name(), tab.Len())
+	}
+}
+
+func TestReadV6Header(t *testing.T) {
+	in := "# router R6 IPv6\n2001:db8::/32 via R7\n"
+	tab, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Family() != ip.IPv6 || tab.Len() != 1 {
+		t.Errorf("v6 parse: %v %d", tab.Family(), tab.Len())
+	}
+}

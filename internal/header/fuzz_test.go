@@ -1,0 +1,91 @@
+package header
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ip"
+)
+
+// FuzzParseIPv4 checks the parser never panics on arbitrary input, and
+// that anything it accepts re-marshals to an equivalent header (a router
+// must be able to forward what it parsed).
+func FuzzParseIPv4(f *testing.F) {
+	seed := func(h *IPv4, payload int) {
+		b, err := h.Marshal(payload)
+		if err == nil {
+			f.Add(b)
+		}
+	}
+	seed(&IPv4{TTL: 64, Src: ip.MustParseAddr("10.0.0.1"), Dst: ip.MustParseAddr("10.0.0.2")}, 0)
+	seed(&IPv4{TTL: 1, Src: ip.MustParseAddr("1.2.3.4"), Dst: ip.MustParseAddr("5.6.7.8"),
+		Clue: &ClueOption{Len: 24}}, 32)
+	seed(&IPv4{Src: ip.MustParseAddr("9.9.9.9"), Dst: ip.MustParseAddr("8.8.8.8"),
+		Clue: &ClueOption{Len: 19, HasIndex: true, Index: 7}}, 8)
+	f.Add([]byte{0x45, 0, 0, 20})
+	f.Add(bytes.Repeat([]byte{0xFF}, 60))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, hl, err := ParseIPv4(data)
+		if err != nil {
+			return
+		}
+		if hl < 20 || hl > len(data) {
+			t.Fatalf("accepted header length %d out of range", hl)
+		}
+		if h.Clue != nil && (h.Clue.Len < 0 || h.Clue.Len > 32) {
+			t.Fatalf("accepted clue length %d", h.Clue.Len)
+		}
+		out, err := h.Marshal(0)
+		if err != nil {
+			t.Fatalf("parsed header failed to re-marshal: %v", err)
+		}
+		h2, _, err := ParseIPv4(out)
+		if err != nil {
+			t.Fatalf("re-marshaled header failed to parse: %v", err)
+		}
+		if h2.Src != h.Src || h2.Dst != h.Dst || h2.TTL != h.TTL {
+			t.Fatal("round trip changed fixed fields")
+		}
+		switch {
+		case h.Clue == nil:
+			if h2.Clue != nil {
+				t.Fatal("round trip invented a clue")
+			}
+		default:
+			if h2.Clue == nil || *h2.Clue != *h.Clue {
+				t.Fatalf("round trip changed the clue: %+v vs %+v", h2.Clue, h.Clue)
+			}
+		}
+	})
+}
+
+// FuzzParseIPv6 is the v6 equivalent.
+func FuzzParseIPv6(f *testing.F) {
+	h6 := &IPv6{NextHeader: 17, HopLimit: 2,
+		Src: ip.MustParseAddr("2001:db8::1"), Dst: ip.MustParseAddr("2001:db8::2"),
+		Clue: &ClueOption{Len: 48}}
+	if b, err := h6.Marshal(0); err == nil {
+		f.Add(b)
+	}
+	f.Add(bytes.Repeat([]byte{0x60}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, off, err := ParseIPv6(data)
+		if err != nil {
+			return
+		}
+		if off < 40 || off > len(data) {
+			t.Fatalf("accepted payload offset %d out of range", off)
+		}
+		out, err := h.Marshal(0)
+		if err != nil {
+			// A parsed clue length > 128 would be the only cause; the
+			// parser has no business accepting one.
+			t.Fatalf("parsed v6 header failed to re-marshal: %v", err)
+		}
+		if _, _, err := ParseIPv6(out); err != nil {
+			t.Fatalf("re-marshaled v6 header failed to parse: %v", err)
+		}
+	})
+}

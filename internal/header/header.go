@@ -1,0 +1,323 @@
+// Package header implements the wire encoding of the clue. The paper
+// requires 5 bits in the IPv4 header (7 in IPv6) and suggests "it is quite
+// possible that the 5 bits find their place in the current IP header,
+// e.g., in the options field" (§5.3); the indexing technique of §3.3.1
+// consumes another 16 bits. This package encodes the clue as an IPv4
+// option (an experimental option kind) and, for IPv6, as a hop-by-hop
+// extension header option, with full marshal/parse round trips and
+// checksum handling so the simulated routers in cmd/clued can exchange
+// real packets over UDP.
+package header
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ip"
+)
+
+// ClueOptionKind is the IPv4 option kind used for the clue: copy flag set
+// (the clue must survive fragmentation), class 0, number 30 (experimental).
+const ClueOptionKind = 0x9E
+
+// NoClue marks a header that carries no clue.
+const NoClue = -1
+
+// ClueOption is the clue as carried in a packet header: the number of
+// leading destination-address bits that form the sender's best matching
+// prefix, and optionally the §3.3.1 16-bit index into the receiver's
+// sequential clue table.
+type ClueOption struct {
+	Len      int // 0..W
+	HasIndex bool
+	Index    uint16
+}
+
+// optionBytes renders the clue option body (shared by v4 and v6).
+// Layout: kind, optlen, clue byte, [2 index bytes].
+func (c *ClueOption) optionBytes() []byte {
+	if c.HasIndex {
+		b := make([]byte, 5)
+		b[0] = ClueOptionKind
+		b[1] = 5
+		b[2] = byte(c.Len)
+		binary.BigEndian.PutUint16(b[3:], c.Index)
+		return b
+	}
+	return []byte{ClueOptionKind, 3, byte(c.Len)}
+}
+
+// parseClueOption decodes a clue option body at b (starting at the kind
+// byte); returns the option and its length in bytes.
+func parseClueOption(b []byte) (*ClueOption, int, error) {
+	if len(b) < 2 {
+		return nil, 0, fmt.Errorf("header: truncated option")
+	}
+	optLen := int(b[1])
+	if optLen < 3 || optLen > len(b) {
+		return nil, 0, fmt.Errorf("header: bad clue option length %d", optLen)
+	}
+	c := &ClueOption{Len: int(b[2])}
+	switch optLen {
+	case 3:
+	case 5:
+		c.HasIndex = true
+		c.Index = binary.BigEndian.Uint16(b[3:5])
+	default:
+		return nil, 0, fmt.Errorf("header: unsupported clue option length %d", optLen)
+	}
+	return c, optLen, nil
+}
+
+// IPv4 is an IPv4 header with an optional clue option. Fields that are
+// computed on marshal (version, IHL, total length, checksum) are not
+// stored.
+type IPv4 struct {
+	TOS      byte
+	ID       uint16
+	DontFrag bool
+	TTL      byte
+	Protocol byte
+	Src, Dst ip.Addr
+	Clue     *ClueOption
+}
+
+// headerLen returns the marshaled header length (20 + padded options).
+func (h *IPv4) headerLen() int {
+	if h.Clue == nil {
+		return 20
+	}
+	opt := len(h.Clue.optionBytes())
+	return 20 + (opt+3)/4*4 // options padded to a 32-bit boundary
+}
+
+// Marshal renders the header for a payload of the given length. Src and
+// Dst must be IPv4 addresses.
+func (h *IPv4) Marshal(payloadLen int) ([]byte, error) {
+	if h.Src.Family() != ip.IPv4 || h.Dst.Family() != ip.IPv4 {
+		return nil, fmt.Errorf("header: IPv4 header with non-IPv4 address")
+	}
+	if h.Clue != nil && (h.Clue.Len < 0 || h.Clue.Len > 32) {
+		return nil, fmt.Errorf("header: clue length %d out of [0,32]", h.Clue.Len)
+	}
+	hl := h.headerLen()
+	total := hl + payloadLen
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("header: total length %d exceeds 65535", total)
+	}
+	b := make([]byte, hl)
+	b[0] = 0x40 | byte(hl/4)
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	if h.DontFrag {
+		b[6] = 0x40
+	}
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	binary.BigEndian.PutUint32(b[12:], h.Src.Uint32())
+	binary.BigEndian.PutUint32(b[16:], h.Dst.Uint32())
+	if h.Clue != nil {
+		opt := h.Clue.optionBytes()
+		copy(b[20:], opt)
+		// Remaining option bytes are already zero = End of Option List.
+	}
+	binary.BigEndian.PutUint16(b[10:], Checksum(b))
+	return b, nil
+}
+
+// ParseIPv4 decodes a header, verifying version, length, and checksum.
+// It returns the header and the header length (offset of the payload).
+func ParseIPv4(b []byte) (*IPv4, int, error) {
+	if len(b) < 20 {
+		return nil, 0, fmt.Errorf("header: short IPv4 header (%d bytes)", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, 0, fmt.Errorf("header: version %d is not 4", b[0]>>4)
+	}
+	hl := int(b[0]&0x0F) * 4
+	if hl < 20 || hl > len(b) {
+		return nil, 0, fmt.Errorf("header: bad IHL %d", hl)
+	}
+	if Checksum(b[:hl]) != 0 {
+		return nil, 0, fmt.Errorf("header: checksum mismatch")
+	}
+	h := &IPv4{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		DontFrag: b[6]&0x40 != 0,
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      ip.AddrFrom32(binary.BigEndian.Uint32(b[12:])),
+		Dst:      ip.AddrFrom32(binary.BigEndian.Uint32(b[16:])),
+	}
+	// Scan options for the clue.
+	opts := b[20:hl]
+	for i := 0; i < len(opts); {
+		switch opts[i] {
+		case 0: // End of Option List
+			i = len(opts)
+		case 1: // No Operation
+			i++
+		case ClueOptionKind:
+			c, n, err := parseClueOption(opts[i:])
+			if err != nil {
+				return nil, 0, err
+			}
+			if c.Len > 32 {
+				return nil, 0, fmt.Errorf("header: IPv4 clue length %d > 32", c.Len)
+			}
+			h.Clue = c
+			i += n
+		default: // skip unknown TLV options
+			if i+1 >= len(opts) || opts[i+1] < 2 || i+int(opts[i+1]) > len(opts) {
+				return nil, 0, fmt.Errorf("header: malformed option at %d", i)
+			}
+			i += int(opts[i+1])
+		}
+	}
+	return h, hl, nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b; computing it
+// over a header whose checksum field is filled yields 0 for a valid header.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// IPv6 is an IPv6 header with an optional clue in a hop-by-hop options
+// extension header (the v6 clue needs 7 bits; it occupies a byte).
+type IPv6 struct {
+	TrafficClass byte
+	FlowLabel    uint32 // 20 bits
+	NextHeader   byte   // protocol of the payload
+	HopLimit     byte
+	Src, Dst     ip.Addr
+	Clue         *ClueOption
+}
+
+// hopByHopHeader is the next-header value for the hop-by-hop extension.
+const hopByHopHeader = 0
+
+// Marshal renders the header for a payload of the given length.
+func (h *IPv6) Marshal(payloadLen int) ([]byte, error) {
+	if h.Src.Family() != ip.IPv6 || h.Dst.Family() != ip.IPv6 {
+		return nil, fmt.Errorf("header: IPv6 header with non-IPv6 address")
+	}
+	if h.Clue != nil && (h.Clue.Len < 0 || h.Clue.Len > 128) {
+		return nil, fmt.Errorf("header: clue length %d out of [0,128]", h.Clue.Len)
+	}
+	if h.NextHeader == hopByHopHeader {
+		// RFC 8200: hop-by-hop appears only once, directly after the fixed
+		// header (where Marshal places the clue); a payload protocol of 0
+		// is not expressible.
+		return nil, fmt.Errorf("header: NextHeader 0 (hop-by-hop) is reserved for the clue extension")
+	}
+	extLen := 0
+	if h.Clue != nil {
+		extLen = 8 // 2 fixed bytes + clue option (≤5) + padding to 8
+	}
+	if 40+extLen+payloadLen > 40+0xFFFF {
+		return nil, fmt.Errorf("header: payload too large")
+	}
+	b := make([]byte, 40+extLen)
+	b[0] = 0x60 | h.TrafficClass>>4
+	b[1] = h.TrafficClass<<4 | byte(h.FlowLabel>>16)
+	binary.BigEndian.PutUint16(b[2:], uint16(h.FlowLabel))
+	binary.BigEndian.PutUint16(b[4:], uint16(extLen+payloadLen))
+	b[7] = h.HopLimit
+	sh, sl := h.Src.Halves()
+	dh, dl := h.Dst.Halves()
+	binary.BigEndian.PutUint64(b[8:], sh)
+	binary.BigEndian.PutUint64(b[16:], sl)
+	binary.BigEndian.PutUint64(b[24:], dh)
+	binary.BigEndian.PutUint64(b[32:], dl)
+	if h.Clue == nil {
+		b[6] = h.NextHeader
+		return b, nil
+	}
+	b[6] = hopByHopHeader
+	ext := b[40:]
+	ext[0] = h.NextHeader
+	ext[1] = 0 // (extLen/8)-1
+	opt := h.Clue.optionBytes()
+	copy(ext[2:], opt)
+	// Pad remaining bytes with PadN.
+	pad := ext[2+len(opt):]
+	if len(pad) == 1 {
+		pad[0] = 0 // Pad1
+	} else if len(pad) >= 2 {
+		pad[0] = 1
+		pad[1] = byte(len(pad) - 2)
+	}
+	return b, nil
+}
+
+// ParseIPv6 decodes a header (and its hop-by-hop extension if present),
+// returning the header and the payload offset.
+func ParseIPv6(b []byte) (*IPv6, int, error) {
+	if len(b) < 40 {
+		return nil, 0, fmt.Errorf("header: short IPv6 header (%d bytes)", len(b))
+	}
+	if b[0]>>4 != 6 {
+		return nil, 0, fmt.Errorf("header: version %d is not 6", b[0]>>4)
+	}
+	h := &IPv6{
+		TrafficClass: b[0]<<4 | b[1]>>4,
+		FlowLabel:    uint32(b[1]&0x0F)<<16 | uint32(binary.BigEndian.Uint16(b[2:])),
+		NextHeader:   b[6],
+		HopLimit:     b[7],
+		Src:          ip.AddrFrom128(binary.BigEndian.Uint64(b[8:]), binary.BigEndian.Uint64(b[16:])),
+		Dst:          ip.AddrFrom128(binary.BigEndian.Uint64(b[24:]), binary.BigEndian.Uint64(b[32:])),
+	}
+	off := 40
+	if h.NextHeader != hopByHopHeader {
+		return h, off, nil
+	}
+	if len(b) < off+8 {
+		return nil, 0, fmt.Errorf("header: truncated hop-by-hop extension")
+	}
+	extLen := 8 + int(b[off+1])*8
+	if extLen > len(b)-off {
+		return nil, 0, fmt.Errorf("header: hop-by-hop extension overruns packet")
+	}
+	ext := b[off : off+extLen]
+	if ext[0] == hopByHopHeader {
+		return nil, 0, fmt.Errorf("header: repeated hop-by-hop extension")
+	}
+	h.NextHeader = ext[0]
+	for i := 2; i < len(ext); {
+		switch ext[i] {
+		case 0: // Pad1
+			i++
+		case 1: // PadN
+			if i+1 >= len(ext) {
+				return nil, 0, fmt.Errorf("header: malformed PadN")
+			}
+			i += 2 + int(ext[i+1])
+		case ClueOptionKind:
+			c, n, err := parseClueOption(ext[i:])
+			if err != nil {
+				return nil, 0, err
+			}
+			h.Clue = c
+			i += n
+		default:
+			if i+1 >= len(ext) || i+2+int(ext[i+1]) > len(ext) {
+				return nil, 0, fmt.Errorf("header: malformed v6 option at %d", i)
+			}
+			i += 2 + int(ext[i+1])
+		}
+	}
+	return h, off + len(ext), nil
+}

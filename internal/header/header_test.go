@@ -1,0 +1,295 @@
+package header
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+)
+
+func TestIPv4RoundTripNoClue(t *testing.T) {
+	h := &IPv4{
+		TOS: 0x10, ID: 4242, DontFrag: true, TTL: 61, Protocol: 17,
+		Src: ip.MustParseAddr("10.0.0.1"),
+		Dst: ip.MustParseAddr("192.168.7.9"),
+	}
+	b, err := h.Marshal(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 20 {
+		t.Fatalf("header length = %d, want 20", len(b))
+	}
+	got, hl, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl != 20 || got.Clue != nil {
+		t.Errorf("hl=%d clue=%v", hl, got.Clue)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.TTL != 61 || got.ID != 4242 ||
+		got.TOS != 0x10 || !got.DontFrag || got.Protocol != 17 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestIPv4RoundTripWithClue(t *testing.T) {
+	h := &IPv4{
+		TTL: 64, Protocol: 6,
+		Src:  ip.MustParseAddr("1.2.3.4"),
+		Dst:  ip.MustParseAddr("5.6.7.8"),
+		Clue: &ClueOption{Len: 24},
+	}
+	b, err := h.Marshal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 24 { // 20 + 3-byte option padded to 4
+		t.Fatalf("header length = %d, want 24", len(b))
+	}
+	got, _, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clue == nil || got.Clue.Len != 24 || got.Clue.HasIndex {
+		t.Errorf("clue = %+v", got.Clue)
+	}
+}
+
+func TestIPv4RoundTripWithIndexedClue(t *testing.T) {
+	h := &IPv4{
+		TTL: 64, Protocol: 6,
+		Src:  ip.MustParseAddr("1.2.3.4"),
+		Dst:  ip.MustParseAddr("5.6.7.8"),
+		Clue: &ClueOption{Len: 19, HasIndex: true, Index: 51234},
+	}
+	b, err := h.Marshal(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 28 { // 20 + 5-byte option padded to 8
+		t.Fatalf("header length = %d, want 28", len(b))
+	}
+	got, _, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clue == nil || got.Clue.Len != 19 || !got.Clue.HasIndex || got.Clue.Index != 51234 {
+		t.Errorf("clue = %+v", got.Clue)
+	}
+}
+
+func TestIPv4ChecksumTamper(t *testing.T) {
+	h := &IPv4{TTL: 1, Src: ip.MustParseAddr("1.1.1.1"), Dst: ip.MustParseAddr("2.2.2.2")}
+	b, _ := h.Marshal(0)
+	b[8] ^= 0xFF // flip TTL
+	if _, _, err := ParseIPv4(b); err == nil {
+		t.Error("tampered header should fail checksum")
+	}
+}
+
+func TestIPv4MarshalErrors(t *testing.T) {
+	v6 := ip.MustParseAddr("2001:db8::1")
+	if _, err := (&IPv4{Src: v6, Dst: v6}).Marshal(0); err == nil {
+		t.Error("v6 addresses in v4 header should fail")
+	}
+	h := &IPv4{Src: ip.MustParseAddr("1.1.1.1"), Dst: ip.MustParseAddr("2.2.2.2"), Clue: &ClueOption{Len: 77}}
+	if _, err := h.Marshal(0); err == nil {
+		t.Error("clue length 77 should fail for IPv4")
+	}
+	h.Clue = nil
+	if _, err := h.Marshal(70000); err == nil {
+		t.Error("oversize payload should fail")
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	if _, _, err := ParseIPv4(make([]byte, 10)); err == nil {
+		t.Error("short buffer should fail")
+	}
+	h := &IPv4{Src: ip.MustParseAddr("1.1.1.1"), Dst: ip.MustParseAddr("2.2.2.2")}
+	b, _ := h.Marshal(0)
+	b6 := append([]byte{}, b...)
+	b6[0] = 0x65 // version 6
+	if _, _, err := ParseIPv4(b6); err == nil {
+		t.Error("wrong version should fail")
+	}
+	bad := append([]byte{}, b...)
+	bad[0] = 0x44 // IHL 16 > buffer
+	if _, _, err := ParseIPv4(bad); err == nil {
+		t.Error("overlong IHL should fail")
+	}
+}
+
+func TestIPv4UnknownOptionSkipped(t *testing.T) {
+	h := &IPv4{TTL: 9, Src: ip.MustParseAddr("1.1.1.1"), Dst: ip.MustParseAddr("2.2.2.2"), Clue: &ClueOption{Len: 8}}
+	b, _ := h.Marshal(0)
+	// Rewrite options: NOP, unknown TLV (len 2), clue, then fix checksum.
+	opts := b[20:24]
+	opts[0], opts[1], opts[2], opts[3] = 1, 0x42, 2, 0
+	// That removed the clue; append a fresh 8-byte option area instead.
+	nb := make([]byte, 28)
+	copy(nb, b[:20])
+	nb[0] = 0x40 | 7 // IHL 7 = 28 bytes
+	copy(nb[20:], []byte{1, 0x42, 2, ClueOptionKind, 3, 8, 0, 0})
+	nb[10], nb[11] = 0, 0
+	cs := Checksum(nb)
+	nb[10], nb[11] = byte(cs>>8), byte(cs)
+	got, _, err := ParseIPv4(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clue == nil || got.Clue.Len != 8 {
+		t.Errorf("clue after unknown options = %+v", got.Clue)
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	h := &IPv6{
+		TrafficClass: 0xAB, FlowLabel: 0xABCDE, NextHeader: 17, HopLimit: 63,
+		Src: ip.MustParseAddr("2001:db8::1"), Dst: ip.MustParseAddr("2001:db8:9::42"),
+	}
+	b, err := h.Marshal(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 40 {
+		t.Fatalf("clue-less v6 header length = %d, want 40", len(b))
+	}
+	got, off, err := ParseIPv6(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 40 || got.Clue != nil || got.NextHeader != 17 {
+		t.Errorf("off=%d clue=%v nh=%d", off, got.Clue, got.NextHeader)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.TrafficClass != 0xAB ||
+		got.FlowLabel != 0xABCDE || got.HopLimit != 63 {
+		t.Errorf("v6 round trip mismatch: %+v", got)
+	}
+}
+
+func TestIPv6RoundTripWithClue(t *testing.T) {
+	for _, clue := range []*ClueOption{
+		{Len: 48},
+		{Len: 125, HasIndex: true, Index: 7},
+	} {
+		h := &IPv6{
+			NextHeader: 6, HopLimit: 1,
+			Src: ip.MustParseAddr("::1"), Dst: ip.MustParseAddr("2001:db8::5"),
+			Clue: clue,
+		}
+		b, err := h.Marshal(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != 48 { // 40 + one 8-byte hop-by-hop extension
+			t.Fatalf("v6 header with clue length = %d, want 48", len(b))
+		}
+		got, off, err := ParseIPv6(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != 48 || got.NextHeader != 6 {
+			t.Errorf("off=%d nh=%d", off, got.NextHeader)
+		}
+		if got.Clue == nil || got.Clue.Len != clue.Len || got.Clue.HasIndex != clue.HasIndex || got.Clue.Index != clue.Index {
+			t.Errorf("v6 clue = %+v, want %+v", got.Clue, clue)
+		}
+	}
+}
+
+func TestIPv6MarshalErrors(t *testing.T) {
+	v4 := ip.MustParseAddr("1.2.3.4")
+	if _, err := (&IPv6{Src: v4, Dst: v4}).Marshal(0); err == nil {
+		t.Error("v4 addresses in v6 header should fail")
+	}
+	h := &IPv6{Src: ip.MustParseAddr("::1"), Dst: ip.MustParseAddr("::2"), Clue: &ClueOption{Len: 200}}
+	if _, err := h.Marshal(0); err == nil {
+		t.Error("clue length 200 should fail for IPv6")
+	}
+}
+
+func TestParseIPv6Errors(t *testing.T) {
+	if _, _, err := ParseIPv6(make([]byte, 20)); err == nil {
+		t.Error("short v6 buffer should fail")
+	}
+	h := &IPv6{NextHeader: 17, Src: ip.MustParseAddr("::1"), Dst: ip.MustParseAddr("::2")}
+	b, err := h.Marshal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] = 0x40
+	if _, _, err := ParseIPv6(b); err == nil {
+		t.Error("wrong version should fail")
+	}
+	// NextHeader 0 is reserved for the hop-by-hop clue extension.
+	bad := &IPv6{NextHeader: 0, Src: ip.MustParseAddr("::1"), Dst: ip.MustParseAddr("::2")}
+	if _, err := bad.Marshal(0); err == nil {
+		t.Error("NextHeader 0 should fail to marshal")
+	}
+	// A repeated hop-by-hop extension is rejected on parse.
+	withClue := &IPv6{NextHeader: 17, Src: ip.MustParseAddr("::1"), Dst: ip.MustParseAddr("::2"),
+		Clue: &ClueOption{Len: 8}}
+	wb, err := withClue.Marshal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb[40] = 0 // inner next-header claims another hop-by-hop
+	if _, _, err := ParseIPv6(wb); err == nil {
+		t.Error("repeated hop-by-hop should fail to parse")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example-style check: checksum of a buffer with its checksum
+	// embedded is zero.
+	h := &IPv4{TTL: 64, Protocol: 6, Src: ip.MustParseAddr("10.0.0.1"), Dst: ip.MustParseAddr("10.0.0.2")}
+	b, _ := h.Marshal(33)
+	if Checksum(b) != 0 {
+		t.Error("checksum over marshaled header should be 0")
+	}
+	// Odd-length buffers are handled.
+	if Checksum([]byte{0x01}) != ^uint16(0x0100) {
+		t.Error("odd-length checksum wrong")
+	}
+}
+
+// Property: random headers round-trip exactly.
+func TestQuickIPv4RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 2000; i++ {
+		h := &IPv4{
+			TOS: byte(rng.Intn(256)), ID: uint16(rng.Intn(1 << 16)),
+			DontFrag: rng.Intn(2) == 0, TTL: byte(rng.Intn(256)), Protocol: byte(rng.Intn(256)),
+			Src: ip.AddrFrom32(rng.Uint32()), Dst: ip.AddrFrom32(rng.Uint32()),
+		}
+		switch rng.Intn(3) {
+		case 1:
+			h.Clue = &ClueOption{Len: rng.Intn(33)}
+		case 2:
+			h.Clue = &ClueOption{Len: rng.Intn(33), HasIndex: true, Index: uint16(rng.Intn(1 << 16))}
+		}
+		b, err := h.Marshal(rng.Intn(1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ParseIPv4(b)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if got.Src != h.Src || got.Dst != h.Dst || got.TTL != h.TTL || got.ID != h.ID {
+			t.Fatal("fixed fields mismatch")
+		}
+		switch {
+		case h.Clue == nil:
+			if got.Clue != nil {
+				t.Fatal("phantom clue")
+			}
+		default:
+			if got.Clue == nil || *got.Clue != *h.Clue {
+				t.Fatalf("clue mismatch: %+v vs %+v", got.Clue, h.Clue)
+			}
+		}
+	}
+}

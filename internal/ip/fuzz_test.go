@@ -1,0 +1,57 @@
+package ip
+
+import "testing"
+
+// FuzzParseAddr: the parser must never panic, and accepted addresses must
+// round-trip through String (possibly to a canonical spelling that parses
+// to the same value).
+func FuzzParseAddr(f *testing.F) {
+	for _, s := range []string{
+		"0.0.0.0", "255.255.255.255", "10.1.2.3",
+		"::", "::1", "2001:db8::1", "1:2:3:4:5:6:7:8", "fe80::",
+		"", "1.2.3", "zz", ":::", "1::2::3",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		canonical := a.String()
+		b, err := ParseAddr(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not parse: %v", canonical, s, err)
+		}
+		if b != a {
+			t.Fatalf("round trip changed the address: %q -> %v -> %q -> %v", s, a, canonical, b)
+		}
+	})
+}
+
+// FuzzParsePrefix: same contract for prefixes, plus canonicalization.
+func FuzzParsePrefix(f *testing.F) {
+	for _, s := range []string{
+		"10.0.0.0/8", "10.1.2.3/16", "0.0.0.0/0", "2001:db8::/32", "::/0",
+		"10.0.0.0/33", "10.0.0.0", "/8", "x/8",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Len() < 0 || p.Len() > p.Family().Width() {
+			t.Fatalf("accepted prefix length %d", p.Len())
+		}
+		// Canonical: the address must have no bits past Len.
+		if p.Addr().Mask(p.Len()) != p.Addr() {
+			t.Fatalf("non-canonical prefix accepted: %v", p)
+		}
+		q, err := ParsePrefix(p.String())
+		if err != nil || q != p {
+			t.Fatalf("round trip failed: %q -> %v -> %q -> %v (%v)", s, p, p.String(), q, err)
+		}
+	})
+}

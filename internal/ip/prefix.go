@@ -1,0 +1,153 @@
+package ip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an address prefix: the first Len bits of Addr. The address is
+// kept canonical (all bits past Len are zero), so Prefix is comparable and
+// usable as a map key — the property the clue hash table relies on when it
+// verifies that a hash-table entry really corresponds to the clue at hand.
+type Prefix struct {
+	addr Addr
+	len  uint8
+}
+
+// PrefixFrom returns the prefix of the first n bits of a, canonicalized.
+// n is clamped to [0, W] for a's family.
+func PrefixFrom(a Addr, n int) Prefix {
+	w := a.fam.Width()
+	if n < 0 {
+		n = 0
+	}
+	if n > w {
+		n = w
+	}
+	return Prefix{addr: a.Mask(n), len: uint8(n)}
+}
+
+// Addr returns the (canonical) address of the prefix.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Len returns the prefix length in bits. A clue is exactly this value,
+// carried in the packet header as a pointer into the destination address.
+func (p Prefix) Len() int { return int(p.len) }
+
+// Family returns the prefix's address family.
+func (p Prefix) Family() Family { return p.addr.fam }
+
+// Bit returns bit i of the prefix (i < Len()).
+func (p Prefix) Bit(i int) byte { return p.addr.Bit(i) }
+
+// Contains reports whether address a matches the prefix (the first Len bits
+// of a equal the prefix bits).
+func (p Prefix) Contains(a Addr) bool {
+	if a.fam != p.addr.fam {
+		return false
+	}
+	return a.Mask(int(p.len)) == p.addr
+}
+
+// IsAncestorOf reports whether p is a (non-strict) ancestor of q in the
+// trie: p is no longer than q and q extends p.
+func (p Prefix) IsAncestorOf(q Prefix) bool {
+	return p.len <= q.len && p.Contains(q.addr)
+}
+
+// Parent returns the prefix one bit shorter. Parent of the empty prefix is
+// the empty prefix itself.
+func (p Prefix) Parent() Prefix {
+	if p.len == 0 {
+		return p
+	}
+	return PrefixFrom(p.addr, int(p.len)-1)
+}
+
+// Child returns the prefix one bit longer, extended with bit b (0 or 1).
+// It panics if p is already at full width.
+func (p Prefix) Child(b byte) Prefix {
+	w := p.addr.fam.Width()
+	if int(p.len) >= w {
+		panic("ip: Child of full-width prefix")
+	}
+	a := p.addr.WithBit(int(p.len), b)
+	return Prefix{addr: a, len: p.len + 1}
+}
+
+// First returns the smallest address covered by the prefix.
+func (p Prefix) First() Addr { return p.addr }
+
+// Last returns the largest address covered by the prefix (every bit past
+// Len set to 1).
+func (p Prefix) Last() Addr { return p.addr.FillRight(int(p.len)) }
+
+// Truncate returns the prefix shortened to n bits (a "truncated clue" in
+// the sense of §5.3 of the paper). If n >= Len the prefix is unchanged.
+func (p Prefix) Truncate(n int) Prefix {
+	if n >= int(p.len) {
+		return p
+	}
+	return PrefixFrom(p.addr, n)
+}
+
+// Compare orders prefixes by address and then by length, the order used by
+// the binary-search-over-prefixes lookup engine.
+func (p Prefix) Compare(q Prefix) int {
+	if c := p.addr.Compare(q.addr); c != 0 {
+		return c
+	}
+	switch {
+	case p.len < q.len:
+		return -1
+	case p.len > q.len:
+		return 1
+	}
+	return 0
+}
+
+// String formats the prefix as "addr/len".
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.len))
+}
+
+// ParsePrefix parses "addr/len" in either family.
+func ParsePrefix(s string) (Prefix, error) {
+	i := strings.LastIndexByte(s, '/')
+	if i < 0 {
+		return Prefix{}, fmt.Errorf("ip: prefix %q missing /len", s)
+	}
+	a, err := ParseAddr(s[:i])
+	if err != nil {
+		return Prefix{}, err
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("ip: invalid prefix length %q", s[i+1:])
+	}
+	if n < 0 || n > a.fam.Width() {
+		return Prefix{}, fmt.Errorf("ip: prefix length %d out of range for %v", n, a.fam)
+	}
+	return PrefixFrom(a, n), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error; intended for tests,
+// examples and table literals.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Clue encodes the prefix as the clue value that travels in the packet
+// header: just its length. Together with the packet's destination address
+// the receiver reconstructs the full prefix via PrefixFrom(dest, clue) —
+// that reconstruction is DecodeClue.
+func (p Prefix) Clue() int { return int(p.len) }
+
+// DecodeClue reconstructs the clue prefix from a destination address and
+// the clue length carried in the header: the first n bits of dest.
+func DecodeClue(dest Addr, n int) Prefix { return PrefixFrom(dest, n) }

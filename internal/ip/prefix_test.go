@@ -1,0 +1,154 @@
+package ip
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrefixCanonical(t *testing.T) {
+	p := MustParsePrefix("10.1.2.3/16")
+	if got := p.String(); got != "10.1.0.0/16" {
+		t.Errorf("canonicalization: got %q, want 10.1.0.0/16", got)
+	}
+	if p.Len() != 16 {
+		t.Errorf("Len = %d, want 16", p.Len())
+	}
+	q := MustParsePrefix("2001:db8:ffff::/32")
+	if got := q.String(); got != "2001:db8::/32" {
+		t.Errorf("v6 canonicalization: got %q", got)
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	for _, s := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "2001:db8::/129", "/24"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q): want error", s)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if !p.Contains(MustParseAddr("10.1.255.3")) {
+		t.Error("10.1.0.0/16 should contain 10.1.255.3")
+	}
+	if p.Contains(MustParseAddr("10.2.0.0")) {
+		t.Error("10.1.0.0/16 should not contain 10.2.0.0")
+	}
+	root := PrefixFrom(AddrFrom32(0), 0)
+	if !root.Contains(MustParseAddr("255.255.255.255")) {
+		t.Error("default prefix should contain everything")
+	}
+	if p.Contains(MustParseAddr("2001:db8::1")) {
+		t.Error("v4 prefix must not contain a v6 address")
+	}
+}
+
+func TestAncestorChildParent(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	q := MustParsePrefix("10.1.0.0/16")
+	if !p.IsAncestorOf(q) || q.IsAncestorOf(p) {
+		t.Error("ancestor relation wrong")
+	}
+	if !p.IsAncestorOf(p) {
+		t.Error("IsAncestorOf should be reflexive")
+	}
+	c0, c1 := p.Child(0), p.Child(1)
+	if c0.String() != "10.0.0.0/9" || c1.String() != "10.128.0.0/9" {
+		t.Errorf("Child: %v / %v", c0, c1)
+	}
+	if c1.Parent() != p || c0.Parent() != p {
+		t.Error("Parent(Child) != self")
+	}
+	empty := PrefixFrom(AddrFrom32(0), 0)
+	if empty.Parent() != empty {
+		t.Error("Parent of empty prefix should be itself")
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if p.First().String() != "10.1.0.0" || p.Last().String() != "10.1.255.255" {
+		t.Errorf("First/Last: %v .. %v", p.First(), p.Last())
+	}
+	h := MustParsePrefix("10.1.2.3/32")
+	if h.First() != h.Last() {
+		t.Error("host route First != Last")
+	}
+}
+
+func TestTruncateAndClue(t *testing.T) {
+	p := MustParsePrefix("10.1.2.0/24")
+	if got := p.Truncate(16).String(); got != "10.1.0.0/16" {
+		t.Errorf("Truncate(16) = %q", got)
+	}
+	if got := p.Truncate(30); got != p {
+		t.Errorf("Truncate beyond length should be identity, got %v", got)
+	}
+	dest := MustParseAddr("10.1.2.77")
+	if got := DecodeClue(dest, p.Clue()); got != p {
+		t.Errorf("DecodeClue(dest, %d) = %v, want %v", p.Clue(), got, p)
+	}
+}
+
+func TestPrefixCompare(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 || b.Compare(c) != -1 {
+		t.Error("Compare ordering wrong")
+	}
+}
+
+// Property: a prefix contains an address iff the address agrees with the
+// prefix's canonical address on the first Len bits.
+func TestQuickContains(t *testing.T) {
+	f := func(x, y uint32, n8 uint8) bool {
+		n := int(n8) % 33
+		p := PrefixFrom(AddrFrom32(x), n)
+		a := AddrFrom32(y)
+		want := a.CommonPrefixLen(p.Addr()) >= n
+		return p.Contains(a) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clue round trip — for every destination inside a prefix,
+// encoding the prefix as a clue length and decoding it against the
+// destination recovers the prefix exactly. This is the header-encoding
+// soundness the whole scheme rests on.
+func TestQuickClueRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(33)
+		p := PrefixFrom(AddrFrom32(rng.Uint32()), n)
+		// A destination matching p: fix the first n bits, randomize the rest.
+		dest := AddrFrom32(rng.Uint32())
+		for i := 0; i < n; i++ {
+			dest = dest.WithBit(i, p.Bit(i))
+		}
+		if !p.Contains(dest) {
+			t.Fatalf("constructed dest %v not in %v", dest, p)
+		}
+		if got := DecodeClue(dest, p.Clue()); got != p {
+			t.Fatalf("clue round trip: got %v, want %v", got, p)
+		}
+	}
+}
+
+// Property: First/Last bracket exactly the contained addresses.
+func TestQuickFirstLast(t *testing.T) {
+	f := func(x, y uint32, n8 uint8) bool {
+		n := int(n8) % 33
+		p := PrefixFrom(AddrFrom32(x), n)
+		a := AddrFrom32(y)
+		inRange := p.First().Compare(a) <= 0 && a.Compare(p.Last()) <= 0
+		return inRange == p.Contains(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package loadbal implements the §5.4 load-balancing use of clues: shape
+// the clues a router sends so that a chosen downstream neighbor resolves
+// every packet in exactly one memory reference — "let us guarantee that
+// all the clues that may be sent from large backbone router R1 to its
+// neighboring large router R2 are prefixes at R2 which may not be extended
+// any farther. Then, router R2 performs IP lookup for each packet arriving
+// from R1 in one memory reference, just as in TAG-switching (but does not
+// need to swap the label/clue)."
+//
+// The shaper at R1 computes, per packet, the receiver's own best matching
+// prefix (R1 knows R2's table from the routing protocol) and sends that as
+// the clue; the receiver's trusted table is then pure FD — every entry is
+// final. The work has moved upstream: R1 pays for the extra lookup, which
+// is exactly the point ("the work load of heavy traffic backbone routers
+// is minimized while the peripheral and edge routers are required to
+// gradually lookup for longer and longer prefixes").
+package loadbal
+
+import (
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// Shaper is the sender side: it computes shaped clues against the
+// receiver's table.
+type Shaper struct {
+	receiver *trie.Trie
+	engine   lookup.ClueEngine
+}
+
+// NewShaper builds a shaper for the given receiver table, using a Patricia
+// engine to charge the sender realistically for the shaping lookup.
+func NewShaper(receiver *fib.Table) *Shaper {
+	tr := receiver.Trie()
+	return &Shaper{receiver: tr, engine: lookup.NewPatricia(tr)}
+}
+
+// Clue returns the shaped clue for a destination: the length of the
+// receiver's best matching prefix (0 — the empty prefix — when the
+// receiver has no match). The shaping lookup's memory references are
+// charged to c: that is the sender-side cost §5.4 trades for the
+// receiver's single reference.
+func (s *Shaper) Clue(dest ip.Addr, c *mem.Counter) int {
+	p, _, ok := s.engine.Lookup(dest, c)
+	if !ok {
+		return 0
+	}
+	return p.Clue()
+}
+
+// TrustedTable is the receiver side: a clue table for a neighbor that
+// contractually sends shaped clues (the receiver's own BMP). Every entry
+// is final, so Process costs exactly one reference for any known clue.
+type TrustedTable struct {
+	local   *trie.Trie
+	engine  lookup.Engine
+	entries map[ip.Prefix]trustedEntry
+}
+
+type trustedEntry struct {
+	prefix ip.Prefix
+	value  int
+	ok     bool
+}
+
+// NewTrustedTable builds the table. The clue universe of a shaping sender
+// is the receiver's own prefix set plus the empty prefix, so the table is
+// preprocessed completely up front — there are no runtime misses unless
+// the sender violates the contract.
+func NewTrustedTable(local *fib.Table, engine lookup.Engine) *TrustedTable {
+	tr := local.Trie()
+	t := &TrustedTable{
+		local:   tr,
+		engine:  engine,
+		entries: make(map[ip.Prefix]trustedEntry, tr.Size()+1),
+	}
+	add := func(c ip.Prefix) {
+		p, v, ok := tr.BMPOf(c)
+		t.entries[c] = trustedEntry{prefix: p, value: v, ok: ok}
+	}
+	add(ip.PrefixFrom(ip.Zero(local.Family()), 0))
+	tr.Walk(func(p ip.Prefix, _ int) bool {
+		add(p)
+		return true
+	})
+	return t
+}
+
+// Len returns the number of entries.
+func (t *TrustedTable) Len() int { return len(t.entries) }
+
+// Process resolves a shaped packet: one clue-table reference. A clue that
+// is not in the table at all falls back to a full lookup. Unlike the
+// Simple method (which is sound for arbitrary clues), a trusted table
+// answers from FD without ever searching — that is the whole point of
+// §5.4 — so a sender that violates the shaping contract with a clue that
+// happens to name a table entry gets that entry's answer, which may be a
+// coarser route. Deploy trusted tables only for neighbors that shape.
+func (t *TrustedTable) Process(dest ip.Addr, clueLen int, c *mem.Counter) (ip.Prefix, int, bool) {
+	clue := ip.DecodeClue(dest, clueLen)
+	c.Add(1)
+	e, ok := t.entries[clue]
+	if !ok {
+		return t.engine.Lookup(dest, c)
+	}
+	return e.prefix, e.value, e.ok
+}
+
+// WorkSplit measures how §5.4 redistributes lookup work for one packet:
+// the sender's extra shaping references and the receiver's references.
+type WorkSplit struct {
+	SenderRefs   int
+	ReceiverRefs int
+}
+
+// Shape runs the full §5.4 interaction for one destination: the sender
+// shapes the clue (paying for it), the receiver resolves in one reference.
+// The answer is the receiver's forwarding decision.
+func Shape(s *Shaper, t *TrustedTable, dest ip.Addr) (ip.Prefix, int, bool, WorkSplit) {
+	var cs, cr mem.Counter
+	clue := s.Clue(dest, &cs)
+	p, v, ok := t.Process(dest, clue, &cr)
+	return p, v, ok, WorkSplit{SenderRefs: cs.Count(), ReceiverRefs: cr.Count()}
+}

@@ -1,0 +1,124 @@
+package loadbal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/synth"
+)
+
+func TestShapedLookupOneReference(t *testing.T) {
+	routers := synth.PaperRouters(55, 0.03)
+	sender, receiver := routers["AT&T-1"], routers["AT&T-2"]
+	shaper := NewShaper(receiver)
+	rt := receiver.Trie()
+	tt := NewTrustedTable(receiver, lookup.NewPatricia(rt))
+	if tt.Len() != rt.Size()+1 {
+		t.Fatalf("trusted table entries = %d, want %d", tt.Len(), rt.Size()+1)
+	}
+	w := synth.NewWorkload(9, sender)
+	for i := 0; i < 3000; i++ {
+		dest := w.Next()
+		wp, wv, wok := rt.Lookup(dest, nil)
+		p, v, ok, split := Shape(shaper, tt, dest)
+		if ok != wok || (ok && (p != wp || v != wv)) {
+			t.Fatalf("shaped answer %v/%d/%v != direct %v/%d/%v for %v", p, v, ok, wp, wv, wok, dest)
+		}
+		if split.ReceiverRefs != 1 {
+			t.Fatalf("receiver refs = %d, want exactly 1 (the §5.4 guarantee)", split.ReceiverRefs)
+		}
+		if split.SenderRefs < 1 {
+			t.Fatal("sender must pay for the shaping lookup")
+		}
+	}
+}
+
+func TestShapedClueForUncoveredDestination(t *testing.T) {
+	routers := synth.PaperRouters(56, 0.01)
+	receiver := routers["Paix"]
+	shaper := NewShaper(receiver)
+	rt := receiver.Trie()
+	tt := NewTrustedTable(receiver, lookup.NewPatricia(rt))
+	// An address far outside the synthetic universe's first octets.
+	dest := ip.MustParseAddr("1.0.0.1")
+	if _, _, ok := rt.Lookup(dest, nil); ok {
+		t.Skip("destination unexpectedly covered")
+	}
+	clue := shaper.Clue(dest, nil)
+	if clue != 0 {
+		t.Errorf("shaped clue for uncovered destination = %d, want 0", clue)
+	}
+	var c mem.Counter
+	_, _, ok := tt.Process(dest, clue, &c)
+	if ok {
+		t.Error("uncovered destination should have no match")
+	}
+	if c.Count() != 1 {
+		t.Errorf("uncovered shaped lookup cost %d, want 1", c.Count())
+	}
+}
+
+func TestUnknownClueFallsBack(t *testing.T) {
+	routers := synth.PaperRouters(57, 0.01)
+	receiver := routers["MAE-West"]
+	rt := receiver.Trie()
+	tt := NewTrustedTable(receiver, lookup.NewPatricia(rt))
+	rng := rand.New(rand.NewSource(4))
+	w := synth.NewWorkload(4, receiver)
+	exercised := 0
+	for i := 0; i < 3000; i++ {
+		dest := w.Next()
+		clueLen := rng.Intn(33)
+		// Only clues that are NOT table entries must fall back to the
+		// full lookup; clues that name an entry are answered from its FD
+		// by design (§5.4 trusts the shaping contract — see Process docs).
+		clue := ip.DecodeClue(dest, clueLen)
+		if _, inTable := tt.entries[clue]; inTable {
+			continue
+		}
+		exercised++
+		wp, _, wok := rt.Lookup(dest, nil)
+		var c mem.Counter
+		p, _, ok := tt.Process(dest, clueLen, &c)
+		if ok != wok || (ok && p != wp) {
+			t.Fatalf("unknown-clue fallback broke: got %v/%v want %v/%v", p, ok, wp, wok)
+		}
+		if c.Count() < 2 {
+			t.Fatalf("fallback cost %d should include the full lookup", c.Count())
+		}
+	}
+	if exercised == 0 {
+		t.Error("test never exercised an unknown clue")
+	}
+}
+
+// The point of §5.4: total receiver work drops to the floor while total
+// sender work rises — the backbone router is protected.
+func TestWorkShiftsUpstream(t *testing.T) {
+	routers := synth.PaperRouters(58, 0.02)
+	sender, receiver := routers["MAE-East"], routers["ISP-B-1"]
+	shaper := NewShaper(receiver)
+	rt := receiver.Trie()
+	eng := lookup.NewPatricia(rt)
+	tt := NewTrustedTable(receiver, eng)
+	w := synth.NewWorkload(11, sender)
+	var receiverShaped, receiverPlain, senderExtra int
+	for i := 0; i < 2000; i++ {
+		dest := w.Next()
+		_, _, _, split := Shape(shaper, tt, dest)
+		receiverShaped += split.ReceiverRefs
+		senderExtra += split.SenderRefs
+		var c mem.Counter
+		eng.Lookup(dest, &c)
+		receiverPlain += c.Count()
+	}
+	if receiverShaped >= receiverPlain {
+		t.Errorf("shaping did not reduce receiver work: %d vs %d", receiverShaped, receiverPlain)
+	}
+	if senderExtra == 0 {
+		t.Error("shaping cost must land on the sender")
+	}
+}

@@ -1,0 +1,201 @@
+package lookup
+
+import (
+	"sort"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// ArrayEngine implements best-matching-prefix lookup by search over the
+// sorted array of prefix-endpoint intervals: every prefix contributes its
+// first address and the successor of its last address as boundaries, and
+// each interval between consecutive boundaries has a constant BMP,
+// precomputed at build time [19]. Probing with binary branching gives the
+// paper's "Binary" scheme; probing with 6-way branching — one memory
+// reference fetches a node of B−1 packed keys, as SDRAM lines allow — gives
+// the "6-way" scheme [11].
+//
+// For the Advance method, CompileResume builds a micro interval array over
+// the candidate set P(s,R1); when that array fits in the clue entry's cache
+// line (InlineEntries, §4: "the entire set may be placed in the same cache
+// line with the clue's entry ... the appropriate prefix is found without
+// any further external memory accesses") the restricted lookup is free.
+type ArrayEngine struct {
+	name   string
+	b      int // branching factor: 2 or 6
+	inline int // candidate prefixes that ride along in the clue's cache line
+	t      *trie.Trie
+	starts []ip.Addr
+	ans    []arrayAnswer
+}
+
+type arrayAnswer struct {
+	p  ip.Prefix
+	v  int
+	ok bool
+}
+
+// DefaultInlineEntries is how many candidate intervals fit in the clue
+// entry's cache line in the §3.5 SDRAM model (32-byte lines; the entry's
+// three 4-byte fields leave room for a few packed prefix records).
+const DefaultInlineEntries = 2
+
+// NewBinary builds the binary-search engine (branching factor 2).
+func NewBinary(t *trie.Trie) *ArrayEngine { return NewArray(t, 2, DefaultInlineEntries, "Binary") }
+
+// NewBWay builds the 6-way engine of [11].
+func NewBWay(t *trie.Trie) *ArrayEngine { return NewArray(t, 6, DefaultInlineEntries, "6-way") }
+
+// NewArray builds an interval-array engine with branching factor b and the
+// given inline capacity for Advance micro arrays (0 disables co-location).
+func NewArray(t *trie.Trie, b, inline int, name string) *ArrayEngine {
+	if b < 2 {
+		panic("lookup: branching factor must be >= 2")
+	}
+	e := &ArrayEngine{name: name, b: b, inline: inline, t: t}
+	bounds := map[ip.Addr]bool{ip.Zero(t.Family()): true}
+	t.Walk(func(p ip.Prefix, _ int) bool {
+		bounds[p.First()] = true
+		if nxt, ok := p.Last().Next(); ok {
+			bounds[nxt] = true
+		}
+		return true
+	})
+	e.starts = make([]ip.Addr, 0, len(bounds))
+	for a := range bounds {
+		e.starts = append(e.starts, a)
+	}
+	sort.Slice(e.starts, func(i, j int) bool { return e.starts[i].Compare(e.starts[j]) < 0 })
+	e.ans = make([]arrayAnswer, len(e.starts))
+	for i, a := range e.starts {
+		p, v, ok := t.Lookup(a, nil)
+		e.ans[i] = arrayAnswer{p: p, v: v, ok: ok}
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *ArrayEngine) Name() string { return e.name }
+
+// Intervals returns the number of intervals in the global array.
+func (e *ArrayEngine) Intervals() int { return len(e.starts) }
+
+// locate returns the index in [lo,hi] of the rightmost boundary <= a,
+// costing one reference per node of b−1 packed keys fetched. It requires
+// starts[lo] <= a.
+func locate(starts []ip.Addr, b int, a ip.Addr, lo, hi int, c *mem.Counter) int {
+	for {
+		n := hi - lo + 1
+		c.Add(1)
+		if n <= b {
+			// The whole remaining range is one node: scan it in-line.
+			for i := hi; i > lo; i-- {
+				if starts[i].Compare(a) <= 0 {
+					return i
+				}
+			}
+			return lo
+		}
+		chunk := (n + b - 1) / b
+		newLo, newHi := lo, min(lo+chunk-1, hi)
+		for j := 1; j < b; j++ {
+			sep := lo + j*chunk
+			if sep > hi {
+				break
+			}
+			if starts[sep].Compare(a) <= 0 {
+				newLo, newHi = sep, min(sep+chunk-1, hi)
+			} else {
+				break
+			}
+		}
+		lo, hi = newLo, newHi
+	}
+}
+
+// Lookup implements Engine: search the full interval array.
+func (e *ArrayEngine) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	if a.Family() != e.t.Family() {
+		return ip.Prefix{}, 0, false
+	}
+	i := locate(e.starts, e.b, a, 0, len(e.starts)-1, c)
+	ans := e.ans[i]
+	return ans.p, ans.v, ans.ok
+}
+
+// arrayResume restricts the search to the interval subrange [lo,hi] of the
+// global array (Simple), or to a per-clue micro array over the candidate
+// set (Advance).
+type arrayResume struct {
+	e       *ArrayEngine
+	lo, hi  int
+	micro   bool
+	ncand   int // size of the candidate set (decides cache-line co-location)
+	mstarts []ip.Addr
+	mans    []arrayAnswer
+}
+
+func (r arrayResume) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	if !r.micro {
+		i := locate(r.e.starts, r.e.b, a, r.lo, r.hi, c)
+		ans := r.e.ans[i]
+		return ans.p, ans.v, ans.ok
+	}
+	var ans arrayAnswer
+	if r.ncand <= r.e.inline {
+		// Co-located with the clue entry: found in the same cache line the
+		// clue-table probe already fetched — zero further references.
+		for i := len(r.mstarts) - 1; i >= 0; i-- {
+			if r.mstarts[i].Compare(a) <= 0 {
+				ans = r.mans[i]
+				break
+			}
+		}
+	} else {
+		i := locate(r.mstarts, r.e.b, a, 0, len(r.mstarts)-1, c)
+		ans = r.mans[i]
+	}
+	return ans.p, ans.v, ans.ok
+}
+
+// CompileResume implements ClueEngine.
+func (e *ArrayEngine) CompileResume(s ip.Prefix, candidates []ip.Prefix) Resume {
+	if candidates == nil {
+		if len(markedBelow(e.t, s)) == 0 {
+			return nil
+		}
+		lo := locate(e.starts, e.b, s.First(), 0, len(e.starts)-1, nil)
+		hi := locate(e.starts, e.b, s.Last(), 0, len(e.starts)-1, nil)
+		return arrayResume{e: e, lo: lo, hi: hi}
+	}
+	// Advance: micro interval array over the candidate set. The base
+	// boundary is s.First so every address under s falls in some interval;
+	// intervals not covered by any candidate answer "no match" and fall
+	// back to the clue entry's FD.
+	ctrie := trie.New(e.t.Family())
+	for _, p := range candidates {
+		v, _ := e.t.Get(p)
+		ctrie.Insert(p, v)
+	}
+	bounds := map[ip.Addr]bool{s.First(): true}
+	last := s.Last()
+	for _, p := range candidates {
+		bounds[p.First()] = true
+		if nxt, ok := p.Last().Next(); ok && nxt.Compare(last) <= 0 {
+			bounds[nxt] = true
+		}
+	}
+	mstarts := make([]ip.Addr, 0, len(bounds))
+	for a := range bounds {
+		mstarts = append(mstarts, a)
+	}
+	sort.Slice(mstarts, func(i, j int) bool { return mstarts[i].Compare(mstarts[j]) < 0 })
+	mans := make([]arrayAnswer, len(mstarts))
+	for i, a := range mstarts {
+		p, v, ok := ctrie.Lookup(a, nil)
+		mans[i] = arrayAnswer{p: p, v: v, ok: ok}
+	}
+	return arrayResume{e: e, micro: true, ncand: len(candidates), mstarts: mstarts, mans: mans}
+}

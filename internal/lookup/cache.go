@@ -1,0 +1,98 @@
+package lookup
+
+import (
+	"container/list"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+// CachedEngine models the §2 hardware-survey baseline of "employing a
+// cache to hold the results of recent lookups. It is possible to achieve a
+// 90% hit rate [18, 16] but by employing a large and very expensive cache
+// based on the CAM technology": an LRU cache of per-address results in
+// front of any engine. A hit costs one reference (the CAM probe); a miss
+// costs the probe plus the backing engine's full lookup.
+//
+// The cache is the natural comparison point for the clue scheme: both
+// amortize lookups, but the cache amortizes per destination address (so it
+// needs traffic locality and large, expensive associative memory), while
+// the clue table amortizes per PREFIX, is keyed by information the
+// upstream router already computed, and works for the very first packet
+// of a destination the router has never seen.
+type CachedEngine struct {
+	backing Engine
+	cap     int
+	lru     *list.List
+	items   map[ip.Addr]*list.Element
+
+	hits, misses int
+}
+
+type cacheItem struct {
+	addr ip.Addr
+	ans  arrayAnswer
+}
+
+// NewCached wraps a backing engine with an LRU result cache of the given
+// capacity (entries).
+func NewCached(backing Engine, capacity int) *CachedEngine {
+	if capacity < 1 {
+		panic("lookup: cache capacity must be >= 1")
+	}
+	return &CachedEngine{
+		backing: backing,
+		cap:     capacity,
+		lru:     list.New(),
+		items:   make(map[ip.Addr]*list.Element, capacity),
+	}
+}
+
+// Name implements Engine.
+func (e *CachedEngine) Name() string { return "Cache+" + e.backing.Name() }
+
+// HitRate returns the fraction of lookups served from the cache.
+func (e *CachedEngine) HitRate() float64 {
+	total := e.hits + e.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(e.hits) / float64(total)
+}
+
+// Len returns the current number of cached results.
+func (e *CachedEngine) Len() int { return e.lru.Len() }
+
+// Lookup implements Engine.
+func (e *CachedEngine) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	c.Add(1) // the cache (CAM) probe
+	if el, ok := e.items[a]; ok {
+		e.hits++
+		e.lru.MoveToFront(el)
+		ans := el.Value.(*cacheItem).ans
+		return ans.p, ans.v, ans.ok
+	}
+	e.misses++
+	p, v, ok := e.backing.Lookup(a, c)
+	if e.lru.Len() >= e.cap {
+		oldest := e.lru.Back()
+		e.lru.Remove(oldest)
+		delete(e.items, oldest.Value.(*cacheItem).addr)
+	}
+	e.items[a] = e.lru.PushFront(&cacheItem{addr: a, ans: arrayAnswer{p: p, v: v, ok: ok}})
+	return p, v, ok
+}
+
+// Invalidate drops every cached result — required on any route change,
+// which is the operational weakness of result caches the paper's survey
+// alludes to (clue tables, by contrast, recompute only the affected
+// entries; see core.Table.UpdateLocal).
+func (e *CachedEngine) Invalidate() {
+	e.lru.Init()
+	e.items = make(map[ip.Addr]*list.Element, e.cap)
+}
+
+// interface check: CachedEngine is deliberately NOT a ClueEngine — a
+// result cache has no structure to resume a search in. Wrap the backing
+// engine for clue work and the cache for plain forwarding.
+var _ Engine = (*CachedEngine)(nil)

@@ -1,0 +1,107 @@
+package lookup
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+func TestCachedEngineBasics(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{
+		ip.MustParsePrefix("10.0.0.0/8"),
+		ip.MustParsePrefix("10.1.0.0/16"),
+	})
+	e := NewCached(NewRegular(tr), 4)
+	if e.Name() != "Cache+Regular" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	a := ip.MustParseAddr("10.1.2.3")
+	var c1 mem.Counter
+	p, _, ok := e.Lookup(a, &c1)
+	if !ok || p.Len() != 16 {
+		t.Fatalf("miss lookup = %v %v", p, ok)
+	}
+	if c1.Count() != 18 { // 1 probe + 17 trie vertices
+		t.Errorf("miss cost = %d, want 18", c1.Count())
+	}
+	var c2 mem.Counter
+	p, _, ok = e.Lookup(a, &c2)
+	if !ok || p.Len() != 16 {
+		t.Fatalf("hit lookup = %v %v", p, ok)
+	}
+	if c2.Count() != 1 {
+		t.Errorf("hit cost = %d, want 1", c2.Count())
+	}
+	if e.HitRate() != 0.5 || e.Len() != 1 {
+		t.Errorf("HitRate=%v Len=%d", e.HitRate(), e.Len())
+	}
+	// Misses are cached too (negative caching).
+	miss := ip.MustParseAddr("99.9.9.9")
+	e.Lookup(miss, nil)
+	var c3 mem.Counter
+	if _, _, ok := e.Lookup(miss, &c3); ok || c3.Count() != 1 {
+		t.Error("negative result should be cached")
+	}
+}
+
+func TestCachedEngineEviction(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{ip.MustParsePrefix("0.0.0.0/0")})
+	e := NewCached(NewRegular(tr), 2)
+	a1, a2, a3 := ip.MustParseAddr("1.1.1.1"), ip.MustParseAddr("2.2.2.2"), ip.MustParseAddr("3.3.3.3")
+	e.Lookup(a1, nil)
+	e.Lookup(a2, nil)
+	e.Lookup(a1, nil) // a1 now most recent
+	e.Lookup(a3, nil) // evicts a2
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	var ch mem.Counter
+	e.Lookup(a1, &ch)
+	if ch.Count() != 1 {
+		t.Error("recently used entry evicted")
+	}
+	var c mem.Counter
+	e.Lookup(a2, &c)
+	if c.Count() == 1 {
+		t.Error("evicted entry served from cache")
+	}
+	e.Invalidate()
+	if e.Len() != 0 {
+		t.Error("Invalidate left entries")
+	}
+	var ci mem.Counter
+	e.Lookup(a1, &ci)
+	if ci.Count() == 1 {
+		t.Error("invalidated entry served from cache")
+	}
+}
+
+func TestCachedEngineCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 should panic")
+		}
+	}()
+	NewCached(NewRegular(buildTrie(nil)), 0)
+}
+
+// Property: caching never changes answers.
+func TestQuickCachedAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	tr := buildTrie(randomPrefixes(rng, 100, 0x3F0F00FF))
+	e := NewCached(NewPatricia(tr), 64)
+	for i := 0; i < 2000; i++ {
+		// Re-draw from a small pool (~1k addresses) so hits actually happen.
+		a := ip.AddrFrom32(rng.Uint32() & 0x0703001F)
+		wp, wv, wok := tr.Lookup(a, nil)
+		gp, gv, gok := e.Lookup(a, nil)
+		if gok != wok || (gok && (gp != wp || gv != wv)) {
+			t.Fatalf("cache changed the answer for %v: %v/%d/%v vs %v/%d/%v", a, gp, gv, gok, wp, wv, wok)
+		}
+	}
+	if e.HitRate() == 0 {
+		t.Error("workload produced no cache hits")
+	}
+}

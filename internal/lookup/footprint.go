@@ -1,0 +1,71 @@
+package lookup
+
+import "unsafe"
+
+// Footprint support: approximate resident bytes of each engine's compiled
+// structures, reproducing the space side of the paper's §2 survey (the
+// trie is O(N); binary search over endpoints is O(N) entries of larger
+// records; Log W pays for markers; multibit and Lulea trade memory for
+// stride). Numbers are estimates from structure counts, not allocator
+// measurements — they are for comparing engines, the way §2 does.
+
+// Footprinter is implemented by engines that can report their size.
+type Footprinter interface {
+	Footprint() int
+}
+
+const ptrSize = int(unsafe.Sizeof(uintptr(0)))
+
+// Footprint implements Footprinter: one node per vertex.
+func (e *RegularEngine) Footprint() int {
+	// prefix (24) + two children + marked/value.
+	return e.t.NodeCount() * (24 + 2*ptrSize + 16)
+}
+
+// Footprint implements Footprinter.
+func (e *PatriciaEngine) Footprint() int {
+	return e.pat.NodeCount() * (24 + 2*ptrSize + 16)
+}
+
+// Footprint implements Footprinter: boundary keys plus answer records.
+func (e *ArrayEngine) Footprint() int {
+	return len(e.starts)*24 + len(e.ans)*32
+}
+
+// Footprint implements Footprinter: hash entries (real + markers).
+func (e *LogWEngine) Footprint() int {
+	// key prefix (24) + entry (bmp 24 + val 8 + flags) with map overhead ≈ 1.5x.
+	return len(e.table) * (24 + 40) * 3 / 2
+}
+
+// Footprint implements Footprinter: expanded stride nodes.
+func (e *MultibitEngine) Footprint() int {
+	var count func(n *mbNode) int
+	count = func(n *mbNode) int {
+		if n == nil {
+			return 0
+		}
+		total := len(n.slots)*32 + len(n.children)*ptrSize
+		for _, c := range n.children {
+			total += count(c)
+		}
+		return total
+	}
+	return count(e.root)
+}
+
+// Footprint implements Footprinter: bitmaps, rank bases and run records.
+func (e *LuleaEngine) Footprint() int {
+	var count func(n *luleaNode) int
+	count = func(n *luleaNode) int {
+		if n == nil {
+			return 0
+		}
+		total := len(n.bitmap)*8 + len(n.rank)*8 + len(n.runs)*(32+ptrSize)
+		for _, r := range n.runs {
+			total += count(r.child)
+		}
+		return total
+	}
+	return count(e.root)
+}

@@ -1,0 +1,58 @@
+package lookup
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/trie"
+)
+
+func TestFootprints(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	tr := buildTrie(randomPrefixes(rng, 2000, 0x3F0FFFFF))
+	engines := []interface {
+		Engine
+		Footprinter
+	}{
+		NewRegular(tr), NewPatricia(tr), NewBinary(tr), NewBWay(tr),
+		NewLogW(tr), NewMultibit(tr, 8), NewLulea(tr),
+	}
+	sizes := map[string]int{}
+	for _, e := range engines {
+		fp := e.Footprint()
+		if fp <= 0 {
+			t.Errorf("%s: footprint %d", e.Name(), fp)
+		}
+		sizes[e.Name()] = fp
+	}
+	// Structural expectations from §2's survey:
+	// Patricia (path-compressed) is smaller than the uncompressed trie.
+	if sizes["Patricia"] >= sizes["Regular"] {
+		t.Errorf("Patricia %d not below Regular %d", sizes["Patricia"], sizes["Regular"])
+	}
+	// Log W pays for markers on top of the real entries; it outweighs the
+	// flat interval array.
+	if sizes["Log W"] <= sizes["Binary"] {
+		t.Errorf("Log W %d not above Binary %d", sizes["Log W"], sizes["Binary"])
+	}
+	// Stride-8 expansion is the memory hog of the lot.
+	if sizes["Multibit"] <= sizes["Regular"] {
+		t.Errorf("Multibit %d not above Regular %d", sizes["Multibit"], sizes["Regular"])
+	}
+	// Lulea's run compression undercuts the multibit expansion it is
+	// built on ([6]'s whole point).
+	if sizes["Lulea"] >= sizes["Multibit"] {
+		t.Errorf("Lulea %d not below Multibit %d", sizes["Lulea"], sizes["Multibit"])
+	}
+	t.Logf("footprints for a %d-prefix table: %v", tr.Size(), sizes)
+}
+
+func TestFootprintEmpty(t *testing.T) {
+	tr := trie.New(ip.IPv4)
+	for _, e := range []Footprinter{NewRegular(tr), NewPatricia(tr), NewBinary(tr), NewLogW(tr), NewMultibit(tr, 4), NewLulea(tr)} {
+		if fp := e.Footprint(); fp < 0 {
+			t.Errorf("negative footprint %d", fp)
+		}
+	}
+}

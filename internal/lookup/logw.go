@@ -1,0 +1,175 @@
+package lookup
+
+import (
+	"sort"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// LogWEngine implements binary search over prefix lengths with hash tables
+// and markers [26] ("Log W" in the paper's tables): a balanced search tree
+// over the distinct prefix lengths; at each probed length l the engine
+// hashes the first l bits of the destination — a hit (real prefix or
+// marker) steers the search toward longer lengths, a miss toward shorter.
+// Markers carry the precomputed BMP of their string, so the search needs no
+// backtracking; each hash probe costs one memory reference, for at most
+// ceil(log2 W) references.
+type LogWEngine struct {
+	t       *trie.Trie
+	lengths []int // distinct prefix lengths, sorted: the search space
+	table   map[ip.Prefix]logwEntry
+}
+
+type logwEntry struct {
+	bmp   ip.Prefix // BMP of this entry's string (itself, if real)
+	val   int
+	bmpOK bool // false for a marker whose string has no real ancestor
+	real  bool
+}
+
+// NewLogW builds the Log W engine over t: one shared hash table keyed by
+// (length-tagged) prefix, with markers inserted along each prefix's search
+// path as in [26].
+func NewLogW(t *trie.Trie) *LogWEngine {
+	e := &LogWEngine{t: t, table: make(map[ip.Prefix]logwEntry)}
+	seen := make(map[int]bool)
+	t.Walk(func(p ip.Prefix, _ int) bool {
+		if !seen[p.Len()] {
+			seen[p.Len()] = true
+			e.lengths = append(e.lengths, p.Len())
+		}
+		return true
+	})
+	sort.Ints(e.lengths)
+	t.Walk(func(p ip.Prefix, v int) bool {
+		e.insert(p, v)
+		return true
+	})
+	return e
+}
+
+// insert places the real entry for p and the markers the binary search
+// needs to be steered toward it.
+func (e *LogWEngine) insert(p ip.Prefix, v int) {
+	lo, hi := 0, len(e.lengths)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		l := e.lengths[mid]
+		switch {
+		case l == p.Len():
+			e.table[p] = logwEntry{bmp: p, val: v, bmpOK: true, real: true}
+			return
+		case l < p.Len():
+			// The search probes length l before reaching p: leave a marker
+			// (unless a real entry is already there) so the probe hits.
+			m := p.Truncate(l)
+			if cur, ok := e.table[m]; !ok || !cur.real {
+				bmp, bv, bok := e.t.BMPOf(m)
+				e.table[m] = logwEntry{bmp: bmp, val: bv, bmpOK: bok}
+			}
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+}
+
+// Name implements Engine.
+func (e *LogWEngine) Name() string { return "Log W" }
+
+// Lookup implements Engine.
+func (e *LogWEngine) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	if a.Family() != e.t.Family() {
+		return ip.Prefix{}, 0, false
+	}
+	var best logwEntry
+	lo, hi := 0, len(e.lengths)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		l := e.lengths[mid]
+		c.Add(1)
+		if entry, ok := e.table[ip.PrefixFrom(a, l)]; ok {
+			if entry.bmpOK {
+				best = entry
+			}
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if !best.bmpOK {
+		return ip.Prefix{}, 0, false
+	}
+	return best.bmp, best.val, true
+}
+
+// logwResume is the §4 "Adapting the log W method" restricted search:
+// given the candidate set's minimum and maximum possible BMP lengths,
+// binary-search the length range (sLen, maxLen], probing a per-clue table
+// of candidate truncations. Because the table contains every truncation of
+// every candidate (not just tree-path markers), "some candidate extends the
+// first l destination bits" is monotone in l, so plain binary search over
+// the integer range is exact for any clue.
+type logwResume struct {
+	fam          ip.Family
+	sLen, maxLen int
+	table        map[ip.Prefix]logwEntry
+}
+
+func (r logwResume) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	var best logwEntry
+	lo, hi := r.sLen+1, r.maxLen
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		c.Add(1)
+		if entry, ok := r.table[ip.PrefixFrom(a, mid)]; ok {
+			if entry.bmpOK {
+				best = entry
+			}
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if !best.bmpOK {
+		return ip.Prefix{}, 0, false
+	}
+	return best.bmp, best.val, true
+}
+
+// CompileResume implements ClueEngine. For the Simple method the candidate
+// set is every prefix below the clue; for Advance it is P(s,R1). Either
+// way the per-clue table holds the candidates' truncations longer than the
+// clue, with each truncation's BMP *within the candidate set* precomputed
+// (a miss means the answer is the clue entry's FD).
+func (e *LogWEngine) CompileResume(s ip.Prefix, candidates []ip.Prefix) Resume {
+	if candidates == nil {
+		candidates = markedBelow(e.t, s)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	ctrie := trie.New(e.t.Family())
+	for _, p := range candidates {
+		v, _ := e.t.Get(p)
+		ctrie.Insert(p, v)
+	}
+	table := make(map[ip.Prefix]logwEntry)
+	maxLen := s.Len()
+	for _, p := range candidates {
+		if p.Len() > maxLen {
+			maxLen = p.Len()
+		}
+		for l := s.Len() + 1; l <= p.Len(); l++ {
+			m := p.Truncate(l)
+			if _, ok := table[m]; ok {
+				continue
+			}
+			bmp, bv, bok := ctrie.BMPOf(m)
+			table[m] = logwEntry{bmp: bmp, val: bv, bmpOK: bok, real: l == p.Len()}
+		}
+	}
+	return logwResume{fam: e.t.Family(), sLen: s.Len(), maxLen: maxLen, table: table}
+}

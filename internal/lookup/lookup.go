@@ -1,0 +1,89 @@
+// Package lookup implements the five best-matching-prefix lookup schemes
+// that the paper's evaluation (§6) compares, each instrumented with the
+// memory-reference cost model of internal/mem:
+//
+//   - Regular  — bit-by-bit scan of the binary trie (the 1999 baseline).
+//   - Patricia — walk of the path-compressed trie [22, 23].
+//   - Binary   — binary search over the sorted prefix-endpoint intervals [19].
+//   - 6-way    — the same interval array probed with 6-way branching, one
+//     reference per node of packed keys, exploiting SDRAM lines [11].
+//   - Log W    — binary search over prefix lengths with hash tables and
+//     markers [26] (Waldvogel et al.).
+//
+// Every engine also implements the clue-restricted searches of §4
+// ("integration with different data structures"): CompileResume precomputes,
+// at clue-table construction time, the state from which the search for a
+// destination continues below a clue — either unrestricted below the clue
+// vertex (the Simple method) or confined to the candidate set P(s,R1) of
+// Definition 1 (the Advance method).
+package lookup
+
+import (
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// Engine is a compiled lookup structure over one forwarding table.
+type Engine interface {
+	// Name returns the scheme name as used in the paper's tables.
+	Name() string
+	// Lookup finds the best matching prefix of a, recording one memory
+	// reference per data-structure access on c (nil c is valid and free).
+	Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool)
+}
+
+// Resume is the per-clue compiled state from which a lookup continues
+// below a clue. Lookup reports no match when nothing at or below the clue
+// matches the destination; the caller then uses the clue entry's FD field.
+type Resume interface {
+	Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool)
+}
+
+// ClueEngine is an Engine that supports continuing a lookup from a clue.
+type ClueEngine interface {
+	Engine
+	// CompileResume precomputes the restricted-search state for clue s.
+	// It runs at clue-table construction (or clue-learning) time and is
+	// therefore not charged memory references.
+	//
+	// candidates selects the method: nil means the Simple method (search
+	// anything below s); non-nil means the Advance method, restricted to
+	// the given candidate set P(s,R1) (which must be non-empty).
+	//
+	// A nil Resume means no restricted search can ever find a longer
+	// match, i.e. the clue entry's Ptr field is Empty.
+	CompileResume(s ip.Prefix, candidates []ip.Prefix) Resume
+}
+
+// All builds all five engines over the same trie, in the order of the
+// paper's tables: Regular, Patricia, Binary, 6-way, Log W.
+func All(t *trie.Trie) []ClueEngine {
+	return []ClueEngine{
+		NewRegular(t),
+		NewPatricia(t),
+		NewBinary(t),
+		NewBWay(t),
+		NewLogW(t),
+	}
+}
+
+// noSender is the inSender predicate for the Simple method: the Simple
+// method knows nothing about the sender's table, so no branch is pruned
+// and the candidate set is every marked vertex strictly below the clue.
+func noSender(ip.Prefix) bool { return false }
+
+// markedBelow returns all marked prefixes strictly below s in t, or nil if
+// the vertex for s does not exist.
+func markedBelow(t *trie.Trie, s ip.Prefix) []ip.Prefix {
+	node := t.Find(s)
+	if node == nil {
+		return nil
+	}
+	nodes := t.Candidates(node, noSender)
+	out := make([]ip.Prefix, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Prefix()
+	}
+	return out
+}

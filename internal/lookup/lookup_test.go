@@ -1,0 +1,283 @@
+package lookup
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+func randomPrefixes(rng *rand.Rand, n int, mask uint32) []ip.Prefix {
+	out := make([]ip.Prefix, 0, n)
+	for len(out) < n {
+		a := ip.AddrFrom32(rng.Uint32() & mask)
+		out = append(out, ip.PrefixFrom(a, rng.Intn(33)))
+	}
+	return out
+}
+
+func buildTrie(ps []ip.Prefix) *trie.Trie {
+	t := trie.New(ip.IPv4)
+	for i, p := range ps {
+		t.Insert(p, i)
+	}
+	return t
+}
+
+// Property: all five engines agree with the reference trie lookup on
+// random tables and random destinations.
+func TestQuickEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		tr := buildTrie(randomPrefixes(rng, 100, 0x3F0F00FF))
+		engines := All(tr)
+		for i := 0; i < 400; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+			wp, wv, wok := tr.Lookup(a, nil)
+			for _, e := range engines {
+				gp, gv, gok := e.Lookup(a, nil)
+				if gok != wok || (gok && (gp != wp || gv != wv)) {
+					t.Fatalf("trial %d: %s.Lookup(%v) = %v/%d/%v, want %v/%d/%v",
+						trial, e.Name(), a, gp, gv, gok, wp, wv, wok)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{ip.MustParsePrefix("10.0.0.0/8")})
+	want := []string{"Regular", "Patricia", "Binary", "6-way", "Log W"}
+	for i, e := range All(tr) {
+		if e.Name() != want[i] {
+			t.Errorf("engine %d Name = %q, want %q", i, e.Name(), want[i])
+		}
+	}
+}
+
+func TestEmptyTableLookups(t *testing.T) {
+	tr := trie.New(ip.IPv4)
+	for _, e := range All(tr) {
+		if _, _, ok := e.Lookup(ip.MustParseAddr("10.0.0.1"), nil); ok {
+			t.Errorf("%s: match in empty table", e.Name())
+		}
+	}
+}
+
+func TestFamilyMismatchLookup(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{ip.MustParsePrefix("0.0.0.0/0")})
+	v6 := ip.MustParseAddr("2001:db8::1")
+	for _, e := range All(tr) {
+		if _, _, ok := e.Lookup(v6, nil); ok && e.Name() != "Regular" && e.Name() != "Patricia" {
+			t.Errorf("%s: v6 address matched a v4 table", e.Name())
+		}
+	}
+}
+
+// clueAnswer replays the clue-table decision rule the way internal/core
+// will: clue s = BMP at the sender; FD = BMP of s at the receiver; resume
+// only per method; final answer must equal the receiver's full lookup.
+func clueAnswer(t2 *trie.Trie, e ClueEngine, s ip.Prefix, advance bool, inT1 func(ip.Prefix) bool, a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	var resume Resume
+	if advance {
+		node := t2.Find(s)
+		if node != nil {
+			cand := t2.Candidates(node, inT1)
+			if len(cand) > 0 {
+				ps := make([]ip.Prefix, len(cand))
+				for i, n := range cand {
+					ps[i] = n.Prefix()
+				}
+				resume = e.CompileResume(s, ps)
+			}
+		}
+	} else {
+		resume = e.CompileResume(s, nil)
+	}
+	if resume != nil {
+		if p, v, ok := resume.Lookup(a, c); ok {
+			return p, v, ok
+		}
+	}
+	return t2.BMPOf(s) // FD
+}
+
+// Property: for every engine and both methods, the clue-assisted answer
+// equals the receiver's direct full lookup — the core soundness claim of
+// the paper (§3.1.1–§3.1.2), for clues that are the sender's true BMP.
+func TestQuickClueAssistedEqualsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 15; trial++ {
+		t1ps := randomPrefixes(rng, 80, 0x3F0F00FF)
+		t2ps := randomPrefixes(rng, 80, 0x3F0F00FF)
+		copy(t2ps[:40], t1ps[:40]) // neighboring tables are similar
+		t1 := buildTrie(t1ps)
+		t2 := buildTrie(t2ps)
+		inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+		engines := All(t2)
+		for i := 0; i < 150; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+			s, _, ok := t1.Lookup(a, nil) // the clue
+			if !ok {
+				continue
+			}
+			wp, wv, wok := t2.Lookup(a, nil)
+			for _, e := range engines {
+				for _, advance := range []bool{false, true} {
+					gp, gv, gok := clueAnswer(t2, e, s, advance, inT1, a, nil)
+					if gok != wok || (gok && (gp != wp || gv != wv)) {
+						method := "Simple"
+						if advance {
+							method = "Advance"
+						}
+						t.Fatalf("trial %d: %s+%s clue %v dest %v: got %v/%d/%v, want %v/%d/%v",
+							trial, method, e.Name(), s, a, gp, gv, gok, wp, wv, wok)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The restricted search must be cheaper than the full lookup (that is the
+// whole point of the clue). Verified in aggregate over a random workload.
+func TestRestrictedSearchCheaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	t1ps := randomPrefixes(rng, 200, 0x3F0F00FF)
+	t2ps := randomPrefixes(rng, 200, 0x3F0F00FF)
+	copy(t2ps[:150], t1ps[:150])
+	t1, t2 := buildTrie(t1ps), buildTrie(t2ps)
+	inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+	for _, e := range All(t2) {
+		var full, assisted int
+		n := 0
+		for i := 0; i < 2000; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+			s, _, ok := t1.Lookup(a, nil)
+			if !ok {
+				continue
+			}
+			n++
+			var cf, ca mem.Counter
+			e.Lookup(a, &cf)
+			clueAnswer(t2, e, s, true, inT1, a, &ca)
+			full += cf.Count()
+			assisted += ca.Count()
+		}
+		if n == 0 {
+			t.Fatal("no clued packets generated")
+		}
+		if assisted >= full {
+			t.Errorf("%s: assisted cost %d not below full cost %d over %d packets",
+				e.Name(), assisted, full, n)
+		}
+	}
+}
+
+func TestCostBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	tr := buildTrie(randomPrefixes(rng, 500, 0x3F0F00FF))
+	reg, pat := NewRegular(tr), NewPatricia(tr)
+	bin, bway, logw := NewBinary(tr), NewBWay(tr), NewLogW(tr)
+
+	maxBin := int(math.Ceil(math.Log2(float64(bin.Intervals())))) + 1
+	for i := 0; i < 500; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		var cr, cp, cb, cw, cl mem.Counter
+		reg.Lookup(a, &cr)
+		pat.Lookup(a, &cp)
+		bin.Lookup(a, &cb)
+		bway.Lookup(a, &cw)
+		logw.Lookup(a, &cl)
+		if cr.Count() > 33 {
+			t.Fatalf("Regular cost %d > W+1", cr.Count())
+		}
+		if cp.Count() > cr.Count() {
+			t.Fatalf("Patricia cost %d exceeds Regular %d", cp.Count(), cr.Count())
+		}
+		if cb.Count() > maxBin {
+			t.Fatalf("Binary cost %d > ceil(log2(%d))+1", cb.Count(), bin.Intervals())
+		}
+		if cw.Count() > cb.Count() {
+			t.Fatalf("6-way cost %d exceeds Binary %d", cw.Count(), cb.Count())
+		}
+		if cl.Count() > 6 { // ceil(log2(33)) = 6
+			t.Fatalf("Log W cost %d > 6", cl.Count())
+		}
+	}
+}
+
+func TestCompileResumeNilCases(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{
+		ip.MustParsePrefix("10.0.0.0/8"),
+		ip.MustParsePrefix("10.1.0.0/16"),
+	})
+	for _, e := range All(tr) {
+		// Clue vertex absent from the trie.
+		if r := e.CompileResume(ip.MustParsePrefix("99.0.0.0/8"), nil); r != nil {
+			t.Errorf("%s: resume for absent clue should be nil", e.Name())
+		}
+		// Clue is a leaf: nothing below.
+		if r := e.CompileResume(ip.MustParsePrefix("10.1.0.0/16"), nil); r != nil {
+			t.Errorf("%s: resume for leaf clue should be nil", e.Name())
+		}
+		// Clue with a descendant: resume exists.
+		if r := e.CompileResume(ip.MustParsePrefix("10.0.0.0/8"), nil); r == nil {
+			t.Errorf("%s: resume for internal clue should not be nil", e.Name())
+		}
+	}
+}
+
+func TestAdvanceInlineFreebie(t *testing.T) {
+	// A clue with a single candidate: the Advance micro array fits in the
+	// clue entry's cache line, so the restricted lookup costs zero.
+	tr := buildTrie([]ip.Prefix{
+		ip.MustParsePrefix("10.0.0.0/8"),
+		ip.MustParsePrefix("10.1.0.0/16"),
+	})
+	for _, e := range []*ArrayEngine{NewBinary(tr), NewBWay(tr)} {
+		r := e.CompileResume(ip.MustParsePrefix("10.0.0.0/8"), []ip.Prefix{ip.MustParsePrefix("10.1.0.0/16")})
+		if r == nil {
+			t.Fatalf("%s: nil resume", e.Name())
+		}
+		var c mem.Counter
+		p, _, ok := r.Lookup(ip.MustParseAddr("10.1.2.3"), &c)
+		if !ok || p.Len() != 16 {
+			t.Fatalf("%s: resume answer %v/%v", e.Name(), p, ok)
+		}
+		if c.Count() != 0 {
+			t.Errorf("%s: inline candidate lookup cost %d, want 0", e.Name(), c.Count())
+		}
+		// Destination not covered by the candidate: miss, still free.
+		c.Reset()
+		if _, _, ok := r.Lookup(ip.MustParseAddr("10.2.0.0"), &c); ok || c.Count() != 0 {
+			t.Errorf("%s: miss should be free and not ok", e.Name())
+		}
+	}
+}
+
+func TestNewArrayBadBranching(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewArray with b=1 should panic")
+		}
+	}()
+	NewArray(trie.New(ip.IPv4), 1, 0, "bad")
+}
+
+func TestIPv6Engines(t *testing.T) {
+	tr := trie.New(ip.IPv6)
+	tr.Insert(ip.MustParsePrefix("2001:db8::/32"), 1)
+	tr.Insert(ip.MustParsePrefix("2001:db8:1::/48"), 2)
+	tr.Insert(ip.MustParsePrefix("::/0"), 0)
+	a := ip.MustParseAddr("2001:db8:1::9")
+	for _, e := range All(tr) {
+		p, v, ok := e.Lookup(a, nil)
+		if !ok || v != 2 || p.Len() != 48 {
+			t.Errorf("%s v6: %v %d %v", e.Name(), p, v, ok)
+		}
+	}
+}

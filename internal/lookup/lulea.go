@@ -1,0 +1,219 @@
+package lookup
+
+import (
+	"math/bits"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// LuleaEngine is a compressed multi-level table in the style of Degermark
+// et al.'s small forwarding tables ([6] in the paper's related work:
+// "Compress the prefixes data structure into the cache"). The address is
+// consumed in large strides (16-8-8 for IPv4); each level node covers 2^k
+// slots, but instead of storing every slot it stores a bit vector marking
+// the slots where the answer changes (run heads), per-word rank bases (the
+// codewords), and one record per run — leaf-pushed so a run is either a
+// final answer or a child pointer. A lookup costs two references per level
+// visited: the bitmap word (with its co-located rank base) and the run
+// record.
+type LuleaEngine struct {
+	t       *trie.Trie
+	strides []int
+	cum     []int // cumulative bit offsets, len(strides)+1
+	root    *luleaNode
+}
+
+type luleaNode struct {
+	bitmap []uint64
+	rank   []int // rank of set bits before each bitmap word
+	runs   []luleaEntry
+}
+
+type luleaEntry struct {
+	child *luleaNode
+	ans   arrayAnswer
+}
+
+// NewLulea builds the engine with the classic strides for the family
+// (16-8-8 for IPv4; 16×8 for IPv6).
+func NewLulea(t *trie.Trie) *LuleaEngine {
+	if t.Family() == ip.IPv4 {
+		return NewLuleaStrides(t, []int{16, 8, 8})
+	}
+	s := make([]int, 8)
+	for i := range s {
+		s[i] = 16
+	}
+	return NewLuleaStrides(t, s)
+}
+
+// NewLuleaStrides builds the engine with explicit strides, which must sum
+// to the family width and each be in [1,16].
+func NewLuleaStrides(t *trie.Trie, strides []int) *LuleaEngine {
+	sum := 0
+	for _, k := range strides {
+		if k < 1 || k > 16 {
+			panic("lookup: lulea stride out of [1,16]")
+		}
+		sum += k
+	}
+	if sum != t.Family().Width() {
+		panic("lookup: lulea strides must sum to the address width")
+	}
+	e := &LuleaEngine{t: t, strides: strides}
+	e.cum = make([]int, len(strides)+1)
+	for i, k := range strides {
+		e.cum[i+1] = e.cum[i] + k
+	}
+	e.root = e.buildNode(t, ip.PrefixFrom(ip.Zero(t.Family()), 0), 0)
+	return e
+}
+
+// buildNode constructs the node at the given level under slot-path base.
+// src is the trie the answers come from (the engine's own, or a per-clue
+// candidate trie).
+func (e *LuleaEngine) buildNode(src *trie.Trie, base ip.Prefix, level int) *luleaNode {
+	k := e.strides[level]
+	end := e.cum[level+1]
+	n := &luleaNode{bitmap: make([]uint64, (1<<k+63)/64)}
+	var prev luleaEntry
+	havePrev := false
+	addr := base.Addr()
+	for slot := 0; slot < 1<<k; slot++ {
+		// The slot's path: base bits plus this chunk.
+		a := addr
+		for i := 0; i < k; i++ {
+			a = a.WithBit(e.cum[level]+i, byte(slot>>(k-1-i))&1)
+		}
+		slotPrefix := ip.PrefixFrom(a, end)
+		var entry luleaEntry
+		node := src.Find(slotPrefix)
+		if node != nil && src.MarkedBelow(node) && level+1 < len(e.strides) {
+			entry.child = e.buildNode(src, slotPrefix, level+1)
+		} else {
+			p, v, ok := src.BMPOf(slotPrefix)
+			entry.ans = arrayAnswer{p: p, v: v, ok: ok}
+		}
+		// A new run starts when the entry differs from the previous slot's
+		// (child entries are always distinct runs).
+		if !havePrev || entry.child != nil || prev.child != nil || entry.ans != prev.ans {
+			n.bitmap[slot/64] |= 1 << uint(slot%64)
+			n.runs = append(n.runs, entry)
+		}
+		prev, havePrev = entry, true
+	}
+	n.rank = make([]int, len(n.bitmap))
+	total := 0
+	for i, w := range n.bitmap {
+		n.rank[i] = total
+		total += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// runFor returns the run record for a slot: one bitmap-word reference
+// (the rank base is co-located) and one run-record reference.
+func (n *luleaNode) runFor(slot int, c *mem.Counter) luleaEntry {
+	c.Add(1) // bitmap word + codeword
+	word := n.bitmap[slot/64]
+	mask := uint64(1)<<uint(slot%64) - 1
+	// Heads strictly before the slot; if the slot is itself a head that IS
+	// its run index, otherwise the covering run started one head earlier.
+	r := n.rank[slot/64] + bits.OnesCount64(word&mask)
+	if word&(1<<uint(slot%64)) == 0 {
+		r--
+	}
+	c.Add(1) // the run record
+	return n.runs[r]
+}
+
+// Name implements Engine.
+func (e *LuleaEngine) Name() string { return "Lulea" }
+
+// Lookup implements Engine.
+func (e *LuleaEngine) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	if a.Family() != e.t.Family() {
+		return ip.Prefix{}, 0, false
+	}
+	ans := e.walk(e.root, a, 0, -1, c)
+	return ans.p, ans.v, ans.ok
+}
+
+// walk descends levels from node n, keeping only answers longer than
+// minLen (-1 accepts everything).
+func (e *LuleaEngine) walk(n *luleaNode, a ip.Addr, level, minLen int, c *mem.Counter) arrayAnswer {
+	for n != nil {
+		slot := chunk(a, e.cum[level], e.strides[level])
+		entry := n.runFor(slot, c)
+		if entry.child == nil {
+			if entry.ans.ok && entry.ans.p.Len() > minLen {
+				return entry.ans
+			}
+			return arrayAnswer{}
+		}
+		n = entry.child
+		level++
+	}
+	return arrayAnswer{}
+}
+
+// luleaResume resumes at a precomputed node/level with the clue-length
+// filter (leaf-pushed answers at or above the clue length belong to FD).
+type luleaResume struct {
+	e     *LuleaEngine
+	start *luleaNode
+	level int
+	sLen  int
+}
+
+func (r luleaResume) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	ans := r.e.walk(r.start, a, r.level, r.sLen, c)
+	return ans.p, ans.v, ans.ok
+}
+
+// nodeAt walks complete levels along s and returns the deepest node whose
+// level starts at or before s's length, plus its level index.
+func (e *LuleaEngine) nodeAt(root *luleaNode, s ip.Prefix) (*luleaNode, int) {
+	n := root
+	level := 0
+	for level+1 < len(e.cum) && e.cum[level+1] <= s.Len() {
+		slot := chunk(s.Addr(), e.cum[level], e.strides[level])
+		entry := n.runFor(slot, nil)
+		if entry.child == nil {
+			return nil, 0
+		}
+		n = entry.child
+		level++
+	}
+	return n, level
+}
+
+// CompileResume implements ClueEngine. Simple resumes inside the engine's
+// own structure at the clue's level; Advance compiles a private compressed
+// table over the candidate set (entered at the clue's level, so the shared
+// leading chunks are free at forwarding time).
+func (e *LuleaEngine) CompileResume(s ip.Prefix, candidates []ip.Prefix) Resume {
+	if candidates == nil {
+		if len(markedBelow(e.t, s)) == 0 {
+			return nil
+		}
+		start, level := e.nodeAt(e.root, s)
+		if start == nil {
+			return nil
+		}
+		return luleaResume{e: e, start: start, level: level, sLen: s.Len()}
+	}
+	mini := trie.New(e.t.Family())
+	for _, p := range candidates {
+		v, _ := e.t.Get(p)
+		mini.Insert(p, v)
+	}
+	root := e.buildNode(mini, ip.PrefixFrom(ip.Zero(e.t.Family()), 0), 0)
+	start, level := e.nodeAt(root, s)
+	if start == nil {
+		return nil
+	}
+	return luleaResume{e: e, start: start, level: level, sLen: s.Len()}
+}

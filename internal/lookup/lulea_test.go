@@ -1,0 +1,141 @@
+package lookup
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+func TestLuleaBasic(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{
+		ip.MustParsePrefix("0.0.0.0/0"),
+		ip.MustParsePrefix("10.0.0.0/8"),
+		ip.MustParsePrefix("10.1.0.0/16"),
+		ip.MustParsePrefix("10.1.2.0/24"),
+		ip.MustParsePrefix("10.1.2.128/25"),
+	})
+	e := NewLulea(tr)
+	if e.Name() != "Lulea" {
+		t.Fatal("name")
+	}
+	var c mem.Counter
+	p, _, ok := e.Lookup(ip.MustParseAddr("10.1.2.200"), &c)
+	if !ok || p.Len() != 25 {
+		t.Fatalf("Lookup = %v %v", p, ok)
+	}
+	if c.Count() > 6 { // ≤ 2 refs per level, 3 levels
+		t.Errorf("lulea cost = %d, want <= 6", c.Count())
+	}
+	// Leaf-pushed default route.
+	p, _, ok = e.Lookup(ip.MustParseAddr("200.1.1.1"), &c)
+	if !ok || p.Len() != 0 {
+		t.Errorf("default = %v %v", p, ok)
+	}
+	// Run compression: the root node must have far fewer runs than slots.
+	if len(e.root.runs) >= 1<<15 {
+		t.Errorf("root runs = %d, compression failed", len(e.root.runs))
+	}
+}
+
+func TestLuleaStrideValidation(t *testing.T) {
+	tr := trie.New(ip.IPv4)
+	for _, strides := range [][]int{{16, 8}, {16, 8, 9}, {0, 16, 16}, {17, 8, 7}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("strides %v should panic", strides)
+				}
+			}()
+			NewLuleaStrides(tr, strides)
+		}()
+	}
+}
+
+// Property: Lulea agrees with the reference trie on random tables.
+func TestQuickLuleaAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 12; trial++ {
+		tr := buildTrie(randomPrefixes(rng, 90, 0x3F0F00FF))
+		e := NewLulea(tr)
+		for i := 0; i < 400; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+			wp, wv, wok := tr.Lookup(a, nil)
+			gp, gv, gok := e.Lookup(a, nil)
+			if gok != wok || (gok && (gp != wp || gv != wv)) {
+				t.Fatalf("trial %d: Lookup(%v) = %v/%d/%v, want %v/%d/%v", trial, a, gp, gv, gok, wp, wv, wok)
+			}
+		}
+	}
+}
+
+// Property: Lulea clue-assisted answers equal the direct lookup, both
+// methods.
+func TestQuickLuleaClueSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 6; trial++ {
+		t1ps := randomPrefixes(rng, 60, 0x3F0F00FF)
+		t2ps := randomPrefixes(rng, 60, 0x3F0F00FF)
+		copy(t2ps[:30], t1ps[:30])
+		t1, t2 := buildTrie(t1ps), buildTrie(t2ps)
+		inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+		e := NewLulea(t2)
+		for i := 0; i < 120; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+			s, _, ok := t1.Lookup(a, nil)
+			if !ok {
+				continue
+			}
+			wp, wv, wok := t2.Lookup(a, nil)
+			for _, advance := range []bool{false, true} {
+				gp, gv, gok := clueAnswer(t2, e, s, advance, inT1, a, nil)
+				if gok != wok || (gok && (gp != wp || gv != wv)) {
+					t.Fatalf("trial %d advance=%v clue %v dest %v: got %v/%d/%v want %v/%d/%v",
+						trial, advance, s, a, gp, gv, gok, wp, wv, wok)
+				}
+			}
+		}
+	}
+}
+
+func TestLuleaResumeNilCases(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{
+		ip.MustParsePrefix("10.0.0.0/8"),
+		ip.MustParsePrefix("10.1.0.0/16"),
+	})
+	e := NewLulea(tr)
+	if e.CompileResume(ip.MustParsePrefix("10.1.0.0/16"), nil) != nil {
+		t.Error("leaf clue should have nil resume")
+	}
+	if e.CompileResume(ip.MustParsePrefix("99.0.0.0/8"), nil) != nil {
+		t.Error("absent clue should have nil resume")
+	}
+	r := e.CompileResume(ip.MustParsePrefix("10.0.0.0/8"), nil)
+	if r == nil {
+		t.Fatal("internal clue should have a resume")
+	}
+	p, _, ok := r.Lookup(ip.MustParseAddr("10.1.9.9"), nil)
+	if !ok || p.Len() != 16 {
+		t.Errorf("resume = %v %v", p, ok)
+	}
+	// Destination with nothing longer than the clue below: miss.
+	if _, _, ok := r.Lookup(ip.MustParseAddr("10.9.9.9"), nil); ok {
+		t.Error("resume should miss when only the clue itself matches")
+	}
+}
+
+func TestLuleaIPv6(t *testing.T) {
+	tr := trie.New(ip.IPv6)
+	tr.Insert(ip.MustParsePrefix("2001:db8::/32"), 1)
+	tr.Insert(ip.MustParsePrefix("2001:db8:1::/48"), 2)
+	e := NewLulea(tr)
+	p, v, ok := e.Lookup(ip.MustParseAddr("2001:db8:1::9"), nil)
+	if !ok || v != 2 || p.Len() != 48 {
+		t.Errorf("v6 lulea = %v %d %v", p, v, ok)
+	}
+	if _, _, ok := e.Lookup(ip.MustParseAddr("2002::1"), nil); ok {
+		t.Error("v6 miss expected")
+	}
+}

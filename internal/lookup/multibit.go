@@ -1,0 +1,189 @@
+package lookup
+
+import (
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// MultibitEngine is the "go over the address in different jumps, rather
+// than bit by bit" scheme ([24] in the paper's related-work list, also
+// cited in §4 as a structure the clue-restricted search can run on): a
+// fixed-stride trie with controlled prefix expansion. Each node covers k
+// address bits and holds 2^k slots; a prefix whose length is not a
+// multiple of k is expanded into every slot it covers, longest prefix
+// winning. A lookup visits at most ceil(W/k) nodes, one memory reference
+// each.
+type MultibitEngine struct {
+	t       *trie.Trie
+	stride  int
+	root    *mbNode
+	def     arrayAnswer // the length-0 prefix, if any
+	defined bool
+}
+
+type mbNode struct {
+	slots    []arrayAnswer
+	children []*mbNode
+}
+
+// NewMultibit builds a stride-k engine over t (2 <= k <= 8).
+func NewMultibit(t *trie.Trie, stride int) *MultibitEngine {
+	if stride < 2 || stride > 8 {
+		panic("lookup: multibit stride must be in [2,8]")
+	}
+	e := &MultibitEngine{t: t, stride: stride}
+	e.root = e.build(t, &e.def, &e.defined)
+	return e
+}
+
+// build constructs the expanded stride trie for all marked prefixes of src.
+func (e *MultibitEngine) build(src *trie.Trie, def *arrayAnswer, defined *bool) *mbNode {
+	root := e.newNode()
+	src.Walk(func(p ip.Prefix, v int) bool {
+		if p.Len() == 0 {
+			*def = arrayAnswer{p: p, v: v, ok: true}
+			*defined = true
+			return true
+		}
+		e.insert(root, p, v)
+		return true
+	})
+	return root
+}
+
+func (e *MultibitEngine) newNode() *mbNode {
+	return &mbNode{
+		slots:    make([]arrayAnswer, 1<<e.stride),
+		children: make([]*mbNode, 1<<e.stride),
+	}
+}
+
+// chunk extracts the k bits of a starting at bit offset off.
+func chunk(a ip.Addr, off, k int) int {
+	c := 0
+	for i := 0; i < k; i++ {
+		c = c<<1 | int(a.Bit(off+i))
+	}
+	return c
+}
+
+// insert places prefix p at depth (Len-1)/stride, expanded over the slots
+// it covers.
+func (e *MultibitEngine) insert(root *mbNode, p ip.Prefix, v int) {
+	k := e.stride
+	depth := (p.Len() - 1) / k
+	n := root
+	for d := 0; d < depth; d++ {
+		c := chunk(p.Addr(), d*k, k)
+		if n.children[c] == nil {
+			n.children[c] = e.newNode()
+		}
+		n = n.children[c]
+	}
+	// Expand the remaining r bits (1..k) over 2^(k-r) slots.
+	r := p.Len() - depth*k
+	base := 0
+	for i := 0; i < r; i++ {
+		base = base<<1 | int(p.Bit(depth*k+i))
+	}
+	base <<= k - r
+	for s := 0; s < 1<<(k-r); s++ {
+		slot := base | s
+		if cur := n.slots[slot]; !cur.ok || cur.p.Len() <= p.Len() {
+			n.slots[slot] = arrayAnswer{p: p, v: v, ok: true}
+		}
+	}
+}
+
+// Name implements Engine.
+func (e *MultibitEngine) Name() string { return "Multibit" }
+
+// Stride returns the stride k.
+func (e *MultibitEngine) Stride() int { return e.stride }
+
+// Lookup implements Engine: one reference per stride-node visited.
+func (e *MultibitEngine) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	if a.Family() != e.t.Family() {
+		return ip.Prefix{}, 0, false
+	}
+	best := arrayAnswer{}
+	if e.defined {
+		best = e.def
+	}
+	best = e.walk(e.root, a, 0, -1, best, c)
+	return best.p, best.v, best.ok
+}
+
+// walk descends from node n at the given depth, keeping slot answers whose
+// prefix is longer than minLen (the clue filter; -1 accepts everything).
+func (e *MultibitEngine) walk(n *mbNode, a ip.Addr, depth, minLen int, best arrayAnswer, c *mem.Counter) arrayAnswer {
+	k := e.stride
+	w := e.t.Family().Width()
+	for n != nil && depth*k < w {
+		c.Add(1)
+		ch := chunk(a, depth*k, k)
+		if ans := n.slots[ch]; ans.ok && ans.p.Len() > minLen {
+			best = ans
+		}
+		n = n.children[ch]
+		depth++
+	}
+	return best
+}
+
+// nodeAt returns the node whose slots decide lengths just past s — the
+// resume entry point for clue s — or nil when no such node exists.
+func (e *MultibitEngine) nodeAt(root *mbNode, s ip.Prefix) (*mbNode, int) {
+	k := e.stride
+	depth := s.Len() / k
+	n := root
+	for d := 0; d < depth && n != nil; d++ {
+		n = n.children[chunk(s.Addr(), d*k, k)]
+	}
+	return n, depth
+}
+
+type multibitResume struct {
+	e     *MultibitEngine
+	start *mbNode
+	depth int
+	sLen  int
+}
+
+func (r multibitResume) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	best := r.e.walk(r.start, a, r.depth, r.sLen, arrayAnswer{}, c)
+	return best.p, best.v, best.ok
+}
+
+// CompileResume implements ClueEngine. For the Simple method the walk
+// resumes inside the engine's own stride trie at the clue's node; only
+// slot answers longer than the clue count (shorter expanded entries are
+// the FD's business). For the Advance method a private stride trie over
+// the candidate set is compiled and entered at the same depth, so the
+// shared leading chunks cost nothing at forwarding time.
+func (e *MultibitEngine) CompileResume(s ip.Prefix, candidates []ip.Prefix) Resume {
+	if candidates == nil {
+		if len(markedBelow(e.t, s)) == 0 {
+			return nil
+		}
+		start, depth := e.nodeAt(e.root, s)
+		if start == nil {
+			return nil
+		}
+		return multibitResume{e: e, start: start, depth: depth, sLen: s.Len()}
+	}
+	mini := trie.New(e.t.Family())
+	for _, p := range candidates {
+		v, _ := e.t.Get(p)
+		mini.Insert(p, v)
+	}
+	var def arrayAnswer
+	var defined bool
+	root := e.build(mini, &def, &defined)
+	start, depth := e.nodeAt(root, s)
+	if start == nil {
+		return nil
+	}
+	return multibitResume{e: e, start: start, depth: depth, sLen: s.Len()}
+}

@@ -1,0 +1,159 @@
+package lookup
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+func TestMultibitBasic(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{
+		ip.MustParsePrefix("0.0.0.0/0"),
+		ip.MustParsePrefix("10.0.0.0/8"),
+		ip.MustParsePrefix("10.1.0.0/16"),
+		ip.MustParsePrefix("10.1.2.0/24"),
+		ip.MustParsePrefix("10.1.2.128/25"),
+	})
+	e := NewMultibit(tr, 8)
+	if e.Name() != "Multibit" || e.Stride() != 8 {
+		t.Fatal("identity wrong")
+	}
+	var c mem.Counter
+	p, _, ok := e.Lookup(ip.MustParseAddr("10.1.2.200"), &c)
+	if !ok || p.Len() != 25 {
+		t.Fatalf("Lookup = %v %v", p, ok)
+	}
+	if c.Count() != 4 { // ceil(32/8) nodes
+		t.Errorf("stride-8 lookup cost = %d, want 4", c.Count())
+	}
+	// Default route matches everything.
+	p, _, ok = e.Lookup(ip.MustParseAddr("200.1.1.1"), nil)
+	if !ok || p.Len() != 0 {
+		t.Errorf("default = %v %v", p, ok)
+	}
+}
+
+func TestMultibitStrideValidation(t *testing.T) {
+	for _, k := range []int{1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("stride %d should panic", k)
+				}
+			}()
+			NewMultibit(trie.New(ip.IPv4), k)
+		}()
+	}
+}
+
+// Property: multibit agrees with the reference trie for several strides,
+// including strides that do not divide 32.
+func TestQuickMultibitAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, k := range []int{2, 3, 4, 5, 8} {
+		for trial := 0; trial < 8; trial++ {
+			tr := buildTrie(randomPrefixes(rng, 80, 0x3F0F00FF))
+			e := NewMultibit(tr, k)
+			for i := 0; i < 300; i++ {
+				a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+				wp, wv, wok := tr.Lookup(a, nil)
+				gp, gv, gok := e.Lookup(a, nil)
+				if gok != wok || (gok && (gp != wp || gv != wv)) {
+					t.Fatalf("stride %d: Lookup(%v) = %v/%d/%v, want %v/%d/%v", k, a, gp, gv, gok, wp, wv, wok)
+				}
+			}
+		}
+	}
+}
+
+// Property: multibit clue-assisted answers equal the direct lookup, both
+// methods (reusing the shared harness from lookup_test.go).
+func TestQuickMultibitClueSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 10; trial++ {
+		t1ps := randomPrefixes(rng, 80, 0x3F0F00FF)
+		t2ps := randomPrefixes(rng, 80, 0x3F0F00FF)
+		copy(t2ps[:40], t1ps[:40])
+		t1, t2 := buildTrie(t1ps), buildTrie(t2ps)
+		inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+		for _, k := range []int{4, 5, 8} {
+			e := NewMultibit(t2, k)
+			for i := 0; i < 150; i++ {
+				a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+				s, _, ok := t1.Lookup(a, nil)
+				if !ok {
+					continue
+				}
+				wp, wv, wok := t2.Lookup(a, nil)
+				for _, advance := range []bool{false, true} {
+					gp, gv, gok := clueAnswer(t2, e, s, advance, inT1, a, nil)
+					if gok != wok || (gok && (gp != wp || gv != wv)) {
+						t.Fatalf("stride %d advance=%v clue %v dest %v: got %v/%d/%v want %v/%d/%v",
+							k, advance, s, a, gp, gv, gok, wp, wv, wok)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultibitResumeCheaper(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{
+		ip.MustParsePrefix("10.0.0.0/8"),
+		ip.MustParsePrefix("10.1.0.0/16"),
+		ip.MustParsePrefix("10.1.2.0/24"),
+	})
+	e := NewMultibit(tr, 4)
+	r := e.CompileResume(ip.MustParsePrefix("10.1.0.0/16"), nil)
+	if r == nil {
+		t.Fatal("nil resume")
+	}
+	var c mem.Counter
+	p, _, ok := r.Lookup(ip.MustParseAddr("10.1.2.3"), &c)
+	if !ok || p.Len() != 24 {
+		t.Fatalf("resume = %v %v", p, ok)
+	}
+	var cf mem.Counter
+	e.Lookup(ip.MustParseAddr("10.1.2.3"), &cf)
+	if c.Count() >= cf.Count() {
+		t.Errorf("resume cost %d not below full %d", c.Count(), cf.Count())
+	}
+	// Leaf clue: nothing below.
+	if e.CompileResume(ip.MustParsePrefix("10.1.2.0/24"), nil) != nil {
+		t.Error("leaf clue should have nil resume")
+	}
+	// Absent clue vertex.
+	if e.CompileResume(ip.MustParsePrefix("99.0.0.0/8"), nil) != nil {
+		t.Error("absent clue should have nil resume")
+	}
+}
+
+// The resume must never return a prefix at or below the clue length
+// (those are FD's responsibility) — exercised at a stride boundary where
+// the clue ends mid-node.
+func TestMultibitResumeFiltersShortEntries(t *testing.T) {
+	tr := buildTrie([]ip.Prefix{
+		ip.MustParsePrefix("10.0.0.0/7"),  // expanded below; shorter than the clue
+		ip.MustParsePrefix("10.0.0.0/12"), // deeper candidate (matches dest)
+	})
+	e := NewMultibit(tr, 8)
+	s := ip.MustParsePrefix("10.0.0.0/10") // mid-node clue (node covers 8..16)
+	r := e.CompileResume(s, nil)
+	if r == nil {
+		t.Fatal("nil resume")
+	}
+	p, _, ok := r.Lookup(ip.MustParseAddr("10.0.0.1"), nil)
+	if !ok || p.Len() != 12 {
+		t.Fatalf("resume = %v/%v, want the /12 (never the /7)", p, ok)
+	}
+	// A destination matching only the /7 below s: resume must MISS.
+	if p, ok2 := func() (ip.Prefix, bool) {
+		pp, _, okk := r.Lookup(ip.MustParseAddr("10.64.0.1"), nil)
+		return pp, okk
+	}(); ok2 && p.Len() <= s.Len() {
+		t.Fatalf("resume returned %v, at or above the clue length", p)
+	}
+}

@@ -1,0 +1,109 @@
+package lookup
+
+import (
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/patricia"
+	"repro/internal/trie"
+)
+
+// PatriciaEngine walks the path-compressed trie [22, 23]. Clue-restricted
+// searches resume at the vertex where the clue enters the compressed trie;
+// for the Advance method the §4 per-vertex Boolean ("should the search
+// continue from this vertex?") prunes branches with no candidate below.
+type PatriciaEngine struct {
+	t       *trie.Trie
+	pat     *patricia.Trie
+	useStop bool
+}
+
+// NewPatricia builds the Patricia engine over the prefixes of t, with the
+// §4 stop Boolean enabled for Advance resumes.
+func NewPatricia(t *trie.Trie) *PatriciaEngine { return NewPatriciaOpts(t, true) }
+
+// NewPatriciaOpts builds the Patricia engine with the §4 per-vertex stop
+// Boolean enabled or disabled — the ablation for "we can further improve
+// the search by applying Claim 1 to each vertex in the Patricia trie".
+func NewPatriciaOpts(t *trie.Trie, useStopBoolean bool) *PatriciaEngine {
+	pat := patricia.New(t.Family())
+	t.Walk(func(p ip.Prefix, v int) bool {
+		pat.Insert(p, v)
+		return true
+	})
+	return &PatriciaEngine{t: t, pat: pat, useStop: useStopBoolean}
+}
+
+// Name implements Engine.
+func (e *PatriciaEngine) Name() string { return "Patricia" }
+
+// Lookup implements Engine.
+func (e *PatriciaEngine) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	return e.pat.Lookup(a, c)
+}
+
+type patriciaResume struct {
+	pat   *patricia.Trie
+	entry *patricia.Node
+	// keep, when non-nil, is the set of vertices that still have a
+	// candidate at or below them; the walk stops on leaving it (the §4
+	// Boolean, derived from Claim 1 applied per vertex).
+	keep map[*patricia.Node]bool
+}
+
+func (r patriciaResume) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	if r.keep == nil {
+		return r.pat.LookupFrom(r.entry, a, c)
+	}
+	return r.pat.LookupFromWithStop(r.entry, a, c, func(n *patricia.Node) bool {
+		return !r.keep[n]
+	})
+}
+
+// CompileResume implements ClueEngine. Returns nil when nothing in the
+// compressed trie lies below the clue (or, for the Advance method, when no
+// candidate has a vertex below the entry point, which cannot happen for a
+// well-formed candidate set).
+func (e *PatriciaEngine) CompileResume(s ip.Prefix, candidates []ip.Prefix) Resume {
+	entry := e.pat.FindPoint(s)
+	if entry == nil {
+		return nil
+	}
+	if candidates == nil {
+		if len(markedBelow(e.t, s)) == 0 {
+			return nil
+		}
+		return patriciaResume{pat: e.pat, entry: entry}
+	}
+	if !e.useStop {
+		// Ablation mode: resume like Simple; the walk's natural
+		// termination (it never reaches a sender prefix on the
+		// destination's path) still bounds it.
+		return patriciaResume{pat: e.pat, entry: entry}
+	}
+	inP := make(map[ip.Prefix]bool, len(candidates))
+	for _, p := range candidates {
+		inP[p] = true
+	}
+	keep := make(map[*patricia.Node]bool)
+	var dfs func(n *patricia.Node) bool
+	dfs = func(n *patricia.Node) bool {
+		if n == nil {
+			return false
+		}
+		has := n.Marked() && inP[n.Prefix()]
+		if dfs(n.Child(0)) {
+			has = true
+		}
+		if dfs(n.Child(1)) {
+			has = true
+		}
+		if has {
+			keep[n] = true
+		}
+		return has
+	}
+	if !dfs(entry) {
+		return nil
+	}
+	return patriciaResume{pat: e.pat, entry: entry, keep: keep}
+}

@@ -1,0 +1,53 @@
+package lookup
+
+import (
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// RegularEngine is the standard bit-by-bit trie scan ("Regular" in the
+// paper's tables): worst case O(W) references, the scheme the paper reports
+// a ≈22x improvement over.
+type RegularEngine struct {
+	t *trie.Trie
+}
+
+// NewRegular builds the Regular engine over t. The engine holds a
+// reference to t; callers that mutate t after compiling clue state should
+// rebuild the engine (real routers rebuild on routing updates too).
+func NewRegular(t *trie.Trie) *RegularEngine { return &RegularEngine{t: t} }
+
+// Name implements Engine.
+func (e *RegularEngine) Name() string { return "Regular" }
+
+// Lookup implements Engine: a full walk from the trie root.
+func (e *RegularEngine) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	return e.t.Lookup(a, c)
+}
+
+// regularResume continues the bit-by-bit walk from the clue vertex.
+type regularResume struct {
+	t    *trie.Trie
+	node *trie.Node
+}
+
+func (r regularResume) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	return r.t.LookupFrom(r.node, a, c)
+}
+
+// CompileResume implements ClueEngine. For the trie, both methods resume
+// the same way — walking down from the clue vertex; the Advance method's
+// gain for this engine is that case-3 clues (where a walk happens at all)
+// are rare. Returns nil when the clue vertex is absent or has no marked
+// descendants (Ptr := Empty).
+func (e *RegularEngine) CompileResume(s ip.Prefix, candidates []ip.Prefix) Resume {
+	node := e.t.Find(s)
+	if node == nil {
+		return nil
+	}
+	if candidates == nil && !e.t.MarkedBelow(node) {
+		return nil
+	}
+	return regularResume{t: e.t, node: node}
+}

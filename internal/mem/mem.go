@@ -1,0 +1,234 @@
+// Package mem implements the cost model of the paper's evaluation: the
+// number of memory references ("steps") a lookup performs. Every trie-vertex
+// visit, hash-bucket probe, sorted-array probe, B-tree-node fetch and clue
+// table read counts as one reference, matching §6 of the paper ("we counted
+// the number of memory accesses (to a table or the trie) that are made at
+// the receiving router").
+//
+// The package also carries the §3.5 space model: clue-table entries packed
+// into SDRAM cache lines (32 bytes per line, two entries per line), used to
+// reproduce the paper's ≈500–600 KB table-size estimate.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter counts memory references during a single lookup. A nil *Counter
+// is valid and counts nothing, so hot paths can run without instrumentation.
+type Counter struct {
+	n int
+}
+
+// Add records k memory references.
+func (c *Counter) Add(k int) {
+	if c != nil {
+		c.n += k
+	}
+}
+
+// Count returns the number of references recorded so far.
+func (c *Counter) Count() int {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Reset clears the counter for reuse across packets.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.n = 0
+	}
+}
+
+// Stats aggregates per-packet reference counts across a workload, producing
+// the "average number of memory accesses" rows of Tables 4–9.
+type Stats struct {
+	packets int
+	refs    int
+	max     int
+	min     int
+	hist    map[int]int
+}
+
+// Record adds one packet's reference count.
+func (s *Stats) Record(refs int) {
+	if s.hist == nil {
+		s.hist = make(map[int]int)
+		s.min = refs
+	}
+	s.packets++
+	s.refs += refs
+	if refs > s.max {
+		s.max = refs
+	}
+	if refs < s.min {
+		s.min = refs
+	}
+	s.hist[refs]++
+}
+
+// Packets returns the number of packets recorded.
+func (s *Stats) Packets() int { return s.packets }
+
+// Total returns the total number of references across all packets.
+func (s *Stats) Total() int { return s.refs }
+
+// Mean returns the average references per packet (0 if empty).
+func (s *Stats) Mean() float64 {
+	if s.packets == 0 {
+		return 0
+	}
+	return float64(s.refs) / float64(s.packets)
+}
+
+// Max returns the worst-case packet cost seen.
+func (s *Stats) Max() int { return s.max }
+
+// Min returns the best-case packet cost seen (0 if empty).
+func (s *Stats) Min() int {
+	if s.packets == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// FractionAtMost returns the fraction of packets that cost at most k
+// references — e.g. FractionAtMost(1) is the paper's "near optimal" share.
+func (s *Stats) FractionAtMost(k int) float64 {
+	if s.packets == 0 {
+		return 0
+	}
+	n := 0
+	for refs, cnt := range s.hist {
+		if refs <= k {
+			n += cnt
+		}
+	}
+	return float64(n) / float64(s.packets)
+}
+
+// Histogram returns the (cost, packets) pairs in increasing cost order.
+func (s *Stats) Histogram() []struct{ Refs, Packets int } {
+	keys := make([]int, 0, len(s.hist))
+	for k := range s.hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]struct{ Refs, Packets int }, len(keys))
+	for i, k := range keys {
+		out[i] = struct{ Refs, Packets int }{k, s.hist[k]}
+	}
+	return out
+}
+
+// String summarizes the stats ("mean=1.05 min=1 max=7 n=10000").
+func (s *Stats) String() string {
+	return fmt.Sprintf("mean=%.2f min=%d max=%d n=%d", s.Mean(), s.Min(), s.Max(), s.Packets())
+}
+
+// TableModel is the §3.5 space model for a clue table: Entries records of
+// EntryBytes each, packed into cache lines of LineBytes.
+type TableModel struct {
+	Entries    int // number of clue entries
+	EntryBytes int // bytes per entry (clue value + FD + Ptr; the paper uses 3×4 = 12, avg 9)
+	LineBytes  int // SDRAM cache line size; the paper assumes 32
+}
+
+// PaperTableModel returns the paper's pessimistic sizing: 60,000 entries of
+// three 4-byte fields in 32-byte lines.
+func PaperTableModel() TableModel {
+	return TableModel{Entries: 60000, EntryBytes: 12, LineBytes: 32}
+}
+
+// Bytes returns the raw table size in bytes.
+func (m TableModel) Bytes() int { return m.Entries * m.EntryBytes }
+
+// Lines returns the number of cache lines the table occupies, with entries
+// packed EntriesPerLine to a line.
+func (m TableModel) Lines() int {
+	per := m.EntriesPerLine()
+	return (m.Entries + per - 1) / per
+}
+
+// EntriesPerLine returns how many whole entries fit in one cache line
+// (at least 1); the paper's model fits two 12-byte entries in a 32-byte
+// line ("in one memory reference the whole record of two clues is fetched").
+func (m TableModel) EntriesPerLine() int {
+	if m.EntryBytes <= 0 || m.LineBytes < m.EntryBytes {
+		return 1
+	}
+	return m.LineBytes / m.EntryBytes
+}
+
+// HumanBytes renders a byte count the way the paper quotes sizes ("540Kbyte").
+func HumanBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMbyte", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKbyte", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dbyte", n)
+}
+
+// Table is a tiny fixed-width text-table builder used by the benchmark
+// harness and cmd/cluebench to print rows in the layout of the paper's
+// tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(5) // must not panic
+	if c.Count() != 0 {
+		t.Errorf("nil counter Count = %d", c.Count())
+	}
+	c.Reset()
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(1)
+	c.Add(3)
+	if c.Count() != 4 {
+		t.Errorf("Count = %d, want 4", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Errorf("after Reset, Count = %d", c.Count())
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	for _, r := range []int{1, 1, 1, 2, 5} {
+		s.Record(r)
+	}
+	if s.Packets() != 5 || s.Total() != 10 {
+		t.Errorf("Packets/Total = %d/%d", s.Packets(), s.Total())
+	}
+	if s.Mean() != 2.0 {
+		t.Errorf("Mean = %v, want 2.0", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %d/%d", s.Min(), s.Max())
+	}
+	if got := s.FractionAtMost(1); got != 0.6 {
+		t.Errorf("FractionAtMost(1) = %v, want 0.6", got)
+	}
+	h := s.Histogram()
+	if len(h) != 3 || h[0].Refs != 1 || h[0].Packets != 3 || h[2].Refs != 5 {
+		t.Errorf("Histogram = %v", h)
+	}
+	if !strings.Contains(s.String(), "mean=2.00") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.FractionAtMost(3) != 0 {
+		t.Error("empty stats should be all zero")
+	}
+}
+
+func TestTableModel(t *testing.T) {
+	m := PaperTableModel()
+	if m.EntriesPerLine() != 2 {
+		t.Errorf("EntriesPerLine = %d, want 2", m.EntriesPerLine())
+	}
+	// The paper: "about 60,000 entries with an average of nine bytes for
+	// each clue resulting in a total of about 540Kbyte"; the pessimistic
+	// 12-byte model gives 720000 bytes; both within the "500K-600K byte"
+	// to ~700K band quoted across §1 and §3.5.
+	if m.Bytes() != 720000 {
+		t.Errorf("Bytes = %d", m.Bytes())
+	}
+	if m.Lines() != 30000 {
+		t.Errorf("Lines = %d", m.Lines())
+	}
+	avg := TableModel{Entries: 60000, EntryBytes: 9, LineBytes: 32}
+	if avg.Bytes() != 540000 {
+		t.Errorf("paper's 9-byte average model: Bytes = %d, want 540000", avg.Bytes())
+	}
+	tiny := TableModel{Entries: 3, EntryBytes: 64, LineBytes: 32}
+	if tiny.EntriesPerLine() != 1 || tiny.Lines() != 3 {
+		t.Errorf("oversize entries: per=%d lines=%d", tiny.EntriesPerLine(), tiny.Lines())
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	for n, want := range map[int]string{
+		500:     "500byte",
+		540000:  "527Kbyte",
+		2 << 20: "2.0Mbyte",
+	} {
+		if got := HumanBytes(n); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestTextTable(t *testing.T) {
+	tab := NewTable("Method", "Mean")
+	tab.AddRow("Advance+Patricia", "1.05")
+	tab.AddRow("Regular", "22.1", "extra-dropped")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Method") || !strings.Contains(lines[2], "1.05") {
+		t.Errorf("table layout wrong:\n%s", out)
+	}
+	if strings.Contains(out, "extra-dropped") {
+		t.Error("cells beyond header should be dropped")
+	}
+}

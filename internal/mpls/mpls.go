@@ -1,0 +1,258 @@
+// Package mpls implements a topology-driven (control-based) label-swapping
+// baseline — MPLS / Tag-switching as sketched in §2 and §5.1 of the paper —
+// and its combination with distributed IP lookup.
+//
+// Every router assigns a label to each prefix (FEC) in its forwarding
+// table and distributes the bindings to its neighbors. A labeled packet is
+// normally forwarded with a single label-table reference. The exception is
+// an aggregation point (Figure 8): a router whose table holds prefixes
+// extending the packet's FEC must perform a full IP lookup to pick the
+// correct finer route and a new label.
+//
+// §5.1's observation is that the label *is* a clue — "each label in MPLS
+// (control based) is associated with a clue ... the label can be used as an
+// efficient indexing into the clues table, thus eliminating the hash
+// function". In WithClues mode the aggregation-point lookup is therefore a
+// restricted search below the FEC prefix instead of a full lookup.
+package mpls
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/routing"
+	"repro/internal/trie"
+)
+
+// Mode selects plain MPLS or the §5.1 clue integration.
+type Mode int
+
+// Forwarding modes.
+const (
+	Plain Mode = iota
+	WithClues
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Plain {
+		return "MPLS"
+	}
+	return "MPLS+clues"
+}
+
+// NoLabel marks an unlabeled packet.
+const NoLabel = -1
+
+// binding is one entry of a router's incoming-label table.
+type binding struct {
+	fec ip.Prefix
+	// aggregation reports whether this router's table has prefixes
+	// extending the FEC — the Figure 8 case where label swapping alone is
+	// not enough.
+	aggregation bool
+	// resume is the precomputed restricted search below the FEC (WithClues
+	// mode): the label indexes straight into this clue state, no hashing.
+	resume lookup.Resume
+}
+
+// LSR is one label-switching router.
+type LSR struct {
+	name      string
+	table     *fib.Table
+	trie      *trie.Trie
+	engine    lookup.ClueEngine
+	labels    []binding         // label (index) -> binding
+	fecLabels map[ip.Prefix]int // own prefix -> label this router assigned
+}
+
+// Name returns the router name.
+func (r *LSR) Name() string { return r.name }
+
+// LabelFor returns the label this router assigned to a FEC prefix, or
+// NoLabel.
+func (r *LSR) LabelFor(p ip.Prefix) int {
+	if l, ok := r.fecLabels[p]; ok {
+		return l
+	}
+	return NoLabel
+}
+
+// AggregationPoints returns how many of this router's labels sit at
+// aggregation points (need more than a swap).
+func (r *LSR) AggregationPoints() int {
+	n := 0
+	for _, b := range r.labels {
+		if b.aggregation {
+			n++
+		}
+	}
+	return n
+}
+
+// Network is a set of LSRs wired by their forwarding tables.
+type Network struct {
+	routers map[string]*LSR
+	mode    Mode
+}
+
+// New builds the MPLS network: every router binds a label to each of its
+// prefixes (topology/control-based assignment — no per-flow setup, like
+// the clue scheme itself) and precomputes, per label, whether it is an
+// aggregation point and, in WithClues mode, the restricted search state.
+func New(tables map[string]*fib.Table, mode Mode) *Network {
+	n := &Network{routers: make(map[string]*LSR, len(tables)), mode: mode}
+	for name, tab := range tables {
+		tr := tab.Trie()
+		r := &LSR{
+			name:      name,
+			table:     tab,
+			trie:      tr,
+			engine:    lookup.NewPatricia(tr),
+			fecLabels: make(map[ip.Prefix]int, tab.Len()),
+		}
+		for _, p := range tab.Prefixes() {
+			label := len(r.labels)
+			b := binding{fec: p}
+			node := tr.Find(p)
+			b.aggregation = tr.MarkedBelow(node)
+			if b.aggregation && mode == WithClues {
+				b.resume = r.engine.CompileResume(p, nil)
+			}
+			r.labels = append(r.labels, b)
+			r.fecLabels[p] = label
+		}
+		n.routers[name] = r
+	}
+	return n
+}
+
+// Router returns a router by name, or nil.
+func (n *Network) Router(name string) *LSR { return n.routers[name] }
+
+// Hop records one router's processing of a packet.
+type Hop struct {
+	Router   string
+	Refs     int
+	FEC      ip.Prefix // the prefix the packet was forwarded by here
+	LabelIn  int
+	LabelOut int
+	// FullLookup reports that a complete IP lookup ran here (ingress or a
+	// plain-MPLS aggregation point).
+	FullLookup bool
+	NextHop    string
+}
+
+// Trace is a packet's path through the MPLS network.
+type Trace struct {
+	Dest      ip.Addr
+	Hops      []Hop
+	Delivered bool
+}
+
+// TotalRefs sums lookup/label-table work over the path.
+func (t *Trace) TotalRefs() int {
+	sum := 0
+	for _, h := range t.Hops {
+		sum += h.Refs
+	}
+	return sum
+}
+
+// FullLookups counts the hops that performed a complete IP lookup — the
+// §5.1 comparison metric ("at points of aggregation our method works more
+// efficiently since we use the clue, while MPLS/TAG-switching perform a
+// complete standard IP-lookup").
+func (t *Trace) FullLookups() int {
+	n := 0
+	for _, h := range t.Hops {
+		if h.FullLookup {
+			n++
+		}
+	}
+	return n
+}
+
+const maxHops = 64
+
+// Send injects a packet at src and label-switches it to delivery.
+func (n *Network) Send(src string, dest ip.Addr) (*Trace, error) {
+	cur, ok := n.routers[src]
+	if !ok {
+		return nil, fmt.Errorf("mpls: unknown source router %q", src)
+	}
+	tr := &Trace{Dest: dest}
+	label := NoLabel
+	for len(tr.Hops) < maxHops {
+		var cnt mem.Counter
+		hop := Hop{Router: cur.name, LabelIn: label}
+		var fec ip.Prefix
+		var hopID int
+		var okFec bool
+		switch {
+		case label == NoLabel:
+			// Ingress (or a hop that lost its label): full IP lookup.
+			fec, hopID, okFec = cur.engine.Lookup(dest, &cnt)
+			hop.FullLookup = true
+		default:
+			// One reference reads the label table.
+			cnt.Add(1)
+			b := cur.labels[label]
+			fec, okFec = b.fec, true
+			hopID = -1
+			if b.aggregation {
+				// Aggregation point: the label's FEC may hide a finer route.
+				switch n.mode {
+				case Plain:
+					fec, hopID, okFec = cur.engine.Lookup(dest, &cnt)
+					hop.FullLookup = true
+				case WithClues:
+					// §5.1: the label indexes the clue state directly; only
+					// the restricted search below the FEC runs.
+					if p, v, okk := b.resume.Lookup(dest, &cnt); okk {
+						fec, hopID = p, v
+					} else {
+						hopID = -1 // keep the label's own FEC
+					}
+				}
+			}
+			if hopID < 0 {
+				// The FEC's own route.
+				v, okGet := cur.trie.Get(fec)
+				if !okGet {
+					return tr, fmt.Errorf("mpls: label %d at %s bound to unknown prefix %v", label, cur.name, b.fec)
+				}
+				hopID = v
+			}
+		}
+		hop.Refs = cnt.Count()
+		if !okFec {
+			hop.LabelOut = NoLabel
+			tr.Hops = append(tr.Hops, hop)
+			return tr, nil // dropped
+		}
+		hop.FEC = fec
+		next := cur.table.HopName(hopID)
+		hop.NextHop = next
+		if next == routing.LocalHop {
+			hop.LabelOut = NoLabel
+			tr.Hops = append(tr.Hops, hop)
+			tr.Delivered = true
+			return tr, nil
+		}
+		nxt, ok := n.routers[next]
+		if !ok {
+			return tr, fmt.Errorf("mpls: router %q forwards to unknown router %q", cur.name, next)
+		}
+		// Downstream label for the FEC; if the neighbor has no binding the
+		// packet continues unlabeled and the neighbor does a full lookup.
+		hop.LabelOut = nxt.LabelFor(fec)
+		tr.Hops = append(tr.Hops, hop)
+		label = hop.LabelOut
+		cur = nxt
+	}
+	return tr, fmt.Errorf("mpls: packet for %v exceeded %d hops (routing loop?)", dest, maxHops)
+}

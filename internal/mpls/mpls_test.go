@@ -1,0 +1,240 @@
+package mpls
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/routing"
+)
+
+// figure8Network reproduces the aggregation scenario of Figure 8: a chain
+// R0..R4 where a /16 aggregate is global but the /24s inside it are only
+// visible near the destination, so a mid-path router is an aggregation
+// point for the /16 FEC.
+func figure8Network(t *testing.T, mode Mode) (*Network, []string, ip.Addr, ip.Addr) {
+	t.Helper()
+	top := routing.NewTopology()
+	names := routing.Chain(top, "R", 5)
+	destA := ip.MustParseAddr("10.1.1.7") // matches 10.1.1.0/24
+	destB := ip.MustParseAddr("10.1.2.9") // matches 10.1.2.0/24
+	// /16 global; the /24s visible within 2 hops of R4 (so R2..R4 know
+	// them and R2 is the aggregation point for packets labeled /16 by R1).
+	if err := top.Originate(names[4], ip.MustParsePrefix("10.1.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.OriginateScoped(names[4], ip.MustParsePrefix("10.1.1.0/24"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.OriginateScoped(names[4], ip.MustParsePrefix("10.1.2.0/24"), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Background routes.
+	rng := rand.New(rand.NewSource(3))
+	for i, name := range names {
+		for k := 0; k < 10; k++ {
+			base := ip.AddrFrom32(uint32(40+i*11+k) << 24)
+			if err := top.Originate(name, ip.PrefixFrom(base, 8+rng.Intn(9))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return New(top.ComputeTables(), mode), names, destA, destB
+}
+
+func TestPlainMPLSDelivery(t *testing.T) {
+	n, names, destA, destB := figure8Network(t, Plain)
+	for _, dest := range []ip.Addr{destA, destB} {
+		tr, err := n.Send(names[0], dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Delivered || len(tr.Hops) != 5 {
+			t.Fatalf("dest %v: delivered=%v hops=%d", dest, tr.Delivered, len(tr.Hops))
+		}
+		// Ingress always does a full lookup.
+		if !tr.Hops[0].FullLookup {
+			t.Error("ingress must do a full lookup")
+		}
+		// The final hop must forward by the /24, not the aggregate.
+		last := tr.Hops[len(tr.Hops)-1]
+		if last.FEC.Len() != 24 {
+			t.Errorf("dest %v: final FEC %v, want a /24", dest, last.FEC)
+		}
+	}
+}
+
+func TestAggregationPointForcesFullLookupInPlainMode(t *testing.T) {
+	n, names, destA, _ := figure8Network(t, Plain)
+	tr, err := n.Send(names[0], destA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some mid-path hop (not the ingress) must have done a full lookup:
+	// the aggregation point where /24s become visible.
+	mid := 0
+	for _, h := range tr.Hops[1:] {
+		if h.FullLookup {
+			mid++
+		}
+	}
+	if mid == 0 {
+		t.Error("plain MPLS: no aggregation-point full lookup observed")
+	}
+	if tr.FullLookups() != mid+1 {
+		t.Errorf("FullLookups = %d, want %d", tr.FullLookups(), mid+1)
+	}
+}
+
+func TestCluesEliminateAggregationFullLookups(t *testing.T) {
+	plain, namesP, destA, destB := figure8Network(t, Plain)
+	clued, namesC, _, _ := figure8Network(t, WithClues)
+	for _, dest := range []ip.Addr{destA, destB} {
+		trP, err := plain.Send(namesP[0], dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trC, err := clued.Send(namesC[0], dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !trC.Delivered {
+			t.Fatal("clued MPLS failed to deliver")
+		}
+		// Same path, same final FEC.
+		if len(trP.Hops) != len(trC.Hops) {
+			t.Fatalf("paths differ: %d vs %d hops", len(trP.Hops), len(trC.Hops))
+		}
+		for i := range trP.Hops {
+			if trP.Hops[i].FEC != trC.Hops[i].FEC {
+				t.Errorf("hop %d FEC differs: %v vs %v", i, trP.Hops[i].FEC, trC.Hops[i].FEC)
+			}
+		}
+		// §5.1: only the ingress does a full lookup with clues.
+		if trC.FullLookups() != 1 {
+			t.Errorf("clued full lookups = %d, want 1", trC.FullLookups())
+		}
+		if trC.TotalRefs() >= trP.TotalRefs() {
+			t.Errorf("clued total %d not below plain %d", trC.TotalRefs(), trP.TotalRefs())
+		}
+	}
+}
+
+func TestPureSwapCostsOneReference(t *testing.T) {
+	n, names, destA, _ := figure8Network(t, Plain)
+	tr, err := n.Send(names[0], destA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range tr.Hops {
+		if i == 0 || h.FullLookup || h.NextHop == routing.LocalHop {
+			continue
+		}
+		if h.Refs != 1 {
+			t.Errorf("pure swap at hop %d cost %d, want 1", i, h.Refs)
+		}
+	}
+}
+
+func TestLabelContinuity(t *testing.T) {
+	n, names, destA, _ := figure8Network(t, WithClues)
+	tr, err := n.Send(names[0], destA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tr.Hops); i++ {
+		if tr.Hops[i].LabelIn != tr.Hops[i-1].LabelOut {
+			t.Errorf("hop %d label-in %d != previous label-out %d", i, tr.Hops[i].LabelIn, tr.Hops[i-1].LabelOut)
+		}
+	}
+}
+
+func TestAggregationPointCount(t *testing.T) {
+	n, names, _, _ := figure8Network(t, Plain)
+	// R2 (first router that knows the /24s) has the /16 label at an
+	// aggregation point.
+	agg := 0
+	for _, name := range names {
+		agg += n.Router(name).AggregationPoints()
+	}
+	if agg == 0 {
+		t.Error("no aggregation points detected in Figure-8 network")
+	}
+}
+
+// When the downstream router has no binding for the resolved FEC (the
+// finer prefix is scoped out of its table), the packet continues
+// unlabeled and the next router performs a full lookup — the path must
+// still deliver correctly in both modes.
+func TestMissingBindingContinuesUnlabeled(t *testing.T) {
+	for _, mode := range []Mode{Plain, WithClues} {
+		top := routing.NewTopology()
+		names := routing.Chain(top, "M", 6)
+		// The /16 is global; the /24 exists ONLY at M2 (radius 0 from a
+		// router in the middle of the path... originate at M2 itself).
+		if err := top.Originate(names[5], ip.MustParsePrefix("10.1.0.0/16")); err != nil {
+			t.Fatal(err)
+		}
+		// M2 knows a finer route for part of the /16 toward the same
+		// destination edge; M3 does not carry it.
+		if err := top.OriginateScoped(names[5], ip.MustParsePrefix("10.1.1.0/24"), 3); err != nil {
+			t.Fatal(err)
+		}
+		tables := top.ComputeTables()
+		n := New(tables, mode)
+		dest := ip.MustParseAddr("10.1.1.9")
+		tr, err := n.Send(names[0], dest)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !tr.Delivered {
+			t.Fatalf("%v: not delivered", mode)
+		}
+		// Find whether any mid-path hop emitted NoLabel and the next hop
+		// recovered with a full lookup.
+		sawUnlabeled := false
+		for i, h := range tr.Hops[:len(tr.Hops)-1] {
+			if h.LabelOut == NoLabel {
+				sawUnlabeled = true
+				if !tr.Hops[i+1].FullLookup {
+					t.Fatalf("%v: hop after unlabeled handoff did not do a full lookup", mode)
+				}
+			}
+		}
+		_ = sawUnlabeled // scenario-dependent; correctness asserted above
+		// The final hop must use the finest prefix its table has.
+		last := tr.Hops[len(tr.Hops)-1]
+		wantFEC, _, _ := tables[last.Router].Trie().Lookup(dest, nil)
+		if last.FEC != wantFEC {
+			t.Fatalf("%v: final FEC %v, want %v", mode, last.FEC, wantFEC)
+		}
+	}
+}
+
+func TestLabelForUnknownPrefix(t *testing.T) {
+	n, names, _, _ := figure8Network(t, Plain)
+	if n.Router(names[0]).LabelFor(ip.MustParsePrefix("203.0.113.0/24")) != NoLabel {
+		t.Error("unknown prefix should have no label")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	n, names, _, _ := figure8Network(t, Plain)
+	if _, err := n.Send("nope", ip.MustParseAddr("10.1.1.1")); err == nil {
+		t.Error("unknown source should fail")
+	}
+	// Unroutable destination is dropped, not an error.
+	tr, err := n.Send(names[0], ip.MustParseAddr("203.0.113.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Delivered {
+		t.Error("unroutable packet delivered")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Plain.String() != "MPLS" || WithClues.String() != "MPLS+clues" {
+		t.Error("Mode.String wrong")
+	}
+}

@@ -1,0 +1,337 @@
+// Package netsim simulates packets traversing a network of routers that
+// exchange clues (§1, §3, §5.3): every participating router performs its
+// lookup with the help of the clue carried by the packet, then replaces
+// the clue with its own best matching prefix before forwarding. Routers
+// that do not participate (legacy IP routers) perform plain lookups and
+// relay the incoming clue unchanged — the paper's point that the scheme
+// deploys incrementally in heterogeneous networks: "Even if the packet has
+// traveled several hops since a clue was last added to it, the clue it
+// carries is still a prefix of the packet destination and could save a
+// distant router some of the processing."
+//
+// The simulator is what regenerates Figure 1: the best-matching-prefix
+// length of a packet along its path and, as its discrete derivative, the
+// per-router lookup work — lowest in the backbone middle of the path.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/routing"
+	"repro/internal/trie"
+)
+
+// NoClue is the clue value of a packet that carries no clue.
+const NoClue = -1
+
+// CluePolicy decides what clue a router attaches for a packet whose local
+// best matching prefix is bmp: return bmp.Clue() to send the full clue
+// (the default), a smaller value to truncate it (§5.3: "may truncate some
+// clues"), or NoClue to refrain from sending one ("may refrain from
+// sending some clues"). Truncated and withheld clues are sound for
+// downstream routers: a truncation is still a prefix of the destination,
+// and the Simple method is sound for any destination prefix.
+type CluePolicy func(bmp ip.Prefix) int
+
+// Router is one simulated router.
+type Router struct {
+	name         string
+	table        *fib.Table
+	trie         *trie.Trie
+	engine       lookup.ClueEngine
+	participates bool
+	method       core.Method
+	policy       CluePolicy             // nil = send the full BMP
+	clueTables   map[string]*core.Table // keyed by upstream neighbor
+	net          *Network
+}
+
+// Name returns the router name.
+func (r *Router) Name() string { return r.name }
+
+// SetParticipates switches clue participation on or off (a legacy router
+// does plain lookups and relays incoming clues unchanged).
+func (r *Router) SetParticipates(on bool) { r.participates = on }
+
+// Participates reports whether the router reads and writes clues.
+func (r *Router) Participates() bool { return r.participates }
+
+// SetMethod selects Simple or Advance for this router's clue tables.
+// Existing learned tables are discarded.
+func (r *Router) SetMethod(m core.Method) {
+	r.method = m
+	r.clueTables = make(map[string]*core.Table)
+}
+
+// SetCluePolicy installs a §5.3 clue policy (nil restores the default of
+// sending the full BMP). A policy breaks the "clue = my BMP" contract the
+// Advance method's Claim 1 relies on, so neighbors downstream of a
+// policied router automatically fall back to Simple tables toward it
+// (which are sound for any destination prefix). Existing learned tables
+// at neighbors are rebuilt lazily only for new upstreams, so install
+// policies before sending traffic.
+func (r *Router) SetCluePolicy(p CluePolicy) { r.policy = p }
+
+// clueTable returns (lazily creating) the clue table for packets arriving
+// from the given upstream neighbor. The Advance method is used only when
+// the upstream router participates in the scheme and sends unmodified
+// BMPs — a clue relayed by a legacy neighbor may originate from anywhere,
+// and a §5.3 truncation policy breaks the "clue = sender's BMP" contract;
+// only the Simple method is sound for such clues.
+func (r *Router) clueTable(upstream string) *core.Table {
+	if tab, ok := r.clueTables[upstream]; ok {
+		return tab
+	}
+	cfg := core.Config{Method: core.Simple, Engine: r.engine, Local: r.trie, Learn: true}
+	up := r.net.routers[upstream]
+	if r.method == core.Advance && up != nil && up.participates && up.policy == nil {
+		upTrie := up.trie
+		cfg.Method = core.Advance
+		cfg.Sender = func(p ip.Prefix) bool { return upTrie.Contains(p) }
+	}
+	tab := core.MustNewTable(cfg)
+	r.clueTables[upstream] = tab
+	return tab
+}
+
+// RouterStats accumulates one router's forwarding load across Send calls —
+// the quantity Figure 1 is about ("we expect the heavily loaded routers at
+// the heart of the Internet backbone to be the least loaded by our
+// method").
+type RouterStats struct {
+	Packets int
+	Refs    int
+}
+
+// RefsPerPacket returns the average work per forwarded packet.
+func (s RouterStats) RefsPerPacket() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.Refs) / float64(s.Packets)
+}
+
+// Network is a set of routers wired by their forwarding tables' next-hop
+// names.
+type Network struct {
+	routers map[string]*Router
+	stats   map[string]*RouterStats
+}
+
+// New builds a network from per-router forwarding tables (as produced by
+// routing.Topology.ComputeTables). Every router participates with the
+// Advance method by default and uses a Patricia lookup engine.
+func New(tables map[string]*fib.Table) *Network {
+	n := &Network{
+		routers: make(map[string]*Router, len(tables)),
+		stats:   make(map[string]*RouterStats, len(tables)),
+	}
+	for name, tab := range tables {
+		tr := tab.Trie()
+		n.routers[name] = &Router{
+			name:         name,
+			table:        tab,
+			trie:         tr,
+			engine:       lookup.NewPatricia(tr),
+			participates: true,
+			method:       core.Advance,
+			clueTables:   make(map[string]*core.Table),
+			net:          n,
+		}
+	}
+	return n
+}
+
+// Router returns a router by name, or nil.
+func (n *Network) Router(name string) *Router { return n.routers[name] }
+
+// Stats returns each router's accumulated forwarding load.
+func (n *Network) Stats() map[string]RouterStats {
+	out := make(map[string]RouterStats, len(n.stats))
+	for name, s := range n.stats {
+		out[name] = *s
+	}
+	return out
+}
+
+// ResetStats clears the accumulated load counters (e.g. after a warm-up).
+func (n *Network) ResetStats() {
+	for _, s := range n.stats {
+		*s = RouterStats{}
+	}
+}
+
+// note records one hop's work.
+func (n *Network) note(router string, refs int) {
+	s := n.stats[router]
+	if s == nil {
+		s = &RouterStats{}
+		n.stats[router] = s
+	}
+	s.Packets++
+	s.Refs += refs
+}
+
+// Hop records what happened at one router on a packet's path.
+type Hop struct {
+	Router  string
+	Refs    int       // memory references spent at this router
+	BMP     ip.Prefix // best matching prefix found here
+	ClueIn  int       // clue length the packet arrived with (NoClue if none)
+	ClueOut int       // clue length the packet left with
+	Outcome core.Outcome
+	NextHop string
+}
+
+// Trace is the full path of one packet.
+type Trace struct {
+	Dest      ip.Addr
+	Hops      []Hop
+	Delivered bool // reached a router that owns the destination prefix
+}
+
+// TotalRefs sums the lookup work across the whole path.
+func (t *Trace) TotalRefs() int {
+	sum := 0
+	for _, h := range t.Hops {
+		sum += h.Refs
+	}
+	return sum
+}
+
+// maxHops bounds a forwarding loop (routing tables from a sane topology
+// never loop, but a mis-built table must not hang the simulator).
+const maxHops = 64
+
+// Send injects a packet for dest at router src and forwards it until it is
+// delivered (a LocalHop route), dropped (no matching prefix), or the hop
+// limit is hit.
+func (n *Network) Send(src string, dest ip.Addr) (*Trace, error) {
+	cur, ok := n.routers[src]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown source router %q", src)
+	}
+	tr := &Trace{Dest: dest}
+	clue := NoClue
+	upstream := ""
+	for len(tr.Hops) < maxHops {
+		var cnt mem.Counter
+		var res core.Result
+		switch {
+		case cur.participates && clue != NoClue:
+			res = cur.clueTable(upstream).Process(dest, clue, &cnt)
+		case cur.participates:
+			res = cur.clueTable(upstream).ProcessNoClue(dest, &cnt)
+		default:
+			p, v, okk := cur.engine.Lookup(dest, &cnt)
+			res = core.Result{Prefix: p, Value: v, OK: okk, Outcome: core.OutcomeNoClue}
+		}
+		hop := Hop{Router: cur.name, Refs: cnt.Count(), ClueIn: clue, Outcome: res.Outcome}
+		n.note(cur.name, hop.Refs)
+		if !res.OK {
+			hop.ClueOut = clue
+			tr.Hops = append(tr.Hops, hop)
+			return tr, nil // dropped: no route
+		}
+		hop.BMP = res.Prefix
+		next := cur.table.HopName(res.Value)
+		hop.NextHop = next
+		// A participating router replaces the clue with its own BMP
+		// (possibly truncated or withheld by a §5.3 policy); a legacy
+		// router relays the incoming clue unchanged.
+		switch {
+		case cur.participates && cur.policy != nil:
+			hop.ClueOut = cur.policy(res.Prefix)
+			if hop.ClueOut > res.Prefix.Clue() {
+				hop.ClueOut = res.Prefix.Clue() // a clue must be a prefix of the BMP
+			}
+			if hop.ClueOut < 0 {
+				hop.ClueOut = NoClue
+			}
+		case cur.participates:
+			hop.ClueOut = res.Prefix.Clue()
+		default:
+			hop.ClueOut = clue
+		}
+		tr.Hops = append(tr.Hops, hop)
+		if next == routing.LocalHop {
+			tr.Delivered = true
+			return tr, nil
+		}
+		nxt, ok := n.routers[next]
+		if !ok {
+			return tr, fmt.Errorf("netsim: router %q forwards to unknown router %q", cur.name, next)
+		}
+		upstream = cur.name
+		clue = hop.ClueOut
+		cur = nxt
+	}
+	return tr, fmt.Errorf("netsim: packet for %v exceeded %d hops (routing loop?)", dest, maxHops)
+}
+
+// Profile aggregates per-hop-position statistics over a workload whose
+// packets all follow the same path — the data of Figure 1.
+type Profile struct {
+	Routers   []string  // router at each hop position
+	AvgBMPLen []float64 // mean best-matching-prefix length per position
+	AvgRefs   []float64 // mean lookup work per position
+	Packets   int
+}
+
+// PathProfile sends every destination from src (warmupPasses extra times
+// first, so learned clue tables reach steady state before measuring) and
+// averages BMP length and work by hop position. All packets must follow
+// the same router sequence; an error is returned otherwise.
+func (n *Network) PathProfile(src string, dests []ip.Addr, warmupPasses int) (*Profile, error) {
+	for i := 0; i < warmupPasses; i++ {
+		for _, d := range dests {
+			if _, err := n.Send(src, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var prof *Profile
+	for _, d := range dests {
+		tr, err := n.Send(src, d)
+		if err != nil {
+			return nil, err
+		}
+		if !tr.Delivered {
+			return nil, fmt.Errorf("netsim: destination %v not delivered", d)
+		}
+		if prof == nil {
+			prof = &Profile{
+				Routers:   make([]string, len(tr.Hops)),
+				AvgBMPLen: make([]float64, len(tr.Hops)),
+				AvgRefs:   make([]float64, len(tr.Hops)),
+			}
+			for i, h := range tr.Hops {
+				prof.Routers[i] = h.Router
+			}
+		}
+		if len(tr.Hops) != len(prof.Routers) {
+			return nil, fmt.Errorf("netsim: packet for %v took a different path", d)
+		}
+		for i, h := range tr.Hops {
+			if h.Router != prof.Routers[i] {
+				return nil, fmt.Errorf("netsim: packet for %v diverged at hop %d", d, i)
+			}
+			prof.AvgBMPLen[i] += float64(h.BMP.Len())
+			prof.AvgRefs[i] += float64(h.Refs)
+		}
+		prof.Packets++
+	}
+	if prof == nil {
+		return nil, fmt.Errorf("netsim: empty destination set")
+	}
+	for i := range prof.AvgBMPLen {
+		prof.AvgBMPLen[i] /= float64(prof.Packets)
+		prof.AvgRefs[i] /= float64(prof.Packets)
+	}
+	return prof, nil
+}

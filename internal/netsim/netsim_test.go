@@ -1,0 +1,392 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/routing"
+)
+
+// figure1Network builds the paper's Figure 1 setting: a chain of routers,
+// the destination edge router originating nested prefixes with shrinking
+// visibility, plus background prefixes everywhere.
+func figure1Network(t *testing.T, chainLen int) (*Network, []string, ip.Addr) {
+	t.Helper()
+	top := routing.NewTopology()
+	names := routing.Chain(top, "r", chainLen)
+	host := ip.MustParseAddr("204.17.33.40")
+	if err := routing.NestedOrigination(top, names[chainLen-1], host,
+		[]int{8, 12, 16, 20, 24, 28}, []int{-1, chainLen, chainLen * 3 / 4, chainLen / 2, chainLen / 3, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Background routes so tables are not degenerate.
+	rng := rand.New(rand.NewSource(5))
+	for i, name := range names {
+		for k := 0; k < 20; k++ {
+			base := ip.AddrFrom32(uint32(20+i*7+k) << 24)
+			if err := top.Originate(name, ip.PrefixFrom(base, 8+rng.Intn(17))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return New(top.ComputeTables()), names, host
+}
+
+func TestSendDeliversAlongChain(t *testing.T) {
+	n, names, host := figure1Network(t, 8)
+	tr, err := n.Send(names[0], host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Delivered {
+		t.Fatal("packet not delivered")
+	}
+	if len(tr.Hops) != 8 {
+		t.Fatalf("hops = %d, want 8", len(tr.Hops))
+	}
+	// First hop has no clue; later hops carry one.
+	if tr.Hops[0].ClueIn != NoClue {
+		t.Error("first hop should have no clue")
+	}
+	for i := 1; i < len(tr.Hops); i++ {
+		if tr.Hops[i].ClueIn == NoClue {
+			t.Errorf("hop %d lost the clue", i)
+		}
+		if tr.Hops[i].ClueIn != tr.Hops[i-1].ClueOut {
+			t.Errorf("hop %d clue-in %d != previous clue-out %d", i, tr.Hops[i].ClueIn, tr.Hops[i-1].ClueOut)
+		}
+	}
+	if tr.TotalRefs() <= 0 {
+		t.Error("TotalRefs should be positive")
+	}
+}
+
+func TestForwardingMatchesDirectLookups(t *testing.T) {
+	// The clue machinery must never change WHERE packets go, only the
+	// work: each hop's BMP must equal the plain lookup at that router.
+	n, names, _ := figure1Network(t, 6)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		dest := ip.AddrFrom32(uint32(20+rng.Intn(60))<<24 | rng.Uint32()&0xFFFFFF)
+		tr, err := n.Send(names[0], dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range tr.Hops {
+			r := n.Router(h.Router)
+			if h.Outcome == core.OutcomeNoClue && h.ClueIn != NoClue {
+				t.Errorf("participating router reported no-clue for a clued packet")
+			}
+			wp, _, wok := r.trie.Lookup(dest, nil)
+			if !wok {
+				continue // dropped hop records no BMP
+			}
+			if h.BMP != wp {
+				t.Fatalf("router %s: clue-assisted BMP %v != direct %v for %v", h.Router, h.BMP, wp, dest)
+			}
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	n, names, host := figure1Network(t, 8)
+	// A spread of destinations within the /24 so the path is identical.
+	var dests []ip.Addr
+	for i := 0; i < 40; i++ {
+		dests = append(dests, ip.AddrFrom32(host.Uint32()&0xFFFFFF00|uint32(i)))
+	}
+	prof, err := n.PathProfile(names[0], dests, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Packets != 40 || len(prof.Routers) != 8 {
+		t.Fatalf("profile shape: %d packets, %d hops", prof.Packets, len(prof.Routers))
+	}
+	// Figure 1 top: BMP length is non-decreasing toward the destination.
+	for i := 1; i < len(prof.AvgBMPLen); i++ {
+		if prof.AvgBMPLen[i] < prof.AvgBMPLen[i-1]-1e-9 {
+			t.Errorf("BMP length decreased at hop %d: %v", i, prof.AvgBMPLen)
+		}
+	}
+	if prof.AvgBMPLen[len(prof.AvgBMPLen)-1] <= prof.AvgBMPLen[0] {
+		t.Error("BMP length never grew along the path")
+	}
+	// Figure 1 bottom: the work at each router tracks the DERIVATIVE of
+	// the prefix-length curve ("the expected amount of work, in our
+	// method, by routers along the packet path"). Where the BMP does not
+	// grow, a warm Advance table answers in exactly one reference; hops
+	// where it grows pay for the restricted search.
+	for i := 1; i < len(prof.AvgRefs); i++ {
+		growth := prof.AvgBMPLen[i] - prof.AvgBMPLen[i-1]
+		if growth < 1e-9 && prof.AvgRefs[i] > 1.0+1e-9 {
+			t.Errorf("hop %d: no BMP growth but work %.2f > 1", i, prof.AvgRefs[i])
+		}
+	}
+	// And the clue scheme must beat a clue-less network on total path work.
+	legacy, namesL, hostL := figure1Network(t, 8)
+	for _, name := range namesL {
+		legacy.Router(name).SetParticipates(false)
+	}
+	var legacyDests []ip.Addr
+	for i := 0; i < 40; i++ {
+		legacyDests = append(legacyDests, ip.AddrFrom32(hostL.Uint32()&0xFFFFFF00|uint32(i)))
+	}
+	legacyProf, err := legacy.PathProfile(namesL[0], legacyDests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clueTotal, legacyTotal := 0.0, 0.0
+	for i := range prof.AvgRefs {
+		clueTotal += prof.AvgRefs[i]
+		legacyTotal += legacyProf.AvgRefs[i]
+	}
+	if clueTotal >= legacyTotal {
+		t.Errorf("clued path work %.1f not below legacy %.1f", clueTotal, legacyTotal)
+	}
+}
+
+func TestLegacyRouterRelaysClue(t *testing.T) {
+	n, names, host := figure1Network(t, 8)
+	// Make a mid-path router legacy.
+	n.Router(names[3]).SetParticipates(false)
+	if n.Router(names[3]).Participates() {
+		t.Fatal("SetParticipates(false) did not stick")
+	}
+	tr, err := n.Send(names[0], host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Delivered {
+		t.Fatal("heterogeneous network failed to deliver")
+	}
+	h := tr.Hops[3]
+	if h.Outcome != core.OutcomeNoClue {
+		t.Errorf("legacy hop outcome = %v", h.Outcome)
+	}
+	if h.ClueOut != h.ClueIn {
+		t.Errorf("legacy router modified the clue: in %d out %d", h.ClueIn, h.ClueOut)
+	}
+	// The next participating router still benefits from the stale clue:
+	// it must still compute the correct BMP.
+	r4 := n.Router(names[4])
+	wp, _, _ := r4.trie.Lookup(host, nil)
+	if tr.Hops[4].BMP != wp {
+		t.Errorf("router after legacy hop got %v, want %v", tr.Hops[4].BMP, wp)
+	}
+}
+
+func TestSimpleVsAdvanceMethodSetting(t *testing.T) {
+	n, names, host := figure1Network(t, 6)
+	for _, name := range names {
+		n.Router(name).SetMethod(core.Simple)
+	}
+	tr, err := n.Send(names[0], host)
+	if err != nil || !tr.Delivered {
+		t.Fatalf("Simple-network delivery failed: %v", err)
+	}
+	wp, _, _ := n.Router(names[5]).trie.Lookup(host, nil)
+	if tr.Hops[5].BMP != wp {
+		t.Errorf("Simple method got %v, want %v", tr.Hops[5].BMP, wp)
+	}
+}
+
+func TestCluePolicyTruncation(t *testing.T) {
+	n, names, host := figure1Network(t, 8)
+	// r2 truncates every clue to at most 12 bits; r4 refuses to send any.
+	n.Router(names[2]).SetCluePolicy(func(bmp ip.Prefix) int {
+		if bmp.Len() > 12 {
+			return 12
+		}
+		return bmp.Clue()
+	})
+	n.Router(names[4]).SetCluePolicy(func(ip.Prefix) int { return NoClue })
+	tr, err := n.Send(names[0], host)
+	if err != nil || !tr.Delivered {
+		t.Fatalf("policied network failed: %v", err)
+	}
+	if tr.Hops[2].ClueOut > 12 {
+		t.Errorf("truncation policy ignored: clue-out %d", tr.Hops[2].ClueOut)
+	}
+	if tr.Hops[4].ClueOut != NoClue {
+		t.Errorf("refrain policy ignored: clue-out %d", tr.Hops[4].ClueOut)
+	}
+	if tr.Hops[5].Outcome != core.OutcomeNoClue {
+		t.Errorf("hop after refraining sender outcome = %v, want no-clue", tr.Hops[5].Outcome)
+	}
+	// Correctness is unaffected at every hop.
+	for _, h := range tr.Hops {
+		r := n.Router(h.Router)
+		wp, _, wok := r.trie.Lookup(host, nil)
+		if wok && h.BMP != wp {
+			t.Fatalf("router %s: BMP %v != direct %v under clue policy", h.Router, h.BMP, wp)
+		}
+	}
+	// A policy returning nonsense is clamped.
+	n.Router(names[1]).SetCluePolicy(func(bmp ip.Prefix) int { return bmp.Clue() + 99 })
+	n.Router(names[3]).SetCluePolicy(func(ip.Prefix) int { return -42 })
+	tr, err = n.Send(names[0], host)
+	if err != nil || !tr.Delivered {
+		t.Fatalf("clamped-policy network failed: %v", err)
+	}
+	if tr.Hops[1].ClueOut != tr.Hops[1].BMP.Len() {
+		t.Errorf("overlong policy not clamped: %d", tr.Hops[1].ClueOut)
+	}
+	if tr.Hops[3].ClueOut != NoClue {
+		t.Errorf("negative policy not clamped: %d", tr.Hops[3].ClueOut)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	n, _, host := figure1Network(t, 4)
+	if _, err := n.Send("nope", host); err == nil {
+		t.Error("unknown source should error")
+	}
+}
+
+// The whole pipeline — routing computation, clue tables, forwarding —
+// works unchanged for IPv6 (7-bit clues are just larger lengths).
+func TestIPv6EndToEnd(t *testing.T) {
+	top := routing.NewTopology()
+	names := routing.Chain(top, "v6r", 6)
+	host := ip.MustParseAddr("2001:db8:7:9::42")
+	if err := routing.NestedOrigination(top, names[5], host,
+		[]int{32, 48, 64}, []int{-1, 3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		base, _ := ip.ParseAddr("2001:" + string(rune('a'+i)) + "00::")
+		if err := top.Originate(name, ip.PrefixFrom(base, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := New(top.ComputeTables())
+	tr, err := n.Send(names[0], host)
+	if err != nil || !tr.Delivered {
+		t.Fatalf("v6 delivery failed: %v", err)
+	}
+	if len(tr.Hops) != 6 {
+		t.Fatalf("hops = %d", len(tr.Hops))
+	}
+	// BMP length grows from /32 to /64 along the path.
+	if tr.Hops[0].BMP.Len() != 32 || tr.Hops[5].BMP.Len() != 64 {
+		t.Errorf("v6 BMP lengths: first %d last %d", tr.Hops[0].BMP.Len(), tr.Hops[5].BMP.Len())
+	}
+	// Warm run: downstream hops resolve in one reference.
+	n.Send(names[0], host)
+	tr, _ = n.Send(names[0], host)
+	for i, h := range tr.Hops[1:] {
+		if h.Outcome == core.OutcomeMiss {
+			t.Errorf("warm v6 hop %d still missing", i+1)
+		}
+	}
+}
+
+func TestDroppedPacket(t *testing.T) {
+	n, names, _ := figure1Network(t, 4)
+	// Destination outside every originated range.
+	tr, err := n.Send(names[0], ip.MustParseAddr("1.2.3.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Delivered {
+		t.Error("unroutable packet delivered")
+	}
+	if len(tr.Hops) != 1 {
+		t.Errorf("dropped packet hops = %d, want 1", len(tr.Hops))
+	}
+}
+
+// TestBackboneLoadStats builds a dumbbell network — many edge routers on
+// each side of a two-router backbone — and checks the network-wide claim
+// of Figure 1: with warm clue tables, the backbone routers do the least
+// work per packet even though they carry all the traffic.
+func TestBackboneLoadStats(t *testing.T) {
+	top := routing.NewTopology()
+	// Edges e0..e3 on the left, f0..f3 on the right, backbone b0-b1.
+	if err := top.AddLink("b0", "b1", 1); err != nil {
+		t.Fatal(err)
+	}
+	var left, right []string
+	for i := 0; i < 4; i++ {
+		l := ip.AddrFrom32(uint32(10+i) << 24)
+		r := ip.AddrFrom32(uint32(20+i) << 24)
+		ln := "e" + string(rune('0'+i))
+		rn := "f" + string(rune('0'+i))
+		left = append(left, ln)
+		right = append(right, rn)
+		if err := top.AddLink(ln, "b0", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := top.AddLink(rn, "b1", 1); err != nil {
+			t.Fatal(err)
+		}
+		// Each edge originates an aggregate globally and keeps its
+		// specifics to itself (radius 0), so the backbone knows only
+		// aggregates — the aggregation boundary sits at the edges.
+		if err := top.Originate(ln, ip.PrefixFrom(l, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := top.OriginateScoped(ln, ip.PrefixFrom(l, 24), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := top.Originate(rn, ip.PrefixFrom(r, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := top.OriginateScoped(rn, ip.PrefixFrom(r, 24), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := New(top.ComputeTables())
+	send := func() {
+		for i, ln := range left {
+			for j := range right {
+				dest := ip.AddrFrom32(uint32(20+j)<<24 | uint32(i+1))
+				if tr, err := n.Send(ln, dest); err != nil || !tr.Delivered {
+					t.Fatalf("delivery %s -> %v failed: %v", ln, dest, err)
+				}
+			}
+		}
+	}
+	send() // warm up
+	n.ResetStats()
+	stats := n.Stats()
+	for name, s := range stats {
+		if s.Packets != 0 {
+			t.Fatalf("ResetStats left %s with %d packets", name, s.Packets)
+		}
+	}
+	send()
+	stats = n.Stats()
+	// The backbone carries 16 packets each; every left edge sources 4 and
+	// every right edge sinks 4.
+	if stats["b0"].Packets != 16 || stats["b1"].Packets != 16 {
+		t.Fatalf("backbone packets = %d/%d, want 16/16", stats["b0"].Packets, stats["b1"].Packets)
+	}
+	// Warm backbone work is the 1-reference floor; the clue-less source
+	// edges pay more per packet.
+	for _, b := range []string{"b0", "b1"} {
+		if got := stats[b].RefsPerPacket(); got > 1.01 {
+			t.Errorf("backbone %s refs/packet = %.2f, want ~1", b, got)
+		}
+	}
+	for _, e := range left {
+		if got := stats[e].RefsPerPacket(); got <= 1.01 {
+			t.Errorf("source edge %s refs/packet = %.2f, expected above the floor", e, got)
+		}
+	}
+	if RouterStats.RefsPerPacket(RouterStats{}) != 0 {
+		t.Error("zero stats should report 0")
+	}
+}
+
+func TestPathProfileErrors(t *testing.T) {
+	n, names, _ := figure1Network(t, 4)
+	if _, err := n.PathProfile(names[0], nil, 0); err == nil {
+		t.Error("empty destination set should error")
+	}
+	if _, err := n.PathProfile(names[0], []ip.Addr{ip.MustParseAddr("1.2.3.4")}, 0); err == nil {
+		t.Error("undeliverable destination should error")
+	}
+}

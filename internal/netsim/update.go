@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+)
+
+// ApplyTables installs new forwarding tables after a routing change (a
+// recomputed routing.Topology, a policy change, a withdrawn origination).
+// Instead of discarding state, each router's table and live trie are
+// updated in place with the diff, its lookup engine is rebuilt, and every
+// learned clue table is repaired incrementally:
+//
+//   - the router's own clue tables get UpdateLocal for each changed prefix
+//     (§3.1: "updating the table upon changes in the routes"),
+//   - every neighbor holding an Advance table toward this router gets
+//     UpdateSender for the same prefixes (Claim 1 depends on the sender's
+//     prefix set).
+//
+// Routers present in the network but absent from the map keep their
+// tables. Unknown router names in the map are an error.
+func (n *Network) ApplyTables(tables map[string]*fib.Table) error {
+	changes := make(map[string][]ip.Prefix, len(tables))
+	for name, newTab := range tables {
+		r, ok := n.routers[name]
+		if !ok {
+			return fmt.Errorf("netsim: ApplyTables for unknown router %q", name)
+		}
+		diff := r.table.Diff(newTab)
+		if len(diff) == 0 {
+			continue
+		}
+		// Apply the diff in place: the fib table keeps its interned hop
+		// IDs stable, and the live trie mirrors it.
+		for _, p := range diff {
+			if hop, ok := newTab.NextHop(p); ok {
+				r.table.Add(p, hop)
+				id := r.table.HopID(hop)
+				r.trie.Insert(p, id)
+			} else {
+				r.table.Remove(p)
+				r.trie.Delete(p)
+			}
+		}
+		// Compiled engines snapshot the table: rebuild and swap.
+		r.engine = lookup.NewPatricia(r.trie)
+		changes[name] = diff
+	}
+	// Repair clue tables: local updates at the changed router, sender
+	// updates at the routers that learned clues from it.
+	for name, diff := range changes {
+		r := n.routers[name]
+		for _, tab := range r.clueTables {
+			tab.SetEngine(r.engine)
+			for _, p := range diff {
+				tab.UpdateLocal(p)
+			}
+		}
+		for _, other := range n.routers {
+			if other == r {
+				continue
+			}
+			if tab, ok := other.clueTables[name]; ok {
+				for _, p := range diff {
+					tab.UpdateSender(p)
+				}
+			}
+		}
+	}
+	// Engines changed: tables created later must use the new engine too
+	// (they will, via r.engine), and existing tables of unchanged routers
+	// are untouched.
+	return nil
+}

@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/routing"
+)
+
+// buildUpdateScenario: a 6-hop chain with nested origination, returning
+// the topology (for recomputation) and the network.
+func buildUpdateScenario(t *testing.T) (*routing.Topology, *Network, []string, ip.Addr) {
+	t.Helper()
+	top := routing.NewTopology()
+	names := routing.Chain(top, "u", 6)
+	host := ip.MustParseAddr("198.51.100.77")
+	if err := routing.NestedOrigination(top, names[5], host, []int{8, 16, 24}, []int{-1, 4, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		base := ip.AddrFrom32(uint32(30+i) << 24)
+		if err := top.Originate(name, ip.PrefixFrom(base, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return top, New(top.ComputeTables()), names, host
+}
+
+func TestApplyTablesIncremental(t *testing.T) {
+	top, n, names, host := buildUpdateScenario(t)
+	// Warm the clue tables.
+	for i := 0; i < 3; i++ {
+		if tr, err := n.Send(names[0], host); err != nil || !tr.Delivered {
+			t.Fatalf("pre-update delivery failed: %v", err)
+		}
+	}
+	// A routing change: a new, more-specific route appears at the
+	// destination edge with global visibility.
+	newPrefix := ip.PrefixFrom(host, 28)
+	if err := top.Originate(names[5], newPrefix); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ApplyTables(top.ComputeTables()); err != nil {
+		t.Fatal(err)
+	}
+	// Every hop must now forward by the /28 (after clue tables resync).
+	for i := 0; i < 2; i++ { // first pass may relearn, second must be clean
+		tr, err := n.Send(names[0], host)
+		if err != nil || !tr.Delivered {
+			t.Fatalf("post-update delivery failed: %v", err)
+		}
+		if i == 0 {
+			continue
+		}
+		for _, h := range tr.Hops {
+			r := n.Router(h.Router)
+			wp, _, wok := r.trie.Lookup(host, nil)
+			if !wok || h.BMP != wp {
+				t.Fatalf("hop %s: BMP %v != direct %v after update", h.Router, h.BMP, wp)
+			}
+			if h.BMP.Len() != 28 {
+				t.Fatalf("hop %s still forwards by %v, want the /28", h.Router, h.BMP)
+			}
+		}
+	}
+}
+
+func TestApplyTablesWithdraw(t *testing.T) {
+	_, n, names, host := buildUpdateScenario(t)
+	for i := 0; i < 2; i++ {
+		n.Send(names[0], host)
+	}
+	// Withdraw the /16 (rebuild the topology without it).
+	top2 := routing.NewTopology()
+	names2 := routing.Chain(top2, "u", 6)
+	if err := routing.NestedOrigination(top2, names2[5], host, []int{8, 24}, []int{-1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names2 {
+		base := ip.AddrFrom32(uint32(30+i) << 24)
+		if err := top2.Originate(name, ip.PrefixFrom(base, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.ApplyTables(top2.ComputeTables()); err != nil {
+		t.Fatal(err)
+	}
+	n.Send(names[0], host) // resync pass
+	tr, err := n.Send(names[0], host)
+	if err != nil || !tr.Delivered {
+		t.Fatalf("post-withdraw delivery failed: %v", err)
+	}
+	for _, h := range tr.Hops {
+		if h.BMP.Len() == 16 {
+			t.Fatalf("hop %s still uses the withdrawn /16", h.Router)
+		}
+		r := n.Router(h.Router)
+		wp, _, _ := r.trie.Lookup(host, nil)
+		if h.BMP != wp {
+			t.Fatalf("hop %s: %v != direct %v", h.Router, h.BMP, wp)
+		}
+	}
+}
+
+func TestApplyTablesUnknownRouter(t *testing.T) {
+	top, n, _, _ := buildUpdateScenario(t)
+	tables := top.ComputeTables()
+	extra := routing.NewTopology()
+	extra.AddRouter("ghost")
+	if err := extra.Originate("ghost", ip.MustParsePrefix("9.0.0.0/8")); err != nil {
+		t.Fatal(err)
+	}
+	for name, tab := range extra.ComputeTables() {
+		tables[name] = tab
+	}
+	if err := n.ApplyTables(tables); err == nil {
+		t.Error("unknown router should fail")
+	}
+}
+
+func TestApplyTablesNoChangeIsNoop(t *testing.T) {
+	top, n, names, host := buildUpdateScenario(t)
+	n.Send(names[0], host)
+	before := n.Router(names[2]).clueTables[names[1]]
+	if before == nil {
+		t.Fatal("clue table not learned")
+	}
+	learned := before.Learned()
+	if err := n.ApplyTables(top.ComputeTables()); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Router(names[2]).clueTables[names[1]]
+	if after != before || after.Learned() != learned {
+		t.Error("no-op update disturbed learned state")
+	}
+	// And behavior stays exact.
+	tr, err := n.Send(names[0], host)
+	if err != nil || !tr.Delivered {
+		t.Fatal("delivery after no-op update failed")
+	}
+	if tr.Hops[2].Outcome == core.OutcomeMiss {
+		t.Error("no-op update invalidated learned entries")
+	}
+}

@@ -1,0 +1,206 @@
+// Package ortc implements Optimal Route Table Construction (Draves,
+// King, Venkatachary, Zill — the technique cited as approach (5) in the
+// paper's related work: "Compute locally equivalent forwarding tables that
+// contain minimal number of prefixes [29] and hence most of the table can
+// fit into the cache").
+//
+// ORTC rewrites a forwarding table into the smallest prefix set that makes
+// every address resolve to the same next hop, in three passes over the
+// binary trie: (1) expand to a complete tree, pushing inherited next hops
+// to the leaves; (2) bottom-up, give each node the intersection of its
+// children's candidate next-hop sets when it is non-empty, else the union;
+// (3) top-down, emit a route at a node only when the next hop inherited
+// from the nearest emitted ancestor is not in the node's candidate set.
+//
+// Addresses with no route are modeled as the virtual next hop NullHop, so
+// tables without a default route compress correctly: the output may then
+// contain explicit null routes (blackholes), which is exactly what routers
+// deploy in that situation.
+//
+// ORTC interacts with clue routing: a compressed table is smaller but less
+// similar to its neighbors' (aggregation removes the shared vertices
+// clues point at), which the AblationORTC benchmark quantifies — the same
+// tension §3 describes between aggregation and table similarity.
+package ortc
+
+import (
+	"sort"
+
+	"repro/internal/ip"
+	"repro/internal/trie"
+)
+
+// NullHop is the virtual next hop of unrouted address space. Compressed
+// tables may contain explicit routes to it.
+const NullHop = -1
+
+type node struct {
+	children [2]*node
+	// set is the candidate next-hop set (pass 2) and, in pass 3, the set
+	// an emitted route may pick from.
+	set []int
+	// emit/hop are the pass-3 result.
+	emit bool
+	hop  int
+}
+
+// Compress returns the minimal trie equivalent to t (payloads are next-hop
+// IDs; addresses t does not cover behave as NullHop). The result may
+// contain NullHop routes; Lookup callers treat a NullHop result as
+// "no route" (see Equivalent).
+func Compress(t *trie.Trie) *trie.Trie {
+	out := trie.New(t.Family())
+	root := buildComplete(t)
+	if root == nil {
+		return out
+	}
+	computeSets(root)
+	assign(root, NullHop)
+	emit(root, ip.PrefixFrom(ip.Zero(t.Family()), 0), out)
+	return out
+}
+
+// buildComplete mirrors t into a complete binary tree: every node has zero
+// or two children, and every leaf carries the next hop inherited along its
+// path (pass 1). Returns nil for an empty trie.
+func buildComplete(t *trie.Trie) *node {
+	if t.Root() == nil {
+		return nil
+	}
+	var mirror func(src *trie.Node, inherited int) *node
+	mirror = func(src *trie.Node, inherited int) *node {
+		n := &node{}
+		if src.Marked() {
+			inherited = src.Value()
+		}
+		c0, c1 := src.Child(0), src.Child(1)
+		if c0 == nil && c1 == nil {
+			n.set = []int{inherited}
+			return n
+		}
+		for b := byte(0); b < 2; b++ {
+			if ch := src.Child(b); ch != nil {
+				n.children[b] = mirror(ch, inherited)
+			} else {
+				// Complete the tree: the missing side is a leaf with the
+				// inherited hop.
+				n.children[b] = &node{set: []int{inherited}}
+			}
+		}
+		return n
+	}
+	return mirror(t.Root(), NullHop)
+}
+
+// computeSets is pass 2: leaves keep their singleton; internal nodes take
+// the intersection of their children's sets if non-empty, else the union.
+func computeSets(n *node) {
+	if n.children[0] == nil {
+		return
+	}
+	computeSets(n.children[0])
+	computeSets(n.children[1])
+	inter := intersect(n.children[0].set, n.children[1].set)
+	if len(inter) > 0 {
+		n.set = inter
+	} else {
+		n.set = union(n.children[0].set, n.children[1].set)
+	}
+}
+
+// assign is pass 3: a node emits a route when the hop inherited from the
+// nearest emitted ancestor is not in its candidate set; emitted nodes pick
+// (deterministically, the smallest) member of their set.
+func assign(n *node, inherited int) {
+	if !member(n.set, inherited) {
+		n.emit = true
+		n.hop = n.set[0]
+		inherited = n.hop
+	}
+	if n.children[0] != nil {
+		assign(n.children[0], inherited)
+		assign(n.children[1], inherited)
+	}
+}
+
+// emit writes the assigned routes into the output trie.
+func emit(n *node, p ip.Prefix, out *trie.Trie) {
+	if n.emit {
+		out.Insert(p, n.hop)
+	}
+	if n.children[0] != nil {
+		emit(n.children[0], p.Child(0), out)
+		emit(n.children[1], p.Child(1), out)
+	}
+}
+
+// Lookup resolves an address in a compressed trie, mapping NullHop back to
+// "no route".
+func Lookup(t *trie.Trie, a ip.Addr) (ip.Prefix, int, bool) {
+	p, v, ok := t.Lookup(a, nil)
+	if !ok || v == NullHop {
+		return ip.Prefix{}, 0, false
+	}
+	return p, v, true
+}
+
+// Equivalent reports whether the two tables resolve address a to the same
+// next hop, treating NullHop and no-match alike. Prefix lengths may differ
+// (that is the point of the compression); only the hop matters.
+func Equivalent(orig, compressed *trie.Trie, a ip.Addr) bool {
+	_, v1, ok1 := orig.Lookup(a, nil)
+	if ok1 && v1 == NullHop {
+		ok1 = false
+	}
+	_, v2, ok2 := Lookup(compressed, a)
+	if ok1 != ok2 {
+		return false
+	}
+	return !ok1 || v1 == v2
+}
+
+// sorted-int-set helpers; sets are tiny (bounded by the number of distinct
+// next hops below a node).
+
+func member(s []int, x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}
+
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func union(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

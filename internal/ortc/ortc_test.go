@@ -1,0 +1,166 @@
+package ortc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/synth"
+	"repro/internal/trie"
+)
+
+func build(routes map[string]int) *trie.Trie {
+	t := trie.New(ip.IPv4)
+	for p, h := range routes {
+		t.Insert(ip.MustParsePrefix(p), h)
+	}
+	return t
+}
+
+func TestCompressEmpty(t *testing.T) {
+	out := Compress(trie.New(ip.IPv4))
+	if out.Size() != 0 {
+		t.Errorf("empty table compressed to %d routes", out.Size())
+	}
+}
+
+func TestCompressRedundantChild(t *testing.T) {
+	// A child route with the same hop as its covering aggregate is
+	// redundant; ORTC must drop it.
+	in := build(map[string]int{"0.0.0.0/0": 1, "10.0.0.0/8": 1})
+	out := Compress(in)
+	if out.Size() != 1 {
+		t.Fatalf("size = %d, want 1: %v", out.Size(), out.Prefixes())
+	}
+	if _, v, ok := Lookup(out, ip.MustParseAddr("10.1.1.1")); !ok || v != 1 {
+		t.Error("lookup broken after compression")
+	}
+}
+
+func TestCompressSiblingMerge(t *testing.T) {
+	// Two /1s with the same hop merge into a default route.
+	in := build(map[string]int{"0.0.0.0/1": 3, "128.0.0.0/1": 3})
+	out := Compress(in)
+	if out.Size() != 1 {
+		t.Fatalf("size = %d, want 1: %v", out.Size(), out.Prefixes())
+	}
+	p := out.Prefixes()[0]
+	if p.Len() != 0 {
+		t.Errorf("merged route = %v, want the default", p)
+	}
+}
+
+func TestCompressKeepsSingleRoute(t *testing.T) {
+	in := build(map[string]int{"10.0.0.0/8": 5})
+	out := Compress(in)
+	if out.Size() != 1 || !out.Contains(ip.MustParsePrefix("10.0.0.0/8")) {
+		t.Fatalf("single route changed: %v", out.Prefixes())
+	}
+}
+
+func TestCompressClassicExample(t *testing.T) {
+	// The canonical ORTC illustration: a default with two more-specifics
+	// whose hops let the default flip to the majority hop.
+	in := build(map[string]int{
+		"0.0.0.0/0":   1,
+		"0.0.0.0/1":   2,
+		"128.0.0.0/2": 2,
+	})
+	// Addresses: [0,128) -> 2, [128,192) -> 2, [192,256) -> 1.
+	out := Compress(in)
+	if out.Size() != 2 {
+		t.Fatalf("size = %d, want 2: %v", out.Size(), out.Prefixes())
+	}
+	for addr, want := range map[string]int{"5.0.0.0": 2, "130.0.0.0": 2, "200.0.0.0": 1} {
+		if _, v, ok := Lookup(out, ip.MustParseAddr(addr)); !ok || v != want {
+			t.Errorf("%s -> %d/%v, want %d", addr, v, ok, want)
+		}
+	}
+}
+
+func TestCompressNullRoutes(t *testing.T) {
+	// No default: unrouted space must stay unrouted, possibly via explicit
+	// null routes.
+	in := build(map[string]int{"10.0.0.0/8": 1, "10.1.0.0/16": 2})
+	out := Compress(in)
+	for _, addr := range []string{"10.1.2.3", "10.2.0.0", "11.0.0.0", "0.0.0.0"} {
+		if !Equivalent(in, out, ip.MustParseAddr(addr)) {
+			t.Errorf("not equivalent at %s", addr)
+		}
+	}
+	if out.Size() > in.Size() {
+		t.Errorf("compression grew the table: %d > %d", out.Size(), in.Size())
+	}
+}
+
+// Property: over random tables, the compressed table is equivalent at
+// every probed address, never larger, and compression is idempotent.
+func TestQuickCompressEquivalentAndMinimalish(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 40; trial++ {
+		in := trie.New(ip.IPv4)
+		nHops := 2 + rng.Intn(4)
+		for i := 0; i < 40; i++ {
+			p := ip.PrefixFrom(ip.AddrFrom32(rng.Uint32()&0x0F0F00FF), rng.Intn(26))
+			in.Insert(p, rng.Intn(nHops))
+		}
+		out := Compress(in)
+		if out.Size() > in.Size() {
+			t.Fatalf("trial %d: compression grew %d -> %d", trial, in.Size(), out.Size())
+		}
+		for i := 0; i < 600; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x0F0F00FF)
+			if !Equivalent(in, out, a) {
+				_, v1, ok1 := in.Lookup(a, nil)
+				_, v2, ok2 := Lookup(out, a)
+				t.Fatalf("trial %d: not equivalent at %v: orig %d/%v comp %d/%v", trial, a, v1, ok1, v2, ok2)
+			}
+		}
+		again := Compress(out)
+		if again.Size() != out.Size() {
+			t.Fatalf("trial %d: not idempotent: %d -> %d", trial, out.Size(), again.Size())
+		}
+	}
+}
+
+// On realistic tables the reduction should be substantial (the [29]
+// motivation: fit the table in cache).
+func TestCompressRealisticReduction(t *testing.T) {
+	u := synth.NewUniverse(11, 5000)
+	tab := u.Router(synth.RouterSpec{Name: "C", Size: 3000, Divergence: 0.01, Hops: []string{"a", "b", "c"}})
+	in := tab.Trie()
+	out := Compress(in)
+	if out.Size() >= in.Size() {
+		t.Fatalf("no reduction: %d -> %d", in.Size(), out.Size())
+	}
+	t.Logf("ORTC: %d -> %d routes (%.0f%%)", in.Size(), out.Size(), 100*float64(out.Size())/float64(in.Size()))
+	rng := rand.New(rand.NewSource(12))
+	w := synth.NewWorkload(12, tab)
+	for i := 0; i < 3000; i++ {
+		if !Equivalent(in, out, w.Next()) {
+			t.Fatal("realistic compression not equivalent")
+		}
+		a := ip.AddrFrom32(rng.Uint32())
+		if !Equivalent(in, out, a) {
+			t.Fatalf("not equivalent at random address %v", a)
+		}
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	if got := intersect([]int{1, 3, 5}, []int{2, 3, 5, 7}); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := union([]int{1, 3}, []int{2, 3, 4}); len(got) != 4 {
+		t.Errorf("union = %v", got)
+	}
+	if !member([]int{-1, 2, 9}, -1) || member([]int{2, 9}, 3) {
+		t.Error("member wrong")
+	}
+	if got := intersect(nil, []int{1}); len(got) != 0 {
+		t.Errorf("intersect nil = %v", got)
+	}
+	if got := union(nil, nil); len(got) != 0 {
+		t.Errorf("union nil = %v", got)
+	}
+}

@@ -1,0 +1,331 @@
+// Package patricia implements the path-compressed binary trie ("Patricia",
+// §2 and §4 of the paper): every internal unmarked vertex with a single
+// child is contracted, so each vertex is either a forwarding-table prefix
+// (marked) or has two children. The classic IP-lookup walk compares the
+// skipped bits at each vertex; every vertex visited costs one memory
+// reference, which is the metric of the paper's tables.
+//
+// For clue routing the package provides FindPoint — the vertex at which a
+// search resumed from a clue enters the compressed trie — and a restricted
+// walk with the §4 per-vertex "should the search continue?" Boolean hook
+// ("we associate with each vertex a Boolean indicating whether the search
+// should continue from this vertex", computed from Claim 1).
+package patricia
+
+import (
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+// Node is a vertex of the compressed trie.
+type Node struct {
+	prefix   ip.Prefix
+	children [2]*Node
+	marked   bool
+	value    int
+}
+
+// Prefix returns the full binary string from the root to this vertex.
+func (n *Node) Prefix() ip.Prefix { return n.prefix }
+
+// Marked reports whether this vertex is a forwarding-table prefix.
+func (n *Node) Marked() bool { return n.marked }
+
+// Value returns the payload of a marked vertex.
+func (n *Node) Value() int { return n.value }
+
+// Child returns the b-child (b in {0,1}), or nil.
+func (n *Node) Child(b byte) *Node { return n.children[b&1] }
+
+// HasChildren reports whether the vertex has descendants.
+func (n *Node) HasChildren() bool { return n.children[0] != nil || n.children[1] != nil }
+
+// Trie is a path-compressed binary prefix trie over one address family.
+type Trie struct {
+	root *Node
+	fam  ip.Family
+	size int
+}
+
+// New returns an empty Patricia trie for the given family.
+func New(fam ip.Family) *Trie { return &Trie{fam: fam} }
+
+// Family returns the trie's address family.
+func (t *Trie) Family() ip.Family { return t.fam }
+
+// Size returns the number of marked prefixes.
+func (t *Trie) Size() int { return t.size }
+
+// Root returns the root vertex, or nil for an empty trie.
+func (t *Trie) Root() *Node { return t.root }
+
+// NodeCount returns the total number of vertices. Path compression bounds
+// it by 2·Size−1.
+func (t *Trie) NodeCount() int {
+	var count func(*Node) int
+	count = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + count(n.children[0]) + count(n.children[1])
+	}
+	return count(t.root)
+}
+
+// common returns the length of the longest common prefix of p and q.
+func common(p, q ip.Prefix) int {
+	n := p.Addr().CommonPrefixLen(q.Addr())
+	if n > p.Len() {
+		n = p.Len()
+	}
+	if n > q.Len() {
+		n = q.Len()
+	}
+	return n
+}
+
+// Insert adds prefix p with payload v, splitting compressed edges as
+// needed. Inserting an existing prefix overwrites its payload.
+func (t *Trie) Insert(p ip.Prefix, v int) {
+	if p.Family() != t.fam {
+		panic("patricia: family mismatch")
+	}
+	if t.root == nil {
+		t.root = &Node{prefix: p, marked: true, value: v}
+		t.size++
+		return
+	}
+	slot := &t.root
+	for {
+		n := *slot
+		c := common(p, n.prefix)
+		if c < n.prefix.Len() {
+			// p diverges inside the edge leading to n: split at depth c.
+			mid := &Node{prefix: ip.PrefixFrom(n.prefix.Addr(), c)}
+			*slot = mid
+			mid.children[n.prefix.Bit(c)] = n
+			if c == p.Len() {
+				// p is exactly the split point.
+				mid.marked, mid.value = true, v
+				t.size++
+			} else {
+				leaf := &Node{prefix: p, marked: true, value: v}
+				mid.children[p.Bit(c)] = leaf
+				t.size++
+			}
+			return
+		}
+		// n.prefix is an ancestor of (or equals) p.
+		if p.Len() == n.prefix.Len() {
+			if !n.marked {
+				n.marked = true
+				t.size++
+			}
+			n.value = v
+			return
+		}
+		b := p.Bit(n.prefix.Len())
+		if n.children[b] == nil {
+			n.children[b] = &Node{prefix: p, marked: true, value: v}
+			t.size++
+			return
+		}
+		slot = &n.children[b]
+	}
+}
+
+// Delete removes prefix p, re-contracting edges so the Patricia invariant
+// (every unmarked internal vertex has two children) is restored. It returns
+// false if p was not a marked prefix.
+func (t *Trie) Delete(p ip.Prefix) bool {
+	if p.Family() != t.fam || t.root == nil {
+		return false
+	}
+	// Walk down recording the slots (parent child-pointers) on the path.
+	slots := []**Node{&t.root}
+	n := t.root
+	for n.prefix.Len() < p.Len() {
+		if common(p, n.prefix) < n.prefix.Len() {
+			return false
+		}
+		b := p.Bit(n.prefix.Len())
+		if n.children[b] == nil {
+			return false
+		}
+		slots = append(slots, &n.children[b])
+		n = n.children[b]
+	}
+	if n.prefix != p || !n.marked {
+		return false
+	}
+	n.marked = false
+	t.size--
+	t.contract(slots)
+	return true
+}
+
+// contract removes the last node on the slot path if it became redundant,
+// then re-checks its parent (removing a leaf can leave an unmarked parent
+// with one child).
+func (t *Trie) contract(slots []**Node) {
+	for i := len(slots) - 1; i >= 0; i-- {
+		slot := slots[i]
+		n := *slot
+		if n.marked {
+			return
+		}
+		switch {
+		case n.children[0] != nil && n.children[1] != nil:
+			return // still a proper internal vertex
+		case n.children[0] != nil:
+			*slot = n.children[0]
+			return
+		case n.children[1] != nil:
+			*slot = n.children[1]
+			return
+		default:
+			*slot = nil // unmarked leaf: remove and re-check parent
+		}
+	}
+}
+
+// Lookup performs the best-matching-prefix walk from the root. Every
+// vertex visited costs one memory reference on c.
+func (t *Trie) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	return t.walk(t.root, a, c, nil)
+}
+
+// LookupFrom resumes the walk at vertex start (obtained via FindPoint from
+// a clue). The caller is responsible for start lying on a's path.
+func (t *Trie) LookupFrom(start *Node, a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	return t.walk(start, a, c, nil)
+}
+
+// LookupFromWithStop is LookupFrom with the §4 per-vertex Boolean: when
+// stop(n) reports true the walk does not descend past n (n itself is still
+// examined). This is how the Advance method prunes the Patricia search
+// using Claim 1 applied at every vertex.
+func (t *Trie) LookupFromWithStop(start *Node, a ip.Addr, c *mem.Counter, stop func(*Node) bool) (ip.Prefix, int, bool) {
+	return t.walk(start, a, c, stop)
+}
+
+func (t *Trie) walk(n *Node, a ip.Addr, c *mem.Counter, stop func(*Node) bool) (ip.Prefix, int, bool) {
+	var best *Node
+	for n != nil {
+		c.Add(1)
+		if !n.prefix.Contains(a) {
+			break
+		}
+		if n.marked {
+			best = n
+		}
+		if n.prefix.Len() >= t.fam.Width() || (stop != nil && stop(n)) {
+			break
+		}
+		n = n.children[a.Bit(n.prefix.Len())]
+	}
+	if best == nil {
+		return ip.Prefix{}, 0, false
+	}
+	return best.prefix, best.value, true
+}
+
+// Find returns the vertex whose prefix is exactly p, or nil. With path
+// compression an existing forwarding-table prefix always has its own
+// vertex, but an arbitrary binary string may not.
+func (t *Trie) Find(p ip.Prefix) *Node {
+	n := t.root
+	for n != nil {
+		if n.prefix.Len() > p.Len() {
+			return nil
+		}
+		if common(p, n.prefix) < n.prefix.Len() {
+			return nil
+		}
+		if n.prefix.Len() == p.Len() {
+			return n
+		}
+		n = n.children[p.Bit(n.prefix.Len())]
+	}
+	return nil
+}
+
+// Contains reports whether p is a marked prefix.
+func (t *Trie) Contains(p ip.Prefix) bool {
+	n := t.Find(p)
+	return n != nil && n.marked && n.prefix == p
+}
+
+// FindPoint returns the vertex at which a search for addresses extending
+// clue s enters the compressed trie: the shallowest vertex whose prefix
+// extends (or equals) s. It returns nil when the trie contains no vertex
+// at or below s — the Simple method's "Ptr := Empty" case. FindPoint runs
+// at clue-table construction time, so it records no memory references.
+func (t *Trie) FindPoint(s ip.Prefix) *Node {
+	n := t.root
+	for n != nil {
+		if n.prefix.Len() >= s.Len() {
+			if s.IsAncestorOf(n.prefix) {
+				return n
+			}
+			return nil
+		}
+		if common(s, n.prefix) < n.prefix.Len() {
+			return nil
+		}
+		n = n.children[s.Bit(n.prefix.Len())]
+	}
+	return nil
+}
+
+// BMPOf returns the longest marked ancestor-or-self of prefix p (the FD
+// computation; construction-time, no cost recorded).
+func (t *Trie) BMPOf(p ip.Prefix) (ip.Prefix, int, bool) {
+	var best *Node
+	n := t.root
+	for n != nil {
+		if n.prefix.Len() > p.Len() || common(p, n.prefix) < n.prefix.Len() {
+			break
+		}
+		if n.marked {
+			best = n
+		}
+		if n.prefix.Len() == p.Len() {
+			break
+		}
+		n = n.children[p.Bit(n.prefix.Len())]
+	}
+	if best == nil {
+		return ip.Prefix{}, 0, false
+	}
+	return best.prefix, best.value, true
+}
+
+// Walk visits every marked prefix in lexicographic order until fn returns
+// false.
+func (t *Trie) Walk(fn func(p ip.Prefix, v int) bool) {
+	var walk func(*Node) bool
+	walk = func(n *Node) bool {
+		if n == nil {
+			return true
+		}
+		if n.marked && !fn(n.prefix, n.value) {
+			return false
+		}
+		return walk(n.children[0]) && walk(n.children[1])
+	}
+	walk(t.root)
+}
+
+// FromPrefixes builds a Patricia trie from a prefix/payload list.
+func FromPrefixes(fam ip.Family, ps []ip.Prefix, vals []int) *Trie {
+	t := New(fam)
+	for i, p := range ps {
+		v := i
+		if vals != nil {
+			v = vals[i]
+		}
+		t.Insert(p, v)
+	}
+	return t
+}

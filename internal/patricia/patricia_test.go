@@ -1,0 +1,366 @@
+package patricia
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+func randomPrefixes(rng *rand.Rand, n int) []ip.Prefix {
+	out := make([]ip.Prefix, 0, n)
+	for len(out) < n {
+		a := ip.AddrFrom32(rng.Uint32() & 0x1F0F00FF)
+		out = append(out, ip.PrefixFrom(a, rng.Intn(33)))
+	}
+	return out
+}
+
+// checkInvariant verifies path compression: every unmarked vertex has two
+// children, every leaf is marked, child prefixes extend the parent's.
+func checkInvariant(t *testing.T, tr *Trie) {
+	t.Helper()
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if !n.Marked() && (n.Child(0) == nil || n.Child(1) == nil) {
+			t.Fatalf("unmarked vertex %v lacks two children", n.Prefix())
+		}
+		for b := byte(0); b < 2; b++ {
+			ch := n.Child(b)
+			if ch == nil {
+				continue
+			}
+			if !n.Prefix().IsAncestorOf(ch.Prefix()) || ch.Prefix().Len() <= n.Prefix().Len() {
+				t.Fatalf("child %v does not extend parent %v", ch.Prefix(), n.Prefix())
+			}
+			if ch.Prefix().Bit(n.Prefix().Len()) != b {
+				t.Fatalf("child %v under wrong branch of %v", ch.Prefix(), n.Prefix())
+			}
+			walk(ch)
+		}
+	}
+	walk(tr.Root())
+}
+
+func TestInsertLookupBasic(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(ip.MustParsePrefix("10.1.0.0/16"), 2)
+	tr.Insert(ip.MustParsePrefix("10.1.2.0/24"), 3)
+	tr.Insert(ip.MustParsePrefix("192.168.0.0/16"), 4)
+	checkInvariant(t, tr)
+
+	var c mem.Counter
+	p, v, ok := tr.Lookup(ip.MustParseAddr("10.1.2.3"), &c)
+	if !ok || v != 3 || p.Len() != 24 {
+		t.Fatalf("Lookup = %v %d %v", p, v, ok)
+	}
+	// Compressed path: root(split at bit 0 or deeper) .. at most 4 nodes.
+	if c.Count() > 5 {
+		t.Errorf("Patricia walk cost = %d, expected small", c.Count())
+	}
+	if _, _, ok = tr.Lookup(ip.MustParseAddr("11.0.0.0"), nil); ok {
+		t.Error("11.0.0.0 should not match")
+	}
+	if tr.Size() != 4 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+	if nc := tr.NodeCount(); nc > 2*tr.Size()-1 {
+		t.Errorf("NodeCount %d exceeds 2*size-1", nc)
+	}
+}
+
+func TestInsertSplitCases(t *testing.T) {
+	tr := New(ip.IPv4)
+	// Leaf first, then an ancestor (split point == new prefix).
+	tr.Insert(ip.MustParsePrefix("10.1.2.0/24"), 1)
+	tr.Insert(ip.MustParsePrefix("10.1.0.0/16"), 2)
+	checkInvariant(t, tr)
+	if !tr.Contains(ip.MustParsePrefix("10.1.0.0/16")) {
+		t.Fatal("split-point prefix not marked")
+	}
+	// Sibling divergence (split creates unmarked internal vertex).
+	tr.Insert(ip.MustParsePrefix("10.1.3.0/24"), 3)
+	checkInvariant(t, tr)
+	if tr.Size() != 3 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+	// Overwrite.
+	tr.Insert(ip.MustParsePrefix("10.1.3.0/24"), 9)
+	if v, ok := lookupExact(tr, "10.1.3.0/24"); !ok || v != 9 {
+		t.Errorf("overwrite failed: %d %v", v, ok)
+	}
+	if tr.Size() != 3 {
+		t.Errorf("Size after overwrite = %d", tr.Size())
+	}
+}
+
+func lookupExact(tr *Trie, s string) (int, bool) {
+	n := tr.Find(ip.MustParsePrefix(s))
+	if n == nil || !n.Marked() {
+		return 0, false
+	}
+	return n.Value(), true
+}
+
+func TestDeleteContract(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.1.2.0/24"), 1)
+	tr.Insert(ip.MustParsePrefix("10.1.3.0/24"), 2)
+	tr.Insert(ip.MustParsePrefix("10.1.0.0/16"), 3)
+	if !tr.Delete(ip.MustParsePrefix("10.1.2.0/24")) {
+		t.Fatal("Delete failed")
+	}
+	checkInvariant(t, tr)
+	if tr.Size() != 2 || tr.NodeCount() != 2 {
+		t.Errorf("Size/NodeCount = %d/%d, want 2/2", tr.Size(), tr.NodeCount())
+	}
+	// Deleting a marked internal vertex with two children keeps the vertex.
+	tr2 := New(ip.IPv4)
+	tr2.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	tr2.Insert(ip.MustParsePrefix("10.0.0.0/9"), 2)
+	tr2.Insert(ip.MustParsePrefix("10.128.0.0/9"), 3)
+	if !tr2.Delete(ip.MustParsePrefix("10.0.0.0/8")) {
+		t.Fatal("Delete /8 failed")
+	}
+	checkInvariant(t, tr2)
+	if _, _, ok := tr2.Lookup(ip.MustParseAddr("10.200.0.1"), nil); !ok {
+		t.Error("/9 routes should survive")
+	}
+	// Nonexistent deletes.
+	for _, s := range []string{"10.0.0.0/8", "10.64.0.0/10", "99.0.0.0/8"} {
+		if tr2.Delete(ip.MustParsePrefix(s)) {
+			t.Errorf("Delete(%s) should fail", s)
+		}
+	}
+}
+
+func TestDeleteToEmpty(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	if !tr.Delete(ip.MustParsePrefix("10.0.0.0/8")) || tr.Root() != nil || tr.Size() != 0 {
+		t.Error("delete to empty failed")
+	}
+	if tr.Delete(ip.MustParsePrefix("10.0.0.0/8")) {
+		t.Error("delete on empty should fail")
+	}
+}
+
+// Property test: Patricia lookup agrees with the uncompressed trie on random
+// tables and random destinations, and uses no more references.
+func TestQuickAgreesWithBinaryTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		set := randomPrefixes(rng, 80)
+		pat := New(ip.IPv4)
+		bin := trie.New(ip.IPv4)
+		for i, p := range set {
+			pat.Insert(p, i)
+			bin.Insert(p, i)
+		}
+		checkInvariant(t, pat)
+		if pat.Size() != bin.Size() {
+			t.Fatalf("size mismatch %d vs %d", pat.Size(), bin.Size())
+		}
+		for i := 0; i < 300; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x1F0F00FF)
+			var cp, cb mem.Counter
+			pp, _, okp := pat.Lookup(a, &cp)
+			pb, _, okb := bin.Lookup(a, &cb)
+			if okp != okb || (okp && pp != pb) {
+				t.Fatalf("trial %d: patricia %v/%v vs trie %v/%v for %v", trial, pp, okp, pb, okb, a)
+			}
+			if cp.Count() > cb.Count() {
+				t.Fatalf("patricia cost %d exceeds uncompressed %d", cp.Count(), cb.Count())
+			}
+		}
+	}
+}
+
+func TestQuickDeleteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		set := randomPrefixes(rng, 50)
+		pat := New(ip.IPv4)
+		alive := map[ip.Prefix]int{}
+		for i, p := range set {
+			pat.Insert(p, i)
+			alive[p] = i
+		}
+		for i := 0; i < 30; i++ {
+			p := set[rng.Intn(len(set))]
+			if _, ok := alive[p]; ok {
+				if !pat.Delete(p) {
+					t.Fatalf("Delete(%v) failed", p)
+				}
+				delete(alive, p)
+			} else if pat.Delete(p) {
+				t.Fatalf("Delete(%v) succeeded twice", p)
+			}
+			checkInvariant(t, pat)
+		}
+		if pat.Size() != len(alive) {
+			t.Fatalf("Size = %d, want %d", pat.Size(), len(alive))
+		}
+		rest := make([]ip.Prefix, 0, len(alive))
+		for p := range alive {
+			rest = append(rest, p)
+		}
+		bin := trie.New(ip.IPv4)
+		for i, p := range rest {
+			bin.Insert(p, i)
+		}
+		for i := 0; i < 200; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x1F0F00FF)
+			pp, _, okp := pat.Lookup(a, nil)
+			pb, _, okb := bin.Lookup(a, nil)
+			if okp != okb || (okp && pp != pb) {
+				t.Fatalf("post-delete mismatch for %v: %v/%v vs %v/%v", a, pp, okp, pb, okb)
+			}
+		}
+	}
+}
+
+// quick.Check property: for any seed, a Patricia trie built from random
+// prefixes preserves size, invariants and lookup agreement.
+func TestQuickCheckPatriciaProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomPrefixes(rng, 40)
+		pat := New(ip.IPv4)
+		bin := trie.New(ip.IPv4)
+		for i, p := range set {
+			pat.Insert(p, i)
+			bin.Insert(p, i)
+		}
+		if pat.Size() != bin.Size() || pat.NodeCount() > 2*pat.Size()-1 {
+			return false
+		}
+		for i := 0; i < 80; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x1F0F00FF)
+			pp, _, okp := pat.Lookup(a, nil)
+			pb, _, okb := bin.Lookup(a, nil)
+			if okp != okb || (okp && pp != pb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindPoint(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.1.2.0/24"), 1)
+	tr.Insert(ip.MustParsePrefix("10.1.3.0/24"), 2)
+	// Clue inside a compressed edge: /16 has no vertex, resume at the /23
+	// split vertex (10.1.2.0/23).
+	n := tr.FindPoint(ip.MustParsePrefix("10.1.0.0/16"))
+	if n == nil || n.Prefix().String() != "10.1.2.0/23" {
+		t.Fatalf("FindPoint(/16) = %v", n)
+	}
+	// Clue equal to an existing vertex.
+	n = tr.FindPoint(ip.MustParsePrefix("10.1.2.0/23"))
+	if n == nil || n.Prefix().Len() != 23 {
+		t.Fatalf("FindPoint(/23) = %v", n)
+	}
+	// Clue below all vertices on a diverging path.
+	if tr.FindPoint(ip.MustParsePrefix("10.2.0.0/16")) != nil {
+		t.Error("FindPoint for disjoint clue should be nil")
+	}
+	// Clue strictly below a leaf.
+	if tr.FindPoint(ip.MustParsePrefix("10.1.2.128/25")) != nil {
+		t.Error("FindPoint below leaf should be nil")
+	}
+	// Clue whose edge diverges mid-way: 10.1.2.0/24 exists; clue 10.1.0.0/20
+	// lies on the edge (10.1.2.0/23 covers bits up to 23; clue /20 with
+	// different bits).
+	if got := tr.FindPoint(ip.MustParsePrefix("10.1.240.0/20")); got != nil {
+		t.Errorf("FindPoint diverging = %v, want nil", got)
+	}
+}
+
+// Property: FindPoint(s) followed by LookupFrom equals a full Lookup for
+// destinations whose BMP is at or below s.
+func TestQuickFindPointResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		set := randomPrefixes(rng, 60)
+		pat := New(ip.IPv4)
+		for i, p := range set {
+			pat.Insert(p, i)
+		}
+		for i := 0; i < 200; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x1F0F00FF)
+			full, fv, fok := pat.Lookup(a, nil)
+			if !fok {
+				continue
+			}
+			// Any clue that is an ancestor of the BMP must resume correctly.
+			cl := rng.Intn(full.Len() + 1)
+			s := ip.PrefixFrom(a, cl)
+			n := pat.FindPoint(s)
+			got, gv, gok := pat.LookupFrom(n, a, nil)
+			// LookupFrom only sees matches at/below the entry point; the
+			// clue table's FD covers the rest. Here clue ≤ BMP so the BMP
+			// is at/below s... unless it sits above the entry vertex? No:
+			// BMP extends s, so it is found from FindPoint(s).
+			if !gok || got != full || gv != fv {
+				t.Fatalf("resume from %v for %v: got %v/%d/%v, want %v/%d", s, a, got, gv, gok, full, fv)
+			}
+		}
+	}
+}
+
+func TestLookupFromWithStop(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(ip.MustParsePrefix("10.1.0.0/16"), 2)
+	tr.Insert(ip.MustParsePrefix("10.1.2.0/24"), 3)
+	stopAt16 := func(n *Node) bool { return n.Prefix().Len() >= 16 }
+	p, v, ok := tr.LookupFromWithStop(tr.Root(), ip.MustParseAddr("10.1.2.3"), nil, stopAt16)
+	if !ok || v != 2 || p.Len() != 16 {
+		t.Errorf("stopped walk = %v %d %v, want /16", p, v, ok)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	tr := FromPrefixes(ip.IPv4, []ip.Prefix{
+		ip.MustParsePrefix("192.168.0.0/16"),
+		ip.MustParsePrefix("10.0.0.0/8"),
+		ip.MustParsePrefix("10.128.0.0/9"),
+	}, nil)
+	var got []string
+	tr.Walk(func(p ip.Prefix, _ int) bool { got = append(got, p.String()); return true })
+	want := []string{"10.0.0.0/8", "10.128.0.0/9", "192.168.0.0/16"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk order = %v", got)
+		}
+	}
+}
+
+func TestBMPOfPatricia(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(ip.MustParsePrefix("10.1.2.0/24"), 2)
+	p, v, ok := tr.BMPOf(ip.MustParsePrefix("10.1.0.0/16"))
+	if !ok || v != 1 || p.Len() != 8 {
+		t.Errorf("BMPOf(/16) = %v %d %v, want /8", p, v, ok)
+	}
+	p, _, ok = tr.BMPOf(ip.MustParsePrefix("10.1.2.0/24"))
+	if !ok || p.Len() != 24 {
+		t.Errorf("BMPOf(self) = %v %v", p, ok)
+	}
+	if _, _, ok = tr.BMPOf(ip.MustParsePrefix("11.0.0.0/8")); ok {
+		t.Error("BMPOf(disjoint) should fail")
+	}
+}

@@ -1,0 +1,62 @@
+// Package perfmodel translates the paper's cost metric — memory references
+// per packet — into the terms of its motivation ("the increased demand for
+// Gigabit routers"): lookups per second and sustainable line rate on
+// 1999-class hardware. The whole evaluation is hardware-independent by
+// design; this model only multiplies it back out, with the assumptions
+// explicit and adjustable.
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Hardware describes the memory system of a forwarding engine.
+type Hardware struct {
+	// MemoryNs is the cost of one memory reference in nanoseconds.
+	MemoryNs float64
+	// AvgPacketBytes converts packet rate to line rate.
+	AvgPacketBytes int
+}
+
+// SDRAM1999 is the paper's implied platform: ~60 ns SDRAM references
+// (§3.5 discusses 32-byte-line SDRAM) and the then-typical ~300-byte
+// average Internet packet.
+func SDRAM1999() Hardware {
+	return Hardware{MemoryNs: 60, AvgPacketBytes: 300}
+}
+
+// LookupsPerSecond returns how many lookups per second a scheme sustains
+// at the given average references per packet.
+func (h Hardware) LookupsPerSecond(refsPerPacket float64) float64 {
+	if refsPerPacket <= 0 {
+		return 0
+	}
+	return 1e9 / (refsPerPacket * h.MemoryNs)
+}
+
+// LineRateGbps returns the sustainable line rate in gigabits per second.
+func (h Hardware) LineRateGbps(refsPerPacket float64) float64 {
+	return h.LookupsPerSecond(refsPerPacket) * float64(h.AvgPacketBytes) * 8 / 1e9
+}
+
+// Scheme is one (name, refs/packet) measurement to translate.
+type Scheme struct {
+	Name string
+	Refs float64
+}
+
+// Translate renders the hardware translation table for a set of measured
+// schemes.
+func (h Hardware) Translate(schemes []Scheme) string {
+	tab := mem.NewTable("Scheme", "Refs/pkt", "Mlookups/s", "Line rate")
+	for _, s := range schemes {
+		tab.AddRow(s.Name,
+			fmt.Sprintf("%.2f", s.Refs),
+			fmt.Sprintf("%.1f", h.LookupsPerSecond(s.Refs)/1e6),
+			fmt.Sprintf("%.1f Gbit/s", h.LineRateGbps(s.Refs)))
+	}
+	return fmt.Sprintf("hardware model: %.0f ns/reference, %d-byte average packets\n%s",
+		h.MemoryNs, h.AvgPacketBytes, tab.String())
+}

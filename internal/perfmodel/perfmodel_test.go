@@ -1,0 +1,52 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLookupsPerSecond(t *testing.T) {
+	h := SDRAM1999()
+	// One reference per packet: 1e9 / 60 ≈ 16.7M lookups/s.
+	got := h.LookupsPerSecond(1)
+	if math.Abs(got-1e9/60) > 1 {
+		t.Errorf("LookupsPerSecond(1) = %v", got)
+	}
+	// 24 refs (the Regular trie) is 24x slower.
+	if r := h.LookupsPerSecond(1) / h.LookupsPerSecond(24); math.Abs(r-24) > 1e-9 {
+		t.Errorf("ratio = %v, want 24", r)
+	}
+	if h.LookupsPerSecond(0) != 0 || h.LookupsPerSecond(-1) != 0 {
+		t.Error("non-positive refs should yield 0")
+	}
+}
+
+func TestLineRateGbps(t *testing.T) {
+	h := Hardware{MemoryNs: 100, AvgPacketBytes: 500}
+	// 1 ref/pkt -> 10M pkts/s -> 10M * 500B * 8 = 40 Gbit/s.
+	if got := h.LineRateGbps(1); math.Abs(got-40) > 1e-9 {
+		t.Errorf("LineRateGbps = %v, want 40", got)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	h := SDRAM1999()
+	out := h.Translate([]Scheme{
+		{Name: "Common Regular", Refs: 24.5},
+		{Name: "Advance+Patricia", Refs: 1.01},
+	})
+	for _, want := range []string{"Common Regular", "Advance+Patricia", "Gbit/s", "60 ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Translate missing %q:\n%s", want, out)
+		}
+	}
+	// The paper's headline, in hardware terms: Advance at ~1 ref sustains
+	// ~40 Gbit/s of 300-byte packets on 60 ns memory; Regular only ~1.6.
+	if g := h.LineRateGbps(1.01); g < 30 {
+		t.Errorf("Advance line rate = %.1f, expected tens of Gbit/s", g)
+	}
+	if g := h.LineRateGbps(24.5); g > 2 {
+		t.Errorf("Regular line rate = %.1f, expected under 2 Gbit/s", g)
+	}
+}

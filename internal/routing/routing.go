@@ -1,0 +1,326 @@
+// Package routing computes forwarding tables over a topology the way a
+// 1999 IGP would: shortest paths (Dijkstra) with per-prefix origination.
+// It exists so that the multi-router simulations (Figure 1, §5.3's
+// heterogeneous networks, §5.1's MPLS comparison) run on tables that are
+// similar between neighbors for the organic reason the paper gives —
+// "the computation of a forwarding table at a router is based on the
+// forwarding tables of its neighbors" — rather than by construction.
+//
+// Scoped origination models the aggregation structure of §3 and Figure 1:
+// a destination's more-specific prefixes are visible only within a hop
+// radius (inside the AS / near the edge), while the covering aggregate
+// propagates everywhere. That is exactly what makes the best-matching
+// prefix of a packet grow longer as it approaches the destination, which
+// in turn is what lets the clue scheme shift work away from the backbone.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fib"
+	"repro/internal/ip"
+)
+
+// LocalHop is the next-hop name used for self-originated prefixes.
+const LocalHop = "local"
+
+type edge struct {
+	to   int
+	cost int
+}
+
+type origin struct {
+	prefix ip.Prefix
+	radius int // hop-count visibility; <0 means global
+}
+
+// Topology is a network of routers and links with per-router prefix
+// origination.
+type Topology struct {
+	names   []string
+	idx     map[string]int
+	adj     [][]edge
+	origins [][]origin
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{idx: make(map[string]int)}
+}
+
+// AddRouter adds a router; adding an existing name is a no-op.
+func (t *Topology) AddRouter(name string) {
+	if _, ok := t.idx[name]; ok {
+		return
+	}
+	t.idx[name] = len(t.names)
+	t.names = append(t.names, name)
+	t.adj = append(t.adj, nil)
+	t.origins = append(t.origins, nil)
+}
+
+// Routers returns the router names in insertion order.
+func (t *Topology) Routers() []string { return append([]string(nil), t.names...) }
+
+// AddLink adds a bidirectional link with the given cost (≥1). Both routers
+// are created if absent.
+func (t *Topology) AddLink(a, b string, cost int) error {
+	if a == b {
+		return fmt.Errorf("routing: self link on %q", a)
+	}
+	if cost < 1 {
+		return fmt.Errorf("routing: link cost %d < 1", cost)
+	}
+	t.AddRouter(a)
+	t.AddRouter(b)
+	ia, ib := t.idx[a], t.idx[b]
+	t.adj[ia] = append(t.adj[ia], edge{to: ib, cost: cost})
+	t.adj[ib] = append(t.adj[ib], edge{to: ia, cost: cost})
+	return nil
+}
+
+// Originate announces prefix p from the given router to the whole network.
+func (t *Topology) Originate(router string, p ip.Prefix) error {
+	return t.OriginateScoped(router, p, -1)
+}
+
+// OriginateScoped announces prefix p from the given router with visibility
+// limited to routers within `radius` hops (link count, not cost). A
+// negative radius means global visibility. This models prefixes that are
+// not re-advertised past an aggregation boundary.
+func (t *Topology) OriginateScoped(router string, p ip.Prefix, radius int) error {
+	i, ok := t.idx[router]
+	if !ok {
+		return fmt.Errorf("routing: unknown router %q", router)
+	}
+	t.origins[i] = append(t.origins[i], origin{prefix: p, radius: radius})
+	return nil
+}
+
+// priority queue for Dijkstra.
+type pqItem struct {
+	node, dist int
+}
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// shortestFrom runs Dijkstra from src, returning cost-distance and the
+// first hop (as a node index, -1 for src itself) toward every node.
+// Ties are broken toward the lower node index, deterministically.
+func (t *Topology) shortestFrom(src int) (dist []int, firstHop []int) {
+	n := len(t.names)
+	const inf = 1 << 30
+	dist = make([]int, n)
+	firstHop = make([]int, n)
+	for i := range dist {
+		dist[i] = inf
+		firstHop[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range t.adj[it.node] {
+			nd := it.dist + e.cost
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				if it.node == src {
+					firstHop[e.to] = e.to
+				} else {
+					firstHop[e.to] = firstHop[it.node]
+				}
+				heap.Push(q, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, firstHop
+}
+
+// hopDistances returns link-count distances from src (BFS), for radius
+// scoping.
+func (t *Topology) hopDistances(src int) []int {
+	n := len(t.names)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range t.adj[u] {
+			if dist[e.to] < 0 {
+				dist[e.to] = dist[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return dist
+}
+
+// ComputeTables runs the routing computation and returns one forwarding
+// table per router. A router reaches an originated prefix via its first
+// hop on the shortest path to the originator; prefixes originated locally
+// get the LocalHop next hop; scoped prefixes simply do not exist in the
+// tables of routers beyond their radius.
+func (t *Topology) ComputeTables() map[string]*fib.Table {
+	out := make(map[string]*fib.Table, len(t.names))
+	// Precompute per-originator hop distances for scoping.
+	hopDist := make([][]int, len(t.names))
+	for i, origs := range t.origins {
+		needs := false
+		for _, o := range origs {
+			if o.radius >= 0 {
+				needs = true
+				break
+			}
+		}
+		if needs {
+			hopDist[i] = t.hopDistances(i)
+		}
+	}
+	for u := range t.names {
+		tab := fib.New(t.names[u], familyOf(t))
+		_, firstHop := t.shortestFrom(u)
+		for v, origs := range t.origins {
+			for _, o := range origs {
+				if v == u {
+					tab.Add(o.prefix, LocalHop)
+					continue
+				}
+				if o.radius >= 0 && (hopDist[v][u] < 0 || hopDist[v][u] > o.radius) {
+					continue
+				}
+				if firstHop[v] < 0 {
+					continue // unreachable
+				}
+				tab.Add(o.prefix, t.names[firstHop[v]])
+			}
+		}
+		out[t.names[u]] = tab
+	}
+	return out
+}
+
+// familyOf inspects the first originated prefix to pick the table family
+// (defaults to IPv4 for an empty topology).
+func familyOf(t *Topology) ip.Family {
+	for _, origs := range t.origins {
+		for _, o := range origs {
+			return o.prefix.Family()
+		}
+	}
+	return ip.IPv4
+}
+
+// Chain builds a linear chain topology r0 - r1 - ... - r(n-1) with unit
+// costs and the given name prefix, returning the router names in order.
+// Chains are the topology of Figure 1 (a packet path from source to
+// destination).
+func Chain(t *Topology, namePrefix string, n int) []string {
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("%s%d", namePrefix, i)
+		t.AddRouter(names[i])
+		if i > 0 {
+			_ = t.AddLink(names[i-1], names[i], 1)
+		}
+	}
+	return names
+}
+
+// PreferentialGraph grows a Barabási–Albert-style random topology: n
+// routers, each new one linking (unit cost) to m existing routers chosen
+// with probability proportional to their degree. The result has the
+// hub-and-spoke shape of real inter-domain graphs — a few high-degree
+// "backbone" routers carrying most paths — which is what the Figure 1
+// claim about backbone relief is evaluated on at network scale. Names are
+// namePrefix + index; the function returns them in creation order.
+func PreferentialGraph(t *Topology, namePrefix string, seed int64, n, m int) ([]string, error) {
+	if n < 2 || m < 1 || m >= n {
+		return nil, fmt.Errorf("routing: need n >= 2 and 1 <= m < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", namePrefix, i)
+		t.AddRouter(names[i])
+	}
+	// endpoints holds one entry per link endpoint, so uniform sampling
+	// from it is degree-proportional sampling.
+	var endpoints []int
+	if err := t.AddLink(names[0], names[1], 1); err != nil {
+		return nil, err
+	}
+	endpoints = append(endpoints, 0, 1)
+	for i := 2; i < n; i++ {
+		chosen := map[int]bool{}
+		for len(chosen) < min(m, i) {
+			target := endpoints[rng.Intn(len(endpoints))]
+			if target == i || chosen[target] {
+				continue
+			}
+			chosen[target] = true
+		}
+		targets := make([]int, 0, len(chosen))
+		for target := range chosen {
+			targets = append(targets, target)
+		}
+		sort.Ints(targets) // map order is random; keep generation deterministic
+		for _, target := range targets {
+			if err := t.AddLink(names[i], names[target], 1); err != nil {
+				return nil, err
+			}
+			endpoints = append(endpoints, i, target)
+		}
+	}
+	return names, nil
+}
+
+// Degree returns the number of links at a router (0 for unknown names).
+func (t *Topology) Degree(router string) int {
+	i, ok := t.idx[router]
+	if !ok {
+		return 0
+	}
+	return len(t.adj[i])
+}
+
+// NestedOrigination announces, from the given router, the nested prefix
+// series of Figure 1: the shortest (aggregate) prefix globally and each
+// successively longer prefix with a successively smaller radius — e.g.
+// lengths [8,12,16,20,24] with radii [-1,8,6,4,2]. All prefixes share the
+// same leading bits (they are truncations of `host`). Lengths and radii
+// must have equal length and lengths must be increasing.
+func NestedOrigination(t *Topology, router string, host ip.Addr, lengths, radii []int) error {
+	if len(lengths) != len(radii) {
+		return fmt.Errorf("routing: lengths and radii differ in length")
+	}
+	sorted := sort.IntsAreSorted(lengths)
+	if !sorted {
+		return fmt.Errorf("routing: lengths must be increasing")
+	}
+	for i, l := range lengths {
+		if err := t.OriginateScoped(router, ip.PrefixFrom(host, l), radii[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

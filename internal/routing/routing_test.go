@@ -1,0 +1,231 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/fib"
+	"repro/internal/ip"
+)
+
+func triangle(t *testing.T) *Topology {
+	t.Helper()
+	top := NewTopology()
+	if err := top.AddLink("A", "B", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddLink("B", "C", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddLink("A", "C", 5); err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	top := NewTopology()
+	if err := top.AddLink("A", "A", 1); err == nil {
+		t.Error("self link should fail")
+	}
+	if err := top.AddLink("A", "B", 0); err == nil {
+		t.Error("zero cost should fail")
+	}
+	if err := top.Originate("nope", ip.MustParsePrefix("10.0.0.0/8")); err == nil {
+		t.Error("originating from unknown router should fail")
+	}
+}
+
+func TestShortestPathNextHops(t *testing.T) {
+	top := triangle(t)
+	p := ip.MustParsePrefix("10.0.0.0/8")
+	if err := top.Originate("C", p); err != nil {
+		t.Fatal(err)
+	}
+	tables := top.ComputeTables()
+	// A reaches C via B (cost 2) rather than the direct cost-5 link.
+	hop, ok := tables["A"].NextHop(p)
+	if !ok || hop != "B" {
+		t.Errorf("A's next hop = %q/%v, want B", hop, ok)
+	}
+	if hop, _ := tables["B"].NextHop(p); hop != "C" {
+		t.Errorf("B's next hop = %q, want C", hop)
+	}
+	if hop, _ := tables["C"].NextHop(p); hop != LocalHop {
+		t.Errorf("C's next hop = %q, want %q", hop, LocalHop)
+	}
+}
+
+func TestNeighborTablesSimilar(t *testing.T) {
+	// The organic-similarity premise: two adjacent routers computed from
+	// the same topology share almost all prefixes.
+	top := NewTopology()
+	names := Chain(top, "r", 6)
+	for i, name := range names {
+		base := ip.AddrFrom32(uint32(10+i) << 24)
+		if err := top.Originate(name, ip.PrefixFrom(base, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := top.Originate(name, ip.PrefixFrom(base, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tables := top.ComputeTables()
+	inter := fib.Intersection(tables["r2"], tables["r3"])
+	if inter != tables["r2"].Len() {
+		t.Errorf("adjacent global tables differ: intersection %d of %d", inter, tables["r2"].Len())
+	}
+}
+
+func TestScopedOrigination(t *testing.T) {
+	top := NewTopology()
+	names := Chain(top, "r", 8)
+	host := ip.MustParseAddr("10.1.2.3")
+	// /8 global, /16 within 3 hops, /24 within 1 hop of r7.
+	if err := NestedOrigination(top, names[7], host, []int{8, 16, 24}, []int{-1, 3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	tables := top.ComputeTables()
+	for i, name := range names {
+		tab := tables[name]
+		hops := 7 - i
+		has16 := tab.Contains(ip.PrefixFrom(host, 16))
+		has24 := tab.Contains(ip.PrefixFrom(host, 24))
+		if !tab.Contains(ip.PrefixFrom(host, 8)) {
+			t.Errorf("%s missing the global /8", name)
+		}
+		if has16 != (hops <= 3) || has24 != (hops <= 1) {
+			t.Errorf("%s (dist %d): /16=%v /24=%v", name, hops, has16, has24)
+		}
+	}
+	// BMP length grows monotonically along the chain toward r7 (Figure 1).
+	prev := -1
+	for _, name := range names[:7] {
+		p, _, ok := tables[name].Trie().Lookup(host, nil)
+		if !ok {
+			t.Fatalf("%s: no BMP for %v", name, host)
+		}
+		if p.Len() < prev {
+			t.Errorf("%s: BMP length %d decreased below %d", name, p.Len(), prev)
+		}
+		prev = p.Len()
+	}
+	if prev <= 8 {
+		t.Error("BMP length never grew along the path")
+	}
+}
+
+func TestNestedOriginationValidation(t *testing.T) {
+	top := NewTopology()
+	top.AddRouter("X")
+	host := ip.MustParseAddr("10.0.0.0")
+	if err := NestedOrigination(top, "X", host, []int{8, 16}, []int{-1}); err == nil {
+		t.Error("mismatched lengths/radii should fail")
+	}
+	if err := NestedOrigination(top, "X", host, []int{16, 8}, []int{-1, -1}); err == nil {
+		t.Error("decreasing lengths should fail")
+	}
+	if err := NestedOrigination(top, "nope", host, []int{8}, []int{-1}); err == nil {
+		t.Error("unknown router should fail")
+	}
+}
+
+func TestUnreachableAndDisconnected(t *testing.T) {
+	top := NewTopology()
+	top.AddRouter("island")
+	top.AddRouter("main")
+	p := ip.MustParsePrefix("10.0.0.0/8")
+	if err := top.Originate("island", p); err != nil {
+		t.Fatal(err)
+	}
+	tables := top.ComputeTables()
+	if tables["main"].Contains(p) {
+		t.Error("unreachable prefix must not appear in main's table")
+	}
+	if hop, _ := tables["island"].NextHop(p); hop != LocalHop {
+		t.Error("originator should keep its local route")
+	}
+}
+
+func TestChainAndRouters(t *testing.T) {
+	top := NewTopology()
+	names := Chain(top, "n", 4)
+	if len(names) != 4 || names[0] != "n0" || names[3] != "n3" {
+		t.Errorf("Chain names = %v", names)
+	}
+	if got := top.Routers(); len(got) != 4 {
+		t.Errorf("Routers = %v", got)
+	}
+	// Idempotent AddRouter.
+	top.AddRouter("n0")
+	if len(top.Routers()) != 4 {
+		t.Error("AddRouter not idempotent")
+	}
+}
+
+func TestPreferentialGraph(t *testing.T) {
+	top := NewTopology()
+	names, err := PreferentialGraph(top, "as", 7, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 40 || len(top.Routers()) != 40 {
+		t.Fatalf("router count = %d", len(names))
+	}
+	// Connectivity: a prefix originated anywhere reaches everyone.
+	p := ip.MustParsePrefix("10.0.0.0/8")
+	if err := top.Originate(names[39], p); err != nil {
+		t.Fatal(err)
+	}
+	tables := top.ComputeTables()
+	for _, name := range names {
+		if !tables[name].Contains(p) {
+			t.Fatalf("%s did not learn the route (graph disconnected?)", name)
+		}
+	}
+	// Skew: the max degree should be several times the minimum (hubs).
+	maxDeg, minDeg := 0, 1<<30
+	for _, name := range names {
+		d := top.Degree(name)
+		if d == 0 {
+			t.Fatalf("%s has no links", name)
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	if maxDeg < 3*minDeg {
+		t.Errorf("degree distribution not skewed: max %d min %d", maxDeg, minDeg)
+	}
+	if top.Degree("nope") != 0 {
+		t.Error("unknown router should have degree 0")
+	}
+	// Determinism.
+	top2 := NewTopology()
+	if _, err := PreferentialGraph(top2, "as", 7, 40, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if top.Degree(name) != top2.Degree(name) {
+			t.Fatal("graph generation not deterministic")
+		}
+	}
+	// Validation.
+	if _, err := PreferentialGraph(NewTopology(), "x", 1, 1, 1); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := PreferentialGraph(NewTopology(), "x", 1, 5, 5); err == nil {
+		t.Error("m>=n should fail")
+	}
+}
+
+func TestEmptyTopologyTables(t *testing.T) {
+	top := NewTopology()
+	top.AddRouter("lonely")
+	tables := top.ComputeTables()
+	if tables["lonely"].Len() != 0 {
+		t.Error("empty origination should give empty table")
+	}
+}

@@ -1,0 +1,386 @@
+// Package synth generates synthetic router forwarding tables that stand in
+// for the 1999 snapshots the paper's evaluation used (MAE-East, MAE-West,
+// Paix route servers and two pairs of neighboring ISP backbone routers).
+// Those snapshots were obtained privately from Merit and AT&T and are long
+// gone; what the clue experiments actually depend on is reproduced here by
+// construction:
+//
+//   - per-router table sizes (Table 1),
+//   - high pairwise overlap between neighboring tables (Table 3) — the
+//     premise of the whole scheme (§3: "forwarding tables at neighboring
+//     routers are very similar"),
+//   - a 1999-shaped prefix-length distribution (mass at /16–/24, a long
+//     tail of aggregates, ~a third of prefixes nested under another
+//     table prefix), which controls how often a clue has descendants,
+//   - a small, asymmetric "problematic clue" rate (Table 2): a clue is
+//     problematic at a receiver that carries more-specifics the sender
+//     lacks, with no sender prefix in between.
+//
+// All generation is deterministic in the seed.
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/trie"
+)
+
+// Universe is a global pool of prefixes (think: the 1999 BGP table) from
+// which router tables are sampled. Routers sampled from the same universe
+// are automatically similar, the way real neighbors are, because their
+// tables are computed from each other's announcements.
+type Universe struct {
+	seed     int64
+	fam      ip.Family
+	prefixes []ip.Prefix // shuffled sampling order
+	index    map[ip.Prefix]bool
+	aggs     []ip.Prefix // the aggregates, for deriving private specifics
+}
+
+// lengthWeights is the aggregate length distribution: (length, weight)
+// modeled on published 1999 BGP table statistics — /24 dominates, /16 is
+// the second mode, classful /8s survive in small numbers.
+var aggregateLengths = []struct{ length, weight int }{
+	{8, 1}, {13, 1}, {14, 2}, {15, 2}, {16, 22},
+	{17, 4}, {18, 6}, {19, 10}, {20, 7}, {21, 7}, {22, 9}, {23, 10}, {24, 70},
+}
+
+// v6AggregateLengths models an aggregated IPv6 routing table the way the
+// paper assumes ("assuming IPv6 uses aggregation in a way similar to
+// IPv4"): allocation-size modes at /32 and /48 with a spread between.
+var v6AggregateLengths = []struct{ length, weight int }{
+	{20, 1}, {24, 2}, {28, 4}, {32, 30}, {36, 8}, {40, 12}, {44, 10}, {48, 50}, {56, 6},
+}
+
+// NewUniverse builds a universe of the given size (number of prefixes).
+//
+// The universe is organized into families: an aggregate plus the
+// more-specifics carved inside it. Aggregates are mutually non-nested, and
+// the sampling order keeps each family contiguous, so nesting relations
+// travel together between router tables. That models the paper's §3
+// argument for why neighboring tables are similar — BGP discourages
+// aggregating prefixes one does not administer, so a prefix and its
+// more-specifics propagate together — and leaves the problematic-clue rate
+// (Table 2) controlled purely by RouterSpec.Divergence.
+func NewUniverse(seed int64, size int) *Universe {
+	return buildUniverse(seed, size, ip.IPv4, aggregateLengths, randomBase, 9, 30)
+}
+
+// NewUniverseV6 builds an IPv6 universe (for the paper's §6 remark that
+// the clue scheme "is expected to give similar performances in IPv6 while
+// the Log W technique does not scale as good").
+func NewUniverseV6(seed int64, size int) *Universe {
+	return buildUniverse(seed, size, ip.IPv6, v6AggregateLengths, randomBaseV6, 16, 64)
+}
+
+func buildUniverse(seed int64, size int, fam ip.Family,
+	lengths []struct{ length, weight int },
+	base func(*rand.Rand) ip.Addr, maxExtra, maxLen int) *Universe {
+	u := &Universe{
+		seed:  seed,
+		fam:   fam,
+		index: make(map[ip.Prefix]bool, size),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	totalW := 0
+	for _, lw := range lengths {
+		totalW += lw.weight
+	}
+	sampleLen := func() int {
+		r := rng.Intn(totalW)
+		for _, lw := range lengths {
+			if r < lw.weight {
+				return lw.length
+			}
+			r -= lw.weight
+		}
+		return lengths[len(lengths)-1].length
+	}
+	// Phase 1: mutually non-nested aggregates (about two thirds of the
+	// universe), rejection-sampled against an ancestor/descendant check.
+	nAgg := size * 2 / 3
+	aggTrie := trie.New(fam)
+	for len(u.aggs) < nAgg {
+		p := ip.PrefixFrom(base(rng), sampleLen())
+		if u.index[p] {
+			continue
+		}
+		if _, _, ok := aggTrie.BMPOf(p); ok {
+			continue // nests under an existing aggregate
+		}
+		if node := aggTrie.Find(p); node != nil {
+			continue // an existing aggregate nests under p
+		}
+		aggTrie.Insert(p, 0)
+		u.index[p] = true
+		u.aggs = append(u.aggs, p)
+	}
+	// Phase 2: more-specifics carved inside random aggregates (the nesting
+	// that makes a clue's vertex have descendants).
+	families := make([][]ip.Prefix, len(u.aggs))
+	for n := nAgg; n < size; {
+		i := rng.Intn(len(u.aggs))
+		agg := u.aggs[i]
+		l := agg.Len() + 1 + rng.Intn(maxExtra)
+		if l > maxLen {
+			continue
+		}
+		p := ip.PrefixFrom(randomWithin(rng, agg), l)
+		if u.index[p] {
+			continue
+		}
+		u.index[p] = true
+		families[i] = append(families[i], p)
+		n++
+	}
+	// Emit families contiguously in shuffled family order.
+	order := rng.Perm(len(u.aggs))
+	u.prefixes = make([]ip.Prefix, 0, size)
+	for _, i := range order {
+		u.prefixes = append(u.prefixes, u.aggs[i])
+		u.prefixes = append(u.prefixes, families[i]...)
+	}
+	return u
+}
+
+// randomBaseV6 returns a random address inside the 2001::/16-style global
+// unicast space.
+func randomBaseV6(rng *rand.Rand) ip.Addr {
+	hi := uint64(0x2001)<<48 | rng.Uint64()&0x0000FFFF_FFFFFFFF
+	return ip.AddrFrom128(hi, rng.Uint64())
+}
+
+// randomBase returns a random address with a 1999-plausible first octet
+// (no loopback, no class D/E, weighted toward the then-populated ranges).
+func randomBase(rng *rand.Rand) ip.Addr {
+	var first int
+	switch r := rng.Intn(10); {
+	case r < 4:
+		first = 128 + rng.Intn(64) // classic class B space
+	case r < 8:
+		first = 192 + rng.Intn(24) // class C swamp
+	default:
+		first = 24 + rng.Intn(100) // sparse class A space
+		if first == 127 {
+			first = 126
+		}
+	}
+	return ip.AddrFrom32(uint32(first)<<24 | rng.Uint32()&0x00FFFFFF)
+}
+
+// randomWithin returns a random address inside prefix p.
+func randomWithin(rng *rand.Rand, p ip.Prefix) ip.Addr {
+	var a ip.Addr
+	if p.Family() == ip.IPv4 {
+		a = ip.AddrFrom32(rng.Uint32())
+	} else {
+		a = ip.AddrFrom128(rng.Uint64(), rng.Uint64())
+	}
+	for i := 0; i < p.Len(); i++ {
+		a = a.WithBit(i, p.Bit(i))
+	}
+	return a
+}
+
+// Size returns the number of prefixes in the universe.
+func (u *Universe) Size() int { return len(u.prefixes) }
+
+// Contains reports whether p is a universe prefix.
+func (u *Universe) Contains(p ip.Prefix) bool { return u.index[p] }
+
+// RouterSpec describes one synthetic router.
+type RouterSpec struct {
+	Name string
+	// Size is the table size (Table 1 of the paper).
+	Size int
+	// Divergence is the fraction of universe prefixes this router drops
+	// while sampling, plus the fraction of its table that is private
+	// more-specifics nobody else carries. 0 means the router is a pure
+	// prefix of the universe order; 0.01–0.05 reproduces the paper's
+	// intersection (Table 3) and problematic-clue (Table 2) bands.
+	Divergence float64
+	// Hops are the next-hop names routes are spread over (round-robin
+	// with jitter). Defaults to a single hop named after the router's
+	// peer port if empty.
+	Hops []string
+}
+
+// Router samples a router table from the universe per spec. Sampling is
+// deterministic in the universe seed and the router name.
+func (u *Universe) Router(spec RouterSpec) *fib.Table {
+	rng := rand.New(rand.NewSource(u.seed ^ int64(hashName(spec.Name))))
+	hops := spec.Hops
+	if len(hops) == 0 {
+		hops = []string{spec.Name + "-peer"}
+	}
+	t := fib.New(spec.Name, u.fam)
+	nPriv := int(spec.Divergence * float64(spec.Size))
+	nShared := spec.Size - nPriv
+	// Shared part: walk the universe order, skipping a Divergence fraction
+	// (each router skips different prefixes, which is what creates the
+	// receiver-only more-specifics behind problematic clues).
+	for _, p := range u.prefixes {
+		if t.Len() >= nShared {
+			break
+		}
+		if rng.Float64() < spec.Divergence {
+			continue
+		}
+		t.Add(p, hops[rng.Intn(len(hops))])
+	}
+	// Private part: more-specifics under universe aggregates, absent from
+	// the universe so no other router carries them.
+	maxLen := 30
+	if u.fam == ip.IPv6 {
+		maxLen = 64
+	}
+	for added := 0; added < nPriv; {
+		agg := u.aggs[rng.Intn(len(u.aggs))]
+		l := agg.Len() + 1 + rng.Intn(8)
+		if l > maxLen {
+			continue
+		}
+		p := ip.PrefixFrom(randomWithin(rng, agg), l)
+		if u.index[p] || t.Contains(p) {
+			continue
+		}
+		t.Add(p, hops[rng.Intn(len(hops))])
+		added++
+	}
+	return t
+}
+
+// hashName is a small FNV-1a so router identity perturbs the sampling seed.
+func hashName(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// Paper snapshot sizes (Table 1). The MAE-East total is partly illegible
+// in the archived scan ("42,…"); 42,366 is used and recorded as an
+// approximation in EXPERIMENTS.md.
+const (
+	SizeMAEEast = 42366
+	SizeMAEWest = 23123
+	SizePaix    = 5974
+	SizeATT1    = 23414
+	SizeATT2    = 60475
+	SizeISPB1   = 56034
+	SizeISPB2   = 55959
+)
+
+// PaperRouterNames lists the seven snapshots of §6 in table order.
+var PaperRouterNames = []string{
+	"MAE-East", "MAE-West", "Paix", "AT&T-1", "AT&T-2", "ISP-B-1", "ISP-B-2",
+}
+
+// PaperRouters generates the seven synthetic counterparts of the paper's
+// snapshots. The route-server snapshots (MAE-*) diverge more from each
+// other than the two same-ISP pairs, matching the asymmetry of Tables 2–3.
+// Scale (0 < scale <= 1) shrinks every table proportionally so tests can
+// run the full pipeline quickly; benchmarks use scale 1.
+func PaperRouters(seed int64, scale float64) map[string]*fib.Table {
+	if scale <= 0 || scale > 1 {
+		panic("synth: scale must be in (0, 1]")
+	}
+	sz := func(n int) int {
+		s := int(float64(n) * scale)
+		if s < 10 {
+			s = 10
+		}
+		return s
+	}
+	// Universe sized to the biggest router plus headroom for skips.
+	u := NewUniverse(seed, sz(SizeATT2)+sz(SizeATT2)/8)
+	specs := []RouterSpec{
+		{Name: "MAE-East", Size: sz(SizeMAEEast), Divergence: 0.020},
+		{Name: "MAE-West", Size: sz(SizeMAEWest), Divergence: 0.025},
+		{Name: "Paix", Size: sz(SizePaix), Divergence: 0.030},
+		{Name: "AT&T-1", Size: sz(SizeATT1), Divergence: 0.004},
+		{Name: "AT&T-2", Size: sz(SizeATT2), Divergence: 0.004},
+		{Name: "ISP-B-1", Size: sz(SizeISPB1), Divergence: 0.003},
+		{Name: "ISP-B-2", Size: sz(SizeISPB2), Divergence: 0.003},
+	}
+	out := make(map[string]*fib.Table, len(specs))
+	for _, s := range specs {
+		out[s.Name] = u.Router(s)
+	}
+	return out
+}
+
+// Workload generates destination addresses the way §6 does: "A random
+// destination is chosen, and its BMP in R1 is computed. Then we verified
+// that this BMP is a vertex in the trie of R2, and if so the processing of
+// that packet at R2 was carried out." Destinations are drawn inside the
+// sender's prefixes (a random destination in the 1999 backbone almost
+// always matched something; in a sparse synthetic table it would not).
+type Workload struct {
+	rng      *rand.Rand
+	prefixes []ip.Prefix
+}
+
+// NewWorkload prepares a workload generator over the sender's table.
+func NewWorkload(seed int64, sender *fib.Table) *Workload {
+	return &Workload{
+		rng:      rand.New(rand.NewSource(seed)),
+		prefixes: sender.Prefixes(),
+	}
+}
+
+// Next returns a random destination matching some sender prefix.
+func (w *Workload) Next() ip.Addr {
+	p := w.prefixes[w.rng.Intn(len(w.prefixes))]
+	return randomWithin(w.rng, p)
+}
+
+// FlowWorkload models traffic as flows: destinations are drawn from a
+// Zipf distribution over the sender's prefixes (a few destinations carry
+// most packets, as real traffic does) and each flow emits a run of packets
+// to one destination. It exists to reproduce the paper's §1/§2 argument
+// against per-flow label setup: "there is no work in a new connection
+// setup, the processing gain is achieved even if only one packet is sent
+// in this flow (e.g., UDP)" — clue entries are shared by every flow whose
+// packets carry the same clue, so short flows lose nothing.
+type FlowWorkload struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	prefixes []ip.Prefix
+	flowLen  int
+	// current flow state
+	dest      ip.Addr
+	remaining int
+}
+
+// NewFlowWorkload prepares a flow generator: Zipf skew s (>1; ~1.2 is
+// web-like), and a fixed number of packets per flow (≥1).
+func NewFlowWorkload(seed int64, sender *fib.Table, s float64, flowLen int) *FlowWorkload {
+	if flowLen < 1 {
+		panic("synth: flowLen must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prefixes := sender.Prefixes()
+	return &FlowWorkload{
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, s, 1, uint64(len(prefixes)-1)),
+		prefixes: prefixes,
+		flowLen:  flowLen,
+	}
+}
+
+// Next returns the next packet's destination and whether it starts a new
+// flow.
+func (w *FlowWorkload) Next() (dest ip.Addr, newFlow bool) {
+	if w.remaining == 0 {
+		p := w.prefixes[int(w.zipf.Uint64())]
+		w.dest = randomWithin(w.rng, p)
+		w.remaining = w.flowLen
+		newFlow = true
+	}
+	w.remaining--
+	return w.dest, newFlow
+}

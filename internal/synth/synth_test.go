@@ -1,0 +1,271 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/ip"
+)
+
+func TestUniverseDeterministic(t *testing.T) {
+	a := NewUniverse(7, 500)
+	b := NewUniverse(7, 500)
+	if a.Size() != 500 || b.Size() != 500 {
+		t.Fatalf("sizes %d %d", a.Size(), b.Size())
+	}
+	for i := range a.prefixes {
+		if a.prefixes[i] != b.prefixes[i] {
+			t.Fatal("universe generation not deterministic")
+		}
+	}
+	c := NewUniverse(8, 500)
+	same := 0
+	for i := range a.prefixes {
+		if a.prefixes[i] == c.prefixes[i] {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Error("different seeds produced identical universes")
+	}
+}
+
+func TestUniverseLengthDistribution(t *testing.T) {
+	u := NewUniverse(1, 5000)
+	var hist [33]int
+	for _, p := range u.prefixes {
+		if p.Len() < 8 || p.Len() > 30 {
+			t.Fatalf("prefix length %d out of [8,30]: %v", p.Len(), p)
+		}
+		hist[p.Len()]++
+	}
+	// /24 must dominate; /16 must be a clear second mode.
+	if hist[24] < 1000 {
+		t.Errorf("/24 count = %d, expected the dominant mode", hist[24])
+	}
+	if hist[16] < 200 {
+		t.Errorf("/16 count = %d, expected a strong mode", hist[16])
+	}
+	// A material fraction of prefixes must be nested under another
+	// universe prefix (the paper's clue dynamics depend on nesting).
+	tr := fib.New("u", ip.IPv4)
+	for _, p := range u.prefixes {
+		tr.Add(p, "x")
+	}
+	trie := tr.Trie()
+	nested := 0
+	for _, p := range u.prefixes {
+		if bp, _, ok := trie.BMPOf(p.Parent()); ok && bp.Len() > 0 && bp.Len() < p.Len() {
+			nested++
+		}
+	}
+	if frac := float64(nested) / float64(len(u.prefixes)); frac < 0.15 || frac > 0.70 {
+		t.Errorf("nested fraction = %.2f, want a 1999-plausible 0.15..0.70", frac)
+	}
+}
+
+func TestRouterSizeAndMembership(t *testing.T) {
+	u := NewUniverse(2, 3000)
+	tab := u.Router(RouterSpec{Name: "R", Size: 1000, Divergence: 0.02, Hops: []string{"a", "b"}})
+	if tab.Len() != 1000 {
+		t.Fatalf("router size = %d, want 1000", tab.Len())
+	}
+	private := 0
+	for _, p := range tab.Prefixes() {
+		if !u.Contains(p) {
+			private++
+		}
+	}
+	want := int(0.02 * 1000)
+	if private != want {
+		t.Errorf("private prefixes = %d, want %d", private, want)
+	}
+	// Deterministic per name.
+	tab2 := u.Router(RouterSpec{Name: "R", Size: 1000, Divergence: 0.02, Hops: []string{"a", "b"}})
+	if fib.Intersection(tab, tab2) != 1000 {
+		t.Error("router sampling not deterministic")
+	}
+	// Different name, different sample.
+	tab3 := u.Router(RouterSpec{Name: "S", Size: 1000, Divergence: 0.02})
+	if fib.Intersection(tab, tab3) == 1000 {
+		t.Error("different routers produced identical tables")
+	}
+}
+
+func TestNeighborSimilarityBand(t *testing.T) {
+	u := NewUniverse(3, 4000)
+	a := u.Router(RouterSpec{Name: "A", Size: 2000, Divergence: 0.01})
+	b := u.Router(RouterSpec{Name: "B", Size: 3000, Divergence: 0.01})
+	inter := fib.Intersection(a, b)
+	// The paper's Table 3: intersections are 94–99.9% of the smaller table.
+	if frac := float64(inter) / 2000; frac < 0.90 || frac > 1.0 {
+		t.Errorf("intersection fraction = %.3f, want ≥0.90 (Table 3 band)", frac)
+	}
+}
+
+func TestProblematicCluesBand(t *testing.T) {
+	// Scaled-down counterparts of the paper's routers: the problematic
+	// fraction (Table 2) must stay under 10% of the sender's clue set, and
+	// Claim-1 coverage correspondingly above 90% (the paper reports
+	// 95–99.5% at full scale).
+	routers := PaperRouters(99, 0.05)
+	for _, pair := range [][2]string{{"AT&T-1", "AT&T-2"}, {"MAE-East", "MAE-West"}} {
+		s, r := routers[pair[0]], routers[pair[1]]
+		st, rt := s.Trie(), r.Trie()
+		inSender := func(p ip.Prefix) bool { return st.Contains(p) }
+		clues := s.Prefixes()
+		bad := core.CountProblematic(rt, clues, inSender)
+		if frac := float64(bad) / float64(len(clues)); frac > 0.10 {
+			t.Errorf("%s->%s problematic fraction %.3f > 0.10 (%d of %d)",
+				pair[0], pair[1], frac, bad, len(clues))
+		}
+	}
+}
+
+func TestPaperRoutersSizes(t *testing.T) {
+	routers := PaperRouters(1, 0.02)
+	if len(routers) != 7 {
+		t.Fatalf("router count = %d", len(routers))
+	}
+	for _, name := range PaperRouterNames {
+		if routers[name] == nil {
+			t.Fatalf("missing router %q", name)
+		}
+	}
+	// Relative sizes must follow Table 1's ordering.
+	if routers["Paix"].Len() >= routers["MAE-West"].Len() ||
+		routers["MAE-West"].Len() >= routers["MAE-East"].Len() ||
+		routers["MAE-East"].Len() >= routers["ISP-B-1"].Len() ||
+		routers["ISP-B-1"].Len() >= routers["AT&T-2"].Len() {
+		t.Error("router size ordering does not match Table 1")
+	}
+}
+
+func TestPaperRoutersBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("scale 0 should panic")
+		}
+	}()
+	PaperRouters(1, 0)
+}
+
+func TestWorkloadDestinationsMatchSender(t *testing.T) {
+	u := NewUniverse(4, 2000)
+	tab := u.Router(RouterSpec{Name: "W", Size: 800, Divergence: 0.01})
+	tr := tab.Trie()
+	w := NewWorkload(5, tab)
+	for i := 0; i < 2000; i++ {
+		d := w.Next()
+		if _, _, ok := tr.Lookup(d, nil); !ok {
+			t.Fatalf("workload destination %v has no BMP at the sender", d)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	u := NewUniverse(4, 1000)
+	tab := u.Router(RouterSpec{Name: "W", Size: 400, Divergence: 0})
+	w1 := NewWorkload(9, tab)
+	w2 := NewWorkload(9, tab)
+	for i := 0; i < 100; i++ {
+		if w1.Next() != w2.Next() {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}
+
+func TestUniverseV6(t *testing.T) {
+	u := NewUniverseV6(5, 2000)
+	if u.Size() != 2000 {
+		t.Fatalf("v6 universe size = %d", u.Size())
+	}
+	for _, p := range u.prefixes {
+		if p.Family() != ip.IPv6 {
+			t.Fatalf("non-v6 prefix %v in v6 universe", p)
+		}
+		if p.Len() < 20 || p.Len() > 64 {
+			t.Fatalf("v6 prefix length %d out of [20,64]", p.Len())
+		}
+	}
+	a := u.Router(RouterSpec{Name: "A6", Size: 800, Divergence: 0.01})
+	b := u.Router(RouterSpec{Name: "B6", Size: 900, Divergence: 0.01})
+	if a.Family() != ip.IPv6 || a.Len() != 800 {
+		t.Fatalf("v6 router: fam %v len %d", a.Family(), a.Len())
+	}
+	if frac := float64(fib.Intersection(a, b)) / 800; frac < 0.90 {
+		t.Errorf("v6 pair intersection fraction = %.3f", frac)
+	}
+	// Workload destinations must match the v6 sender.
+	w := NewWorkload(3, a)
+	tr := a.Trie()
+	for i := 0; i < 500; i++ {
+		d := w.Next()
+		if d.Family() != ip.IPv6 {
+			t.Fatal("v6 workload produced a v4 destination")
+		}
+		if _, _, ok := tr.Lookup(d, nil); !ok {
+			t.Fatalf("v6 workload destination %v misses the sender", d)
+		}
+	}
+}
+
+func TestFlowWorkload(t *testing.T) {
+	u := NewUniverse(6, 2000)
+	tab := u.Router(RouterSpec{Name: "F", Size: 800, Divergence: 0})
+	tr := tab.Trie()
+	w := NewFlowWorkload(3, tab, 1.2, 4)
+	flows, packets := 0, 0
+	var cur ip.Addr
+	for i := 0; i < 4000; i++ {
+		d, newFlow := w.Next()
+		packets++
+		if newFlow {
+			flows++
+			cur = d
+		} else if d != cur {
+			t.Fatal("destination changed mid-flow")
+		}
+		if _, _, ok := tr.Lookup(d, nil); !ok {
+			t.Fatalf("flow destination %v misses the sender", d)
+		}
+	}
+	if flows != packets/4 {
+		t.Errorf("flows = %d, want %d", flows, packets/4)
+	}
+	// Zipf skew: the most popular BMP must dominate a uniform share.
+	w2 := NewFlowWorkload(3, tab, 1.2, 1)
+	counts := map[ip.Prefix]int{}
+	for i := 0; i < 5000; i++ {
+		d, _ := w2.Next()
+		p, _, _ := tr.Lookup(d, nil)
+		counts[p]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 { // uniform over 800 prefixes would give ~6
+		t.Errorf("Zipf skew too weak: top prefix only %d of 5000", max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("flowLen 0 should panic")
+		}
+	}()
+	NewFlowWorkload(1, tab, 1.2, 0)
+}
+
+func TestRandomWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := ip.MustParsePrefix("10.32.0.0/11")
+	for i := 0; i < 200; i++ {
+		if a := randomWithin(rng, p); !p.Contains(a) {
+			t.Fatalf("randomWithin produced %v outside %v", a, p)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package trie implements the binary prefix trie of §3.1 of the paper: the
+// data structure that represents all prefixes in a router's forwarding
+// table. Each vertex represents a binary string (the path from the root,
+// 0 = left, 1 = right); vertices that are forwarding-table prefixes are
+// marked. Any unmarked vertex with no marked descendant is removed, so all
+// leaves are marked.
+//
+// Besides insertion, deletion and the classic bit-by-bit best-matching-
+// prefix walk (the "Regular" scheme of §6), the package implements the two
+// computations the clue scheme is built from:
+//
+//   - Claim 1 (§3.1.2): given the receiving router's trie t2 and the set of
+//     sender prefixes t1, decide whether any path down from a clue vertex s
+//     reaches a prefix of t2 before hitting a prefix of t1 — if not, no
+//     longer match can exist and the clue table entry is final.
+//   - Condition C1 (§4, Definition 1): the candidate set P(s,R1) of t2
+//     prefixes that may still be the BMP given clue s, over which the
+//     restricted binary/6-way/Log W searches run.
+package trie
+
+import (
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+// Node is a trie vertex. The zero Node is not valid; vertices are created
+// by Trie.Insert.
+type Node struct {
+	prefix   ip.Prefix
+	children [2]*Node
+	marked   bool
+	value    int
+}
+
+// Prefix returns the binary string this vertex represents.
+func (n *Node) Prefix() ip.Prefix { return n.prefix }
+
+// Marked reports whether the vertex is a forwarding-table prefix.
+func (n *Node) Marked() bool { return n.marked }
+
+// Value returns the payload (next-hop index) of a marked vertex.
+func (n *Node) Value() int { return n.value }
+
+// Child returns the b-child (b in {0,1}), or nil.
+func (n *Node) Child(b byte) *Node { return n.children[b&1] }
+
+// HasChildren reports whether the vertex has any descendants — the Simple
+// method's criterion for continuing the search below a clue.
+func (n *Node) HasChildren() bool { return n.children[0] != nil || n.children[1] != nil }
+
+// Trie is a binary prefix trie over one address family.
+type Trie struct {
+	root *Node
+	fam  ip.Family
+	size int
+}
+
+// New returns an empty trie for the given family.
+func New(fam ip.Family) *Trie { return &Trie{fam: fam} }
+
+// Family returns the trie's address family.
+func (t *Trie) Family() ip.Family { return t.fam }
+
+// Size returns the number of marked prefixes.
+func (t *Trie) Size() int { return t.size }
+
+// Root returns the root vertex (the empty string), or nil if the trie is
+// empty.
+func (t *Trie) Root() *Node { return t.root }
+
+// NodeCount returns the total number of vertices (marked and unmarked).
+func (t *Trie) NodeCount() int {
+	var count func(*Node) int
+	count = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + count(n.children[0]) + count(n.children[1])
+	}
+	return count(t.root)
+}
+
+// Insert adds prefix p with payload v, overwriting the payload if p is
+// already present. It panics on a family mismatch, which is always a
+// programming error.
+func (t *Trie) Insert(p ip.Prefix, v int) {
+	if p.Family() != t.fam {
+		panic("trie: family mismatch")
+	}
+	if t.root == nil {
+		t.root = &Node{prefix: ip.PrefixFrom(p.Addr(), 0)}
+	}
+	n := t.root
+	for i := 0; i < p.Len(); i++ {
+		b := p.Bit(i)
+		if n.children[b] == nil {
+			n.children[b] = &Node{prefix: ip.PrefixFrom(p.Addr(), i+1)}
+		}
+		n = n.children[b]
+	}
+	if !n.marked {
+		n.marked = true
+		t.size++
+	}
+	n.value = v
+}
+
+// Delete removes prefix p. It returns false if p was not present. Unmarked
+// vertices left without marked descendants are pruned, restoring the §3.1
+// invariant that every leaf is marked.
+func (t *Trie) Delete(p ip.Prefix) bool {
+	if p.Family() != t.fam || t.root == nil {
+		return false
+	}
+	// Record the path so we can prune bottom-up.
+	path := make([]*Node, 0, p.Len()+1)
+	n := t.root
+	path = append(path, n)
+	for i := 0; i < p.Len(); i++ {
+		n = n.children[p.Bit(i)]
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	if !n.marked {
+		return false
+	}
+	n.marked = false
+	t.size--
+	// Prune unmarked leaves along the path.
+	for i := len(path) - 1; i > 0; i-- {
+		v := path[i]
+		if v.marked || v.HasChildren() {
+			break
+		}
+		parent := path[i-1]
+		b := p.Bit(i - 1)
+		parent.children[b] = nil
+	}
+	if !t.root.marked && !t.root.HasChildren() {
+		t.root = nil
+	}
+	return true
+}
+
+// Find returns the vertex for prefix p, or nil if that vertex does not
+// exist in the trie (the clue table's "s not in R2's trie" case).
+func (t *Trie) Find(p ip.Prefix) *Node {
+	if p.Family() != t.fam {
+		return nil
+	}
+	n := t.root
+	for i := 0; n != nil && i < p.Len(); i++ {
+		n = n.children[p.Bit(i)]
+	}
+	return n
+}
+
+// Contains reports whether p is a marked prefix of the trie.
+func (t *Trie) Contains(p ip.Prefix) bool {
+	n := t.Find(p)
+	return n != nil && n.marked
+}
+
+// Get returns the payload of marked prefix p.
+func (t *Trie) Get(p ip.Prefix) (int, bool) {
+	n := t.Find(p)
+	if n == nil || !n.marked {
+		return 0, false
+	}
+	return n.value, true
+}
+
+// Lookup performs the classic bit-by-bit best-matching-prefix walk from the
+// root ("Regular" in the paper's tables). Every vertex visited costs one
+// memory reference on c. It returns the BMP, its payload and whether any
+// prefix matched.
+func (t *Trie) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	return t.LookupFrom(t.root, a, c)
+}
+
+// LookupFrom performs the bit-by-bit walk starting at vertex start (which
+// must lie on a's path, i.e. start's prefix must contain a); it is the
+// "continue the search from the clue" primitive of §3. A nil start returns
+// no match at zero cost. The walk records one reference per vertex visited,
+// including start itself.
+func (t *Trie) LookupFrom(start *Node, a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
+	var best *Node
+	n := start
+	for n != nil {
+		c.Add(1)
+		if n.marked {
+			best = n
+		}
+		if n.prefix.Len() >= t.fam.Width() {
+			break
+		}
+		n = n.children[a.Bit(n.prefix.Len())]
+	}
+	if best == nil {
+		return ip.Prefix{}, 0, false
+	}
+	return best.prefix, best.value, true
+}
+
+// BMPOf returns the longest marked ancestor-or-self of prefix p — the
+// paper's "least ancestor of s in the trie which is also a prefix", used to
+// fill the FD field of a clue entry. No cost is recorded: this runs at
+// table-construction time, not on the forwarding path.
+func (t *Trie) BMPOf(p ip.Prefix) (ip.Prefix, int, bool) {
+	var best *Node
+	n := t.root
+	for i := 0; n != nil; i++ {
+		if n.marked {
+			best = n
+		}
+		if i >= p.Len() {
+			break
+		}
+		n = n.children[p.Bit(i)]
+	}
+	if best == nil {
+		return ip.Prefix{}, 0, false
+	}
+	return best.prefix, best.value, true
+}
+
+// Walk visits every marked prefix in lexicographic (DFS, 0 before 1) order
+// until fn returns false.
+func (t *Trie) Walk(fn func(p ip.Prefix, v int) bool) {
+	var walk func(*Node) bool
+	walk = func(n *Node) bool {
+		if n == nil {
+			return true
+		}
+		if n.marked && !fn(n.prefix, n.value) {
+			return false
+		}
+		return walk(n.children[0]) && walk(n.children[1])
+	}
+	walk(t.root)
+}
+
+// Prefixes returns all marked prefixes in lexicographic order.
+func (t *Trie) Prefixes() []ip.Prefix {
+	out := make([]ip.Prefix, 0, t.size)
+	t.Walk(func(p ip.Prefix, _ int) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// Candidates computes the candidate set P(s, R1) of Definition 1 (§4): all
+// marked vertices p strictly below s such that no vertex on the path from s
+// to p (excluding s, including p) is a sender prefix. inSender reports
+// whether a binary string is a prefix of the sending router's table.
+//
+// Claim 1 holds for s exactly when the returned set is empty.
+func (t *Trie) Candidates(s *Node, inSender func(ip.Prefix) bool) []*Node {
+	var out []*Node
+	if s == nil {
+		return out
+	}
+	var dfs func(*Node)
+	dfs = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if inSender(n.prefix) {
+			// A sender prefix is met before (or at the same time as) any
+			// deeper receiver prefix: this whole branch is blocked, because
+			// the sender would have reported the longer clue itself.
+			return
+		}
+		if n.marked {
+			out = append(out, n)
+			// Receiver prefixes do not block deeper candidates (Definition
+			// 1 only excludes sender prefixes from the path).
+		}
+		dfs(n.children[0])
+		dfs(n.children[1])
+	}
+	dfs(s.children[0])
+	dfs(s.children[1])
+	return out
+}
+
+// Claim1Holds reports whether Claim 1 of §3.1.2 holds for clue vertex s:
+// on every path going down from s, a sender prefix is encountered before or
+// at the same time as the first receiver prefix. When it holds, the clue
+// table entry alone decides the packet (Ptr := Empty).
+func (t *Trie) Claim1Holds(s *Node, inSender func(ip.Prefix) bool) bool {
+	if s == nil {
+		return true
+	}
+	holds := true
+	var dfs func(*Node)
+	dfs = func(n *Node) {
+		if n == nil || !holds || inSender(n.prefix) {
+			return
+		}
+		if n.marked {
+			holds = false
+			return
+		}
+		dfs(n.children[0])
+		dfs(n.children[1])
+	}
+	dfs(s.children[0])
+	dfs(s.children[1])
+	return holds
+}
+
+// MarkedBelow reports whether any marked vertex exists strictly below s.
+func (t *Trie) MarkedBelow(s *Node) bool {
+	found := false
+	var dfs func(*Node)
+	dfs = func(n *Node) {
+		if n == nil || found {
+			return
+		}
+		if n.marked {
+			found = true
+			return
+		}
+		dfs(n.children[0])
+		dfs(n.children[1])
+	}
+	if s != nil {
+		dfs(s.children[0])
+		dfs(s.children[1])
+	}
+	return found
+}
+
+// Clone returns a deep copy of the trie. Clue-table precomputation snapshots
+// a neighbor's trie with it so that later route changes do not corrupt
+// precomputed entries.
+func (t *Trie) Clone() *Trie {
+	var cp func(*Node) *Node
+	cp = func(n *Node) *Node {
+		if n == nil {
+			return nil
+		}
+		return &Node{
+			prefix:   n.prefix,
+			marked:   n.marked,
+			value:    n.value,
+			children: [2]*Node{cp(n.children[0]), cp(n.children[1])},
+		}
+	}
+	return &Trie{root: cp(t.root), fam: t.fam, size: t.size}
+}

@@ -1,0 +1,432 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+// naiveBMP is the reference implementation: longest prefix in set containing a.
+func naiveBMP(set []ip.Prefix, a ip.Addr) (ip.Prefix, bool) {
+	best, ok := ip.Prefix{}, false
+	for _, p := range set {
+		if p.Contains(a) && (!ok || p.Len() > best.Len()) {
+			best, ok = p, true
+		}
+	}
+	return best, ok
+}
+
+// randomPrefixes generates n random IPv4 prefixes clustered enough to nest.
+func randomPrefixes(rng *rand.Rand, n int) []ip.Prefix {
+	out := make([]ip.Prefix, 0, n)
+	for len(out) < n {
+		// Small address space so prefixes overlap and nest frequently.
+		a := ip.AddrFrom32(rng.Uint32() & 0x0F0F00FF)
+		l := rng.Intn(33)
+		out = append(out, ip.PrefixFrom(a, l))
+	}
+	return out
+}
+
+func buildTrie(set []ip.Prefix) *Trie {
+	t := New(ip.IPv4)
+	for i, p := range set {
+		t.Insert(p, i)
+	}
+	return t
+}
+
+func TestInsertLookupBasic(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(ip.MustParsePrefix("10.1.0.0/16"), 2)
+	tr.Insert(ip.MustParsePrefix("10.1.2.0/24"), 3)
+
+	var c mem.Counter
+	p, v, ok := tr.Lookup(ip.MustParseAddr("10.1.2.3"), &c)
+	if !ok || v != 3 || p.String() != "10.1.2.0/24" {
+		t.Fatalf("Lookup = %v %d %v", p, v, ok)
+	}
+	// Bit-by-bit walk visits root + 24 vertices.
+	if c.Count() != 25 {
+		t.Errorf("Regular walk cost = %d, want 25", c.Count())
+	}
+	if _, _, ok := tr.Lookup(ip.MustParseAddr("11.0.0.0"), nil); ok {
+		t.Error("11.0.0.0 should not match")
+	}
+	if p, v, ok = tr.Lookup(ip.MustParseAddr("10.200.0.1"), nil); !ok || v != 1 {
+		t.Errorf("10.200.0.1 -> %v %d %v, want 10.0.0.0/8", p, v, ok)
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	tr := New(ip.IPv4)
+	p := ip.MustParsePrefix("10.0.0.0/8")
+	tr.Insert(p, 1)
+	tr.Insert(p, 9)
+	if tr.Size() != 1 {
+		t.Errorf("Size = %d, want 1", tr.Size())
+	}
+	if v, ok := tr.Get(p); !ok || v != 9 {
+		t.Errorf("Get = %d %v, want 9", v, ok)
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("0.0.0.0/0"), 7)
+	if p, v, ok := tr.Lookup(ip.MustParseAddr("203.0.113.9"), nil); !ok || v != 7 || p.Len() != 0 {
+		t.Errorf("default route lookup = %v %d %v", p, v, ok)
+	}
+}
+
+func TestDeleteAndPrune(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(ip.MustParsePrefix("10.1.2.0/24"), 3)
+	if !tr.Delete(ip.MustParsePrefix("10.1.2.0/24")) {
+		t.Fatal("Delete returned false")
+	}
+	if tr.Delete(ip.MustParsePrefix("10.1.2.0/24")) {
+		t.Fatal("second Delete should return false")
+	}
+	if tr.Size() != 1 {
+		t.Errorf("Size = %d, want 1", tr.Size())
+	}
+	// After pruning, the only path is the /8 one: 9 vertices.
+	if got := tr.NodeCount(); got != 9 {
+		t.Errorf("NodeCount = %d, want 9 (pruning failed)", got)
+	}
+	if _, _, ok := tr.Lookup(ip.MustParseAddr("10.1.2.3"), nil); !ok {
+		t.Error("10/8 should still match after delete")
+	}
+	tr.Delete(ip.MustParsePrefix("10.0.0.0/8"))
+	if tr.Root() != nil || tr.Size() != 0 {
+		t.Error("trie should be empty after deleting everything")
+	}
+	if tr.Delete(ip.MustParsePrefix("10.0.0.0/8")) {
+		t.Error("Delete on empty trie should return false")
+	}
+}
+
+// checkInvariant verifies the §3.1 structural invariant: every leaf is
+// marked (no unmarked vertex without marked descendants survives).
+func checkInvariant(t *testing.T, tr *Trie) {
+	t.Helper()
+	var walk func(n *Node) bool // returns "has marked in subtree"
+	walk = func(n *Node) bool {
+		if n == nil {
+			return false
+		}
+		hasMarked := walk(n.Child(0)) || walk(n.Child(1)) || n.Marked()
+		if !hasMarked {
+			t.Fatalf("invariant violated: vertex %v has no marked descendant", n.Prefix())
+		}
+		return hasMarked
+	}
+	if tr.Root() != nil {
+		walk(tr.Root())
+	}
+}
+
+func TestQuickLookupMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		set := randomPrefixes(rng, 60)
+		tr := buildTrie(set)
+		checkInvariant(t, tr)
+		for i := 0; i < 200; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x0F0F00FF)
+			want, wantOK := naiveBMP(set, a)
+			got, _, gotOK := tr.Lookup(a, nil)
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("trial %d: Lookup(%v) = %v/%v, want %v/%v", trial, a, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+func TestQuickDeleteMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		set := randomPrefixes(rng, 40)
+		tr := buildTrie(set)
+		// Delete a random half (dedup-aware: Delete returns false on dup).
+		alive := map[ip.Prefix]bool{}
+		for _, p := range set {
+			alive[p] = true
+		}
+		for i := 0; i < len(set)/2; i++ {
+			p := set[rng.Intn(len(set))]
+			if alive[p] {
+				if !tr.Delete(p) {
+					t.Fatalf("Delete(%v) = false for live prefix", p)
+				}
+				alive[p] = false
+			}
+		}
+		checkInvariant(t, tr)
+		var rest []ip.Prefix
+		for p, ok := range alive {
+			if ok {
+				rest = append(rest, p)
+			}
+		}
+		if tr.Size() != len(rest) {
+			t.Fatalf("Size = %d, want %d", tr.Size(), len(rest))
+		}
+		for i := 0; i < 100; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x0F0F00FF)
+			want, wantOK := naiveBMP(rest, a)
+			got, _, gotOK := tr.Lookup(a, nil)
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("after delete: Lookup(%v) = %v/%v, want %v/%v", a, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+// quick.Check property: any seeded random build/lookup scenario agrees
+// with the naive reference.
+func TestQuickCheckLookupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomPrefixes(rng, 30)
+		tr := buildTrie(set)
+		for i := 0; i < 50; i++ {
+			a := ip.AddrFrom32(rng.Uint32() & 0x0F0F00FF)
+			want, wantOK := naiveBMP(set, a)
+			got, _, gotOK := tr.Lookup(a, nil)
+			if gotOK != wantOK || (gotOK && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: Claim 1 holds iff the candidate set is empty, for
+// arbitrary seeded sender/receiver pairs and every sender clue.
+func TestQuickCheckClaim1Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		t1set := randomPrefixes(rng, 25)
+		t2set := randomPrefixes(rng, 25)
+		copy(t2set[:12], t1set[:12])
+		t2 := buildTrie(t2set)
+		inT1 := map[ip.Prefix]bool{}
+		for _, p := range t1set {
+			inT1[p] = true
+		}
+		isSender := func(p ip.Prefix) bool { return inT1[p] }
+		for _, s := range t1set {
+			node := t2.Find(s)
+			if node == nil {
+				continue
+			}
+			if t2.Claim1Holds(node, isSender) != (len(t2.Candidates(node, isSender)) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBMPOf(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(ip.MustParsePrefix("10.1.0.0/16"), 2)
+	// BMP of a longer prefix string.
+	p, v, ok := tr.BMPOf(ip.MustParsePrefix("10.1.2.0/24"))
+	if !ok || v != 2 || p.String() != "10.1.0.0/16" {
+		t.Errorf("BMPOf(/24) = %v %d %v", p, v, ok)
+	}
+	// BMP of a marked prefix is itself.
+	p, _, _ = tr.BMPOf(ip.MustParsePrefix("10.1.0.0/16"))
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("BMPOf(self) = %v", p)
+	}
+	// No ancestor.
+	if _, _, ok := tr.BMPOf(ip.MustParsePrefix("11.0.0.0/8")); ok {
+		t.Error("BMPOf(11/8) should fail")
+	}
+}
+
+func TestFindAndMarkedBelow(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.1.0.0/16"), 1)
+	if tr.Find(ip.MustParsePrefix("10.1.0.0/16")) == nil {
+		t.Fatal("Find(marked) = nil")
+	}
+	n := tr.Find(ip.MustParsePrefix("10.0.0.0/8")) // unmarked internal vertex
+	if n == nil || n.Marked() {
+		t.Fatalf("Find(internal) = %v", n)
+	}
+	if !tr.MarkedBelow(n) {
+		t.Error("MarkedBelow(10/8) should be true")
+	}
+	leaf := tr.Find(ip.MustParsePrefix("10.1.0.0/16"))
+	if tr.MarkedBelow(leaf) {
+		t.Error("MarkedBelow(leaf) should be false")
+	}
+	if tr.Find(ip.MustParsePrefix("11.0.0.0/8")) != nil {
+		t.Error("Find(absent) should be nil")
+	}
+	if tr.MarkedBelow(nil) {
+		t.Error("MarkedBelow(nil) should be false")
+	}
+}
+
+func TestWalkOrderAndPrefixes(t *testing.T) {
+	tr := New(ip.IPv4)
+	in := []string{"128.0.0.0/1", "0.0.0.0/0", "10.0.0.0/8", "10.128.0.0/9"}
+	for i, s := range in {
+		tr.Insert(ip.MustParsePrefix(s), i)
+	}
+	got := tr.Prefixes()
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.128.0.0/9", "128.0.0.0/1"}
+	if len(got) != len(want) {
+		t.Fatalf("Prefixes len = %d", len(got))
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Errorf("Prefixes[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Walk early termination.
+	count := 0
+	tr.Walk(func(ip.Prefix, int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("Walk visited %d, want 2", count)
+	}
+}
+
+// brute-force reference for Candidates / Claim 1.
+func naiveCandidates(t2 []ip.Prefix, s ip.Prefix, t1 []ip.Prefix) map[ip.Prefix]bool {
+	inT1 := map[ip.Prefix]bool{}
+	for _, p := range t1 {
+		inT1[p] = true
+	}
+	out := map[ip.Prefix]bool{}
+	for _, p := range t2 {
+		if p.Len() <= s.Len() || !s.IsAncestorOf(p) {
+			continue
+		}
+		blocked := false
+		for l := s.Len() + 1; l <= p.Len(); l++ {
+			if inT1[p.Truncate(l)] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func TestQuickCandidatesMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		t1set := randomPrefixes(rng, 30)
+		t2set := randomPrefixes(rng, 30)
+		// Make the tables overlap (the paper's premise).
+		copy(t2set[:15], t1set[:15])
+		t2 := buildTrie(t2set)
+		inT1 := map[ip.Prefix]bool{}
+		for _, p := range t1set {
+			inT1[p] = true
+		}
+		isSender := func(p ip.Prefix) bool { return inT1[p] }
+		for _, s := range t1set {
+			node := t2.Find(s)
+			if node == nil {
+				continue
+			}
+			want := naiveCandidates(t2set, s, t1set)
+			got := t2.Candidates(node, isSender)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d clue %v: |Candidates| = %d, want %d", trial, s, len(got), len(want))
+			}
+			for _, n := range got {
+				if !want[n.Prefix()] {
+					t.Fatalf("trial %d clue %v: unexpected candidate %v", trial, s, n.Prefix())
+				}
+			}
+			if t2.Claim1Holds(node, isSender) != (len(want) == 0) {
+				t.Fatalf("trial %d clue %v: Claim1Holds disagrees with candidate set", trial, s)
+			}
+		}
+	}
+}
+
+func TestLookupFromClueVertex(t *testing.T) {
+	// t2 has a longer match below the clue.
+	t2 := New(ip.IPv4)
+	t2.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	t2.Insert(ip.MustParsePrefix("10.1.0.0/16"), 2)
+	t2.Insert(ip.MustParsePrefix("10.1.2.0/24"), 3)
+	clue := t2.Find(ip.MustParsePrefix("10.1.0.0/16"))
+	var c mem.Counter
+	p, v, ok := t2.LookupFrom(clue, ip.MustParseAddr("10.1.2.200"), &c)
+	if !ok || v != 3 || p.Len() != 24 {
+		t.Fatalf("LookupFrom = %v %d %v", p, v, ok)
+	}
+	// Visits vertices at depths 16..24: 9 references, versus 25 from the root.
+	if c.Count() != 9 {
+		t.Errorf("restricted walk cost = %d, want 9", c.Count())
+	}
+	// nil start: no match, no cost.
+	var c2 mem.Counter
+	if _, _, ok := t2.LookupFrom(nil, ip.MustParseAddr("10.1.2.200"), &c2); ok || c2.Count() != 0 {
+		t.Error("LookupFrom(nil) should be a free miss")
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := New(ip.IPv4)
+	tr.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1)
+	cp := tr.Clone()
+	tr.Insert(ip.MustParsePrefix("10.1.0.0/16"), 2)
+	tr.Delete(ip.MustParsePrefix("10.0.0.0/8"))
+	if cp.Size() != 1 || !cp.Contains(ip.MustParsePrefix("10.0.0.0/8")) {
+		t.Error("Clone shares state with original")
+	}
+	if cp.Contains(ip.MustParsePrefix("10.1.0.0/16")) {
+		t.Error("Clone sees post-clone inserts")
+	}
+}
+
+func TestFamilyMismatch(t *testing.T) {
+	tr := New(ip.IPv4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert with wrong family should panic")
+		}
+	}()
+	tr.Insert(ip.MustParsePrefix("2001:db8::/32"), 1)
+}
+
+func TestIPv6Trie(t *testing.T) {
+	tr := New(ip.IPv6)
+	tr.Insert(ip.MustParsePrefix("2001:db8::/32"), 1)
+	tr.Insert(ip.MustParsePrefix("2001:db8:1::/48"), 2)
+	p, v, ok := tr.Lookup(ip.MustParseAddr("2001:db8:1::42"), nil)
+	if !ok || v != 2 || p.Len() != 48 {
+		t.Errorf("v6 Lookup = %v %d %v", p, v, ok)
+	}
+	if _, _, ok := tr.Lookup(ip.MustParseAddr("2001:db9::1"), nil); ok {
+		t.Error("v6 miss expected")
+	}
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (classic testing.B, meaningful with -benchmem): the
+// engines' raw lookup throughput on a full-scale table, clue-table
+// processing, trie operations and the wire format.
+package clueroute_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/header"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/synth"
+	"repro/internal/trie"
+)
+
+// microFixture builds one full-scale receiver and a warm Advance table.
+func microFixture(b *testing.B) (st, rt *trie.Trie, engines []lookup.ClueEngine, dests []ip.Addr, clues []int) {
+	b.Helper()
+	routers := benchFixture()
+	sender, receiver := routers["AT&T-1"], routers["AT&T-2"]
+	st, rt = sender.Trie(), receiver.Trie()
+	engines = lookup.All(rt)
+	w := synth.NewWorkload(17, sender)
+	for len(dests) < 8192 {
+		d := w.Next()
+		if c, _, ok := st.Lookup(d, nil); ok {
+			dests = append(dests, d)
+			clues = append(clues, c.Clue())
+		}
+	}
+	return st, rt, engines, dests, clues
+}
+
+func BenchmarkEngineLookup(b *testing.B) {
+	_, rt, engines, dests, _ := microFixture(b)
+	engines = append(engines, lookup.NewMultibit(rt, 8))
+	for _, e := range engines {
+		b.Run(e.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.Lookup(dests[i%len(dests)], nil)
+			}
+		})
+	}
+}
+
+func BenchmarkClueProcess(b *testing.B) {
+	st, rt, engines, dests, clues := microFixture(b)
+	for _, e := range engines {
+		for _, m := range []core.Method{core.Simple, core.Advance} {
+			tab := core.MustNewTable(core.Config{Method: m, Engine: e, Local: rt, Sender: st.Contains, Learn: true})
+			for i := range dests {
+				tab.Process(dests[i], clues[i], nil) // warm
+			}
+			b.Run(m.String()+"/"+e.Name(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					j := i % len(dests)
+					tab.Process(dests[j], clues[j], nil)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTrieInsertDelete(b *testing.B) {
+	routers := benchFixture()
+	ps := routers["Paix"].Prefixes()
+	b.Run("insert", func(b *testing.B) {
+		b.ReportAllocs()
+		tr := trie.New(ip.IPv4)
+		for i := 0; i < b.N; i++ {
+			tr.Insert(ps[i%len(ps)], i)
+		}
+	})
+	b.Run("delete", func(b *testing.B) {
+		tr := trie.New(ip.IPv4)
+		for i, p := range ps {
+			tr.Insert(p, i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := ps[i%len(ps)]
+			if tr.Delete(p) {
+				tr.Insert(p, i)
+			} else {
+				b.Fatal("prefix vanished")
+			}
+		}
+	})
+}
+
+func BenchmarkHeaderMarshalParse(b *testing.B) {
+	h := &header.IPv4{
+		TTL: 64, Protocol: 17,
+		Src:  ip.MustParseAddr("10.0.0.1"),
+		Dst:  ip.MustParseAddr("203.0.113.9"),
+		Clue: &header.ClueOption{Len: 24},
+	}
+	buf, err := h.Marshal(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Marshal(512); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := header.ParseIPv4(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkClaim1Evaluation(b *testing.B) {
+	st, rt, _, _, _ := microFixture(b)
+	clues := benchFixture()["AT&T-1"].Prefixes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := clues[i%len(clues)]
+		rt.Claim1Holds(rt.Find(c), st.Contains)
+	}
+}
