@@ -1,0 +1,74 @@
+// Command cluevet runs the project's static-analysis suite (package
+// repro/internal/analysis) over the module: hotpath-alloc,
+// lock-discipline, counter-discipline and no-panic-in-lookup.
+//
+// Usage:
+//
+//	cluevet [-v] [packages]
+//
+// Packages are directories or dir/... trees (default ./...). Exit
+// status is 0 when the suite is clean, 1 when any error-severity
+// diagnostic is reported, 2 when a package fails to load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list packages as they are analyzed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cluevet [-v] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(flag.Args(), *verbose))
+}
+
+func run(patterns []string, verbose bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluevet: %v\n", err)
+		return 2
+	}
+	ld, err := newLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluevet: %v\n", err)
+		return 2
+	}
+	dirs, err := expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluevet: %v\n", err)
+		return 2
+	}
+	cfg := analysis.DefaultConfig()
+	failed := false
+	for _, dir := range dirs {
+		lp, err := ld.load(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluevet: %v\n", err)
+			return 2
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "cluevet: %s\n", lp.Path)
+		}
+		pass := analysis.NewPass(ld.fset, lp.Files, lp.Pkg, lp.Info, cfg)
+		for _, d := range analysis.Run(pass, nil) {
+			fmt.Println(d)
+			if d.Severity >= analysis.Error {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// The negative fixtures under internal/analysis/testdata each trip one
+// analyzer; the driver must exit 1 on every one of them.
+func TestNegativeFixturesFail(t *testing.T) {
+	for _, dir := range []string{"hotbad", "lockbad", "counterbad", "panicbad"} {
+		if got := run([]string{"../../internal/analysis/testdata/src/" + dir}, false); got != 1 {
+			t.Errorf("cluevet on fixture %s: exit %d, want 1", dir, got)
+		}
+	}
+}
+
+// The repository itself must stay clean: this is the same gate CI runs
+// as `go run ./cmd/cluevet ./...`, enforced from the test suite too.
+func TestRepositoryIsClean(t *testing.T) {
+	if got := run([]string{"../../..."}, false); got != 0 {
+		t.Errorf("cluevet on the repository: exit %d, want 0", got)
+	}
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The tests type-check inline fixture sources with the real go/types
+// stack: fixture packages can import each other (by the paths given
+// here) and the standard library (resolved from source via go/importer,
+// so no compiled export data is needed).
+
+// fixture is one package of inline source; the last fixture passed to
+// loadPass is the package under analysis.
+type fixture struct {
+	path string
+	src  string
+}
+
+// memSrc is a miniature of internal/mem: the counter-discipline
+// analyzer matches *mem.Counter structurally (package name and type
+// name), so fixtures can use this stand-in.
+const memSrc = `package mem
+
+// Counter counts memory references; a nil *Counter is valid and free.
+type Counter struct{ n int }
+
+// Add records k references.
+func (c *Counter) Add(k int) {
+	if c != nil {
+		c.n += k
+	}
+}
+`
+
+var (
+	loadMu   sync.Mutex
+	testFset = token.NewFileSet()
+	stdOnce  sync.Once
+	stdImp   types.Importer
+)
+
+func stdImporter() types.Importer {
+	stdOnce.Do(func() { stdImp = importer.ForCompiler(testFset, "source", nil) })
+	return stdImp
+}
+
+type testImporter struct {
+	local map[string]*types.Package
+}
+
+func (l *testImporter) Import(path string) (*types.Package, error) {
+	if p, ok := l.local[path]; ok {
+		return p, nil
+	}
+	return stdImporter().Import(path)
+}
+
+// loadPass type-checks the fixtures in order and returns a Pass over
+// the last one.
+func loadPass(t *testing.T, cfg Config, fixtures ...fixture) *Pass {
+	t.Helper()
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	imp := &testImporter{local: make(map[string]*types.Package)}
+	var pass *Pass
+	for i, fx := range fixtures {
+		file, err := parser.ParseFile(testFset, fx.path+"/fixture.go", fx.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", fx.path, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(fx.path, testFset, []*ast.File{file}, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", fx.path, err)
+		}
+		imp.local[fx.path] = pkg
+		if i == len(fixtures)-1 {
+			pass = NewPass(testFset, []*ast.File{file}, pkg, info, cfg)
+		}
+	}
+	return pass
+}
+
+// runOne loads a single fixture package and runs one analyzer over it.
+func runOne(t *testing.T, an *Analyzer, cfg Config, fixtures ...fixture) []Diagnostic {
+	t.Helper()
+	return Run(loadPass(t, cfg, fixtures...), []*Analyzer{an})
+}
+
+// checkDiags asserts that got contains exactly len(want) diagnostics
+// and that each want substring matches some diagnostic.
+func checkDiags(t *testing.T, got []Diagnostic, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("got %d diagnostics, want %d:\n%s", len(got), len(want), renderDiags(got))
+		return
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range got {
+			if strings.Contains(d.String(), w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in:\n%s", w, renderDiags(got))
+		}
+	}
+}
+
+func renderDiags(ds []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	if sb.Len() == 0 {
+		return "  (none)"
+	}
+	return sb.String()
+}
+
+func TestSeverityString(t *testing.T) {
+	if Warning.String() != "warning" || Error.String() != "error" {
+		t.Errorf("severity strings: %v %v", Warning, Error)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "hotpath-alloc",
+		Severity: Error,
+		Message:  "boom",
+	}
+	want := "x.go:3:7: error: [hotpath-alloc] boom"
+	if d.String() != want {
+		t.Errorf("got %q want %q", d.String(), want)
+	}
+}
+
+func TestConstructorNames(t *testing.T) {
+	for name, want := range map[string]bool{
+		"NewTable":      true,
+		"MustParseAddr": true,
+		"ParsePrefix":   true,
+		"CompileResume": true,
+		"BuildIndex":    true,
+		"FromPrefixes":  true,
+		"init":          true,
+		"Process":       false,
+		"Lookup":        false,
+		"newEntry":      false, // lower-case helpers must opt in via //cluevet:ctor
+		"Mustache":      true,  // prefix match is deliberately coarse; annotate to narrow
+	} {
+		if got := isConstructorName(name); got != want {
+			t.Errorf("isConstructorName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestIgnoreTrailingComment exercises same-line suppression (the other
+// form, comment-on-line-above, is covered per analyzer).
+func TestIgnoreTrailingComment(t *testing.T) {
+	src := `package p
+
+type entry struct{ v int }
+
+//cluevet:hotpath
+func Alloc() *entry {
+	return &entry{v: 1} //cluevet:ignore - preallocated in production builds
+}
+`
+	got := runOne(t, HotPathAlloc, DefaultConfig(), fixture{path: "test/trailing", src: src})
+	checkDiags(t, got, nil)
+}
+
+// TestIgnoreDoesNotLeak: an ignore comment suppresses its own line and
+// the next, nothing else.
+func TestIgnoreDoesNotLeak(t *testing.T) {
+	src := `package p
+
+type entry struct{ v int }
+
+//cluevet:hotpath
+func Alloc() (*entry, *entry) {
+	//cluevet:ignore - the first one is fine
+	a := &entry{v: 1}
+
+	b := &entry{v: 2}
+	return a, b
+}
+`
+	got := runOne(t, HotPathAlloc, DefaultConfig(), fixture{path: "test/leak", src: src})
+	checkDiags(t, got, []string{"&entry{...}"})
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CounterDiscipline keeps the paper's cost model honest. Every function
+// that takes a *mem.Counter participates in the §6 memory-reference
+// accounting ("we counted the number of memory accesses (to a table or
+// the trie)"), so it must charge the counter before touching a charged
+// structure: either cnt.Add(k) or forwarding the counter into a callee
+// (which is then responsible for its own accounting). A map read or a
+// trie-vertex hop (a .children access) before the first charge means a
+// memory reference the evaluation never sees — exactly the silent drift
+// that would fake the paper's ≈1-reference result.
+//
+// The scan is source-ordered and intra-procedural; a function that
+// takes a counter but touches no charged structure is fine.
+var CounterDiscipline = &Analyzer{
+	Name: "counter-discipline",
+	Doc:  "functions taking *mem.Counter must charge it before the first map or trie access",
+}
+
+func init() { CounterDiscipline.Run = runCounterDiscipline }
+
+func runCounterDiscipline(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fnTakesCounter(p, fn) {
+				continue
+			}
+			checkCounterFunc(p, fn)
+		}
+	}
+}
+
+// fnTakesCounter reports whether fn has a *mem.Counter parameter.
+func fnTakesCounter(p *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if isCounterPtr(p.typeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCounterFunc(p *Pass, fn *ast.FuncDecl) {
+	charged := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if charged {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isCounterCharge(p, n) {
+				charged = true
+				return false
+			}
+		case *ast.IndexExpr:
+			if t := p.typeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					p.Reportf(CounterDiscipline, n.Pos(), Error,
+						"%s reads a map before charging its *mem.Counter (cost-model drift)", fn.Name.Name)
+					charged = true // one report per function is enough
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.FieldVal && n.Sel.Name == "children" {
+				p.Reportf(CounterDiscipline, n.Pos(), Error,
+					"%s walks a trie vertex (.children) before charging its *mem.Counter (cost-model drift)", fn.Name.Name)
+				charged = true
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isCounterCharge reports whether call charges the counter: cnt.Add(k),
+// or any call that receives a *mem.Counter argument (forwarding — the
+// callee then owns the accounting, and a nil counter is free anyway).
+func isCounterCharge(p *Pass, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+		if isCounterPtr(p.typeOf(sel.X)) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		t := p.typeOf(arg)
+		if isCounterPtr(t) {
+			return true
+		}
+		// &cnt where cnt is a mem.Counter value.
+		if u, ok := arg.(*ast.UnaryExpr); ok && isCounterPtr(p.typeOf(u)) {
+			return true
+		}
+	}
+	return false
+}

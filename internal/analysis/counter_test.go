@@ -1,0 +1,138 @@
+package analysis
+
+import "testing"
+
+func TestCounterDiscipline(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "charge before map read",
+			src: `package p
+
+import "test/mem"
+
+var table = map[int]int{1: 2}
+
+func Lookup(k int, cnt *mem.Counter) (int, bool) {
+	cnt.Add(1)
+	v, ok := table[k]
+	return v, ok
+}
+`,
+			want: nil,
+		},
+		{
+			name: "forwarding the counter counts as charging",
+			src: `package p
+
+import "test/mem"
+
+var table = map[int]int{1: 2}
+
+func inner(k int, cnt *mem.Counter) (int, bool) {
+	cnt.Add(1)
+	v, ok := table[k]
+	return v, ok
+}
+
+func Outer(k int, cnt *mem.Counter) (int, bool) {
+	return inner(k, cnt)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "map read before charge",
+			src: `package p
+
+import "test/mem"
+
+var table = map[int]int{1: 2}
+
+func Lookup(k int, cnt *mem.Counter) int {
+	v := table[k]
+	cnt.Add(1)
+	return v
+}
+`,
+			want: []string{"Lookup reads a map before charging its *mem.Counter"},
+		},
+		{
+			name: "trie hop before charge",
+			src: `package p
+
+import "test/mem"
+
+type node struct {
+	children [2]*node
+	val      int
+}
+
+func Walk(n *node, cnt *mem.Counter) *node {
+	next := n.children[0]
+	cnt.Add(1)
+	return next
+}
+`,
+			want: []string{"Walk walks a trie vertex (.children) before charging its *mem.Counter"},
+		},
+		{
+			name: "counterless function is out of scope",
+			src: `package p
+
+var table = map[int]int{1: 2}
+
+func Lookup(k int) int {
+	return table[k]
+}
+`,
+			want: nil,
+		},
+		{
+			name: "counter with no charged structure is fine",
+			src: `package p
+
+import "test/mem"
+
+func Tally(xs []int, cnt *mem.Counter) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	cnt.Add(len(xs))
+	return s
+}
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed by ignore comment",
+			src: `package p
+
+import "test/mem"
+
+var table = map[int]int{1: 2}
+
+func Probe(k int, cnt *mem.Counter) int {
+	//cluevet:ignore - construction-time probe, deliberately uncharged
+	v := table[k]
+	cnt.Add(1)
+	return v
+}
+`,
+			want: nil,
+		},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runOne(t, CounterDiscipline, DefaultConfig(),
+				fixture{path: "test/mem", src: memSrc},
+				fixture{path: "test/counter" + string(rune('a'+i)), src: tc.src},
+			)
+			checkDiags(t, got, tc.want)
+		})
+	}
+}

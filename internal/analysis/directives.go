@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The framework understands three directive comments, written without a
+// space after // (the Go convention for machine-readable directives, so
+// godoc hides them):
+//
+//	//cluevet:hotpath  — the next function declaration is on the
+//	                     per-packet forwarding path
+//	//cluevet:ctor     — the next function declaration is construction
+//	                     or parse code (panic allowed)
+//	//cluevet:ignore   — suppress any diagnostic on this line or on the
+//	                     line directly below
+const (
+	directiveHotPath = "cluevet:hotpath"
+	directiveCtor    = "cluevet:ctor"
+	directiveIgnore  = "cluevet:ignore"
+)
+
+type funcDirectives struct {
+	hotpath bool
+	ctor    bool
+}
+
+// hasDirective reports whether a comment line carries the directive,
+// alone or followed by explanatory text ("//cluevet:ignore — reason").
+func hasDirective(text, directive string) bool {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, directive) {
+		return false
+	}
+	rest := text[len(directive):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == ':' || rest[0] == '(' || rest[0] == ',' || rest[0] == '-' || rest[0] == '.'
+}
+
+// collectFuncDirectives extracts hotpath/ctor directives from every
+// function's doc comment.
+func collectFuncDirectives(files []*ast.File) map[*ast.FuncDecl]funcDirectives {
+	out := make(map[*ast.FuncDecl]funcDirectives)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Doc != nil {
+				var d funcDirectives
+				for _, c := range fn.Doc.List {
+					if hasDirective(c.Text, directiveHotPath) {
+						d.hotpath = true
+					}
+					if hasDirective(c.Text, directiveCtor) {
+						d.ctor = true
+					}
+				}
+				if d.hotpath || d.ctor {
+					out[fn] = d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ignoredLines indexes //cluevet:ignore comments: a diagnostic is
+// suppressed when the comment shares its line (trailing comment) or sits
+// on the line directly above (own-line comment).
+func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				for _, line := range strings.Split(c.Text, "\n") {
+					if !hasDirective(strings.TrimSpace(line), directiveIgnore) {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					m := out[pos.Filename]
+					if m == nil {
+						m = make(map[int]bool)
+						out[pos.Filename] = m
+					}
+					m[pos.Line] = true
+					m[pos.Line+1] = true
+				}
+			}
+		}
+	}
+	return out
+}

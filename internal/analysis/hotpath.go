@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the paper's ≈1-reference-per-packet regime
+// mechanically: a hot-path function (annotated //cluevet:hotpath, or
+// seed-named in a hot package) must not
+//
+//   - reference the fmt package (formatting allocates and boxes),
+//   - concatenate non-constant strings,
+//   - convert or pass a concrete value into an interface (boxing
+//     allocates once the value escapes),
+//   - evaluate an allocating composite literal (&T{...}, slice or map
+//     literals) or call make/new.
+//
+// Plain struct-valued composite literals (Result{...}) are fine — they
+// live in registers or on the stack. Calls into other functions are not
+// traversed: moving a slow path into an unannotated helper (learning a
+// clue, rebuilding an entry) is the sanctioned escape hatch, mirroring
+// how the paper itself charges construction-time work to nobody.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "forbid fmt, string concatenation, interface boxing and composite-literal allocations in //cluevet:hotpath functions",
+}
+
+func init() { HotPathAlloc.Run = runHotPathAlloc }
+
+func runHotPathAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !p.IsHotPath(fn) {
+				continue
+			}
+			checkHotFunc(p, fn)
+		}
+	}
+}
+
+func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
+	// Composite literals already reported through their enclosing &-expr,
+	// so they are not reported twice.
+	reported := make(map[ast.Node]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if pkgName(p, n.X) == "fmt" {
+				p.Reportf(HotPathAlloc, n.Pos(), Error,
+					"hot path %s uses fmt.%s (allocates and boxes)", fn.Name.Name, n.Sel.Name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && p.isStringConcat(n) {
+				p.Reportf(HotPathAlloc, n.Pos(), Error,
+					"hot path %s concatenates strings (allocates)", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(p.typeOf(n.Lhs[0])) {
+				p.Reportf(HotPathAlloc, n.Pos(), Error,
+					"hot path %s concatenates strings (allocates)", fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := n.X.(*ast.CompositeLit); ok {
+					reported[lit] = true
+					p.Reportf(HotPathAlloc, n.Pos(), Error,
+						"hot path %s allocates with &%s{...}", fn.Name.Name, p.typeLabel(p.typeOf(lit)))
+				}
+			}
+		case *ast.CompositeLit:
+			if reported[n] {
+				return true
+			}
+			t := p.typeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(HotPathAlloc, n.Pos(), Error,
+					"hot path %s allocates a slice literal %s", fn.Name.Name, p.typeLabel(t))
+			case *types.Map:
+				p.Reportf(HotPathAlloc, n.Pos(), Error,
+					"hot path %s allocates a map literal %s", fn.Name.Name, p.typeLabel(t))
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, fn, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags make/new, conversions to interface types, and
+// concrete arguments passed to interface-typed parameters.
+func checkHotCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil && obj.Parent() == types.Universe {
+			if id.Name == "make" || id.Name == "new" {
+				p.Reportf(HotPathAlloc, call.Pos(), Error,
+					"hot path %s allocates with %s", fn.Name.Name, id.Name)
+			}
+			return
+		}
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion. I(x) with interface I boxes a concrete x.
+		if len(call.Args) == 1 && types.IsInterface(tv.Type.Underlying()) && isBoxedArg(p, call.Args[0]) {
+			p.Reportf(HotPathAlloc, call.Pos(), Error,
+				"hot path %s boxes a value into interface %s", fn.Name.Name, p.typeLabel(tv.Type))
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through ...: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt.Underlying()) && isBoxedArg(p, arg) {
+			p.Reportf(HotPathAlloc, arg.Pos(), Error,
+				"hot path %s boxes argument %d of %s into %s", fn.Name.Name, i+1, callLabel(call), p.typeLabel(pt))
+		}
+	}
+}
+
+// isBoxedArg reports whether passing arg to an interface-typed slot
+// boxes: its static type is concrete (and it is not the nil literal).
+func isBoxedArg(p *Pass, arg ast.Expr) bool {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type.Underlying())
+}
+
+// isStringConcat reports whether b is a run-time string concatenation
+// (constant folding is free, so all-constant expressions pass).
+func (p *Pass) isStringConcat(b *ast.BinaryExpr) bool {
+	tv, ok := p.Info.Types[b]
+	if !ok || tv.Type == nil || !isStringType(tv.Type) {
+		return false
+	}
+	return tv.Value == nil // non-constant
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// pkgName returns the package name when e is a package qualifier ident.
+func pkgName(p *Pass, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Name()
+	}
+	return ""
+}
+
+// typeLabel renders t with package qualifiers relative to the package
+// under analysis (its own types print bare).
+func (p *Pass) typeLabel(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(other *types.Package) string {
+		if other == p.Pkg {
+			return ""
+		}
+		return other.Name()
+	})
+}
+
+func callLabel(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}

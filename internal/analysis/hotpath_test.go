@@ -1,0 +1,214 @@
+package analysis
+
+import "testing"
+
+func TestHotPathAlloc(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		cfg  Config
+		src  string
+		want []string
+	}{
+		{
+			name: "fmt use and variadic boxing",
+			path: "test/hotfmt",
+			src: `package p
+
+import "fmt"
+
+//cluevet:hotpath
+func Process(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+`,
+			// Sprintf is flagged once for touching fmt at all and once for
+			// boxing the int into its ...any parameter (the format string
+			// feeds the plain string parameter, so it does not box).
+			want: []string{"uses fmt.Sprintf", "boxes argument 2 of Sprintf"},
+		},
+		{
+			name: "string concatenation",
+			path: "test/hotconcat",
+			src: `package p
+
+//cluevet:hotpath
+func Process(a, b string) string {
+	s := a + b
+	s += a
+	return s
+}
+`,
+			want: []string{"concatenates strings", "concatenates strings"},
+		},
+		{
+			name: "constant concatenation is free",
+			path: "test/hotconst",
+			src: `package p
+
+//cluevet:hotpath
+func Process() string {
+	return "a" + "b"
+}
+`,
+			want: nil,
+		},
+		{
+			name: "composite literal allocations",
+			path: "test/hotalloc",
+			src: `package p
+
+type entry struct{ v int }
+
+//cluevet:hotpath
+func Process(k int) *entry {
+	xs := []int{k}
+	m := map[int]int{k: k}
+	_ = xs
+	_ = m
+	return &entry{v: k}
+}
+`,
+			want: []string{"slice literal", "map literal", "&entry{...}"},
+		},
+		{
+			name: "make and new",
+			path: "test/hotmake",
+			src: `package p
+
+//cluevet:hotpath
+func Process(n int) []int {
+	p := new(int)
+	_ = p
+	return make([]int, n)
+}
+`,
+			want: []string{"allocates with new", "allocates with make"},
+		},
+		{
+			name: "struct value literal is stack-friendly",
+			path: "test/hotvalue",
+			src: `package p
+
+type result struct {
+	hop  int
+	ok   bool
+}
+
+//cluevet:hotpath
+func Process(k int) result {
+	return result{hop: k, ok: true}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "explicit interface conversion boxes",
+			path: "test/hotbox",
+			src: `package p
+
+//cluevet:hotpath
+func Process(x int) interface{} {
+	return interface{}(x)
+}
+`,
+			want: []string{"boxes a value into interface"},
+		},
+		{
+			name: "concrete arg to interface param boxes",
+			path: "test/hotboxarg",
+			src: `package p
+
+func sink(v interface{}) {}
+
+//cluevet:hotpath
+func Process(x int) {
+	sink(x)
+}
+`,
+			want: []string{"boxes argument 1 of sink"},
+		},
+		{
+			name: "interface arg passes through without boxing",
+			path: "test/hotpass",
+			src: `package p
+
+func sink(v interface{}) {}
+
+//cluevet:hotpath
+func Process(v interface{}) {
+	sink(v)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "cold function is not checked",
+			path: "test/hotcold",
+			src: `package p
+
+import "fmt"
+
+func Rebuild(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "seed name in hot package",
+			path: "hotpkg",
+			cfg: Config{
+				HotNames:    map[string]bool{"Lookup": true},
+				HotPackages: map[string]bool{"hotpkg": true},
+			},
+			src: `package p
+
+func Lookup(n int) []int {
+	return make([]int, n)
+}
+`,
+			want: []string{"allocates with make"},
+		},
+		{
+			name: "seed name outside hot package is cold",
+			path: "test/coldpkg",
+			cfg: Config{
+				HotNames:    map[string]bool{"Lookup": true},
+				HotPackages: map[string]bool{"hotpkg": true},
+			},
+			src: `package p
+
+func Lookup(n int) []int {
+	return make([]int, n)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed by ignore comment",
+			path: "test/hotignored",
+			src: `package p
+
+type entry struct{ v int }
+
+//cluevet:hotpath
+func Process(k int) *entry {
+	//cluevet:ignore - amortized: only on the learning path, ~1 per 10^4 packets
+	return &entry{v: k}
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			if cfg.HotNames == nil && cfg.HotPackages == nil {
+				cfg = DefaultConfig()
+			}
+			got := runOne(t, HotPathAlloc, cfg, fixture{path: tc.path, src: tc.src})
+			checkDiags(t, got, tc.want)
+		})
+	}
+}

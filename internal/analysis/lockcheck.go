@@ -1,0 +1,409 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline checks every method of a struct type that owns a
+// sync.RWMutex — the shape of core.ConcurrentTable, where many
+// forwarding goroutines share one clue table. For each such method it
+// symbolically walks the body tracking how many read and write locks of
+// the owned mutex are held, and reports when
+//
+//   - another field of the receiver is read or written while no lock is
+//     held (the guarded state escapes the mutex),
+//   - a return path leaves a lock held (the early-return unlock dance
+//     gone wrong) or releases a lock it never took,
+//   - Lock/RLock is acquired while already holding the mutex
+//     (self-deadlock: sync.RWMutex is not reentrant),
+//   - the two arms of a branch disagree about the lock state, or a loop
+//     body changes it (every iteration would stack another lock).
+//
+// The walk is intra-procedural and branch-sensitive (if/else, switch,
+// loops); deferred unlocks are credited against every subsequent return
+// path, which is exactly how ConcurrentTable's slow path is written.
+// Function literals are skipped: a closure (e.g. the Mutate callback)
+// runs under the caller's lock regime, not this one.
+var LockDiscipline = &Analyzer{
+	Name: "lock-discipline",
+	Doc:  "guarded-field access, per-return-path unlock balance and non-reentrancy for sync.RWMutex owners",
+}
+
+func init() { LockDiscipline.Run = runLockDiscipline }
+
+func runLockDiscipline(p *Pass) {
+	owners := rwMutexOwners(p)
+	if len(owners) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recvType := baseNamed(p.typeOf(fn.Recv.List[0].Type))
+			if recvType == nil {
+				continue
+			}
+			muName, owned := owners[recvType.Obj()]
+			if !owned {
+				continue
+			}
+			var recvObj types.Object
+			if names := fn.Recv.List[0].Names; len(names) > 0 {
+				recvObj = p.Info.Defs[names[0]]
+			}
+			lc := &lockChecker{p: p, fn: fn, recv: recvObj, mu: muName}
+			st := lockState{}
+			if terminated := lc.stmts(fn.Body.List, &st); !terminated {
+				lc.checkExit(&st, fn.Body.End())
+			}
+		}
+	}
+}
+
+// rwMutexOwners maps each struct type owning a sync.RWMutex field to
+// that field's name.
+func rwMutexOwners(p *Pass) map[*types.TypeName]string {
+	out := make(map[*types.TypeName]string)
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isRWMutex(st.Field(i).Type()) {
+				out[tn] = st.Field(i).Name()
+				break
+			}
+		}
+	}
+	return out
+}
+
+// lockState is the abstract lock state at one program point: locks held
+// now, and unlocks already scheduled by defer.
+type lockState struct {
+	r, w       int // read / write locks currently held
+	defR, defW int // deferred RUnlock / Unlock credits
+}
+
+func (s lockState) exitHeld() (r, w int) { return s.r - s.defR, s.w - s.defW }
+
+func (s lockState) equal(o lockState) bool { return s == o }
+
+type lockChecker struct {
+	p    *Pass
+	fn   *ast.FuncDecl
+	recv types.Object
+	mu   string
+}
+
+// stmts walks a statement list, mutating st; it reports true when the
+// list always terminates (returns or panics) before falling through.
+func (lc *lockChecker) stmts(list []ast.Stmt, st *lockState) bool {
+	for _, s := range list {
+		if lc.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lc *lockChecker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if lc.lockOp(call, st, false) {
+				return false
+			}
+			if isPanicCall(lc.p, call) {
+				return true
+			}
+		}
+		lc.checkAccess(s.X, st)
+	case *ast.DeferStmt:
+		if !lc.lockOp(s.Call, st, true) {
+			lc.checkAccess(s.Call, st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.checkAccess(e, st)
+		}
+		lc.checkExit(st, s.Pos())
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		lc.checkAccess(s.Cond, st)
+		thenSt := *st
+		thenTerm := lc.stmts(s.Body.List, &thenSt)
+		elseSt := *st
+		elseTerm := false
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseTerm = lc.stmts(e.List, &elseSt)
+			default:
+				elseTerm = lc.stmt(e, &elseSt)
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = elseSt
+		case elseTerm:
+			*st = thenSt
+		default:
+			if !thenSt.equal(elseSt) {
+				lc.report(s.Pos(), "branches of if leave %s.%s in different lock states", lc.recvName(), lc.mu)
+			}
+			*st = thenSt
+		}
+	case *ast.BlockStmt:
+		return lc.stmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			lc.checkAccess(s.Cond, st)
+		}
+		lc.loopBody(s.Body, st)
+	case *ast.RangeStmt:
+		lc.checkAccess(s.X, st)
+		lc.loopBody(s.Body, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			lc.checkAccess(s.Tag, st)
+		}
+		return lc.caseClauses(s.Body, st, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		return lc.caseClauses(s.Body, st, hasDefaultClause(s.Body))
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			if call, ok := e.(*ast.CallExpr); ok && lc.lockOp(call, st, false) {
+				continue
+			}
+			lc.checkAccess(e, st)
+		}
+		for _, e := range s.Lhs {
+			lc.checkAccess(e, st)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt, *ast.LabeledStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		lc.checkAccess(s, st)
+	case *ast.SelectStmt:
+		// Rare on a forwarding path; check accesses, assume lock-neutral.
+		lc.checkAccess(s, st)
+	}
+	return false
+}
+
+// loopBody simulates one iteration and requires the body to be
+// lock-neutral (otherwise iteration N+1 starts in a different state).
+func (lc *lockChecker) loopBody(body *ast.BlockStmt, st *lockState) {
+	entry := *st
+	if terminated := lc.stmts(body.List, st); terminated {
+		*st = entry
+		return
+	}
+	if !st.equal(entry) {
+		lc.report(body.Pos(), "loop body changes the %s.%s lock state", lc.recvName(), lc.mu)
+		*st = entry
+	}
+}
+
+// caseClauses merges the arms of a switch; it returns true when every
+// arm terminates and a default arm exists (so the switch never falls
+// through).
+func (lc *lockChecker) caseClauses(body *ast.BlockStmt, st *lockState, hasDefault bool) bool {
+	entry := *st
+	var out *lockState
+	allTerm := true
+	for _, raw := range body.List {
+		cc, ok := raw.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			lc.checkAccess(e, &entry)
+		}
+		cs := entry
+		if lc.stmts(cc.Body, &cs) {
+			continue
+		}
+		allTerm = false
+		if out == nil {
+			c := cs
+			out = &c
+		} else if !out.equal(cs) {
+			lc.report(cc.Pos(), "switch arms leave %s.%s in different lock states", lc.recvName(), lc.mu)
+		}
+	}
+	if allTerm && hasDefault {
+		return true
+	}
+	if out != nil {
+		if !hasDefault && !out.equal(entry) {
+			lc.report(body.Pos(), "switch without default changes the %s.%s lock state", lc.recvName(), lc.mu)
+		}
+		*st = *out
+	}
+	return false
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, raw := range body.List {
+		if cc, ok := raw.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// lockOp updates st when call is an operation on the owned mutex; it
+// reports true when the call was a mutex operation.
+func (lc *lockChecker) lockOp(call *ast.CallExpr, st *lockState, deferred bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	field, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || field.Sel.Name != lc.mu {
+		return false
+	}
+	id, ok := field.X.(*ast.Ident)
+	if !ok || lc.recv == nil || lc.p.Info.Uses[id] != lc.recv {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		if deferred {
+			lc.report(call.Pos(), "defer %s.%s.Lock() acquires at function exit", lc.recvName(), lc.mu)
+			return true
+		}
+		if st.r > 0 || st.w > 0 {
+			lc.report(call.Pos(), "%s.%s.Lock() while already holding the mutex (RWMutex is not reentrant)", lc.recvName(), lc.mu)
+		}
+		st.w++
+	case "RLock":
+		if deferred {
+			lc.report(call.Pos(), "defer %s.%s.RLock() acquires at function exit", lc.recvName(), lc.mu)
+			return true
+		}
+		if st.w > 0 {
+			lc.report(call.Pos(), "%s.%s.RLock() while holding the write lock", lc.recvName(), lc.mu)
+		}
+		st.r++
+	case "Unlock":
+		if deferred {
+			st.defW++
+			return true
+		}
+		if st.w == 0 {
+			lc.report(call.Pos(), "%s.%s.Unlock() without a held write lock", lc.recvName(), lc.mu)
+		} else {
+			st.w--
+		}
+	case "RUnlock":
+		if deferred {
+			st.defR++
+			return true
+		}
+		if st.r == 0 {
+			lc.report(call.Pos(), "%s.%s.RUnlock() without a held read lock", lc.recvName(), lc.mu)
+		} else {
+			st.r--
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// checkExit verifies that a return (or the implicit fall-off) leaves the
+// mutex exactly as it was found, counting deferred unlock credits.
+func (lc *lockChecker) checkExit(st *lockState, pos token.Pos) {
+	r, w := st.exitHeld()
+	if r > 0 || w > 0 {
+		lc.report(pos, "return with %s.%s still held (read=%d write=%d after deferred unlocks)", lc.recvName(), lc.mu, r, w)
+	}
+	if r < 0 || w < 0 {
+		lc.report(pos, "deferred unlocks of %s.%s exceed the locks held at return", lc.recvName(), lc.mu)
+	}
+}
+
+// checkAccess reports reads/writes of the receiver's guarded fields
+// while no lock is held. Function literals are skipped (they execute
+// under their caller's regime).
+func (lc *lockChecker) checkAccess(n ast.Node, st *lockState) {
+	if n == nil || lc.recv == nil || st.r > 0 || st.w > 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok || lc.p.Info.Uses[id] != lc.recv {
+				return true
+			}
+			if n.Sel.Name == lc.mu {
+				return true
+			}
+			if sel, ok := lc.p.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				lc.report(n.Pos(), "guarded field %s.%s accessed without holding %s.%s", lc.recvName(), n.Sel.Name, lc.recvName(), lc.mu)
+			}
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) report(pos token.Pos, format string, args ...interface{}) {
+	lc.p.Reportf(LockDiscipline, pos, Error, format, args...)
+}
+
+func (lc *lockChecker) recvName() string {
+	if lc.recv != nil {
+		return lc.recv.Name()
+	}
+	return "recv"
+}
+
+// baseNamed unwraps pointers to the named receiver type.
+func baseNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func isPanicCall(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	return obj != nil && obj.Parent() == types.Universe && id.Name == "panic"
+}

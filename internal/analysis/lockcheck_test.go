@@ -1,0 +1,242 @@
+package analysis
+
+import "testing"
+
+func TestLockDiscipline(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			// The exact shape of core.ConcurrentTable.Process: read-lock
+			// fast path with an early return, then upgrade to the write
+			// lock with a deferred unlock and a switch of returns.
+			name: "early-return upgrade dance is clean",
+			path: "test/lockgood",
+			src: `package p
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	v  map[int]int
+}
+
+func (t *table) Get(k int) (int, bool) {
+	t.mu.RLock()
+	x, ok := t.v[k]
+	if ok {
+		t.mu.RUnlock()
+		return x, true
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	x, ok = t.v[k]
+	switch {
+	case ok:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "early return leaks the read lock",
+			path: "test/lockleak",
+			src: `package p
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	v  map[int]int
+}
+
+func (t *table) Get(k int) int {
+	t.mu.RLock()
+	if x, ok := t.v[k]; ok {
+		return x
+	}
+	t.mu.RUnlock()
+	return 0
+}
+`,
+			want: []string{"return with t.mu still held (read=1 write=0"},
+		},
+		{
+			name: "guarded field read without any lock",
+			path: "test/locknaked",
+			src: `package p
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	v  map[int]int
+}
+
+func (t *table) Len() int {
+	return len(t.v)
+}
+`,
+			want: []string{"guarded field t.v accessed without holding t.mu"},
+		},
+		{
+			name: "reentrant lock",
+			path: "test/lockre",
+			src: `package p
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	v  map[int]int
+}
+
+func (t *table) Double() {
+	t.mu.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+`,
+			want: []string{"RWMutex is not reentrant"},
+		},
+		{
+			name: "unlock without lock",
+			path: "test/lockbare",
+			src: `package p
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	v  map[int]int
+}
+
+func (t *table) Oops() {
+	t.mu.RUnlock()
+}
+`,
+			want: []string{"RUnlock() without a held read lock"},
+		},
+		{
+			name: "branches diverge",
+			path: "test/lockdiverge",
+			src: `package p
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	v  map[int]int
+}
+
+func (t *table) Maybe(b bool) {
+	t.mu.Lock()
+	if b {
+		t.mu.Unlock()
+	} else {
+		_ = b
+	}
+	_ = b
+}
+`,
+			want: []string{"branches of if leave t.mu in different lock states"},
+		},
+		{
+			name: "loop body stacks locks",
+			path: "test/lockloop",
+			src: `package p
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	v  map[int]int
+}
+
+func (t *table) Spin(n int) {
+	for i := 0; i < n; i++ {
+		t.mu.RLock()
+	}
+}
+`,
+			want: []string{"loop body changes the t.mu lock state"},
+		},
+		{
+			name: "closure body runs under the caller's regime",
+			path: "test/lockclosure",
+			src: `package p
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	v  map[int]int
+}
+
+func (t *table) Mutate(f func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f()
+}
+
+func (t *table) Update(k, v int) {
+	t.Mutate(func() {
+		t.v[k] = v
+	})
+}
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed by ignore comment",
+			path: "test/lockignored",
+			src: `package p
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	v  map[int]int
+}
+
+func (t *table) Peek() int {
+	//cluevet:ignore - stats-only racy read, staleness is acceptable
+	return len(t.v)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "type without RWMutex is out of scope",
+			path: "test/lockplain",
+			src: `package p
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  map[int]int
+}
+
+func (b *box) Len() int {
+	return len(b.v)
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runOne(t, LockDiscipline, DefaultConfig(), fixture{path: tc.path, src: tc.src})
+			checkDiags(t, got, tc.want)
+		})
+	}
+}

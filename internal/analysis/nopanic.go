@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NoPanicInLookup forbids panic outside construction and parse code. A
+// production forwarder takes millions of packets per second through
+// Process/Lookup; a reachable panic there is a remote kill switch, so
+// the forwarding path must return "no match" and let the caller drop
+// the packet. Construction-time code (New*, Must*, Parse*, Compile*,
+// Build*, Make*, From*, init, or anything annotated //cluevet:ctor) may
+// panic on programmer error — it runs at table-build time, off the
+// per-packet path, exactly like the paper's uncharged preprocessing.
+//
+// An invariant guard that genuinely cannot fire may instead carry a
+// //cluevet:ignore comment with a justification.
+var NoPanicInLookup = &Analyzer{
+	Name: "no-panic-in-lookup",
+	Doc:  "panic is reserved for construction/parse code; the forwarding path must degrade, not crash",
+}
+
+func init() { NoPanicInLookup.Run = runNoPanic }
+
+func runNoPanic(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || p.IsConstruction(fn) {
+				continue
+			}
+			name := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isPanicCall(p, call) {
+					return true
+				}
+				p.Reportf(NoPanicInLookup, call.Pos(), Error,
+					"panic in %s: only construction/parse code (New*/Must*/Parse*/... or //cluevet:ctor) may panic", name)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import "testing"
+
+func TestNoPanicInLookup(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "panic on the lookup path",
+			path: "test/panicbad",
+			src: `package p
+
+func Lookup(x int) int {
+	if x < 0 {
+		panic("negative address")
+	}
+	return x
+}
+`,
+			want: []string{"panic in Lookup"},
+		},
+		{
+			name: "constructor may panic",
+			path: "test/panicctor",
+			src: `package p
+
+func NewTable(n int) int {
+	if n < 0 {
+		panic("negative size")
+	}
+	return n
+}
+
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty")
+	}
+	return len(s)
+}
+
+func init() {
+	if false {
+		panic("unreachable")
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "annotated constructor may panic",
+			path: "test/panicanno",
+			src: `package p
+
+//cluevet:ctor - called only from NewTable during table build
+func assemble(n int) int {
+	if n < 0 {
+		panic("negative size")
+	}
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed invariant guard",
+			path: "test/panicignored",
+			src: `package p
+
+func Step(x int) int {
+	if x < 0 {
+		//cluevet:ignore - unreachable: callers validate x at parse time
+		panic("negative")
+	}
+	return x
+}
+`,
+			want: nil,
+		},
+		{
+			name: "shadowed panic is not the builtin",
+			path: "test/panicshadow",
+			src: `package p
+
+func Lookup(x int) int {
+	panic := func(string) {}
+	panic("fine")
+	return x
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runOne(t, NoPanicInLookup, DefaultConfig(), fixture{path: tc.path, src: tc.src})
+			checkDiags(t, got, tc.want)
+		})
+	}
+}

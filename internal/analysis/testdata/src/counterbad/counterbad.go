@@ -1,0 +1,17 @@
+// Package counterbad is a negative fixture for the counter-discipline
+// analyzer: cluevet must exit non-zero on it.
+//
+//	go run ./cmd/cluevet internal/analysis/testdata/src/counterbad
+package counterbad
+
+import "repro/internal/mem"
+
+var table = map[uint32]int{0: 1}
+
+// Lookup reads the table before charging the counter — exactly the
+// cost-model drift the analyzer exists to catch.
+func Lookup(k uint32, cnt *mem.Counter) (int, bool) {
+	v, ok := table[k]
+	cnt.Add(1)
+	return v, ok
+}

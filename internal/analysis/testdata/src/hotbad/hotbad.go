@@ -1,0 +1,32 @@
+// Package hotbad is a negative fixture for the hotpath-alloc analyzer:
+// cluevet must exit non-zero on it. It lives under testdata so the go
+// tool and the default ./... walk never pick it up; run it explicitly:
+//
+//	go run ./cmd/cluevet internal/analysis/testdata/src/hotbad
+package hotbad
+
+import "fmt"
+
+type entry struct {
+	next string
+	hits int
+}
+
+// Process violates every hotpath-alloc rule at once.
+//
+//cluevet:hotpath
+func Process(dest uint32, hop string) *entry {
+	key := fmt.Sprintf("%08x", dest) // fmt on the hot path
+	key += hop                       // string concatenation
+	_ = []uint32{dest}               // slice literal
+	return &entry{next: key}         // heap-allocated composite literal
+}
+
+// Suppressed shows //cluevet:ignore working inside a fixture: this one
+// allocation is waved through, so it contributes no diagnostic.
+//
+//cluevet:hotpath
+func Suppressed(dest uint32) *entry {
+	//cluevet:ignore - fixture: demonstrates suppression
+	return &entry{hits: int(dest)}
+}

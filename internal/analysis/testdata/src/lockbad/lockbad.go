@@ -1,0 +1,28 @@
+// Package lockbad is a negative fixture for the lock-discipline
+// analyzer: cluevet must exit non-zero on it.
+//
+//	go run ./cmd/cluevet internal/analysis/testdata/src/lockbad
+package lockbad
+
+import "sync"
+
+// Table guards its map with an RWMutex, badly.
+type Table struct {
+	mu      sync.RWMutex
+	entries map[uint32]int
+}
+
+// Get leaks the read lock on the hit path.
+func (t *Table) Get(k uint32) (int, bool) {
+	t.mu.RLock()
+	if v, ok := t.entries[k]; ok {
+		return v, true // missing RUnlock
+	}
+	t.mu.RUnlock()
+	return 0, false
+}
+
+// Len reads the guarded map without any lock.
+func (t *Table) Len() int {
+	return len(t.entries)
+}

@@ -1,0 +1,13 @@
+// Package panicbad is a negative fixture for the no-panic-in-lookup
+// analyzer: cluevet must exit non-zero on it.
+//
+//	go run ./cmd/cluevet internal/analysis/testdata/src/panicbad
+package panicbad
+
+// Lookup panics on the forwarding path instead of returning a miss.
+func Lookup(dest uint32) int {
+	if dest == 0 {
+		panic("panicbad: zero destination")
+	}
+	return int(dest)
+}

@@ -29,6 +29,8 @@ func NewConcurrentTable(t *Table) *ConcurrentTable {
 }
 
 // Process is the concurrent equivalent of Table.Process.
+//
+//cluevet:hotpath
 func (c *ConcurrentTable) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) Result {
 	clue := ip.DecodeClue(dest, clueLen)
 	cnt.Add(1)

@@ -136,3 +136,141 @@ func TestConcurrentTableUnderChurn(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentTableRaceStress hammers every public ConcurrentTable
+// method from many goroutines at once: forwarding (Process and
+// ProcessNoClue), clue invalidation and revalidation, statistics reads
+// (Len, FinalFraction) and route churn through Mutate. It asserts only
+// internal consistency of each answer — the point is the interleaving,
+// and under -race (CI runs this package with the race detector) any
+// unsynchronized access to the shared table is a failure.
+func TestConcurrentTableRaceStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	t1, t2 := neighborPair(rng, 100)
+	inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+	eng := lookup.NewRegular(t2)
+	ct := NewConcurrentTable(MustNewTable(Config{Method: Advance, Engine: eng, Local: t2, Sender: inT1, Learn: true}))
+
+	// Clues the invalidator goroutines will flip; seeding them via
+	// Preprocess guarantees the entries exist from the start.
+	clues := make([]ip.Prefix, 0, 16)
+	for i := 0; len(clues) < cap(clues) && i < 4096; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		if s, _, ok := t1.Lookup(a, nil); ok {
+			clues = append(clues, s)
+		}
+	}
+	ct.Preprocess(clues)
+
+	const (
+		forwarders   = 4
+		invalidators = 2
+		readers      = 2
+		mutators     = 1
+		packets      = 500
+	)
+	var wg sync.WaitGroup
+
+	for g := 0; g < forwarders; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < packets; i++ {
+				a := ip.AddrFrom32(r.Uint32() & 0x3F0F00FF)
+				if i%5 == 0 {
+					if res := ct.ProcessNoClue(a, nil); res.OK && !res.Prefix.Contains(a) {
+						t.Errorf("ProcessNoClue: %v does not contain %v", res.Prefix, a)
+						return
+					}
+					continue
+				}
+				s, _, ok := t1.Lookup(a, nil)
+				if !ok {
+					continue
+				}
+				if res := ct.Process(a, s.Clue(), nil); res.OK && !res.Prefix.Contains(a) {
+					t.Errorf("Process: %v does not contain %v", res.Prefix, a)
+					return
+				}
+			}
+		}(int64(1000 + g))
+	}
+
+	for g := 0; g < invalidators; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < packets/2; i++ {
+				clue := clues[r.Intn(len(clues))]
+				if i%2 == 0 {
+					ct.Invalidate(clue)
+				} else {
+					ct.Revalidate(clue)
+				}
+			}
+		}(int64(2000 + g))
+	}
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < packets; i++ {
+				if ct.Len() < 0 {
+					t.Error("negative Len")
+					return
+				}
+				if f := ct.FinalFraction(); f < 0 || f > 1 {
+					t.Errorf("FinalFraction out of range: %v", f)
+					return
+				}
+			}
+		}()
+	}
+
+	for g := 0; g < mutators; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < packets/5; i++ {
+				p := ip.PrefixFrom(ip.AddrFrom32(r.Uint32()&0x3F0F00FF), 9+r.Intn(16))
+				val := 5000 + i
+				if i%3 == 2 {
+					ct.Mutate(func(tab *Table) {
+						if t2.Delete(p) {
+							tab.UpdateLocal(p)
+						}
+					})
+				} else {
+					ct.Mutate(func(tab *Table) {
+						t2.Insert(p, val)
+						tab.UpdateLocal(p)
+					})
+				}
+			}
+		}(int64(3000 + g))
+	}
+
+	wg.Wait()
+
+	// Quiescent check: answers must again agree with a sequential lookup.
+	for i := 0; i < 200; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		s, _, ok := t1.Lookup(a, nil)
+		if !ok {
+			continue
+		}
+		wp, wv, wok := t2.Lookup(a, nil)
+		res := ct.Process(a, s.Clue(), nil)
+		if res.Outcome == OutcomeInvalid {
+			continue // an invalidator may have left this clue marked
+		}
+		if res.OK != wok || (res.OK && (res.Prefix != wp || res.Value != wv)) {
+			t.Fatalf("post-stress: dest %v: got %v/%d/%v want %v/%d/%v",
+				a, res.Prefix, res.Value, res.OK, wp, wv, wok)
+		}
+	}
+}

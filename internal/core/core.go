@@ -283,6 +283,8 @@ func (t *Table) ProcessNoClue(dest ip.Addr, c *mem.Counter) Result {
 // up the clue in the clues table"); comparing the stored clue against the
 // packet's is free ("a check that can be done very fast in hardware or one
 // assembly instruction").
+//
+//cluevet:hotpath
 func (t *Table) Process(dest ip.Addr, clueLen int, c *mem.Counter) Result {
 	clue := ip.DecodeClue(dest, clueLen)
 	c.Add(1) // the clue-table reference

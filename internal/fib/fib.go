@@ -78,7 +78,10 @@ func (t *Table) HopID(hop string) int {
 // Hops returns all next-hop names in ID order.
 func (t *Table) Hops() []string { return append([]string(nil), t.hops...) }
 
-// Add inserts (or replaces) a route.
+// Add inserts (or replaces) a route. It panics on a family mismatch,
+// which is always a programming error in the control plane.
+//
+//cluevet:ctor - table build/update side, never on the per-packet path
 func (t *Table) Add(p ip.Prefix, nextHop string) {
 	if p.Family() != t.fam {
 		panic("fib: family mismatch")

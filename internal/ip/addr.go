@@ -86,6 +86,7 @@ func (a Addr) Family() Family { return a.fam }
 // Uint32 returns the 32-bit value of an IPv4 address. It panics for IPv6.
 func (a Addr) Uint32() uint32 {
 	if a.fam != IPv4 {
+		//cluevet:ignore - invariant guard: every caller checks the family at parse/build time
 		panic("ip: Uint32 on IPv6 address")
 	}
 	return uint32(a.hi >> 32)

@@ -70,6 +70,7 @@ func (p Prefix) Parent() Prefix {
 func (p Prefix) Child(b byte) Prefix {
 	w := p.addr.fam.Width()
 	if int(p.len) >= w {
+		//cluevet:ignore - invariant guard: only construction-time expanders call Child
 		panic("ip: Child of full-width prefix")
 	}
 	a := p.addr.WithBit(int(p.len), b)

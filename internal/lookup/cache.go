@@ -79,6 +79,7 @@ func (e *CachedEngine) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) 
 		e.lru.Remove(oldest)
 		delete(e.items, oldest.Value.(*cacheItem).addr)
 	}
+	//cluevet:ignore - miss path only: one cacheItem per miss is the inherent cost of result caching
 	e.items[a] = e.lru.PushFront(&cacheItem{addr: a, ans: arrayAnswer{p: p, v: v, ok: ok}})
 	return p, v, ok
 }

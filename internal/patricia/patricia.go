@@ -86,6 +86,8 @@ func common(p, q ip.Prefix) int {
 
 // Insert adds prefix p with payload v, splitting compressed edges as
 // needed. Inserting an existing prefix overwrites its payload.
+//
+//cluevet:ctor - trie construction; panics on family mismatch by design
 func (t *Trie) Insert(p ip.Prefix, v int) {
 	if p.Family() != t.fam {
 		panic("patricia: family mismatch")
@@ -191,6 +193,8 @@ func (t *Trie) contract(slots []**Node) {
 
 // Lookup performs the best-matching-prefix walk from the root. Every
 // vertex visited costs one memory reference on c.
+//
+//cluevet:hotpath
 func (t *Trie) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
 	return t.walk(t.root, a, c, nil)
 }

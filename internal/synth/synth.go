@@ -284,6 +284,8 @@ var PaperRouterNames = []string{
 // other than the two same-ISP pairs, matching the asymmetry of Tables 2–3.
 // Scale (0 < scale <= 1) shrinks every table proportionally so tests can
 // run the full pipeline quickly; benchmarks use scale 1.
+//
+//cluevet:ctor - workload generator; panics on a bad scale at build time
 func PaperRouters(seed int64, scale float64) map[string]*fib.Table {
 	if scale <= 0 || scale > 1 {
 		panic("synth: scale must be in (0, 1]")

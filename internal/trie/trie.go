@@ -83,6 +83,8 @@ func (t *Trie) NodeCount() int {
 // Insert adds prefix p with payload v, overwriting the payload if p is
 // already present. It panics on a family mismatch, which is always a
 // programming error.
+//
+//cluevet:ctor - trie construction; panics on family mismatch by design
 func (t *Trie) Insert(p ip.Prefix, v int) {
 	if p.Family() != t.fam {
 		panic("trie: family mismatch")
@@ -176,6 +178,8 @@ func (t *Trie) Get(p ip.Prefix) (int, bool) {
 // root ("Regular" in the paper's tables). Every vertex visited costs one
 // memory reference on c. It returns the BMP, its payload and whether any
 // prefix matched.
+//
+//cluevet:hotpath
 func (t *Trie) Lookup(a ip.Addr, c *mem.Counter) (ip.Prefix, int, bool) {
 	return t.LookupFrom(t.root, a, c)
 }
