@@ -10,20 +10,37 @@
 // The demo prints the per-router memory-reference totals, showing the
 // paper's effect on a running network stack rather than in a simulator.
 //
+// The daemon is hardened the way a long-running process must be: read
+// deadlines on every socket, SIGINT/SIGTERM-driven graceful shutdown with
+// final statistics, malformed-datagram and no-route counters instead of
+// silent drops, and bounded retry with backoff on UDP send errors. With
+// -faults it feeds its own wire through the internal/fault injector —
+// corrupted clues and mangled datagrams — and must still deliver every
+// packet that survives the wire, routed exactly as a full lookup would.
+//
 // Usage:
 //
-//	clued [-routers 6] [-packets 100] [-v]
+//	clued [-routers 6] [-packets 100] [-timeout 10s] [-faults 0.2] [-faultseed 1] [-v] [-v6]
+//
+// Exit status is nonzero when packets the wire did not eat are undelivered
+// at the timeout, or when interrupted before completion.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fib"
 	"repro/internal/header"
 	"repro/internal/ip"
@@ -32,25 +49,81 @@ import (
 	"repro/internal/routing"
 )
 
+// sendRetries bounds the retry loop on UDP send errors; backoff starts at
+// sendBackoff and quadruples per attempt (1ms, 4ms, 16ms).
+const (
+	sendRetries = 3
+	sendBackoff = time.Millisecond
+)
+
 // udpRouter is one chain hop: a UDP socket plus a clue-routing engine.
 type udpRouter struct {
 	name    string
 	conn    *net.UDPConn
 	table   *fib.Table
-	clues   *core.Table
+	clues   *core.ConcurrentTable
 	peers   map[string]*net.UDPAddr // next-hop name -> socket address
-	refs    int
-	packets int
-	mu      sync.Mutex
+	inj     *fault.Injector         // nil when -faults is 0
 	verbose bool
 	done    chan<- ip.Addr // delivery notifications
+
+	stats routerStats
 }
 
-func (r *udpRouter) serve() {
+// routerStats are one router's counters; all access goes through the
+// methods, which lock.
+type routerStats struct {
+	mu        sync.Mutex
+	refs      int
+	packets   int
+	malformed int // datagrams the parser rejected
+	noRoute   int
+	expired   int // TTL / hop limit hit zero
+	sendFail  int // sends abandoned after the retry budget
+	sendRetry int // individual retries performed
+}
+
+func (s *routerStats) note(refs int) {
+	s.mu.Lock()
+	s.refs += refs
+	s.packets++
+	s.mu.Unlock()
+}
+
+func (s *routerStats) count(field *int) {
+	s.mu.Lock()
+	*field++
+	s.mu.Unlock()
+}
+
+func (s *routerStats) snapshot() routerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return routerStats{
+		refs: s.refs, packets: s.packets, malformed: s.malformed,
+		noRoute: s.noRoute, expired: s.expired,
+		sendFail: s.sendFail, sendRetry: s.sendRetry,
+	}
+}
+
+// serve reads datagrams until the context is canceled or the socket is
+// closed. The read deadline keeps the loop responsive to cancellation; a
+// deadline expiry is not an error.
+func (r *udpRouter) serve(ctx context.Context) {
 	buf := make([]byte, 2048)
 	for {
+		if err := r.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond)); err != nil {
+			return
+		}
 		n, _, err := r.conn.ReadFromUDP(buf)
+		if ctx.Err() != nil {
+			return
+		}
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
 			return // socket closed: shut down
 		}
 		r.handle(buf[:n])
@@ -64,11 +137,14 @@ func (r *udpRouter) handle(pkt []byte) {
 	}
 	h, payloadOff, err := header.ParseIPv4(pkt)
 	if err != nil {
-		log.Printf("%s: dropping bad packet: %v", r.name, err)
+		r.stats.count(&r.stats.malformed)
+		if r.verbose {
+			log.Printf("%s: dropping bad packet: %v", r.name, err)
+		}
 		return
 	}
 	if h.TTL == 0 {
-		log.Printf("%s: TTL expired for %v", r.name, h.Dst)
+		r.stats.count(&r.stats.expired)
 		return
 	}
 	var cnt mem.Counter
@@ -78,11 +154,9 @@ func (r *udpRouter) handle(pkt []byte) {
 	} else {
 		res = r.clues.ProcessNoClue(h.Dst, &cnt)
 	}
-	r.mu.Lock()
-	r.refs += cnt.Count()
-	r.packets++
-	r.mu.Unlock()
+	r.stats.note(cnt.Count())
 	if !res.OK {
+		r.stats.count(&r.stats.noRoute)
 		log.Printf("%s: no route for %v", r.name, h.Dst)
 		return
 	}
@@ -102,16 +176,14 @@ func (r *udpRouter) handle(pkt []byte) {
 	}
 	// Rewrite the clue with this router's BMP, decrement TTL, re-marshal.
 	h.TTL--
-	h.Clue = &header.ClueOption{Len: res.Prefix.Clue()}
+	h.Clue = r.egressClue(res.Prefix.Clue())
 	out, err := h.Marshal(len(pkt) - payloadOff)
 	if err != nil {
 		log.Printf("%s: re-marshal: %v", r.name, err)
 		return
 	}
 	out = append(out, pkt[payloadOff:]...)
-	if _, err := r.conn.WriteToUDP(out, peer); err != nil {
-		log.Printf("%s: send: %v", r.name, err)
-	}
+	r.send(out, peer)
 }
 
 // handleV6 is the IPv6 data path: same clue logic, 7-bit clue in a
@@ -119,11 +191,14 @@ func (r *udpRouter) handle(pkt []byte) {
 func (r *udpRouter) handleV6(pkt []byte) {
 	h, payloadOff, err := header.ParseIPv6(pkt)
 	if err != nil {
-		log.Printf("%s: dropping bad v6 packet: %v", r.name, err)
+		r.stats.count(&r.stats.malformed)
+		if r.verbose {
+			log.Printf("%s: dropping bad v6 packet: %v", r.name, err)
+		}
 		return
 	}
 	if h.HopLimit == 0 {
-		log.Printf("%s: hop limit expired for %v", r.name, h.Dst)
+		r.stats.count(&r.stats.expired)
 		return
 	}
 	var cnt mem.Counter
@@ -133,11 +208,9 @@ func (r *udpRouter) handleV6(pkt []byte) {
 	} else {
 		res = r.clues.ProcessNoClue(h.Dst, &cnt)
 	}
-	r.mu.Lock()
-	r.refs += cnt.Count()
-	r.packets++
-	r.mu.Unlock()
+	r.stats.note(cnt.Count())
 	if !res.OK {
+		r.stats.count(&r.stats.noRoute)
 		log.Printf("%s: no route for %v", r.name, h.Dst)
 		return
 	}
@@ -152,15 +225,59 @@ func (r *udpRouter) handleV6(pkt []byte) {
 		return
 	}
 	h.HopLimit--
-	h.Clue = &header.ClueOption{Len: res.Prefix.Clue()}
+	h.Clue = r.egressClue(res.Prefix.Clue())
 	out, err := h.Marshal(len(pkt) - payloadOff)
 	if err != nil {
 		log.Printf("%s: v6 re-marshal: %v", r.name, err)
 		return
 	}
 	out = append(out, pkt[payloadOff:]...)
-	if _, err := r.conn.WriteToUDP(out, peer); err != nil {
-		log.Printf("%s: send: %v", r.name, err)
+	r.send(out, peer)
+}
+
+// egressClue builds the outgoing clue option, feeding it through the
+// injector's clue classes when faults are on. Only classes that produce a
+// marshalable clue (in [0, W], or stripped) are configured — bit-level
+// corruption of the field is exercised by the datagram classes, whose
+// damage the receiver's checksum turns into a malformed count.
+func (r *udpRouter) egressClue(clueLen int) *header.ClueOption {
+	if r.inj != nil {
+		clueLen, _ = r.inj.PerturbClue(clueLen)
+	}
+	if clueLen == fault.NoClue {
+		return nil
+	}
+	return &header.ClueOption{Len: clueLen}
+}
+
+// send writes a datagram (via the injector's transport classes when
+// faults are on), retrying each physical send with bounded backoff.
+func (r *udpRouter) send(out []byte, peer *net.UDPAddr) {
+	if r.inj == nil {
+		r.sendOne(out, peer)
+		return
+	}
+	frames, _ := r.inj.Transport(out)
+	for _, f := range frames {
+		r.sendOne(f, peer)
+	}
+}
+
+func (r *udpRouter) sendOne(b []byte, peer *net.UDPAddr) {
+	backoff := sendBackoff
+	for attempt := 0; ; attempt++ {
+		_, err := r.conn.WriteToUDP(b, peer)
+		if err == nil {
+			return
+		}
+		if attempt == sendRetries {
+			r.stats.count(&r.stats.sendFail)
+			log.Printf("%s: send to %s abandoned after %d retries: %v", r.name, peer, attempt, err)
+			return
+		}
+		r.stats.count(&r.stats.sendRetry)
+		time.Sleep(backoff)
+		backoff *= 4
 	}
 }
 
@@ -168,10 +285,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clued: ")
 	var (
-		nRouters = flag.Int("routers", 6, "routers in the chain (>= 2)")
-		packets  = flag.Int("packets", 100, "packets to send through the chain")
-		verbose  = flag.Bool("v", false, "log every hop")
-		useV6    = flag.Bool("v6", false, "use IPv6 headers (7-bit clue in a hop-by-hop option)")
+		nRouters  = flag.Int("routers", 6, "routers in the chain (>= 2)")
+		packets   = flag.Int("packets", 100, "packets to send through the chain")
+		timeout   = flag.Duration("timeout", 10*time.Second, "delivery deadline")
+		faultRate = flag.Float64("faults", 0, "per-packet fault probability per class (0 disables injection)")
+		faultSeed = flag.Int64("faultseed", 1, "fault injector seed")
+		verbose   = flag.Bool("v", false, "log every hop")
+		useV6     = flag.Bool("v6", false, "use IPv6 headers (7-bit clue in a hop-by-hop option)")
 	)
 	flag.Parse()
 	if *nRouters < 2 {
@@ -183,9 +303,11 @@ func main() {
 	names := routing.Chain(top, "r", *nRouters)
 	host := ip.MustParseAddr("204.17.33.40")
 	lengths := []int{8, 16, 24}
+	width := 32
 	if *useV6 {
 		host = ip.MustParseAddr("2001:db8:17:33::40")
 		lengths = []int{32, 48, 64}
+		width = 128
 	}
 	if err := routing.NestedOrigination(top, names[*nRouters-1], host,
 		lengths, []int{-1, *nRouters / 2, 2}); err != nil {
@@ -208,8 +330,28 @@ func main() {
 	}
 	tables := top.ComputeTables()
 
+	// One shared injector: the wire is one medium, so the reorder holdback
+	// and the stale-clue memory span all links, as they would on a bus.
+	var inj *fault.Injector
+	if *faultRate > 0 {
+		rates := map[fault.Class]float64{
+			fault.ClassAdversarial: *faultRate,
+			fault.ClassStrip:       *faultRate,
+			fault.ClassStale:       *faultRate,
+		}
+		for _, c := range fault.TransportClasses {
+			rates[c] = *faultRate
+		}
+		inj = fault.New(fault.Config{Seed: *faultSeed, Width: width, Rates: rates})
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop serving, print the final
+	// statistics, exit nonzero if the run was cut short.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Start one UDP socket per router.
-	done := make(chan ip.Addr, *packets)
+	done := make(chan ip.Addr, *packets*2)
 	routers := make(map[string]*udpRouter, len(names))
 	addrs := make(map[string]*net.UDPAddr, len(names))
 	for _, name := range names {
@@ -225,12 +367,16 @@ func main() {
 			name:  name,
 			conn:  conn,
 			table: tab,
-			clues: core.MustNewTable(core.Config{
-				Method: core.Simple, // sound for any upstream, learned on the fly
+			clues: core.NewConcurrentTable(core.MustNewTable(core.Config{
+				Method: core.Simple, // sound for any clue a wire can carry
 				Engine: lookup.NewPatricia(tr),
 				Local:  tr,
 				Learn:  true,
-			}),
+				// Every learned clue is kept forever (§3.4); the cap keeps
+				// an adversarial wire from growing the table without bound.
+				LearnLimit: 1 << 12,
+			})),
+			inj:     inj,
 			verbose: *verbose,
 			done:    done,
 		}
@@ -240,7 +386,7 @@ func main() {
 		for name, a := range addrs {
 			r.peers[name] = a
 		}
-		go r.serve()
+		go r.serve(ctx)
 	}
 	fmt.Printf("chain of %d UDP routers on 127.0.0.1 (%s .. %s)\n",
 		*nRouters, addrs[names[0]], addrs[names[*nRouters-1]])
@@ -278,28 +424,67 @@ func main() {
 		}
 	}
 
-	// Wait for deliveries.
+	// Wait for deliveries. Without faults, every packet must arrive before
+	// the timeout. With faults, the wire legitimately eats packets (drop,
+	// truncation, garbage), so the run ends at quiescence: no delivery for
+	// a grace period, or the timeout, whichever is first.
 	delivered := 0
-	timeout := time.After(10 * time.Second)
+	interrupted := false
+	deadline := time.After(*timeout)
+	quiet := 1500 * time.Millisecond
+wait:
 	for delivered < *packets {
+		idle := time.After(quiet)
 		select {
 		case <-done:
 			delivered++
-		case <-timeout:
-			log.Fatalf("timeout: only %d of %d packets delivered", delivered, *packets)
+		case <-ctx.Done():
+			log.Print("interrupted; shutting down")
+			interrupted = true
+			break wait
+		case <-deadline:
+			break wait
+		case <-idle:
+			if inj != nil {
+				break wait // fault mode: the wire has gone quiet
+			}
 		}
 	}
+	stop()
 
 	fmt.Printf("delivered %d/%d packets end to end\n\n", delivered, *packets)
-	tab := mem.NewTable("Router", "Packets", "Refs", "Refs/packet")
+	tab := mem.NewTable("Router", "Packets", "Refs", "Refs/packet",
+		"Malformed", "No-route", "Expired", "Send-fail", "Send-retry")
+	lost := 0
 	for _, name := range names {
-		r := routers[name]
-		r.mu.Lock()
-		tab.AddRow(name, fmt.Sprint(r.packets), fmt.Sprint(r.refs),
-			fmt.Sprintf("%.2f", float64(r.refs)/float64(r.packets)))
-		r.mu.Unlock()
+		s := routers[name].stats.snapshot()
+		perPkt := 0.0
+		if s.packets > 0 {
+			perPkt = float64(s.refs) / float64(s.packets)
+		}
+		tab.AddRow(name, fmt.Sprint(s.packets), fmt.Sprint(s.refs),
+			fmt.Sprintf("%.2f", perPkt), fmt.Sprint(s.malformed),
+			fmt.Sprint(s.noRoute), fmt.Sprint(s.expired),
+			fmt.Sprint(s.sendFail), fmt.Sprint(s.sendRetry))
+		lost += s.malformed + s.noRoute + s.expired + s.sendFail
 	}
 	fmt.Println(tab.String())
-	fmt.Println("(the first router sees clue-less packets; downstream routers resolve")
-	fmt.Println(" learned clues in about one reference each — the paper's effect, on UDP)")
+	if inj != nil {
+		fmt.Printf("injected faults: %v (undelivered: %d dropped/mangled on the wire)\n",
+			inj.Counts(), *packets-delivered)
+	} else {
+		fmt.Println("(the first router sees clue-less packets; downstream routers resolve")
+		fmt.Println(" learned clues in about one reference each — the paper's effect, on UDP)")
+	}
+
+	switch {
+	case interrupted:
+		os.Exit(1)
+	case delivered < *packets && inj == nil:
+		log.Printf("timeout: only %d of %d packets delivered", delivered, *packets)
+		os.Exit(1)
+	case inj != nil && delivered == 0:
+		log.Print("fault run delivered nothing — the chain is broken, not degraded")
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,74 @@
+// Command cluefault runs the fault-injection soak: every fault class ×
+// {Simple, Advance} × all five lookup engines, asserting on every packet
+// that the clue-assisted answer equals the full lookup (faults may cost
+// references or datagrams, never a next hop), plus the route-churn soak
+// on ConcurrentTable. It prints the measured degradation cost — extra
+// memory references per fault class — the table EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	cluefault [-packets 4000] [-size 4000] [-rate 0.3] [-seed 1999]
+//	          [-workers 4] [-flips 200] [-full]
+//
+// Exit status is nonzero if any cell violates the invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fault"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cluefault: ")
+	var (
+		packets = flag.Int("packets", 4000, "packets per soak cell")
+		size    = flag.Int("size", 4000, "synthetic router table size")
+		rate    = flag.Float64("rate", 0.3, "per-packet fault probability")
+		seed    = flag.Int64("seed", 1999, "seed for tables, workload and injectors")
+		workers = flag.Int("workers", 4, "forwarding goroutines in the churn soak")
+		flips   = flag.Int("flips", 200, "route flips in the churn soak")
+		full    = flag.Bool("full", false, "print the per-engine cell table too")
+	)
+	flag.Parse()
+
+	cells, err := fault.Soak(fault.SoakConfig{
+		Seed: *seed, Packets: *packets, TableSize: *size, Rate: *rate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	churn, err := fault.ChurnSoak(fault.ChurnConfig{
+		Seed: *seed, Workers: *workers, Packets: *packets / 2,
+		Flips: *flips, TableSize: *size,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *full {
+		fmt.Println("per-cell soak results (one row per fault class x method x engine):")
+		fmt.Println(fault.Report(cells))
+	}
+	fmt.Printf("degradation cost per fault class (averaged over the five engines, %d packets/cell, rate %.2f):\n", *packets, *rate)
+	fmt.Println(fault.SummaryReport(cells))
+	fmt.Println("route churn on ConcurrentTable (answers checked against both route states):")
+	fmt.Println(fault.ChurnReport(churn))
+
+	violations := 0
+	for _, c := range cells {
+		violations += c.Violations
+	}
+	for _, r := range churn {
+		violations += int(r.Violations)
+	}
+	if violations > 0 {
+		log.Printf("INVARIANT VIOLATED %d times — a fault changed a next hop", violations)
+		os.Exit(1)
+	}
+	fmt.Println("invariant held on every packet: faults cost references, never a next hop.")
+}

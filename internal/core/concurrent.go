@@ -28,16 +28,24 @@ func NewConcurrentTable(t *Table) *ConcurrentTable {
 	return &ConcurrentTable{t: t}
 }
 
-// Process is the concurrent equivalent of Table.Process.
+// Process is the concurrent equivalent of Table.Process: the bad-clue
+// guard runs before any locking, and sender verification (Config.Verify)
+// runs under the read lock — the sender trie, like the engine, is only
+// mutated inside Mutate, which holds the write lock.
 //
 //cluevet:hotpath
 func (c *ConcurrentTable) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) Result {
 	clue := ip.DecodeClue(dest, clueLen)
-	cnt.Add(1)
 	c.mu.RLock()
+	if clueLen < 0 || clueLen > c.t.width {
+		res := c.t.fullLookup(dest, cnt, OutcomeBadClue)
+		c.mu.RUnlock()
+		return res
+	}
+	cnt.Add(1)
 	e, ok := c.t.entries[clue]
 	if ok && e.valid {
-		res := processEntry(e, dest, cnt)
+		res := c.t.processValid(e, dest, cnt)
 		c.mu.RUnlock()
 		return res
 	}
@@ -50,11 +58,11 @@ func (c *ConcurrentTable) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) R
 	e, ok = c.t.entries[clue]
 	switch {
 	case ok && e.valid:
-		return processEntry(e, dest, cnt)
+		return c.t.processValid(e, dest, cnt)
 	case ok: // invalid entry: full lookup, no relearning (§3.4 marking)
 		return c.t.fullLookup(dest, cnt, OutcomeInvalid)
 	default:
-		if c.t.cfg.Learn {
+		if c.t.learnable() {
 			c.t.entries[clue] = c.t.newEntry(clue)
 			c.t.noteClue(clue)
 			c.t.learned++

@@ -75,6 +75,15 @@ const (
 	// OutcomeNoClue: the packet carried no clue; a full lookup was
 	// performed (legacy upstream router, §5.3).
 	OutcomeNoClue
+	// OutcomeBadClue: the clue length was outside [0, W] for the table's
+	// address family — a malformed or corrupted header. The clue table was
+	// not probed; a full lookup decided the packet.
+	OutcomeBadClue
+	// OutcomeSuspect: sender verification (Config.Verify) refuted the
+	// clue — it is not the sending neighbor's best matching prefix of the
+	// destination, so Claim 1's premise does not hold and the entry cannot
+	// be trusted. A full lookup decided the packet.
+	OutcomeSuspect
 )
 
 // String implements fmt.Stringer.
@@ -90,9 +99,25 @@ func (o Outcome) String() string {
 		return "miss"
 	case OutcomeInvalid:
 		return "invalid"
+	case OutcomeBadClue:
+		return "bad-clue"
+	case OutcomeSuspect:
+		return "suspect"
 	default:
 		return "no-clue"
 	}
+}
+
+// Degraded reports whether the outcome means the clue did not decide the
+// packet and the router fell back to a full lookup. Degraded outcomes are
+// the explicit "graceful degradation" signal: the forwarding decision is
+// still exactly the full-lookup answer, only the cost differs.
+func (o Outcome) Degraded() bool {
+	switch o {
+	case OutcomeMiss, OutcomeInvalid, OutcomeNoClue, OutcomeBadClue, OutcomeSuspect:
+		return true
+	}
+	return false
 }
 
 // Result is the forwarding decision for one packet.
@@ -120,6 +145,11 @@ type Entry struct {
 	fd    decision
 	ptr   lookup.Resume
 	valid bool
+	// Sender-verification state (Config.Verify): the clue's vertex in the
+	// sender's trie and whether it is a sender prefix. A clue that is not
+	// a marked sender vertex cannot be the sender's BMP of anything.
+	senderNode   *trie.Node
+	senderMarked bool
 }
 
 // Clue returns the clue string this entry is for.
@@ -153,12 +183,32 @@ type Config struct {
 	// Learn enables learning clues on the fly (§3.3.1). When false, a
 	// clue miss performs a full lookup but the table is not modified.
 	Learn bool
+	// LearnLimit caps the number of entries learned on the fly; 0 means
+	// unlimited. §3.4's never-remove-clues rule turns learning into a
+	// memory-exhaustion vector when clues can be forged — every distinct
+	// corrupted clue becomes a permanent entry. Past the limit a miss
+	// still routes correctly by full lookup; it just stops learning.
+	LearnLimit int
+	// SenderTrie is the sending neighbor's trie, required when Verify is
+	// set (the membership predicate in Sender cannot be walked).
+	SenderTrie *trie.Trie
+	// Verify hardens the Advance method against clues that are not the
+	// sender's best matching prefix of the destination (corrupted, forged
+	// or stale clues). Before trusting an entry, Process walks SenderTrie
+	// below the clue along the destination: if a longer sender prefix
+	// matches — or the clue is not a sender prefix at all — the clue
+	// provably is not the sender's BMP, Claim 1's premise fails, and the
+	// packet degrades to a full lookup with OutcomeSuspect. The walk is
+	// charged to the packet, making the cost of distrust measurable.
+	// Requires Method == Advance and SenderTrie.
+	Verify bool
 }
 
 // Table is the per-neighbor clue hash table of §3 (the 5-bit-header,
 // hash-function flavor; see IndexedTable for the 5+16-bit flavor).
 type Table struct {
 	cfg     Config
+	width   int // address width of the Local family, for clue validation
 	entries map[ip.Prefix]*Entry
 	clues   *trie.Trie // shadow trie of clue keys, for route-change updates
 	learned int
@@ -167,13 +217,23 @@ type Table struct {
 // NewTable creates a clue table. The Advance method requires sender
 // knowledge.
 func NewTable(cfg Config) (*Table, error) {
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	return &Table{cfg: cfg, width: cfg.Local.Family().Width(), entries: make(map[ip.Prefix]*Entry)}, nil
+}
+
+func checkConfig(cfg Config) error {
 	if cfg.Engine == nil || cfg.Local == nil {
-		return nil, errors.New("core: Config.Engine and Config.Local are required")
+		return errors.New("core: Config.Engine and Config.Local are required")
 	}
 	if cfg.Method == Advance && cfg.Sender == nil {
-		return nil, errors.New("core: the Advance method requires Config.Sender (use NoSenderInfo to degrade to Simple behavior)")
+		return errors.New("core: the Advance method requires Config.Sender (use NoSenderInfo to degrade to Simple behavior)")
 	}
-	return &Table{cfg: cfg, entries: make(map[ip.Prefix]*Entry)}, nil
+	if cfg.Verify && (cfg.Method != Advance || cfg.SenderTrie == nil) {
+		return errors.New("core: Config.Verify requires the Advance method and Config.SenderTrie (Simple is sound for arbitrary clues without verification)")
+	}
+	return nil
 }
 
 // MustNewTable is NewTable that panics on error, for tests and examples.
@@ -202,6 +262,10 @@ func (t *Table) newEntry(c ip.Prefix) *Entry { return buildEntry(t.cfg, c) }
 
 func buildEntry(cfg Config, c ip.Prefix) *Entry {
 	e := &Entry{clue: c, valid: true}
+	if cfg.Verify {
+		e.senderNode = cfg.SenderTrie.Find(c)
+		e.senderMarked = e.senderNode != nil && e.senderNode.Marked()
+	}
 	fp, fv, fok := cfg.Local.BMPOf(c)
 	e.fd = decision{prefix: fp, value: fv, ok: fok}
 	node := cfg.Local.Find(c)
@@ -284,14 +348,22 @@ func (t *Table) ProcessNoClue(dest ip.Addr, c *mem.Counter) Result {
 // packet's is free ("a check that can be done very fast in hardware or one
 // assembly instruction").
 //
+// A clue length outside [0, W] is a malformed header (bit-flipped or
+// forged): the table is not probed and the packet degrades to a full
+// lookup flagged OutcomeBadClue. The range check itself is register
+// arithmetic and costs no reference.
+//
 //cluevet:hotpath
 func (t *Table) Process(dest ip.Addr, clueLen int, c *mem.Counter) Result {
+	if clueLen < 0 || clueLen > t.width {
+		return t.fullLookup(dest, c, OutcomeBadClue)
+	}
 	clue := ip.DecodeClue(dest, clueLen)
 	c.Add(1) // the clue-table reference
 	e, ok := t.entries[clue]
 	if !ok {
 		// Never saw this clue: route by full lookup, then learn it.
-		if t.cfg.Learn {
+		if t.learnable() {
 			t.entries[clue] = t.newEntry(clue)
 			t.noteClue(clue)
 			t.learned++
@@ -301,7 +373,45 @@ func (t *Table) Process(dest ip.Addr, clueLen int, c *mem.Counter) Result {
 	if !e.valid {
 		return t.fullLookup(dest, c, OutcomeInvalid)
 	}
+	return t.processValid(e, dest, c)
+}
+
+// learnable reports whether a miss may add an entry: learning is on and
+// the LearnLimit cap (the §3.4 never-remove rule makes every learned entry
+// permanent) has not been reached.
+func (t *Table) learnable() bool {
+	return t.cfg.Learn && (t.cfg.LearnLimit == 0 || t.learned < t.cfg.LearnLimit)
+}
+
+// processValid applies a valid entry to a destination, first re-verifying
+// the clue against the sender's trie when the table is hardened
+// (Config.Verify). The verification walk starts at the clue's sender
+// vertex and follows the destination bits: finding a marked sender prefix
+// longer than the clue proves the clue is not the sender's BMP of this
+// destination, so the Claim-1 pruning baked into the entry is unsound for
+// this packet and it degrades to a full lookup.
+//
+//cluevet:hotpath
+func (t *Table) processValid(e *Entry, dest ip.Addr, c *mem.Counter) Result {
+	if t.cfg.Verify && clueRefuted(t.cfg.SenderTrie, e, dest, c) {
+		return t.fullLookup(dest, c, OutcomeSuspect)
+	}
 	return processEntry(e, dest, c)
+}
+
+// clueRefuted reports whether sender verification disproves that e's clue
+// is the sender's BMP of dest: the clue is not a marked sender vertex (no
+// cooperative Advance sender can have attached it), or a marked sender
+// prefix longer than the clue matches the destination (the sender would
+// have attached that longer clue). The walk is charged to the packet.
+//
+//cluevet:hotpath
+func clueRefuted(sender *trie.Trie, e *Entry, dest ip.Addr, c *mem.Counter) bool {
+	if !e.senderMarked {
+		return true
+	}
+	p, _, ok := sender.LookupFrom(e.senderNode, dest, c)
+	return ok && p.Len() > e.clue.Len()
 }
 
 // processEntry applies a clue entry to a destination: FD when Ptr is
@@ -359,6 +469,7 @@ func CountProblematic(local *trie.Trie, clues []ip.Prefix, sender func(ip.Prefix
 // pre-synchronization").
 type IndexedTable struct {
 	cfg   Config
+	width int
 	slots []*Entry
 }
 
@@ -368,13 +479,10 @@ func NewIndexedTable(cfg Config, slots int) (*IndexedTable, error) {
 	if slots <= 0 || slots > 1<<16 {
 		return nil, fmt.Errorf("core: slot count %d outside (0, 65536]", slots)
 	}
-	if cfg.Engine == nil || cfg.Local == nil {
-		return nil, errors.New("core: Config.Engine and Config.Local are required")
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
 	}
-	if cfg.Method == Advance && cfg.Sender == nil {
-		return nil, errors.New("core: the Advance method requires Config.Sender")
-	}
-	return &IndexedTable{cfg: cfg, slots: make([]*Entry, slots)}, nil
+	return &IndexedTable{cfg: cfg, width: cfg.Local.Family().Width(), slots: make([]*Entry, slots)}, nil
 }
 
 // Slots returns the capacity of the table.
@@ -384,11 +492,15 @@ func (t *IndexedTable) Slots() int { return len(t.slots) }
 // costs one reference; a clue mismatch triggers a full lookup and the slot
 // is relearned.
 func (t *IndexedTable) Process(dest ip.Addr, clueLen, index int, c *mem.Counter) Result {
+	if clueLen < 0 || clueLen > t.width {
+		p, v, ok := t.cfg.Engine.Lookup(dest, c)
+		return Result{Prefix: p, Value: v, OK: ok, Outcome: OutcomeBadClue}
+	}
 	clue := ip.DecodeClue(dest, clueLen)
 	c.Add(1) // the sequential-table reference
 	if index < 0 || index >= len(t.slots) {
 		p, v, ok := t.cfg.Engine.Lookup(dest, c)
-		return Result{Prefix: p, Value: v, OK: ok, Outcome: OutcomeMiss}
+		return Result{Prefix: p, Value: v, OK: ok, Outcome: OutcomeBadClue}
 	}
 	e := t.slots[index]
 	if e == nil || e.clue != clue {
@@ -396,6 +508,10 @@ func (t *IndexedTable) Process(dest ip.Addr, clueLen, index int, c *mem.Counter)
 		t.slots[index] = buildEntry(t.cfg, clue)
 		p, v, ok := t.cfg.Engine.Lookup(dest, c)
 		return Result{Prefix: p, Value: v, OK: ok, Outcome: OutcomeMiss}
+	}
+	if t.cfg.Verify && clueRefuted(t.cfg.SenderTrie, e, dest, c) {
+		p, v, ok := t.cfg.Engine.Lookup(dest, c)
+		return Result{Prefix: p, Value: v, OK: ok, Outcome: OutcomeSuspect}
 	}
 	return processEntry(e, dest, c)
 }

@@ -314,13 +314,13 @@ func TestIndexedTable(t *testing.T) {
 			}
 		}
 	}
-	// Out-of-range index falls back to a full lookup.
+	// Out-of-range index is a malformed header: full lookup, flagged.
 	a := ip.MustParseAddr("10.0.0.1")
-	if res := it.Process(a, 8, -1, nil); res.Outcome != OutcomeMiss {
-		t.Error("negative index should be a miss")
+	if res := it.Process(a, 8, -1, nil); res.Outcome != OutcomeBadClue {
+		t.Error("negative index should be flagged bad-clue")
 	}
-	if res := it.Process(a, 8, 99999, nil); res.Outcome != OutcomeMiss {
-		t.Error("overflow index should be a miss")
+	if res := it.Process(a, 8, 99999, nil); res.Outcome != OutcomeBadClue {
+		t.Error("overflow index should be flagged bad-clue")
 	}
 }
 

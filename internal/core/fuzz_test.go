@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/trie"
+)
+
+// fuzzFixture is a fixed sender/receiver pair shared by all fuzz
+// iterations. Learning is capped so a long fuzz run cannot grow the
+// tables without bound (every learned clue is permanent per §3.4).
+type fuzzFixture struct {
+	recv   *trie.Trie
+	recv6  *trie.Trie
+	tables []*Table
+}
+
+func newFuzzFixture() *fuzzFixture {
+	sender := buildTrie([]ip.Prefix{
+		pfx("0.0.0.0/2"), pfx("0.0.0.0/4"), pfx("10.0.0.0/8"), pfx("10.1.0.0/16"),
+		pfx("10.1.2.0/24"), pfx("192.168.0.0/16"), pfx("0.0.0.0/0"), pfx("204.17.32.0/20"),
+	})
+	recv := buildTrie([]ip.Prefix{
+		pfx("0.0.0.0/1"), pfx("0.0.0.0/6"), pfx("10.0.0.0/8"), pfx("10.1.2.0/25"),
+		pfx("10.1.2.128/26"), pfx("192.168.4.0/24"), pfx("204.17.33.0/24"), pfx("204.17.33.32/28"),
+	})
+	sender6 := trie.New(ip.IPv6)
+	recv6 := trie.New(ip.IPv6)
+	for i, s := range []string{"2001:db8::/32", "2001:db8:17::/48", "::/3"} {
+		sender6.Insert(ip.MustParsePrefix(s), i)
+	}
+	for i, s := range []string{"2001:db8::/34", "2001:db8:17:33::/64", "::/2", "2001:db8:17:33::40/126"} {
+		recv6.Insert(ip.MustParsePrefix(s), i)
+	}
+	inSender := func(p ip.Prefix) bool { return sender.Contains(p) }
+	inSender6 := func(p ip.Prefix) bool { return sender6.Contains(p) }
+	fx := &fuzzFixture{recv: recv, recv6: recv6}
+	for _, eng := range []lookup.ClueEngine{lookup.NewRegular(recv), lookup.NewPatricia(recv)} {
+		fx.tables = append(fx.tables,
+			MustNewTable(Config{Method: Simple, Engine: eng, Local: recv, Learn: true, LearnLimit: 1 << 12}),
+			MustNewTable(Config{Method: Advance, Engine: eng, Local: recv, Sender: inSender,
+				Learn: true, LearnLimit: 1 << 12, Verify: true, SenderTrie: sender}),
+		)
+	}
+	fx.tables = append(fx.tables,
+		MustNewTable(Config{Method: Advance, Engine: lookup.NewPatricia(recv6), Local: recv6,
+			Sender: inSender6, Learn: true, LearnLimit: 1 << 12, Verify: true, SenderTrie: sender6}))
+	return fx
+}
+
+// FuzzProcessArbitraryClue feeds Process arbitrary clue lengths — in
+// range, negative, beyond the address width, vertex and non-vertex — and
+// asserts the §3.4 invariant: never a panic, and the result is exactly
+// the engine's full lookup (a corrupted clue may only cost references,
+// flagged by a Degraded outcome; it may never change the next hop).
+func FuzzProcessArbitraryClue(f *testing.F) {
+	fx := newFuzzFixture()
+	f.Add(uint32(0x0A010203), int16(8))
+	f.Add(uint32(0x0A010280), int16(26))
+	f.Add(uint32(0), int16(-1))
+	f.Add(uint32(0xCC112140), int16(33))
+	f.Add(uint32(0xFFFFFFFF), int16(1024))
+	f.Add(uint32(1), int16(-32768))
+	f.Fuzz(func(t *testing.T, destBits uint32, clueLen16 int16) {
+		clueLen := int(clueLen16)
+		dest := ip.AddrFrom32(destBits)
+		dest6 := ip.AddrFrom128(uint64(0x20010db800170033), uint64(destBits))
+		for i, tab := range fx.tables {
+			d, local := dest, fx.recv
+			if tab.cfg.Local.Family() == ip.IPv6 {
+				d, local = dest6, fx.recv6
+			}
+			res := tab.Process(d, clueLen, nil)
+			wp, wv, wok := local.Lookup(d, nil)
+			if res.OK != wok || (wok && (res.Prefix != wp || res.Value != wv)) {
+				t.Fatalf("table %d clue %d dest %v: got %v/%v/%v want %v/%v",
+					i, clueLen, d, res.Prefix, res.OK, res.Outcome, wp, wok)
+			}
+			if (clueLen < 0 || clueLen > local.Family().Width()) && res.Outcome != OutcomeBadClue {
+				t.Fatalf("table %d: out-of-range clue %d not flagged (%v)", i, clueLen, res.Outcome)
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+
+func TestVerifyConfigValidation(t *testing.T) {
+	tr := buildTrie(nil)
+	eng := lookup.NewRegular(tr)
+	st := buildTrie(nil)
+	if _, err := NewTable(Config{Method: Simple, Engine: eng, Local: tr, Verify: true, SenderTrie: st}); err == nil {
+		t.Error("Verify with Simple should fail (Simple needs no verification)")
+	}
+	if _, err := NewTable(Config{Method: Advance, Engine: eng, Local: tr, Sender: NoSenderInfo, Verify: true}); err == nil {
+		t.Error("Verify without SenderTrie should fail")
+	}
+	if _, err := NewTable(Config{Method: Advance, Engine: eng, Local: tr, Sender: NoSenderInfo, Verify: true, SenderTrie: st}); err != nil {
+		t.Errorf("valid Verify config: %v", err)
+	}
+	if _, err := NewIndexedTable(Config{Method: Simple, Engine: eng, Local: tr, Verify: true, SenderTrie: st}, 16); err == nil {
+		t.Error("indexed Verify with Simple should fail")
+	}
+}
+
+func TestOutcomeFlags(t *testing.T) {
+	degraded := map[Outcome]bool{
+		OutcomeFD: false, OutcomeResumeHit: false, OutcomeResumeFD: false,
+		OutcomeMiss: true, OutcomeInvalid: true, OutcomeNoClue: true,
+		OutcomeBadClue: true, OutcomeSuspect: true,
+	}
+	for o, want := range degraded {
+		if o.Degraded() != want {
+			t.Errorf("%v.Degraded() = %v, want %v", o, o.Degraded(), want)
+		}
+	}
+	if OutcomeBadClue.String() != "bad-clue" || OutcomeSuspect.String() != "suspect" {
+		t.Errorf("outcome strings: %v, %v", OutcomeBadClue, OutcomeSuspect)
+	}
+}
+
+// TestBadClueDegrades: a clue length outside [0, W] is flagged and routed
+// by full lookup in all three table flavors, with the table not modified.
+func TestBadClueDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	t1, t2 := neighborPair(rng, 60)
+	eng := lookup.NewPatricia(t2)
+	cfg := Config{Method: Simple, Engine: eng, Local: t2, Learn: true}
+	tab := MustNewTable(cfg)
+	ct := NewConcurrentTable(MustNewTable(cfg))
+	it, err := NewIndexedTable(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = t1
+	dest := ip.MustParseAddr("10.1.2.3")
+	wp, _, wok := t2.Lookup(dest, nil)
+	for _, bad := range []int{-1, -100, 33, 64, 1 << 20} {
+		if res := tab.Process(dest, bad, nil); res.Outcome != OutcomeBadClue || res.OK != wok || (wok && res.Prefix != wp) {
+			t.Errorf("Table clue %d: got %v/%v/%v", bad, res.Prefix, res.OK, res.Outcome)
+		}
+		if res := ct.Process(dest, bad, nil); res.Outcome != OutcomeBadClue || res.OK != wok || (wok && res.Prefix != wp) {
+			t.Errorf("ConcurrentTable clue %d: got %v/%v/%v", bad, res.Prefix, res.OK, res.Outcome)
+		}
+		if res := it.Process(dest, bad, 0, nil); res.Outcome != OutcomeBadClue || res.OK != wok || (wok && res.Prefix != wp) {
+			t.Errorf("IndexedTable clue %d: got %v/%v/%v", bad, res.Prefix, res.OK, res.Outcome)
+		}
+	}
+	if tab.Len() != 0 || ct.Len() != 0 {
+		t.Error("bad clues must not be learned")
+	}
+}
+
+// forgedClueFixture is the minimal topology on which an adversarial clue
+// defeats the unverified Advance method: the sender holds {/2, /4}, the
+// receiver {/1, /6}, all on the all-zeros path. The sender's true BMP of
+// dest is /4; a forged /2 clue makes Claim-1 pruning hide the receiver's
+// /6 behind the sender's /4 and the entry decides with the /1 FD.
+func forgedClueFixture() (sender, recv *trie.Trie, dest ip.Addr) {
+	sender = buildTrie([]ip.Prefix{pfx("0.0.0.0/2"), pfx("0.0.0.0/4")})
+	recv = buildTrie([]ip.Prefix{pfx("0.0.0.0/1"), pfx("0.0.0.0/6")})
+	return sender, recv, ip.MustParseAddr("0.0.0.1")
+}
+
+// TestForgedClueDefeatsUnverifiedAdvance pins down the vulnerability that
+// Config.Verify exists to close: it asserts the unverified Advance method
+// really does return the WRONG next hop for a forged clue. If this test
+// ever fails, the fault model in DESIGN.md §8 needs rewriting.
+func TestForgedClueDefeatsUnverifiedAdvance(t *testing.T) {
+	sender, recv, dest := forgedClueFixture()
+	inSender := func(p ip.Prefix) bool { return sender.Contains(p) }
+	tab := MustNewTable(Config{
+		Method: Advance, Engine: lookup.NewRegular(recv), Local: recv,
+		Sender: inSender, Learn: true,
+	})
+	wp, _, _ := recv.Lookup(dest, nil)
+	if wp != pfx("0.0.0.0/6") {
+		t.Fatalf("fixture: full lookup = %v, want /6", wp)
+	}
+	// First packet learns the forged clue (miss: full lookup, correct).
+	if res := tab.Process(dest, 2, nil); res.Outcome != OutcomeMiss || res.Prefix != wp {
+		t.Fatalf("learning packet: %v/%v", res.Prefix, res.Outcome)
+	}
+	// Second packet hits the poisoned entry and is misrouted.
+	res := tab.Process(dest, 2, nil)
+	if res.Prefix != pfx("0.0.0.0/1") {
+		t.Fatalf("expected the forged clue to misroute to /1, got %v (%v)", res.Prefix, res.Outcome)
+	}
+}
+
+// TestVerifyCatchesForgedClue: the hardened table refutes the same forged
+// clue, degrades to a full lookup flagged OutcomeSuspect, and still
+// resolves genuine clues through the entry.
+func TestVerifyCatchesForgedClue(t *testing.T) {
+	sender, recv, dest := forgedClueFixture()
+	inSender := func(p ip.Prefix) bool { return sender.Contains(p) }
+	cfg := Config{
+		Method: Advance, Engine: lookup.NewRegular(recv), Local: recv,
+		Sender: inSender, Learn: true, Verify: true, SenderTrie: sender,
+	}
+	wp, _, _ := recv.Lookup(dest, nil)
+	for name, process := range map[string]func(ip.Addr, int, *mem.Counter) Result{
+		"Table":           MustNewTable(cfg).Process,
+		"ConcurrentTable": NewConcurrentTable(MustNewTable(cfg)).Process,
+	} {
+		process(dest, 2, nil) // learn the forged clue
+		res := process(dest, 2, nil)
+		if res.Outcome != OutcomeSuspect || res.Prefix != wp {
+			t.Errorf("%s forged clue: got %v/%v, want %v/suspect", name, res.Prefix, res.Outcome, wp)
+		}
+		// The genuine clue (the sender's real BMP, /4) passes verification
+		// and resolves through the entry to the receiver's /6.
+		process(dest, 4, nil)
+		res = process(dest, 4, nil)
+		if res.Outcome.Degraded() || res.Prefix != wp {
+			t.Errorf("%s genuine clue: got %v/%v, want %v undegraded", name, res.Prefix, res.Outcome, wp)
+		}
+	}
+}
+
+// Property: the hardened Advance table equals the direct full lookup for
+// EVERY clue length, in range or not, vertex or non-vertex — the §3.4
+// graceful-degradation invariant under adversarial clues.
+func TestVerifiedAdvanceArbitraryClues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1999))
+	for trial := 0; trial < 5; trial++ {
+		t1, t2 := neighborPair(rng, 80)
+		inT1 := func(p ip.Prefix) bool { return t1.Contains(p) }
+		for _, eng := range lookup.All(t2) {
+			tab := MustNewTable(Config{
+				Method: Advance, Engine: eng, Local: t2,
+				Sender: inT1, Learn: true, Verify: true, SenderTrie: t1,
+			})
+			for i := 0; i < 400; i++ {
+				a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+				clueLen := rng.Intn(48) - 8 // [-8, 40): in and out of range
+				wp, wv, wok := t2.Lookup(a, nil)
+				res := tab.Process(a, clueLen, nil)
+				if res.OK != wok || (wok && (res.Prefix != wp || res.Value != wv)) {
+					t.Fatalf("engine %s clue %d dest %v: got %v/%v want %v/%v (%v)",
+						eng.Name(), clueLen, a, res.Prefix, res.OK, wp, wok, res.Outcome)
+				}
+				if (clueLen < 0 || clueLen > 32) && res.Outcome != OutcomeBadClue {
+					t.Fatalf("out-of-range clue %d not flagged: %v", clueLen, res.Outcome)
+				}
+			}
+		}
+	}
+}
+
+func TestLearnLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	_, t2 := neighborPair(rng, 60)
+	tab := MustNewTable(Config{
+		Method: Simple, Engine: lookup.NewPatricia(t2), Local: t2,
+		Learn: true, LearnLimit: 3,
+	})
+	for i := 0; i < 20; i++ {
+		a := ip.AddrFrom32(rng.Uint32() & 0x3F0F00FF)
+		wp, _, wok := t2.Lookup(a, nil)
+		res := tab.Process(a, i%28, nil)
+		if res.OK != wok || (wok && res.Prefix != wp) {
+			t.Fatalf("packet %d: got %v/%v want %v/%v", i, res.Prefix, res.OK, wp, wok)
+		}
+	}
+	if tab.Learned() > 3 || tab.Len() > 3 {
+		t.Errorf("learn limit exceeded: learned %d, len %d", tab.Learned(), tab.Len())
+	}
+}

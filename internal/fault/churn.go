@@ -1,0 +1,268 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/synth"
+	"repro/internal/trie"
+)
+
+// ChurnConfig configures a ChurnSoak run.
+type ChurnConfig struct {
+	Seed int64
+	// Workers is the number of concurrent forwarding goroutines. Default 4.
+	Workers int
+	// Packets each worker processes. Default 2000.
+	Packets int
+	// Flips is how many times the churn goroutine toggles the flip prefix
+	// in and out of the receiver's table. Default 200.
+	Flips int
+	// TableSize / Divergence shape the synthetic tables as in SoakConfig.
+	TableSize  int
+	Divergence float64
+	// LearnLimit caps clue learning. Default 1<<14.
+	LearnLimit int
+}
+
+func (cfg *ChurnConfig) fill() {
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Packets == 0 {
+		cfg.Packets = 2000
+	}
+	if cfg.Flips == 0 {
+		cfg.Flips = 200
+	}
+	if cfg.TableSize == 0 {
+		cfg.TableSize = 2000
+	}
+	if cfg.Divergence == 0 {
+		cfg.Divergence = 0.02
+	}
+	if cfg.LearnLimit == 0 {
+		cfg.LearnLimit = 1 << 14
+	}
+}
+
+// ChurnResult is one ClassChurn soak cell: concurrent route updates
+// (UpdateLocal, UpdateSender, Invalidate/Revalidate under Mutate) racing
+// forwarding goroutines on a ConcurrentTable. Violations counts answers
+// matching NEITHER route state — during churn a packet may legitimately
+// see the table before or after a flip, so the invariant is two-valued.
+type ChurnResult struct {
+	Engine string
+	Method core.Method
+
+	Packets       int // total lookups across the workers
+	Flips         int // receiver-table route flips applied
+	SenderFlips   int // sender-table flips (Advance only)
+	Invalidations int // §3.4 invalidate/revalidate pairs applied
+	Violations    int64
+}
+
+// answer is a full-lookup reference result.
+type answer struct {
+	p  ip.Prefix
+	v  int
+	ok bool
+}
+
+func lookupAnswer(t *trie.Trie, a ip.Addr) answer {
+	p, v, ok := t.Lookup(a, nil)
+	return answer{p, v, ok}
+}
+
+func matches(res core.Result, w answer) bool {
+	return res.OK == w.ok && (!w.ok || (res.Prefix == w.p && res.Value == w.v))
+}
+
+// engineMakers lets each churn cell rebuild its engine after a route
+// change: compiled engines snapshot the trie at build time, so Mutate
+// swaps in a rebuilt engine before UpdateLocal recomputes entries.
+var engineMakers = []func(*trie.Trie) lookup.ClueEngine{
+	func(t *trie.Trie) lookup.ClueEngine { return lookup.NewRegular(t) },
+	func(t *trie.Trie) lookup.ClueEngine { return lookup.NewPatricia(t) },
+	func(t *trie.Trie) lookup.ClueEngine { return lookup.NewBinary(t) },
+	func(t *trie.Trie) lookup.ClueEngine { return lookup.NewBWay(t) },
+	func(t *trie.Trie) lookup.ClueEngine { return lookup.NewLogW(t) },
+}
+
+// ChurnSoak drives the ClassChurn fault: for every method × engine it runs
+// cfg.Workers forwarding goroutines against a ConcurrentTable while a
+// churn goroutine flips one route in and out of the receiver's table (and,
+// for Advance, the sender's), invalidates and revalidates a live clue, and
+// rebuilds the engine — all under Mutate. Every answer must equal the full
+// lookup in one of the two route states; after the dust settles, the
+// current state's answer exactly.
+func ChurnSoak(cfg ChurnConfig) ([]ChurnResult, error) {
+	cfg.fill()
+	u := synth.NewUniverse(cfg.Seed, cfg.TableSize+cfg.TableSize/4)
+	sfib := u.Router(synth.RouterSpec{Name: "churn-sender", Size: cfg.TableSize, Divergence: cfg.Divergence})
+	rfib := u.Router(synth.RouterSpec{Name: "churn-recv", Size: cfg.TableSize, Divergence: cfg.Divergence})
+
+	baseT1 := sfib.Trie()
+	wl := synth.NewWorkload(cfg.Seed+1, sfib)
+	pkts := make([]packet, cfg.Packets)
+	for i := range pkts {
+		d := wl.Next()
+		clue := NoClue
+		if p, _, ok := baseT1.Lookup(d, nil); ok {
+			clue = p.Len()
+		}
+		pkts[i] = packet{d, clue}
+	}
+
+	// The flip prefix: a specific under the first destination, absent from
+	// both tables, so inserting it changes that destination's answer.
+	const flipVal = 424242
+	baseT2 := rfib.Trie()
+	d0 := pkts[0].dest
+	flip := ip.PrefixFrom(d0, 28)
+	for l := 27; l > 8 && (baseT2.Contains(flip) || baseT1.Contains(flip)); l-- {
+		flip = ip.PrefixFrom(d0, l)
+	}
+	sflip := ip.PrefixFrom(d0, 10) // sender-side flip: changes cost, never answers
+	cluePfx := ip.PrefixFrom(d0, pkts[0].clue)
+
+	// Reference answers for both route states, per packet.
+	refB := rfib.Trie() // state B: flip absent (the initial state)
+	refA := rfib.Trie() // state A: flip present
+	refA.Insert(flip, flipVal)
+	wA := make([]answer, len(pkts))
+	wB := make([]answer, len(pkts))
+	for i, p := range pkts {
+		wA[i] = lookupAnswer(refA, p.dest)
+		wB[i] = lookupAnswer(refB, p.dest)
+	}
+
+	var out []ChurnResult
+	for _, method := range []core.Method{core.Simple, core.Advance} {
+		for _, mk := range engineMakers {
+			res, err := runChurnCell(cfg, method, mk, sfib.Trie(), rfib.Trie(),
+				pkts, flip, flipVal, sflip, cluePfx, wA, wB)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+func runChurnCell(cfg ChurnConfig, method core.Method,
+	mk func(*trie.Trie) lookup.ClueEngine, t1, t2 *trie.Trie,
+	pkts []packet, flip ip.Prefix, flipVal int, sflip, cluePfx ip.Prefix,
+	wA, wB []answer) (ChurnResult, error) {
+	eng := mk(t2)
+	tcfg := core.Config{
+		Method: method, Engine: eng, Local: t2,
+		Learn: true, LearnLimit: cfg.LearnLimit,
+	}
+	if method == core.Advance {
+		tcfg.Sender = func(p ip.Prefix) bool { return t1.Contains(p) }
+		tcfg.Verify = true
+		tcfg.SenderTrie = t1
+	}
+	tab, err := core.NewTable(tcfg)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	ct := core.NewConcurrentTable(tab)
+	cell := ChurnResult{Engine: eng.Name(), Method: method}
+
+	var violations int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, p := range pkts {
+				var res core.Result
+				if p.clue == NoClue {
+					res = ct.ProcessNoClue(p.dest, nil)
+				} else {
+					res = ct.Process(p.dest, p.clue, nil)
+				}
+				if !matches(res, wA[i]) && !matches(res, wB[i]) {
+					atomic.AddInt64(&violations, 1)
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for f := 0; f < cfg.Flips; f++ {
+			in := f%2 == 0 // even flips insert, odd flips remove
+			ct.Mutate(func(tab *core.Table) {
+				if in {
+					t2.Insert(flip, flipVal)
+				} else {
+					t2.Delete(flip)
+				}
+				tab.SetEngine(mk(t2))
+				tab.UpdateLocal(flip)
+			})
+			cell.Flips++
+			if method == core.Advance && f%3 == 0 {
+				ct.Mutate(func(tab *core.Table) {
+					if t1.Contains(sflip) {
+						t1.Delete(sflip)
+					} else {
+						t1.Insert(sflip, 0)
+					}
+					tab.UpdateSender(sflip)
+				})
+				cell.SenderFlips++
+			}
+			if f%5 == 0 && ct.Invalidate(cluePfx) {
+				cell.Invalidations++
+				ct.Revalidate(cluePfx)
+			}
+		}
+	}()
+	wg.Wait()
+	cell.Packets = cfg.Workers * len(pkts)
+
+	// Quiesced: the table must now agree with the settled route state on
+	// every packet — the two-valued invariant collapses back to one.
+	want := wB
+	if t2.Contains(flip) {
+		want = wA
+	}
+	for i, p := range pkts {
+		var res core.Result
+		if p.clue == NoClue {
+			res = ct.ProcessNoClue(p.dest, nil)
+		} else {
+			res = ct.Process(p.dest, p.clue, nil)
+		}
+		if !matches(res, want[i]) {
+			violations++
+		}
+		cell.Packets++
+	}
+	cell.Violations = violations
+	return cell, nil
+}
+
+// ChurnReport renders the churn results as a table.
+func ChurnReport(results []ChurnResult) string {
+	t := mem.NewTable("fault", "method", "engine", "packets", "flips",
+		"sender flips", "invalidations", "violations")
+	for _, r := range results {
+		t.AddRow(ClassChurn.String(), r.Method.String(), r.Engine,
+			fmt.Sprint(r.Packets), fmt.Sprint(r.Flips),
+			fmt.Sprint(r.SenderFlips), fmt.Sprint(r.Invalidations),
+			fmt.Sprint(r.Violations))
+	}
+	return t.String()
+}

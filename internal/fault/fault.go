@@ -1,0 +1,328 @@
+// Package fault is the deterministic fault-injection layer: it corrupts
+// clues, kills and mangles datagrams, and churns routes, so the rest of
+// the system can prove the paper's §3.4 robustness story — "a clue is
+// advisory: it may cost references, it may never change the next hop" —
+// under adversarial and degraded conditions instead of only on the happy
+// path.
+//
+// The package has three faces:
+//
+//   - Injector.PerturbClue / Injector.Apply corrupt the clue a packet
+//     carries (bit flips of the 5/7-bit header field, adversarial lengths
+//     aimed at arbitrary trie vertices or non-vertices, overlength values,
+//     stripped clues, and stale clues relayed by a legacy hop). Apply
+//     implements netsim.LinkFault, so a whole simulated network can run
+//     behind faulty links.
+//   - Injector.Transport mangles marshaled datagrams on the wire: drop,
+//     duplication, reordering, truncation and garbage. cmd/clued feeds its
+//     UDP sends through it.
+//   - Soak (soak.go) and ChurnSoak (churn.go) drive every lookup engine ×
+//     {Simple, Advance} combination under each fault class, assert the
+//     correctness invariant on every packet, and measure the degradation
+//     cost — extra memory references per fault class.
+//
+// Everything is seeded: the same Config reproduces the same fault
+// sequence, so a soak failure is a test case, not an anecdote.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/ip"
+)
+
+// NoClue is the "no clue attached" sentinel, numerically identical to
+// netsim.NoClue and header.NoClue.
+const NoClue = -1
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+// The fault classes. Clue classes corrupt the clue a packet carries;
+// transport classes act on whole datagrams; ClassChurn is a workload
+// class (concurrent route updates), driven by ChurnSoak rather than by
+// per-packet injection.
+const (
+	ClassNone Class = iota
+	// ClassBitFlip flips one random bit of the clue length field — the
+	// 5-bit (IPv4) / 7-bit (IPv6) header field of §5.3. Flips can push
+	// the value past the address width, which receivers must flag.
+	ClassBitFlip
+	// ClassAdversarial replaces the clue with an arbitrary length in
+	// [0, W] — pointing at any trie vertex or non-vertex the attacker
+	// likes, including lengths that are valid sender prefixes.
+	ClassAdversarial
+	// ClassOverlength replaces the clue with a length beyond the address
+	// width — a value no well-formed header can carry.
+	ClassOverlength
+	// ClassStrip removes the clue, as a legacy hop that drops unknown IP
+	// options would.
+	ClassStrip
+	// ClassStale replaces the clue with the clue of the previous packet
+	// seen on the link — a legacy hop relaying a clue that another flow's
+	// packet carried (§5.3's multi-hop relay, gone wrong).
+	ClassStale
+	// ClassChurn is concurrent route updates interleaved with forwarding:
+	// UpdateLocal/UpdateSender/Invalidate/Revalidate racing Process on a
+	// ConcurrentTable.
+	ClassChurn
+	// ClassDrop loses the datagram in transit.
+	ClassDrop
+	// ClassDuplicate delivers the datagram twice.
+	ClassDuplicate
+	// ClassReorder holds the datagram back and releases it after the next
+	// one.
+	ClassReorder
+	// ClassTruncate cuts the datagram short at a random byte.
+	ClassTruncate
+	// ClassGarbage replaces the datagram with random bytes.
+	ClassGarbage
+	nClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassBitFlip:
+		return "clue-bitflip"
+	case ClassAdversarial:
+		return "clue-adversarial"
+	case ClassOverlength:
+		return "clue-overlength"
+	case ClassStrip:
+		return "clue-strip"
+	case ClassStale:
+		return "clue-stale"
+	case ClassChurn:
+		return "route-churn"
+	case ClassDrop:
+		return "drop"
+	case ClassDuplicate:
+		return "duplicate"
+	case ClassReorder:
+		return "reorder"
+	case ClassTruncate:
+		return "truncate"
+	case ClassGarbage:
+		return "garbage"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ClueClasses are the per-packet clue corruptions.
+var ClueClasses = []Class{ClassBitFlip, ClassAdversarial, ClassOverlength, ClassStrip, ClassStale}
+
+// TransportClasses are the datagram-level wire faults.
+var TransportClasses = []Class{ClassDrop, ClassDuplicate, ClassReorder, ClassTruncate, ClassGarbage}
+
+// dropOnly is Apply's roll set, hoisted out of the hot path.
+var dropOnly = []Class{ClassDrop}
+
+// AllClasses is every injectable class in soak order: the no-fault
+// baseline, the clue corruptions, route churn, then the transport faults.
+var AllClasses = func() []Class {
+	out := []Class{ClassNone}
+	out = append(out, ClueClasses...)
+	out = append(out, ClassChurn)
+	out = append(out, TransportClasses...)
+	return out
+}()
+
+// Config configures an Injector.
+type Config struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// Width is the address width clue faults are scaled to (32 or 128).
+	// 0 means 32.
+	Width int
+	// Rates maps each class to its per-packet firing probability in
+	// [0, 1]. Classes absent from the map never fire. At most one class
+	// fires per packet, tried in class order.
+	Rates map[Class]float64
+}
+
+// Injector is a deterministic, seeded fault injector. It is safe for use
+// by multiple goroutines (cmd/clued's routers share one); all state is
+// behind a mutex.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	width    int
+	flipBits int
+	rates    [nClasses]float64
+	counts   [nClasses]int
+	prevClue int
+	held     []byte // datagram held back by ClassReorder
+}
+
+// New creates an injector.
+//
+//cluevet:ctor
+func New(cfg Config) *Injector {
+	w := cfg.Width
+	if w == 0 {
+		w = 32
+	}
+	inj := &Injector{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		width:    w,
+		flipBits: 6, // 0..63 covers the 5-bit field plus its overflow bit
+		prevClue: NoClue,
+	}
+	if w > 32 {
+		inj.flipBits = 8
+	}
+	for c, r := range cfg.Rates {
+		if c > ClassNone && c < nClasses {
+			inj.rates[c] = r
+		}
+	}
+	return inj
+}
+
+// Single returns an injector firing exactly one class at the given rate —
+// the shape the soak harness uses to isolate one fault class per run.
+//
+//cluevet:ctor
+func Single(class Class, rate float64, seed int64, width int) *Injector {
+	return New(Config{Seed: seed, Width: width, Rates: map[Class]float64{class: rate}})
+}
+
+// Counts returns how many times each class has fired.
+func (i *Injector) Counts() map[Class]int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Class]int)
+	for c, n := range i.counts {
+		if n > 0 {
+			out[Class(c)] = n
+		}
+	}
+	return out
+}
+
+// fire rolls the classes in cs in order and returns the first that fires,
+// or ClassNone. Caller holds the mutex.
+func (i *Injector) fire(cs []Class) Class {
+	for _, c := range cs {
+		if r := i.rates[c]; r > 0 && i.rng.Float64() < r {
+			i.counts[c]++
+			return c
+		}
+	}
+	return ClassNone
+}
+
+// PerturbClue applies the clue fault classes to the clue a packet carries
+// (NoClue when it carries none) and returns the clue as seen after the
+// fault, plus the class that fired. The injector remembers the genuine
+// clue for ClassStale's legacy-relay behavior.
+//
+// The shim runs once per packet on the simulated wire; it allocates
+// nothing and is annotated for cluevet accordingly.
+//
+//cluevet:hotpath
+func (i *Injector) PerturbClue(clue int) (int, Class) {
+	i.mu.Lock()
+	out, class := i.perturbLocked(clue)
+	i.mu.Unlock()
+	return out, class
+}
+
+func (i *Injector) perturbLocked(clue int) (int, Class) {
+	prev := i.prevClue
+	i.prevClue = clue
+	class := i.fire(ClueClasses)
+	switch class {
+	case ClassBitFlip:
+		if clue == NoClue {
+			return clue, ClassNone // no field to flip
+		}
+		return clue ^ (1 << i.rng.Intn(i.flipBits)), class
+	case ClassAdversarial:
+		return i.rng.Intn(i.width + 1), class
+	case ClassOverlength:
+		return i.width + 1 + i.rng.Intn(i.width), class
+	case ClassStrip:
+		return NoClue, class
+	case ClassStale:
+		return prev, class
+	}
+	return clue, ClassNone
+}
+
+// Apply implements netsim.LinkFault: transport drop first (the packet
+// dies on the wire), then clue corruption.
+//
+//cluevet:hotpath
+func (i *Injector) Apply(from, to string, dest ip.Addr, clue int) (int, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.fire(dropOnly) == ClassDrop {
+		return clue, true
+	}
+	out, _ := i.perturbLocked(clue)
+	return out, false
+}
+
+// Transport applies the datagram-level fault classes to one outgoing
+// datagram and returns the datagrams that actually hit the wire, in
+// order: none (dropped, or held for reordering), one (possibly mangled),
+// or two (duplicated, or a held datagram released behind this one). The
+// returned slices never alias pkt — callers may reuse their buffer.
+func (i *Injector) Transport(pkt []byte) ([][]byte, Class) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	own := append([]byte(nil), pkt...)
+	var out [][]byte
+	class := i.fire(TransportClasses)
+	switch class {
+	case ClassDrop:
+		// Lost. A pending held datagram is still released below, so
+		// reordering cannot leak packets past a drop.
+	case ClassDuplicate:
+		out = append(out, own, append([]byte(nil), own...))
+	case ClassReorder:
+		if i.held == nil {
+			i.held = own // hold it; released behind the next datagram
+			return nil, class
+		}
+		out = append(out, own)
+	case ClassTruncate:
+		if len(own) > 1 {
+			own = own[:1+i.rng.Intn(len(own)-1)]
+		}
+		out = append(out, own)
+	case ClassGarbage:
+		i.rng.Read(own)
+		out = append(out, own)
+	default:
+		out = append(out, own)
+	}
+	// Release any datagram held back by an earlier ClassReorder behind
+	// this one (or alone, when this one was dropped).
+	if i.held != nil {
+		out = append(out, i.held)
+		i.held = nil
+	}
+	return out, class
+}
+
+// Flush releases a datagram still held back by ClassReorder. Call it
+// after the last Transport of a stream so no packet is lost to the
+// holdback buffer.
+func (i *Injector) Flush() [][]byte {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.held == nil {
+		return nil
+	}
+	out := [][]byte{i.held}
+	i.held = nil
+	return out
+}

@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/ip"
+)
+
+// TestDeterminism: the same seed reproduces the same fault sequence — a
+// soak failure is a test case, not an anecdote.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]int, []Class) {
+		inj := New(Config{Seed: 42, Rates: map[Class]float64{
+			ClassBitFlip: 0.2, ClassAdversarial: 0.2, ClassOverlength: 0.1,
+			ClassStrip: 0.1, ClassStale: 0.1,
+		}})
+		var clues []int
+		var classes []Class
+		for i := 0; i < 500; i++ {
+			c, cl := inj.PerturbClue(i % 33)
+			clues = append(clues, c)
+			classes = append(classes, cl)
+		}
+		return clues, classes
+	}
+	c1, k1 := run()
+	c2, k2 := run()
+	if !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(k1, k2) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	fired := 0
+	for _, k := range k1 {
+		if k != ClassNone {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no faults fired in 500 packets at combined rate 0.7")
+	}
+}
+
+// TestClueClassSemantics checks each clue class against its contract.
+func TestClueClassSemantics(t *testing.T) {
+	for _, class := range ClueClasses {
+		inj := Single(class, 1.0, 7, 32)
+		prev := NoClue
+		for i := 0; i < 200; i++ {
+			in := i % 33
+			out, fired := inj.PerturbClue(in)
+			switch class {
+			case ClassBitFlip:
+				if fired != class || out == in {
+					t.Fatalf("bitflip(%d) = %d (%v): must change the value", in, out, fired)
+				}
+			case ClassAdversarial:
+				if fired != class || out < 0 || out > 32 {
+					t.Fatalf("adversarial(%d) = %d: out of [0, 32]", in, out)
+				}
+			case ClassOverlength:
+				if fired != class || out <= 32 {
+					t.Fatalf("overlength(%d) = %d: not beyond the width", in, out)
+				}
+			case ClassStrip:
+				if fired != class || out != NoClue {
+					t.Fatalf("strip(%d) = %d", in, out)
+				}
+			case ClassStale:
+				if fired != class || out != prev {
+					t.Fatalf("stale(%d) = %d, want previous clue %d", in, out, prev)
+				}
+			}
+			prev = in
+		}
+	}
+	// A clue-less packet cannot have a bit flipped.
+	inj := Single(ClassBitFlip, 1.0, 7, 32)
+	if out, fired := inj.PerturbClue(NoClue); out != NoClue || fired != ClassNone {
+		t.Errorf("bitflip on NoClue: %d (%v)", out, fired)
+	}
+}
+
+// TestTransportSemantics checks the datagram classes: conservation (no
+// packet silently vanishes except by ClassDrop), duplication count,
+// reorder holdback and Flush, truncation shrinking, garbage same-length.
+func TestTransportSemantics(t *testing.T) {
+	pkt := func(i int) []byte { return []byte{byte(i), 1, 2, 3, 4, 5, 6, 7} }
+
+	t.Run("drop", func(t *testing.T) {
+		inj := Single(ClassDrop, 1.0, 1, 32)
+		out, class := inj.Transport(pkt(0))
+		if class != ClassDrop || len(out) != 0 {
+			t.Fatalf("drop: %d datagrams (%v)", len(out), class)
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		inj := Single(ClassDuplicate, 1.0, 1, 32)
+		out, _ := inj.Transport(pkt(0))
+		if len(out) != 2 || !bytes.Equal(out[0], out[1]) || !bytes.Equal(out[0], pkt(0)) {
+			t.Fatalf("duplicate: %v", out)
+		}
+	})
+	t.Run("reorder", func(t *testing.T) {
+		inj := Single(ClassReorder, 1.0, 1, 32)
+		out, class := inj.Transport(pkt(0))
+		if class != ClassReorder || out != nil {
+			t.Fatalf("first datagram not held: %v (%v)", out, class)
+		}
+		out, _ = inj.Transport(pkt(1))
+		if len(out) != 2 || out[0][0] != 1 || out[1][0] != 0 {
+			t.Fatalf("reorder: want [1 0], got %v", out)
+		}
+		// A trailing held datagram is recovered by Flush.
+		if out, _ := inj.Transport(pkt(2)); out != nil {
+			t.Fatalf("second hold: %v", out)
+		}
+		if out := inj.Flush(); len(out) != 1 || out[0][0] != 2 {
+			t.Fatalf("flush: %v", out)
+		}
+		if inj.Flush() != nil {
+			t.Fatal("double flush")
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		inj := Single(ClassTruncate, 1.0, 1, 32)
+		for i := 0; i < 50; i++ {
+			out, _ := inj.Transport(pkt(i))
+			if len(out) != 1 || len(out[0]) >= len(pkt(i)) || len(out[0]) < 1 {
+				t.Fatalf("truncate: len %d of %d", len(out[0]), len(pkt(i)))
+			}
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		inj := Single(ClassGarbage, 1.0, 1, 32)
+		same := 0
+		for i := 0; i < 20; i++ {
+			out, _ := inj.Transport(pkt(i))
+			if len(out) != 1 || len(out[0]) != len(pkt(i)) {
+				t.Fatalf("garbage changed length: %v", out)
+			}
+			if bytes.Equal(out[0], pkt(i)) {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Fatalf("garbage left %d/20 datagrams intact", same)
+		}
+	})
+	t.Run("buffer-aliasing", func(t *testing.T) {
+		inj := Single(ClassNone, 0, 1, 32)
+		buf := pkt(9)
+		out, _ := inj.Transport(buf)
+		buf[0] = 0xFF // caller reuses its buffer
+		if out[0][0] != 9 {
+			t.Fatal("Transport aliased the caller's buffer")
+		}
+	})
+}
+
+// TestCounts: fired classes are tallied.
+func TestCounts(t *testing.T) {
+	inj := New(Config{Seed: 3, Rates: map[Class]float64{ClassStrip: 1.0}})
+	for i := 0; i < 10; i++ {
+		inj.PerturbClue(5)
+	}
+	if got := inj.Counts(); got[ClassStrip] != 10 || len(got) != 1 {
+		t.Fatalf("counts: %v", got)
+	}
+}
+
+// TestApplyShape: Apply satisfies the netsim.LinkFault contract shape —
+// drop at the configured rate, clue perturbation otherwise.
+func TestApplyShape(t *testing.T) {
+	inj := New(Config{Seed: 5, Rates: map[Class]float64{ClassDrop: 0.5, ClassStrip: 0.5}})
+	dest := ip.MustParseAddr("10.0.0.1")
+	drops, strips := 0, 0
+	for i := 0; i < 400; i++ {
+		clue, drop := inj.Apply("a", "b", dest, 7)
+		if drop {
+			drops++
+		} else if clue == NoClue {
+			strips++
+		} else if clue != 7 {
+			t.Fatalf("unexpected perturbation to %d", clue)
+		}
+	}
+	if drops < 100 || strips < 50 {
+		t.Fatalf("drops=%d strips=%d: rates not honored", drops, strips)
+	}
+}

@@ -1,0 +1,353 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/header"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/synth"
+	"repro/internal/trie"
+)
+
+// SoakConfig configures a Soak run. Zero values select defaults sized for
+// a CLI run; tests shrink Packets and TableSize.
+type SoakConfig struct {
+	// Seed drives the synthetic tables, the workload and every injector.
+	Seed int64
+	// Packets per cell (fault class × method × engine). Default 4000.
+	Packets int
+	// Rate is the per-packet fault probability. Default 0.3 — high on
+	// purpose: the soak wants faulted samples, not realism.
+	Rate float64
+	// TableSize is the synthetic router table size. Default 4000.
+	TableSize int
+	// Divergence is the sender/receiver table divergence. Default 0.02.
+	Divergence float64
+	// LearnLimit caps clue learning per table (adversarial clues are a
+	// memory-exhaustion vector under §3.4 never-remove). Default 1<<14.
+	LearnLimit int
+	// Classes to soak. Default: AllClasses minus ClassChurn (churn has
+	// its own harness, ChurnSoak, because it is a workload shape rather
+	// than a per-packet fault).
+	Classes []Class
+}
+
+func (cfg *SoakConfig) fill() {
+	if cfg.Packets == 0 {
+		cfg.Packets = 4000
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = 0.3
+	}
+	if cfg.TableSize == 0 {
+		cfg.TableSize = 4000
+	}
+	if cfg.Divergence == 0 {
+		cfg.Divergence = 0.02
+	}
+	if cfg.LearnLimit == 0 {
+		cfg.LearnLimit = 1 << 14
+	}
+	if cfg.Classes == nil {
+		for _, c := range AllClasses {
+			if c != ClassChurn {
+				cfg.Classes = append(cfg.Classes, c)
+			}
+		}
+	}
+}
+
+// CellResult is the outcome of one soak cell: one fault class driven
+// against one (method, engine) table. Violations MUST be zero — a
+// violation means a faulted packet got an answer different from the full
+// lookup, i.e. the clue stopped being advisory.
+type CellResult struct {
+	Class  Class
+	Method core.Method
+	Engine string
+
+	Packets   int // lookups actually performed
+	Drops     int // datagrams lost in transit (ClassDrop)
+	Malformed int // datagrams the header parser rejected (graceful drop)
+
+	CleanPackets, CleanRefs     int // packets whose wire image was intact
+	FaultedPackets, FaultedRefs int // packets processed with a perturbed clue
+	Degraded                    int // faulted packets flagged by a Degraded outcome
+
+	Violations int // invariant breaks — must be zero
+}
+
+// CleanMean returns memory references per unfaulted packet.
+func (r CellResult) CleanMean() float64 {
+	if r.CleanPackets == 0 {
+		return 0
+	}
+	return float64(r.CleanRefs) / float64(r.CleanPackets)
+}
+
+// FaultedMean returns memory references per faulted packet.
+func (r CellResult) FaultedMean() float64 {
+	if r.FaultedPackets == 0 {
+		return 0
+	}
+	return float64(r.FaultedRefs) / float64(r.FaultedPackets)
+}
+
+// ExtraRefs is the degradation cost: extra references a faulted packet
+// pays over a clean one in the same cell.
+func (r CellResult) ExtraRefs() float64 {
+	if r.FaultedPackets == 0 {
+		return 0
+	}
+	return r.FaultedMean() - r.CleanMean()
+}
+
+// packet is one precomputed workload item: a destination and the genuine
+// clue the sender would attach (the sender's BMP length, or NoClue when
+// the sender's table has no match).
+type packet struct {
+	dest ip.Addr
+	clue int
+}
+
+// Soak drives every configured fault class against every method × engine
+// combination and asserts the §3.4 invariant on every packet: the answer
+// is exactly the full lookup's answer, faults may only cost references
+// (flagged by a Degraded outcome) or datagrams (counted as drops), never
+// a wrong next hop. Advance tables run hardened (Config.Verify) — the
+// unverified Advance method is misroutable by forged clues by design,
+// which core's TestForgedClueDefeatsUnverifiedAdvance pins down.
+func Soak(cfg SoakConfig) ([]CellResult, error) {
+	cfg.fill()
+	u := synth.NewUniverse(cfg.Seed, cfg.TableSize+cfg.TableSize/4)
+	sfib := u.Router(synth.RouterSpec{Name: "soak-sender", Size: cfg.TableSize, Divergence: cfg.Divergence})
+	rfib := u.Router(synth.RouterSpec{Name: "soak-recv", Size: cfg.TableSize, Divergence: cfg.Divergence})
+	t1, t2 := sfib.Trie(), rfib.Trie()
+
+	wl := synth.NewWorkload(cfg.Seed+1, sfib)
+	pkts := make([]packet, cfg.Packets)
+	for i := range pkts {
+		d := wl.Next()
+		clue := NoClue
+		if p, _, ok := t1.Lookup(d, nil); ok {
+			clue = p.Len()
+		}
+		pkts[i] = packet{d, clue}
+	}
+
+	var out []CellResult
+	for _, class := range cfg.Classes {
+		for _, method := range []core.Method{core.Simple, core.Advance} {
+			for _, eng := range lookup.All(t2) {
+				cell, err := runCell(cfg, class, method, eng, t1, t2, pkts)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+func isTransport(c Class) bool {
+	for _, t := range TransportClasses {
+		if t == c {
+			return true
+		}
+	}
+	return false
+}
+
+func runCell(cfg SoakConfig, class Class, method core.Method,
+	eng lookup.ClueEngine, t1, t2 *trie.Trie, pkts []packet) (CellResult, error) {
+	cell := CellResult{Class: class, Method: method, Engine: eng.Name()}
+	tcfg := core.Config{
+		Method: method, Engine: eng, Local: t2,
+		Learn: true, LearnLimit: cfg.LearnLimit,
+	}
+	if method == core.Advance {
+		tcfg.Sender = func(p ip.Prefix) bool { return t1.Contains(p) }
+		tcfg.Verify = true
+		tcfg.SenderTrie = t1
+	}
+	tab, err := core.NewTable(tcfg)
+	if err != nil {
+		return cell, err
+	}
+	inj := Single(class, cfg.Rate, cfg.Seed^(int64(class)<<20)^(int64(method)<<16), 32)
+
+	// process runs one lookup and checks the invariant against the live
+	// trie's answer — the ground truth every result must equal.
+	process := func(dest ip.Addr, clue int, faulted bool) {
+		var cnt mem.Counter
+		var res core.Result
+		if clue == NoClue {
+			res = tab.ProcessNoClue(dest, &cnt)
+		} else {
+			res = tab.Process(dest, clue, &cnt)
+		}
+		wp, wv, wok := t2.Lookup(dest, nil)
+		if res.OK != wok || (wok && (res.Prefix != wp || res.Value != wv)) {
+			cell.Violations++
+		}
+		cell.Packets++
+		if faulted {
+			cell.FaultedPackets++
+			cell.FaultedRefs += cnt.Count()
+			if res.Outcome.Degraded() {
+				cell.Degraded++
+			}
+		} else {
+			cell.CleanPackets++
+			cell.CleanRefs += cnt.Count()
+		}
+	}
+
+	if !isTransport(class) {
+		for _, p := range pkts {
+			wire, _ := inj.PerturbClue(p.clue)
+			process(p.dest, wire, wire != p.clue)
+		}
+		return cell, nil
+	}
+
+	// Transport classes run the real wire format: marshal, mangle the
+	// datagram, parse what arrives. A datagram the parser rejects is a
+	// graceful drop (counted, not processed); a datagram that parses is
+	// processed with whatever clue it now carries.
+	src := ip.MustParseAddr("192.0.2.1")
+	deliver := func(w []byte) {
+		h, _, err := header.ParseIPv4(w)
+		if err != nil {
+			cell.Malformed++
+			return
+		}
+		clue := NoClue
+		if h.Clue != nil {
+			clue = h.Clue.Len
+		}
+		genuine := NoClue
+		if p, _, ok := t1.Lookup(h.Dst, nil); ok {
+			genuine = p.Len()
+		}
+		process(h.Dst, clue, clue != genuine)
+	}
+	for _, p := range pkts {
+		h := header.IPv4{TTL: 64, Protocol: 17, Src: src, Dst: p.dest}
+		if p.clue != NoClue {
+			h.Clue = &header.ClueOption{Len: p.clue}
+		}
+		b, err := h.Marshal(0)
+		if err != nil {
+			return cell, fmt.Errorf("fault: marshal: %w", err)
+		}
+		wire, _ := inj.Transport(b)
+		for _, w := range wire {
+			deliver(w)
+		}
+	}
+	for _, w := range inj.Flush() {
+		deliver(w)
+	}
+	cell.Drops = inj.Counts()[ClassDrop]
+	return cell, nil
+}
+
+// Report renders the full per-cell soak table.
+func Report(cells []CellResult) string {
+	t := mem.NewTable("fault", "method", "engine", "packets", "faulted",
+		"degraded", "drops", "malformed", "clean refs", "faulted refs", "extra", "violations")
+	for _, c := range cells {
+		t.AddRow(c.Class.String(), c.Method.String(), c.Engine,
+			fmt.Sprint(c.Packets), fmt.Sprint(c.FaultedPackets),
+			fmt.Sprint(c.Degraded), fmt.Sprint(c.Drops), fmt.Sprint(c.Malformed),
+			fmt.Sprintf("%.3f", c.CleanMean()), fmt.Sprintf("%.3f", c.FaultedMean()),
+			fmt.Sprintf("%+.3f", c.ExtraRefs()), fmt.Sprint(c.Violations))
+	}
+	return t.String()
+}
+
+// Summary aggregates cells over engines, one row per fault class ×
+// method — the shape EXPERIMENTS.md records.
+type Summary struct {
+	Class  Class
+	Method core.Method
+
+	Packets, Drops, Malformed   int
+	CleanPackets, CleanRefs     int
+	FaultedPackets, FaultedRefs int
+	Degraded, Violations        int
+}
+
+// CleanMean returns references per clean packet across the engines.
+func (s Summary) CleanMean() float64 {
+	if s.CleanPackets == 0 {
+		return 0
+	}
+	return float64(s.CleanRefs) / float64(s.CleanPackets)
+}
+
+// FaultedMean returns references per faulted packet across the engines.
+func (s Summary) FaultedMean() float64 {
+	if s.FaultedPackets == 0 {
+		return 0
+	}
+	return float64(s.FaultedRefs) / float64(s.FaultedPackets)
+}
+
+// ExtraRefs is the averaged degradation cost for the class.
+func (s Summary) ExtraRefs() float64 {
+	if s.FaultedPackets == 0 {
+		return 0
+	}
+	return s.FaultedMean() - s.CleanMean()
+}
+
+// Summarize folds per-cell results into per-(class, method) summaries,
+// preserving cell order of first appearance.
+func Summarize(cells []CellResult) []Summary {
+	type key struct {
+		c Class
+		m core.Method
+	}
+	idx := make(map[key]int)
+	var out []Summary
+	for _, c := range cells {
+		k := key{c.Class, c.Method}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, Summary{Class: c.Class, Method: c.Method})
+		}
+		s := &out[i]
+		s.Packets += c.Packets
+		s.Drops += c.Drops
+		s.Malformed += c.Malformed
+		s.CleanPackets += c.CleanPackets
+		s.CleanRefs += c.CleanRefs
+		s.FaultedPackets += c.FaultedPackets
+		s.FaultedRefs += c.FaultedRefs
+		s.Degraded += c.Degraded
+		s.Violations += c.Violations
+	}
+	return out
+}
+
+// SummaryReport renders the per-class degradation-cost table.
+func SummaryReport(cells []CellResult) string {
+	t := mem.NewTable("fault", "method", "packets", "faulted", "degraded",
+		"drops", "malformed", "clean refs", "faulted refs", "extra", "violations")
+	for _, s := range Summarize(cells) {
+		t.AddRow(s.Class.String(), s.Method.String(),
+			fmt.Sprint(s.Packets), fmt.Sprint(s.FaultedPackets),
+			fmt.Sprint(s.Degraded), fmt.Sprint(s.Drops), fmt.Sprint(s.Malformed),
+			fmt.Sprintf("%.3f", s.CleanMean()), fmt.Sprintf("%.3f", s.FaultedMean()),
+			fmt.Sprintf("%+.3f", s.ExtraRefs()), fmt.Sprint(s.Violations))
+	}
+	return t.String()
+}

@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+)
+
+// smallSoak is a soak configuration small enough for the unit-test tier;
+// cmd/cluefault runs the full-size one.
+func smallSoak() SoakConfig {
+	return SoakConfig{Seed: 1999, Packets: 300, TableSize: 600, Rate: 0.4}
+}
+
+// TestSoakInvariant is the tentpole assertion: every fault class × method
+// × engine cell holds the §3.4 invariant — zero violations, and the run
+// actually exercised faults.
+func TestSoakInvariant(t *testing.T) {
+	cells, err := Soak(smallSoak())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 11*2*5 {
+		t.Fatalf("cells = %d, want 11 classes x 2 methods x 5 engines", len(cells))
+	}
+	for _, c := range cells {
+		if c.Violations != 0 {
+			t.Errorf("%v/%v/%s: %d invariant violations", c.Class, c.Method, c.Engine, c.Violations)
+		}
+		if c.Packets == 0 {
+			t.Errorf("%v/%v/%s: no packets processed", c.Class, c.Method, c.Engine)
+		}
+		switch c.Class {
+		case ClassNone:
+			if c.FaultedPackets != 0 {
+				t.Errorf("baseline cell recorded %d faulted packets", c.FaultedPackets)
+			}
+		case ClassAdversarial, ClassOverlength, ClassStrip:
+			if c.FaultedPackets == 0 {
+				t.Errorf("%v/%v/%s: no faulted packets at rate 0.4", c.Class, c.Method, c.Engine)
+			}
+			// These classes always leave a clue the table cannot use
+			// directly, so every faulted packet must be flagged degraded...
+			// except adversarial clues, which can accidentally be usable
+			// (a valid shorter prefix). Overlength and strip cannot.
+			if c.Class != ClassAdversarial && c.Degraded != c.FaultedPackets {
+				t.Errorf("%v/%v/%s: %d/%d faulted packets flagged degraded",
+					c.Class, c.Method, c.Engine, c.Degraded, c.FaultedPackets)
+			}
+		case ClassDrop:
+			if c.Drops == 0 {
+				t.Errorf("%v: no drops recorded", c.Class)
+			}
+		case ClassTruncate, ClassGarbage:
+			if c.Malformed == 0 {
+				t.Errorf("%v/%v/%s: mangled datagrams never rejected", c.Class, c.Method, c.Engine)
+			}
+		}
+	}
+	// The reports must render every class.
+	full, summary := Report(cells), SummaryReport(cells)
+	for _, c := range AllClasses {
+		if c == ClassChurn {
+			continue
+		}
+		if !strings.Contains(full, c.String()) || !strings.Contains(summary, c.String()) {
+			t.Errorf("report missing class %v", c)
+		}
+	}
+}
+
+// TestSoakDeterminism: the same config yields bit-identical results.
+func TestSoakDeterminism(t *testing.T) {
+	cfg := smallSoak()
+	cfg.Packets = 150
+	cfg.Classes = []Class{ClassAdversarial, ClassGarbage}
+	a, err := Soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("cell %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChurnSoak: concurrent route flips, sender flips and clue
+// invalidation racing forwarding never produce an answer outside the two
+// legitimate route states. Run with -race in CI.
+func TestChurnSoak(t *testing.T) {
+	cfg := ChurnConfig{Seed: 7, Workers: 4, Packets: 250, Flips: 40, TableSize: 500}
+	results, err := ChurnSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2*5 {
+		t.Fatalf("results = %d, want 2 methods x 5 engines", len(results))
+	}
+	for _, r := range results {
+		if r.Violations != 0 {
+			t.Errorf("%v/%s: %d violations", r.Method, r.Engine, r.Violations)
+		}
+		if r.Flips != cfg.Flips {
+			t.Errorf("%v/%s: %d flips applied, want %d", r.Method, r.Engine, r.Flips, cfg.Flips)
+		}
+		if r.Method == core.Advance && r.SenderFlips == 0 {
+			t.Errorf("%s: no sender flips on Advance", r.Engine)
+		}
+	}
+	if rep := ChurnReport(results); !strings.Contains(rep, "route-churn") {
+		t.Error("churn report missing class name")
+	}
+}
+
+// TestInjectorAsNetsimLinkFault wires the Injector into a netsim network
+// as its LinkFault: with every clue class firing on every link, all
+// packets that survive the drop class must still be delivered to the
+// right place, and faulted packets must show up in the router stats.
+func TestInjectorAsNetsimLinkFault(t *testing.T) {
+	var _ netsim.LinkFault = (*Injector)(nil)
+
+	top := routing.NewTopology()
+	names := routing.Chain(top, "r", 4)
+	last := names[len(names)-1]
+	for _, p := range []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "192.168.0.0/16"} {
+		if err := top.Originate(last, ip.MustParsePrefix(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := netsim.New(top.ComputeTables())
+	inj := New(Config{Seed: 11, Rates: map[Class]float64{
+		ClassBitFlip: 0.2, ClassAdversarial: 0.2, ClassStrip: 0.2, ClassStale: 0.1, ClassDrop: 0.1,
+	}})
+	n.SetLinkFault(inj)
+	n.SetVerify(true) // unverified Advance is misroutable; see below
+
+	dest := ip.MustParseAddr("10.1.2.3")
+	delivered, faultDropped := 0, 0
+	for i := 0; i < 300; i++ {
+		tr, err := n.Send(names[0], dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case tr.Delivered:
+			delivered++
+			if at := tr.Hops[len(tr.Hops)-1].Router; at != last {
+				t.Fatalf("delivered at %s, want %s", at, last)
+			}
+		case tr.Drop == netsim.DropFault:
+			faultDropped++
+		default:
+			t.Fatalf("packet lost for a non-fault reason: %v", tr.Drop)
+		}
+	}
+	if delivered == 0 || faultDropped == 0 {
+		t.Fatalf("delivered=%d faultDropped=%d: want both nonzero", delivered, faultDropped)
+	}
+	stats := n.Stats()
+	faulted := 0
+	for _, name := range names {
+		faulted += stats[name].FaultedPackets
+		if stats[name].FaultDrops < 0 {
+			t.Fatal("negative drop count")
+		}
+	}
+	if faulted == 0 {
+		t.Error("no router recorded a faulted packet")
+	}
+}
+
+// TestUnverifiedNetworkMisroutesUnderAdversarialClues documents why
+// Network.SetVerify exists: with verification off, adversarial clues on
+// the wire drive packets into Claim-1-pruned entries whose FD is wrong
+// for the (forged) clue, and deliveries fail. With verification on, the
+// same fault sequence never loses a packet to anything but ClassDrop.
+func TestUnverifiedNetworkMisroutesUnderAdversarialClues(t *testing.T) {
+	build := func(verify bool) (*netsim.Network, []string) {
+		top := routing.NewTopology()
+		names := routing.Chain(top, "r", 4)
+		for _, p := range []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"} {
+			if err := top.Originate(names[len(names)-1], ip.MustParsePrefix(p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := netsim.New(top.ComputeTables())
+		n.SetVerify(verify)
+		n.SetLinkFault(Single(ClassAdversarial, 0.5, 23, 32))
+		return n, names
+	}
+	dest := ip.MustParseAddr("10.1.2.3")
+	misrouted := func(n *netsim.Network, names []string) int {
+		bad := 0
+		for i := 0; i < 400; i++ {
+			tr, err := n.Send(names[0], dest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tr.Delivered {
+				bad++
+			}
+		}
+		return bad
+	}
+	nv, namesV := build(true)
+	if bad := misrouted(nv, namesV); bad != 0 {
+		t.Errorf("verified network lost %d/400 packets to adversarial clues", bad)
+	}
+	nu, namesU := build(false)
+	if bad := misrouted(nu, namesU); bad == 0 {
+		t.Error("unverified network survived adversarial clues — if the Advance method became sound, Network.SetVerify and this test should be removed")
+	}
+}

@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+)
+
+// scriptedFault is a deterministic LinkFault for tests: it perturbs or
+// drops according to per-call scripts keyed by hop count.
+type scriptedFault struct {
+	calls   int
+	dropAt  int           // 1-based call index to drop at (0 = never)
+	rewrite func(int) int // clue rewrite (nil = identity)
+	log     []struct{ F, T string }
+}
+
+func (s *scriptedFault) Apply(from, to string, dest ip.Addr, clue int) (int, bool) {
+	s.calls++
+	s.log = append(s.log, struct{ F, T string }{from, to})
+	if s.dropAt != 0 && s.calls == s.dropAt {
+		return clue, true
+	}
+	if s.rewrite != nil {
+		return s.rewrite(clue), false
+	}
+	return clue, false
+}
+
+// TestDropReasonFault: a transport fault on the wire produces DropFault,
+// attributed to the sending router's egress, and the trace ends there.
+func TestDropReasonFault(t *testing.T) {
+	n, names, host := figure1Network(t, 5)
+	sf := &scriptedFault{dropAt: 2} // lose the packet on the 2nd link
+	n.SetLinkFault(sf)
+	tr, err := n.Send(names[0], host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Delivered {
+		t.Fatal("dropped packet reported delivered")
+	}
+	if tr.Drop != DropFault {
+		t.Fatalf("Drop = %v, want fault", tr.Drop)
+	}
+	if len(tr.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2 (lost after the second router)", len(tr.Hops))
+	}
+	st := n.Stats()[names[1]]
+	if st.FaultDrops != 1 || st.NoRouteDrops != 0 {
+		t.Errorf("stats at %s: FaultDrops=%d NoRouteDrops=%d, want 1/0", names[1], st.FaultDrops, st.NoRouteDrops)
+	}
+}
+
+// TestDropReasonNoRoute: a destination nobody originates produces
+// DropNoRoute at the first router, distinguished from a fault drop.
+func TestDropReasonNoRoute(t *testing.T) {
+	n, names, _ := figure1Network(t, 5)
+	tr, err := n.Send(names[0], ip.MustParseAddr("1.2.3.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Delivered || tr.Drop != DropNoRoute {
+		t.Fatalf("Delivered=%v Drop=%v, want undelivered/no-route", tr.Delivered, tr.Drop)
+	}
+	st := n.Stats()[names[0]]
+	if st.NoRouteDrops != 1 || st.FaultDrops != 0 {
+		t.Errorf("stats: NoRouteDrops=%d FaultDrops=%d, want 1/0", st.NoRouteDrops, st.FaultDrops)
+	}
+	if tr2, _ := n.Send(names[0], ip.MustParseAddr("204.17.33.40")); tr2.Drop != DropNone || !tr2.Delivered {
+		t.Errorf("clean delivery: Drop=%v Delivered=%v", tr2.Drop, tr2.Delivered)
+	}
+}
+
+// TestFaultedClueStatsAndCorrectness: corrupting every clue on the wire
+// must not change where packets are delivered (the §3.4 invariant — a
+// clue is advisory), and the perturbed packets' extra work is tracked in
+// the Faulted stats dimension.
+func TestFaultedClueStatsAndCorrectness(t *testing.T) {
+	n, names, host := figure1Network(t, 6)
+	// Baseline: deliver once cleanly so every router has learned tables.
+	for i := 0; i < 3; i++ {
+		if tr, err := n.Send(names[0], host); err != nil || !tr.Delivered {
+			t.Fatalf("warmup: %v %v", tr, err)
+		}
+	}
+	n.ResetStats()
+	clean, err := n.Send(names[0], host)
+	if err != nil || !clean.Delivered {
+		t.Fatalf("clean send: %v", err)
+	}
+	// Truncate every clue to 3 bits in transit (still a prefix of dest).
+	n.SetLinkFault(&scriptedFault{rewrite: func(c int) int {
+		if c > 3 {
+			return 3
+		}
+		return c
+	}})
+	tr, err := n.Send(names[0], host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Delivered {
+		t.Fatalf("perturbed packet not delivered (drop=%v)", tr.Drop)
+	}
+	for i, h := range tr.Hops {
+		if i > 0 && !h.FaultedClue && h.ClueIn != tr.Hops[i-1].ClueOut {
+			t.Errorf("hop %d: unmarked perturbation", i)
+		}
+		if i > 0 && tr.Hops[i-1].ClueOut > 3 && !h.FaultedClue {
+			t.Errorf("hop %d: truncated clue not marked faulted", i)
+		}
+	}
+	// Downstream routers saw faulted packets; the stats dimension must
+	// show them and their refs.
+	stats := n.Stats()
+	sawFaulted := false
+	for _, name := range names[1:] {
+		if s := stats[name]; s.FaultedPackets > 0 {
+			sawFaulted = true
+			if s.FaultedRefs <= 0 {
+				t.Errorf("%s: faulted packets with no faulted refs", name)
+			}
+		}
+	}
+	if !sawFaulted {
+		t.Error("no router recorded a faulted packet")
+	}
+}
+
+func TestRouterStatsDerivedMetrics(t *testing.T) {
+	s := RouterStats{Packets: 10, Refs: 30, FaultedPackets: 4, FaultedRefs: 20}
+	if got := s.CleanRefsPerPacket(); got != 10.0/6.0 {
+		t.Errorf("CleanRefsPerPacket = %v", got)
+	}
+	if got := s.FaultedRefsPerPacket(); got != 5.0 {
+		t.Errorf("FaultedRefsPerPacket = %v", got)
+	}
+	if got := s.DegradationCost(); got < 3.33 || got > 3.34 {
+		t.Errorf("DegradationCost = %v", got)
+	}
+	var zero RouterStats
+	if zero.CleanRefsPerPacket() != 0 || zero.FaultedRefsPerPacket() != 0 || zero.DegradationCost() != 0 {
+		t.Error("zero stats should yield zero metrics")
+	}
+	if DropNoRoute.String() != "no-route" || DropFault.String() != "fault" || DropNone.String() != "none" {
+		t.Error("DropReason strings")
+	}
+}

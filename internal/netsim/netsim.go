@@ -46,6 +46,7 @@ type Router struct {
 	engine       lookup.ClueEngine
 	participates bool
 	method       core.Method
+	verify       bool                   // sender verification on Advance tables (SetVerify)
 	policy       CluePolicy             // nil = send the full BMP
 	clueTables   map[string]*core.Table // keyed by upstream neighbor
 	net          *Network
@@ -65,6 +66,19 @@ func (r *Router) Participates() bool { return r.participates }
 // Existing learned tables are discarded.
 func (r *Router) SetMethod(m core.Method) {
 	r.method = m
+	r.clueTables = make(map[string]*core.Table)
+}
+
+// SetVerify switches sender verification (core.Config.Verify) on or off
+// for this router's Advance tables and discards existing learned tables.
+// Off by default: on a trusted link the clue really is the sender's BMP,
+// and verification would only re-derive that at a cost in references —
+// distorting the paper's cost figures. Turn it on when links are faulty
+// or adversarial: the unverified Advance method can be MISROUTED by a
+// forged clue (core's forged-clue tests construct this), while a verified
+// table degrades to a full lookup flagged OutcomeSuspect instead.
+func (r *Router) SetVerify(on bool) {
+	r.verify = on
 	r.clueTables = make(map[string]*core.Table)
 }
 
@@ -93,6 +107,10 @@ func (r *Router) clueTable(upstream string) *core.Table {
 		upTrie := up.trie
 		cfg.Method = core.Advance
 		cfg.Sender = func(p ip.Prefix) bool { return upTrie.Contains(p) }
+		if r.verify {
+			cfg.Verify = true
+			cfg.SenderTrie = upTrie
+		}
 	}
 	tab := core.MustNewTable(cfg)
 	r.clueTables[upstream] = tab
@@ -102,10 +120,26 @@ func (r *Router) clueTable(upstream string) *core.Table {
 // RouterStats accumulates one router's forwarding load across Send calls —
 // the quantity Figure 1 is about ("we expect the heavily loaded routers at
 // the heart of the Internet backbone to be the least loaded by our
-// method").
+// method") — plus the degradation dimensions the fault-injection layer
+// measures: packets whose incoming clue was perturbed in transit are
+// tracked separately, so the extra references a corrupted clue costs are
+// directly readable, and the two ways a packet can die (no matching route
+// vs. lost to an injected transport fault) are distinguished.
 type RouterStats struct {
 	Packets int
 	Refs    int
+	// NoRouteDrops counts packets this router dropped because no prefix
+	// matched the destination.
+	NoRouteDrops int
+	// FaultDrops counts packets lost to an injected transport fault on
+	// this router's egress link (the packet was routed here, then lost).
+	FaultDrops int
+	// FaultedPackets/FaultedRefs cover the subset of Packets that arrived
+	// with a clue perturbed by the fault injector; Refs includes
+	// FaultedRefs. Their ratio against the clean remainder is the
+	// degradation cost of the active fault class at this router.
+	FaultedPackets int
+	FaultedRefs    int
 }
 
 // RefsPerPacket returns the average work per forwarded packet.
@@ -116,11 +150,65 @@ func (s RouterStats) RefsPerPacket() float64 {
 	return float64(s.Refs) / float64(s.Packets)
 }
 
+// CleanRefsPerPacket returns the average work over packets whose clue was
+// NOT perturbed in transit.
+func (s RouterStats) CleanRefsPerPacket() float64 {
+	n := s.Packets - s.FaultedPackets
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Refs-s.FaultedRefs) / float64(n)
+}
+
+// FaultedRefsPerPacket returns the average work over perturbed packets.
+func (s RouterStats) FaultedRefsPerPacket() float64 {
+	if s.FaultedPackets == 0 {
+		return 0
+	}
+	return float64(s.FaultedRefs) / float64(s.FaultedPackets)
+}
+
+// DegradationCost returns the extra references per packet a perturbed clue
+// cost at this router: FaultedRefsPerPacket − CleanRefsPerPacket. Zero
+// when either population is empty.
+func (s RouterStats) DegradationCost() float64 {
+	if s.FaultedPackets == 0 || s.Packets == s.FaultedPackets {
+		return 0
+	}
+	return s.FaultedRefsPerPacket() - s.CleanRefsPerPacket()
+}
+
+// LinkFault perturbs packets in transit between two routers — the
+// netsim-facing face of the fault-injection layer (internal/fault
+// implements it). Apply is called once per packet per inter-router link
+// with the clue the packet carries (NoClue if none); it returns the clue
+// the downstream router will see and whether the packet is lost on the
+// wire. Returning the clue unchanged and drop=false is a transparent
+// link.
+type LinkFault interface {
+	Apply(from, to string, dest ip.Addr, clue int) (newClue int, drop bool)
+}
+
 // Network is a set of routers wired by their forwarding tables' next-hop
 // names.
 type Network struct {
-	routers map[string]*Router
-	stats   map[string]*RouterStats
+	routers   map[string]*Router
+	stats     map[string]*RouterStats
+	linkFault LinkFault
+}
+
+// SetLinkFault installs a fault injector on every inter-router link (nil
+// removes it). Faults apply to packets between routers, not to the final
+// local delivery.
+func (n *Network) SetLinkFault(f LinkFault) { n.linkFault = f }
+
+// SetVerify switches sender verification on every router at once — the
+// network-wide hardening toggle the fault harnesses flip before injecting
+// adversarial clues. See Router.SetVerify.
+func (n *Network) SetVerify(on bool) {
+	for _, r := range n.routers {
+		r.SetVerify(on)
+	}
 }
 
 // New builds a network from per-router forwarding tables (as produced by
@@ -166,15 +254,25 @@ func (n *Network) ResetStats() {
 	}
 }
 
-// note records one hop's work.
-func (n *Network) note(router string, refs int) {
+// stat returns (creating) a router's stats record.
+func (n *Network) stat(router string) *RouterStats {
 	s := n.stats[router]
 	if s == nil {
 		s = &RouterStats{}
 		n.stats[router] = s
 	}
+	return s
+}
+
+// note records one hop's work.
+func (n *Network) note(router string, refs int, faulted bool) {
+	s := n.stat(router)
 	s.Packets++
 	s.Refs += refs
+	if faulted {
+		s.FaultedPackets++
+		s.FaultedRefs += refs
+	}
 }
 
 // Hop records what happened at one router on a packet's path.
@@ -184,15 +282,44 @@ type Hop struct {
 	BMP     ip.Prefix // best matching prefix found here
 	ClueIn  int       // clue length the packet arrived with (NoClue if none)
 	ClueOut int       // clue length the packet left with
-	Outcome core.Outcome
-	NextHop string
+	// FaultedClue reports that ClueIn had been perturbed by the link
+	// fault injector on the way here (ClueIn is the perturbed value).
+	FaultedClue bool
+	Outcome     core.Outcome
+	NextHop     string
+}
+
+// DropReason distinguishes the ways a packet can fail to be delivered.
+type DropReason int
+
+// Drop reasons.
+const (
+	// DropNone: the packet was not dropped (delivered, or still an error).
+	DropNone DropReason = iota
+	// DropNoRoute: a router had no matching prefix for the destination.
+	DropNoRoute
+	// DropFault: the packet was lost to an injected transport fault.
+	DropFault
+)
+
+// String implements fmt.Stringer.
+func (d DropReason) String() string {
+	switch d {
+	case DropNoRoute:
+		return "no-route"
+	case DropFault:
+		return "fault"
+	default:
+		return "none"
+	}
 }
 
 // Trace is the full path of one packet.
 type Trace struct {
 	Dest      ip.Addr
 	Hops      []Hop
-	Delivered bool // reached a router that owns the destination prefix
+	Delivered bool       // reached a router that owns the destination prefix
+	Drop      DropReason // why the packet died, when not Delivered
 }
 
 // TotalRefs sums the lookup work across the whole path.
@@ -219,6 +346,7 @@ func (n *Network) Send(src string, dest ip.Addr) (*Trace, error) {
 	tr := &Trace{Dest: dest}
 	clue := NoClue
 	upstream := ""
+	faulted := false // the clue in hand was perturbed in transit
 	for len(tr.Hops) < maxHops {
 		var cnt mem.Counter
 		var res core.Result
@@ -231,11 +359,13 @@ func (n *Network) Send(src string, dest ip.Addr) (*Trace, error) {
 			p, v, okk := cur.engine.Lookup(dest, &cnt)
 			res = core.Result{Prefix: p, Value: v, OK: okk, Outcome: core.OutcomeNoClue}
 		}
-		hop := Hop{Router: cur.name, Refs: cnt.Count(), ClueIn: clue, Outcome: res.Outcome}
-		n.note(cur.name, hop.Refs)
+		hop := Hop{Router: cur.name, Refs: cnt.Count(), ClueIn: clue, FaultedClue: faulted, Outcome: res.Outcome}
+		n.note(cur.name, hop.Refs, faulted)
 		if !res.OK {
 			hop.ClueOut = clue
 			tr.Hops = append(tr.Hops, hop)
+			tr.Drop = DropNoRoute
+			n.stat(cur.name).NoRouteDrops++
 			return tr, nil // dropped: no route
 		}
 		hop.BMP = res.Prefix
@@ -269,6 +399,19 @@ func (n *Network) Send(src string, dest ip.Addr) (*Trace, error) {
 		}
 		upstream = cur.name
 		clue = hop.ClueOut
+		faulted = false
+		if n.linkFault != nil {
+			wire, drop := n.linkFault.Apply(cur.name, next, dest, clue)
+			if drop {
+				tr.Drop = DropFault
+				n.stat(cur.name).FaultDrops++
+				return tr, nil // lost on the wire
+			}
+			if wire != clue {
+				clue = wire
+				faulted = true
+			}
+		}
 		cur = nxt
 	}
 	return tr, fmt.Errorf("netsim: packet for %v exceeded %d hops (routing loop?)", dest, maxHops)
