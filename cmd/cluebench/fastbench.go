@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/synth"
+)
+
+// benchRecord is one cell of the wall-clock benchmark matrix written by
+// -json: {Simple, Advance} × {IPv4, IPv6} × {core, fastpath}. The paper's
+// metric (refs/packet) rides along so the wall-clock numbers stay
+// anchored to the model the rest of the repo reports.
+type benchRecord struct {
+	Name          string  `json:"name"`
+	Method        string  `json:"method"`
+	Family        string  `json:"family"`
+	Path          string  `json:"path"` // "core" (map-based Table) or "fastpath" (compiled Snapshot)
+	NsPerOp       float64 `json:"ns_per_op"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	RefsPerPacket float64 `json:"refs_per_packet"`
+	// Speedup is wall-clock core/fastpath for the same method and family;
+	// set on fastpath rows only.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// runJSONBench measures the wall-clock matrix and writes it to path.
+func runJSONBench(path string, routers map[string]*fib.Table, seed int64) error {
+	var records []benchRecord
+	cells := []struct {
+		family           string
+		sender, receiver *fib.Table
+	}{
+		{"IPv4", routers["AT&T-1"], routers["AT&T-2"]},
+	}
+	{
+		u := synth.NewUniverseV6(seed, 8000)
+		cells = append(cells, struct {
+			family           string
+			sender, receiver *fib.Table
+		}{"IPv6", u.Router(synth.RouterSpec{Name: "bench-v6-s", Size: 5000, Divergence: 0.03}),
+			u.Router(synth.RouterSpec{Name: "bench-v6-r", Size: 5000, Divergence: 0.03})})
+	}
+	for _, cell := range cells {
+		st, rt := cell.sender.Trie(), cell.receiver.Trie()
+		// Warm all-hit workload: the steady state the paper's tables report.
+		w := synth.NewWorkload(seed, cell.sender)
+		var dests []ip.Addr
+		var clues []int
+		for len(dests) < 8192 {
+			d := w.Next()
+			if bmp, _, ok := st.Lookup(d, nil); ok {
+				dests = append(dests, d)
+				clues = append(clues, bmp.Clue())
+			}
+		}
+		for _, m := range []core.Method{core.Simple, core.Advance} {
+			cfg := core.Config{Method: m, Engine: lookup.NewRegular(rt), Local: rt}
+			if m == core.Advance {
+				cfg.Sender = st.Contains
+			}
+			tab := core.MustNewTable(cfg)
+			tab.Preprocess(cell.sender.Prefixes())
+			snap := fastpath.Compile(tab)
+			// The paper's metric, measured once over the workload.
+			var refs mem.Counter
+			for i := range dests {
+				tab.Process(dests[i], clues[i], &refs)
+			}
+			refsPerPkt := float64(refs.Count()) / float64(len(dests))
+			coreRes := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					j := i % len(dests)
+					tab.Process(dests[j], clues[j], nil)
+				}
+			})
+			fastRes := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					j := i % len(dests)
+					snap.Process(dests[j], clues[j], nil)
+				}
+			})
+			mk := func(p string, r testing.BenchmarkResult) benchRecord {
+				ns := float64(r.NsPerOp())
+				return benchRecord{
+					Name:          m.String() + "/" + cell.family + "/" + p,
+					Method:        m.String(),
+					Family:        cell.family,
+					Path:          p,
+					NsPerOp:       ns,
+					PacketsPerSec: 1e9 / ns,
+					AllocsPerOp:   float64(r.AllocsPerOp()),
+					RefsPerPacket: refsPerPkt,
+				}
+			}
+			cr := mk("core", coreRes)
+			fr := mk("fastpath", fastRes)
+			fr.Speedup = cr.NsPerOp / fr.NsPerOp
+			records = append(records, cr, fr)
+			fmt.Printf("%-22s %8.1f ns/op %12.0f pkts/s  %.0f allocs/op  %.2f refs/pkt\n",
+				cr.Name, cr.NsPerOp, cr.PacketsPerSec, cr.AllocsPerOp, cr.RefsPerPacket)
+			fmt.Printf("%-22s %8.1f ns/op %12.0f pkts/s  %.0f allocs/op  %.2f refs/pkt  (%.1fx)\n",
+				fr.Name, fr.NsPerOp, fr.PacketsPerSec, fr.AllocsPerOp, fr.RefsPerPacket, fr.Speedup)
+		}
+	}
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", len(records), path)
+	return nil
+}

@@ -45,12 +45,20 @@ func main() {
 		snapshots = flag.String("snapshots", "", "directory of saved snapshots (from routegen) to use instead of generating")
 		detail    = flag.Bool("detail", false, "also print the Advance distribution (1-reference share, worst case) per pair")
 		hardware  = flag.Bool("hardware", false, "translate each pair's results to 1999 hardware terms (Mlookups/s, Gbit/s)")
+		jsonBench = flag.Bool("json", false, "run the wall-clock fastpath benchmarks and write BENCH_fastpath.json instead of the paper tables")
 	)
 	flag.Parse()
 
 	routers, err := loadRouters(*snapshots, *seed, *scale)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *jsonBench {
+		if err := runJSONBench("BENCH_fastpath.json", routers, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	want := func(n int) bool { return *table == "all" || *table == strconv.Itoa(n) }

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof: profiling endpoints on an opt-in listener
 	"os"
 	"os/signal"
 	"sync"
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fastpath"
 	"repro/internal/fault"
 	"repro/internal/fib"
 	"repro/internal/header"
@@ -56,12 +59,22 @@ const (
 	sendBackoff = time.Millisecond
 )
 
+// clueForwarder is the read-side surface the data path needs; it is
+// satisfied by both clue-table representations — the interpreted
+// core.ConcurrentTable (RWMutex) and the compiled fastpath.RCU
+// (snapshot swap, selected with -fastpath).
+type clueForwarder interface {
+	Process(dest ip.Addr, clueLen int, cnt *mem.Counter) core.Result
+	ProcessNoClue(dest ip.Addr, cnt *mem.Counter) core.Result
+}
+
 // udpRouter is one chain hop: a UDP socket plus a clue-routing engine.
 type udpRouter struct {
 	name    string
 	conn    *net.UDPConn
 	table   *fib.Table
-	clues   *core.ConcurrentTable
+	clues   clueForwarder
+	fast    *fastpath.RCU           // non-nil in -fastpath mode: misses learn through it
 	peers   map[string]*net.UDPAddr // next-hop name -> socket address
 	inj     *fault.Injector         // nil when -faults is 0
 	verbose bool
@@ -151,6 +164,9 @@ func (r *udpRouter) handle(pkt []byte) {
 	var res core.Result
 	if h.Clue != nil {
 		res = r.clues.Process(h.Dst, h.Clue.Len, &cnt)
+		if r.fast != nil && res.Outcome == core.OutcomeMiss {
+			r.fast.Learn(h.Dst, h.Clue.Len) // snapshots learn off the read path
+		}
 	} else {
 		res = r.clues.ProcessNoClue(h.Dst, &cnt)
 	}
@@ -205,6 +221,9 @@ func (r *udpRouter) handleV6(pkt []byte) {
 	var res core.Result
 	if h.Clue != nil {
 		res = r.clues.Process(h.Dst, h.Clue.Len, &cnt)
+		if r.fast != nil && res.Outcome == core.OutcomeMiss {
+			r.fast.Learn(h.Dst, h.Clue.Len)
+		}
 	} else {
 		res = r.clues.ProcessNoClue(h.Dst, &cnt)
 	}
@@ -292,10 +311,22 @@ func main() {
 		faultSeed = flag.Int64("faultseed", 1, "fault injector seed")
 		verbose   = flag.Bool("v", false, "log every hop")
 		useV6     = flag.Bool("v6", false, "use IPv6 headers (7-bit clue in a hop-by-hop option)")
+		useFast   = flag.Bool("fastpath", false, "route through compiled fastpath snapshots (internal/fastpath) instead of interpreted clue tables")
+		pprofAddr = flag.String("pprof", "", "listen address for net/http/pprof, e.g. localhost:6060 (empty disables)")
 	)
 	flag.Parse()
 	if *nRouters < 2 {
 		log.Fatal("-routers must be at least 2")
+	}
+	if *pprofAddr != "" {
+		// Opt-in profiling: the blank net/http/pprof import registers the
+		// /debug/pprof/ handlers on the default mux.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	// Build the chain topology and its forwarding tables.
@@ -363,23 +394,30 @@ func main() {
 		addrs[name] = conn.LocalAddr().(*net.UDPAddr)
 		tab := tables[name]
 		tr := tab.Trie()
-		routers[name] = &udpRouter{
-			name:  name,
-			conn:  conn,
-			table: tab,
-			clues: core.NewConcurrentTable(core.MustNewTable(core.Config{
-				Method: core.Simple, // sound for any clue a wire can carry
-				Engine: lookup.NewPatricia(tr),
-				Local:  tr,
-				Learn:  true,
-				// Every learned clue is kept forever (§3.4); the cap keeps
-				// an adversarial wire from growing the table without bound.
-				LearnLimit: 1 << 12,
-			})),
+		ct := core.MustNewTable(core.Config{
+			Method: core.Simple, // sound for any clue a wire can carry
+			Engine: lookup.NewPatricia(tr),
+			Local:  tr,
+			Learn:  true,
+			// Every learned clue is kept forever (§3.4); the cap keeps
+			// an adversarial wire from growing the table without bound.
+			LearnLimit: 1 << 12,
+		})
+		r := &udpRouter{
+			name:    name,
+			conn:    conn,
+			table:   tab,
 			inj:     inj,
 			verbose: *verbose,
 			done:    done,
 		}
+		if *useFast {
+			r.fast = fastpath.NewRCU(ct)
+			r.clues = r.fast
+		} else {
+			r.clues = core.NewConcurrentTable(ct)
+		}
+		routers[name] = r
 	}
 	for _, r := range routers {
 		r.peers = make(map[string]*net.UDPAddr)

@@ -100,6 +100,7 @@ func DefaultConfig() Config {
 			"repro/internal/trie":     true,
 			"repro/internal/patricia": true,
 			"repro/internal/fib":      true,
+			"repro/internal/fastpath": true,
 		},
 	}
 }

@@ -28,10 +28,14 @@ func NewConcurrentTable(t *Table) *ConcurrentTable {
 	return &ConcurrentTable{t: t}
 }
 
-// Process is the concurrent equivalent of Table.Process: the bad-clue
-// guard runs before any locking, and sender verification (Config.Verify)
-// runs under the read lock — the sender trie, like the engine, is only
-// mutated inside Mutate, which holds the write lock.
+// Process is the concurrent equivalent of Table.Process. The entire read
+// path — bad clues, valid entries, invalid entries (§3.4 marking means
+// they are never relearned) and misses on a table that cannot learn —
+// completes under a single read-lock acquisition; sender verification
+// (Config.Verify) also runs under it, since the sender trie, like the
+// engine, is only mutated inside Mutate, which holds the write lock. Only
+// a miss that will actually learn pays a second acquisition (the write
+// lock), with the usual re-check for a racing learner.
 //
 //cluevet:hotpath
 func (c *ConcurrentTable) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) Result {
@@ -44,28 +48,36 @@ func (c *ConcurrentTable) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) R
 	}
 	cnt.Add(1)
 	e, ok := c.t.entries[clue]
-	if ok && e.valid {
+	switch {
+	case ok && e.valid:
 		res := c.t.processValid(e, dest, cnt)
+		c.mu.RUnlock()
+		return res
+	case ok: // invalid entry: full lookup, no relearning (§3.4 marking)
+		res := c.t.fullLookup(dest, cnt, OutcomeInvalid)
+		c.mu.RUnlock()
+		return res
+	case !c.t.learnable():
+		// Miss on a table that cannot learn (legacy steady state): pure
+		// read traffic, no reason to serialize the readers.
+		res := c.t.fullLookup(dest, cnt, OutcomeMiss)
 		c.mu.RUnlock()
 		return res
 	}
 	c.mu.RUnlock()
-	// Slow path: miss or invalid entry. Take the write lock, re-check (a
-	// racing goroutine may have learned the clue meanwhile), learn, and
-	// route by full lookup.
+	// Learning miss: take the write lock, re-check (a racing goroutine may
+	// have learned the clue meanwhile), learn, and route by full lookup.
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok = c.t.entries[clue]
 	switch {
 	case ok && e.valid:
 		return c.t.processValid(e, dest, cnt)
-	case ok: // invalid entry: full lookup, no relearning (§3.4 marking)
+	case ok:
 		return c.t.fullLookup(dest, cnt, OutcomeInvalid)
 	default:
 		if c.t.learnable() {
-			c.t.entries[clue] = c.t.newEntry(clue)
-			c.t.noteClue(clue)
-			c.t.learned++
+			c.t.learnClue(clue)
 		}
 		return c.t.fullLookup(dest, cnt, OutcomeMiss)
 	}

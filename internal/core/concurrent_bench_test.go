@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/synth"
+)
+
+// concurrentFixture builds a paper-shaped Advance table wrapped in a
+// ConcurrentTable, with every sender clue preprocessed, plus a workload of
+// (dest, clueLen) pairs. missEvery > 0 replaces every missEvery-th clue
+// with an unknown one (the legacy steady-state mix: a learning-disabled
+// table keeps seeing clues it will never hold).
+func concurrentFixture(b *testing.B, missEvery int) (*ConcurrentTable, []ip.Addr, []int) {
+	b.Helper()
+	routers := synth.PaperRouters(1999, 0.25)
+	sender, receiver := routers["AT&T-1"], routers["AT&T-2"]
+	st, rt := sender.Trie(), receiver.Trie()
+	tab := MustNewTable(Config{
+		Method: Advance,
+		Engine: lookup.NewPatricia(rt),
+		Local:  rt,
+		Sender: st.Contains,
+	})
+	tab.Preprocess(sender.Prefixes())
+	ct := NewConcurrentTable(tab)
+
+	w := synth.NewWorkload(17, sender)
+	dests := make([]ip.Addr, 0, 4096)
+	clues := make([]int, 0, 4096)
+	for len(dests) < 4096 {
+		d := w.Next()
+		c, _, ok := st.Lookup(d, nil)
+		if !ok {
+			continue
+		}
+		clueLen := c.Clue()
+		if missEvery > 0 && len(dests)%missEvery == 0 {
+			// A clue the sender never announced: full-width, guaranteed
+			// absent from the preprocessed set unless the trie holds a
+			// host route there (synthetic tables do not).
+			clueLen = rt.Family().Width()
+		}
+		dests = append(dests, d)
+		clues = append(clues, clueLen)
+	}
+	return ct, dests, clues
+}
+
+// BenchmarkConcurrentTableProcess measures the legacy (non-compiled)
+// shared-table read path under parallel load. The "hit" case never misses;
+// the "mixed" case sees one unknown clue in eight — on a learning-disabled
+// table those misses are pure read traffic and must not serialize the
+// readers (the PR-3 lock fix; EXPERIMENTS.md §4 records before/after).
+func BenchmarkConcurrentTableProcess(b *testing.B) {
+	cases := []struct {
+		name      string
+		missEvery int
+	}{
+		{"hit", 0},
+		{"mixed", 8},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			ct, dests, clues := concurrentFixture(b, tc.missEvery)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					j := i % len(dests)
+					ct.Process(dests[j], clues[j], nil)
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkConcurrentTableNoClue measures the clue-less legacy path (one
+// read-lock acquisition and a full lookup per packet).
+func BenchmarkConcurrentTableNoClue(b *testing.B) {
+	ct, dests, _ := concurrentFixture(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ct.ProcessNoClue(dests[i%len(dests)], nil)
+			i++
+		}
+	})
+}

@@ -364,9 +364,7 @@ func (t *Table) Process(dest ip.Addr, clueLen int, c *mem.Counter) Result {
 	if !ok {
 		// Never saw this clue: route by full lookup, then learn it.
 		if t.learnable() {
-			t.entries[clue] = t.newEntry(clue)
-			t.noteClue(clue)
-			t.learned++
+			t.learnClue(clue)
 		}
 		return t.fullLookup(dest, c, OutcomeMiss)
 	}

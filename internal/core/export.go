@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/ip"
+	"repro/internal/lookup"
+)
+
+// Snapshot export: the read-only view of a clue table that the fastpath
+// compiler (internal/fastpath) flattens into its cache-line-packed jump
+// table. Everything here runs at compile/snapshot time, off the per-packet
+// path, so none of it is charged memory references.
+
+// ExportedEntry is the compiler-facing view of one clue-table record: the
+// clue, the §3.4 validity mark, the FD field in the open, and the compiled
+// restricted-search state (nil Resume means Ptr = Empty, i.e. the entry is
+// final).
+type ExportedEntry struct {
+	Clue     ip.Prefix
+	Valid    bool
+	FDPrefix ip.Prefix
+	FDValue  int
+	FDOK     bool
+	Resume   lookup.Resume
+}
+
+// exportEntry converts one internal record.
+func exportEntry(e *Entry) ExportedEntry {
+	return ExportedEntry{
+		Clue:     e.clue,
+		Valid:    e.valid,
+		FDPrefix: e.fd.prefix,
+		FDValue:  e.fd.value,
+		FDOK:     e.fd.ok,
+		Resume:   e.ptr,
+	}
+}
+
+// Export returns every entry of the table in unspecified order.
+func (t *Table) Export() []ExportedEntry {
+	out := make([]ExportedEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, exportEntry(e))
+	}
+	return out
+}
+
+// ExportEntry returns the entry for clue c, reporting whether it exists.
+// The RCU writer path uses it to patch a single learned clue into a
+// compiled snapshot without a full recompile.
+func (t *Table) ExportEntry(c ip.Prefix) (ExportedEntry, bool) {
+	e, ok := t.entries[c]
+	if !ok {
+		return ExportedEntry{}, false
+	}
+	return exportEntry(e), true
+}
+
+// Config returns a copy of the table's configuration (the compiler needs
+// the method, engine, tries and verification mode the entries were built
+// against).
+func (t *Table) Config() Config { return t.cfg }
+
+// Learn adds the entry for clue c the same way an on-the-fly miss would
+// (§3.3.1), honoring Learn and LearnLimit. It reports whether an entry was
+// added: false when learning is off, the cap is reached, or the clue is
+// already present. Snapshot writers (fastpath.RCU) call it off the packet
+// path and then patch the compiled snapshot.
+func (t *Table) Learn(c ip.Prefix) bool {
+	if _, ok := t.entries[c]; ok || !t.learnable() {
+		return false
+	}
+	t.learnClue(c)
+	return true
+}
+
+// learnClue records a new entry for c unconditionally (the caller has
+// checked learnable and absence).
+func (t *Table) learnClue(c ip.Prefix) {
+	t.entries[c] = t.newEntry(c)
+	t.noteClue(c)
+	t.learned++
+}

@@ -1,0 +1,74 @@
+// Zero-allocation pins: the acceptance bar for the fast path is not
+// "few" allocations but none — testing.AllocsPerRun must report exactly
+// zero for every hot entry point, in flat mode, in delegate mode, and
+// through the RCU wrapper. A regression here is a correctness failure,
+// not a performance note.
+package fastpath_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+)
+
+func pinZero(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(200, f); n != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, n)
+	}
+}
+
+func TestZeroAllocs(t *testing.T) {
+	p := v4Pair(t, 512)
+	p.perturb(5)
+	var cnt mem.Counter
+	out := make([]core.Result, len(p.dests))
+	var sink core.Result
+
+	for _, mode := range []struct {
+		name string
+		eng  lookup.ClueEngine
+	}{
+		{"flat", lookup.NewRegular(p.rt)},
+		{"delegate", lookup.NewPatricia(p.rt)},
+	} {
+		tab := newTable(t, p, core.Advance, mode.eng, false)
+		snap := fastpath.Compile(tab)
+		i := 0
+		pinZero(t, mode.name+"/Process", func() {
+			sink = snap.Process(p.dests[i%len(p.dests)], p.clues[i%len(p.clues)], &cnt)
+			i++
+		})
+		pinZero(t, mode.name+"/ProcessNoClue", func() {
+			sink = snap.ProcessNoClue(p.dests[i%len(p.dests)], &cnt)
+			i++
+		})
+		pinZero(t, mode.name+"/ProcessBatch", func() {
+			snap.ProcessBatch(p.dests, p.clues, out, &cnt)
+		})
+	}
+
+	// Verify mode walks the flat sender trie on top of everything else.
+	vt := newTable(t, p, core.Advance, lookup.NewRegular(p.rt), true)
+	vsnap := fastpath.Compile(vt)
+	j := 0
+	pinZero(t, "verify/Process", func() {
+		sink = vsnap.Process(p.dests[j%len(p.dests)], p.clues[j%len(p.clues)], &cnt)
+		j++
+	})
+
+	// The RCU read side adds one atomic pointer load, nothing more.
+	rcu := fastpath.NewRCU(newTable(t, p, core.Advance, lookup.NewRegular(p.rt), false))
+	k := 0
+	pinZero(t, "rcu/Process", func() {
+		sink = rcu.Process(p.dests[k%len(p.dests)], p.clues[k%len(p.clues)], &cnt)
+		k++
+	})
+	pinZero(t, "rcu/ProcessBatch", func() {
+		rcu.ProcessBatch(p.dests, p.clues, out, &cnt)
+	})
+	_ = sink
+}

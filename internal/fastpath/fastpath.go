@@ -1,0 +1,411 @@
+// Package fastpath compiles a clue table (core.Table) into an immutable,
+// flat, cache-line-packed snapshot and processes packets against it with
+// zero allocations — the wall-clock fast path the ROADMAP's "as fast as
+// the hardware allows" goal asks for, layered on top of the paper's
+// memory-reference cost model rather than replacing it.
+//
+// The compiled form is a clue-length-indexed jump table: for each clue
+// length L in [0, W] an open-addressed, power-of-two hash table over the
+// first L bits of the destination, with each 32-byte slot holding the
+// clue key, the inlined FD field (as a prefix LENGTH — the FD prefix is
+// always an ancestor of the clue, hence a prefix of the destination, so
+// it is reconstructed from the packet in registers), the §3.4 validity
+// mark, the Claim-1 finality bit, and the restricted-search start point.
+// Two slots fill one 64-byte cache line, the software analogue of the
+// paper's §3.5 "two clue records per SDRAM line" packing; the Advance
+// method's common case (a final entry, 95–99.5% of clues per §6) is one
+// hash probe and zero pointer dereferences.
+//
+// Restricted searches and full lookups come in two flavors:
+//
+//   - Flat: when the table's engine is the Regular trie scan, the local
+//     trie (and the sender trie under Config.Verify) is compiled into a
+//     popcount-bitmap flat trie (flattrie.go) and every walk runs over
+//     contiguous slices — no pointers anywhere on the hot path.
+//   - Delegate: for the compiled engines (Patricia, Binary, 6-way, Log W,
+//     Multibit) the snapshot retains the per-entry lookup.Resume values
+//     and the engine itself. Those structures are immutable after
+//     construction, so the calls are still allocation-free.
+//
+// Either way the outcome, next hop, degradation flag and the charged
+// memory-reference count are bit-for-bit identical to core.Table's —
+// enforced by the differential tests in this package. Snapshots are
+// immutable: route changes rebuild or patch a snapshot off-path and
+// publish it with an atomic pointer swap (see RCU in rcu.go), so readers
+// never block and never observe a half-updated table.
+package fastpath
+
+import (
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+)
+
+// slot is one compiled clue entry: 32 bytes, two per cache line.
+type slot struct {
+	keyHi, keyLo uint64 // canonical clue bits (dest masked to the table's length)
+	value        int32  // FD payload (next-hop ID) when fdLen >= 0
+	resume       int32  // restricted-search start: flat-trie index or resumes[] index; unused when final
+	sender       int32  // clue vertex in the flat sender trie (Verify), -1 when absent
+	fdLen        int16  // FD prefix length; -1 when the FD is "no match"
+	flags        uint8
+	_            uint8
+}
+
+// slot flags.
+const (
+	slotUsed         uint8 = 1 << 0 // the slot holds an entry (open addressing)
+	slotValid        uint8 = 1 << 1 // §3.4 validity mark
+	slotFinal        uint8 = 1 << 2 // Ptr = Empty: the FD decides without a search
+	slotSenderMarked uint8 = 1 << 3 // the clue is a marked sender vertex (Verify)
+)
+
+// lenTable is the jump-table row for one clue length: an open-addressed,
+// power-of-two slot array (nil when the table holds no clue of this
+// length — a guaranteed miss).
+type lenTable struct {
+	slots []slot
+	used  int
+}
+
+// maskHi/maskLo clear every destination bit past a clue length, turning
+// "the first L bits of dest" into two ANDs. Sized 256 and indexed with a
+// uint8 so the hot path pays no bounds check; entries past 128 are unused
+// (the clue range check runs first).
+var maskHi, maskLo [256]uint64
+
+func init() {
+	for l := 0; l <= 128; l++ {
+		switch {
+		case l <= 64:
+			maskHi[l] = ^uint64(0) << (64 - uint(l)) // l == 64 shifts by 0; l == 0 shifts out everything
+			if l == 0 {
+				maskHi[l] = 0
+			}
+		default:
+			maskHi[l] = ^uint64(0)
+			maskLo[l] = ^uint64(0) << (128 - uint(l))
+		}
+	}
+}
+
+// hashKey mixes the two key words (murmur3 finalizer over a golden-ratio
+// fold); open addressing with a 50% max load factor keeps probe chains
+// short.
+func hashKey(hi, lo uint64) uint64 {
+	x := hi ^ (lo * 0x9E3779B97F4A7C15)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 29
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 32
+	return x
+}
+
+// Snapshot is an immutable compiled clue table. All exported methods are
+// safe for unsynchronized concurrent use; none of them allocate.
+type Snapshot struct {
+	width   int
+	fam     ip.Family
+	flat    bool // engine is Regular: walks run on the flat tries below
+	verify  bool
+	lens    []lenTable
+	local   flatTrie // flat mode: the receiver's compiled trie
+	sender  flatTrie // Verify: the sender's compiled trie
+	engine  lookup.Engine
+	resumes []lookup.Resume // delegate mode: per-entry compiled restricted searches
+	entries int
+}
+
+// Compile snapshots a clue table. It runs off the packet path and is not
+// charged references (like the paper's preprocessing). The table must be
+// internally consistent — entries recomputed after any trie change, which
+// is exactly what core's UpdateLocal/UpdateSender/Revalidate maintain;
+// later mutations of the live table or its tries do not affect the
+// snapshot (flat mode copies the tries) but do require recompiling to be
+// visible.
+func Compile(t *core.Table) *Snapshot {
+	cfg := t.Config()
+	s := &Snapshot{
+		width:  cfg.Local.Family().Width(),
+		fam:    cfg.Local.Family(),
+		verify: cfg.Verify,
+		engine: cfg.Engine,
+	}
+	if _, ok := cfg.Engine.(*lookup.RegularEngine); ok {
+		s.flat = true
+		s.local = compileTrie(cfg.Local)
+	}
+	if cfg.Verify {
+		s.sender = compileTrie(cfg.SenderTrie)
+	}
+	s.lens = make([]lenTable, s.width+1)
+	perLen := make([][]core.ExportedEntry, s.width+1)
+	for _, e := range t.Export() {
+		perLen[e.Clue.Len()] = append(perLen[e.Clue.Len()], e)
+	}
+	for l, es := range perLen {
+		if len(es) == 0 {
+			continue
+		}
+		slots := make([]slot, tableSize(len(es)))
+		for _, e := range es {
+			insertSlot(slots, s.compileSlot(e))
+		}
+		s.lens[l] = lenTable{slots: slots, used: len(es)}
+		s.entries += len(es)
+	}
+	return s
+}
+
+// tableSize returns the power-of-two capacity for n entries at a max load
+// factor of 1/2.
+func tableSize(n int) int {
+	size := 2
+	for size < 2*n {
+		size <<= 1
+	}
+	return size
+}
+
+// compileSlot flattens one exported entry, appending to s.resumes in
+// delegate mode.
+func (s *Snapshot) compileSlot(e core.ExportedEntry) slot {
+	kh, kl := e.Clue.Addr().Halves()
+	sl := slot{keyHi: kh, keyLo: kl, resume: -1, sender: -1, fdLen: -1, flags: slotUsed}
+	if e.Valid {
+		sl.flags |= slotValid
+	}
+	if e.FDOK {
+		sl.fdLen = int16(e.FDPrefix.Len())
+		sl.value = int32(e.FDValue)
+	}
+	switch {
+	case e.Resume == nil:
+		sl.flags |= slotFinal
+	case s.flat:
+		// The Regular engine resumes at the clue vertex of the live trie;
+		// the flat walk starts at the same vertex of the compiled copy.
+		sl.resume = s.local.find(e.Clue)
+		if sl.resume < 0 {
+			sl.flags |= slotFinal // vertex gone: nothing below the clue anymore
+		}
+	default:
+		sl.resume = int32(len(s.resumes))
+		s.resumes = append(s.resumes, e.Resume)
+	}
+	if s.verify {
+		sl.sender = s.sender.find(e.Clue)
+		if sl.sender >= 0 && s.sender.nodes[sl.sender].meta&fMarked != 0 {
+			sl.flags |= slotSenderMarked
+		}
+	}
+	return sl
+}
+
+// insertSlot places sl by linear probing, replacing an existing slot with
+// the same key (the patch path recompiles entries in place).
+func insertSlot(slots []slot, sl slot) {
+	mask := uint32(len(slots) - 1)
+	i := uint32(hashKey(sl.keyHi, sl.keyLo)) & mask
+	for slots[i].flags&slotUsed != 0 {
+		if slots[i].keyHi == sl.keyHi && slots[i].keyLo == sl.keyLo {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	slots[i] = sl
+}
+
+// Width returns the address width of the snapshot's family.
+func (s *Snapshot) Width() int { return s.width }
+
+// Family returns the snapshot's address family.
+func (s *Snapshot) Family() ip.Family { return s.fam }
+
+// Len returns the number of compiled entries.
+func (s *Snapshot) Len() int { return s.entries }
+
+// Flat reports whether the snapshot runs fully on flat tries (Regular
+// engine) as opposed to delegating restricted searches to a compiled
+// engine.
+func (s *Snapshot) Flat() bool { return s.flat }
+
+// Process routes one packet, following core.Table.Process decision for
+// decision and reference for reference: the same outcomes, the same next
+// hops, the same Degraded classification and the same mem.Counter charges
+// — only the wall-clock cost differs. Unlike the live table a snapshot
+// never learns; a miss routes by full lookup and the caller may hand the
+// clue to RCU.Learn off the hot path.
+//
+//cluevet:hotpath
+func (s *Snapshot) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) core.Result {
+	if clueLen < 0 || clueLen > s.width {
+		return s.fullLookup(dest, cnt, core.OutcomeBadClue)
+	}
+	cnt.Add(1) // the clue-table reference
+	hi, lo := dest.Halves()
+	kh := hi & maskHi[uint8(clueLen)]
+	kl := lo & maskLo[uint8(clueLen)]
+	slots := s.lens[clueLen].slots
+	if len(slots) == 0 {
+		return s.fullLookup(dest, cnt, core.OutcomeMiss)
+	}
+	mask := uint32(len(slots) - 1)
+	i := uint32(hashKey(kh, kl)) & mask
+	for {
+		sl := &slots[i]
+		if sl.flags&slotUsed == 0 {
+			return s.fullLookup(dest, cnt, core.OutcomeMiss)
+		}
+		if sl.keyHi == kh && sl.keyLo == kl {
+			// Claim-1 common case (95–99.5% of clues, §6): valid, final,
+			// no verification — resolved here without the apply call.
+			if sl.flags&(slotValid|slotFinal) == slotValid|slotFinal && !s.verify {
+				if sl.fdLen < 0 {
+					return core.Result{Outcome: core.OutcomeFD}
+				}
+				return core.Result{Prefix: ip.PrefixFrom(dest, int(sl.fdLen)), Value: int(sl.value), OK: true, Outcome: core.OutcomeFD}
+			}
+			return s.apply(sl, dest, clueLen, cnt)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// ProcessNoClue routes a clue-less packet (legacy upstream, §5.3): a full
+// lookup, charged to the engine's model.
+//
+//cluevet:hotpath
+func (s *Snapshot) ProcessNoClue(dest ip.Addr, cnt *mem.Counter) core.Result {
+	return s.fullLookup(dest, cnt, core.OutcomeNoClue)
+}
+
+// ProcessBatch routes up to len(out) packets into the caller-owned out
+// buffer, amortizing bounds checks across the batch; it returns the
+// number processed (the shortest of the three slices). Aggregate
+// references land on cnt; per-packet accounting callers use Process.
+//
+//cluevet:hotpath
+func (s *Snapshot) ProcessBatch(dests []ip.Addr, clueLens []int, out []core.Result, cnt *mem.Counter) int {
+	n := len(dests)
+	if len(clueLens) < n {
+		n = len(clueLens)
+	}
+	if len(out) < n {
+		n = len(out)
+	}
+	dests = dests[:n]
+	clueLens = clueLens[:n]
+	out = out[:n]
+	for i, d := range dests {
+		out[i] = s.Process(d, clueLens[i], cnt)
+	}
+	return n
+}
+
+// apply resolves a found slot: validity, sender verification, then the
+// inlined FD or the restricted search.
+//
+//cluevet:hotpath
+func (s *Snapshot) apply(sl *slot, dest ip.Addr, clueLen int, cnt *mem.Counter) core.Result {
+	if sl.flags&slotValid == 0 {
+		return s.fullLookup(dest, cnt, core.OutcomeInvalid)
+	}
+	if s.verify && s.refuted(sl, dest, clueLen, cnt) {
+		return s.fullLookup(dest, cnt, core.OutcomeSuspect)
+	}
+	if sl.flags&slotFinal != 0 {
+		if sl.fdLen < 0 {
+			return core.Result{Outcome: core.OutcomeFD}
+		}
+		return core.Result{Prefix: ip.PrefixFrom(dest, int(sl.fdLen)), Value: int(sl.value), OK: true, Outcome: core.OutcomeFD}
+	}
+	if s.flat {
+		if l, v, ok := s.local.lookupFrom(uint32(sl.resume), clueLen, dest, cnt); ok {
+			return core.Result{Prefix: ip.PrefixFrom(dest, int(l)), Value: int(v), OK: true, Outcome: core.OutcomeResumeHit}
+		}
+	} else if p, v, ok := s.resumes[sl.resume].Lookup(dest, cnt); ok {
+		return core.Result{Prefix: p, Value: v, OK: true, Outcome: core.OutcomeResumeHit}
+	}
+	if sl.fdLen < 0 {
+		return core.Result{Outcome: core.OutcomeResumeFD}
+	}
+	return core.Result{Prefix: ip.PrefixFrom(dest, int(sl.fdLen)), Value: int(sl.value), OK: true, Outcome: core.OutcomeResumeFD}
+}
+
+// refuted mirrors core's sender verification: a clue that is not a marked
+// sender vertex is refuted outright at no cost; otherwise the walk down
+// the flat sender trie is charged to the packet, and a marked sender
+// prefix longer than the clue refutes it.
+//
+//cluevet:hotpath
+func (s *Snapshot) refuted(sl *slot, dest ip.Addr, clueLen int, cnt *mem.Counter) bool {
+	if sl.flags&slotSenderMarked == 0 {
+		return true
+	}
+	l, _, ok := s.sender.lookupFrom(uint32(sl.sender), clueLen, dest, cnt)
+	return ok && int(l) > clueLen
+}
+
+// fullLookup routes without clue help: the flat root walk in flat mode,
+// the engine otherwise — either way the charge equals what core's
+// fullLookup would record.
+//
+//cluevet:hotpath
+func (s *Snapshot) fullLookup(dest ip.Addr, cnt *mem.Counter, o core.Outcome) core.Result {
+	if s.flat {
+		if l, v, ok := s.local.lookupFrom(0, 0, dest, cnt); ok {
+			return core.Result{Prefix: ip.PrefixFrom(dest, int(l)), Value: int(v), OK: true, Outcome: o}
+		}
+		return core.Result{Outcome: o}
+	}
+	p, v, ok := s.engine.Lookup(dest, cnt)
+	return core.Result{Prefix: p, Value: v, OK: ok, Outcome: o}
+}
+
+// patch returns a copy of s with entry e recompiled in place (or added),
+// sharing every length table except e's. It is the RCU writer's
+// incremental path for learned clues and validity flips; anything that
+// changes a trie needs a full Compile.
+func (s *Snapshot) patch(e core.ExportedEntry) *Snapshot {
+	ns := *s
+	ns.lens = append([]lenTable(nil), s.lens...)
+	ns.resumes = append([]lookup.Resume(nil), s.resumes...)
+	l := e.Clue.Len()
+	lt := ns.lens[l]
+	kh, kl := e.Clue.Addr().Halves()
+	replacing := false
+	if lt.slots != nil {
+		mask := uint32(len(lt.slots) - 1)
+		i := uint32(hashKey(kh, kl)) & mask
+		for lt.slots[i].flags&slotUsed != 0 {
+			if lt.slots[i].keyHi == kh && lt.slots[i].keyLo == kl {
+				replacing = true
+				break
+			}
+			i = (i + 1) & mask
+		}
+	}
+	used := lt.used
+	if !replacing {
+		used++
+	}
+	size := tableSize(used)
+	if size < len(lt.slots) {
+		size = len(lt.slots) // never shrink: rehash only on growth
+	}
+	slots := make([]slot, size)
+	for _, old := range lt.slots {
+		if old.flags&slotUsed != 0 && !(old.keyHi == kh && old.keyLo == kl) {
+			insertSlot(slots, old)
+		}
+	}
+	insertSlot(slots, ns.compileSlot(e))
+	ns.lens[l] = lenTable{slots: slots, used: used}
+	if !replacing {
+		ns.entries++
+	}
+	return &ns
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package fastpath_test
+
+// raceEnabled reports that this binary was built with -race: wall-clock
+// ratios are meaningless under the detector's instrumentation, so the
+// speedup gate skips itself (the differential and stress tests still run).
+const raceEnabled = true

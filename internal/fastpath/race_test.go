@@ -1,0 +1,94 @@
+// Snapshot-swap stress: wait-free readers hammering Process/ProcessBatch
+// while a writer learns, invalidates, revalidates and recompiles. Run
+// under -race in CI; without the detector it still checks the structural
+// invariant that every published snapshot is internally consistent (a
+// matching prefix always contains the destination, outcomes stay in
+// range).
+package fastpath_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+)
+
+func TestSnapshotSwapStress(t *testing.T) {
+	p := v4Pair(t, 2048)
+	p.perturb(13)
+	live := core.MustNewTable(core.Config{
+		Method: core.Advance, Engine: lookup.NewRegular(p.rt),
+		Local: p.rt, Sender: p.st.Contains, Learn: true,
+	})
+	live.Preprocess(p.sender.Prefixes()[:p.sender.Len()/2]) // leave room to learn
+	rcu := fastpath.NewRCU(live)
+
+	var stop atomic.Bool
+	var processed atomic.Int64
+	var wg sync.WaitGroup
+
+	check := func(d ip.Addr, res core.Result) {
+		if res.OK && !res.Prefix.Contains(d) {
+			t.Errorf("snapshot returned prefix %v not containing %v (outcome %v)", res.Prefix, d, res.Outcome)
+			stop.Store(true)
+		}
+	}
+
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := make([]core.Result, 64)
+			for i := r; !stop.Load(); i++ {
+				if i%3 == 0 {
+					base := (i * 64) % (len(p.dests) - 64)
+					n := rcu.ProcessBatch(p.dests[base:base+64], p.clues[base:base+64], out, nil)
+					for j := 0; j < n; j++ {
+						check(p.dests[base+j], out[j])
+					}
+					processed.Add(int64(n))
+				} else {
+					d, c := p.dests[i%len(p.dests)], p.clues[i%len(p.clues)]
+					res := rcu.Process(d, c, nil)
+					check(d, res)
+					if res.Outcome == core.OutcomeMiss {
+						rcu.Learn(d, c) // reader-driven learning races the writer
+					}
+					processed.Add(1)
+				}
+			}
+		}(r)
+	}
+
+	// Writer: invalidate/revalidate churn plus periodic full recompiles
+	// through Mutate, like a routing-update storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		clues := p.sender.Prefixes()
+		for i := 0; i < 400 && !stop.Load(); i++ {
+			c := clues[i%len(clues)]
+			switch i % 5 {
+			case 0, 1:
+				rcu.Invalidate(c)
+			case 2, 3:
+				rcu.Revalidate(c)
+			default:
+				rcu.Mutate(func(tab *core.Table) {
+					tab.UpdateLocal(c)
+				})
+			}
+		}
+		stop.Store(true)
+	}()
+
+	wg.Wait()
+	if processed.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+}

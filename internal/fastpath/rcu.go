@@ -1,0 +1,146 @@
+package fastpath
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+// RCU publishes compiled snapshots of a live clue table with read-copy-
+// update semantics: readers load the current *Snapshot with one atomic
+// pointer read and never take a lock, never block and never observe a
+// half-applied change; writers serialize on a mutex, mutate the master
+// core.Table off the packet path, produce a new snapshot (an incremental
+// patch for single-entry changes, a full recompile for trie changes) and
+// publish it with an atomic store. Old snapshots die by garbage
+// collection once the last in-flight packet drops them — the GC plays
+// the role of RCU's grace period.
+//
+// This replaces core.ConcurrentTable's read-lock on the hot path: that
+// wrapper still pays an atomic RMW on a shared cache line per packet
+// (RLock/RUnlock), which is the scalability ceiling the fastpath
+// benchmarks measure. Here the read side is wait-free.
+type RCU struct {
+	snap atomic.Pointer[Snapshot]
+	mu   sync.Mutex // serializes writers; the master table is only touched under it
+	tab  *core.Table
+}
+
+// NewRCU compiles t and takes ownership: the caller must not touch t
+// directly afterwards (readers would keep seeing the old snapshot, and a
+// later writer would publish the unsynchronized edits).
+func NewRCU(t *core.Table) *RCU {
+	r := &RCU{tab: t}
+	r.snap.Store(Compile(t))
+	return r
+}
+
+// Snapshot returns the current compiled snapshot. Callers may hold it
+// across any number of Process calls for a consistent view; it just
+// stops receiving updates.
+//
+//cluevet:hotpath
+func (r *RCU) Snapshot() *Snapshot { return r.snap.Load() }
+
+// Process routes one packet against the current snapshot. Snapshots never
+// learn; on OutcomeMiss the caller may report the clue via Learn, off the
+// hot path.
+//
+//cluevet:hotpath
+func (r *RCU) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) core.Result {
+	return r.snap.Load().Process(dest, clueLen, cnt)
+}
+
+// ProcessNoClue routes a clue-less packet against the current snapshot.
+//
+//cluevet:hotpath
+func (r *RCU) ProcessNoClue(dest ip.Addr, cnt *mem.Counter) core.Result {
+	return r.snap.Load().ProcessNoClue(dest, cnt)
+}
+
+// ProcessBatch routes a batch against one consistent snapshot (a single
+// pointer load for the whole batch).
+//
+//cluevet:hotpath
+func (r *RCU) ProcessBatch(dests []ip.Addr, clueLens []int, out []core.Result, cnt *mem.Counter) int {
+	return r.snap.Load().ProcessBatch(dests, clueLens, out, cnt)
+}
+
+// Learn records the clue of a missed packet in the master table —
+// honoring Config.Learn and LearnLimit exactly like core's on-the-fly
+// learning — and patches it into a new snapshot. It reports whether an
+// entry was added. The common "already learned by a racing reporter" case
+// returns false after only the mutex and a map probe.
+func (r *RCU) Learn(dest ip.Addr, clueLen int) bool {
+	s := r.snap.Load()
+	if clueLen < 0 || clueLen > s.width {
+		return false // malformed clue: core never learns those either
+	}
+	clue := ip.DecodeClue(dest, clueLen)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.tab.Learn(clue) {
+		return false
+	}
+	e, ok := r.tab.ExportEntry(clue)
+	if !ok { // unreachable after a successful Learn; recompile defensively
+		r.snap.Store(Compile(r.tab))
+		return true
+	}
+	r.snap.Store(r.snap.Load().patch(e))
+	return true
+}
+
+// Invalidate marks a clue entry invalid (§3.4) in the master table and
+// patches the published snapshot. It reports whether the entry existed.
+func (r *RCU) Invalidate(clue ip.Prefix) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.tab.Invalidate(clue) {
+		return false
+	}
+	r.patchEntry(clue)
+	return true
+}
+
+// Revalidate rebuilds and revalidates a clue entry in the master table
+// and patches the published snapshot. It reports whether the entry
+// existed.
+func (r *RCU) Revalidate(clue ip.Prefix) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.tab.Revalidate(clue) {
+		return false
+	}
+	r.patchEntry(clue)
+	return true
+}
+
+// patchEntry publishes the master's current record for clue. Caller holds
+// r.mu.
+func (r *RCU) patchEntry(clue ip.Prefix) {
+	if e, ok := r.tab.ExportEntry(clue); ok {
+		r.snap.Store(r.snap.Load().patch(e))
+		return
+	}
+	r.snap.Store(Compile(r.tab)) // entry vanished: fall back to a rebuild
+}
+
+// Mutate runs fn on the master table under the writer lock and publishes
+// a full recompile. This is the route-change path (trie edits, engine
+// swaps, UpdateLocal/UpdateSender, preprocessing): anything a single-
+// entry patch cannot express. Readers continue on the old snapshot until
+// the store — the paper's semantics, where a forwarding table is swapped
+// wholesale on routing updates.
+func (r *RCU) Mutate(fn func(*core.Table)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.tab)
+	r.snap.Store(Compile(r.tab))
+}
+
+// Len returns the entry count of the current snapshot.
+func (r *RCU) Len() int { return r.snap.Load().Len() }

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+)
+
+// TestFastPathMatchesInterpreted is the system-level differential test:
+// two identical networks, one forwarding through interpreted core tables
+// and one through compiled fastpath snapshots, must produce identical
+// traces — router by router, hop by hop, reference count by reference
+// count — across learning warm-up, steady state, legacy routers and
+// sender verification.
+func TestFastPathMatchesInterpreted(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		legacy bool
+		verify bool
+	}{
+		{"plain", false, false},
+		{"legacy-hop", true, false},
+		{"verify", false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			slow, names, host := figure1Network(t, 8)
+			fast, _, _ := figure1Network(t, 8) // deterministic: same tables
+			fast.SetFastPath(true)
+			if tc.legacy {
+				slow.Router(names[3]).SetParticipates(false)
+				fast.Router(names[3]).SetParticipates(false)
+			}
+			if tc.verify {
+				slow.SetVerify(true)
+				fast.SetVerify(true)
+			}
+			rng := rand.New(rand.NewSource(77))
+			dests := []ip.Addr{host}
+			for i := 0; i < 300; i++ {
+				dests = append(dests, ip.AddrFrom32(uint32(20+rng.Intn(60))<<24|rng.Uint32()&0xFFFFFF))
+			}
+			// Two passes: the first exercises learning (misses patched into
+			// snapshots via RCU.Learn vs. learned inline by core), the
+			// second the warm steady state.
+			for pass := 0; pass < 2; pass++ {
+				for _, d := range dests {
+					trS, errS := slow.Send(names[0], d)
+					trF, errF := fast.Send(names[0], d)
+					if (errS == nil) != (errF == nil) {
+						t.Fatalf("pass %d dest %v: errors diverged: %v vs %v", pass, d, errS, errF)
+					}
+					if errS != nil {
+						continue
+					}
+					if trS.Delivered != trF.Delivered || trS.Drop != trF.Drop || len(trS.Hops) != len(trF.Hops) {
+						t.Fatalf("pass %d dest %v: traces diverged: %+v vs %+v", pass, d, trS, trF)
+					}
+					for i := range trS.Hops {
+						if trS.Hops[i] != trF.Hops[i] {
+							t.Fatalf("pass %d dest %v hop %d: interpreted %+v fastpath %+v",
+								pass, d, i, trS.Hops[i], trF.Hops[i])
+						}
+					}
+				}
+			}
+			// The accumulated per-router load must agree too.
+			ss, fs := slow.Stats(), fast.Stats()
+			for name, s := range ss {
+				if f := fs[name]; s != f {
+					t.Errorf("router %s stats diverged: interpreted %+v fastpath %+v", name, s, f)
+				}
+			}
+		})
+	}
+}
+
+// TestSetFastPathResets pins the contract that flipping the switch
+// discards learned tables (either direction).
+func TestSetFastPathResets(t *testing.T) {
+	n, names, host := figure1Network(t, 4)
+	if _, err := n.Send(names[0], host); err != nil {
+		t.Fatal(err)
+	}
+	r := n.Router(names[1])
+	if len(r.clueTables) == 0 {
+		t.Fatal("expected a learned interpreted table")
+	}
+	n.SetFastPath(true)
+	if len(r.clueTables) != 0 || len(r.fastTables) != 0 {
+		t.Fatal("SetFastPath must discard learned tables")
+	}
+	if _, err := n.Send(names[0], host); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.fastTables) == 0 {
+		t.Fatal("expected a compiled fastpath table")
+	}
+	if len(r.clueTables) != 0 {
+		t.Fatal("fastpath mode must not build interpreted tables")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fastpath"
 	"repro/internal/fib"
 	"repro/internal/ip"
 	"repro/internal/lookup"
@@ -49,6 +50,7 @@ type Router struct {
 	verify       bool                   // sender verification on Advance tables (SetVerify)
 	policy       CluePolicy             // nil = send the full BMP
 	clueTables   map[string]*core.Table // keyed by upstream neighbor
+	fastTables   map[string]*fastpath.RCU
 	net          *Network
 }
 
@@ -67,6 +69,7 @@ func (r *Router) Participates() bool { return r.participates }
 func (r *Router) SetMethod(m core.Method) {
 	r.method = m
 	r.clueTables = make(map[string]*core.Table)
+	r.fastTables = make(map[string]*fastpath.RCU)
 }
 
 // SetVerify switches sender verification (core.Config.Verify) on or off
@@ -80,6 +83,7 @@ func (r *Router) SetMethod(m core.Method) {
 func (r *Router) SetVerify(on bool) {
 	r.verify = on
 	r.clueTables = make(map[string]*core.Table)
+	r.fastTables = make(map[string]*fastpath.RCU)
 }
 
 // SetCluePolicy installs a §5.3 clue policy (nil restores the default of
@@ -115,6 +119,29 @@ func (r *Router) clueTable(upstream string) *core.Table {
 	tab := core.MustNewTable(cfg)
 	r.clueTables[upstream] = tab
 	return tab
+}
+
+// fastTable returns (lazily creating) the compiled fastpath table for
+// packets arriving from the given upstream. It builds the same core
+// table clueTable would and hands it to an RCU wrapper; learning then
+// goes through RCU.Learn (Send reports misses) instead of mutating the
+// table on the read path, and every route through it is differentially
+// identical to the interpreted table — outcome, next hop and reference
+// count (the fastpath package's differential tests pin this).
+func (r *Router) fastTable(upstream string) *fastpath.RCU {
+	if rcu, ok := r.fastTables[upstream]; ok {
+		return rcu
+	}
+	// Build through clueTable's path so the config logic (Advance only
+	// under an unmodified participating upstream, verification, learning)
+	// stays in one place — but on a table the interpreter never touches.
+	saved := r.clueTables
+	r.clueTables = make(map[string]*core.Table)
+	tab := r.clueTable(upstream)
+	r.clueTables = saved
+	rcu := fastpath.NewRCU(tab)
+	r.fastTables[upstream] = rcu
+	return rcu
 }
 
 // RouterStats accumulates one router's forwarding load across Send calls —
@@ -195,6 +222,20 @@ type Network struct {
 	routers   map[string]*Router
 	stats     map[string]*RouterStats
 	linkFault LinkFault
+	fastpath  bool
+}
+
+// SetFastPath switches every participating router from the interpreted
+// core.Table to compiled fastpath snapshots (internal/fastpath): same
+// outcomes, same reference accounting, RCU learning, an order of
+// magnitude faster in wall-clock terms. Tables already learned through
+// the other representation are discarded, so flip it before traffic.
+func (n *Network) SetFastPath(on bool) {
+	n.fastpath = on
+	for _, r := range n.routers {
+		r.clueTables = make(map[string]*core.Table)
+		r.fastTables = make(map[string]*fastpath.RCU)
+	}
 }
 
 // SetLinkFault installs a fault injector on every inter-router link (nil
@@ -229,6 +270,7 @@ func New(tables map[string]*fib.Table) *Network {
 			participates: true,
 			method:       core.Advance,
 			clueTables:   make(map[string]*core.Table),
+			fastTables:   make(map[string]*fastpath.RCU),
 			net:          n,
 		}
 	}
@@ -351,6 +393,19 @@ func (n *Network) Send(src string, dest ip.Addr) (*Trace, error) {
 		var cnt mem.Counter
 		var res core.Result
 		switch {
+		case cur.participates && n.fastpath:
+			rcu := cur.fastTable(upstream)
+			if clue != NoClue {
+				res = rcu.Process(dest, clue, &cnt)
+				if res.Outcome == core.OutcomeMiss {
+					// Snapshots never learn inline; report the miss so the
+					// writer patches it in — core's learning semantics,
+					// moved off the read path.
+					rcu.Learn(dest, clue)
+				}
+			} else {
+				res = rcu.ProcessNoClue(dest, &cnt)
+			}
 		case cur.participates && clue != NoClue:
 			res = cur.clueTable(upstream).Process(dest, clue, &cnt)
 		case cur.participates:
