@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"testing"
 
@@ -31,6 +32,41 @@ type benchRecord struct {
 	// Speedup is wall-clock core/fastpath for the same method and family;
 	// set on fastpath rows only.
 	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// finite maps NaN and ±Inf to 0 — encoding/json rejects non-finite
+// floats outright ("unsupported value"), so a degenerate run (zero
+// packets, a benchmark too fast to time at 0 ns/op) would otherwise turn
+// the whole -json artifact into an error instead of a parseable file.
+func finite(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}
+
+// sanitize makes a record safely marshalable regardless of how degenerate
+// the measurement was.
+func (r benchRecord) sanitize() benchRecord {
+	r.NsPerOp = finite(r.NsPerOp)
+	r.PacketsPerSec = finite(r.PacketsPerSec)
+	r.AllocsPerOp = finite(r.AllocsPerOp)
+	r.RefsPerPacket = finite(r.RefsPerPacket)
+	r.Speedup = finite(r.Speedup)
+	return r
+}
+
+// encodeRecords sanitizes and marshals the benchmark matrix.
+func encodeRecords(records []benchRecord) ([]byte, error) {
+	clean := make([]benchRecord, len(records))
+	for i, r := range records {
+		clean[i] = r.sanitize()
+	}
+	buf, err := json.MarshalIndent(clean, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
 }
 
 // runJSONBench measures the wall-clock matrix and writes it to path.
@@ -76,7 +112,10 @@ func runJSONBench(path string, routers map[string]*fib.Table, seed int64) error 
 			for i := range dests {
 				tab.Process(dests[i], clues[i], &refs)
 			}
-			refsPerPkt := float64(refs.Count()) / float64(len(dests))
+			refsPerPkt := 0.0
+			if len(dests) > 0 {
+				refsPerPkt = float64(refs.Count()) / float64(len(dests))
+			}
 			coreRes := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -114,11 +153,10 @@ func runJSONBench(path string, routers map[string]*fib.Table, seed int64) error 
 				fr.Name, fr.NsPerOp, fr.PacketsPerSec, fr.AllocsPerOp, fr.RefsPerPacket, fr.Speedup)
 		}
 	}
-	buf, err := json.MarshalIndent(records, "", "  ")
+	buf, err := encodeRecords(records)
 	if err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}

@@ -1,12 +1,63 @@
 package main
 
 import (
+	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/synth"
 )
+
+// TestEncodeRecordsDegenerate is the regression test for the -json
+// degenerate-run bug: a benchmark too fast to time (0 ns/op) produced
+// +Inf packets/s and a 0/0 NaN speedup, and encoding/json refuses
+// non-finite floats — so the whole artifact became an error instead of a
+// file. The output must be valid JSON that round-trips through
+// json.Unmarshal for ANY measurement.
+func TestEncodeRecordsDegenerate(t *testing.T) {
+	records := []benchRecord{
+		{
+			Name: "degenerate/IPv4/core", Method: "simple", Family: "IPv4", Path: "core",
+			NsPerOp:       0,
+			PacketsPerSec: math.Inf(1),  // 1e9 / 0
+			AllocsPerOp:   math.NaN(),   // no iterations measured
+			RefsPerPacket: math.NaN(),   // zero packets
+			Speedup:       math.Inf(-1), // pathological ratio
+		},
+		{
+			Name: "sane/IPv4/fastpath", Method: "simple", Family: "IPv4", Path: "fastpath",
+			NsPerOp: 15, PacketsPerSec: 1e9 / 15, AllocsPerOp: 0,
+			RefsPerPacket: 1.02, Speedup: 5.4,
+		},
+	}
+	buf, err := encodeRecords(records)
+	if err != nil {
+		t.Fatalf("encodeRecords on degenerate input: %v", err)
+	}
+	var back []benchRecord
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip lost records: %d != %d", len(back), len(records))
+	}
+	d := back[0]
+	for name, v := range map[string]float64{
+		"ns_per_op": d.NsPerOp, "packets_per_sec": d.PacketsPerSec,
+		"allocs_per_op": d.AllocsPerOp, "refs_per_packet": d.RefsPerPacket,
+		"speedup": d.Speedup,
+	} {
+		if v != 0 {
+			t.Errorf("degenerate %s = %v, want 0", name, v)
+		}
+	}
+	s := back[1]
+	if s.NsPerOp != 15 || s.RefsPerPacket != 1.02 || s.Speedup != 5.4 {
+		t.Errorf("sane record mangled in round trip: %+v", s)
+	}
+}
 
 func TestSnapshotFileNames(t *testing.T) {
 	cases := map[string]string{

@@ -9,6 +9,10 @@
 //
 // The demo prints the per-router memory-reference totals, showing the
 // paper's effect on a running network stack rather than in a simulator.
+// All accounting flows through one internal/telemetry registry: the final
+// statistics tables are views over it, and -metrics serves the very same
+// registry as a Prometheus /metrics endpoint plus a /trace tail of the
+// most recent per-packet hop events while the daemon runs.
 //
 // The daemon is hardened the way a long-running process must be: read
 // deadlines on every socket, SIGINT/SIGTERM-driven graceful shutdown with
@@ -20,7 +24,8 @@
 //
 // Usage:
 //
-//	clued [-routers 6] [-packets 100] [-timeout 10s] [-faults 0.2] [-faultseed 1] [-v] [-v6]
+//	clued [-routers 6] [-packets 100] [-timeout 10s] [-faults 0.2] [-faultseed 1]
+//	      [-metrics localhost:9090] [-linger 30s] [-seq] [-v] [-v6] [-fastpath]
 //
 // Exit status is nonzero when packets the wire did not eat are undelivered
 // at the timeout, or when interrupted before completion.
@@ -31,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -50,6 +56,7 @@ import (
 	"repro/internal/lookup"
 	"repro/internal/mem"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 )
 
 // sendRetries bounds the retry loop on UDP send errors; backoff starts at
@@ -59,6 +66,10 @@ const (
 	sendBackoff = time.Millisecond
 )
 
+// traceCapacity is how many recent hop events the daemon's /trace endpoint
+// can replay.
+const traceCapacity = 2048
+
 // clueForwarder is the read-side surface the data path needs; it is
 // satisfied by both clue-table representations — the interpreted
 // core.ConcurrentTable (RWMutex) and the compiled fastpath.RCU
@@ -66,6 +77,36 @@ const (
 type clueForwarder interface {
 	Process(dest ip.Addr, clueLen int, cnt *mem.Counter) core.Result
 	ProcessNoClue(dest ip.Addr, cnt *mem.Counter) core.Result
+	Len() int
+	Learned() int
+}
+
+// routerTel is one router's slice of the daemon registry. The per-packet
+// bundle (outcomes, refs/packet) is recorded by the clue table itself;
+// the error counters are the daemon's own failure taxonomy.
+type routerTel struct {
+	pm        *telemetry.PacketMetrics
+	malformed *telemetry.Counter
+	noRoute   *telemetry.Counter
+	expired   *telemetry.Counter
+	sendFail  *telemetry.Counter
+	sendRetry *telemetry.Counter
+}
+
+func newRouterTel(reg *telemetry.Registry, router string) *routerTel {
+	lbl := telemetry.L("router", router)
+	errc := func(kind string) *telemetry.Counter {
+		return reg.NewCounter("clued_errors_total",
+			"per-router error events, by kind", lbl, telemetry.L("kind", kind))
+	}
+	return &routerTel{
+		pm:        telemetry.NewPacketMetrics(reg, "clued", core.OutcomeLabels(), lbl),
+		malformed: errc("malformed"),
+		noRoute:   errc("no-route"),
+		expired:   errc("expired"),
+		sendFail:  errc("send-fail"),
+		sendRetry: errc("send-retry"),
+	}
 }
 
 // udpRouter is one chain hop: a UDP socket plus a clue-routing engine.
@@ -79,44 +120,8 @@ type udpRouter struct {
 	inj     *fault.Injector         // nil when -faults is 0
 	verbose bool
 	done    chan<- ip.Addr // delivery notifications
-
-	stats routerStats
-}
-
-// routerStats are one router's counters; all access goes through the
-// methods, which lock.
-type routerStats struct {
-	mu        sync.Mutex
-	refs      int
-	packets   int
-	malformed int // datagrams the parser rejected
-	noRoute   int
-	expired   int // TTL / hop limit hit zero
-	sendFail  int // sends abandoned after the retry budget
-	sendRetry int // individual retries performed
-}
-
-func (s *routerStats) note(refs int) {
-	s.mu.Lock()
-	s.refs += refs
-	s.packets++
-	s.mu.Unlock()
-}
-
-func (s *routerStats) count(field *int) {
-	s.mu.Lock()
-	*field++
-	s.mu.Unlock()
-}
-
-func (s *routerStats) snapshot() routerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return routerStats{
-		refs: s.refs, packets: s.packets, malformed: s.malformed,
-		noRoute: s.noRoute, expired: s.expired,
-		sendFail: s.sendFail, sendRetry: s.sendRetry,
-	}
+	tel     *routerTel
+	tracer  *telemetry.HopTracer
 }
 
 // serve reads datagrams until the context is canceled or the socket is
@@ -143,6 +148,22 @@ func (r *udpRouter) serve(ctx context.Context) {
 	}
 }
 
+// trace appends one hop event to the daemon's ring buffer.
+func (r *udpRouter) trace(dest ip.Addr, clueIn int, res core.Result, refs int) {
+	bmpLen := -1
+	if res.OK {
+		bmpLen = res.Prefix.Len()
+	}
+	r.tracer.Record(telemetry.HopEvent{
+		Router:  r.name,
+		Dest:    dest,
+		ClueIn:  clueIn,
+		BMPLen:  bmpLen,
+		Refs:    refs,
+		Outcome: res.Outcome.String(),
+	})
+}
+
 func (r *udpRouter) handle(pkt []byte) {
 	if len(pkt) > 0 && pkt[0]>>4 == 6 {
 		r.handleV6(pkt)
@@ -150,19 +171,21 @@ func (r *udpRouter) handle(pkt []byte) {
 	}
 	h, payloadOff, err := header.ParseIPv4(pkt)
 	if err != nil {
-		r.stats.count(&r.stats.malformed)
+		r.tel.malformed.Inc()
 		if r.verbose {
 			log.Printf("%s: dropping bad packet: %v", r.name, err)
 		}
 		return
 	}
 	if h.TTL == 0 {
-		r.stats.count(&r.stats.expired)
+		r.tel.expired.Inc()
 		return
 	}
 	var cnt mem.Counter
 	var res core.Result
+	clueIn := -1
 	if h.Clue != nil {
+		clueIn = h.Clue.Len
 		res = r.clues.Process(h.Dst, h.Clue.Len, &cnt)
 		if r.fast != nil && res.Outcome == core.OutcomeMiss {
 			r.fast.Learn(h.Dst, h.Clue.Len) // snapshots learn off the read path
@@ -170,9 +193,9 @@ func (r *udpRouter) handle(pkt []byte) {
 	} else {
 		res = r.clues.ProcessNoClue(h.Dst, &cnt)
 	}
-	r.stats.note(cnt.Count())
+	r.trace(h.Dst, clueIn, res, cnt.Count())
 	if !res.OK {
-		r.stats.count(&r.stats.noRoute)
+		r.tel.noRoute.Inc()
 		log.Printf("%s: no route for %v", r.name, h.Dst)
 		return
 	}
@@ -207,19 +230,21 @@ func (r *udpRouter) handle(pkt []byte) {
 func (r *udpRouter) handleV6(pkt []byte) {
 	h, payloadOff, err := header.ParseIPv6(pkt)
 	if err != nil {
-		r.stats.count(&r.stats.malformed)
+		r.tel.malformed.Inc()
 		if r.verbose {
 			log.Printf("%s: dropping bad v6 packet: %v", r.name, err)
 		}
 		return
 	}
 	if h.HopLimit == 0 {
-		r.stats.count(&r.stats.expired)
+		r.tel.expired.Inc()
 		return
 	}
 	var cnt mem.Counter
 	var res core.Result
+	clueIn := -1
 	if h.Clue != nil {
+		clueIn = h.Clue.Len
 		res = r.clues.Process(h.Dst, h.Clue.Len, &cnt)
 		if r.fast != nil && res.Outcome == core.OutcomeMiss {
 			r.fast.Learn(h.Dst, h.Clue.Len)
@@ -227,9 +252,9 @@ func (r *udpRouter) handleV6(pkt []byte) {
 	} else {
 		res = r.clues.ProcessNoClue(h.Dst, &cnt)
 	}
-	r.stats.note(cnt.Count())
+	r.trace(h.Dst, clueIn, res, cnt.Count())
 	if !res.OK {
-		r.stats.count(&r.stats.noRoute)
+		r.tel.noRoute.Inc()
 		log.Printf("%s: no route for %v", r.name, h.Dst)
 		return
 	}
@@ -290,64 +315,109 @@ func (r *udpRouter) sendOne(b []byte, peer *net.UDPAddr) {
 			return
 		}
 		if attempt == sendRetries {
-			r.stats.count(&r.stats.sendFail)
+			r.tel.sendFail.Inc()
 			log.Printf("%s: send to %s abandoned after %d retries: %v", r.name, peer, attempt, err)
 			return
 		}
-		r.stats.count(&r.stats.sendRetry)
+		r.tel.sendRetry.Inc()
 		time.Sleep(backoff)
 		backoff *= 4
 	}
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("clued: ")
-	var (
-		nRouters  = flag.Int("routers", 6, "routers in the chain (>= 2)")
-		packets   = flag.Int("packets", 100, "packets to send through the chain")
-		timeout   = flag.Duration("timeout", 10*time.Second, "delivery deadline")
-		faultRate = flag.Float64("faults", 0, "per-packet fault probability per class (0 disables injection)")
-		faultSeed = flag.Int64("faultseed", 1, "fault injector seed")
-		verbose   = flag.Bool("v", false, "log every hop")
-		useV6     = flag.Bool("v6", false, "use IPv6 headers (7-bit clue in a hop-by-hop option)")
-		useFast   = flag.Bool("fastpath", false, "route through compiled fastpath snapshots (internal/fastpath) instead of interpreted clue tables")
-		pprofAddr = flag.String("pprof", "", "listen address for net/http/pprof, e.g. localhost:6060 (empty disables)")
-	)
-	flag.Parse()
-	if *nRouters < 2 {
-		log.Fatal("-routers must be at least 2")
-	}
-	if *pprofAddr != "" {
-		// Opt-in profiling: the blank net/http/pprof import registers the
-		// /debug/pprof/ handlers on the default mux.
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof listener: %v", err)
-			}
-		}()
-		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+// config is one clued run, fully specified (main fills it from flags; the
+// tests construct it directly).
+type config struct {
+	routers   int
+	packets   int
+	timeout   time.Duration
+	faultRate float64
+	faultSeed int64
+	verbose   bool
+	useV6     bool
+	useFast   bool
+	// sequential sends each packet only after the previous one was
+	// delivered — deterministic learning order, used by the parity tests.
+	sequential bool
+	// metricsAddr serves /metrics (Prometheus) and /trace on this address
+	// while the daemon runs; empty disables. onMetricsReady, when set, is
+	// called with the bound address (metricsAddr may use port 0).
+	metricsAddr    string
+	onMetricsReady func(addr string)
+	// linger keeps the metrics endpoint up this long after the run
+	// completes, so a scraper can collect the final counters.
+	linger time.Duration
+}
+
+// routerReport is one router's final numbers — read from the telemetry
+// registry, the same store the /metrics endpoint serves, so the shutdown
+// table and a last scrape agree exactly.
+type routerReport struct {
+	name     string
+	packets  uint64
+	refs     uint64
+	outcomes [core.NumOutcomes]uint64
+	malformed, noRoute, expired,
+	sendFail, sendRetry uint64
+	entries int
+	learned int
+}
+
+// result is what a completed run reports back.
+type result struct {
+	delivered   int
+	interrupted bool
+	routers     []routerReport
+	faultCounts string // empty when injection was off
+}
+
+// run builds the chain, pushes cfg.packets through it, and reports. It
+// returns cleanly on context cancellation (result.interrupted).
+func run(ctx context.Context, cfg config) (*result, error) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewHopTracer(traceCapacity)
+
+	// Optional metrics endpoint, up before the first packet.
+	var srv *http.Server
+	var srvErr = make(chan error, 1)
+	if cfg.metricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = tracer.WriteTail(w, 200)
+		})
+		srv = &http.Server{Handler: mux}
+		go func() { srvErr <- srv.Serve(ln) }()
+		defer srv.Close()
+		if cfg.onMetricsReady != nil {
+			cfg.onMetricsReady(ln.Addr().String())
+		}
 	}
 
 	// Build the chain topology and its forwarding tables.
 	top := routing.NewTopology()
-	names := routing.Chain(top, "r", *nRouters)
+	names := routing.Chain(top, "r", cfg.routers)
 	host := ip.MustParseAddr("204.17.33.40")
 	lengths := []int{8, 16, 24}
 	width := 32
-	if *useV6 {
+	if cfg.useV6 {
 		host = ip.MustParseAddr("2001:db8:17:33::40")
 		lengths = []int{32, 48, 64}
 		width = 128
 	}
-	if err := routing.NestedOrigination(top, names[*nRouters-1], host,
-		lengths, []int{-1, *nRouters / 2, 2}); err != nil {
-		log.Fatal(err)
+	if err := routing.NestedOrigination(top, names[cfg.routers-1], host,
+		lengths, []int{-1, cfg.routers / 2, 2}); err != nil {
+		return nil, err
 	}
 	for i, name := range names {
 		for k := 0; k < 10; k++ {
 			var p ip.Prefix
-			if *useV6 {
+			if cfg.useV6 {
 				base := ip.AddrFrom128(uint64(0x2002+i*3+k)<<48, 0)
 				p = ip.PrefixFrom(base, 32+(k*3)%9)
 			} else {
@@ -355,7 +425,7 @@ func main() {
 				p = ip.PrefixFrom(base, 8+(k*3)%9)
 			}
 			if err := top.Originate(name, p); err != nil {
-				log.Fatal(err)
+				return nil, err
 			}
 		}
 	}
@@ -364,31 +434,26 @@ func main() {
 	// One shared injector: the wire is one medium, so the reorder holdback
 	// and the stale-clue memory span all links, as they would on a bus.
 	var inj *fault.Injector
-	if *faultRate > 0 {
+	if cfg.faultRate > 0 {
 		rates := map[fault.Class]float64{
-			fault.ClassAdversarial: *faultRate,
-			fault.ClassStrip:       *faultRate,
-			fault.ClassStale:       *faultRate,
+			fault.ClassAdversarial: cfg.faultRate,
+			fault.ClassStrip:       cfg.faultRate,
+			fault.ClassStale:       cfg.faultRate,
 		}
 		for _, c := range fault.TransportClasses {
-			rates[c] = *faultRate
+			rates[c] = cfg.faultRate
 		}
-		inj = fault.New(fault.Config{Seed: *faultSeed, Width: width, Rates: rates})
+		inj = fault.New(fault.Config{Seed: cfg.faultSeed, Width: width, Rates: rates})
 	}
 
-	// Graceful shutdown on SIGINT/SIGTERM: stop serving, print the final
-	// statistics, exit nonzero if the run was cut short.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	// Start one UDP socket per router.
-	done := make(chan ip.Addr, *packets*2)
+	done := make(chan ip.Addr, cfg.packets*2)
 	routers := make(map[string]*udpRouter, len(names))
 	addrs := make(map[string]*net.UDPAddr, len(names))
 	for _, name := range names {
 		conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 		if err != nil {
-			log.Fatalf("listen: %v", err)
+			return nil, fmt.Errorf("listen: %w", err)
 		}
 		defer conn.Close()
 		addrs[name] = conn.LocalAddr().(*net.UDPAddr)
@@ -408,57 +473,99 @@ func main() {
 			conn:    conn,
 			table:   tab,
 			inj:     inj,
-			verbose: *verbose,
+			verbose: cfg.verbose,
 			done:    done,
+			tel:     newRouterTel(reg, name),
+			tracer:  tracer,
 		}
-		if *useFast {
+		ct.SetTelemetry(r.tel.pm) // Process records outcomes and refs/packet
+		if cfg.useFast {
 			r.fast = fastpath.NewRCU(ct)
+			lbl := telemetry.L("router", name)
+			r.fast.SetMetrics(fastpath.Metrics{
+				Swaps: reg.NewCounter("clued_rcu_swaps_total",
+					"RCU snapshot publications", lbl),
+				Patches: reg.NewCounter("clued_rcu_patches_total",
+					"RCU single-entry snapshot patches", lbl),
+				Recompiles: reg.NewCounter("clued_rcu_recompiles_total",
+					"RCU full snapshot recompiles", lbl),
+				Learns: reg.NewCounter("clued_rcu_learns_total",
+					"clues learned through the RCU writer", lbl),
+			})
 			r.clues = r.fast
 		} else {
 			r.clues = core.NewConcurrentTable(ct)
 		}
+		fwd := r.clues
+		reg.NewGauge("clued_table_entries",
+			"current clue-table entries", func() uint64 { return uint64(fwd.Len()) },
+			telemetry.L("router", name))
+		reg.NewGauge("clued_learned_entries",
+			"clue-table entries learned on the fly", func() uint64 { return uint64(fwd.Learned()) },
+			telemetry.L("router", name))
 		routers[name] = r
 	}
+	var serveWG sync.WaitGroup
+	serveCtx, stopServe := context.WithCancel(ctx)
+	defer stopServe()
 	for _, r := range routers {
 		r.peers = make(map[string]*net.UDPAddr)
 		for name, a := range addrs {
 			r.peers[name] = a
 		}
-		go r.serve(ctx)
+		serveWG.Add(1)
+		go func(r *udpRouter) { defer serveWG.Done(); r.serve(serveCtx) }(r)
 	}
 	fmt.Printf("chain of %d UDP routers on 127.0.0.1 (%s .. %s)\n",
-		*nRouters, addrs[names[0]], addrs[names[*nRouters-1]])
+		cfg.routers, addrs[names[0]], addrs[names[cfg.routers-1]])
 
 	// Inject packets at the head of the chain.
 	src, err := net.DialUDP("udp4", nil, addrs[names[0]])
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	defer src.Close()
-	for i := 0; i < *packets; i++ {
-		var b []byte
-		var err error
-		if *useV6 {
+	delivered := 0
+	interrupted := false
+	deadline := time.After(cfg.timeout)
+	marshal := func(i int) ([]byte, error) {
+		if cfg.useV6 {
 			dest := host.WithBit(120+i%8, byte(i>>3)&1)
 			h := &header.IPv6{
 				HopLimit: 32, NextHeader: 17,
 				Src: ip.MustParseAddr("2001:db8::1"), Dst: dest,
 			}
-			b, err = h.Marshal(4)
-		} else {
-			dest := ip.AddrFrom32(host.Uint32()&^uint32(0xFF) | uint32(i%64))
-			h := &header.IPv4{
-				TTL: 32, Protocol: 17, ID: uint16(i),
-				Src: ip.MustParseAddr("10.0.0.1"), Dst: dest,
-			}
-			b, err = h.Marshal(4)
+			return h.Marshal(4)
 		}
+		dest := ip.AddrFrom32(host.Uint32()&^uint32(0xFF) | uint32(i%64))
+		h := &header.IPv4{
+			TTL: 32, Protocol: 17, ID: uint16(i),
+			Src: ip.MustParseAddr("10.0.0.1"), Dst: dest,
+		}
+		return h.Marshal(4)
+	}
+send:
+	for i := 0; i < cfg.packets; i++ {
+		b, err := marshal(i)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		b = append(b, "ping"...)
 		if _, err := src.Write(b); err != nil {
-			log.Fatal(err)
+			return nil, err
+		}
+		if cfg.sequential {
+			// Lock-step: the next packet leaves only after this one lands,
+			// so learning happens in a deterministic order.
+			select {
+			case <-done:
+				delivered++
+			case <-ctx.Done():
+				interrupted = true
+				break send
+			case <-deadline:
+				break send
+			}
 		}
 	}
 
@@ -466,12 +573,12 @@ func main() {
 	// the timeout. With faults, the wire legitimately eats packets (drop,
 	// truncation, garbage), so the run ends at quiescence: no delivery for
 	// a grace period, or the timeout, whichever is first.
-	delivered := 0
-	interrupted := false
-	deadline := time.After(*timeout)
 	quiet := 1500 * time.Millisecond
 wait:
-	for delivered < *packets {
+	for !interrupted && delivered < cfg.packets {
+		if cfg.sequential {
+			break // sequential mode already accounted every delivery
+		}
 		idle := time.After(quiet)
 		select {
 		case <-done:
@@ -488,40 +595,156 @@ wait:
 			}
 		}
 	}
-	stop()
+	// Quiesce the routers before reading the registry: once serve loops
+	// exit, every counter is final, so the shutdown tables and any /metrics
+	// scrape during the linger window see identical numbers.
+	stopServe()
+	serveWG.Wait()
 
-	fmt.Printf("delivered %d/%d packets end to end\n\n", delivered, *packets)
-	tab := mem.NewTable("Router", "Packets", "Refs", "Refs/packet",
-		"Malformed", "No-route", "Expired", "Send-fail", "Send-retry")
-	lost := 0
+	res := &result{delivered: delivered, interrupted: interrupted}
 	for _, name := range names {
-		s := routers[name].stats.snapshot()
+		r := routers[name]
+		rep := routerReport{
+			name:      name,
+			packets:   r.tel.pm.Packets(),
+			refs:      r.tel.pm.Refs(),
+			malformed: r.tel.malformed.Value(),
+			noRoute:   r.tel.noRoute.Value(),
+			expired:   r.tel.expired.Value(),
+			sendFail:  r.tel.sendFail.Value(),
+			sendRetry: r.tel.sendRetry.Value(),
+			entries:   r.clues.Len(),
+			learned:   r.clues.Learned(),
+		}
+		for i := 0; i < core.NumOutcomes; i++ {
+			rep.outcomes[i] = r.tel.pm.OutcomeCount(i)
+		}
+		res.routers = append(res.routers, rep)
+	}
+	if inj != nil {
+		res.faultCounts = fmt.Sprint(inj.Counts())
+	}
+
+	if srv != nil && cfg.linger > 0 && !interrupted {
+		fmt.Printf("lingering %v for a final /metrics scrape\n", cfg.linger)
+		select {
+		case <-time.After(cfg.linger):
+		case <-ctx.Done():
+			res.interrupted = true
+		case err := <-srvErr:
+			return nil, fmt.Errorf("metrics server: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// report prints the final statistics tables from a run's registry views.
+func report(w io.Writer, cfg config, res *result) {
+	fmt.Fprintf(w, "delivered %d/%d packets end to end\n\n", res.delivered, cfg.packets)
+	tab := mem.NewTable("Router", "Packets", "Refs", "Refs/packet",
+		"Malformed", "No-route", "Expired", "Send-fail", "Send-retry", "Entries", "Learned")
+	for _, s := range res.routers {
 		perPkt := 0.0
 		if s.packets > 0 {
 			perPkt = float64(s.refs) / float64(s.packets)
 		}
-		tab.AddRow(name, fmt.Sprint(s.packets), fmt.Sprint(s.refs),
+		tab.AddRow(s.name, fmt.Sprint(s.packets), fmt.Sprint(s.refs),
 			fmt.Sprintf("%.2f", perPkt), fmt.Sprint(s.malformed),
 			fmt.Sprint(s.noRoute), fmt.Sprint(s.expired),
-			fmt.Sprint(s.sendFail), fmt.Sprint(s.sendRetry))
-		lost += s.malformed + s.noRoute + s.expired + s.sendFail
+			fmt.Sprint(s.sendFail), fmt.Sprint(s.sendRetry),
+			fmt.Sprint(s.entries), fmt.Sprint(s.learned))
 	}
-	fmt.Println(tab.String())
-	if inj != nil {
-		fmt.Printf("injected faults: %v (undelivered: %d dropped/mangled on the wire)\n",
-			inj.Counts(), *packets-delivered)
+	fmt.Fprintln(w, tab.String())
+
+	labels := core.OutcomeLabels()
+	otab := mem.NewTable(append([]string{"Router"}, labels...)...)
+	for _, s := range res.routers {
+		row := make([]string, 0, len(labels)+1)
+		row = append(row, s.name)
+		for i := range labels {
+			row = append(row, fmt.Sprint(s.outcomes[i]))
+		}
+		otab.AddRow(row...)
+	}
+	fmt.Fprintln(w, otab.String())
+
+	if res.faultCounts != "" {
+		fmt.Fprintf(w, "injected faults: %v (undelivered: %d dropped/mangled on the wire)\n",
+			res.faultCounts, cfg.packets-res.delivered)
 	} else {
-		fmt.Println("(the first router sees clue-less packets; downstream routers resolve")
-		fmt.Println(" learned clues in about one reference each — the paper's effect, on UDP)")
+		fmt.Fprintln(w, "(the first router sees clue-less packets; downstream routers resolve")
+		fmt.Fprintln(w, " learned clues in about one reference each — the paper's effect, on UDP)")
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clued: ")
+	var (
+		nRouters    = flag.Int("routers", 6, "routers in the chain (>= 2)")
+		packets     = flag.Int("packets", 100, "packets to send through the chain")
+		timeout     = flag.Duration("timeout", 10*time.Second, "delivery deadline")
+		faultRate   = flag.Float64("faults", 0, "per-packet fault probability per class (0 disables injection)")
+		faultSeed   = flag.Int64("faultseed", 1, "fault injector seed")
+		verbose     = flag.Bool("v", false, "log every hop")
+		useV6       = flag.Bool("v6", false, "use IPv6 headers (7-bit clue in a hop-by-hop option)")
+		useFast     = flag.Bool("fastpath", false, "route through compiled fastpath snapshots (internal/fastpath) instead of interpreted clue tables")
+		sequential  = flag.Bool("seq", false, "send each packet only after the previous one was delivered (deterministic learning order)")
+		pprofAddr   = flag.String("pprof", "", "listen address for net/http/pprof, e.g. localhost:6060 (empty disables)")
+		metricsAddr = flag.String("metrics", "", "listen address for /metrics (Prometheus) and /trace, e.g. localhost:9090 (empty disables)")
+		linger      = flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the run, for a final scrape")
+	)
+	flag.Parse()
+	if *nRouters < 2 {
+		log.Fatal("-routers must be at least 2")
+	}
+	if *pprofAddr != "" {
+		// Opt-in profiling: the blank net/http/pprof import registers the
+		// /debug/pprof/ handlers on the default mux.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
+	// Graceful shutdown on SIGINT/SIGTERM: stop serving, print the final
+	// statistics, exit nonzero if the run was cut short.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := config{
+		routers:    *nRouters,
+		packets:    *packets,
+		timeout:    *timeout,
+		faultRate:  *faultRate,
+		faultSeed:  *faultSeed,
+		verbose:    *verbose,
+		useV6:      *useV6,
+		useFast:    *useFast,
+		sequential: *sequential,
+		linger:     *linger,
+	}
+	if *metricsAddr != "" {
+		cfg.metricsAddr = *metricsAddr
+		cfg.onMetricsReady = func(addr string) {
+			fmt.Printf("metrics on http://%s/metrics, hop trace on http://%s/trace\n", addr, addr)
+		}
+	}
+	res, err := run(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(os.Stdout, cfg, res)
+
 	switch {
-	case interrupted:
+	case res.interrupted:
 		os.Exit(1)
-	case delivered < *packets && inj == nil:
-		log.Printf("timeout: only %d of %d packets delivered", delivered, *packets)
+	case res.delivered < cfg.packets && cfg.faultRate == 0:
+		log.Printf("timeout: only %d of %d packets delivered", res.delivered, cfg.packets)
 		os.Exit(1)
-	case inj != nil && delivered == 0:
+	case cfg.faultRate > 0 && res.delivered == 0:
 		log.Print("fault run delivered nothing — the chain is broken, not degraded")
 		os.Exit(1)
 	}

@@ -95,12 +95,13 @@ func DefaultConfig() Config {
 			"locate":             true,
 		},
 		HotPackages: map[string]bool{
-			"repro/internal/core":     true,
-			"repro/internal/lookup":   true,
-			"repro/internal/trie":     true,
-			"repro/internal/patricia": true,
-			"repro/internal/fib":      true,
-			"repro/internal/fastpath": true,
+			"repro/internal/core":      true,
+			"repro/internal/lookup":    true,
+			"repro/internal/trie":      true,
+			"repro/internal/patricia":  true,
+			"repro/internal/fib":       true,
+			"repro/internal/fastpath":  true,
+			"repro/internal/telemetry": true,
 		},
 	}
 }

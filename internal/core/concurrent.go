@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ip"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // ConcurrentTable wraps a Table for use by multiple forwarding goroutines.
@@ -39,10 +40,11 @@ func NewConcurrentTable(t *Table) *ConcurrentTable {
 //
 //cluevet:hotpath
 func (c *ConcurrentTable) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) Result {
+	before := cnt.Count()
 	clue := ip.DecodeClue(dest, clueLen)
 	c.mu.RLock()
 	if clueLen < 0 || clueLen > c.t.width {
-		res := c.t.fullLookup(dest, cnt, OutcomeBadClue)
+		res := c.t.fullLookup(dest, cnt, OutcomeBadClue, before)
 		c.mu.RUnlock()
 		return res
 	}
@@ -50,36 +52,38 @@ func (c *ConcurrentTable) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) R
 	e, ok := c.t.entries[clue]
 	switch {
 	case ok && e.valid:
-		res := c.t.processValid(e, dest, cnt)
+		res := c.t.processValid(e, dest, cnt, before)
 		c.mu.RUnlock()
 		return res
 	case ok: // invalid entry: full lookup, no relearning (§3.4 marking)
-		res := c.t.fullLookup(dest, cnt, OutcomeInvalid)
+		res := c.t.fullLookup(dest, cnt, OutcomeInvalid, before)
 		c.mu.RUnlock()
 		return res
 	case !c.t.learnable():
 		// Miss on a table that cannot learn (legacy steady state): pure
 		// read traffic, no reason to serialize the readers.
-		res := c.t.fullLookup(dest, cnt, OutcomeMiss)
+		res := c.t.fullLookup(dest, cnt, OutcomeMiss, before)
 		c.mu.RUnlock()
 		return res
 	}
 	c.mu.RUnlock()
 	// Learning miss: take the write lock, re-check (a racing goroutine may
 	// have learned the clue meanwhile), learn, and route by full lookup.
+	// Telemetry records inside fullLookup/processValid, under whichever
+	// lock is held at the recording site.
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok = c.t.entries[clue]
 	switch {
 	case ok && e.valid:
-		return c.t.processValid(e, dest, cnt)
+		return c.t.processValid(e, dest, cnt, before)
 	case ok:
-		return c.t.fullLookup(dest, cnt, OutcomeInvalid)
+		return c.t.fullLookup(dest, cnt, OutcomeInvalid, before)
 	default:
 		if c.t.learnable() {
 			c.t.learnClue(clue)
 		}
-		return c.t.fullLookup(dest, cnt, OutcomeMiss)
+		return c.t.fullLookup(dest, cnt, OutcomeMiss, before)
 	}
 }
 
@@ -125,6 +129,21 @@ func (c *ConcurrentTable) Revalidate(clue ip.Prefix) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.t.Revalidate(clue)
+}
+
+// SetTelemetry attaches a metrics bundle to the wrapped table under the
+// write lock, so it is safe against in-flight Process calls.
+func (c *ConcurrentTable) SetTelemetry(pm *telemetry.PacketMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t.SetTelemetry(pm)
+}
+
+// Learned returns how many entries were learned on the fly.
+func (c *ConcurrentTable) Learned() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Learned()
 }
 
 // Len returns the number of entries.

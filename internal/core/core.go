@@ -30,6 +30,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/lookup"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 	"repro/internal/trie"
 )
 
@@ -106,6 +107,20 @@ func (o Outcome) String() string {
 	default:
 		return "no-clue"
 	}
+}
+
+// NumOutcomes is the number of distinct Outcome values, for sizing
+// per-outcome vectors.
+const NumOutcomes = 8
+
+// OutcomeLabels returns every outcome's String() label indexed by
+// ordinal — the label set telemetry counter vectors are built over.
+func OutcomeLabels() []string {
+	labels := make([]string, NumOutcomes)
+	for i := range labels {
+		labels[i] = Outcome(i).String()
+	}
+	return labels
 }
 
 // Degraded reports whether the outcome means the clue did not decide the
@@ -212,7 +227,17 @@ type Table struct {
 	entries map[ip.Prefix]*Entry
 	clues   *trie.Trie // shadow trie of clue keys, for route-change updates
 	learned int
+	tel     *telemetry.PacketMetrics // nil: no telemetry (records nothing)
 }
+
+// SetTelemetry attaches a per-packet metrics bundle: every Process /
+// ProcessNoClue call records its outcome and the memory references it
+// charged. A nil bundle detaches. Not safe to call concurrently with
+// Process; for shared tables use ConcurrentTable.SetTelemetry.
+func (t *Table) SetTelemetry(pm *telemetry.PacketMetrics) { t.tel = pm }
+
+// Telemetry returns the attached metrics bundle (nil when detached).
+func (t *Table) Telemetry() *telemetry.PacketMetrics { return t.tel }
 
 // NewTable creates a clue table. The Advance method requires sender
 // knowledge.
@@ -329,16 +354,27 @@ func (t *Table) Revalidate(c ip.Prefix) bool {
 }
 
 // fullLookup routes the packet without clue help, charging the engine's
-// cost.
-func (t *Table) fullLookup(dest ip.Addr, c *mem.Counter, o Outcome) Result {
+// cost, and records the packet's outcome and reference delta (since
+// before, the counter reading at Process entry) to any attached
+// telemetry. Every degraded path terminates here, so recording in one
+// place covers them all; the tel check is a single predictable branch
+// when telemetry is off.
+//
+//cluevet:hotpath
+func (t *Table) fullLookup(dest ip.Addr, c *mem.Counter, o Outcome, before int) Result {
 	p, v, ok := t.cfg.Engine.Lookup(dest, c)
+	if t.tel != nil {
+		t.tel.Record(int(o), uint64(c.Count()-before))
+	}
 	return Result{Prefix: p, Value: v, OK: ok, Outcome: o}
 }
 
 // ProcessNoClue routes a packet that arrived without a clue (from a legacy
 // router, §5.3): a plain full lookup.
+//
+//cluevet:hotpath
 func (t *Table) ProcessNoClue(dest ip.Addr, c *mem.Counter) Result {
-	return t.fullLookup(dest, c, OutcomeNoClue)
+	return t.fullLookup(dest, c, OutcomeNoClue, c.Count())
 }
 
 // Process routes a packet that arrived with clue length clueLen, following
@@ -355,8 +391,9 @@ func (t *Table) ProcessNoClue(dest ip.Addr, c *mem.Counter) Result {
 //
 //cluevet:hotpath
 func (t *Table) Process(dest ip.Addr, clueLen int, c *mem.Counter) Result {
+	before := c.Count()
 	if clueLen < 0 || clueLen > t.width {
-		return t.fullLookup(dest, c, OutcomeBadClue)
+		return t.fullLookup(dest, c, OutcomeBadClue, before)
 	}
 	clue := ip.DecodeClue(dest, clueLen)
 	c.Add(1) // the clue-table reference
@@ -366,12 +403,12 @@ func (t *Table) Process(dest ip.Addr, clueLen int, c *mem.Counter) Result {
 		if t.learnable() {
 			t.learnClue(clue)
 		}
-		return t.fullLookup(dest, c, OutcomeMiss)
+		return t.fullLookup(dest, c, OutcomeMiss, before)
 	}
 	if !e.valid {
-		return t.fullLookup(dest, c, OutcomeInvalid)
+		return t.fullLookup(dest, c, OutcomeInvalid, before)
 	}
-	return t.processValid(e, dest, c)
+	return t.processValid(e, dest, c, before)
 }
 
 // learnable reports whether a miss may add an entry: learning is on and
@@ -390,11 +427,15 @@ func (t *Table) learnable() bool {
 // this packet and it degrades to a full lookup.
 //
 //cluevet:hotpath
-func (t *Table) processValid(e *Entry, dest ip.Addr, c *mem.Counter) Result {
+func (t *Table) processValid(e *Entry, dest ip.Addr, c *mem.Counter, before int) Result {
 	if t.cfg.Verify && clueRefuted(t.cfg.SenderTrie, e, dest, c) {
-		return t.fullLookup(dest, c, OutcomeSuspect)
+		return t.fullLookup(dest, c, OutcomeSuspect, before)
 	}
-	return processEntry(e, dest, c)
+	r := processEntry(e, dest, c)
+	if t.tel != nil {
+		t.tel.Record(int(r.Outcome), uint64(c.Count()-before))
+	}
+	return r
 }
 
 // clueRefuted reports whether sender verification disproves that e's clue

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/lookup"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 func pinZero(t *testing.T, name string, f func()) {
@@ -70,5 +71,62 @@ func TestZeroAllocs(t *testing.T) {
 	pinZero(t, "rcu/ProcessBatch", func() {
 		rcu.ProcessBatch(p.dests, p.clues, out, &cnt)
 	})
+	_ = sink
+}
+
+// TestZeroAllocsWithTelemetry re-pins the 0 allocs/op bar with a live
+// PacketMetrics bundle attached — the ISSUE's acceptance criterion that
+// instrumentation must not perturb the hot path. Sharded counters and
+// fixed-bucket histograms record with atomic adds only, so the figure
+// must stay exactly zero.
+func TestZeroAllocsWithTelemetry(t *testing.T) {
+	p := v4Pair(t, 512)
+	p.perturb(5)
+	var cnt mem.Counter
+	out := make([]core.Result, len(p.dests))
+	var sink core.Result
+	labels := core.OutcomeLabels()
+
+	for _, mode := range []struct {
+		name string
+		eng  lookup.ClueEngine
+	}{
+		{"flat", lookup.NewRegular(p.rt)},
+		{"delegate", lookup.NewPatricia(p.rt)},
+	} {
+		reg := telemetry.NewRegistry()
+		tab := newTable(t, p, core.Advance, mode.eng, false)
+		tab.SetTelemetry(telemetry.NewPacketMetrics(reg, "clue", labels, telemetry.L("mode", mode.name)))
+		snap := fastpath.Compile(tab)
+		i := 0
+		pinZero(t, mode.name+"/Process+telemetry", func() {
+			sink = snap.Process(p.dests[i%len(p.dests)], p.clues[i%len(p.clues)], &cnt)
+			i++
+		})
+		pinZero(t, mode.name+"/ProcessNoClue+telemetry", func() {
+			sink = snap.ProcessNoClue(p.dests[i%len(p.dests)], &cnt)
+			i++
+		})
+		pinZero(t, mode.name+"/ProcessBatch+telemetry", func() {
+			snap.ProcessBatch(p.dests, p.clues, out, &cnt)
+		})
+		if snap.Telemetry().Packets() == 0 {
+			t.Errorf("%s: telemetry recorded nothing — the pin proved the wrong thing", mode.name)
+		}
+	}
+
+	// Through the RCU wrapper, including a SetTelemetry republish.
+	reg := telemetry.NewRegistry()
+	rcu := fastpath.NewRCU(newTable(t, p, core.Advance, lookup.NewRegular(p.rt), false))
+	pm := telemetry.NewPacketMetrics(reg, "clue", labels)
+	rcu.SetTelemetry(pm)
+	k := 0
+	pinZero(t, "rcu/Process+telemetry", func() {
+		sink = rcu.Process(p.dests[k%len(p.dests)], p.clues[k%len(p.clues)], &cnt)
+		k++
+	})
+	if pm.Packets() == 0 {
+		t.Error("rcu: telemetry recorded nothing — the pin proved the wrong thing")
+	}
 	_ = sink
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/lookup"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // slot is one compiled clue entry: 32 bytes, two per cache line.
@@ -116,6 +117,7 @@ type Snapshot struct {
 	engine  lookup.Engine
 	resumes []lookup.Resume // delegate mode: per-entry compiled restricted searches
 	entries int
+	tel     *telemetry.PacketMetrics // inherited from the master table at Compile
 }
 
 // Compile snapshots a clue table. It runs off the packet path and is not
@@ -132,6 +134,7 @@ func Compile(t *core.Table) *Snapshot {
 		fam:    cfg.Local.Family(),
 		verify: cfg.Verify,
 		engine: cfg.Engine,
+		tel:    t.Telemetry(),
 	}
 	if _, ok := cfg.Engine.(*lookup.RegularEngine); ok {
 		s.flat = true
@@ -232,6 +235,10 @@ func (s *Snapshot) Len() int { return s.entries }
 // engine.
 func (s *Snapshot) Flat() bool { return s.flat }
 
+// Telemetry returns the metrics bundle inherited from the master table
+// at Compile (nil when the table had none attached).
+func (s *Snapshot) Telemetry() *telemetry.PacketMetrics { return s.tel }
+
 // Process routes one packet, following core.Table.Process decision for
 // decision and reference for reference: the same outcomes, the same next
 // hops, the same Degraded classification and the same mem.Counter charges
@@ -241,8 +248,9 @@ func (s *Snapshot) Flat() bool { return s.flat }
 //
 //cluevet:hotpath
 func (s *Snapshot) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) core.Result {
+	before := cnt.Count()
 	if clueLen < 0 || clueLen > s.width {
-		return s.fullLookup(dest, cnt, core.OutcomeBadClue)
+		return s.fullLookup(dest, cnt, core.OutcomeBadClue, before)
 	}
 	cnt.Add(1) // the clue-table reference
 	hi, lo := dest.Halves()
@@ -250,25 +258,28 @@ func (s *Snapshot) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) core.Res
 	kl := lo & maskLo[uint8(clueLen)]
 	slots := s.lens[clueLen].slots
 	if len(slots) == 0 {
-		return s.fullLookup(dest, cnt, core.OutcomeMiss)
+		return s.fullLookup(dest, cnt, core.OutcomeMiss, before)
 	}
 	mask := uint32(len(slots) - 1)
 	i := uint32(hashKey(kh, kl)) & mask
 	for {
 		sl := &slots[i]
 		if sl.flags&slotUsed == 0 {
-			return s.fullLookup(dest, cnt, core.OutcomeMiss)
+			return s.fullLookup(dest, cnt, core.OutcomeMiss, before)
 		}
 		if sl.keyHi == kh && sl.keyLo == kl {
 			// Claim-1 common case (95–99.5% of clues, §6): valid, final,
 			// no verification — resolved here without the apply call.
 			if sl.flags&(slotValid|slotFinal) == slotValid|slotFinal && !s.verify {
+				if s.tel != nil {
+					s.tel.Record(int(core.OutcomeFD), uint64(cnt.Count()-before))
+				}
 				if sl.fdLen < 0 {
 					return core.Result{Outcome: core.OutcomeFD}
 				}
 				return core.Result{Prefix: ip.PrefixFrom(dest, int(sl.fdLen)), Value: int(sl.value), OK: true, Outcome: core.OutcomeFD}
 			}
-			return s.apply(sl, dest, clueLen, cnt)
+			return s.apply(sl, dest, clueLen, cnt, before)
 		}
 		i = (i + 1) & mask
 	}
@@ -279,7 +290,7 @@ func (s *Snapshot) Process(dest ip.Addr, clueLen int, cnt *mem.Counter) core.Res
 //
 //cluevet:hotpath
 func (s *Snapshot) ProcessNoClue(dest ip.Addr, cnt *mem.Counter) core.Result {
-	return s.fullLookup(dest, cnt, core.OutcomeNoClue)
+	return s.fullLookup(dest, cnt, core.OutcomeNoClue, cnt.Count())
 }
 
 // ProcessBatch routes up to len(out) packets into the caller-owned out
@@ -302,6 +313,7 @@ func (s *Snapshot) ProcessBatch(dests []ip.Addr, clueLens []int, out []core.Resu
 	for i, d := range dests {
 		out[i] = s.Process(d, clueLens[i], cnt)
 	}
+	s.tel.ObserveBatch(uint64(n))
 	return n
 }
 
@@ -309,13 +321,25 @@ func (s *Snapshot) ProcessBatch(dests []ip.Addr, clueLens []int, out []core.Resu
 // inlined FD or the restricted search.
 //
 //cluevet:hotpath
-func (s *Snapshot) apply(sl *slot, dest ip.Addr, clueLen int, cnt *mem.Counter) core.Result {
+func (s *Snapshot) apply(sl *slot, dest ip.Addr, clueLen int, cnt *mem.Counter, before int) core.Result {
 	if sl.flags&slotValid == 0 {
-		return s.fullLookup(dest, cnt, core.OutcomeInvalid)
+		return s.fullLookup(dest, cnt, core.OutcomeInvalid, before)
 	}
 	if s.verify && s.refuted(sl, dest, clueLen, cnt) {
-		return s.fullLookup(dest, cnt, core.OutcomeSuspect)
+		return s.fullLookup(dest, cnt, core.OutcomeSuspect, before)
 	}
+	r := s.applyEntry(sl, dest, clueLen, cnt)
+	if s.tel != nil {
+		s.tel.Record(int(r.Outcome), uint64(cnt.Count()-before))
+	}
+	return r
+}
+
+// applyEntry resolves a valid, verified slot: the inlined FD when final,
+// otherwise the restricted search with the FD as fallback.
+//
+//cluevet:hotpath
+func (s *Snapshot) applyEntry(sl *slot, dest ip.Addr, clueLen int, cnt *mem.Counter) core.Result {
 	if sl.flags&slotFinal != 0 {
 		if sl.fdLen < 0 {
 			return core.Result{Outcome: core.OutcomeFD}
@@ -351,18 +375,28 @@ func (s *Snapshot) refuted(sl *slot, dest ip.Addr, clueLen int, cnt *mem.Counter
 
 // fullLookup routes without clue help: the flat root walk in flat mode,
 // the engine otherwise — either way the charge equals what core's
-// fullLookup would record.
+// fullLookup would record. Every degraded path terminates here, so it
+// also records the packet (outcome plus the reference delta since
+// before, the counter reading at Process entry) to any attached
+// telemetry.
 //
 //cluevet:hotpath
-func (s *Snapshot) fullLookup(dest ip.Addr, cnt *mem.Counter, o core.Outcome) core.Result {
+func (s *Snapshot) fullLookup(dest ip.Addr, cnt *mem.Counter, o core.Outcome, before int) core.Result {
+	var r core.Result
 	if s.flat {
 		if l, v, ok := s.local.lookupFrom(0, 0, dest, cnt); ok {
-			return core.Result{Prefix: ip.PrefixFrom(dest, int(l)), Value: int(v), OK: true, Outcome: o}
+			r = core.Result{Prefix: ip.PrefixFrom(dest, int(l)), Value: int(v), OK: true, Outcome: o}
+		} else {
+			r = core.Result{Outcome: o}
 		}
-		return core.Result{Outcome: o}
+	} else {
+		p, v, ok := s.engine.Lookup(dest, cnt)
+		r = core.Result{Prefix: p, Value: v, OK: ok, Outcome: o}
 	}
-	p, v, ok := s.engine.Lookup(dest, cnt)
-	return core.Result{Prefix: p, Value: v, OK: ok, Outcome: o}
+	if s.tel != nil {
+		s.tel.Record(int(o), uint64(cnt.Count()-before))
+	}
+	return r
 }
 
 // patch returns a copy of s with entry e recompiled in place (or added),

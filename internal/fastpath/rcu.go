@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ip"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // RCU publishes compiled snapshots of a live clue table with read-copy-
@@ -27,6 +28,43 @@ type RCU struct {
 	snap atomic.Pointer[Snapshot]
 	mu   sync.Mutex // serializes writers; the master table is only touched under it
 	tab  *core.Table
+	met  Metrics // writer-side telemetry; zero value records nothing
+}
+
+// Metrics are the RCU writer-side counters: how often the published
+// snapshot was swapped, and by which mechanism. All fields may be nil
+// (telemetry counters are nil-safe), so the zero Metrics records
+// nothing. Readers are deliberately uninstrumented here — per-packet
+// accounting lives in the snapshot's PacketMetrics.
+type Metrics struct {
+	Swaps      *telemetry.Counter // snapshot publications of any kind
+	Patches    *telemetry.Counter // single-entry incremental patches
+	Recompiles *telemetry.Counter // full Compile rebuilds
+	Learns     *telemetry.Counter // successful on-the-fly Learn calls
+}
+
+// SetMetrics attaches writer-side counters. Safe against concurrent
+// writers; recording sites all run under the writer mutex.
+func (r *RCU) SetMetrics(m Metrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met = m
+}
+
+// SetTelemetry attaches per-packet metrics to the master table and
+// republishes so the running snapshot records into it.
+func (r *RCU) SetTelemetry(pm *telemetry.PacketMetrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tab.SetTelemetry(pm)
+	r.publish(Compile(r.tab), r.met.Recompiles)
+}
+
+// publish stores a new snapshot and counts the swap. Caller holds r.mu.
+func (r *RCU) publish(s *Snapshot, how *telemetry.Counter) {
+	r.snap.Store(s)
+	r.met.Swaps.Inc()
+	how.Inc()
 }
 
 // NewRCU compiles t and takes ownership: the caller must not touch t
@@ -85,12 +123,13 @@ func (r *RCU) Learn(dest ip.Addr, clueLen int) bool {
 	if !r.tab.Learn(clue) {
 		return false
 	}
+	r.met.Learns.Inc()
 	e, ok := r.tab.ExportEntry(clue)
 	if !ok { // unreachable after a successful Learn; recompile defensively
-		r.snap.Store(Compile(r.tab))
+		r.publish(Compile(r.tab), r.met.Recompiles)
 		return true
 	}
-	r.snap.Store(r.snap.Load().patch(e))
+	r.publish(r.snap.Load().patch(e), r.met.Patches)
 	return true
 }
 
@@ -123,10 +162,10 @@ func (r *RCU) Revalidate(clue ip.Prefix) bool {
 // r.mu.
 func (r *RCU) patchEntry(clue ip.Prefix) {
 	if e, ok := r.tab.ExportEntry(clue); ok {
-		r.snap.Store(r.snap.Load().patch(e))
+		r.publish(r.snap.Load().patch(e), r.met.Patches)
 		return
 	}
-	r.snap.Store(Compile(r.tab)) // entry vanished: fall back to a rebuild
+	r.publish(Compile(r.tab), r.met.Recompiles) // entry vanished: fall back to a rebuild
 }
 
 // Mutate runs fn on the master table under the writer lock and publishes
@@ -139,8 +178,15 @@ func (r *RCU) Mutate(fn func(*core.Table)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fn(r.tab)
-	r.snap.Store(Compile(r.tab))
+	r.publish(Compile(r.tab), r.met.Recompiles)
 }
 
 // Len returns the entry count of the current snapshot.
 func (r *RCU) Len() int { return r.snap.Load().Len() }
+
+// Learned returns how many entries the master table learned on the fly.
+func (r *RCU) Learned() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tab.Learned()
+}

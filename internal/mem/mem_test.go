@@ -60,6 +60,54 @@ func TestStatsEmpty(t *testing.T) {
 	}
 }
 
+// TestStatsDegenerate sweeps the zero-and-boundary cases of the Stats
+// accessors: no packets, zero-cost packets (Min must report the recorded
+// zero, not fall back to the empty-stats default), and FractionAtMost at
+// thresholds below, at, and above the population. The accounting audit
+// found the guards already correct; this pins them.
+func TestStatsDegenerate(t *testing.T) {
+	cases := []struct {
+		name    string
+		records []int
+		k       int
+		mean    float64
+		min     int
+		max     int
+		atMost  float64
+	}{
+		{name: "empty", records: nil, k: 0, mean: 0, min: 0, max: 0, atMost: 0},
+		{name: "empty negative threshold", records: nil, k: -1, mean: 0, min: 0, max: 0, atMost: 0},
+		{name: "single zero-cost packet", records: []int{0}, k: 0, mean: 0, min: 0, max: 0, atMost: 1},
+		{name: "zero-cost among others", records: []int{0, 4}, k: 0, mean: 2, min: 0, max: 4, atMost: 0.5},
+		{name: "threshold below population", records: []int{2, 3}, k: 1, mean: 2.5, min: 2, max: 3, atMost: 0},
+		{name: "threshold above population", records: []int{2, 3}, k: 10, mean: 2.5, min: 2, max: 3, atMost: 1},
+		{name: "negative threshold nonempty", records: []int{1, 2}, k: -1, mean: 1.5, min: 1, max: 2, atMost: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Stats
+			for _, r := range tc.records {
+				s.Record(r)
+			}
+			if got := s.Mean(); got != tc.mean {
+				t.Errorf("Mean = %v, want %v", got, tc.mean)
+			}
+			if got := s.Min(); got != tc.min {
+				t.Errorf("Min = %d, want %d", got, tc.min)
+			}
+			if got := s.Max(); got != tc.max {
+				t.Errorf("Max = %d, want %d", got, tc.max)
+			}
+			if got := s.FractionAtMost(tc.k); got != tc.atMost {
+				t.Errorf("FractionAtMost(%d) = %v, want %v", tc.k, got, tc.atMost)
+			}
+			if got := s.Packets(); got != len(tc.records) {
+				t.Errorf("Packets = %d, want %d", got, len(tc.records))
+			}
+		})
+	}
+}
+
 func TestTableModel(t *testing.T) {
 	m := PaperTableModel()
 	if m.EntriesPerLine() != 2 {

@@ -147,3 +147,56 @@ func TestRouterStatsDerivedMetrics(t *testing.T) {
 		t.Error("DropReason strings")
 	}
 }
+
+// TestRouterStatsDegenerate sweeps the empty-population edge cases of the
+// derived metrics: every ratio must return 0, never NaN or Inf, when its
+// denominator population is empty — no packets at all, all packets
+// faulted (empty clean population), and none faulted (empty faulted
+// population). The accounting audit found the guards already correct;
+// this pins them table-driven.
+func TestRouterStatsDegenerate(t *testing.T) {
+	cases := []struct {
+		name                    string
+		s                       RouterStats
+		refsPer, cleanPer       float64
+		faultedPer, degradation float64
+	}{
+		{name: "zero value", s: RouterStats{}},
+		{name: "drops only", s: RouterStats{NoRouteDrops: 3, FaultDrops: 2}},
+		{
+			name:    "no faulted packets",
+			s:       RouterStats{Packets: 4, Refs: 8},
+			refsPer: 2, cleanPer: 2,
+		},
+		{
+			name:    "all packets faulted",
+			s:       RouterStats{Packets: 3, Refs: 9, FaultedPackets: 3, FaultedRefs: 9},
+			refsPer: 3, faultedPer: 3,
+			// degradation needs both populations; with no clean packets it
+			// must be 0, not 3 - NaN.
+		},
+		{
+			name: "faulted packets with zero refs",
+			s:    RouterStats{Packets: 2, FaultedPackets: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checks := []struct {
+				name string
+				got  float64
+				want float64
+			}{
+				{"RefsPerPacket", tc.s.RefsPerPacket(), tc.refsPer},
+				{"CleanRefsPerPacket", tc.s.CleanRefsPerPacket(), tc.cleanPer},
+				{"FaultedRefsPerPacket", tc.s.FaultedRefsPerPacket(), tc.faultedPer},
+				{"DegradationCost", tc.s.DegradationCost(), tc.degradation},
+			}
+			for _, c := range checks {
+				if c.got != c.want {
+					t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+				}
+			}
+		})
+	}
+}

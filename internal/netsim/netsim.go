@@ -16,6 +16,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fastpath"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/lookup"
 	"repro/internal/mem"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/trie"
 )
 
@@ -39,7 +41,11 @@ const NoClue = -1
 // and the Simple method is sound for any destination prefix.
 type CluePolicy func(bmp ip.Prefix) int
 
-// Router is one simulated router.
+// Router is one simulated router. Configuration setters (SetMethod,
+// SetVerify, SetParticipates, SetCluePolicy) and route updates
+// (Network.ApplyTables) require quiescence — no Send in flight; the
+// forwarding path itself (lazy table creation, processing, learning,
+// stats) is safe under concurrent Send calls.
 type Router struct {
 	name         string
 	table        *fib.Table
@@ -47,11 +53,41 @@ type Router struct {
 	engine       lookup.ClueEngine
 	participates bool
 	method       core.Method
-	verify       bool                   // sender verification on Advance tables (SetVerify)
-	policy       CluePolicy             // nil = send the full BMP
-	clueTables   map[string]*core.Table // keyed by upstream neighbor
+	verify       bool                             // sender verification on Advance tables (SetVerify)
+	policy       CluePolicy                       // nil = send the full BMP
+	mu           sync.Mutex                       // guards the lazy table maps below
+	clueTables   map[string]*core.ConcurrentTable // keyed by upstream neighbor
 	fastTables   map[string]*fastpath.RCU
+	tel          *routerTelemetry
 	net          *Network
+}
+
+// routerTelemetry is one router's accounting: the per-packet bundle its
+// clue tables record into (outcomes, refs/packet) plus the dimensions
+// only the simulator knows (drops, fault-perturbed traffic). All of it
+// lives in the network's registry, so a single Prometheus scrape sees
+// every router.
+type routerTelemetry struct {
+	pm             *telemetry.PacketMetrics
+	noRouteDrops   *telemetry.Counter
+	faultDrops     *telemetry.Counter
+	faultedPackets *telemetry.Counter
+	faultedRefs    *telemetry.Counter
+}
+
+func newRouterTelemetry(reg *telemetry.Registry, router string) *routerTelemetry {
+	lbl := telemetry.L("router", router)
+	return &routerTelemetry{
+		pm: telemetry.NewPacketMetrics(reg, "netsim", core.OutcomeLabels(), lbl),
+		noRouteDrops: reg.NewCounter("netsim_drops_total",
+			"packets dropped, by reason", lbl, telemetry.L("reason", "no-route")),
+		faultDrops: reg.NewCounter("netsim_drops_total",
+			"packets dropped, by reason", lbl, telemetry.L("reason", "fault")),
+		faultedPackets: reg.NewCounter("netsim_faulted_packets_total",
+			"packets that arrived with a clue perturbed in transit", lbl),
+		faultedRefs: reg.NewCounter("netsim_faulted_refs_total",
+			"memory references charged to fault-perturbed packets", lbl),
+	}
 }
 
 // Name returns the router name.
@@ -64,12 +100,19 @@ func (r *Router) SetParticipates(on bool) { r.participates = on }
 // Participates reports whether the router reads and writes clues.
 func (r *Router) Participates() bool { return r.participates }
 
+// resetTables discards all learned tables (configuration changed).
+func (r *Router) resetTables() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clueTables = make(map[string]*core.ConcurrentTable)
+	r.fastTables = make(map[string]*fastpath.RCU)
+}
+
 // SetMethod selects Simple or Advance for this router's clue tables.
 // Existing learned tables are discarded.
 func (r *Router) SetMethod(m core.Method) {
 	r.method = m
-	r.clueTables = make(map[string]*core.Table)
-	r.fastTables = make(map[string]*fastpath.RCU)
+	r.resetTables()
 }
 
 // SetVerify switches sender verification (core.Config.Verify) on or off
@@ -82,8 +125,7 @@ func (r *Router) SetMethod(m core.Method) {
 // table degrades to a full lookup flagged OutcomeSuspect instead.
 func (r *Router) SetVerify(on bool) {
 	r.verify = on
-	r.clueTables = make(map[string]*core.Table)
-	r.fastTables = make(map[string]*fastpath.RCU)
+	r.resetTables()
 }
 
 // SetCluePolicy installs a §5.3 clue policy (nil restores the default of
@@ -95,16 +137,15 @@ func (r *Router) SetVerify(on bool) {
 // policies before sending traffic.
 func (r *Router) SetCluePolicy(p CluePolicy) { r.policy = p }
 
-// clueTable returns (lazily creating) the clue table for packets arriving
-// from the given upstream neighbor. The Advance method is used only when
-// the upstream router participates in the scheme and sends unmodified
-// BMPs — a clue relayed by a legacy neighbor may originate from anywhere,
-// and a §5.3 truncation policy breaks the "clue = sender's BMP" contract;
-// only the Simple method is sound for such clues.
-func (r *Router) clueTable(upstream string) *core.Table {
-	if tab, ok := r.clueTables[upstream]; ok {
-		return tab
-	}
+// tableConfig builds the clue-table configuration for packets arriving
+// from the given upstream neighbor — the one place the config logic
+// lives, shared by the interpreted and compiled representations. The
+// Advance method is used only when the upstream router participates in
+// the scheme and sends unmodified BMPs — a clue relayed by a legacy
+// neighbor may originate from anywhere, and a §5.3 truncation policy
+// breaks the "clue = sender's BMP" contract; only the Simple method is
+// sound for such clues.
+func (r *Router) tableConfig(upstream string) core.Config {
 	cfg := core.Config{Method: core.Simple, Engine: r.engine, Local: r.trie, Learn: true}
 	up := r.net.routers[upstream]
 	if r.method == core.Advance && up != nil && up.participates && up.policy == nil {
@@ -116,7 +157,28 @@ func (r *Router) clueTable(upstream string) *core.Table {
 			cfg.SenderTrie = upTrie
 		}
 	}
-	tab := core.MustNewTable(cfg)
+	return cfg
+}
+
+// newMasterTable builds the underlying table for an upstream with the
+// router's telemetry attached. Caller wraps it (ConcurrentTable or RCU)
+// and must not touch it directly afterwards.
+func (r *Router) newMasterTable(upstream string) *core.Table {
+	tab := core.MustNewTable(r.tableConfig(upstream))
+	tab.SetTelemetry(r.tel.pm)
+	return tab
+}
+
+// clueTable returns (lazily creating) the clue table for packets arriving
+// from the given upstream neighbor, wrapped for concurrent Send calls
+// (interpreted tables mutate on learning misses).
+func (r *Router) clueTable(upstream string) *core.ConcurrentTable {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tab, ok := r.clueTables[upstream]; ok {
+		return tab
+	}
+	tab := core.NewConcurrentTable(r.newMasterTable(upstream))
 	r.clueTables[upstream] = tab
 	return tab
 }
@@ -129,17 +191,12 @@ func (r *Router) clueTable(upstream string) *core.Table {
 // identical to the interpreted table — outcome, next hop and reference
 // count (the fastpath package's differential tests pin this).
 func (r *Router) fastTable(upstream string) *fastpath.RCU {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if rcu, ok := r.fastTables[upstream]; ok {
 		return rcu
 	}
-	// Build through clueTable's path so the config logic (Advance only
-	// under an unmodified participating upstream, verification, learning)
-	// stays in one place — but on a table the interpreter never touches.
-	saved := r.clueTables
-	r.clueTables = make(map[string]*core.Table)
-	tab := r.clueTable(upstream)
-	r.clueTables = saved
-	rcu := fastpath.NewRCU(tab)
+	rcu := fastpath.NewRCU(r.newMasterTable(upstream))
 	r.fastTables[upstream] = rcu
 	return rcu
 }
@@ -217,13 +274,19 @@ type LinkFault interface {
 }
 
 // Network is a set of routers wired by their forwarding tables' next-hop
-// names.
+// names. All per-router accounting lives in one telemetry registry
+// (Telemetry), and every hop is appended to a ring-buffer tracer
+// (HopTrace) — Figure 1 as live, scrapeable data.
 type Network struct {
 	routers   map[string]*Router
-	stats     map[string]*RouterStats
+	reg       *telemetry.Registry
+	tracer    *telemetry.HopTracer
 	linkFault LinkFault
 	fastpath  bool
 }
+
+// traceCapacity is how many recent hop events the network retains.
+const traceCapacity = 4096
 
 // SetFastPath switches every participating router from the interpreted
 // core.Table to compiled fastpath snapshots (internal/fastpath): same
@@ -233,8 +296,7 @@ type Network struct {
 func (n *Network) SetFastPath(on bool) {
 	n.fastpath = on
 	for _, r := range n.routers {
-		r.clueTables = make(map[string]*core.Table)
-		r.fastTables = make(map[string]*fastpath.RCU)
+		r.resetTables()
 	}
 }
 
@@ -258,7 +320,8 @@ func (n *Network) SetVerify(on bool) {
 func New(tables map[string]*fib.Table) *Network {
 	n := &Network{
 		routers: make(map[string]*Router, len(tables)),
-		stats:   make(map[string]*RouterStats, len(tables)),
+		reg:     telemetry.NewRegistry(),
+		tracer:  telemetry.NewHopTracer(traceCapacity),
 	}
 	for name, tab := range tables {
 		tr := tab.Trie()
@@ -269,8 +332,9 @@ func New(tables map[string]*fib.Table) *Network {
 			engine:       lookup.NewPatricia(tr),
 			participates: true,
 			method:       core.Advance,
-			clueTables:   make(map[string]*core.Table),
+			clueTables:   make(map[string]*core.ConcurrentTable),
 			fastTables:   make(map[string]*fastpath.RCU),
+			tel:          newRouterTelemetry(n.reg, name),
 			net:          n,
 		}
 	}
@@ -280,41 +344,65 @@ func New(tables map[string]*fib.Table) *Network {
 // Router returns a router by name, or nil.
 func (n *Network) Router(name string) *Router { return n.routers[name] }
 
-// Stats returns each router's accumulated forwarding load.
+// Telemetry returns the network's metric registry — every router's
+// outcome counters, reference histograms and drop counters, ready for
+// the Prometheus exporter.
+func (n *Network) Telemetry() *telemetry.Registry { return n.reg }
+
+// HopTrace returns the ring-buffer tracer holding the most recent hop
+// events across all routers (the live Figure 1).
+func (n *Network) HopTrace() *telemetry.HopTracer { return n.tracer }
+
+// Stats returns each router's accumulated forwarding load. The
+// RouterStats values are views over the router's telemetry counters, so
+// a snapshot taken during concurrent Send calls is consistent-enough:
+// each field is a monotonic counter sum, never a torn read.
 func (n *Network) Stats() map[string]RouterStats {
-	out := make(map[string]RouterStats, len(n.stats))
-	for name, s := range n.stats {
-		out[name] = *s
+	out := make(map[string]RouterStats, len(n.routers))
+	for name, r := range n.routers {
+		out[name] = r.Stats()
 	}
 	return out
 }
 
-// ResetStats clears the accumulated load counters (e.g. after a warm-up).
+// Stats returns this router's accumulated forwarding load as a view
+// over its telemetry counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Packets:        int(r.tel.pm.Packets()),
+		Refs:           int(r.tel.pm.Refs()),
+		NoRouteDrops:   int(r.tel.noRouteDrops.Value()),
+		FaultDrops:     int(r.tel.faultDrops.Value()),
+		FaultedPackets: int(r.tel.faultedPackets.Value()),
+		FaultedRefs:    int(r.tel.faultedRefs.Value()),
+	}
+}
+
+// Outcomes returns how many packets this router decided with each clue
+// outcome — the per-router breakdown behind the netsim_packets_total
+// counter vector.
+func (r *Router) Outcomes() map[core.Outcome]int {
+	out := make(map[core.Outcome]int, core.NumOutcomes)
+	for i := 0; i < core.NumOutcomes; i++ {
+		if v := r.tel.pm.OutcomeCount(i); v > 0 {
+			out[core.Outcome(i)] = int(v)
+		}
+	}
+	return out
+}
+
+// ResetStats clears the accumulated load counters and the hop trace
+// (e.g. after a warm-up). Use at quiescent points: resets racing
+// in-flight Send calls can split a packet's charges across the reset.
 func (n *Network) ResetStats() {
-	for _, s := range n.stats {
-		*s = RouterStats{}
+	for _, r := range n.routers {
+		r.tel.pm.Reset()
+		r.tel.noRouteDrops.Reset()
+		r.tel.faultDrops.Reset()
+		r.tel.faultedPackets.Reset()
+		r.tel.faultedRefs.Reset()
 	}
-}
-
-// stat returns (creating) a router's stats record.
-func (n *Network) stat(router string) *RouterStats {
-	s := n.stats[router]
-	if s == nil {
-		s = &RouterStats{}
-		n.stats[router] = s
-	}
-	return s
-}
-
-// note records one hop's work.
-func (n *Network) note(router string, refs int, faulted bool) {
-	s := n.stat(router)
-	s.Packets++
-	s.Refs += refs
-	if faulted {
-		s.FaultedPackets++
-		s.FaultedRefs += refs
-	}
+	n.tracer.Reset()
 }
 
 // Hop records what happened at one router on a packet's path.
@@ -415,12 +503,33 @@ func (n *Network) Send(src string, dest ip.Addr) (*Trace, error) {
 			res = core.Result{Prefix: p, Value: v, OK: okk, Outcome: core.OutcomeNoClue}
 		}
 		hop := Hop{Router: cur.name, Refs: cnt.Count(), ClueIn: clue, FaultedClue: faulted, Outcome: res.Outcome}
-		n.note(cur.name, hop.Refs, faulted)
+		// Participating branches recorded the packet inside Process /
+		// ProcessNoClue (the tables carry this router's PacketMetrics); the
+		// legacy branch bypasses the clue tables, so charge it here.
+		if !cur.participates {
+			cur.tel.pm.Record(int(core.OutcomeNoClue), uint64(hop.Refs))
+		}
+		if faulted {
+			cur.tel.faultedPackets.Inc()
+			cur.tel.faultedRefs.Add(uint64(hop.Refs))
+		}
+		bmpLen := -1
+		if res.OK {
+			bmpLen = res.Prefix.Len()
+		}
+		n.tracer.Record(telemetry.HopEvent{
+			Router:  cur.name,
+			Dest:    dest,
+			ClueIn:  hop.ClueIn,
+			BMPLen:  bmpLen,
+			Refs:    hop.Refs,
+			Outcome: res.Outcome.String(),
+		})
 		if !res.OK {
 			hop.ClueOut = clue
 			tr.Hops = append(tr.Hops, hop)
 			tr.Drop = DropNoRoute
-			n.stat(cur.name).NoRouteDrops++
+			cur.tel.noRouteDrops.Inc()
 			return tr, nil // dropped: no route
 		}
 		hop.BMP = res.Prefix
@@ -459,7 +568,7 @@ func (n *Network) Send(src string, dest ip.Addr) (*Trace, error) {
 			wire, drop := n.linkFault.Apply(cur.name, next, dest, clue)
 			if drop {
 				tr.Drop = DropFault
-				n.stat(cur.name).FaultDrops++
+				cur.tel.faultDrops.Inc()
 				return tr, nil // lost on the wire
 			}
 			if wire != clue {

@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ip"
+)
+
+// TestStatsMatchTraces pins the accounting invariant behind the whole
+// telemetry rework: the registry-backed RouterStats must agree exactly
+// with the per-packet traces Send returns. Every hop charges exactly one
+// packet and its reference count to exactly one router — whether the
+// router is participating (the clue table records inside Process) or
+// legacy (Send records manually).
+func TestStatsMatchTraces(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		name := "interpreted"
+		if fast {
+			name = "fastpath"
+		}
+		t.Run(name, func(t *testing.T) {
+			n, names, host := figure1Network(t, 6)
+			n.SetFastPath(fast)
+			// A legacy router in the middle exercises the manual branch.
+			n.Router(names[2]).SetParticipates(false)
+
+			wantPackets := make(map[string]int)
+			wantRefs := make(map[string]int)
+			hops := 0
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 300; i++ {
+				dest := host
+				if i%3 == 0 {
+					dest = ip.AddrFrom32(uint32(20+rng.Intn(60))<<24 | rng.Uint32()&0xFFFFFF)
+				}
+				tr, err := n.Send(names[0], dest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, h := range tr.Hops {
+					wantPackets[h.Router]++
+					wantRefs[h.Router] += h.Refs
+					hops++
+				}
+			}
+
+			stats := n.Stats()
+			for name, want := range wantPackets {
+				got := stats[name]
+				if got.Packets != want {
+					t.Errorf("router %s: Packets = %d, want %d", name, got.Packets, want)
+				}
+				if got.Refs != wantRefs[name] {
+					t.Errorf("router %s: Refs = %d, want %d", name, got.Refs, wantRefs[name])
+				}
+			}
+			// The outcome counter vector sums to the packet count.
+			for name, want := range wantPackets {
+				sum := 0
+				for _, v := range n.Router(name).Outcomes() {
+					sum += v
+				}
+				if sum != want {
+					t.Errorf("router %s: outcome sum = %d, want %d", name, sum, want)
+				}
+			}
+			// The hop tracer saw every hop.
+			if got := n.HopTrace().Total(); got != uint64(hops) {
+				t.Errorf("tracer total = %d, want %d", got, hops)
+			}
+
+			// And the Prometheus exporter exposes the same registry.
+			var sb strings.Builder
+			if err := n.Telemetry().WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			for _, want := range []string{"netsim_packets_total{", "netsim_refs_per_packet_bucket{", `router="` + names[0] + `"`} {
+				if !strings.Contains(out, want) {
+					t.Errorf("Prometheus output missing %q", want)
+				}
+			}
+
+			n.ResetStats()
+			for name, s := range n.Stats() {
+				if s != (RouterStats{}) {
+					t.Errorf("router %s: stats not cleared by ResetStats: %+v", name, s)
+				}
+			}
+			if n.HopTrace().Total() != 0 {
+				t.Error("ResetStats did not clear the hop trace")
+			}
+		})
+	}
+}
+
+// TestHopTraceContent checks the ring buffer records the live Figure 1:
+// events in order, with the router names and BMP lengths of the path.
+func TestHopTraceContent(t *testing.T) {
+	n, names, host := figure1Network(t, 5)
+	tr, err := n.Send(names[0], host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Delivered {
+		t.Fatal("not delivered")
+	}
+	events := n.HopTrace().Tail(100)
+	if len(events) != len(tr.Hops) {
+		t.Fatalf("tail has %d events, want %d", len(events), len(tr.Hops))
+	}
+	for i, ev := range events {
+		h := tr.Hops[i]
+		if ev.Router != h.Router || ev.Refs != h.Refs || ev.ClueIn != h.ClueIn {
+			t.Errorf("event %d = %+v, want router=%s refs=%d clueIn=%d", i, ev, h.Router, h.Refs, h.ClueIn)
+		}
+		if ev.BMPLen != h.BMP.Len() {
+			t.Errorf("event %d: BMPLen = %d, want %d", i, ev.BMPLen, h.BMP.Len())
+		}
+		if ev.Dest != host {
+			t.Errorf("event %d: dest = %v, want %v", i, ev.Dest, host)
+		}
+		if ev.Outcome != h.Outcome.String() {
+			t.Errorf("event %d: outcome = %q, want %q", i, ev.Outcome, h.Outcome.String())
+		}
+	}
+}
+
+// TestConcurrentSendStats is the regression test for the Stats-during-Send
+// race: the old implementation grew a plain map[string]*RouterStats inside
+// Send and iterated it in Stats, so a concurrent snapshot was a data race
+// (and lazily-created interpreted tables raced on learning). Telemetry
+// counters are atomic, table creation is locked and interpreted tables are
+// wrapped in ConcurrentTable, so this must be -race clean.
+func TestConcurrentSendStats(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		name := "interpreted"
+		if fast {
+			name = "fastpath"
+		}
+		t.Run(name, func(t *testing.T) {
+			n, names, host := figure1Network(t, 6)
+			n.SetFastPath(fast)
+			const senders = 4
+			var sendWG, scrapeWG sync.WaitGroup
+			stop := make(chan struct{})
+			for g := 0; g < senders; g++ {
+				sendWG.Add(1)
+				go func(seed int64) {
+					defer sendWG.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 200; i++ {
+						dest := host
+						if i%2 == 0 {
+							dest = ip.AddrFrom32(uint32(20+rng.Intn(60))<<24 | rng.Uint32()&0xFFFFFF)
+						}
+						if _, err := n.Send(names[rng.Intn(len(names)-1)], dest); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(int64(g))
+			}
+			scrapeWG.Add(1)
+			go func() {
+				defer scrapeWG.Done()
+				var sb strings.Builder
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for _, s := range n.Stats() {
+						if s.Refs < 0 {
+							t.Error("negative refs in snapshot")
+							return
+						}
+					}
+					n.HopTrace().Tail(32)
+					sb.Reset()
+					if err := n.Telemetry().WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			sendWG.Wait()
+			close(stop)
+			scrapeWG.Wait()
+
+			total := 0
+			for _, s := range n.Stats() {
+				total += s.Packets
+			}
+			if total == 0 {
+				t.Error("no packets accounted")
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/fib"
 	"repro/internal/ip"
 	"repro/internal/lookup"
@@ -50,13 +51,28 @@ func (n *Network) ApplyTables(tables map[string]*fib.Table) error {
 		changes[name] = diff
 	}
 	// Repair clue tables: local updates at the changed router, sender
-	// updates at the routers that learned clues from it.
+	// updates at the routers that learned clues from it. Interpreted
+	// tables are repaired under their write lock (Mutate); compiled
+	// fastpath tables go through RCU.Mutate, which recompiles and
+	// republishes one snapshot per table after the full diff is applied.
 	for name, diff := range changes {
 		r := n.routers[name]
-		for _, tab := range r.clueTables {
-			tab.SetEngine(r.engine)
+		engine := r.engine
+		repairLocal := func(t *core.Table) {
+			t.SetEngine(engine)
 			for _, p := range diff {
-				tab.UpdateLocal(p)
+				t.UpdateLocal(p)
+			}
+		}
+		for _, tab := range r.clueTables {
+			tab.Mutate(repairLocal)
+		}
+		for _, rcu := range r.fastTables {
+			rcu.Mutate(repairLocal)
+		}
+		repairSender := func(t *core.Table) {
+			for _, p := range diff {
+				t.UpdateSender(p)
 			}
 		}
 		for _, other := range n.routers {
@@ -64,9 +80,10 @@ func (n *Network) ApplyTables(tables map[string]*fib.Table) error {
 				continue
 			}
 			if tab, ok := other.clueTables[name]; ok {
-				for _, p := range diff {
-					tab.UpdateSender(p)
-				}
+				tab.Mutate(repairSender)
+			}
+			if rcu, ok := other.fastTables[name]; ok {
+				rcu.Mutate(repairSender)
 			}
 		}
 	}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram of unsigned integer observations
+// (reference counts, nanoseconds, batch sizes). Bucket bounds are chosen
+// at construction; an observation is a bounded linear scan over the
+// bounds (a handful of comparisons over one or two cache lines — cheaper
+// than a binary search at these sizes) plus two atomic adds into the
+// recording shard. Nothing on the record path allocates or locks.
+//
+// Storage is one flat cell array: shardCount shards, each holding the
+// per-bucket counts (including the implicit +Inf bucket) followed by the
+// shard's value sum, with the stride rounded up to whole cache lines so
+// shards never false-share.
+type Histogram struct {
+	labels []Label
+	bounds []uint64        // finite upper bounds, strictly increasing
+	stride int             // cells per shard, cache-line aligned
+	cells  []atomic.Uint64 // shardCount × stride
+	mask   uint32
+}
+
+// cellsPerLine is how many uint64 cells fill one cache line.
+const cellsPerLine = 8
+
+//cluevet:ctor
+func newHistogram(bounds []uint64, labels []Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not strictly increasing at %d", i))
+		}
+	}
+	b := append([]uint64(nil), bounds...) // defensive copy: bounds are read on every Observe
+	stride := len(b) + 2                  // finite buckets + +Inf bucket + sum
+	stride = (stride + cellsPerLine - 1) / cellsPerLine * cellsPerLine
+	return &Histogram{
+		labels: labels,
+		bounds: b,
+		stride: stride,
+		cells:  make([]atomic.Uint64, int(shardCount)*stride),
+		mask:   shardCount - 1,
+	}
+}
+
+// Observe records one value.
+//
+//cluevet:hotpath
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	base := 0
+	if h.mask != 0 {
+		base = int(randUint32()&h.mask) * h.stride
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.cells[base+i].Add(1)
+	h.cells[base+len(h.bounds)+1].Add(v)
+}
+
+// Bounds returns the finite bucket bounds (the +Inf bucket is implicit).
+func (h *Histogram) Bounds() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return append([]uint64(nil), h.bounds...)
+}
+
+// Snapshot sums the shards: per-bucket counts (the last entry is the
+// +Inf bucket), the total observation count, and the value sum.
+func (h *Histogram) Snapshot() (buckets []uint64, count, sum uint64) {
+	if h == nil {
+		return nil, 0, 0
+	}
+	buckets = make([]uint64, len(h.bounds)+1)
+	for s := 0; s < int(h.mask)+1; s++ {
+		base := s * h.stride
+		for i := range buckets {
+			buckets[i] += h.cells[base+i].Load()
+		}
+		sum += h.cells[base+len(h.bounds)+1].Load()
+	}
+	for _, b := range buckets {
+		count += b
+	}
+	return buckets, count, sum
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	_, count, _ := h.Snapshot()
+	return count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	_, _, sum := h.Snapshot()
+	return sum
+}
+
+// Reset zeroes every cell. Like Counter.Reset, use at quiescent points.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.cells {
+		h.cells[i].Store(0)
+	}
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4). Families are emitted in name order
+// so scrapes are diffable; series within a family keep registration
+// order. The exporter only reads shard sums, so a scrape never blocks a
+// recorder.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		switch f.kind {
+		case kindCounter:
+			for _, c := range f.counters {
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, formatLabels(c.labels), c.Value())
+			}
+		case kindGauge:
+			for _, g := range f.gauges {
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, formatLabels(g.labels), g.Value())
+			}
+		case kindHistogram:
+			for _, h := range f.histograms {
+				writeHistogram(&b, f.name, h)
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and
+// _count, per the Prometheus histogram convention.
+func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+	buckets, count, sum := h.Snapshot()
+	bounds := h.bounds
+	var cum uint64
+	for i, n := range buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(bounds) {
+			le = fmt.Sprintf("%d", bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, formatLabelsExtra(h.labels, "le", le), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, formatLabels(h.labels), sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, formatLabels(h.labels), count)
+}
+
+// formatLabels renders {k="v",...}, or the empty string for no labels.
+func formatLabels(labels []Label) string {
+	return formatLabelsExtra(labels, "", "")
+}
+
+// formatLabelsExtra renders labels plus one trailing extra pair (used
+// for the histogram "le" label), which is appended last per convention.
+func formatLabelsExtra(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline, per the
+// text-format spec.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format, for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,303 @@
+// Package telemetry is the repo's uniform accounting layer: the cost
+// measurement the paper is built around (memory references per packet,
+// per router, per clue outcome — §3.5, §6) as a first-class, concurrency-
+// safe, continuously queryable signal instead of ad-hoc structs scattered
+// across the simulators and daemons.
+//
+// The design constraints come from the hot path it instruments
+// (internal/fastpath pins 0 allocs/op with telemetry recording enabled):
+//
+//   - Counters are sharded across cache-line-padded atomic cells, so a
+//     record is one atomic add on a line that is, with high probability,
+//     not contended — no locks, no allocations, wait-free.
+//   - Histograms have fixed bucket bounds chosen at construction; an
+//     observation is a bounded linear scan over a handful of bounds plus
+//     two atomic adds into the recording shard. Nothing on the record
+//     path allocates, takes a lock, or calls fmt.
+//   - Reads (Value, Snapshot, the Prometheus exporter) sum the shards
+//     without stopping writers. A sum taken during concurrent recording
+//     is a consistent-enough snapshot: every add is either fully counted
+//     or not yet counted, and the total never goes backwards between
+//     scrapes (except across an explicit Reset).
+//
+// All record-side methods are nil-receiver safe, mirroring mem.Counter:
+// a nil *Counter, *Histogram, *CounterVec, *PacketMetrics or *HopTracer
+// records nothing, so instrumented code needs no "telemetry enabled?"
+// branches.
+package telemetry
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key="value" pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// shardCount is the number of cells every counter and histogram spreads
+// its adds across: the number of CPUs rounded up to a power of two (so
+// shard selection is a mask, not a modulo), capped to keep the padded
+// footprint of large registries bounded.
+// randUint32 picks a recording shard: the runtime's per-thread generator
+// behind math/rand/v2 — no lock, no allocation.
+//
+//cluevet:hotpath
+func randUint32() uint32 { return rand.Uint32() }
+
+var shardCount = func() uint32 {
+	n := runtime.GOMAXPROCS(0)
+	if n > 64 {
+		n = 64
+	}
+	s := uint32(1)
+	for int(s) < n {
+		s <<= 1
+	}
+	return s
+}()
+
+// counterShard is one padded cell: the counter word plus enough padding
+// to keep neighboring shards on distinct cache lines, so concurrent
+// recorders do not false-share.
+type counterShard struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing (until Reset) sharded counter.
+// The zero value is not usable; create counters through a Registry.
+type Counter struct {
+	labels []Label
+	shards []counterShard
+	mask   uint32
+}
+
+func newCounter(labels []Label) *Counter {
+	return &Counter{labels: labels, shards: make([]counterShard, shardCount), mask: shardCount - 1}
+}
+
+// Inc adds one.
+//
+//cluevet:hotpath
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. It is wait-free: one cheap per-thread random draw to pick
+// a shard (skipped when there is only one) and one atomic add.
+//
+//cluevet:hotpath
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	i := uint32(0)
+	if c.mask != 0 {
+		i = randUint32() & c.mask
+	}
+	c.shards[i].n.Add(n)
+}
+
+// Value returns the current total across shards.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}
+
+// Reset zeroes the counter. Adds racing a Reset land wholly before or
+// wholly after it per shard; use Reset only at quiescent points (e.g.
+// after a warm-up) when exact totals matter.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		c.shards[i].n.Store(0)
+	}
+}
+
+// CounterVec is a dense vector of counters over one label key with a
+// fixed, small value set (e.g. the eight clue outcomes), indexed by the
+// value's ordinal so the record path is an array index — no map, no
+// hashing, no allocation.
+type CounterVec struct {
+	counters []*Counter
+}
+
+// Inc increments the counter for ordinal i; out-of-range ordinals are
+// ignored (a malformed label must not panic the data path).
+//
+//cluevet:hotpath
+func (v *CounterVec) Inc(i int) {
+	v.Add(i, 1)
+}
+
+// Add adds n to the counter for ordinal i.
+//
+//cluevet:hotpath
+func (v *CounterVec) Add(i int, n uint64) {
+	if v == nil || i < 0 || i >= len(v.counters) {
+		return
+	}
+	v.counters[i].Add(n)
+}
+
+// Value returns the total for ordinal i (0 when out of range).
+func (v *CounterVec) Value(i int) uint64 {
+	if v == nil || i < 0 || i >= len(v.counters) {
+		return 0
+	}
+	return v.counters[i].Value()
+}
+
+// Len returns the number of label values.
+func (v *CounterVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	return len(v.counters)
+}
+
+// At returns the counter for ordinal i, or nil when out of range —
+// callers can hold it directly to skip the bounds check per record.
+func (v *CounterVec) At(i int) *Counter {
+	if v == nil || i < 0 || i >= len(v.counters) {
+		return nil
+	}
+	return v.counters[i]
+}
+
+// Reset zeroes every counter in the vector.
+func (v *CounterVec) Reset() {
+	if v == nil {
+		return
+	}
+	for _, c := range v.counters {
+		c.Reset()
+	}
+}
+
+// Gauge is a scrape-time callback: the exporter calls fn for the current
+// value, so structure sizes (clue-table entries, learned counts) are
+// always fresh without the structure pushing updates.
+type Gauge struct {
+	labels []Label
+	fn     func() uint64
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() uint64 {
+	if g == nil || g.fn == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+// metric kinds, matching the Prometheus TYPE names.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is all series registered under one metric name.
+type family struct {
+	name, help, kind string
+	counters         []*Counter
+	gauges           []*Gauge
+	histograms       []*Histogram
+}
+
+// Registry holds metric families for export. Registration takes a lock;
+// recording into registered metrics never does.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	index    map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*family)}
+}
+
+// lookupFamily returns (creating) the family for name, enforcing that a
+// name keeps one kind and one help string. Registration-time only, never
+// on the record path.
+//
+//cluevet:ctor
+func (r *Registry) lookupFamily(name, help, kind string) *family {
+	f := r.index[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.index[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// NewCounter registers and returns a counter series.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := newCounter(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookupFamily(name, help, kindCounter)
+	f.counters = append(f.counters, c)
+	return c
+}
+
+// NewCounterVec registers one counter per value of labelKey and returns
+// the ordinal-indexed vector. constLabels are attached to every series.
+func (r *Registry) NewCounterVec(name, help, labelKey string, labelVals []string, constLabels ...Label) *CounterVec {
+	v := &CounterVec{counters: make([]*Counter, len(labelVals))}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookupFamily(name, help, kindCounter)
+	for i, val := range labelVals {
+		labels := make([]Label, 0, len(constLabels)+1)
+		labels = append(labels, constLabels...)
+		labels = append(labels, Label{Key: labelKey, Value: val})
+		c := newCounter(labels)
+		v.counters[i] = c
+		f.counters = append(f.counters, c)
+	}
+	return v
+}
+
+// NewGauge registers a callback gauge.
+func (r *Registry) NewGauge(name, help string, fn func() uint64, labels ...Label) *Gauge {
+	g := &Gauge{labels: labels, fn: fn}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookupFamily(name, help, kindGauge)
+	f.gauges = append(f.gauges, g)
+	return g
+}
+
+// NewHistogram registers a fixed-bucket histogram. bounds are the
+// inclusive upper bounds of the finite buckets, strictly increasing; a
+// +Inf bucket is always appended.
+func (r *Registry) NewHistogram(name, help string, bounds []uint64, labels ...Label) *Histogram {
+	h := newHistogram(bounds, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookupFamily(name, help, kindHistogram)
+	f.histograms = append(f.histograms, h)
+	return h
+}

@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ip"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "a test counter", L("engine", "simple"))
+	if got := c.Value(); got != 0 {
+		t.Fatalf("fresh counter Value = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("Value after Reset = %d, want 0", got)
+	}
+}
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var c *Counter
+	var v *CounterVec
+	var h *Histogram
+	var m *PacketMetrics
+	var tr *HopTracer
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil Counter Value != 0")
+	}
+	c.Reset()
+	v.Inc(0)
+	v.Add(1, 2)
+	if v.Value(0) != 0 || v.Len() != 0 || v.At(0) != nil {
+		t.Fatal("nil CounterVec accessors not zero")
+	}
+	v.Reset()
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bounds() != nil {
+		t.Fatal("nil Histogram accessors not zero")
+	}
+	h.Reset()
+	m.Record(1, 2)
+	m.ObserveNs(3)
+	m.ObserveBatch(4)
+	if m.OutcomeCount(0) != 0 || m.Packets() != 0 || m.Refs() != 0 {
+		t.Fatal("nil PacketMetrics accessors not zero")
+	}
+	m.Reset()
+	tr.Record(HopEvent{})
+	if tr.Total() != 0 || tr.Tail(5) != nil {
+		t.Fatal("nil HopTracer accessors not zero")
+	}
+	tr.Reset()
+}
+
+func TestCounterVecOrdinals(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("pkts_total", "by outcome", "outcome", []string{"fd", "miss", "bad"})
+	v.Inc(0)
+	v.Add(2, 5)
+	// Out-of-range ordinals must be ignored, not panic.
+	v.Inc(-1)
+	v.Inc(3)
+	if v.Value(0) != 1 || v.Value(1) != 0 || v.Value(2) != 5 {
+		t.Fatalf("vec values = %d,%d,%d", v.Value(0), v.Value(1), v.Value(2))
+	}
+	if v.Value(-1) != 0 || v.Value(99) != 0 {
+		t.Fatal("out-of-range Value != 0")
+	}
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+	if v.At(1) == nil || v.At(7) != nil {
+		t.Fatal("At bounds behavior wrong")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("refs", "refs per packet", []uint64{1, 4, 16})
+	for _, v := range []uint64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	buckets, count, sum := h.Snapshot()
+	// le=1: {0,1}; le=4: {2,4}; le=16: {5,16}; +Inf: {17,1000}
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, buckets[i], w, buckets)
+		}
+	}
+	if count != 8 {
+		t.Fatalf("count = %d, want 8", count)
+	}
+	if sum != 0+1+2+4+5+16+17+1000 {
+		t.Fatalf("sum = %d", sum)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset did not zero histogram")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-increasing bounds")
+		}
+	}()
+	NewRegistry().NewHistogram("bad", "", []uint64{1, 1})
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for kind conflict")
+		}
+	}()
+	r.NewGauge("x_total", "", func() uint64 { return 0 })
+}
+
+func TestPacketMetrics(t *testing.T) {
+	r := NewRegistry()
+	m := NewPacketMetrics(r, "router", []string{"fd", "miss"}, L("router", "r1"))
+	m.Record(0, 1)
+	m.Record(0, 1)
+	m.Record(1, 9)
+	m.ObserveNs(120)
+	m.ObserveBatch(16)
+	if m.OutcomeCount(0) != 2 || m.OutcomeCount(1) != 1 {
+		t.Fatalf("outcome counts %d,%d", m.OutcomeCount(0), m.OutcomeCount(1))
+	}
+	if m.Packets() != 3 {
+		t.Fatalf("Packets = %d, want 3", m.Packets())
+	}
+	if m.Refs() != 11 {
+		t.Fatalf("Refs = %d, want 11", m.Refs())
+	}
+	m.Reset()
+	if m.Packets() != 0 || m.Refs() != 0 {
+		t.Fatal("Reset did not zero PacketMetrics")
+	}
+}
+
+func TestHopTracerRing(t *testing.T) {
+	tr := NewHopTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(HopEvent{Router: "r", Refs: i})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	tail := tr.Tail(4)
+	if len(tail) != 4 {
+		t.Fatalf("Tail len = %d, want 4", len(tail))
+	}
+	for i, ev := range tail {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq || ev.Refs != int(wantSeq) {
+			t.Fatalf("tail[%d] = %+v, want Seq=Refs=%d", i, ev, wantSeq)
+		}
+	}
+	// Asking for more than capacity/recorded clamps.
+	if got := len(tr.Tail(100)); got != 4 {
+		t.Fatalf("Tail(100) len = %d, want 4", got)
+	}
+	tr.Reset()
+	if tr.Total() != 0 || len(tr.Tail(4)) != 0 {
+		t.Fatal("Reset did not clear tracer")
+	}
+}
+
+func TestHopTracerTailPartial(t *testing.T) {
+	tr := NewHopTracer(8)
+	tr.Record(HopEvent{Router: "a"})
+	tr.Record(HopEvent{Router: "b"})
+	tail := tr.Tail(5)
+	if len(tail) != 2 || tail[0].Router != "a" || tail[1].Router != "b" {
+		t.Fatalf("partial tail = %+v", tail)
+	}
+}
+
+func TestWriteTail(t *testing.T) {
+	tr := NewHopTracer(4)
+	a := ip.MustParseAddr("10.1.2.3")
+	tr.Record(HopEvent{Router: "r1", Dest: a, ClueIn: 16, BMPLen: 24, Refs: 1, Outcome: "fd"})
+	tr.Record(HopEvent{Router: "r2", Dest: a, ClueIn: -1, BMPLen: 24, Refs: 3, Outcome: "no-clue"})
+	var b strings.Builder
+	if err := tr.WriteTail(&b, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "r1") || !strings.Contains(out, "clue=/16") {
+		t.Fatalf("missing clue line in:\n%s", out)
+	}
+	if !strings.Contains(out, "clue=-") {
+		t.Fatalf("missing no-clue marker in:\n%s", out)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("clue_packets_total", "packets", L("outcome", `with"quote`), L("engine", "simple"))
+	c.Add(7)
+	r.NewGauge("clue_entries", "table entries", func() uint64 { return 13 })
+	h := r.NewHistogram("clue_refs", "refs", []uint64{1, 4})
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(99)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP clue_packets_total packets\n",
+		"# TYPE clue_packets_total counter\n",
+		`clue_packets_total{outcome="with\"quote",engine="simple"} 7` + "\n",
+		"# TYPE clue_entries gauge\n",
+		"clue_entries 13\n",
+		"# TYPE clue_refs histogram\n",
+		`clue_refs_bucket{le="1"} 1` + "\n",
+		`clue_refs_bucket{le="4"} 2` + "\n",
+		`clue_refs_bucket{le="+Inf"} 3` + "\n",
+		"clue_refs_sum 102\n",
+		"clue_refs_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name: entries < packets_total < refs.
+	if strings.Index(out, "clue_entries") > strings.Index(out, "clue_packets_total") ||
+		strings.Index(out, "clue_packets_total") > strings.Index(out, "# HELP clue_refs") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+// TestConcurrentRecordScrapeReset is the -race gate for the registry:
+// recorders, scrapers and a resetter all run concurrently.
+func TestConcurrentRecordScrapeReset(t *testing.T) {
+	r := NewRegistry()
+	m := NewPacketMetrics(r, "router", []string{"fd", "miss", "bad"})
+	tr := NewHopTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				m.Record(i%3, uint64(i%7))
+				m.ObserveNs(uint64(i))
+				m.ObserveBatch(uint64(g + 1))
+				tr.Record(HopEvent{Router: "r", Refs: i})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var b strings.Builder
+		for i := 0; i < 50; i++ {
+			b.Reset()
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			_ = m.Packets()
+			_ = tr.Tail(16)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			m.Reset()
+			tr.Reset()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestRecordZeroAllocs is the package's own alloc gate: recording into
+// counters, vectors, histograms and the PacketMetrics bundle must not
+// allocate. (fastpath's alloc_test pins the same property end-to-end.)
+func TestRecordZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	v := r.NewCounterVec("v_total", "", "outcome", []string{"a", "b"})
+	h := r.NewHistogram("h", "", DefaultRefsBuckets)
+	m := NewPacketMetrics(r, "m", []string{"a", "b"})
+	for name, fn := range map[string]func(){
+		"counter":   func() { c.Add(1) },
+		"vec":       func() { v.Inc(1) },
+		"histogram": func() { h.Observe(5) },
+		"bundle": func() {
+			m.Record(0, 2)
+			m.ObserveNs(100)
+			m.ObserveBatch(8)
+		},
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/ip"
+)
+
+// HopEvent is one router's handling of one packet — the row type of the
+// paper's Figure 1 (destination, clue carried in, best-matching-prefix
+// length, references charged, outcome), captured live instead of printed
+// once at the end of a run.
+type HopEvent struct {
+	Seq     uint64  // global sequence number, monotonically increasing
+	Router  string  // router that processed the packet
+	Dest    ip.Addr // packet destination
+	ClueIn  int     // length of the clue carried in (-1: no clue)
+	BMPLen  int     // best-matching-prefix length chosen
+	Refs    int     // memory references charged at this hop
+	Outcome string  // clue outcome label (core.Outcome.String())
+}
+
+// HopTracer is a fixed-capacity ring buffer of the most recent hop
+// events. Recording overwrites the oldest entry once full, so a tracer
+// costs O(capacity) memory regardless of run length. Unlike counters,
+// the tracer takes a mutex per record: it exists for the simulator and
+// the daemon's debug endpoint, not for the compiled fast path, and a
+// mutex keeps whole events consistent. A nil *HopTracer records nothing.
+type HopTracer struct {
+	mu    sync.Mutex
+	ring  []HopEvent
+	total uint64 // events ever recorded; next Seq
+}
+
+// NewHopTracer creates a tracer keeping the last capacity events.
+// Capacity is clamped to at least 1.
+func NewHopTracer(capacity int) *HopTracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HopTracer{ring: make([]HopEvent, capacity)}
+}
+
+// Record appends one hop event, assigning its sequence number.
+func (t *HopTracer) Record(ev HopEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev.Seq = t.total
+	t.ring[int(t.total%uint64(len(t.ring)))] = ev
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (including ones the
+// ring has since overwritten).
+func (t *HopTracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Tail returns up to n of the most recent events, oldest first.
+func (t *HopTracer) Tail(n int) []HopEvent {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := t.total
+	if have > uint64(len(t.ring)) {
+		have = uint64(len(t.ring))
+	}
+	if uint64(n) > have {
+		n = int(have)
+	}
+	out := make([]HopEvent, n)
+	for i := 0; i < n; i++ {
+		seq := t.total - uint64(n) + uint64(i)
+		out[i] = t.ring[int(seq%uint64(len(t.ring)))]
+	}
+	return out
+}
+
+// Reset drops all events and restarts sequence numbering.
+func (t *HopTracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total = 0
+	for i := range t.ring {
+		t.ring[i] = HopEvent{}
+	}
+}
+
+// WriteTail writes up to n recent events to w, one per line, in a
+// fixed-width human-readable form (the live Figure 1).
+func (t *HopTracer) WriteTail(w io.Writer, n int) error {
+	events := t.Tail(n)
+	for _, ev := range events {
+		clue := "-"
+		if ev.ClueIn >= 0 {
+			clue = fmt.Sprintf("/%d", ev.ClueIn)
+		}
+		if _, err := fmt.Fprintf(w, "%8d  %-12s  %-18s  clue=%-4s bmp=/%-3d refs=%-3d %s\n",
+			ev.Seq, ev.Router, ev.Dest, clue, ev.BMPLen, ev.Refs, ev.Outcome); err != nil {
+			return err
+		}
+	}
+	return nil
+}
