@@ -15,6 +15,11 @@
 //
 //	cluebench [-table all|1|2|3|4|5|6|7|8|9] [-packets 10000]
 //	          [-scale 1.0] [-seed 1999] [-snapshots dir]
+//	          [-json] [-cpus 1,2,4,8]
+//
+// -cpus runs the sharded multi-worker pipeline (internal/pipeline) over a
+// warmed fastpath table at each worker count and writes the scaling sweep
+// to BENCH_pipeline.json.
 package main
 
 import (
@@ -46,6 +51,7 @@ func main() {
 		detail    = flag.Bool("detail", false, "also print the Advance distribution (1-reference share, worst case) per pair")
 		hardware  = flag.Bool("hardware", false, "translate each pair's results to 1999 hardware terms (Mlookups/s, Gbit/s)")
 		jsonBench = flag.Bool("json", false, "run the wall-clock fastpath benchmarks and write BENCH_fastpath.json instead of the paper tables")
+		cpus      = flag.String("cpus", "", "comma-separated worker counts (e.g. 1,2,4,8): run the sharded-pipeline scaling sweep and write BENCH_pipeline.json instead of the paper tables")
 	)
 	flag.Parse()
 
@@ -56,6 +62,16 @@ func main() {
 
 	if *jsonBench {
 		if err := runJSONBench("BENCH_fastpath.json", routers, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *cpus != "" {
+		counts, err := parseCPUList(*cpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runPipelineBench("BENCH_pipeline.json", routers, *seed, counts); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/pipeline"
+	"repro/internal/synth"
+)
+
+// pipePackets is how many packets each sweep point pushes through the
+// pipeline — enough that engine startup and the final partial batch are
+// noise.
+const pipePackets = 1 << 18
+
+// pipeRecord is one worker count of the -cpus scaling sweep.
+type pipeRecord struct {
+	Workers int `json:"workers"`
+	// Wall-clock view: elapsed time of the whole run divided by packets.
+	// On a host with fewer cores than workers this cannot scale — workers
+	// time-share the cores — so it is reported alongside, not instead of,
+	// the capacity view.
+	WallNsPerOp       float64 `json:"wall_ns_per_op"`
+	WallPacketsPerSec float64 `json:"wall_packets_per_sec"`
+	WallSpeedup       float64 `json:"wall_speedup,omitempty"` // vs workers=1
+	// Capacity view: each worker's packets divided by the time it was
+	// actually busy processing (not waiting on its ring), summed across
+	// workers. This measures what the sharded design adds per worker —
+	// including any contention on shared state — and projects the
+	// aggregate rate the same worker count reaches when each worker has
+	// a core of its own.
+	BusyNsPerPacket       float64 `json:"busy_ns_per_packet"`
+	CapacityPacketsPerSec float64 `json:"capacity_packets_per_sec"`
+	CapacitySpeedup       float64 `json:"capacity_speedup,omitempty"` // vs workers=1
+	AllocsPerOp           float64 `json:"allocs_per_op"`
+}
+
+func (r pipeRecord) sanitize() pipeRecord {
+	r.WallNsPerOp = finite(r.WallNsPerOp)
+	r.WallPacketsPerSec = finite(r.WallPacketsPerSec)
+	r.WallSpeedup = finite(r.WallSpeedup)
+	r.BusyNsPerPacket = finite(r.BusyNsPerPacket)
+	r.CapacityPacketsPerSec = finite(r.CapacityPacketsPerSec)
+	r.CapacitySpeedup = finite(r.CapacitySpeedup)
+	r.AllocsPerOp = finite(r.AllocsPerOp)
+	return r
+}
+
+// pipeReport is the BENCH_pipeline.json document: host metadata first,
+// so a reader can judge the wall-clock column before trusting it.
+type pipeReport struct {
+	HostCPUs      int          `json:"host_cpus"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	PacketsPerRun int          `json:"packets_per_run"`
+	Note          string       `json:"note"`
+	Records       []pipeRecord `json:"records"`
+}
+
+// parseCPUList parses the -cpus argument ("1,2,4,8") into worker counts.
+func parseCPUList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cpus: %q is not a worker count >= 1", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runPipelineBench sweeps the sharded pipeline over the given worker
+// counts on the warmed AT&T-1 → AT&T-2 fastpath table and writes
+// BENCH_pipeline.json.
+func runPipelineBench(path string, routers map[string]*fib.Table, seed int64, counts []int) error {
+	sender, receiver := routers["AT&T-1"], routers["AT&T-2"]
+	st, rt := sender.Trie(), receiver.Trie()
+	tab := core.MustNewTable(core.Config{
+		Method: core.Advance, Engine: lookup.NewRegular(rt),
+		Local: rt, Sender: st.Contains,
+	})
+	tab.Preprocess(sender.Prefixes())
+	rcu := fastpath.NewRCU(tab)
+
+	// Warm all-hit workload, as in the fastpath matrix.
+	w := synth.NewWorkload(seed, sender)
+	var dests []ip.Addr
+	var clues []int
+	for len(dests) < 8192 {
+		d := w.Next()
+		if bmp, _, ok := st.Lookup(d, nil); ok {
+			dests = append(dests, d)
+			clues = append(clues, bmp.Clue())
+		}
+	}
+
+	rep := pipeReport{
+		HostCPUs:      runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		PacketsPerRun: pipePackets,
+		Note: "wall_* is elapsed time on this host and cannot exceed its core count; " +
+			"capacity_* sums each worker's packets over its busy (non-idle) time and is " +
+			"the per-worker processing rate the sharded design sustains, i.e. the " +
+			"aggregate throughput projection for one core per worker",
+	}
+	var base pipeRecord
+	for i, workers := range counts {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		e := pipeline.NewRCUEngine(rcu, pipeline.Config{Workers: workers, RingCap: 1024, Batch: 64}, false)
+		n := len(dests)
+		for p := 0; p < pipePackets; p++ {
+			j := p % n
+			e.Push(pipeline.Packet{Dest: dests[j], Clue: clues[j], Tag: uint64(p)})
+		}
+		e.Drain()
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		st := e.Stats()
+		if st.Processed != pipePackets {
+			return fmt.Errorf("workers=%d processed %d of %d packets", workers, st.Processed, pipePackets)
+		}
+		capacity := 0.0
+		for wi := range st.WorkerBusyNs {
+			if st.WorkerBusyNs[wi] > 0 {
+				capacity += float64(st.WorkerProcessed[wi]) / (float64(st.WorkerBusyNs[wi]) / 1e9)
+			}
+		}
+		r := pipeRecord{
+			Workers:               workers,
+			WallNsPerOp:           float64(wall.Nanoseconds()) / pipePackets,
+			WallPacketsPerSec:     float64(pipePackets) / wall.Seconds(),
+			BusyNsPerPacket:       float64(st.BusyNs) / float64(st.Processed),
+			CapacityPacketsPerSec: capacity,
+			AllocsPerOp:           float64(ms1.Mallocs-ms0.Mallocs) / pipePackets,
+		}
+		if i == 0 {
+			base = r
+		}
+		r.WallSpeedup = base.WallNsPerOp / r.WallNsPerOp
+		r.CapacitySpeedup = r.CapacityPacketsPerSec / base.CapacityPacketsPerSec
+		rep.Records = append(rep.Records, r.sanitize())
+		fmt.Printf("workers=%-2d %8.1f wall ns/op %12.0f wall pkts/s  %8.1f busy ns/pkt %12.0f capacity pkts/s (%.2fx)\n",
+			r.Workers, r.WallNsPerOp, r.WallPacketsPerSec, r.BusyNsPerPacket, r.CapacityPacketsPerSec, r.CapacitySpeedup)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", len(rep.Records), path)
+	return nil
+}

@@ -22,10 +22,16 @@
 // corrupted clues and mangled datagrams — and must still deliver every
 // packet that survives the wire, routed exactly as a full lookup would.
 //
+// With -workers N each router runs N socket readers feeding N pipeline
+// workers over SPSC rings (internal/pipeline), so one busy router spreads
+// its datagram processing across cores instead of serializing on one
+// goroutine. Per-worker packet and error counters join the registry.
+//
 // Usage:
 //
 //	clued [-routers 6] [-packets 100] [-timeout 10s] [-faults 0.2] [-faultseed 1]
 //	      [-metrics localhost:9090] [-linger 30s] [-seq] [-v] [-v6] [-fastpath]
+//	      [-workers 4]
 //
 // Exit status is nonzero when packets the wire did not eat are undelivered
 // at the timeout, or when interrupted before completion.
@@ -43,6 +49,7 @@ import (
 	_ "net/http/pprof" // -pprof: profiling endpoints on an opt-in listener
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -55,6 +62,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/lookup"
 	"repro/internal/mem"
+	"repro/internal/pipeline"
 	"repro/internal/routing"
 	"repro/internal/telemetry"
 )
@@ -91,15 +99,19 @@ type routerTel struct {
 	expired   *telemetry.Counter
 	sendFail  *telemetry.Counter
 	sendRetry *telemetry.Counter
+	// Per-pipeline-worker accounting, populated only in -workers mode:
+	// datagrams drained and datagrams the data path rejected, per worker.
+	workerPkts []*telemetry.Counter
+	workerErrs []*telemetry.Counter
 }
 
-func newRouterTel(reg *telemetry.Registry, router string) *routerTel {
+func newRouterTel(reg *telemetry.Registry, router string, workers int) *routerTel {
 	lbl := telemetry.L("router", router)
 	errc := func(kind string) *telemetry.Counter {
 		return reg.NewCounter("clued_errors_total",
 			"per-router error events, by kind", lbl, telemetry.L("kind", kind))
 	}
-	return &routerTel{
+	t := &routerTel{
 		pm:        telemetry.NewPacketMetrics(reg, "clued", core.OutcomeLabels(), lbl),
 		malformed: errc("malformed"),
 		noRoute:   errc("no-route"),
@@ -107,6 +119,14 @@ func newRouterTel(reg *telemetry.Registry, router string) *routerTel {
 		sendFail:  errc("send-fail"),
 		sendRetry: errc("send-retry"),
 	}
+	for w := 0; w < workers; w++ {
+		wl := telemetry.L("worker", fmt.Sprint(w))
+		t.workerPkts = append(t.workerPkts, reg.NewCounter("clued_worker_packets_total",
+			"datagrams drained by each pipeline worker", lbl, wl))
+		t.workerErrs = append(t.workerErrs, reg.NewCounter("clued_worker_errors_total",
+			"datagrams the data path rejected, per pipeline worker", lbl, wl))
+	}
+	return t
 }
 
 // udpRouter is one chain hop: a UDP socket plus a clue-routing engine.
@@ -119,6 +139,7 @@ type udpRouter struct {
 	peers   map[string]*net.UDPAddr // next-hop name -> socket address
 	inj     *fault.Injector         // nil when -faults is 0
 	verbose bool
+	workers int            // pipeline workers per router; <= 1 is the serial loop
 	done    chan<- ip.Addr // delivery notifications
 	tel     *routerTel
 	tracer  *telemetry.HopTracer
@@ -126,8 +147,13 @@ type udpRouter struct {
 
 // serve reads datagrams until the context is canceled or the socket is
 // closed. The read deadline keeps the loop responsive to cancellation; a
-// deadline expiry is not an error.
+// deadline expiry is not an error. With -workers it instead fans the
+// socket out to a per-router pipeline.
 func (r *udpRouter) serve(ctx context.Context) {
+	if r.workers > 1 {
+		r.servePipelined(ctx)
+		return
+	}
 	buf := make([]byte, 2048)
 	for {
 		if err := r.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond)); err != nil {
@@ -144,8 +170,86 @@ func (r *udpRouter) serve(ctx context.Context) {
 			}
 			return // socket closed: shut down
 		}
-		r.handle(buf[:n])
+		_ = r.handle(buf[:n]) // drops are accounted in the error taxonomy counters
 	}
+}
+
+// dgram is one received datagram, sized for the ring: a fixed buffer so
+// the reader → worker handoff never allocates.
+type dgram struct {
+	n   int
+	buf [2048]byte
+}
+
+// servePipelined is the -workers data path: N socket readers, each the
+// single producer of its own SPSC ring, feeding N workers that run the
+// normal handle path. The clue tables (ConcurrentTable or RCU) and all
+// telemetry are already safe under concurrent handle calls, so workers
+// need no shared state beyond them. On shutdown the readers exit first
+// (context or socket close), then the rings are closed and every worker
+// drains what remains before returning — a graceful drain, no datagram
+// accepted from the socket is dropped by the pipeline itself.
+func (r *udpRouter) servePipelined(ctx context.Context) {
+	rings := make([]*pipeline.Ring[dgram], r.workers)
+	for i := range rings {
+		rings[i] = pipeline.NewRing[dgram](256)
+	}
+	var workWG sync.WaitGroup
+	for i := range rings {
+		workWG.Add(1)
+		go func(w int) {
+			defer workWG.Done()
+			ring := rings[w]
+			for {
+				d, ok := ring.TryPop()
+				if !ok {
+					if ring.Drained() {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				if err := r.handle(d.buf[:d.n]); err != nil {
+					r.tel.workerErrs[w].Inc()
+				}
+				r.tel.workerPkts[w].Inc()
+			}
+		}(i)
+	}
+	var readWG sync.WaitGroup
+	for i := range rings {
+		readWG.Add(1)
+		go func(w int) {
+			defer readWG.Done()
+			ring := rings[w]
+			var d dgram
+			for {
+				if err := r.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond)); err != nil {
+					return
+				}
+				n, _, err := r.conn.ReadFromUDP(d.buf[:])
+				if ctx.Err() != nil {
+					return
+				}
+				if err != nil {
+					var ne net.Error
+					if errors.As(err, &ne) && ne.Timeout() {
+						continue
+					}
+					return
+				}
+				d.n = n
+				if !ring.Push(d) {
+					return // ring closed underneath us: shutting down
+				}
+			}
+		}(i)
+	}
+	readWG.Wait()
+	for _, ring := range rings {
+		ring.Close()
+	}
+	workWG.Wait()
 }
 
 // trace appends one hop event to the daemon's ring buffer.
@@ -164,10 +268,13 @@ func (r *udpRouter) trace(dest ip.Addr, clueIn int, res core.Result, refs int) {
 	})
 }
 
-func (r *udpRouter) handle(pkt []byte) {
+// handle runs the data path on one datagram. The returned error reports
+// why a packet died (malformed, expired, no route, re-marshal failure,
+// unknown hop); the specific taxonomy counters are still incremented
+// here, the error return feeds the per-worker counters in -workers mode.
+func (r *udpRouter) handle(pkt []byte) error {
 	if len(pkt) > 0 && pkt[0]>>4 == 6 {
-		r.handleV6(pkt)
-		return
+		return r.handleV6(pkt)
 	}
 	h, payloadOff, err := header.ParseIPv4(pkt)
 	if err != nil {
@@ -175,11 +282,11 @@ func (r *udpRouter) handle(pkt []byte) {
 		if r.verbose {
 			log.Printf("%s: dropping bad packet: %v", r.name, err)
 		}
-		return
+		return fmt.Errorf("malformed: %w", err)
 	}
 	if h.TTL == 0 {
 		r.tel.expired.Inc()
-		return
+		return fmt.Errorf("ttl expired for %v", h.Dst)
 	}
 	var cnt mem.Counter
 	var res core.Result
@@ -197,7 +304,7 @@ func (r *udpRouter) handle(pkt []byte) {
 	if !res.OK {
 		r.tel.noRoute.Inc()
 		log.Printf("%s: no route for %v", r.name, h.Dst)
-		return
+		return fmt.Errorf("no route for %v", h.Dst)
 	}
 	if r.verbose {
 		log.Printf("%s: %v clue=%v -> %v via %s (%d refs, %v)",
@@ -206,12 +313,12 @@ func (r *udpRouter) handle(pkt []byte) {
 	next := r.table.HopName(res.Value)
 	if next == routing.LocalHop {
 		r.done <- h.Dst
-		return
+		return nil
 	}
 	peer, ok := r.peers[next]
 	if !ok {
 		log.Printf("%s: unknown next hop %q", r.name, next)
-		return
+		return fmt.Errorf("unknown next hop %q", next)
 	}
 	// Rewrite the clue with this router's BMP, decrement TTL, re-marshal.
 	h.TTL--
@@ -219,26 +326,27 @@ func (r *udpRouter) handle(pkt []byte) {
 	out, err := h.Marshal(len(pkt) - payloadOff)
 	if err != nil {
 		log.Printf("%s: re-marshal: %v", r.name, err)
-		return
+		return fmt.Errorf("re-marshal: %w", err)
 	}
 	out = append(out, pkt[payloadOff:]...)
 	r.send(out, peer)
+	return nil
 }
 
 // handleV6 is the IPv6 data path: same clue logic, 7-bit clue in a
 // hop-by-hop option.
-func (r *udpRouter) handleV6(pkt []byte) {
+func (r *udpRouter) handleV6(pkt []byte) error {
 	h, payloadOff, err := header.ParseIPv6(pkt)
 	if err != nil {
 		r.tel.malformed.Inc()
 		if r.verbose {
 			log.Printf("%s: dropping bad v6 packet: %v", r.name, err)
 		}
-		return
+		return fmt.Errorf("malformed v6: %w", err)
 	}
 	if h.HopLimit == 0 {
 		r.tel.expired.Inc()
-		return
+		return fmt.Errorf("hop limit expired for %v", h.Dst)
 	}
 	var cnt mem.Counter
 	var res core.Result
@@ -256,27 +364,28 @@ func (r *udpRouter) handleV6(pkt []byte) {
 	if !res.OK {
 		r.tel.noRoute.Inc()
 		log.Printf("%s: no route for %v", r.name, h.Dst)
-		return
+		return fmt.Errorf("no route for %v", h.Dst)
 	}
 	next := r.table.HopName(res.Value)
 	if next == routing.LocalHop {
 		r.done <- h.Dst
-		return
+		return nil
 	}
 	peer, ok := r.peers[next]
 	if !ok {
 		log.Printf("%s: unknown next hop %q", r.name, next)
-		return
+		return fmt.Errorf("unknown next hop %q", next)
 	}
 	h.HopLimit--
 	h.Clue = r.egressClue(res.Prefix.Clue())
 	out, err := h.Marshal(len(pkt) - payloadOff)
 	if err != nil {
 		log.Printf("%s: v6 re-marshal: %v", r.name, err)
-		return
+		return fmt.Errorf("v6 re-marshal: %w", err)
 	}
 	out = append(out, pkt[payloadOff:]...)
 	r.send(out, peer)
+	return nil
 }
 
 // egressClue builds the outgoing clue option, feeding it through the
@@ -339,6 +448,9 @@ type config struct {
 	// sequential sends each packet only after the previous one was
 	// delivered — deterministic learning order, used by the parity tests.
 	sequential bool
+	// workers > 1 runs each router's data path as a sharded pipeline:
+	// that many socket readers and ring-fed workers per router.
+	workers int
 	// metricsAddr serves /metrics (Prometheus) and /trace on this address
 	// while the daemon runs; empty disables. onMetricsReady, when set, is
 	// called with the bound address (metricsAddr may use port 0).
@@ -369,6 +481,10 @@ type result struct {
 	interrupted bool
 	routers     []routerReport
 	faultCounts string // empty when injection was off
+	// Sums of the per-worker pipeline counters across all routers;
+	// zero when -workers was 1.
+	workerPackets uint64
+	workerErrors  uint64
 }
 
 // run builds the chain, pushes cfg.packets through it, and reports. It
@@ -474,8 +590,9 @@ func run(ctx context.Context, cfg config) (*result, error) {
 			table:   tab,
 			inj:     inj,
 			verbose: cfg.verbose,
+			workers: cfg.workers,
 			done:    done,
-			tel:     newRouterTel(reg, name),
+			tel:     newRouterTel(reg, name, cfg.workers),
 			tracer:  tracer,
 		}
 		ct.SetTelemetry(r.tel.pm) // Process records outcomes and refs/packet
@@ -620,6 +737,12 @@ wait:
 			rep.outcomes[i] = r.tel.pm.OutcomeCount(i)
 		}
 		res.routers = append(res.routers, rep)
+		for _, c := range r.tel.workerPkts {
+			res.workerPackets += c.Value()
+		}
+		for _, c := range r.tel.workerErrs {
+			res.workerErrors += c.Value()
+		}
 	}
 	if inj != nil {
 		res.faultCounts = fmt.Sprint(inj.Counts())
@@ -690,6 +813,7 @@ func main() {
 		useV6       = flag.Bool("v6", false, "use IPv6 headers (7-bit clue in a hop-by-hop option)")
 		useFast     = flag.Bool("fastpath", false, "route through compiled fastpath snapshots (internal/fastpath) instead of interpreted clue tables")
 		sequential  = flag.Bool("seq", false, "send each packet only after the previous one was delivered (deterministic learning order)")
+		workers     = flag.Int("workers", 1, "pipeline workers (and socket readers) per router; 1 is the serial loop")
 		pprofAddr   = flag.String("pprof", "", "listen address for net/http/pprof, e.g. localhost:6060 (empty disables)")
 		metricsAddr = flag.String("metrics", "", "listen address for /metrics (Prometheus) and /trace, e.g. localhost:9090 (empty disables)")
 		linger      = flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the run, for a final scrape")
@@ -697,6 +821,9 @@ func main() {
 	flag.Parse()
 	if *nRouters < 2 {
 		log.Fatal("-routers must be at least 2")
+	}
+	if *workers < 1 {
+		log.Fatal("-workers must be at least 1")
 	}
 	if *pprofAddr != "" {
 		// Opt-in profiling: the blank net/http/pprof import registers the
@@ -724,6 +851,7 @@ func main() {
 		useV6:      *useV6,
 		useFast:    *useFast,
 		sequential: *sequential,
+		workers:    *workers,
 		linger:     *linger,
 	}
 	if *metricsAddr != "" {

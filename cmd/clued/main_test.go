@@ -198,6 +198,42 @@ func TestMetricsMatchFinalStats(t *testing.T) {
 	}
 }
 
+// TestWorkersDeliverAll pushes a concurrent (non-sequential) workload
+// through pipelined routers: every packet must still be delivered, every
+// router must process every packet exactly once, the per-worker counters
+// must sum to the router totals, and a pipelined run must learn the same
+// clue entries as a serial run (learning is set-convergent regardless of
+// drain order).
+func TestWorkersDeliverAll(t *testing.T) {
+	cfg := testConfig()
+	cfg.sequential = false
+	cfg.packets = 120
+	cfg.useFast = true
+
+	cfg.workers = 1
+	serial := mustRun(t, cfg)
+
+	cfg.workers = 4
+	piped := mustRun(t, cfg)
+
+	for _, rep := range piped.routers {
+		if rep.packets != uint64(cfg.packets) {
+			t.Errorf("router %s processed %d packets, want %d", rep.name, rep.packets, cfg.packets)
+		}
+	}
+	for i := range piped.routers {
+		s, p := serial.routers[i], piped.routers[i]
+		if s.entries != p.entries || s.learned != p.learned {
+			t.Errorf("router %s: serial learned %d/%d entries, pipelined %d/%d",
+				s.name, s.learned, s.entries, p.learned, p.entries)
+		}
+	}
+	if piped.workerPackets != uint64(cfg.packets*cfg.routers) {
+		t.Errorf("worker counters drained %d datagrams, want %d",
+			piped.workerPackets, cfg.packets*cfg.routers)
+	}
+}
+
 // TestFastpathFinalStatsParity is the differential regression test for the
 // -fastpath accounting sweep: the same sequential workload pushed through
 // interpreted clue tables and compiled fastpath snapshots must produce

@@ -102,6 +102,7 @@ func DefaultConfig() Config {
 			"repro/internal/fib":       true,
 			"repro/internal/fastpath":  true,
 			"repro/internal/telemetry": true,
+			"repro/internal/pipeline":  true,
 		},
 	}
 }

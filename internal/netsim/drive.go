@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"runtime"
+
+	"repro/internal/ip"
+	"repro/internal/pipeline"
+)
+
+// Flow is one packet injection for the parallel driver: a source router
+// and a destination.
+type Flow struct {
+	Src  string
+	Dest ip.Addr
+}
+
+// DriveResult aggregates what happened to a driven workload. Every
+// field is a sum over the whole run; Sent = Delivered + NoRoute +
+// FaultDropped + Errors.
+type DriveResult struct {
+	Sent         int
+	Delivered    int
+	NoRoute      int
+	FaultDropped int
+	Errors       int // Send returned an error (unknown router, hop-limit loop)
+	Hops         int // total hops across all traces
+	Refs         int // total memory references across all traces
+	Err          error
+}
+
+// merge folds o into r, keeping the first error seen.
+func (r *DriveResult) merge(o DriveResult) {
+	r.Sent += o.Sent
+	r.Delivered += o.Delivered
+	r.NoRoute += o.NoRoute
+	r.FaultDropped += o.FaultDropped
+	r.Errors += o.Errors
+	r.Hops += o.Hops
+	r.Refs += o.Refs
+	if r.Err == nil {
+		r.Err = o.Err
+	}
+}
+
+// record accounts one Send outcome.
+func (r *DriveResult) record(tr *Trace, err error) {
+	r.Sent++
+	if err != nil {
+		r.Errors++
+		if r.Err == nil {
+			r.Err = err
+		}
+		if tr == nil {
+			return
+		}
+	}
+	r.Hops += len(tr.Hops)
+	r.Refs += tr.TotalRefs()
+	switch {
+	case err != nil:
+	case tr.Delivered:
+		r.Delivered++
+	case tr.Drop == DropFault:
+		r.FaultDropped++
+	default:
+		r.NoRoute++
+	}
+}
+
+// driveWorker is one worker's private accumulator, padded so adjacent
+// workers' counts never share a cache line.
+type driveWorker struct {
+	res DriveResult
+	_   [64]byte
+}
+
+// Drive injects every flow through a sharded multi-worker pipeline and
+// aggregates the outcomes. Flows are sharded by destination hash, so
+// all packets to one destination traverse the network in slice order —
+// the same per-flow order a serial Send loop produces, which keeps
+// clue learning deterministic per flow. Routers process packets
+// concurrently; tables (ConcurrentTable or RCU) and telemetry are
+// already safe for parallel Send, so Drive with any worker count
+// delivers the same per-trace outcomes as the serial loop.
+//
+// workers <= 0 selects GOMAXPROCS.
+func (n *Network) Drive(flows []Flow, workers int) DriveResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	acc := make([]driveWorker, workers)
+	e := pipeline.New(pipeline.Config{Workers: workers}, func(w int, batch []pipeline.Packet) {
+		res := &acc[w].res
+		for _, p := range batch {
+			f := flows[p.Tag]
+			tr, err := n.Send(f.Src, f.Dest)
+			res.record(tr, err)
+		}
+	})
+	for i, f := range flows {
+		e.Push(pipeline.Packet{Dest: f.Dest, Tag: uint64(i)})
+	}
+	e.Drain()
+	var total DriveResult
+	for i := range acc {
+		total.merge(acc[i].res)
+	}
+	return total
+}
+
+// SendMany drives one destination list from a single source — the
+// common benchmark shape — through Drive.
+func (n *Network) SendMany(src string, dests []ip.Addr, workers int) DriveResult {
+	flows := make([]Flow, len(dests))
+	for i, d := range dests {
+		flows[i] = Flow{Src: src, Dest: d}
+	}
+	return n.Drive(flows, workers)
+}

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ip"
+)
+
+// driveFlows builds a mixed workload over the figure-1 network: packets
+// into the nested-origination /24 (the clue-rich path) interleaved with
+// background destinations, plus a final flow from an unknown source so
+// error accounting is exercised on both paths.
+func driveFlows(names []string, host ip.Addr, n int) []Flow {
+	flows := make([]Flow, 0, n+1)
+	for i := 0; i < n; i++ {
+		var d ip.Addr
+		if i%3 == 0 {
+			d = ip.AddrFrom32(uint32(20+i%60)<<24 | uint32(i*2654435761)&0xFFFFFF)
+		} else {
+			d = ip.AddrFrom32(host.Uint32()&0xFFFFFF00 | uint32(i%64))
+		}
+		flows = append(flows, Flow{Src: names[i%2], Dest: d})
+	}
+	flows = append(flows, Flow{Src: "no-such-router", Dest: host})
+	return flows
+}
+
+// serialDrive is the reference implementation: a plain Send loop in
+// slice order, accounted identically to Drive.
+func serialDrive(n *Network, flows []Flow) DriveResult {
+	var res DriveResult
+	for _, f := range flows {
+		tr, err := n.Send(f.Src, f.Dest)
+		res.record(tr, err)
+	}
+	return res
+}
+
+// TestDriveMatchesSerial pins the parallel driver to the serial Send
+// loop, interpreted and fastpath:
+//
+//   - cold, workers=1: one worker drains in push order, so the run is
+//     packet-for-packet serial — every field including Refs must match;
+//   - cold, workers=4: interleaving across flows changes when shared
+//     clue entries get learned, so work may differ, but routing never
+//     does — Sent/Delivered/NoRoute/Errors/Hops must match;
+//   - warmed, workers=4: with learning quiesced every packet's cost is
+//     order-independent — full equality again, including per-router
+//     outcome telemetry.
+func TestDriveMatchesSerial(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		name := "interpreted"
+		if fast {
+			name = "fastpath"
+		}
+		t.Run(name, func(t *testing.T) {
+			sn, names, host := figure1Network(t, 6)
+			sn.SetFastPath(fast)
+			flows := driveFlows(names, host, 300)
+
+			want := serialDrive(sn, flows)
+			if want.Sent != len(flows) || want.Errors != 1 || want.Delivered == 0 || want.NoRoute == 0 {
+				t.Fatalf("serial reference not exercising all paths: %+v", want)
+			}
+
+			t.Run("cold-1worker", func(t *testing.T) {
+				pn, _, _ := figure1Network(t, 6)
+				pn.SetFastPath(fast)
+				got := pn.Drive(flows, 1)
+				if got.Sent != want.Sent || got.Delivered != want.Delivered ||
+					got.NoRoute != want.NoRoute || got.FaultDropped != want.FaultDropped ||
+					got.Errors != want.Errors || got.Hops != want.Hops || got.Refs != want.Refs {
+					t.Fatalf("1-worker drive diverged from serial:\nserial %+v\ndrive  %+v", want, got)
+				}
+			})
+
+			t.Run("cold-4workers", func(t *testing.T) {
+				pn, _, _ := figure1Network(t, 6)
+				pn.SetFastPath(fast)
+				got := pn.Drive(flows, 4)
+				if got.Sent != want.Sent || got.Delivered != want.Delivered ||
+					got.NoRoute != want.NoRoute || got.FaultDropped != want.FaultDropped ||
+					got.Errors != want.Errors || got.Hops != want.Hops {
+					t.Fatalf("4-worker drive routed differently:\nserial %+v\ndrive  %+v", want, got)
+				}
+			})
+
+			t.Run("warm-4workers", func(t *testing.T) {
+				// Warm both networks with one identical serial pass, then
+				// measure: costs are now order-independent, so the parallel
+				// run must reproduce the serial accounting exactly.
+				s2, _, _ := figure1Network(t, 6)
+				s2.SetFastPath(fast)
+				serialDrive(s2, flows)
+				s2.ResetStats()
+				wantWarm := serialDrive(s2, flows)
+
+				p2, _, _ := figure1Network(t, 6)
+				p2.SetFastPath(fast)
+				serialDrive(p2, flows)
+				p2.ResetStats()
+				gotWarm := p2.Drive(flows, 4)
+
+				// Err values are distinct error instances; compare the rest.
+				wantWarm.Err, gotWarm.Err = nil, nil
+				if wantWarm != gotWarm {
+					t.Fatalf("warmed drive diverged from serial:\nserial %+v\ndrive  %+v", wantWarm, gotWarm)
+				}
+				for name := range s2.routers {
+					so := s2.Router(name).Outcomes()
+					po := p2.Router(name).Outcomes()
+					if !reflect.DeepEqual(so, po) {
+						t.Fatalf("router %s telemetry diverged:\nserial %v\ndrive  %v", name, so, po)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestSendManyMatchesDrive pins the convenience wrapper to Drive.
+func TestSendManyMatchesDrive(t *testing.T) {
+	n, names, host := figure1Network(t, 4)
+	var dests []ip.Addr
+	for i := 0; i < 64; i++ {
+		dests = append(dests, ip.AddrFrom32(host.Uint32()&0xFFFFFF00|uint32(i)))
+	}
+	// Warm so the two runs are order-independent.
+	for _, d := range dests {
+		if _, err := n.Send(names[0], d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := n.SendMany(names[0], dests, 4)
+	if got.Sent != len(dests) || got.Delivered != len(dests) || got.Errors != 0 {
+		t.Fatalf("SendMany over a delivered workload: %+v", got)
+	}
+
+	flows := make([]Flow, len(dests))
+	for i, d := range dests {
+		flows[i] = Flow{Src: names[0], Dest: d}
+	}
+	want := n.Drive(flows, 4)
+	got2 := n.SendMany(names[0], dests, 4)
+	want.Err, got2.Err = nil, nil
+	if want != got2 {
+		t.Fatalf("SendMany != Drive on a warmed workload:\nDrive    %+v\nSendMany %+v", want, got2)
+	}
+}
+
+// TestDriveLearnedTablesConverge pins that cold parallel driving learns
+// the same clue entries as cold serial driving: learning is set-
+// convergent regardless of interleaving.
+func TestDriveLearnedTablesConverge(t *testing.T) {
+	sn, names, host := figure1Network(t, 6)
+	sn.SetFastPath(true)
+	flows := driveFlows(names, host, 300)
+	serialDrive(sn, flows)
+
+	pn, _, _ := figure1Network(t, 6)
+	pn.SetFastPath(true)
+	pn.Drive(flows, 4)
+
+	for name, sr := range sn.routers {
+		pr := pn.Router(name)
+		for up, srcu := range sr.fastTables {
+			if got, want := pr.fastTables[up].Len(), srcu.Len(); got != want {
+				t.Fatalf("router %s upstream %q: serial table has %d entries, parallel %d",
+					name, up, want, got)
+			}
+		}
+	}
+}
+
+// TestDriveOutcomeSum sanity-checks the accounting identity Drive
+// documents: Sent = Delivered + NoRoute + FaultDropped + Errors.
+func TestDriveOutcomeSum(t *testing.T) {
+	n, names, host := figure1Network(t, 4)
+	flows := driveFlows(names, host, 150)
+	res := n.Drive(flows, 3)
+	if res.Sent != res.Delivered+res.NoRoute+res.FaultDropped+res.Errors {
+		t.Fatalf("outcome sum broken: %+v", res)
+	}
+	if res.Err == nil {
+		t.Fatal("expected the unknown-source error to surface in Err")
+	}
+}

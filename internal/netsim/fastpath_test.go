@@ -76,27 +76,42 @@ func TestFastPathMatchesInterpreted(t *testing.T) {
 }
 
 // TestSetFastPathResets pins the contract that flipping the switch
-// discards learned tables (either direction).
+// discards learned tables (either direction) and rebuilds fresh ones in
+// the new representation only — tables are pre-built eagerly, so Send
+// never creates (or locks) anything on the packet path.
 func TestSetFastPathResets(t *testing.T) {
 	n, names, host := figure1Network(t, 4)
 	if _, err := n.Send(names[0], host); err != nil {
 		t.Fatal(err)
 	}
 	r := n.Router(names[1])
-	if len(r.clueTables) == 0 {
+	learned := 0
+	for _, tab := range r.clueTables {
+		learned += tab.Learned()
+	}
+	if learned == 0 {
 		t.Fatal("expected a learned interpreted table")
 	}
 	n.SetFastPath(true)
-	if len(r.clueTables) != 0 || len(r.fastTables) != 0 {
-		t.Fatal("SetFastPath must discard learned tables")
+	if len(r.fastTables) == 0 {
+		t.Fatal("fastpath tables must be pre-built at the switch")
+	}
+	if len(r.clueTables) != 0 {
+		t.Fatal("fastpath mode must not keep interpreted tables")
+	}
+	for _, rcu := range r.fastTables {
+		if rcu.Learned() != 0 {
+			t.Fatal("SetFastPath must discard learned state")
+		}
 	}
 	if _, err := n.Send(names[0], host); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.fastTables) == 0 {
-		t.Fatal("expected a compiled fastpath table")
+	learned = 0
+	for _, rcu := range r.fastTables {
+		learned += rcu.Learned()
 	}
-	if len(r.clueTables) != 0 {
-		t.Fatal("fastpath mode must not build interpreted tables")
+	if learned == 0 {
+		t.Fatal("expected the compiled tables to learn from traffic")
 	}
 }

@@ -16,7 +16,6 @@ package netsim
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fastpath"
@@ -44,8 +43,10 @@ type CluePolicy func(bmp ip.Prefix) int
 // Router is one simulated router. Configuration setters (SetMethod,
 // SetVerify, SetParticipates, SetCluePolicy) and route updates
 // (Network.ApplyTables) require quiescence — no Send in flight; the
-// forwarding path itself (lazy table creation, processing, learning,
-// stats) is safe under concurrent Send calls.
+// forwarding path itself (processing, learning, stats) is safe under
+// concurrent Send calls and never takes a lock in this package: the
+// per-upstream table maps are built eagerly at construction and on
+// every configuration change, and are read-only between those points.
 type Router struct {
 	name         string
 	table        *fib.Table
@@ -53,13 +54,18 @@ type Router struct {
 	engine       lookup.ClueEngine
 	participates bool
 	method       core.Method
-	verify       bool                             // sender verification on Advance tables (SetVerify)
-	policy       CluePolicy                       // nil = send the full BMP
-	mu           sync.Mutex                       // guards the lazy table maps below
-	clueTables   map[string]*core.ConcurrentTable // keyed by upstream neighbor
-	fastTables   map[string]*fastpath.RCU
-	tel          *routerTelemetry
-	net          *Network
+	verify       bool       // sender verification on Advance tables (SetVerify)
+	policy       CluePolicy // nil = send the full BMP
+	// clueTables/fastTables hold one clue table per upstream neighbor
+	// (keyed by router name; "" is the injection point). Exactly one of
+	// the two maps is populated, matching Network.fastpath. The maps are
+	// immutable outside rebuildTables, so Send reads them without a lock
+	// — the lazy-creation mutex this replaced cost a lock/unlock per hop
+	// per packet (see BenchmarkNetsimSend).
+	clueTables map[string]*core.ConcurrentTable
+	fastTables map[string]*fastpath.RCU
+	tel        *routerTelemetry
+	net        *Network
 }
 
 // routerTelemetry is one router's accounting: the per-packet bundle its
@@ -94,25 +100,56 @@ func newRouterTelemetry(reg *telemetry.Registry, router string) *routerTelemetry
 func (r *Router) Name() string { return r.name }
 
 // SetParticipates switches clue participation on or off (a legacy router
-// does plain lookups and relays incoming clues unchanged).
-func (r *Router) SetParticipates(on bool) { r.participates = on }
+// does plain lookups and relays incoming clues unchanged). Participation
+// is part of the neighbors' table configuration (they choose Advance
+// only toward a participating upstream), so flipping it discards every
+// learned clue table in the network.
+func (r *Router) SetParticipates(on bool) {
+	if r.participates == on {
+		return
+	}
+	r.participates = on
+	r.net.rebuildAllTables()
+}
 
 // Participates reports whether the router reads and writes clues.
 func (r *Router) Participates() bool { return r.participates }
 
-// resetTables discards all learned tables (configuration changed).
-func (r *Router) resetTables() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.clueTables = make(map[string]*core.ConcurrentTable)
-	r.fastTables = make(map[string]*fastpath.RCU)
+// rebuildTables discards this router's learned tables and pre-builds a
+// fresh table per possible upstream — every other router plus the ""
+// injection point — in the representation the network currently runs
+// (interpreted or compiled). Eager construction is what keeps Send
+// lock-free: the maps it reads are complete and immutable. Requires
+// quiescence, like every configuration change.
+func (r *Router) rebuildTables() {
+	clue := make(map[string]*core.ConcurrentTable)
+	fast := make(map[string]*fastpath.RCU)
+	upstreams := make([]string, 0, len(r.net.routers))
+	upstreams = append(upstreams, "")
+	for name := range r.net.routers {
+		if name != r.name {
+			upstreams = append(upstreams, name)
+		}
+	}
+	for _, up := range upstreams {
+		if r.net.fastpath {
+			fast[up] = fastpath.NewRCU(r.newMasterTable(up))
+		} else {
+			clue[up] = core.NewConcurrentTable(r.newMasterTable(up))
+		}
+	}
+	r.clueTables = clue
+	r.fastTables = fast
 }
 
 // SetMethod selects Simple or Advance for this router's clue tables.
 // Existing learned tables are discarded.
 func (r *Router) SetMethod(m core.Method) {
+	if r.method == m {
+		return
+	}
 	r.method = m
-	r.resetTables()
+	r.rebuildTables()
 }
 
 // SetVerify switches sender verification (core.Config.Verify) on or off
@@ -124,18 +161,27 @@ func (r *Router) SetMethod(m core.Method) {
 // forged clue (core's forged-clue tests construct this), while a verified
 // table degrades to a full lookup flagged OutcomeSuspect instead.
 func (r *Router) SetVerify(on bool) {
+	if r.verify == on {
+		return
+	}
 	r.verify = on
-	r.resetTables()
+	r.rebuildTables()
 }
 
 // SetCluePolicy installs a §5.3 clue policy (nil restores the default of
 // sending the full BMP). A policy breaks the "clue = my BMP" contract the
 // Advance method's Claim 1 relies on, so neighbors downstream of a
 // policied router automatically fall back to Simple tables toward it
-// (which are sound for any destination prefix). Existing learned tables
-// at neighbors are rebuilt lazily only for new upstreams, so install
-// policies before sending traffic.
-func (r *Router) SetCluePolicy(p CluePolicy) { r.policy = p }
+// (which are sound for any destination prefix). The fallback is baked
+// into the neighbors' tables at construction, so installing a policy
+// rebuilds every router's tables, discarding learned state.
+func (r *Router) SetCluePolicy(p CluePolicy) {
+	if p == nil && r.policy == nil {
+		return
+	}
+	r.policy = p
+	r.net.rebuildAllTables()
+}
 
 // tableConfig builds the clue-table configuration for packets arriving
 // from the given upstream neighbor — the one place the config logic
@@ -169,36 +215,27 @@ func (r *Router) newMasterTable(upstream string) *core.Table {
 	return tab
 }
 
-// clueTable returns (lazily creating) the clue table for packets arriving
-// from the given upstream neighbor, wrapped for concurrent Send calls
-// (interpreted tables mutate on learning misses).
+// clueTable returns the pre-built clue table for packets arriving from
+// the given upstream neighbor, wrapped for concurrent Send calls
+// (interpreted tables mutate on learning misses). The map is immutable
+// between configuration changes, so the read takes no lock.
+//
+//cluevet:hotpath
 func (r *Router) clueTable(upstream string) *core.ConcurrentTable {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if tab, ok := r.clueTables[upstream]; ok {
-		return tab
-	}
-	tab := core.NewConcurrentTable(r.newMasterTable(upstream))
-	r.clueTables[upstream] = tab
-	return tab
+	return r.clueTables[upstream]
 }
 
-// fastTable returns (lazily creating) the compiled fastpath table for
-// packets arriving from the given upstream. It builds the same core
-// table clueTable would and hands it to an RCU wrapper; learning then
-// goes through RCU.Learn (Send reports misses) instead of mutating the
-// table on the read path, and every route through it is differentially
-// identical to the interpreted table — outcome, next hop and reference
-// count (the fastpath package's differential tests pin this).
+// fastTable returns the pre-built compiled fastpath table for packets
+// arriving from the given upstream. It wraps the same core table
+// clueTable would; learning goes through RCU.Learn (Send reports misses)
+// instead of mutating the table on the read path, and every route
+// through it is differentially identical to the interpreted table —
+// outcome, next hop and reference count (the fastpath package's
+// differential tests pin this).
+//
+//cluevet:hotpath
 func (r *Router) fastTable(upstream string) *fastpath.RCU {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if rcu, ok := r.fastTables[upstream]; ok {
-		return rcu
-	}
-	rcu := fastpath.NewRCU(r.newMasterTable(upstream))
-	r.fastTables[upstream] = rcu
-	return rcu
+	return r.fastTables[upstream]
 }
 
 // RouterStats accumulates one router's forwarding load across Send calls —
@@ -295,8 +332,15 @@ const traceCapacity = 4096
 // the other representation are discarded, so flip it before traffic.
 func (n *Network) SetFastPath(on bool) {
 	n.fastpath = on
+	n.rebuildAllTables()
+}
+
+// rebuildAllTables pre-builds every router's per-upstream tables from
+// the current configuration, discarding learned state. Requires
+// quiescence (no Send in flight).
+func (n *Network) rebuildAllTables() {
 	for _, r := range n.routers {
-		r.resetTables()
+		r.rebuildTables()
 	}
 }
 
@@ -332,12 +376,13 @@ func New(tables map[string]*fib.Table) *Network {
 			engine:       lookup.NewPatricia(tr),
 			participates: true,
 			method:       core.Advance,
-			clueTables:   make(map[string]*core.ConcurrentTable),
-			fastTables:   make(map[string]*fastpath.RCU),
 			tel:          newRouterTelemetry(n.reg, name),
 			net:          n,
 		}
 	}
+	// Pre-build every per-upstream table now that all routers exist, so
+	// the forwarding path never creates (and never locks) anything.
+	n.rebuildAllTables()
 	return n
 }
 

@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/lookup"
+)
+
+// warmRCU builds a warmed (preprocessed, non-learning) compiled table
+// over the paper pair, so the steady-state path has no write side.
+func warmRCU(tb testing.TB, p *pair) *fastpath.RCU {
+	tb.Helper()
+	tab := core.MustNewTable(p.tableConfig(core.Advance, lookup.NewRegular(p.rt), false))
+	tab.Preprocess(p.sender.Prefixes())
+	return fastpath.NewRCU(tab)
+}
+
+// TestRCUEngineWorkerZeroAllocs pins the steady-state contract the
+// package documentation promises: a worker draining warmed traffic
+// performs zero allocations per batch. The engine is drained first so
+// its goroutines are gone and the drain body can be driven directly.
+func TestRCUEngineWorkerZeroAllocs(t *testing.T) {
+	p := sharedPair()
+	e := NewRCUEngine(warmRCU(t, p), Config{Workers: 1, RingCap: 64, Batch: 64}, false)
+	e.Drain()
+	batch := make([]Packet, 64)
+	for i := range batch {
+		batch[i] = Packet{Dest: p.dests[i], Clue: p.clues[i], Tag: uint64(i)}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		e.drain(0, batch)
+	}); allocs != 0 {
+		t.Fatalf("worker drain: %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkPipelineRing measures the raw SPSC ring: one push + one pop
+// per op, single-threaded (so it is pure ring cost, no scheduling).
+func BenchmarkPipelineRing(b *testing.B) {
+	r := NewRing[Packet](1024)
+	var p Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TryPush(p)
+		r.TryPop()
+	}
+}
+
+// BenchmarkPipelineThroughput measures end-to-end pipeline cost per
+// packet — push, ring transfer, batched ProcessBatch against the
+// snapshot — at several worker counts. ns/op is wall-clock per pushed
+// packet from the producer's perspective.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	p := sharedPair()
+	rcu := warmRCU(b, p)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4"}[workers], func(b *testing.B) {
+			e := NewRCUEngine(rcu, Config{Workers: workers, RingCap: 1024, Batch: 64}, false)
+			n := len(p.dests)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % n
+				e.Push(Packet{Dest: p.dests[j], Clue: p.clues[j], Tag: uint64(i)})
+			}
+			e.Drain()
+			b.StopTimer()
+			if st := e.Stats(); st.Processed != uint64(b.N) {
+				b.Fatalf("processed %d of %d", st.Processed, b.N)
+			}
+		})
+	}
+}

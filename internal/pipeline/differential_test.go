@@ -1,0 +1,197 @@
+// Differential tests: a pipeline run must agree with a serial run of
+// the same workload over the same table — outcome counts, memory
+// references, telemetry totals, and learned entries. Warmed
+// (preprocessed, non-learning) tables must agree exactly at any worker
+// count, because processing is then order-independent; learning runs
+// must agree exactly at one worker (identical order) and on the learned
+// set at any worker count (the set of distinct missed clues does not
+// depend on interleaving when no LearnLimit caps admission).
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/fib"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+	"repro/internal/trie"
+)
+
+// pair is one sender→receiver hop plus a clue-carrying workload,
+// mirroring the fastpath differential fixture: AT&T-1 forwarding to
+// AT&T-2 over the paper-shaped synthetic universe.
+type pair struct {
+	sender, receiver *fib.Table
+	st, rt           *trie.Trie
+	dests            []ip.Addr
+	clues            []int
+}
+
+// sharedPair builds the paper universe once for the whole suite —
+// synthesizing it dominates test time, and no test mutates the fixture
+// (tables learn into their own entry maps, never into the tries).
+var sharedPair = sync.OnceValue(func() *pair { return newPair(1200) })
+
+func newPair(nPackets int) *pair {
+	routers := synth.PaperRouters(1999, 0.1)
+	p := &pair{sender: routers["AT&T-1"], receiver: routers["AT&T-2"]}
+	p.st, p.rt = p.sender.Trie(), p.receiver.Trie()
+	w := synth.NewWorkload(23, p.sender)
+	for len(p.dests) < nPackets {
+		d := w.Next()
+		c := 0
+		if bmp, _, ok := p.st.Lookup(d, nil); ok {
+			c = bmp.Clue()
+		}
+		p.dests = append(p.dests, d)
+		p.clues = append(p.clues, c)
+	}
+	return p
+}
+
+// tableConfig builds the receiver-side table config for one engine ×
+// method cell.
+func (p *pair) tableConfig(m core.Method, e lookup.ClueEngine, learn bool) core.Config {
+	return core.Config{
+		Method: m, Engine: e,
+		Local: p.rt, Sender: p.st.Contains,
+		Learn: learn,
+	}
+}
+
+// serialRun processes the workload one packet at a time through tab and
+// returns outcome counts and total refs — the reference accounting a
+// pipeline run must reproduce.
+func serialRun(p *pair, tab *core.Table) (counts [core.NumOutcomes]uint64, refs uint64) {
+	for i := range p.dests {
+		var c mem.Counter
+		r := tab.Process(p.dests[i], p.clues[i], &c)
+		counts[r.Outcome]++
+		refs += uint64(c.Count())
+	}
+	return counts, refs
+}
+
+// pipelineRun pushes the workload through an RCUEngine over rcu and
+// returns the merged stats.
+func pipelineRun(p *pair, rcu *fastpath.RCU, workers int, learn bool) Stats {
+	e := NewRCUEngine(rcu, Config{Workers: workers, RingCap: 64, Batch: 16}, learn)
+	for i := range p.dests {
+		e.Push(Packet{Dest: p.dests[i], Clue: p.clues[i], Tag: uint64(i)})
+	}
+	e.Drain()
+	return e.Stats()
+}
+
+// TestPipelineMatchesSerialWarm drives every engine × method cell over a
+// warmed (preprocessed, non-learning) table, serially and through a
+// 4-worker pipeline, and requires exact agreement on outcome counts,
+// refs, and telemetry totals. On a warmed table every packet's result is
+// independent of every other packet, so sharding and interleaving must
+// not change any aggregate.
+func TestPipelineMatchesSerialWarm(t *testing.T) {
+	p := sharedPair()
+	for _, eng := range lookup.All(p.rt) {
+		for _, m := range []core.Method{core.Simple, core.Advance} {
+			t.Run(m.String()+"/"+eng.Name(), func(t *testing.T) {
+				serialTel := telemetry.NewPacketMetrics(telemetry.NewRegistry(), "serial", core.OutcomeLabels())
+				serialTab := core.MustNewTable(p.tableConfig(m, eng, false))
+				serialTab.Preprocess(p.sender.Prefixes())
+				serialTab.SetTelemetry(serialTel)
+				wantCounts, wantRefs := serialRun(p, serialTab)
+
+				pipeTel := telemetry.NewPacketMetrics(telemetry.NewRegistry(), "pipe", core.OutcomeLabels())
+				pipeTab := core.MustNewTable(p.tableConfig(m, eng, false))
+				pipeTab.Preprocess(p.sender.Prefixes())
+				pipeTab.SetTelemetry(pipeTel)
+				st := pipelineRun(p, fastpath.NewRCU(pipeTab), 4, false)
+
+				if st.Processed != uint64(len(p.dests)) {
+					t.Fatalf("pipeline processed %d of %d", st.Processed, len(p.dests))
+				}
+				if st.Outcomes != wantCounts {
+					t.Fatalf("outcome counts diverged:\nserial   %v\npipeline %v", wantCounts, st.Outcomes)
+				}
+				if st.Refs != wantRefs {
+					t.Fatalf("refs diverged: serial %d, pipeline %d", wantRefs, st.Refs)
+				}
+				// Telemetry recorded inside Process must agree too: totals,
+				// refs, and every per-outcome counter.
+				if serialTel.Packets() != pipeTel.Packets() || serialTel.Refs() != pipeTel.Refs() {
+					t.Fatalf("telemetry totals diverged: serial %d pkts/%d refs, pipeline %d pkts/%d refs",
+						serialTel.Packets(), serialTel.Refs(), pipeTel.Packets(), pipeTel.Refs())
+				}
+				for o := 0; o < core.NumOutcomes; o++ {
+					if serialTel.OutcomeCount(o) != pipeTel.OutcomeCount(o) {
+						t.Fatalf("telemetry outcome %v diverged: serial %d, pipeline %d",
+							core.Outcome(o), serialTel.OutcomeCount(o), pipeTel.OutcomeCount(o))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPipelineSingleWorkerLearning runs a cold learning table serially
+// and through a 1-worker learning pipeline. One worker drains in push
+// order, so the runs are packet-for-packet identical and everything —
+// outcome counts, refs, and the learned table — must match exactly.
+func TestPipelineSingleWorkerLearning(t *testing.T) {
+	p := sharedPair()
+	for _, m := range []core.Method{core.Simple, core.Advance} {
+		t.Run(m.String(), func(t *testing.T) {
+			ref := core.MustNewTable(p.tableConfig(m, lookup.NewRegular(p.rt), true))
+			wantCounts, wantRefs := serialRun(p, ref)
+
+			live := core.MustNewTable(p.tableConfig(m, lookup.NewRegular(p.rt), true))
+			rcu := fastpath.NewRCU(live)
+			st := pipelineRun(p, rcu, 1, true)
+
+			if st.Outcomes != wantCounts {
+				t.Fatalf("outcome counts diverged:\nserial   %v\npipeline %v", wantCounts, st.Outcomes)
+			}
+			if st.Refs != wantRefs {
+				t.Fatalf("refs diverged: serial %d, pipeline %d", wantRefs, st.Refs)
+			}
+			if rcu.Len() != ref.Len() || rcu.Learned() != ref.Learned() {
+				t.Fatalf("learned tables diverged: serial %d entries (%d learned), pipeline %d (%d)",
+					ref.Len(), ref.Learned(), rcu.Len(), rcu.Learned())
+			}
+		})
+	}
+}
+
+// TestPipelineLearningSetEquality runs a cold learning pipeline at
+// several worker counts against a serial reference. Interleaving across
+// flows changes which packet of a clue misses first, so per-outcome
+// counts may legitimately differ — but with no LearnLimit the final
+// learned set is exactly the distinct valid clues of the workload,
+// independent of order. The table sizes must therefore agree, and the
+// pipeline must still process every packet.
+func TestPipelineLearningSetEquality(t *testing.T) {
+	p := sharedPair()
+	for _, eng := range lookup.All(p.rt) {
+		t.Run(eng.Name(), func(t *testing.T) {
+			ref := core.MustNewTable(p.tableConfig(core.Advance, eng, true))
+			serialRun(p, ref)
+			for _, workers := range []int{2, 4} {
+				live := core.MustNewTable(p.tableConfig(core.Advance, eng, true))
+				rcu := fastpath.NewRCU(live)
+				st := pipelineRun(p, rcu, workers, true)
+				if st.Processed != uint64(len(p.dests)) {
+					t.Fatalf("workers=%d: processed %d of %d", workers, st.Processed, len(p.dests))
+				}
+				if rcu.Len() != ref.Len() {
+					t.Fatalf("workers=%d: learned set diverged: serial %d entries, pipeline %d",
+						workers, ref.Len(), rcu.Len())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/ip"
+)
+
+// Packet is one unit of pipeline work: a destination, the clue it
+// carries (NoClue, represented as any negative value, when none), and a
+// caller-defined tag (typically an index into the caller's workload, so
+// batch processors can recover per-packet context without the pipeline
+// threading it through).
+type Packet struct {
+	Dest ip.Addr
+	Clue int
+	Tag  uint64
+}
+
+// Config sizes an Engine. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Workers is the number of worker goroutines (and rings); default
+	// GOMAXPROCS.
+	Workers int
+	// RingCap is the per-worker ring capacity, rounded up to a power of
+	// two; default 1024.
+	RingCap int
+	// Batch is the largest number of packets a worker hands its
+	// processor at once; default 64.
+	Batch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RingCap <= 0 {
+		c.RingCap = 1024
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	return c
+}
+
+// Engine fans packets out to workers over per-worker SPSC rings,
+// sharded by destination hash so a flow's packets stay on one worker in
+// arrival order. The caller's goroutine is the single producer (Push is
+// not safe for concurrent use); each worker goroutine is the single
+// consumer of its own ring, so no queue ever sees two writers.
+type Engine struct {
+	cfg   Config
+	rings []*Ring[Packet]
+	proc  func(worker int, batch []Packet)
+	wg    sync.WaitGroup
+}
+
+// New starts an engine whose workers hand every drained batch to proc.
+// proc runs on the worker goroutine and must be safe to call
+// concurrently with the other workers' proc invocations; within one
+// worker, calls are strictly sequential in push order for that shard.
+func New(cfg Config, proc func(worker int, batch []Packet)) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, proc: proc, rings: make([]*Ring[Packet], cfg.Workers)}
+	for i := range e.rings {
+		e.rings[i] = NewRing[Packet](cfg.RingCap)
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker(i)
+	}
+	return e
+}
+
+// Workers returns the worker count the engine is running with.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Shard returns the worker index a destination hashes to — exported so
+// tests can pin the flow-affinity contract.
+//
+//cluevet:hotpath
+func (e *Engine) Shard(dest ip.Addr) int {
+	hi, lo := dest.Halves()
+	// murmur3-style finalizer over a golden-ratio fold, mirroring the
+	// fastpath slot hash; the low bits index the worker.
+	x := hi ^ (lo * 0x9E3779B97F4A7C15)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 29
+	return int(x % uint64(e.cfg.Workers))
+}
+
+// Push routes p to its destination's worker, blocking (spin + yield)
+// while that worker's ring is full — see Ring.Push for the
+// backpressure contract. Single producer only.
+//
+//cluevet:hotpath
+func (e *Engine) Push(p Packet) {
+	e.rings[e.Shard(p.Dest)].Push(p)
+}
+
+// Close signals end of input: workers drain their rings and exit.
+// Push must not be called after Close.
+func (e *Engine) Close() {
+	for _, r := range e.rings {
+		r.Close()
+	}
+}
+
+// Wait blocks until every worker has drained its ring and returned.
+// Call after Close.
+func (e *Engine) Wait() { e.wg.Wait() }
+
+// Drain is Close followed by Wait.
+func (e *Engine) Drain() {
+	e.Close()
+	e.Wait()
+}
+
+// worker drains its ring in batches until the ring is closed and empty.
+func (e *Engine) worker(id int) {
+	defer e.wg.Done()
+	r := e.rings[id]
+	buf := make([]Packet, e.cfg.Batch)
+	for {
+		n := r.PopBatch(buf)
+		if n == 0 {
+			if r.Drained() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		e.proc(id, buf[:n])
+	}
+}

@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+)
+
+// TestEngineDistributesAndOrders pins the engine's two delivery
+// guarantees: every pushed packet reaches exactly one worker — the one
+// its destination shards to — and packets of the same flow arrive at
+// that worker in push order.
+func TestEngineDistributesAndOrders(t *testing.T) {
+	const (
+		workers = 4
+		flows   = 64
+		total   = 20000
+	)
+	seqs := make([][]Packet, workers)
+	e := New(Config{Workers: workers, RingCap: 32, Batch: 8}, func(w int, batch []Packet) {
+		seqs[w] = append(seqs[w], batch...)
+	})
+	dests := make([]ip.Addr, flows)
+	for i := range dests {
+		dests[i] = ip.AddrFrom32(0x0a000000 | uint32(i)<<8 | 1)
+	}
+	for i := 0; i < total; i++ {
+		e.Push(Packet{Dest: dests[i%flows], Clue: i % 24, Tag: uint64(i)})
+	}
+	e.Drain()
+
+	got := 0
+	lastTag := make(map[ip.Addr]uint64, flows)
+	flowWorker := make(map[ip.Addr]int, flows)
+	for w, seq := range seqs {
+		got += len(seq)
+		for _, p := range seq {
+			if want := e.Shard(p.Dest); want != w {
+				t.Fatalf("dest %v on worker %d, shards to %d", p.Dest, w, want)
+			}
+			if prev, ok := flowWorker[p.Dest]; ok && prev != w {
+				t.Fatalf("dest %v split across workers %d and %d", p.Dest, prev, w)
+			}
+			flowWorker[p.Dest] = w
+			if prev, ok := lastTag[p.Dest]; ok && p.Tag <= prev {
+				t.Fatalf("dest %v: tag %d arrived after %d (flow reordered)", p.Dest, p.Tag, prev)
+			}
+			lastTag[p.Dest] = p.Tag
+		}
+	}
+	if got != total {
+		t.Fatalf("workers saw %d packets, pushed %d", got, total)
+	}
+}
+
+// TestEngineShardStable pins that Shard is a pure function of the
+// destination and always lands in range.
+func TestEngineShardStable(t *testing.T) {
+	e := New(Config{Workers: 8, RingCap: 4}, func(int, []Packet) {})
+	defer e.Drain()
+	for i := 0; i < 1000; i++ {
+		d := ip.AddrFrom32(uint32(i) * 2654435761)
+		s := e.Shard(d)
+		if s < 0 || s >= 8 {
+			t.Fatalf("Shard(%v) = %d out of [0,8)", d, s)
+		}
+		if again := e.Shard(d); again != s {
+			t.Fatalf("Shard(%v) unstable: %d then %d", d, s, again)
+		}
+	}
+}
+
+// TestEngineShardSpreads is a sanity check that the destination hash
+// actually spreads a /24-style workload over the workers instead of
+// pinning everything to one shard.
+func TestEngineShardSpreads(t *testing.T) {
+	const workers = 4
+	e := New(Config{Workers: workers, RingCap: 4}, func(int, []Packet) {})
+	defer e.Drain()
+	var hist [workers]int
+	for i := 0; i < 4096; i++ {
+		hist[e.Shard(ip.AddrFrom32(0xc0a80000|uint32(i)))]++
+	}
+	for w, n := range hist {
+		// Fair share is 1024; accept anything within 2x either way.
+		if n < 512 || n > 2048 {
+			t.Fatalf("worker %d got %d of 4096 dests; histogram %v", w, n, hist)
+		}
+	}
+}
+
+// TestEngineBackpressure pins the no-drop contract: with tiny rings and
+// a deliberately slow worker, Push blocks rather than dropping, and
+// every packet is still processed.
+func TestEngineBackpressure(t *testing.T) {
+	const total = 500
+	var got int
+	e := New(Config{Workers: 2, RingCap: 2, Batch: 1}, func(w int, batch []Packet) {
+		time.Sleep(50 * time.Microsecond)
+		got += len(batch) // wrong if workers>1 touched it, but see below
+	})
+	// got is written by two workers; guard by funneling all flows to one
+	// worker: a single destination shards to a single ring.
+	d := ip.AddrFrom4(10, 1, 2, 3)
+	for i := 0; i < total; i++ {
+		e.Push(Packet{Dest: d, Tag: uint64(i)})
+	}
+	e.Drain()
+	if got != total {
+		t.Fatalf("processed %d of %d packets through a full ring", got, total)
+	}
+}
+
+// TestEngineBatchBound pins that workers never hand proc more than
+// Config.Batch packets at once.
+func TestEngineBatchBound(t *testing.T) {
+	const batch = 8
+	maxSeen := 0
+	e := New(Config{Workers: 1, RingCap: 256, Batch: batch}, func(w int, b []Packet) {
+		if len(b) > maxSeen {
+			maxSeen = len(b)
+		}
+		time.Sleep(20 * time.Microsecond) // let the ring fill behind us
+	})
+	for i := 0; i < 2000; i++ {
+		e.Push(Packet{Dest: ip.AddrFrom32(uint32(i)), Tag: uint64(i)})
+	}
+	e.Drain()
+	if maxSeen == 0 || maxSeen > batch {
+		t.Fatalf("largest batch seen = %d, want in (0,%d]", maxSeen, batch)
+	}
+}
+
+// TestConfigDefaults pins withDefaults.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Workers < 1 || c.RingCap != 1024 || c.Batch != 64 {
+		t.Fatalf("zero Config resolved to %+v", c)
+	}
+	c = Config{Workers: 3, RingCap: 16, Batch: 4}.withDefaults()
+	if c.Workers != 3 || c.RingCap != 16 || c.Batch != 4 {
+		t.Fatalf("explicit Config altered: %+v", c)
+	}
+}

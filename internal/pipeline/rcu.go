@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/ip"
+	"repro/internal/mem"
+)
+
+// rcuWorker is one worker's scratch state: pre-allocated batch arrays
+// for ProcessBatch, an outcome-count line, and the busy-time clock.
+// The counts array is exactly one cache line (core.NumOutcomes = 8
+// uint64 words) and each worker owns its own struct, so counting an
+// outcome is a plain increment with no sharing.
+type rcuWorker struct {
+	dests     []ip.Addr
+	clues     []int
+	out       []core.Result
+	cnt       mem.Counter
+	counts    [core.NumOutcomes]uint64
+	processed uint64
+	busyNs    int64
+	_         [48]byte // keep neighboring workers off this line
+}
+
+// Stats is the merged accounting of a finished (or quiescent) RCUEngine
+// run.
+type Stats struct {
+	// Processed is the number of packets drained through ProcessBatch.
+	Processed uint64
+	// Outcomes counts packets by clue outcome ordinal (core.Outcome).
+	Outcomes [core.NumOutcomes]uint64
+	// Refs is the total memory references charged (the paper's model).
+	Refs uint64
+	// BusyNs is the summed wall-clock time workers spent processing
+	// batches (not waiting on their rings). Per-worker busy time is what
+	// the cluebench scaling sweep turns into a capacity estimate.
+	BusyNs int64
+	// WorkerBusyNs is BusyNs broken out per worker.
+	WorkerBusyNs []int64
+	// WorkerProcessed is Processed broken out per worker.
+	WorkerProcessed []uint64
+}
+
+// RCUEngine is an Engine whose workers drain batches through
+// fastpath.RCU.ProcessBatch against the current snapshot. Outcomes and
+// references are counted per worker and merged at Stats time; any
+// telemetry attached to the underlying table records per packet inside
+// Process exactly as it does on the serial path, so a scrape during a
+// pipeline run and one during a serial run see the same counters.
+//
+// When learn is enabled, a packet whose outcome is OutcomeMiss reports
+// its clue to RCU.Learn — the same report the serial netsim/clued paths
+// make — off the read path, through the RCU writer mutex. Destination
+// sharding keeps all packets of a flow on one worker, so learning for a
+// given destination observes its packets in arrival order.
+type RCUEngine struct {
+	*Engine
+	rcu     *fastpath.RCU
+	learn   bool
+	workers []rcuWorker
+}
+
+// NewRCUEngine starts a pipeline over rcu. When learn is true, misses
+// are reported to rcu.Learn.
+func NewRCUEngine(rcu *fastpath.RCU, cfg Config, learn bool) *RCUEngine {
+	cfg = cfg.withDefaults()
+	e := &RCUEngine{rcu: rcu, learn: learn, workers: make([]rcuWorker, cfg.Workers)}
+	for i := range e.workers {
+		w := &e.workers[i]
+		w.dests = make([]ip.Addr, cfg.Batch)
+		w.clues = make([]int, cfg.Batch)
+		w.out = make([]core.Result, cfg.Batch)
+	}
+	e.Engine = New(cfg, e.drain)
+	return e
+}
+
+// drain is the worker body: unpack the batch into the pre-allocated
+// arrays, process against one snapshot, count outcomes, report misses.
+// Steady state (no misses) performs zero allocations — pinned by
+// TestRCUEngineWorkerZeroAllocs.
+//
+// Learning engines take the per-packet path instead: a learned entry
+// must be visible to the next packet of the flow (the serial contract
+// the differential tests pin), and ProcessBatch resolves the snapshot
+// once for the whole batch, which would hide an entry learned from an
+// earlier packet in the same batch. Learning is the transient phase;
+// the batch path is the steady state.
+//
+//cluevet:hotpath
+func (e *RCUEngine) drain(id int, batch []Packet) {
+	w := &e.workers[id]
+	start := time.Now()
+	n := len(batch)
+	if e.learn {
+		for i := 0; i < n; i++ {
+			r := e.rcu.Process(batch[i].Dest, batch[i].Clue, &w.cnt)
+			if r.Outcome >= 0 && int(r.Outcome) < core.NumOutcomes {
+				w.counts[r.Outcome]++
+			}
+			if r.Outcome == core.OutcomeMiss {
+				e.rcu.Learn(batch[i].Dest, batch[i].Clue)
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			w.dests[i] = batch[i].Dest
+			w.clues[i] = batch[i].Clue
+		}
+		n = e.rcu.ProcessBatch(w.dests[:n], w.clues[:n], w.out[:n], &w.cnt)
+		for i := 0; i < n; i++ {
+			o := w.out[i].Outcome
+			if o >= 0 && int(o) < core.NumOutcomes {
+				w.counts[o]++
+			}
+		}
+	}
+	w.processed += uint64(n)
+	w.busyNs += time.Since(start).Nanoseconds()
+}
+
+// Stats merges the per-worker accounting. Call after Wait (or at any
+// quiescent point); merging during a run reads worker-local state that
+// is not synchronized.
+func (e *RCUEngine) Stats() Stats {
+	var s Stats
+	s.WorkerBusyNs = make([]int64, len(e.workers))
+	s.WorkerProcessed = make([]uint64, len(e.workers))
+	for i := range e.workers {
+		w := &e.workers[i]
+		s.Processed += w.processed
+		s.BusyNs += w.busyNs
+		s.Refs += uint64(w.cnt.Count())
+		s.WorkerBusyNs[i] = w.busyNs
+		s.WorkerProcessed[i] = w.processed
+		for o, c := range w.counts {
+			s.Outcomes[o] += c
+		}
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+// Package pipeline is the multi-core packet engine: sharded single-
+// producer/single-consumer ring queues feeding workers that drain
+// packets in batches against the current fastpath RCU snapshot, so
+// aggregate packets/sec scales with cores instead of being capped by
+// one goroutine.
+//
+// The design follows the clue-table structure itself. Compiled
+// snapshots (internal/fastpath) are immutable and read with a single
+// atomic pointer load, so any number of workers can process packets
+// against the same table with zero coordination — the scheme is
+// embarrassingly parallel on the read side. What needs care is the
+// plumbing around it:
+//
+//   - Queues are fixed-size power-of-two SPSC rings with atomic head
+//     and tail cursors on separate cache lines: a push is one store
+//     into a pre-allocated slot plus one atomic add, a pop likewise —
+//     no mutex, no channel, no allocation in steady state.
+//   - Packets are sharded to workers by a hash of the destination
+//     address, so all packets of a flow (same destination) stay on one
+//     worker and per-flow clue learning observes them in arrival
+//     order.
+//   - Workers drain in batches (amortizing ring accesses and snapshot
+//     loads across up to Config.Batch packets) and count outcomes into
+//     per-worker cache-line-sized arrays; totals are merged once at
+//     Wait, and per-packet telemetry rides the existing sharded atomic
+//     counters, so nothing on the hot path contends.
+//
+// Backpressure is blocking: when a worker's ring is full, Push spins
+// briefly and yields until a slot frees. The pipeline never drops a
+// packet and never queues unboundedly; a slow worker slows the
+// producer, which is the only load-shedding policy that keeps the
+// differential tests' "pipeline == serial" accounting exact.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// pad is inserted between the ring cursors so the producer's tail line
+// and the consumer's head line never false-share.
+type pad [56]byte
+
+// Ring is a fixed-capacity single-producer/single-consumer queue.
+// Exactly one goroutine may push (the producer) and exactly one may pop
+// (the consumer); under that contract every operation is wait-free and
+// allocation-free. The zero value is not usable; call NewRing.
+type Ring[T any] struct {
+	buf    []T
+	mask   uint64
+	_      pad
+	head   atomic.Uint64 // next slot to pop; written only by the consumer
+	_      pad
+	tail   atomic.Uint64 // next slot to push; written only by the producer
+	_      pad
+	closed atomic.Bool
+}
+
+// NewRing creates a ring with the given capacity, rounded up to a power
+// of two (so cursor-to-slot mapping is a mask) and clamped to at least 2.
+func NewRing[T any](capacity int) *Ring[T] {
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	return &Ring[T]{buf: make([]T, size), mask: uint64(size - 1)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued items. Exact when called by the
+// producer or the consumer; a consistent snapshot otherwise.
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// TryPush appends v and reports success; it fails when the ring is full
+// or closed. Producer-side only.
+//
+//cluevet:hotpath
+func (r *Ring[T]) TryPush(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// Push appends v, spinning and yielding while the ring is full — the
+// pipeline's backpressure: a full ring slows the producer down rather
+// than dropping or growing. It returns false only when the ring is
+// closed. Producer-side only.
+//
+//cluevet:hotpath
+func (r *Ring[T]) Push(v T) bool {
+	for spins := 0; ; spins++ {
+		if r.TryPush(v) {
+			return true
+		}
+		if r.closed.Load() {
+			return false
+		}
+		if spins > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryPop removes and returns the oldest item. Consumer-side only.
+//
+//cluevet:hotpath
+func (r *Ring[T]) TryPop() (T, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		var zero T
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// PopBatch moves up to len(dst) items into dst and returns how many it
+// moved. Consumer-side only.
+//
+//cluevet:hotpath
+func (r *Ring[T]) PopBatch(dst []T) int {
+	h := r.head.Load()
+	n := int(r.tail.Load() - h)
+	if n == 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[(h+uint64(i))&r.mask]
+	}
+	r.head.Store(h + uint64(n))
+	return n
+}
+
+// Close marks the ring closed: subsequent pushes are rejected, and the
+// consumer drains what remains. Closing an already-closed ring is a
+// no-op.
+func (r *Ring[T]) Close() { r.closed.Store(true) }
+
+// Closed reports whether Close was called (items may remain queued).
+func (r *Ring[T]) Closed() bool { return r.closed.Load() }
+
+// Drained reports end-of-stream for the consumer: the ring is closed
+// and empty. The order matters — closed is checked first, so a true
+// result cannot race a final push (the producer pushes before closing,
+// and the tail store happens-before the closed store).
+func (r *Ring[T]) Drained() bool {
+	if !r.closed.Load() {
+		return false
+	}
+	return r.tail.Load() == r.head.Load()
+}
+
+// String describes the ring for diagnostics.
+func (r *Ring[T]) String() string {
+	return fmt.Sprintf("ring(cap=%d len=%d closed=%v)", r.Cap(), r.Len(), r.Closed())
+}

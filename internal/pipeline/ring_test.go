@@ -1,0 +1,279 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestRingTableDriven pins the SPSC ring's single-threaded semantics:
+// emptiness, fullness, wraparound, and close behavior.
+func TestRingTableDriven(t *testing.T) {
+	type op struct {
+		do       string // "push", "pop", "close", "popbatch"
+		v        int    // value to push
+		n        int    // batch size for popbatch
+		want     int    // popped value / batch count
+		wantOK   bool   // push/pop success
+		wantLen  int    // ring length after the op (-1: skip)
+		wantDone bool   // Drained after the op
+	}
+	cases := []struct {
+		name string
+		cap  int
+		ops  []op
+	}{
+		{
+			name: "empty pop fails",
+			cap:  4,
+			ops: []op{
+				{do: "pop", wantOK: false, wantLen: 0},
+			},
+		},
+		{
+			name: "push then pop returns the value",
+			cap:  4,
+			ops: []op{
+				{do: "push", v: 42, wantOK: true, wantLen: 1},
+				{do: "pop", want: 42, wantOK: true, wantLen: 0},
+			},
+		},
+		{
+			name: "fifo order",
+			cap:  4,
+			ops: []op{
+				{do: "push", v: 1, wantOK: true, wantLen: 1},
+				{do: "push", v: 2, wantOK: true, wantLen: 2},
+				{do: "push", v: 3, wantOK: true, wantLen: 3},
+				{do: "pop", want: 1, wantOK: true, wantLen: 2},
+				{do: "pop", want: 2, wantOK: true, wantLen: 1},
+				{do: "pop", want: 3, wantOK: true, wantLen: 0},
+			},
+		},
+		{
+			name: "full push fails",
+			cap:  2,
+			ops: []op{
+				{do: "push", v: 1, wantOK: true, wantLen: 1},
+				{do: "push", v: 2, wantOK: true, wantLen: 2},
+				{do: "push", v: 3, wantOK: false, wantLen: 2},
+				{do: "pop", want: 1, wantOK: true, wantLen: 1},
+				{do: "push", v: 3, wantOK: true, wantLen: 2},
+			},
+		},
+		{
+			name: "wraparound keeps fifo across the boundary",
+			cap:  2,
+			ops: []op{
+				{do: "push", v: 1, wantOK: true, wantLen: 1},
+				{do: "push", v: 2, wantOK: true, wantLen: 2},
+				{do: "pop", want: 1, wantOK: true, wantLen: 1},
+				{do: "push", v: 3, wantOK: true, wantLen: 2}, // cursor wraps
+				{do: "pop", want: 2, wantOK: true, wantLen: 1},
+				{do: "push", v: 4, wantOK: true, wantLen: 2},
+				{do: "pop", want: 3, wantOK: true, wantLen: 1},
+				{do: "pop", want: 4, wantOK: true, wantLen: 0},
+			},
+		},
+		{
+			name: "close rejects pushes, consumer drains the rest",
+			cap:  4,
+			ops: []op{
+				{do: "push", v: 1, wantOK: true, wantLen: 1},
+				{do: "push", v: 2, wantOK: true, wantLen: 2},
+				{do: "close", wantLen: 2, wantDone: false},
+				{do: "push", v: 3, wantOK: false, wantLen: 2},
+				{do: "pop", want: 1, wantOK: true, wantLen: 1, wantDone: false},
+				{do: "pop", want: 2, wantOK: true, wantLen: 0, wantDone: true},
+				{do: "pop", wantOK: false, wantLen: 0, wantDone: true},
+			},
+		},
+		{
+			name: "close on empty ring drains immediately",
+			cap:  4,
+			ops: []op{
+				{do: "close", wantLen: 0, wantDone: true},
+			},
+		},
+		{
+			name: "popbatch drains in order and stops at the batch size",
+			cap:  8,
+			ops: []op{
+				{do: "push", v: 10, wantOK: true, wantLen: 1},
+				{do: "push", v: 11, wantOK: true, wantLen: 2},
+				{do: "push", v: 12, wantOK: true, wantLen: 3},
+				{do: "popbatch", n: 2, want: 2, wantLen: 1},
+				{do: "pop", want: 12, wantOK: true, wantLen: 0},
+				{do: "popbatch", n: 2, want: 0, wantLen: 0},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRing[int](tc.cap)
+			base := -1
+			for i, o := range tc.ops {
+				switch o.do {
+				case "push":
+					if ok := r.TryPush(o.v); ok != o.wantOK {
+						t.Fatalf("op %d: TryPush(%d) = %v, want %v", i, o.v, ok, o.wantOK)
+					}
+				case "pop":
+					v, ok := r.TryPop()
+					if ok != o.wantOK {
+						t.Fatalf("op %d: TryPop ok = %v, want %v", i, ok, o.wantOK)
+					}
+					if ok && v != o.want {
+						t.Fatalf("op %d: TryPop = %d, want %d", i, v, o.want)
+					}
+				case "popbatch":
+					dst := make([]int, o.n)
+					got := r.PopBatch(dst)
+					if got != o.want {
+						t.Fatalf("op %d: PopBatch = %d, want %d", i, got, o.want)
+					}
+					// Batch contents continue the FIFO sequence from the
+					// last popped value.
+					for j := 0; j < got; j++ {
+						if base >= 0 && dst[j] <= base {
+							t.Fatalf("op %d: PopBatch[%d] = %d out of order (last %d)", i, j, dst[j], base)
+						}
+						base = dst[j]
+					}
+				case "close":
+					r.Close()
+				}
+				if o.wantLen >= 0 && r.Len() != o.wantLen {
+					t.Fatalf("op %d (%s): Len = %d, want %d", i, o.do, r.Len(), o.wantLen)
+				}
+				if o.wantDone != r.Drained() && (o.do == "close" || o.do == "pop" || o.do == "popbatch") {
+					t.Fatalf("op %d (%s): Drained = %v, want %v", i, o.do, r.Drained(), o.wantDone)
+				}
+			}
+		})
+	}
+}
+
+// TestRingCapacityRounding pins NewRing's power-of-two rounding and the
+// minimum capacity.
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {1024, 1024},
+	} {
+		if got := NewRing[byte](tc.in).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRingBlockingPushUnblocksOnClose pins that a producer blocked on a
+// full ring returns false when the consumer side closes it, instead of
+// spinning forever.
+func TestRingBlockingPushUnblocksOnClose(t *testing.T) {
+	r := NewRing[int](2)
+	if !r.Push(1) || !r.Push(2) {
+		t.Fatal("setup pushes failed")
+	}
+	done := make(chan bool)
+	go func() { done <- r.Push(3) }()
+	r.Close()
+	if ok := <-done; ok {
+		t.Fatal("Push on a closed full ring reported success")
+	}
+}
+
+// TestRingStress races one producer against one consumer over a small
+// ring (forcing constant wraparound and full/empty transitions) and
+// verifies every value arrives exactly once, in order. Run under -race
+// in CI at -cpu 1,2,4.
+func TestRingStress(t *testing.T) {
+	const total = 200000
+	r := NewRing[uint64](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < total; i++ {
+			if !r.Push(i) {
+				t.Error("push failed mid-stream")
+				return
+			}
+		}
+		r.Close()
+	}()
+	next := uint64(0)
+	buf := make([]uint64, 17) // odd batch size: batch boundaries drift over the wrap point
+	for {
+		n := r.PopBatch(buf)
+		if n == 0 {
+			if r.Drained() {
+				break
+			}
+			runtime.Gosched() // single-CPU hosts: let the producer run
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != next {
+				t.Fatalf("got %d, want %d (reordered or lost)", buf[i], next)
+			}
+			next++
+		}
+	}
+	wg.Wait()
+	if next != total {
+		t.Fatalf("consumed %d of %d values", next, total)
+	}
+}
+
+// TestRingStressTryPop is the single-item flavor of the stress test, so
+// both consumer entry points see the race detector.
+func TestRingStressTryPop(t *testing.T) {
+	const total = 100000
+	r := NewRing[uint64](8)
+	go func() {
+		for i := uint64(0); i < total; i++ {
+			r.Push(i)
+		}
+		r.Close()
+	}()
+	next := uint64(0)
+	for {
+		v, ok := r.TryPop()
+		if !ok {
+			if r.Drained() {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		if v != next {
+			t.Fatalf("got %d, want %d", v, next)
+		}
+		next++
+	}
+	if next != total {
+		t.Fatalf("consumed %d of %d values", next, total)
+	}
+}
+
+// TestRingZeroAllocs pins the steady-state allocation contract: push and
+// pop (single and batched) allocate nothing.
+func TestRingZeroAllocs(t *testing.T) {
+	r := NewRing[Packet](64)
+	var p Packet
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.TryPush(p)
+		r.TryPop()
+	}); allocs != 0 {
+		t.Errorf("TryPush/TryPop: %v allocs/op, want 0", allocs)
+	}
+	buf := make([]Packet, 16)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			r.TryPush(p)
+		}
+		r.PopBatch(buf)
+	}); allocs != 0 {
+		t.Errorf("Push/PopBatch: %v allocs/op, want 0", allocs)
+	}
+}
