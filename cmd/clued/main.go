@@ -508,6 +508,7 @@ func run(ctx context.Context, cfg config) (*result, error) {
 			_ = tracer.WriteTail(w, 200)
 		})
 		srv = &http.Server{Handler: mux}
+		//cluevet:ignore - joined externally: the deferred srv.Close unblocks Serve, and srvErr is read below
 		go func() { srvErr <- srv.Serve(ln) }()
 		defer srv.Close()
 		if cfg.onMetricsReady != nil {
@@ -828,6 +829,7 @@ func main() {
 	if *pprofAddr != "" {
 		// Opt-in profiling: the blank net/http/pprof import registers the
 		// /debug/pprof/ handlers on the default mux.
+		//cluevet:ignore - process-lifetime debug listener by design; it dies with the daemon
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				log.Printf("pprof listener: %v", err)

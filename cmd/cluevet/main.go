@@ -1,19 +1,30 @@
 // Command cluevet runs the project's static-analysis suite (package
 // repro/internal/analysis) over the module: hotpath-alloc,
-// lock-discipline, counter-discipline and no-panic-in-lookup.
+// lock-discipline, counter-discipline, no-panic-in-lookup,
+// rcu-discipline, atomic-mix, padding-layout and goroutine-shutdown.
 //
 // Usage:
 //
-//	cluevet [-v] [packages]
+//	cluevet [-v] [-json] [packages]
 //
 // Packages are directories or dir/... trees (default ./...). Exit
 // status is 0 when the suite is clean, 1 when any error-severity
 // diagnostic is reported, 2 when a package fails to load.
+//
+// With -json, diagnostics are emitted as a single JSON array of
+//
+//	{"file": ..., "line": ..., "col": ..., "severity": ...,
+//	 "analyzer": ..., "message": ...}
+//
+// objects on stdout (an empty array when clean), for CI annotation
+// tooling; the exit status is unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analysis"
@@ -21,15 +32,26 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "list packages as they are analyzed")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: cluevet [-v] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cluevet [-v] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(flag.Args(), *verbose))
+	os.Exit(run(flag.Args(), *verbose, *jsonOut, os.Stdout))
 }
 
-func run(patterns []string, verbose bool) int {
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(patterns []string, verbose, jsonOut bool, out io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -50,6 +72,7 @@ func run(patterns []string, verbose bool) int {
 	}
 	cfg := analysis.DefaultConfig()
 	failed := false
+	jsonDiags := []jsonDiagnostic{}
 	for _, dir := range dirs {
 		lp, err := ld.load(dir)
 		if err != nil {
@@ -61,10 +84,29 @@ func run(patterns []string, verbose bool) int {
 		}
 		pass := analysis.NewPass(ld.fset, lp.Files, lp.Pkg, lp.Info, cfg)
 		for _, d := range analysis.Run(pass, nil) {
-			fmt.Println(d)
+			if jsonOut {
+				jsonDiags = append(jsonDiags, jsonDiagnostic{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Severity: d.Severity.String(),
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+			} else {
+				fmt.Fprintln(out, d)
+			}
 			if d.Severity >= analysis.Error {
 				failed = true
 			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDiags); err != nil {
+			fmt.Fprintf(os.Stderr, "cluevet: %v\n", err)
+			return 2
 		}
 	}
 	if failed {

@@ -1,12 +1,20 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
 
 // The negative fixtures under internal/analysis/testdata each trip one
 // analyzer; the driver must exit 1 on every one of them.
 func TestNegativeFixturesFail(t *testing.T) {
-	for _, dir := range []string{"hotbad", "lockbad", "counterbad", "panicbad"} {
-		if got := run([]string{"../../internal/analysis/testdata/src/" + dir}, false); got != 1 {
+	for _, dir := range []string{
+		"hotbad", "lockbad", "counterbad", "panicbad",
+		"rcubad", "atomicbad", "padbad", "gobad",
+	} {
+		if got := run([]string{"../../internal/analysis/testdata/src/" + dir}, false, false, io.Discard); got != 1 {
 			t.Errorf("cluevet on fixture %s: exit %d, want 1", dir, got)
 		}
 	}
@@ -15,7 +23,57 @@ func TestNegativeFixturesFail(t *testing.T) {
 // The repository itself must stay clean: this is the same gate CI runs
 // as `go run ./cmd/cluevet ./...`, enforced from the test suite too.
 func TestRepositoryIsClean(t *testing.T) {
-	if got := run([]string{"../../..."}, false); got != 0 {
+	if got := run([]string{"../../..."}, false, false, io.Discard); got != 0 {
 		t.Errorf("cluevet on the repository: exit %d, want 0", got)
+	}
+}
+
+// -json emits a machine-readable array carrying the same findings and
+// the same exit status as the text form.
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if got := run([]string{"../../internal/analysis/testdata/src/rcubad"}, false, true, &buf); got != 1 {
+		t.Fatalf("cluevet -json on rcubad: exit %d, want 1", got)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Severity string `json:"severity"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics in JSON output for a negative fixture")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+		if d.Analyzer != "rcu-discipline" {
+			t.Errorf("unexpected analyzer %q on rcubad", d.Analyzer)
+		}
+		if d.Severity != "error" || d.Message == "" {
+			t.Errorf("diagnostic missing severity/message: %+v", d)
+		}
+	}
+}
+
+// A clean tree under -json is an empty array, not empty output — CI
+// tooling can always parse it.
+func TestJSONOutputCleanIsEmptyArray(t *testing.T) {
+	var buf bytes.Buffer
+	if got := run([]string{"../../internal/core"}, false, true, &buf); got != 0 {
+		t.Fatalf("cluevet -json on internal/core: exit %d, want 0", got)
+	}
+	var diags []json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected empty array, got %d entries", len(diags))
 	}
 }

@@ -22,9 +22,33 @@
 //     (New*/Must*/Parse*/... or //cluevet:ctor); the forwarding path
 //     must degrade, not crash.
 //
+// The lock-free core that carries the ≈1-reference property — fastpath's
+// RCU atomic-pointer snapshots, the pipeline's SPSC rings, the padded
+// sharded telemetry counters — has invariants a race detector only
+// catches when a test happens to interleave badly. Four analyzers make
+// them mechanical:
+//
+//   - rcu-discipline: a value published through an atomic.Pointer[T]
+//     is immutable — writes may only target provably fresh copies (the
+//     COW patch shape), mutating helpers run only on unpublished values
+//     (//cluevet:ctor), and snapshot pointers are never cached in
+//     struct fields or package variables.
+//   - atomic-mix: a field accessed through sync/atomic anywhere in the
+//     package must be accessed atomically everywhere — no mixed plain
+//     loads or stores, the race class go vet does not flag.
+//   - padding-layout: structs annotated //cluevet:padded keep their
+//     concurrently-written fields on distinct 64-byte cache lines,
+//     verified from real go/types offsets against a target GOARCH.
+//   - goroutine-shutdown: every go statement in the audited packages
+//     (Config.GoroutinePackages or //cluevet:goroutines) must be
+//     reachable from a shutdown edge — a context, a WaitGroup joined by
+//     a Wait-er, a close flag, or a channel receive — so no worker can
+//     leak past Drain.
+//
 // Diagnostics carry positions and severities, and any diagnostic can be
-// suppressed by a //cluevet:ignore comment on the same line or on the
-// line directly above. The framework uses only the standard library
+// suppressed by a //cluevet:ignore comment on the same line, on the
+// line directly above, or (for multi-line simple statements) on the
+// statement's first line. The framework uses only the standard library
 // (go/ast, go/parser, go/token, go/types); cmd/cluevet is the driver
 // that loads every package in the module and runs the suite.
 package analysis
@@ -76,6 +100,14 @@ type Config struct {
 	HotNames map[string]bool
 	// HotPackages are package import paths in which HotNames applies.
 	HotPackages map[string]bool
+	// GoroutinePackages are package import paths where the
+	// goroutine-shutdown analyzer audits every go statement. A package
+	// can also opt in from source with a //cluevet:goroutines comment.
+	GoroutinePackages map[string]bool
+	// TargetArch is the GOARCH whose memory layout padding-layout
+	// verifies (the deployment target, not necessarily the build host);
+	// empty selects amd64, the 64-byte-cache-line reference target.
+	TargetArch string
 }
 
 // DefaultConfig seed-marks the forwarding routines of the clue hot path:
@@ -103,7 +135,16 @@ func DefaultConfig() Config {
 			"repro/internal/fastpath":  true,
 			"repro/internal/telemetry": true,
 			"repro/internal/pipeline":  true,
+			// The binaries run the same forwarding code under flags; a
+			// seed-named hot routine added there must face the same gate.
+			"repro/cmd/clued":     true,
+			"repro/cmd/cluebench": true,
 		},
+		GoroutinePackages: map[string]bool{
+			"repro/cmd/clued":         true,
+			"repro/internal/pipeline": true,
+		},
+		TargetArch: "amd64",
 	}
 }
 
@@ -121,6 +162,10 @@ func All() []*Analyzer {
 		LockDiscipline,
 		CounterDiscipline,
 		NoPanicInLookup,
+		RCUDiscipline,
+		AtomicMix,
+		PaddingLayout,
+		GoroutineShutdown,
 	}
 }
 
@@ -247,6 +292,68 @@ func isCounterPtr(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj != nil && obj.Name() == "Counter" && obj.Pkg() != nil && obj.Pkg().Name() == "mem"
+}
+
+// namedFrom unwraps pointers and returns the named type underneath, or
+// nil.
+func namedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isStdType reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isStdType(t types.Type, pkgPath, name string) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values
+// (Bool, Int32, Int64, Uint32, Uint64, Uintptr, Pointer[T], Value) —
+// the fields whose cache-line placement padding-layout verifies.
+func isAtomicType(t types.Type) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}
+
+// atomicPointerElem returns the named type argument T when t is
+// sync/atomic.Pointer[T], else nil.
+func atomicPointerElem(t types.Type) *types.Named {
+	n := namedFrom(t)
+	if n == nil {
+		return nil
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Name() != "Pointer" || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	args := n.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil
+	}
+	elem, _ := args.At(0).(*types.Named)
+	return elem
 }
 
 // isRWMutex reports whether t is sync.RWMutex or *sync.RWMutex.

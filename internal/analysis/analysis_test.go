@@ -189,6 +189,50 @@ func Alloc() *entry {
 	checkDiags(t, got, nil)
 }
 
+// TestIgnoreMultiLineStatement: an ignore above a statement that spills
+// over several lines covers the whole statement — the second allocation
+// here anchors two lines below the comment and is still suppressed.
+func TestIgnoreMultiLineStatement(t *testing.T) {
+	src := `package p
+
+type entry struct{ v int }
+
+//cluevet:hotpath
+func Alloc() (*entry, *entry) {
+	//cluevet:ignore - both preallocated in production builds
+	return &entry{
+			v: 1,
+		}, &entry{
+			v: 2,
+		}
+}
+`
+	got := runOne(t, HotPathAlloc, DefaultConfig(), fixture{path: "test/multiline", src: src})
+	checkDiags(t, got, nil)
+}
+
+// TestIgnoreDoesNotCoverLoopBody: the statement expansion deliberately
+// excludes control flow — an ignore above a for loop must not blanket
+// diagnostics inside its body.
+func TestIgnoreDoesNotCoverLoopBody(t *testing.T) {
+	src := `package p
+
+type entry struct{ v int }
+
+//cluevet:hotpath
+func Alloc() *entry {
+	//cluevet:ignore - only the loop header, not the body
+	for i := 0; i < 1; i++ {
+
+		return &entry{v: i}
+	}
+	return nil
+}
+`
+	got := runOne(t, HotPathAlloc, DefaultConfig(), fixture{path: "test/loopbody", src: src})
+	checkDiags(t, got, []string{"&entry{...}"})
+}
+
 // TestIgnoreDoesNotLeak: an ignore comment suppresses its own line and
 // the next, nothing else.
 func TestIgnoreDoesNotLeak(t *testing.T) {

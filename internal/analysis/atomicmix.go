@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix catches the race class go vet famously lacks: a struct
+// field that is accessed through the sync/atomic *functions* somewhere
+// in the package (atomic.AddUint64(&s.n, 1)) but read or written as a
+// plain field elsewhere (s.n++, v := s.n). The memory model gives such
+// a program no guarantees at all — the plain access can tear, reorder,
+// or never observe the atomic writes — and the race detector only
+// reports it when a test happens to interleave the two.
+//
+// The typed atomics (atomic.Uint64 and friends) make the mix
+// inexpressible, which is why the hot packages use them; this analyzer
+// guards the remaining surface, where a plain-typed field is promoted
+// to atomic use in one place and someone later touches it directly.
+//
+// Every use of a field as the pointer operand of a sync/atomic call
+// enrolls that field; any other appearance of the same field is then
+// reported, except inside construction code (constructor names or
+// //cluevet:ctor — initialization before the value escapes to another
+// goroutine is the one safe plain access, the same reasoning the
+// runtime uses). Passing &s.n anywhere other than a sync/atomic call is
+// reported too: the analyzer can no longer see what happens to it.
+var AtomicMix = &Analyzer{
+	Name: "atomic-mix",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere (no mixed plain loads/stores)",
+}
+
+func init() { AtomicMix.Run = runAtomicMix }
+
+func runAtomicMix(p *Pass) {
+	// Pass 1: enroll fields used as &s.field in sync/atomic calls, and
+	// remember those exact operand positions so pass 2 skips them.
+	enrolled := make(map[*types.Var]token.Pos) // field -> first atomic use (for the message)
+	atomicOperands := make(map[ast.Expr]bool)  // the &s.field argument expressions
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field := selectedField(p, sel)
+				if field == nil {
+					continue
+				}
+				if _, seen := enrolled[field]; !seen {
+					enrolled[field] = sel.Pos()
+				}
+				atomicOperands[sel] = true
+			}
+			return true
+		})
+	}
+	if len(enrolled) == 0 {
+		return
+	}
+	// Pass 2: any other appearance of an enrolled field is a mixed
+	// access, unless it happens in construction code.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, isFn := decl.(*ast.FuncDecl)
+			if isFn && (fn.Body == nil || p.IsConstruction(fn)) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicOperands[sel] {
+					return true
+				}
+				field := selectedField(p, sel)
+				if field == nil {
+					return true
+				}
+				if _, mixed := enrolled[field]; !mixed {
+					return true
+				}
+				pos := p.Fset.Position(enrolled[field])
+				p.Reportf(AtomicMix, sel.Pos(), Error,
+					"plain access to %s.%s, which is accessed atomically at %s:%d: every load and store must go through sync/atomic",
+					fieldOwnerName(field), field.Name(), pos.Filename, pos.Line)
+				return true
+			})
+		}
+	}
+}
+
+// isSyncAtomicCall reports whether call invokes a function of package
+// sync/atomic (the free functions; methods of the typed atomics cannot
+// be mixed and need no enrollment).
+func isSyncAtomicCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// selectedField resolves a selector to the struct field it denotes, or
+// nil when it is not a field selection.
+func selectedField(p *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// fieldOwnerName names the struct a field belongs to, best-effort, for
+// diagnostics.
+func fieldOwnerName(field *types.Var) string {
+	if field.Pkg() == nil {
+		return "?"
+	}
+	scope := field.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn.Name()
+			}
+		}
+	}
+	return "?"
+}

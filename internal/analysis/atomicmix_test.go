@@ -1,0 +1,85 @@
+package analysis
+
+import "testing"
+
+const atomicMixSrc = `package mix
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	cold uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1) // enrolls n
+}
+
+func (c *counter) snapshot() uint64 {
+	return atomic.LoadUint64(&c.n) // atomic access: clean
+}
+
+func (c *counter) read() uint64 {
+	return c.n // plain read of an atomic field: reported
+}
+
+func (c *counter) bump() {
+	c.n++ // plain write of an atomic field: reported
+}
+
+func (c *counter) coldRead() uint64 {
+	return c.cold // never touched atomically: clean
+}
+
+func NewCounter() *counter {
+	c := &counter{}
+	c.n = 7 // construction before the value escapes: clean
+	return c
+}
+`
+
+func TestAtomicMix(t *testing.T) {
+	got := runOne(t, AtomicMix, DefaultConfig(), fixture{path: "test/mix", src: atomicMixSrc})
+	checkDiags(t, got, []string{
+		"plain access to counter.n",
+		"plain access to counter.n",
+	})
+}
+
+// A package whose sync/atomic use is confined to locals (no field
+// operands) enrolls nothing.
+func TestAtomicMixLocalsOnly(t *testing.T) {
+	src := `package mixlocal
+
+import "sync/atomic"
+
+func count(stop *int32) int32 {
+	var n int32
+	atomic.AddInt32(&n, 1)
+	m := n // local, not a field: clean
+	_ = m
+	return atomic.LoadInt32(&n)
+}
+`
+	got := runOne(t, AtomicMix, DefaultConfig(), fixture{path: "test/mixlocal", src: src})
+	checkDiags(t, got, nil)
+}
+
+// //cluevet:ignore waves a deliberate mixed access through (e.g. a
+// single-threaded report phase after all writers joined).
+func TestAtomicMixIgnore(t *testing.T) {
+	src := `package mixign
+
+import "sync/atomic"
+
+type stats struct{ hits uint64 }
+
+func (s *stats) record() { atomic.AddUint64(&s.hits, 1) }
+
+func (s *stats) report() uint64 {
+	return s.hits //cluevet:ignore - workers joined; no concurrent writers remain
+}
+`
+	got := runOne(t, AtomicMix, DefaultConfig(), fixture{path: "test/mixign", src: src})
+	checkDiags(t, got, nil)
+}

@@ -6,20 +6,30 @@ import (
 	"strings"
 )
 
-// The framework understands three directive comments, written without a
+// The framework understands five directive comments, written without a
 // space after // (the Go convention for machine-readable directives, so
 // godoc hides them):
 //
-//	//cluevet:hotpath  — the next function declaration is on the
-//	                     per-packet forwarding path
-//	//cluevet:ctor     — the next function declaration is construction
-//	                     or parse code (panic allowed)
-//	//cluevet:ignore   — suppress any diagnostic on this line or on the
-//	                     line directly below
+//	//cluevet:hotpath    — the next function declaration is on the
+//	                       per-packet forwarding path
+//	//cluevet:ctor       — the next function declaration is construction
+//	                       or parse code (panic allowed; snapshot fields
+//	                       may be written, the value is pre-publish)
+//	//cluevet:ignore     — suppress any diagnostic on this line, on the
+//	                       line directly below, or anywhere inside the
+//	                       simple statement starting on that line
+//	//cluevet:padded     — the next struct type declaration promises a
+//	                       false-sharing-free layout, checked by the
+//	                       padding-layout analyzer
+//	//cluevet:goroutines — every go statement in this file's package
+//	                       must have a shutdown edge (same effect as
+//	                       listing the package in Config.GoroutinePackages)
 const (
-	directiveHotPath = "cluevet:hotpath"
-	directiveCtor    = "cluevet:ctor"
-	directiveIgnore  = "cluevet:ignore"
+	directiveHotPath    = "cluevet:hotpath"
+	directiveCtor       = "cluevet:ctor"
+	directiveIgnore     = "cluevet:ignore"
+	directivePadded     = "cluevet:padded"
+	directiveGoroutines = "cluevet:goroutines"
 )
 
 type funcDirectives struct {
@@ -67,7 +77,14 @@ func collectFuncDirectives(files []*ast.File) map[*ast.FuncDecl]funcDirectives {
 
 // ignoredLines indexes //cluevet:ignore comments: a diagnostic is
 // suppressed when the comment shares its line (trailing comment) or sits
-// on the line directly above (own-line comment).
+// on the line directly above (own-line comment). When the suppressed
+// line is the first line of a multi-line simple statement (assignment,
+// expression, return, declaration, send, inc/dec), the suppression
+// covers the whole statement — a composite literal or call spilled over
+// several lines is one logical site, and diagnostics may anchor to any
+// of its lines. Control-flow statements (if/for/switch/go/defer) are
+// deliberately excluded: an ignore above a loop must not blanket every
+// diagnostic in its body.
 func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
 	out := make(map[string]map[int]bool)
 	for _, f := range files {
@@ -89,5 +106,89 @@ func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[int]boo
 			}
 		}
 	}
+	expandIgnoredStatements(fset, files, out)
 	return out
+}
+
+// expandIgnoredStatements widens line-based suppression to whole simple
+// statements: when a statement's first line is suppressed, every line
+// through its End is too.
+func expandIgnoredStatements(fset *token.FileSet, files []*ast.File, ignored map[string]map[int]bool) {
+	for _, f := range files {
+		pos := fset.Position(f.Pos())
+		lines := ignored[pos.Filename]
+		if len(lines) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt,
+				*ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt:
+			default:
+				return true
+			}
+			start := fset.Position(n.Pos()).Line
+			if !lines[start] {
+				return true
+			}
+			for l := start; l <= fset.Position(n.End()).Line; l++ {
+				lines[l] = true
+			}
+			return true
+		})
+	}
+}
+
+// paddedStructs maps the type names annotated //cluevet:padded (on the
+// GenDecl doc, the TypeSpec doc, or a trailing TypeSpec comment) to the
+// annotation's position, for the padding-layout analyzer.
+func paddedStructs(files []*ast.File) map[string]bool {
+	out := make(map[string]bool)
+	mark := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				if hasDirective(c.Text, directivePadded) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			declMarked := mark(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declMarked || mark(ts.Doc, ts.Comment) {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// packageHasDirective reports whether any comment in the package's files
+// carries the given package-scope directive (e.g. cluevet:goroutines).
+func packageHasDirective(files []*ast.File, directive string) bool {
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if hasDirective(c.Text, directive) {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }

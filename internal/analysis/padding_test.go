@@ -1,0 +1,110 @@
+package analysis
+
+import "testing"
+
+const padBadSrc = `package pad
+
+import "sync/atomic"
+
+// Two atomic cursors on one cache line: the exact false sharing the
+// padding exists to prevent.
+//
+//cluevet:padded
+type cursors struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// Interior padding right, total size wrong: 72 bytes, so element k's x
+// shares a line with element k+1's n across the slice.
+//
+//cluevet:padded
+type worker struct {
+	n atomic.Uint64
+	_ [56]byte
+	x uint64
+}
+
+var pool []worker
+
+// An embedded atomic field counts like any other field.
+//
+//cluevet:padded
+type embedded struct {
+	atomic.Uint64
+	x uint64
+}
+`
+
+func TestPaddingLayout(t *testing.T) {
+	got := runOne(t, PaddingLayout, DefaultConfig(), fixture{path: "test/pad", src: padBadSrc})
+	checkDiags(t, got, []string{
+		"cursors: atomic field head (offset 0) shares a 64-byte cache line with tail (offset 8)",
+		"worker is a slice/array element but sizeof = 72",
+		"embedded: atomic field Uint64 (offset 0) shares a 64-byte cache line with x (offset 8)",
+	})
+}
+
+// The live shapes — a 64-byte counter shard and the generic SPSC ring —
+// must pass, checked per instantiation.
+func TestPaddingLayoutClean(t *testing.T) {
+	src := `package padgood
+
+import "sync/atomic"
+
+//cluevet:padded
+type shard struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+var shards []shard
+
+//cluevet:padded
+type Ring[T any] struct {
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64
+	_    [56]byte
+	buf  []T
+}
+
+type packet struct{ a, b uint64 }
+
+var r Ring[packet]
+`
+	got := runOne(t, PaddingLayout, DefaultConfig(), fixture{path: "test/padgood", src: src})
+	checkDiags(t, got, nil)
+}
+
+// A bad instantiation of a good-looking generic is caught: layout
+// depends on the type argument.
+func TestPaddingLayoutGenericInstantiation(t *testing.T) {
+	src := `package padgen
+
+import "sync/atomic"
+
+// pair pads with the type argument itself: whether the cursors land on
+// distinct lines depends entirely on sizeof(T).
+//
+//cluevet:padded
+type pair[T any] struct {
+	head atomic.Uint64
+	_    T
+	tail atomic.Uint64
+}
+
+var a pair[[8]byte]  // tail at offset 16: same line as head
+var b pair[[56]byte] // tail at offset 64: distinct lines, clean
+
+//cluevet:padded
+type orphan[T any] struct {
+	n atomic.Uint64
+}
+`
+	got := runOne(t, PaddingLayout, DefaultConfig(), fixture{path: "test/padgen", src: src})
+	checkDiags(t, got, []string{
+		"pair[[8]byte]: atomic field head (offset 0) shares a 64-byte cache line with tail (offset 16)",
+		"generic padded struct orphan has no instantiation",
+	})
+}

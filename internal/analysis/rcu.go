@@ -1,0 +1,594 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RCUDiscipline enforces the publish-then-freeze contract the fastpath
+// RCU (and everything the ROADMAP stacks on it — incremental COW
+// recompilation, the adaptive planner's strategy swaps) depends on: a
+// value published through an atomic.Pointer[T] is immutable. Readers
+// load the pointer and walk the structure with zero synchronization;
+// the only thing that makes that sound is that no writer ever touches a
+// published T again. The analyzer makes the convention mechanical:
+//
+//   - A type T is "published" when any struct field — in the package
+//     under analysis or in one of its module-local direct imports — has
+//     type atomic.Pointer[T]. fastpath.Snapshot is the live example;
+//     the rule travels with the type into every importing package.
+//   - Writes through a value of a published type are reported unless
+//     the value is provably fresh in the writing function: built there
+//     from a composite literal, new(T), or a value copy (ns := *s — the
+//     copy-on-write patch shape). A fresh value's direct fields may be
+//     written freely; writes deeper than one field (ns.f[i] = x) also
+//     require the field to have been replaced first (ns.f = make/append
+//     onto fresh backing), because a shallow struct copy still aliases
+//     every slice, map and pointer of the published original.
+//   - Pointer-receiver methods of a published type that write their
+//     receiver are "mutators"; calling one on anything but a fresh
+//     value is reported too. Mutating helpers that run only during
+//     construction opt out with //cluevet:ctor, same as the panic rule.
+//   - Snapshot pointers must not outlive the load that produced them:
+//     a struct field or package variable of type *T is reported — hold
+//     the snapshot in a local, reload per packet or per batch, and let
+//     the GC retire old snapshots (the grace period).
+//
+// Functions recognized as construction (constructor names or
+// //cluevet:ctor) are exempt from the write checks: a snapshot being
+// compiled has not been published yet.
+var RCUDiscipline = &Analyzer{
+	Name: "rcu-discipline",
+	Doc:  "values published via atomic.Pointer are immutable: writes only to fresh COW copies, no cached snapshot pointers",
+}
+
+func init() { RCUDiscipline.Run = runRCUDiscipline }
+
+func runRCUDiscipline(p *Pass) {
+	published := publishedTypes(p)
+	if len(published) == 0 {
+		return
+	}
+	rc := &rcuChecker{p: p, published: published}
+	rc.checkCachedPointers()
+	rc.collectMutators()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || p.IsConstruction(fn) {
+				continue
+			}
+			rc.checkFunc(fn)
+		}
+	}
+}
+
+// publishedTypes collects every named type T that some struct field in
+// the package under analysis — or in one of its module-local direct
+// imports — holds as atomic.Pointer[T]. Publication is a property of
+// the type, not of the publishing package: an importer holding a
+// *fastpath.Snapshot is bound by fastpath's contract. Imports outside
+// the module are not scanned: a dependency's internal atomic.Pointer
+// global (math/rand publishes its shared *Rand that way) says nothing
+// about values of that type our code holds.
+func publishedTypes(p *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	scan := func(pkg *types.Package) {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			switch o := obj.(type) {
+			case *types.TypeName:
+				st, ok := o.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					if elem := atomicPointerElem(st.Field(i).Type()); elem != nil && elem.Obj() != nil {
+						out[elem.Obj()] = true
+					}
+				}
+			case *types.Var:
+				if elem := atomicPointerElem(o.Type()); elem != nil && elem.Obj() != nil {
+					out[elem.Obj()] = true
+				}
+			}
+		}
+	}
+	if p.Pkg == nil {
+		return out
+	}
+	scan(p.Pkg)
+	for _, imp := range p.Pkg.Imports() {
+		if imp.Path() == "sync/atomic" || !samePathRoot(imp.Path(), p.Pkg.Path()) {
+			continue
+		}
+		scan(imp)
+	}
+	return out
+}
+
+// samePathRoot reports whether two import paths share their first
+// segment — the cheap module-locality test (repro/... vs math/rand).
+func samePathRoot(a, b string) bool {
+	first := func(s string) string {
+		if i := strings.IndexByte(s, '/'); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	return first(a) == first(b)
+}
+
+type rcuChecker struct {
+	p         *Pass
+	published map[*types.TypeName]bool
+	mutators  map[*types.Func]bool
+}
+
+// isPublished reports whether t (T, *T, or a pointer chain to T) is a
+// published type.
+func (rc *rcuChecker) isPublished(t types.Type) bool {
+	n := namedFrom(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	return rc.published[n.Obj()]
+}
+
+// checkCachedPointers reports struct fields and package-level variables
+// whose type is a pointer to a published type: a cached snapshot
+// pointer silently pins one table version forever.
+func (rc *rcuChecker) checkCachedPointers() {
+	for _, f := range rc.p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := s.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						t := rc.p.typeOf(field.Type)
+						if _, isPtr := t.(*types.Pointer); isPtr && rc.isPublished(t) {
+							rc.report(field.Pos(),
+								"struct field caches a *%s published through atomic.Pointer; load the snapshot into a local per packet or batch instead",
+								namedFrom(t).Obj().Name())
+						}
+					}
+				case *ast.ValueSpec:
+					if gd.Tok != token.VAR {
+						continue
+					}
+					for _, name := range s.Names {
+						obj := rc.p.Info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						if _, isPtr := obj.Type().(*types.Pointer); isPtr && rc.isPublished(obj.Type()) {
+							rc.report(name.Pos(),
+								"package variable caches a *%s published through atomic.Pointer; load the snapshot into a local instead",
+								namedFrom(obj.Type()).Obj().Name())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectMutators marks pointer-receiver methods of published types that
+// write their receiver's fields. Calling one on a published value is a
+// mutation at a distance; only fresh values may receive them.
+func (rc *rcuChecker) collectMutators() {
+	rc.mutators = make(map[*types.Func]bool)
+	for _, f := range rc.p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recvType := rc.p.typeOf(fn.Recv.List[0].Type)
+			if _, isPtr := recvType.(*types.Pointer); !isPtr || !rc.isPublished(recvType) {
+				continue
+			}
+			var recvObj types.Object
+			if names := fn.Recv.List[0].Names; len(names) > 0 {
+				recvObj = rc.p.Info.Defs[names[0]]
+			}
+			if recvObj == nil {
+				continue
+			}
+			writes := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if rootObj(rc.p, lhs) == recvObj {
+							writes = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if rootObj(rc.p, n.X) == recvObj {
+						writes = true
+					}
+				}
+				return !writes
+			})
+			if writes {
+				if obj, ok := rc.p.Info.Defs[fn.Name].(*types.Func); ok {
+					rc.mutators[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// freshInfo is what the checker knows about one local of a published
+// type: whether every value it ever held was built in this function,
+// and which of its reference-carrying fields were replaced with fresh
+// backing (making deeper writes safe).
+type freshInfo struct {
+	fresh    bool
+	poisoned bool // some assignment was not fresh: never fresh again
+	replaced map[string]bool
+}
+
+// checkFunc verifies one function body: no write may reach memory of a
+// published value unless the value — and for deep writes, the written
+// field's backing — is fresh.
+func (rc *rcuChecker) checkFunc(fn *ast.FuncDecl) {
+	locals := rc.collectFresh(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				rc.checkWrite(lhs, locals)
+			}
+		case *ast.IncDecStmt:
+			rc.checkWrite(n.X, locals)
+		case *ast.CallExpr:
+			rc.checkMutatorCall(n, locals)
+		}
+		return true
+	})
+}
+
+// collectFresh scans every assignment in fn and decides, per local of a
+// published type, whether it is provably fresh. A local is fresh when
+// all of its assignments produce new memory: a composite literal,
+// new(T), a value copy of the struct (ns := *s), or the address of
+// another fresh local. Iterated to a fixpoint so &ns chains resolve
+// regardless of order.
+func (rc *rcuChecker) collectFresh(fn *ast.FuncDecl) map[types.Object]*freshInfo {
+	locals := make(map[types.Object]*freshInfo)
+	type pending struct {
+		obj types.Object
+		rhs ast.Expr
+	}
+	var assigns []pending
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := rc.p.Info.Defs[id]
+			if obj == nil {
+				obj = rc.p.Info.Uses[id]
+			}
+			if obj == nil || !rc.isPublished(obj.Type()) {
+				continue
+			}
+			fi := locals[obj]
+			if fi == nil {
+				fi = &freshInfo{replaced: make(map[string]bool)}
+				locals[obj] = fi
+			}
+			if i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) {
+				assigns = append(assigns, pending{obj, as.Rhs[i]})
+			} else {
+				fi.poisoned = true // multi-value or unmatched assignment: opaque
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, a := range assigns {
+			fi := locals[a.obj]
+			if fi.poisoned || fi.fresh {
+				continue
+			}
+			switch rc.freshExpr(a.rhs, locals) {
+			case +1:
+				fi.fresh = true
+				changed = true
+			case -1:
+				fi.poisoned = true
+				fi.fresh = false
+			}
+		}
+	}
+	for _, fi := range locals {
+		if fi.poisoned {
+			fi.fresh = false
+		}
+	}
+	// Second sweep: record replaced fields of fresh locals (ns.f =
+	// make/append-onto-fresh/composite/new).
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			sel, ok := unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := unparen(sel.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := rc.p.Info.Uses[id]
+			if obj == nil {
+				obj = rc.p.Info.Defs[id]
+			}
+			fi := locals[obj]
+			if fi == nil || !fi.fresh {
+				continue
+			}
+			if rc.replacingExpr(as.Rhs[i]) {
+				fi.replaced[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// freshExpr classifies an assignment RHS: +1 produces fresh memory, -1
+// definitely does not, 0 cannot tell yet (an &ident whose ident is not
+// yet known fresh — resolved by the fixpoint loop).
+func (rc *rcuChecker) freshExpr(e ast.Expr, locals map[types.Object]*freshInfo) int {
+	switch e := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return +1
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return -1
+		}
+		switch x := unparen(e.X).(type) {
+		case *ast.CompositeLit:
+			return +1
+		case *ast.Ident:
+			obj := rc.p.Info.Uses[x]
+			if fi := locals[obj]; fi != nil {
+				if fi.fresh {
+					return +1
+				}
+				if fi.poisoned {
+					return -1
+				}
+				return 0
+			}
+			return -1
+		}
+		return -1
+	case *ast.CallExpr:
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if obj := rc.p.Info.Uses[id]; obj != nil && obj.Parent() == types.Universe {
+				return +1
+			}
+		}
+		return -1
+	case *ast.StarExpr:
+		// ns := *s — a value copy of the published struct. The copy's own
+		// memory is fresh; its reference fields still alias s (handled by
+		// the replaced-field rule).
+		if t := rc.p.typeOf(e); t != nil {
+			if _, isPtr := t.(*types.Pointer); !isPtr && rc.isPublished(t) {
+				return +1
+			}
+		}
+		return -1
+	}
+	return -1
+}
+
+// replacingExpr reports whether an expression installs fresh backing
+// memory for a field: make, new, a composite literal, or append whose
+// destination is not rooted in anything published (append onto a nil
+// conversion copies; append onto s.f may write the shared array).
+func (rc *rcuChecker) replacingExpr(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := unparen(e.X).(*ast.CompositeLit)
+		return e.Op == token.AND && ok
+	case *ast.CallExpr:
+		id, ok := unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := rc.p.Info.Uses[id]
+		if obj == nil || obj.Parent() != types.Universe {
+			return false
+		}
+		switch id.Name {
+		case "make", "new":
+			return true
+		case "append":
+			if len(e.Args) == 0 {
+				return false
+			}
+			base, _ := rc.publishedBase(e.Args[0])
+			return base == nil
+		}
+	}
+	return false
+}
+
+// publishedBase finds the outermost subexpression of e whose type is a
+// published type (the snapshot a write would reach), and the relative
+// access path from it outward. It returns (nil, nil) when no published
+// value is involved.
+func (rc *rcuChecker) publishedBase(e ast.Expr) (ast.Expr, []ast.Expr) {
+	var chain []ast.Expr // outermost first
+	for cur := unparen(e); cur != nil; {
+		chain = append(chain, cur)
+		switch c := cur.(type) {
+		case *ast.SelectorExpr:
+			cur = unparen(c.X)
+		case *ast.IndexExpr:
+			cur = unparen(c.X)
+		case *ast.StarExpr:
+			cur = unparen(c.X)
+		default:
+			cur = nil
+		}
+	}
+	for i, sub := range chain { // outermost pub prefix = first hit scanning outside-in
+		if rc.isPublished(rc.p.typeOf(sub)) {
+			rel := make([]ast.Expr, i)
+			copy(rel, chain[:i])
+			// rel currently lists outermost→innermost; reverse to base→out.
+			for l, r := 0, len(rel)-1; l < r; l, r = l+1, r-1 {
+				rel[l], rel[r] = rel[r], rel[l]
+			}
+			return sub, rel
+		}
+	}
+	return nil, nil
+}
+
+// baseIdent resolves a published base expression to a local object when
+// possible, looking through a single * deref (writes through &ns behave
+// like writes to ns).
+func (rc *rcuChecker) baseIdent(base ast.Expr) types.Object {
+	if st, ok := unparen(base).(*ast.StarExpr); ok {
+		base = st.X
+	}
+	id, ok := unparen(base).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := rc.p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return rc.p.Info.Defs[id]
+}
+
+// checkWrite reports a write whose target is reachable from a published
+// value that is not provably fresh (or, for deep writes, whose field
+// backing was never replaced).
+func (rc *rcuChecker) checkWrite(lhs ast.Expr, locals map[types.Object]*freshInfo) {
+	base, rel := rc.publishedBase(lhs)
+	if base == nil {
+		return
+	}
+	if len(rel) == 0 {
+		// Overwriting the variable itself (ns = x, or *p = x): not a write
+		// into published memory unless through a non-local pointer deref.
+		if _, ok := unparen(base).(*ast.StarExpr); !ok {
+			return
+		}
+	}
+	name := "value"
+	if n := namedFrom(rc.p.typeOf(base)); n != nil && n.Obj() != nil {
+		name = n.Obj().Name()
+	}
+	obj := rc.baseIdent(base)
+	fi := locals[obj]
+	if obj == nil || fi == nil || !fi.fresh {
+		rc.report(lhs.Pos(),
+			"write through published %s: snapshots are immutable after the atomic.Pointer store — copy first (ns := *s) and write the copy", name)
+		return
+	}
+	if len(rel) <= 1 {
+		return // direct field of a fresh copy: fresh memory
+	}
+	// Deep write: ns.f[i]... — safe only if ns.f got fresh backing.
+	if sel, ok := rel[0].(*ast.SelectorExpr); ok {
+		if fi.replaced[sel.Sel.Name] {
+			return
+		}
+		rc.report(lhs.Pos(),
+			"deep write into %s.%s of a shallow snapshot copy: the backing memory still belongs to the published %s — replace the field (make/append onto nil) before writing through it",
+			obj.Name(), sel.Sel.Name, name)
+		return
+	}
+	rc.report(lhs.Pos(), "deep write into a shallow copy of published %s aliases the published backing memory", name)
+}
+
+// checkMutatorCall reports calls of receiver-writing methods on
+// published values that are not fresh.
+func (rc *rcuChecker) checkMutatorCall(call *ast.CallExpr, locals map[types.Object]*freshInfo) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fnObj, _ := rc.p.Info.Uses[sel.Sel].(*types.Func)
+	if fnObj == nil || !rc.mutators[fnObj] {
+		return
+	}
+	base, rel := rc.publishedBase(sel.X)
+	if base == nil {
+		return
+	}
+	obj := rc.baseIdent(base)
+	if fi := locals[obj]; obj != nil && fi != nil && fi.fresh && len(rel) == 0 {
+		return
+	}
+	rc.report(call.Pos(),
+		"call to %s mutates its receiver: published snapshots are immutable — call it on a fresh copy only", fnObj.Name())
+}
+
+// rootObj returns the object of the innermost identifier a write
+// expression is rooted at (s in s.f[i].g), or nil.
+func rootObj(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := p.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return p.Info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+func (rc *rcuChecker) report(pos token.Pos, format string, args ...interface{}) {
+	rc.p.Reportf(RCUDiscipline, pos, Error, format, args...)
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import "testing"
+
+// rcuSrc is a miniature of the fastpath RCU: a Snapshot published
+// through an atomic.Pointer, a correct COW patch, and every way of
+// getting it wrong.
+const rcuSrc = `package rcu
+
+import "sync/atomic"
+
+type Snapshot struct {
+	entries int
+	lens    []int
+}
+
+type table struct {
+	snap atomic.Pointer[Snapshot]
+}
+
+var global atomic.Pointer[Snapshot]
+
+type engine struct {
+	cur *Snapshot // cached snapshot pointer: reported
+}
+
+var hot *Snapshot // cached snapshot pointer: reported
+
+func bump(t *table) {
+	s := t.snap.Load()
+	s.entries++ // write through published value: reported
+}
+
+func deepAlias(t *table) *Snapshot {
+	s := t.snap.Load()
+	ns := *s
+	ns.lens[0] = 9 // shallow copy still aliases s.lens: reported
+	return &ns
+}
+
+func patch(t *table) *Snapshot {
+	s := t.snap.Load()
+	ns := *s
+	ns.lens = append([]int(nil), s.lens...)
+	ns.lens[0] = 9 // fresh backing: clean
+	ns.entries++   // direct field of a fresh copy: clean
+	return &ns
+}
+
+// grow writes its receiver; it may only run pre-publish.
+//
+//cluevet:ctor
+func (s *Snapshot) grow(v int) {
+	s.lens = append(s.lens, v)
+}
+
+func callMutator(t *table) {
+	s := t.snap.Load()
+	s.grow(1) // mutator on a published value: reported
+}
+
+func freshMutator() *Snapshot {
+	ns := &Snapshot{}
+	ns.grow(1) // mutator on a fresh value: clean
+	return ns
+}
+`
+
+func TestRCUDiscipline(t *testing.T) {
+	got := runOne(t, RCUDiscipline, DefaultConfig(), fixture{path: "test/rcu", src: rcuSrc})
+	checkDiags(t, got, []string{
+		"struct field caches a *Snapshot",
+		"package variable caches a *Snapshot",
+		"write through published Snapshot",
+		"deep write into ns.lens of a shallow snapshot copy",
+		"call to grow mutates its receiver",
+	})
+}
+
+// Publication travels with the type: a package importing the publisher
+// is bound by the same contract, with no atomic.Pointer of its own.
+func TestRCUDisciplineCrossPackage(t *testing.T) {
+	pub := `package rcupub
+
+import "sync/atomic"
+
+type Snapshot struct{ Entries int }
+
+type Table struct {
+	Snap atomic.Pointer[Snapshot]
+}
+`
+	consumer := `package consumer
+
+import "test/rcupub"
+
+func Mutate(t *rcupub.Table) {
+	s := t.Snap.Load()
+	s.Entries++
+}
+`
+	got := runOne(t, RCUDiscipline, DefaultConfig(),
+		fixture{path: "test/rcupub", src: pub},
+		fixture{path: "test/consumer", src: consumer})
+	checkDiags(t, got, []string{"write through published Snapshot"})
+}
+
+// Construction code is exempt: a snapshot being compiled is not
+// published yet.
+func TestRCUDisciplineConstructionExempt(t *testing.T) {
+	src := `package rcuctor
+
+import "sync/atomic"
+
+type Snapshot struct{ entries int }
+
+var cur atomic.Pointer[Snapshot]
+
+func NewSnapshot(n int) *Snapshot {
+	s := new(Snapshot)
+	s.entries = n // constructor: clean
+	return s
+}
+
+//cluevet:ctor
+func rebuild(s *Snapshot) {
+	s.entries = 0 // annotated construction: clean
+}
+`
+	got := runOne(t, RCUDiscipline, DefaultConfig(), fixture{path: "test/rcuctor", src: src})
+	checkDiags(t, got, nil)
+}
+
+// //cluevet:ignore suppresses an rcu finding like any other.
+func TestRCUDisciplineIgnore(t *testing.T) {
+	src := `package rcuign
+
+import "sync/atomic"
+
+type Snapshot struct{ entries int }
+
+var cur atomic.Pointer[Snapshot]
+
+func touch() {
+	s := cur.Load()
+	s.entries++ //cluevet:ignore - single-writer phase before readers start
+}
+`
+	got := runOne(t, RCUDiscipline, DefaultConfig(), fixture{path: "test/rcuign", src: src})
+	checkDiags(t, got, nil)
+}

@@ -1,0 +1,32 @@
+// Package atomicbad is a negative fixture for the atomic-mix analyzer:
+// cluevet must exit non-zero on it. It lives under testdata so the go
+// tool and the default ./... walk never pick it up; run it explicitly:
+//
+//	go run ./cmd/cluevet internal/analysis/testdata/src/atomicbad
+package atomicbad
+
+import "sync/atomic"
+
+type stats struct {
+	hits uint64
+}
+
+// Record promotes hits to atomic use.
+func Record(s *stats) {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// Hits reads the same field plainly — the mixed access the memory model
+// gives no guarantees for, and the race detector only catches under a
+// lucky interleaving.
+func Hits(s *stats) uint64 {
+	return s.hits
+}
+
+// NewStats shows the construction exemption: initialization before the
+// value escapes is the one safe plain access.
+func NewStats() *stats {
+	s := &stats{}
+	s.hits = 0
+	return s
+}

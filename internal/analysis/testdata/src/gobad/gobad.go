@@ -1,0 +1,33 @@
+// Package gobad is a negative fixture for the goroutine-shutdown
+// analyzer: cluevet must exit non-zero on it. It lives under testdata so
+// the go tool and the default ./... walk never pick it up; run it
+// explicitly:
+//
+//	go run ./cmd/cluevet internal/analysis/testdata/src/gobad
+package gobad
+
+//cluevet:goroutines
+
+import "sync"
+
+type engine struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// Start leaks a worker: nothing lets it observe shutdown, so it spins
+// through Drain and test teardown alike.
+func (e *engine) Start() {
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+
+	// The joined worker is fine and contributes no diagnostic.
+	go func() {
+		defer e.wg.Done()
+		for range e.ch {
+		}
+	}()
+}

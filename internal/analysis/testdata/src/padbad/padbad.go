@@ -1,0 +1,31 @@
+// Package padbad is a negative fixture for the padding-layout analyzer:
+// cluevet must exit non-zero on it. It lives under testdata so the go
+// tool and the default ./... walk never pick it up; run it explicitly:
+//
+//	go run ./cmd/cluevet internal/analysis/testdata/src/padbad
+package padbad
+
+import "sync/atomic"
+
+// cursors claims a false-sharing-free layout but puts both cursors on
+// one 64-byte line.
+//
+//cluevet:padded
+type cursors struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// worker pads its interior correctly but sizes to 72 bytes, so adjacent
+// slice elements share a line.
+//
+//cluevet:padded
+type worker struct {
+	n atomic.Uint64
+	_ [56]byte
+	x uint64
+}
+
+var pool []worker
+
+var _ = cursors{}

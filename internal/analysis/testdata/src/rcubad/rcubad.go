@@ -1,0 +1,54 @@
+// Package rcubad is a negative fixture for the rcu-discipline analyzer:
+// cluevet must exit non-zero on it. It lives under testdata so the go
+// tool and the default ./... walk never pick it up; run it explicitly:
+//
+//	go run ./cmd/cluevet internal/analysis/testdata/src/rcubad
+package rcubad
+
+import "sync/atomic"
+
+// Snapshot is published through the atomic.Pointer below, so it is
+// immutable after the store.
+type Snapshot struct {
+	entries int
+	lens    []int
+}
+
+type table struct {
+	snap atomic.Pointer[Snapshot]
+}
+
+// engine caches a snapshot pointer across loads — it silently pins one
+// table version forever.
+type engine struct {
+	cur *Snapshot
+}
+
+// Mutate writes straight through a loaded snapshot while readers may be
+// walking it.
+func Mutate(t *table) {
+	s := t.snap.Load()
+	s.entries++
+}
+
+// ShallowPatch copies the struct but not the slice backing: the write
+// lands in memory the published snapshot still owns.
+func ShallowPatch(t *table) *Snapshot {
+	s := t.snap.Load()
+	ns := *s
+	ns.lens[0] = 9
+	return &ns
+}
+
+// GoodPatch is the correct copy-on-write shape and contributes no
+// diagnostic: fresh copy, fresh backing, then write.
+func GoodPatch(t *table) *Snapshot {
+	s := t.snap.Load()
+	ns := *s
+	ns.lens = append([]int(nil), s.lens...)
+	ns.lens[0] = 9
+	ns.entries++
+	return &ns
+}
+
+var _ = engine{}

@@ -173,7 +173,11 @@ func tableSize(n int) int {
 }
 
 // compileSlot flattens one exported entry, appending to s.resumes in
-// delegate mode.
+// delegate mode. It runs only on snapshots still under construction
+// (Compile builds them, patch calls it on the fresh copy after
+// replacing the resumes backing), never on a published one.
+//
+//cluevet:ctor
 func (s *Snapshot) compileSlot(e core.ExportedEntry) slot {
 	kh, kl := e.Clue.Addr().Halves()
 	sl := slot{keyHi: kh, keyLo: kl, resume: -1, sender: -1, fdLen: -1, flags: slotUsed}

@@ -14,6 +14,8 @@ import (
 // The counts array is exactly one cache line (core.NumOutcomes = 8
 // uint64 words) and each worker owns its own struct, so counting an
 // outcome is a plain increment with no sharing.
+//
+//cluevet:padded
 type rcuWorker struct {
 	dests     []ip.Addr
 	clues     []int
@@ -22,7 +24,7 @@ type rcuWorker struct {
 	counts    [core.NumOutcomes]uint64
 	processed uint64
 	busyNs    int64
-	_         [48]byte // keep neighboring workers off this line
+	_         [96]byte // rounds the struct to 256 bytes: whole cache lines, so slice neighbors never share one
 }
 
 // Stats is the merged accounting of a finished (or quiescent) RCUEngine

@@ -46,6 +46,8 @@ type pad [56]byte
 // Exactly one goroutine may push (the producer) and exactly one may pop
 // (the consumer); under that contract every operation is wait-free and
 // allocation-free. The zero value is not usable; call NewRing.
+//
+//cluevet:padded
 type Ring[T any] struct {
 	buf    []T
 	mask   uint64

@@ -67,6 +67,8 @@ var shardCount = func() uint32 {
 // counterShard is one padded cell: the counter word plus enough padding
 // to keep neighboring shards on distinct cache lines, so concurrent
 // recorders do not false-share.
+//
+//cluevet:padded
 type counterShard struct {
 	n atomic.Uint64
 	_ [56]byte
