@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/churn"
+)
+
+// churnRecord is one cell of the churn sweep: one burst shape at one
+// update rate, replayed through the incremental recompilation path while
+// the pipeline forwards. Latencies are microseconds; rates are busy-time
+// packets per second (see internal/churn).
+type churnRecord struct {
+	Shape           string  `json:"shape"`
+	MeanBurst       int     `json:"mean_burst"`
+	StormEvery      int     `json:"storm_every"`
+	PacketsPerBurst int     `json:"packets_per_burst"`
+	Bursts          int     `json:"bursts"`
+	Updates         int     `json:"updates"`
+	UpdatesPerSec   float64 `json:"updates_per_sec"`
+
+	Probes int     `json:"probes"`
+	P50Us  float64 `json:"p50_visibility_us"`
+	P99Us  float64 `json:"p99_visibility_us"`
+	MaxUs  float64 `json:"max_visibility_us"`
+	Stalls int     `json:"stalls"`
+
+	SweepPackets    int `json:"sweep_packets"`
+	SweepMismatches int `json:"sweep_mismatches"`
+
+	ChurnPPS        float64 `json:"churn_pps"`
+	BaselinePPS     float64 `json:"baseline_pps"`
+	ThroughputRatio float64 `json:"throughput_ratio"`
+
+	Applies     uint64 `json:"applies"`
+	AppliedOps  uint64 `json:"applied_ops"`
+	Coalesced   uint64 `json:"coalesced"`
+	Overflows   uint64 `json:"overflows"`
+	Fallbacks   uint64 `json:"fallbacks"`
+	Compactions uint64 `json:"compactions"`
+	Recompiles  uint64 `json:"recompiles"`
+	Patches     uint64 `json:"patches"`
+}
+
+// sanitize maps NaN/Inf to 0 so the report is always valid JSON.
+func (r churnRecord) sanitize() churnRecord {
+	r.UpdatesPerSec = finite(r.UpdatesPerSec)
+	r.P50Us = finite(r.P50Us)
+	r.P99Us = finite(r.P99Us)
+	r.MaxUs = finite(r.MaxUs)
+	r.ChurnPPS = finite(r.ChurnPPS)
+	r.BaselinePPS = finite(r.BaselinePPS)
+	r.ThroughputRatio = finite(r.ThroughputRatio)
+	return r
+}
+
+type churnReport struct {
+	HostCPUs   int           `json:"host_cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	TableSize  int           `json:"table_size"`
+	Note       string        `json:"note"`
+	Records    []churnRecord `json:"records"`
+}
+
+// churnShapes are the burst shapes the sweep crosses with the update
+// rate: a steady trickle, the default bursty stream, and a storm-heavy
+// stream (every 4th burst ~8× inflated). StormEvery < 0 disables storms.
+var churnShapes = []struct {
+	name   string
+	stream churn.StreamConfig
+}{
+	{"steady", churn.StreamConfig{MeanBurst: 4, StormEvery: -1}},
+	{"bursty", churn.StreamConfig{MeanBurst: 8, StormEvery: 16}},
+	{"storm", churn.StreamConfig{MeanBurst: 16, StormEvery: 4}},
+}
+
+// churnRates vary the update rate relative to traffic: fewer packets per
+// burst means the stream mutates the table more often per forwarded
+// packet (a higher updates/sec at a given forwarding rate).
+var churnRates = []int{64, 256, 1024}
+
+// runChurnBench replays the BGP-shaped stream through fastpath.RCU at
+// each shape × rate cell and writes the sweep to path (BENCH_churn.json).
+func runChurnBench(path string, seed int64) error {
+	const tableSize = 2000
+	rep := churnReport{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		TableSize:  tableSize,
+		Note: "updates/sec × burst shape sweep over internal/churn: bursty BGP-shaped " +
+			"streams replayed into a live fastpath.RCU while internal/pipeline forwards; " +
+			"latencies are update-visibility (issue → first packet observing the route), " +
+			"rates are busy-time PPS, sweep_mismatches compares the incrementally patched " +
+			"snapshot against a full recompile after quiesce.",
+	}
+
+	fmt.Printf("churn sweep: %d shapes × %d rates, %d-entry tables\n",
+		len(churnShapes), len(churnRates), tableSize)
+	for _, shape := range churnShapes {
+		for _, ppb := range churnRates {
+			res, err := churn.Run(churn.Config{
+				Seed:            seed,
+				TableSize:       tableSize,
+				Bursts:          200,
+				Stream:          shape.stream,
+				PacketsPerBurst: ppb,
+			})
+			if err != nil {
+				return err
+			}
+			upsPerSec := 0.0
+			if s := res.Elapsed.Seconds(); s > 0 {
+				upsPerSec = float64(res.Updates) / s
+			}
+			ratio := 0.0
+			if res.BaselinePPS > 0 {
+				ratio = res.ChurnPPS / res.BaselinePPS
+			}
+			w := res.Writer
+			rec := churnRecord{
+				Shape:           shape.name,
+				MeanBurst:       shape.stream.MeanBurst,
+				StormEvery:      shape.stream.StormEvery,
+				PacketsPerBurst: ppb,
+				Bursts:          res.Bursts,
+				Updates:         res.Updates,
+				UpdatesPerSec:   upsPerSec,
+				Probes:          res.Probes,
+				P50Us:           res.P50,
+				P99Us:           res.P99,
+				MaxUs:           res.MaxVis,
+				Stalls:          res.Stalls,
+				SweepPackets:    res.SweepPackets,
+				SweepMismatches: res.SweepMismatches,
+				ChurnPPS:        res.ChurnPPS,
+				BaselinePPS:     res.BaselinePPS,
+				ThroughputRatio: ratio,
+				Applies:         w.Applies,
+				AppliedOps:      w.AppliedOps,
+				Coalesced:       w.Coalesced,
+				Overflows:       w.Overflows,
+				Fallbacks:       w.Fallbacks,
+				Compactions:     w.Compactions,
+				Recompiles:      w.Recompiles,
+				Patches:         w.Patches,
+			}.sanitize()
+			rep.Records = append(rep.Records, rec)
+			fmt.Printf("  %-6s ppb=%-4d  %5d updates (%.0f/s)  p50 %.1fµs  p99 %.1fµs  stalls %d  mismatches %d  %.0f%% of baseline\n",
+				shape.name, ppb, rec.Updates, rec.UpdatesPerSec,
+				rec.P50Us, rec.P99Us, rec.Stalls, rec.SweepMismatches, 100*ratio)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
+	return nil
+}

@@ -15,11 +15,13 @@
 //
 //	cluebench [-table all|1|2|3|4|5|6|7|8|9] [-packets 10000]
 //	          [-scale 1.0] [-seed 1999] [-snapshots dir]
-//	          [-json] [-cpus 1,2,4,8]
+//	          [-json] [-cpus 1,2,4,8] [-churn]
 //
 // -cpus runs the sharded multi-worker pipeline (internal/pipeline) over a
 // warmed fastpath table at each worker count and writes the scaling sweep
-// to BENCH_pipeline.json.
+// to BENCH_pipeline.json. -churn replays bursty BGP-shaped update streams
+// into a live fastpath.RCU while the pipeline forwards (internal/churn)
+// and writes the updates/sec × burst-shape sweep to BENCH_churn.json.
 package main
 
 import (
@@ -52,8 +54,16 @@ func main() {
 		hardware  = flag.Bool("hardware", false, "translate each pair's results to 1999 hardware terms (Mlookups/s, Gbit/s)")
 		jsonBench = flag.Bool("json", false, "run the wall-clock fastpath benchmarks and write BENCH_fastpath.json instead of the paper tables")
 		cpus      = flag.String("cpus", "", "comma-separated worker counts (e.g. 1,2,4,8): run the sharded-pipeline scaling sweep and write BENCH_pipeline.json instead of the paper tables")
+		churnSwp  = flag.Bool("churn", false, "run the BGP churn replay sweep (updates/sec × burst shape) and write BENCH_churn.json instead of the paper tables")
 	)
 	flag.Parse()
+
+	if *churnSwp {
+		if err := runChurnBench("BENCH_churn.json", *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	routers, err := loadRouters(*snapshots, *seed, *scale)
 	if err != nil {

@@ -609,6 +609,20 @@ func run(ctx context.Context, cfg config) (*result, error) {
 					"RCU full snapshot recompiles", lbl),
 				Learns: reg.NewCounter("clued_rcu_learns_total",
 					"clues learned through the RCU writer", lbl),
+				Applies: reg.NewCounter("clued_rcu_applies_total",
+					"incremental Apply batches published", lbl),
+				AppliedOps: reg.NewCounter("clued_rcu_applied_ops_total",
+					"route ops folded into published Apply batches", lbl),
+				Coalesced: reg.NewCounter("clued_rcu_coalesced_total",
+					"route ops merged away by batching", lbl),
+				Overflows: reg.NewCounter("clued_rcu_overflows_total",
+					"writer-queue overflows degraded to a recompile", lbl),
+				Fallbacks: reg.NewCounter("clued_rcu_fallbacks_total",
+					"Apply batches too broad for patching", lbl),
+				Compactions: reg.NewCounter("clued_rcu_compactions_total",
+					"snapshot compactions reclaiming dead slots", lbl),
+				Defensive: reg.NewCounter("clued_rcu_defensive_total",
+					"defensive rebuilds: entry vanished under a patch", lbl),
 			})
 			r.clues = r.fast
 		} else {

@@ -5,10 +5,16 @@
 // on ConcurrentTable. It prints the measured degradation cost — extra
 // memory references per fault class — the table EXPERIMENTS.md records.
 //
+// With -churn it instead replays a bursty BGP-shaped update stream into
+// a live fastpath.RCU (internal/churn) and races the RCU writer grades
+// against wait-free readers (fault.RCUChurnSoak), printing the
+// update-visibility latency table and the writer-side counters.
+//
 // Usage:
 //
 //	cluefault [-packets 4000] [-size 4000] [-rate 0.3] [-seed 1999]
 //	          [-workers 4] [-flips 200] [-full]
+//	cluefault -churn [-bursts 400] [-size 4000] [-seed 1999] [-workers 4]
 //
 // Exit status is nonzero if any cell violates the invariant.
 package main
@@ -19,7 +25,9 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/churn"
 	"repro/internal/fault"
+	"repro/internal/mem"
 )
 
 func main() {
@@ -33,8 +41,16 @@ func main() {
 		workers = flag.Int("workers", 4, "forwarding goroutines in the churn soak")
 		flips   = flag.Int("flips", 200, "route flips in the churn soak")
 		full    = flag.Bool("full", false, "print the per-engine cell table too")
+
+		churnMode = flag.Bool("churn", false, "run the BGP churn replay + RCU soak instead of the fault soak")
+		bursts    = flag.Int("bursts", 400, "update bursts to replay (with -churn)")
 	)
 	flag.Parse()
+
+	if *churnMode {
+		runChurn(*seed, *size, *bursts, *workers, *flips, *packets)
+		return
+	}
 
 	cells, err := fault.Soak(fault.SoakConfig{
 		Seed: *seed, Packets: *packets, TableSize: *size, Rate: *rate,
@@ -71,4 +87,55 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("invariant held on every packet: faults cost references, never a next hop.")
+}
+
+// runChurn replays the BGP-shaped update stream through the incremental
+// recompilation path and races the RCU writer grades under load,
+// printing the update-visibility latency table EXPERIMENTS.md records.
+func runChurn(seed int64, size, bursts, workers, flips, packets int) {
+	res, err := churn.Run(churn.Config{
+		Seed: seed, TableSize: size, Bursts: bursts, Workers: workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	soak, err := fault.RCUChurnSoak(fault.ChurnConfig{
+		Seed: seed, Workers: workers, Packets: packets / 2,
+		Flips: flips, TableSize: size,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("update visibility under churn (update issued → first packet observing it):")
+	lat := mem.NewTable("bursts", "updates", "probes", "p50 µs", "p99 µs", "max µs", "stalls", "sweep mismatches")
+	lat.AddRow(fmt.Sprint(res.Bursts), fmt.Sprint(res.Updates), fmt.Sprint(res.Probes),
+		fmt.Sprintf("%.1f", res.P50), fmt.Sprintf("%.1f", res.P99),
+		fmt.Sprintf("%.1f", res.MaxVis), fmt.Sprint(res.Stalls), fmt.Sprint(res.SweepMismatches))
+	fmt.Println(lat)
+
+	fmt.Println("writer-side behavior (batches, degradations, publications):")
+	wr := mem.NewTable("applies", "applied ops", "coalesced", "overflows",
+		"fallbacks", "compactions", "recompiles", "patches", "defensive")
+	w := res.Writer
+	wr.AddRow(fmt.Sprint(w.Applies), fmt.Sprint(w.AppliedOps), fmt.Sprint(w.Coalesced),
+		fmt.Sprint(w.Overflows), fmt.Sprint(w.Fallbacks), fmt.Sprint(w.Compactions),
+		fmt.Sprint(w.Recompiles), fmt.Sprint(w.Patches), fmt.Sprint(w.Defensive))
+	fmt.Println(wr)
+
+	ratio := 0.0
+	if res.BaselinePPS > 0 {
+		ratio = res.ChurnPPS / res.BaselinePPS
+	}
+	fmt.Printf("forwarding under churn: %.2f Mpps vs %.2f Mpps static baseline (%.0f%%), %d packets\n",
+		res.ChurnPPS/1e6, res.BaselinePPS/1e6, 100*ratio, res.Forwarded)
+	fmt.Printf("RCU churn soak: %d checker lookups, %d flips (%d sender), %d invalidations, %d learned, %d violations\n",
+		soak.Packets, soak.Flips, soak.SenderFlips, soak.Invalidations, soak.Learned, soak.Violations)
+
+	if res.Stalls > 0 || res.SweepMismatches > 0 || soak.Violations > 0 {
+		log.Printf("CHURN INVARIANT VIOLATED: stalls=%d mismatches=%d violations=%d",
+			res.Stalls, res.SweepMismatches, soak.Violations)
+		os.Exit(1)
+	}
+	fmt.Println("churn invariant held: every update visible, incremental snapshot equals full recompile.")
 }

@@ -135,6 +135,10 @@ func DefaultConfig() Config {
 			"repro/internal/fastpath":  true,
 			"repro/internal/telemetry": true,
 			"repro/internal/pipeline":  true,
+			// The churn harness probes visibility on the forwarding hot
+			// path while the writer patches snapshots; its loops must
+			// face the same allocation gate.
+			"repro/internal/churn": true,
 			// The binaries run the same forwarding code under flags; a
 			// seed-named hot routine added there must face the same gate.
 			"repro/cmd/clued":     true,

@@ -1,0 +1,64 @@
+package bgp
+
+import (
+	"repro/internal/fastpath"
+	"repro/internal/ip"
+)
+
+// Update is one BGP UPDATE message after best-path selection: a set of
+// withdrawn prefixes and a set of announcements with their resolved
+// next-hop payloads. It is the wire shape the churn replay harness
+// (internal/churn) synthesizes and the adapter below turns into the
+// fastpath writer's RouteOps.
+//
+// Like real UPDATEs, a prefix may appear in both lists across a burst
+// (announce, withdraw, re-announce while a path hunts); RouteOps use
+// ensure semantics and the RCU writer coalesces last-wins per prefix, so
+// replay order within one Update follows BGP's rule: withdrawals first,
+// then announcements.
+type Update struct {
+	Withdrawn []ip.Prefix
+	Announced []Announcement
+}
+
+// Announcement is one reachable prefix with its next-hop payload (an
+// interned hop ID or port index — whatever int the forwarding table
+// stores per route).
+type Announcement struct {
+	Prefix  ip.Prefix
+	NextHop int
+}
+
+// Empty reports whether the update carries no routes.
+func (u Update) Empty() bool { return len(u.Withdrawn) == 0 && len(u.Announced) == 0 }
+
+// Ops converts the update into route operations against the RECEIVING
+// router's own table — the §3.1 maintenance direction ("placing the next
+// hop in the clues table requires updating the table upon changes in the
+// routes"). Withdrawals precede announcements, per RFC 4271's UPDATE
+// processing order.
+func (u Update) Ops() []fastpath.RouteOp {
+	ops := make([]fastpath.RouteOp, 0, len(u.Withdrawn)+len(u.Announced))
+	for _, p := range u.Withdrawn {
+		ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpWithdraw, Prefix: p})
+	}
+	for _, a := range u.Announced {
+		ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpAnnounce, Prefix: a.Prefix, Value: a.NextHop})
+	}
+	return ops
+}
+
+// SenderOps converts the update into route operations against the
+// SENDING neighbor's table mirror (core.Config.SenderTrie) — the update
+// stream a receiver replays when its upstream's table changes, which is
+// what moves Advance-method candidate sets (Claim 1).
+func (u Update) SenderOps() []fastpath.RouteOp {
+	ops := make([]fastpath.RouteOp, 0, len(u.Withdrawn)+len(u.Announced))
+	for _, p := range u.Withdrawn {
+		ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpSenderWithdraw, Prefix: p})
+	}
+	for _, a := range u.Announced {
+		ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpSenderAnnounce, Prefix: a.Prefix, Value: a.NextHop})
+	}
+	return ops
+}

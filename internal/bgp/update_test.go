@@ -1,0 +1,77 @@
+package bgp
+
+import (
+	"testing"
+
+	"repro/internal/fastpath"
+	"repro/internal/ip"
+)
+
+func TestUpdateOps(t *testing.T) {
+	p1 := ip.MustParsePrefix("10.0.0.0/8")
+	p2 := ip.MustParsePrefix("10.1.0.0/16")
+	p3 := ip.MustParsePrefix("192.168.0.0/16")
+	u := Update{
+		Withdrawn: []ip.Prefix{p1, p2},
+		Announced: []Announcement{{Prefix: p3, NextHop: 7}, {Prefix: p1, NextHop: 3}},
+	}
+	if u.Empty() {
+		t.Fatal("non-empty update reports Empty")
+	}
+	if (Update{}).Empty() != true {
+		t.Fatal("zero update is not Empty")
+	}
+
+	ops := u.Ops()
+	want := []fastpath.RouteOp{
+		{Kind: fastpath.OpWithdraw, Prefix: p1},
+		{Kind: fastpath.OpWithdraw, Prefix: p2},
+		{Kind: fastpath.OpAnnounce, Prefix: p3, Value: 7},
+		{Kind: fastpath.OpAnnounce, Prefix: p1, Value: 3},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("Ops returned %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+
+	// Withdrawals must precede announcements (RFC 4271 processing order):
+	// with ensure semantics, a withdraw+re-announce of the same prefix in
+	// one UPDATE must leave the prefix present.
+	seenAnnounce := false
+	for _, op := range ops {
+		switch op.Kind {
+		case fastpath.OpAnnounce:
+			seenAnnounce = true
+		case fastpath.OpWithdraw:
+			if seenAnnounce {
+				t.Fatal("withdraw emitted after an announce")
+			}
+		}
+	}
+}
+
+func TestUpdateSenderOps(t *testing.T) {
+	p1 := ip.MustParsePrefix("10.0.0.0/8")
+	p2 := ip.MustParsePrefix("10.2.0.0/15")
+	u := Update{
+		Withdrawn: []ip.Prefix{p1},
+		Announced: []Announcement{{Prefix: p2, NextHop: 9}},
+	}
+	ops := u.SenderOps()
+	want := []fastpath.RouteOp{
+		{Kind: fastpath.OpSenderWithdraw, Prefix: p1},
+		{Kind: fastpath.OpSenderAnnounce, Prefix: p2, Value: 9},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("SenderOps returned %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package churn
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestStreamDeterminism pins that two streams with the same config and
+// sender table emit the same event sequence — the property that makes a
+// replay a replay.
+func TestStreamDeterminism(t *testing.T) {
+	u := synth.NewUniverse(11, 800)
+	s := u.Router(synth.RouterSpec{Name: "det", Size: 500, Divergence: 0.05})
+	a := NewStream(StreamConfig{Seed: 42}, s)
+	b := NewStream(StreamConfig{Seed: 42}, s)
+	for i := 0; i < 80; i++ {
+		ea, eb := a.Next(), b.Next()
+		if !reflect.DeepEqual(ea, eb) {
+			t.Fatalf("burst %d diverged:\n%+v\n%+v", i, ea, eb)
+		}
+	}
+}
+
+// TestStreamShape checks the generator produces the mixture the harness
+// depends on: announcements, withdrawals, sender-side updates, and the
+// occasional storm burst, all within the configured prefix lengths.
+func TestStreamShape(t *testing.T) {
+	u := synth.NewUniverse(12, 800)
+	sfib := u.Router(synth.RouterSpec{Name: "shape", Size: 500, Divergence: 0.05})
+	s := NewStream(StreamConfig{Seed: 7}, sfib)
+	var ann, wd, sender, maxBurst int
+	for i := 0; i < 200; i++ {
+		ev := s.Next()
+		ann += len(ev.Local.Announced)
+		wd += len(ev.Local.Withdrawn)
+		sender += len(ev.Sender.Announced) + len(ev.Sender.Withdrawn)
+		if n := ev.Updates(); n > maxBurst {
+			maxBurst = n
+		}
+		for _, a := range ev.Local.Announced {
+			if l := a.Prefix.Len(); l < s.cfg.MinLen || l > s.cfg.MaxLen {
+				t.Fatalf("announced /%d outside [%d,%d]", l, s.cfg.MinLen, s.cfg.MaxLen)
+			}
+			if a.NextHop <= 0 {
+				t.Fatalf("announcement with non-positive hop %d", a.NextHop)
+			}
+		}
+	}
+	if ann == 0 || wd == 0 || sender == 0 {
+		t.Fatalf("degenerate stream: ann=%d wd=%d sender=%d", ann, wd, sender)
+	}
+	if maxBurst < 3*s.cfg.MeanBurst {
+		t.Fatalf("no storm burst in 200 events (max %d, mean %d)", maxBurst, s.cfg.MeanBurst)
+	}
+}
+
+// TestReplayShort is the CI smoke replay: a short deterministic stream
+// through the bounded writer queue with live forwarding. The run must
+// see every probe become visible (zero reader stalls) and the
+// incrementally patched snapshot must sweep clean against the full
+// recompile of the reference.
+func TestReplayShort(t *testing.T) {
+	cfg := Config{
+		Seed: 21, TableSize: 600, Bursts: 60,
+		Workers: 2, PacketsPerBurst: 64, ProbeEvery: 3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SweepMismatches != 0 {
+		t.Fatalf("%d/%d sweep packets disagree with the full recompile", res.SweepMismatches, res.SweepPackets)
+	}
+	if res.Stalls != 0 {
+		t.Fatalf("%d probes never became visible", res.Stalls)
+	}
+	if want := 20; res.Probes != want {
+		t.Fatalf("probes = %d, want %d", res.Probes, want)
+	}
+	if res.Writer.Applies == 0 {
+		t.Fatal("no incremental Apply batches published — the stream bypassed the fast path")
+	}
+	if res.Updates == 0 || res.Forwarded == 0 {
+		t.Fatalf("degenerate run: updates=%d forwarded=%d", res.Updates, res.Forwarded)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("broken latency quantiles: p50=%vµs p99=%vµs", res.P50, res.P99)
+	}
+	if res.BaselinePPS <= 0 || res.ChurnPPS <= 0 {
+		t.Fatalf("broken throughput: baseline=%v churn=%v", res.BaselinePPS, res.ChurnPPS)
+	}
+}
+
+// TestReplayShortV6 runs the smoke replay over IPv6 tables.
+func TestReplayShortV6(t *testing.T) {
+	res, err := Run(Config{
+		Seed: 22, V6: true, TableSize: 500, Bursts: 40,
+		Workers: 2, PacketsPerBurst: 48, ProbeEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SweepMismatches != 0 {
+		t.Fatalf("%d/%d sweep packets disagree with the full recompile", res.SweepMismatches, res.SweepPackets)
+	}
+	if res.Stalls != 0 {
+		t.Fatalf("%d probes never became visible", res.Stalls)
+	}
+	if res.Probes == 0 || res.Writer.Applies == 0 {
+		t.Fatalf("degenerate run: probes=%d applies=%d", res.Probes, res.Writer.Applies)
+	}
+}
+
+// TestReplayOverflowDegrades pins the overflow policy end to end: a tiny
+// writer queue under storm-heavy bursts must overflow, degrade to full
+// recompiles (counted, never silently stale), and STILL sweep clean
+// against the reference.
+func TestReplayOverflowDegrades(t *testing.T) {
+	res, err := Run(Config{
+		Seed: 23, TableSize: 500, Bursts: 30,
+		Workers: 2, PacketsPerBurst: 32, ProbeEvery: 5,
+		QueueCap: 16,
+		Stream:   StreamConfig{Seed: 5, MeanBurst: 48, StormEvery: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writer.Overflows == 0 {
+		t.Fatal("queue never overflowed under storm bursts with cap 16")
+	}
+	if res.Writer.Recompiles == 0 {
+		t.Fatal("overflow did not degrade to a recompile")
+	}
+	if res.SweepMismatches != 0 {
+		t.Fatalf("%d/%d sweep packets disagree after overflow degradation", res.SweepMismatches, res.SweepPackets)
+	}
+	if res.Stalls != 0 {
+		t.Fatalf("%d probes never became visible", res.Stalls)
+	}
+}
+
+// BenchmarkChurnReplay is the bench-smoke fixture: one small end-to-end
+// replay per iteration, reporting p99 update-visibility latency and the
+// churn/baseline throughput ratio. CI runs it with -benchtime=1x so the
+// harness cannot rot between full benchmark sweeps (BENCH_churn.json).
+func BenchmarkChurnReplay(b *testing.B) {
+	var res Result
+	for i := 0; i < b.N; i++ {
+		r, err := Run(Config{
+			Seed: 31, TableSize: 600, Bursts: 40,
+			Workers: 2, PacketsPerBurst: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Stalls != 0 || r.SweepMismatches != 0 {
+			b.Fatalf("stalls=%d mismatches=%d", r.Stalls, r.SweepMismatches)
+		}
+		res = r
+	}
+	b.ReportMetric(res.P99, "p99-µs")
+	if res.BaselinePPS > 0 {
+		b.ReportMetric(res.ChurnPPS/res.BaselinePPS, "vs-baseline")
+	}
+}

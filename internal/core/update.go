@@ -70,6 +70,13 @@ func (t *Table) affected(p ip.Prefix) []ip.Prefix {
 	return out
 }
 
+// Affected returns the clues comparable with p — exactly the set
+// UpdateLocal and UpdateSender recompute for a change of p. Incremental
+// snapshot compilers (fastpath.RCU.Apply) call it before the update so
+// they can re-export just the recomputed entries instead of the whole
+// table.
+func (t *Table) Affected(p ip.Prefix) []ip.Prefix { return t.affected(p) }
+
 // UpdateLocal recomputes the entries affected by a change (addition,
 // removal or next-hop change) of prefix p in the receiving router's own
 // table. Call it after applying the change to the Local trie and after

@@ -1,0 +1,293 @@
+// Apply differential suite: an incrementally patched snapshot
+// (RCU.Apply) must be indistinguishable — outcome for outcome, reference
+// for reference, telemetry record for telemetry record — from a full
+// recompile of a reference table that absorbed the same route changes
+// through core's own maintenance path, one op at a time. Runs the whole
+// engine × method × family matrix with Learn/Invalidate churn
+// interleaved between batches.
+package fastpath_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+	"repro/internal/trie"
+)
+
+// applyEngines pairs each of the paper's five engines with the maker an
+// RCU needs to rebuild it after a local route change (nil for Regular,
+// which shares the live trie).
+var applyEngines = []struct {
+	name string
+	mk   fastpath.EngineMaker
+}{
+	{"Regular", nil},
+	{"Patricia", func(t *trie.Trie) lookup.ClueEngine { return lookup.NewPatricia(t) }},
+	{"Binary", func(t *trie.Trie) lookup.ClueEngine { return lookup.NewBinary(t) }},
+	{"6-way", func(t *trie.Trie) lookup.ClueEngine { return lookup.NewBWay(t) }},
+	{"LogW", func(t *trie.Trie) lookup.ClueEngine { return lookup.NewLogW(t) }},
+}
+
+func applyPair(tb testing.TB, fam string) *pairFixture {
+	tb.Helper()
+	if fam == "IPv4" {
+		u := synth.NewUniverse(331, 700)
+		p := &pairFixture{
+			sender:   u.Router(synth.RouterSpec{Name: "ap-s", Size: 400, Divergence: 0.08}),
+			receiver: u.Router(synth.RouterSpec{Name: "ap-r", Size: 400, Divergence: 0.08}),
+		}
+		p.st, p.rt = p.sender.Trie(), p.receiver.Trie()
+		fillWorkload(p, 19, 400)
+		return p
+	}
+	u := synth.NewUniverseV6(332, 1400)
+	p := &pairFixture{
+		sender:   u.Router(synth.RouterSpec{Name: "ap6-s", Size: 450, Divergence: 0.05}),
+		receiver: u.Router(synth.RouterSpec{Name: "ap6-r", Size: 450, Divergence: 0.05}),
+	}
+	p.st, p.rt = p.sender.Trie(), p.receiver.Trie()
+	fillWorkload(p, 21, 300)
+	return p
+}
+
+// refApplyOp pushes one RouteOp through core's documented maintenance
+// sequence — trie edit, engine swap, Update* / validity flip — the path
+// the incremental Apply must be equivalent to.
+func refApplyOp(ref *core.Table, mk fastpath.EngineMaker, op fastpath.RouteOp) {
+	cfg := ref.Config()
+	switch op.Kind {
+	case fastpath.OpAnnounce:
+		cfg.Local.Insert(op.Prefix, op.Value)
+		if mk != nil {
+			ref.SetEngine(mk(cfg.Local))
+		}
+		ref.UpdateLocal(op.Prefix)
+	case fastpath.OpWithdraw:
+		cfg.Local.Delete(op.Prefix)
+		if mk != nil {
+			ref.SetEngine(mk(cfg.Local))
+		}
+		ref.UpdateLocal(op.Prefix)
+	case fastpath.OpSenderAnnounce:
+		if cfg.SenderTrie != nil {
+			cfg.SenderTrie.Insert(op.Prefix, op.Value)
+		}
+		ref.UpdateSender(op.Prefix)
+	case fastpath.OpSenderWithdraw:
+		if cfg.SenderTrie != nil {
+			cfg.SenderTrie.Delete(op.Prefix)
+		}
+		ref.UpdateSender(op.Prefix)
+	case fastpath.OpInvalidate:
+		ref.Invalidate(op.Prefix)
+	case fastpath.OpRevalidate:
+		ref.Revalidate(op.Prefix)
+	}
+}
+
+// TestApplyDifferential is the incremental-recompilation acceptance
+// gate: for every engine × method × family (verify on Advance), route
+// ops stream through RCU.Apply on one table and one-at-a-time through
+// core's maintenance path on an independent clone, with Learn and
+// Invalidate churn interleaved; after every batch the incrementally
+// patched snapshot must match a full recompile of the clone packet for
+// packet, reference charge for reference charge, and telemetry record
+// for telemetry record.
+func TestApplyDifferential(t *testing.T) {
+	for _, fam := range []string{"IPv4", "IPv6"} {
+		base := applyPair(t, fam)
+		for _, eng := range applyEngines {
+			for _, m := range []core.Method{core.Simple, core.Advance} {
+				for _, verify := range []bool{false, true} {
+					if verify && m != core.Advance {
+						continue
+					}
+					name := fmt.Sprintf("%s/%s/%s", fam, m, eng.name)
+					if verify {
+						name += "/verify"
+					}
+					t.Run(name, func(t *testing.T) {
+						runApplyDifferential(t, base, eng.mk, m, verify)
+					})
+				}
+			}
+		}
+	}
+}
+
+func runApplyDifferential(t *testing.T, base *pairFixture, mk fastpath.EngineMaker, m core.Method, verify bool) {
+	t.Helper()
+	width := base.sender.Family().Width()
+	// Two disjoint copies of the same routing state: the live side is
+	// driven through RCU.Apply, the reference through core maintenance.
+	liveRT, liveST := base.rt.Clone(), base.st.Clone()
+	refRT, refST := base.rt.Clone(), base.st.Clone()
+	mkTable := func(rt, st *trie.Trie, pm *telemetry.PacketMetrics) *core.Table {
+		eng := lookup.ClueEngine(lookup.NewRegular(rt))
+		if mk != nil {
+			eng = mk(rt)
+		}
+		cfg := core.Config{Method: m, Engine: eng, Local: rt, Sender: st.Contains, Learn: true}
+		if verify {
+			cfg.Verify = true
+			cfg.SenderTrie = st
+		}
+		tab := core.MustNewTable(cfg)
+		tab.SetTelemetry(pm)
+		tab.Preprocess(base.sender.Prefixes())
+		return tab
+	}
+	pmLive := telemetry.NewPacketMetrics(telemetry.NewRegistry(), "live", core.OutcomeLabels())
+	pmRef := telemetry.NewPacketMetrics(telemetry.NewRegistry(), "ref", core.OutcomeLabels())
+	live := mkTable(liveRT, liveST, pmLive)
+	ref := mkTable(refRT, refST, pmRef)
+	rcu := fastpath.NewRCU(live)
+	rcu.SetEngineMaker(mk)
+	reg := telemetry.NewRegistry()
+	applies := reg.NewCounter("applies", "")
+	rcu.SetMetrics(fastpath.Metrics{Applies: applies})
+
+	// Clue entries that exist in both tables, for validity churn.
+	var clues []ip.Prefix
+	for i := 0; i < len(base.dests) && len(clues) < 40; i += 5 {
+		if bmp, _, ok := base.st.Lookup(base.dests[i], nil); ok {
+			clues = append(clues, bmp)
+		}
+	}
+	rng := rand.New(rand.NewSource(77))
+	var announced []ip.Prefix
+	randPfx := func(minLen int) ip.Prefix {
+		d := base.dests[rng.Intn(len(base.dests))]
+		maxLen := 26
+		if width > 32 {
+			maxLen = 64
+		}
+		return ip.PrefixFrom(d, minLen+rng.Intn(maxLen-minLen+1))
+	}
+	sweep := func(stage string, snapIncr, snapFull *fastpath.Snapshot) {
+		t.Helper()
+		if snapIncr.Len() != snapFull.Len() {
+			t.Fatalf("%s: incremental snapshot has %d entries, full recompile %d",
+				stage, snapIncr.Len(), snapFull.Len())
+		}
+		for i := range base.dests {
+			checkPacket(t, stage, snapFull.Process, snapIncr.Process, base.dests[i], base.clues[i])
+		}
+		for _, p := range announced { // probe the churned prefixes directly
+			checkPacket(t, stage, snapFull.Process, snapIncr.Process, p.Addr(), p.Len())
+		}
+	}
+
+	for batch := 0; batch < 6; batch++ {
+		var ops []fastpath.RouteOp
+		for i := 0; i < 5; i++ {
+			p := randPfx(14)
+			ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpAnnounce, Prefix: p, Value: rng.Intn(1 << 16)})
+			announced = append(announced, p)
+		}
+		// A duplicate key, so every batch exercises coalescing.
+		ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpAnnounce, Prefix: ops[0].Prefix, Value: rng.Intn(1 << 16)})
+		for i := 0; i < 2 && len(announced) > 4; i++ {
+			j := rng.Intn(len(announced))
+			ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpWithdraw, Prefix: announced[j]})
+			announced = append(announced[:j], announced[j+1:]...)
+		}
+		if verify {
+			ops = append(ops,
+				fastpath.RouteOp{Kind: fastpath.OpSenderAnnounce, Prefix: randPfx(14), Value: rng.Intn(1 << 16)},
+				fastpath.RouteOp{Kind: fastpath.OpSenderWithdraw, Prefix: randPfx(14)})
+		}
+		if len(clues) > 0 {
+			c := clues[rng.Intn(len(clues))]
+			ops = append(ops,
+				fastpath.RouteOp{Kind: fastpath.OpInvalidate, Prefix: c},
+				fastpath.RouteOp{Kind: fastpath.OpRevalidate, Prefix: clues[rng.Intn(len(clues))]})
+		}
+
+		rcu.Apply(ops)
+		// The coalesced batch is what the live side absorbed; the
+		// reference replays the same surviving ops one at a time, so the
+		// comparison also pins batch-apply ≡ sequential-apply.
+		for _, op := range ops {
+			refApplyOp(ref, mk, op)
+		}
+
+		// Interleaved churn through the entry-grade write paths.
+		for try := 0; try < 30; try++ {
+			d := base.dests[rng.Intn(len(base.dests))]
+			l := 10 + rng.Intn(8)
+			clue := ip.DecodeClue(d, l)
+			if ref.Entry(clue) != nil {
+				continue
+			}
+			gl, gr := rcu.Learn(d, l), ref.Learn(clue)
+			if gl != gr {
+				t.Fatalf("batch %d: Learn(%v) disagreed: rcu %v ref %v", batch, clue, gl, gr)
+			}
+			break
+		}
+		if len(clues) > 0 {
+			c := clues[rng.Intn(len(clues))]
+			if rcu.Invalidate(c) != ref.Invalidate(c) {
+				t.Fatalf("batch %d: Invalidate(%v) disagreed", batch, c)
+			}
+		}
+
+		sweep(fmt.Sprintf("batch %d", batch), rcu.Snapshot(), fastpath.Compile(ref))
+	}
+	if applies.Value() == 0 {
+		t.Fatal("no batch took the incremental path; the differential never exercised Apply")
+	}
+	if pmLive.Packets() != pmRef.Packets() || pmLive.Refs() != pmRef.Refs() {
+		t.Fatalf("telemetry diverged: live %d pkts / %d refs, ref %d pkts / %d refs",
+			pmLive.Packets(), pmLive.Refs(), pmRef.Packets(), pmRef.Refs())
+	}
+}
+
+// TestApplyBatchEqualsSequential pins the batching soundness argument
+// directly: one RCU absorbs a mixed batch in a single Apply, another
+// absorbs the same ops one Apply each; the published snapshots must
+// agree packet for packet.
+func TestApplyBatchEqualsSequential(t *testing.T) {
+	base := applyPair(t, "IPv4")
+	mkRCU := func() *fastpath.RCU {
+		rt, st := base.rt.Clone(), base.st.Clone()
+		tab := core.MustNewTable(core.Config{
+			Method: core.Advance, Engine: lookup.NewRegular(rt),
+			Local: rt, Sender: st.Contains,
+		})
+		tab.Preprocess(base.sender.Prefixes())
+		return fastpath.NewRCU(tab)
+	}
+	batched, sequential := mkRCU(), mkRCU()
+	rng := rand.New(rand.NewSource(99))
+	var ops []fastpath.RouteOp
+	for i := 0; i < 12; i++ {
+		p := ip.PrefixFrom(base.dests[rng.Intn(len(base.dests))], 15+rng.Intn(11))
+		kind := fastpath.OpAnnounce
+		if i%3 == 2 {
+			kind = fastpath.OpWithdraw
+		}
+		ops = append(ops, fastpath.RouteOp{Kind: kind, Prefix: p, Value: 100 + i})
+	}
+	// Ops use ensure semantics, so one-at-a-time application of the raw
+	// stream converges to the same state the coalesced batch produces.
+	batched.Apply(ops)
+	for _, op := range ops {
+		sequential.Apply([]fastpath.RouteOp{op})
+	}
+	si, ss := batched.Snapshot(), sequential.Snapshot()
+	if si.Len() != ss.Len() {
+		t.Fatalf("batched %d entries, sequential %d", si.Len(), ss.Len())
+	}
+	for i := range base.dests {
+		checkPacket(t, "batch-vs-seq", ss.Process, si.Process, base.dests[i], base.clues[i])
+	}
+}

@@ -128,13 +128,23 @@ type Snapshot struct {
 // snapshot (flat mode copies the tries) but do require recompiling to be
 // visible.
 func Compile(t *core.Table) *Snapshot {
-	cfg := t.Config()
+	return compileExported(t.Config(), t.Export(), t.Telemetry())
+}
+
+// compileExported builds a snapshot from an already-exported entry set.
+// It is the body of Compile, split out so the RCU writer can capture
+// (cfg, entries, telemetry) under its patch lock and run the expensive
+// compile off-lock: the tries cfg references are only mutated by
+// rebuild-holding writers, so they are stable for the duration, while
+// the exported entries are value copies that no concurrent Learn can
+// touch.
+func compileExported(cfg core.Config, entries []core.ExportedEntry, tel *telemetry.PacketMetrics) *Snapshot {
 	s := &Snapshot{
 		width:  cfg.Local.Family().Width(),
 		fam:    cfg.Local.Family(),
 		verify: cfg.Verify,
 		engine: cfg.Engine,
-		tel:    t.Telemetry(),
+		tel:    tel,
 	}
 	if _, ok := cfg.Engine.(*lookup.RegularEngine); ok {
 		s.flat = true
@@ -145,7 +155,7 @@ func Compile(t *core.Table) *Snapshot {
 	}
 	s.lens = make([]lenTable, s.width+1)
 	perLen := make([][]core.ExportedEntry, s.width+1)
-	for _, e := range t.Export() {
+	for _, e := range entries {
 		perLen[e.Clue.Len()] = append(perLen[e.Clue.Len()], e)
 	}
 	for l, es := range perLen {
@@ -204,7 +214,7 @@ func (s *Snapshot) compileSlot(e core.ExportedEntry) slot {
 	}
 	if s.verify {
 		sl.sender = s.sender.find(e.Clue)
-		if sl.sender >= 0 && s.sender.nodes[sl.sender].meta&fMarked != 0 {
+		if sl.sender >= 0 && s.sender.node(uint32(sl.sender)).meta&fMarked != 0 {
 			sl.flags |= slotSenderMarked
 		}
 	}
@@ -406,26 +416,46 @@ func (s *Snapshot) fullLookup(dest ip.Addr, cnt *mem.Counter, o core.Outcome, be
 // patch returns a copy of s with entry e recompiled in place (or added),
 // sharing every length table except e's. It is the RCU writer's
 // incremental path for learned clues and validity flips; anything that
-// changes a trie needs a full Compile.
+// changes a trie goes through applyOps/Apply (incremental) or a full
+// Compile.
 func (s *Snapshot) patch(e core.ExportedEntry) *Snapshot {
 	ns := *s
 	ns.lens = append([]lenTable(nil), s.lens...)
 	ns.resumes = append([]lookup.Resume(nil), s.resumes...)
+	ns.reslot(e, make([]bool, len(ns.lens)))
+	return &ns
+}
+
+// probeSlot returns whether key (kh, kl) is present in slots.
+func probeSlot(slots []slot, kh, kl uint64) bool {
+	if len(slots) == 0 {
+		return false
+	}
+	mask := uint32(len(slots) - 1)
+	i := uint32(hashKey(kh, kl)) & mask
+	for slots[i].flags&slotUsed != 0 {
+		if slots[i].keyHi == kh && slots[i].keyLo == kl {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+	return false
+}
+
+// reslot recompiles entry e into ns, which must be a snapshot under
+// construction whose lens/resumes backing has already been replaced.
+// owned tracks which length tables already received a private slot
+// array during this patch session, so a batch clones each touched row
+// exactly once (plus rebuilds on growth). Rows never shrink: the hash
+// layout stays stable for every untouched entry, mirroring §3.4's
+// "never remove clues" guidance.
+//
+//cluevet:ctor - operates on the fresh copy before publication
+func (ns *Snapshot) reslot(e core.ExportedEntry, owned []bool) {
 	l := e.Clue.Len()
 	lt := ns.lens[l]
 	kh, kl := e.Clue.Addr().Halves()
-	replacing := false
-	if lt.slots != nil {
-		mask := uint32(len(lt.slots) - 1)
-		i := uint32(hashKey(kh, kl)) & mask
-		for lt.slots[i].flags&slotUsed != 0 {
-			if lt.slots[i].keyHi == kh && lt.slots[i].keyLo == kl {
-				replacing = true
-				break
-			}
-			i = (i + 1) & mask
-		}
-	}
+	replacing := probeSlot(lt.slots, kh, kl)
 	used := lt.used
 	if !replacing {
 		used++
@@ -434,16 +464,22 @@ func (s *Snapshot) patch(e core.ExportedEntry) *Snapshot {
 	if size < len(lt.slots) {
 		size = len(lt.slots) // never shrink: rehash only on growth
 	}
-	slots := make([]slot, size)
-	for _, old := range lt.slots {
-		if old.flags&slotUsed != 0 && !(old.keyHi == kh && old.keyLo == kl) {
-			insertSlot(slots, old)
+	if !owned[l] || size > len(lt.slots) {
+		slots := make([]slot, size)
+		for _, old := range lt.slots {
+			if old.flags&slotUsed != 0 && !(old.keyHi == kh && old.keyLo == kl) {
+				insertSlot(slots, old)
+			}
 		}
+		lt.slots = slots
+		owned[l] = true
+		insertSlot(lt.slots, ns.compileSlot(e))
+	} else {
+		insertSlot(lt.slots, ns.compileSlot(e))
 	}
-	insertSlot(slots, ns.compileSlot(e))
-	ns.lens[l] = lenTable{slots: slots, used: used}
+	lt.used = used
+	ns.lens[l] = lt
 	if !replacing {
 		ns.entries++
 	}
-	return &ns
 }

@@ -7,19 +7,28 @@ import (
 )
 
 // flatTrie is a popcount-bitmap compilation of a binary prefix trie
-// (trie.Trie): every vertex packed into 12 bytes in one contiguous slice,
-// the two children of a vertex stored adjacently, and the child index
-// computed from a 2-bit occupancy bitmap instead of chased through
-// pointers — the forwarding-table layout of the cache-aware FIB
-// literature (arXiv:1804.09254), scaled down to the binary stride the
-// paper's trie uses.
+// (trie.Trie): every vertex packed into 12 bytes, the two children of a
+// vertex stored adjacently, and the child index computed from a 2-bit
+// occupancy bitmap instead of chased through pointers — the forwarding-
+// table layout of the cache-aware FIB literature (arXiv:1804.09254),
+// scaled down to the binary stride the paper's trie uses.
 //
-// Vertices are laid out in BFS order, so the top of the trie — the part
-// every lookup touches — occupies one dense run of cache lines. A vertex
-// does not store its prefix: its depth is implicit in the walk, and since
-// the walk follows the destination's bits, the prefix of any visited
-// vertex is PrefixFrom(dest, depth) — reconstructed in registers, never
-// loaded.
+// Vertices live in fixed-size pages (6 KiB each) addressed by a small
+// page table, so the flat index is split shift/mask into (page, slot).
+// Pages are the copy-on-write unit: an incremental route change (see
+// flatEdit) clones only the pages it writes, leaving the rest shared
+// with the published snapshot — the "clone only the affected subtrees"
+// half of the RCU.Apply contract. A full compile lays vertices out in
+// BFS order, so the top of the trie — the part every lookup touches —
+// occupies one dense run of cache lines; incremental edits append new
+// vertices at the tail and leave small holes ("dead" slots) behind,
+// which the RCU writer compacts with a recompile once they outnumber
+// half the live vertices.
+//
+// A vertex does not store its prefix: its depth is implicit in the walk,
+// and since the walk follows the destination's bits, the prefix of any
+// visited vertex is PrefixFrom(dest, depth) — reconstructed in
+// registers, never loaded.
 //
 // The walk is reference-for-reference identical to trie.LookupFrom: one
 // mem.Counter charge per vertex visited, including the start vertex, and
@@ -27,9 +36,23 @@ import (
 // reproduce the paper's cost figures exactly while running an order of
 // magnitude faster in wall-clock terms.
 type flatTrie struct {
-	nodes []flatNode
+	pages []*flatPage
+	n     int // node slots allocated (append order; includes dead slots)
+	dead  int // abandoned slots: relocated siblings and pruned vertices
 	width int
 }
+
+// Page geometry: 512 nodes × 12 B = 6 KiB per page. The inner index is
+// masked against the array length, so the walk pays exactly one bounds
+// check per vertex (the page table), the same as the old flat slice.
+const (
+	pageShift = 9
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// flatPage is one copy-on-write unit of vertices.
+type flatPage [pageSize]flatNode
 
 // flatNode is one packed vertex. meta holds the child-occupancy bitmap
 // (bit 0: 0-child exists, bit 1: 1-child exists) and the marked flag.
@@ -49,32 +72,54 @@ const (
 	fMarked uint8 = 1 << 2
 )
 
+// node returns the vertex at flat index idx.
+//
+//cluevet:hotpath
+func (ft *flatTrie) node(idx uint32) *flatNode {
+	return &ft.pages[idx>>pageShift][idx&pageMask]
+}
+
+// grow appends k zeroed node slots (adding pages as needed) and returns
+// the index of the first. Slots at or past n are always zero: fresh
+// pages come from new(), and edits only ever write below n.
+func (ft *flatTrie) grow(k int) uint32 {
+	base := ft.n
+	ft.n += k
+	for ft.n > len(ft.pages)*pageSize {
+		ft.pages = append(ft.pages, new(flatPage))
+	}
+	return uint32(base)
+}
+
 // compileTrie flattens t. The BFS queue index of a vertex equals its flat
 // index: each dequeued vertex appends its children to both the queue and
-// the node slice in the same order, and the root seeds both at index 0.
+// the node pages in the same order, and the root seeds both at index 0.
 func compileTrie(t *trie.Trie) flatTrie {
 	ft := flatTrie{width: t.Family().Width()}
 	root := t.Root()
 	if root == nil {
 		return ft
 	}
-	queue := []*trie.Node{root}
-	ft.nodes = make([]flatNode, 1, t.NodeCount())
+	queue := make([]*trie.Node, 1, t.NodeCount())
+	queue[0] = root
+	ft.grow(1)
 	for qi := 0; qi < len(queue); qi++ {
 		n := queue[qi]
 		var meta uint8
 		if n.Marked() {
 			meta |= fMarked
 		}
-		childBase := uint32(len(ft.nodes))
+		childBase := uint32(ft.n)
+		kids := 0
 		for b := byte(0); b < 2; b++ {
 			if c := n.Child(b); c != nil {
 				meta |= 1 << b
 				queue = append(queue, c)
-				ft.nodes = append(ft.nodes, flatNode{})
+				kids++
 			}
 		}
-		ft.nodes[qi] = flatNode{childBase: childBase, value: int32(n.Value()), meta: meta}
+		ft.grow(kids)
+		*ft.node(uint32(qi)) = flatNode{childBase: childBase, value: int32(n.Value()), meta: meta}
 	}
 	return ft
 }
@@ -82,12 +127,12 @@ func compileTrie(t *trie.Trie) flatTrie {
 // find returns the flat index of the vertex for prefix p, or -1 when the
 // vertex does not exist. Compile-time only; not charged.
 func (ft *flatTrie) find(p ip.Prefix) int32 {
-	if len(ft.nodes) == 0 {
+	if ft.n == 0 {
 		return -1
 	}
 	idx := uint32(0)
 	for i := 0; i < p.Len(); i++ {
-		n := ft.nodes[idx]
+		n := ft.node(idx)
 		b := p.Bit(i)
 		if n.meta&(1<<b) == 0 {
 			return -1
@@ -109,15 +154,16 @@ func (ft *flatTrie) find(p ip.Prefix) int32 {
 //
 //cluevet:hotpath
 func (ft *flatTrie) lookupFrom(idx uint32, depth int, dest ip.Addr, cnt *mem.Counter) (int32, int32, bool) {
-	if len(ft.nodes) == 0 {
+	if ft.n == 0 {
 		return 0, 0, false
 	}
+	pages := ft.pages
 	hi, lo := dest.Halves()
 	bestLen := int32(-1)
 	var bestVal int32
 	for {
 		cnt.Add(1)
-		n := &ft.nodes[idx]
+		n := &pages[idx>>pageShift][idx&pageMask]
 		if n.meta&fMarked != 0 {
 			bestLen, bestVal = int32(depth), n.value
 		}
@@ -140,4 +186,155 @@ func (ft *flatTrie) lookupFrom(idx uint32, depth int, dest ip.Addr, cnt *mem.Cou
 		return 0, 0, false
 	}
 	return bestLen, bestVal, true
+}
+
+// flatEdit applies route-shaped edits to a flatTrie copy-on-write: the
+// page-table backing is replaced up front, and each page is cloned at
+// most once, the first time a write lands on it. Pages never written
+// stay shared with the published snapshot. Edits mirror trie.Insert /
+// trie.Delete vertex for vertex — every intermediate vertex created,
+// every unmarked childless vertex pruned — so the patched flat trie is
+// walk-identical (hence reference-identical) to recompiling the mutated
+// pointer trie; only the slot numbering differs, which no reader can
+// observe because slot indexes never leave the snapshot.
+//
+// The one structural wrinkle is adjacency: a vertex's two children must
+// occupy adjacent slots (the child index is childBase + meta&b). When an
+// only child gains a sibling, a fresh adjacent pair is allocated at the
+// tail, the existing child's 12 bytes move there, and its old slot is
+// abandoned. Exactly one vertex relocates per such insert — its subtree
+// stays put, childBase being absolute — and the relocation is reported
+// in reloc so the RCU writer can recompile the at-most-one clue slot
+// caching that vertex's index.
+type flatEdit struct {
+	ft    *flatTrie
+	owned []bool      // pages cloned (or freshly grown) this session
+	reloc []ip.Prefix // prefixes of vertices that moved to a new slot
+}
+
+// edit opens a copy-on-write session on ft, which must belong to a
+// snapshot still under construction, never to the published copy.
+func edit(ft *flatTrie) *flatEdit {
+	ft.pages = append([]*flatPage(nil), ft.pages...)
+	return &flatEdit{ft: ft, owned: make([]bool, len(ft.pages))}
+}
+
+// mut returns a writable pointer to vertex idx, cloning its page on the
+// first touch.
+func (ed *flatEdit) mut(idx uint32) *flatNode {
+	pi := int(idx >> pageShift)
+	if !ed.owned[pi] {
+		cp := *ed.ft.pages[pi]
+		ed.ft.pages[pi] = &cp
+		ed.owned[pi] = true
+	}
+	return &ed.ft.pages[pi][idx&pageMask]
+}
+
+// grow appends k slots; pages created by the growth are fresh, hence
+// owned.
+func (ed *flatEdit) grow(k int) uint32 {
+	base := ed.ft.grow(k)
+	for len(ed.owned) < len(ed.ft.pages) {
+		ed.owned = append(ed.owned, true)
+	}
+	return base
+}
+
+// insert mirrors trie.Insert: create every missing vertex along p's
+// path, mark the endpoint and set its payload (overwriting if already
+// present).
+func (ed *flatEdit) insert(p ip.Prefix, v int32) {
+	ft := ed.ft
+	if ft.n == 0 {
+		ed.grow(1) // the root (empty prefix): unmarked, childless
+	}
+	idx := uint32(0)
+	for i := 0; i < p.Len(); i++ {
+		b := p.Bit(i)
+		n := *ft.node(idx) // copy: mut below may clone the page under it
+		bit := uint8(1) << b
+		if n.meta&bit != 0 {
+			idx = n.childBase + uint32(n.meta&b)
+			continue
+		}
+		if n.meta&(fChild0|fChild1) == 0 {
+			// First child: one fresh slot.
+			child := ed.grow(1)
+			m := ed.mut(idx)
+			m.childBase = child
+			m.meta |= bit
+			idx = child
+			continue
+		}
+		// Second child: the pair must be adjacent, so allocate a fresh
+		// pair at the tail, move the existing sibling into its half and
+		// abandon its old slot. The sibling's subtree does not move.
+		sibBit := 1 - b
+		sibOld := n.childBase // an only child always sits at childBase
+		pair := ed.grow(2)
+		*ed.mut(pair + uint32(sibBit)) = *ft.node(sibOld)
+		m := ed.mut(idx)
+		m.childBase = pair
+		m.meta |= bit
+		ft.dead++
+		ed.reloc = append(ed.reloc, siblingOf(p, i, sibBit))
+		idx = pair + uint32(b)
+	}
+	m := ed.mut(idx)
+	m.meta |= fMarked
+	m.value = v
+}
+
+// remove mirrors trie.Delete: unmark p's vertex and prune unmarked
+// childless vertices bottom-up along the path. It reports whether p was
+// present. Pruned slots are abandoned in place (they are unreachable);
+// when the root itself empties, the whole page table is dropped, like
+// trie.Delete nilling the root.
+func (ed *flatEdit) remove(p ip.Prefix) bool {
+	ft := ed.ft
+	if ft.n == 0 {
+		return false
+	}
+	path := make([]uint32, 1, p.Len()+1)
+	idx := uint32(0)
+	for i := 0; i < p.Len(); i++ {
+		n := ft.node(idx)
+		b := p.Bit(i)
+		if n.meta&(1<<b) == 0 {
+			return false
+		}
+		idx = n.childBase + uint32(n.meta&b)
+		path = append(path, idx)
+	}
+	if ft.node(idx).meta&fMarked == 0 {
+		return false
+	}
+	ed.mut(idx).meta &^= fMarked
+	for i := len(path) - 1; i > 0; i-- {
+		v := *ft.node(path[i])
+		if v.meta&(fMarked|fChild0|fChild1) != 0 {
+			break
+		}
+		b := p.Bit(i - 1)
+		parent := ed.mut(path[i-1])
+		parent.meta &^= 1 << b
+		if b == 0 && parent.meta&fChild1 != 0 {
+			// The surviving 1-child keeps its slot; with fChild0 now
+			// clear the index formula reads childBase+0, so the base
+			// must advance onto the survivor.
+			parent.childBase++
+		}
+		ft.dead++
+	}
+	if root := ft.node(0); root.meta&(fMarked|fChild0|fChild1) == 0 {
+		ft.pages, ed.owned, ft.n, ft.dead = nil, nil, 0, 0
+	}
+	return true
+}
+
+// siblingOf returns the prefix of the vertex that shares the first i
+// bits with p and then diverges with bit b.
+func siblingOf(p ip.Prefix, i int, b byte) ip.Prefix {
+	return ip.PrefixFrom(p.Addr().WithBit(i, b), i+1)
 }

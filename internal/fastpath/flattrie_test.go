@@ -1,0 +1,216 @@
+package fastpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// randomPrefix draws a prefix of length [1, maxLen] with random bits.
+func randomPrefix(rng *rand.Rand, fam ip.Family, maxLen int) ip.Prefix {
+	a := ip.AddrFrom128(rng.Uint64(), rng.Uint64())
+	if fam == ip.IPv4 {
+		a = ip.AddrFrom32(uint32(rng.Uint64()))
+	}
+	return ip.PrefixFrom(a, 1+rng.Intn(maxLen))
+}
+
+// checkFlatAgainst verifies ft is walk-identical (result AND reference
+// charge) to the pointer trie pt, both from the root over random
+// destinations and structurally via find() over the live prefix set.
+func checkFlatAgainst(t *testing.T, tag string, ft *flatTrie, pt *trie.Trie, rng *rand.Rand, live map[ip.Prefix]int32) {
+	t.Helper()
+	fam := pt.Family()
+	for i := 0; i < 200; i++ {
+		d := ip.AddrFrom128(rng.Uint64(), rng.Uint64())
+		if fam == ip.IPv4 {
+			d = ip.AddrFrom32(uint32(rng.Uint64()))
+		}
+		var cw, cg mem.Counter
+		wantP, wantV, wantOK := pt.Lookup(d, &cw)
+		gotLen, gotV, gotOK := ft.lookupFrom(0, 0, d, &cg)
+		if wantOK != gotOK || (wantOK && (int(gotLen) != wantP.Len() || int(gotV) != wantV)) {
+			t.Fatalf("%s: dest %v: trie (%v,%d,%v) flat (len %d,%d,%v)",
+				tag, d, wantP, wantV, wantOK, gotLen, gotV, gotOK)
+		}
+		if cw.Count() != cg.Count() {
+			t.Fatalf("%s: dest %v: trie charged %d refs, flat %d", tag, d, cw.Count(), cg.Count())
+		}
+	}
+	for p, v := range live {
+		idx := ft.find(p)
+		if idx < 0 {
+			t.Fatalf("%s: find(%v) = -1 for a live prefix", tag, p)
+		}
+		n := ft.node(uint32(idx))
+		if n.meta&fMarked == 0 || n.value != v {
+			t.Fatalf("%s: find(%v): marked=%v value=%d, want marked value %d",
+				tag, p, n.meta&fMarked != 0, n.value, v)
+		}
+	}
+	// Zero-tail invariant: slots at or past n are untouched zeroes — the
+	// property that makes growing into a shared tail page safe.
+	for i := ft.n; i < len(ft.pages)*pageSize; i++ {
+		if *ft.node(uint32(i)) != (flatNode{}) {
+			t.Fatalf("%s: slot %d past n=%d is non-zero: %+v", tag, i, ft.n, *ft.node(uint32(i)))
+		}
+	}
+}
+
+// TestFlatEditEquivalence fuzzes insert/remove batches through flatEdit
+// against the same edits on a pointer trie, checking after every batch
+// that the patched flat trie is walk-identical and charge-identical to
+// the mutated pointer trie — and to a from-scratch compile of it.
+func TestFlatEditEquivalence(t *testing.T) {
+	for _, fam := range []ip.Family{ip.IPv4, ip.IPv6} {
+		maxLen := 24
+		if fam == ip.IPv6 {
+			maxLen = 64
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(1000*int64(fam) + seed))
+			pt := trie.New(fam)
+			live := map[ip.Prefix]int32{}
+			for i := 0; i < 150; i++ {
+				p := randomPrefix(rng, fam, maxLen)
+				v := int32(rng.Intn(1 << 20))
+				pt.Insert(p, int(v))
+				live[p] = v
+			}
+			ft := compileTrie(pt)
+			var pool []ip.Prefix
+			for p := range live {
+				pool = append(pool, p)
+			}
+			for batch := 0; batch < 12; batch++ {
+				// What a published snapshot would hold: the pre-edit page
+				// pointers, plus a content copy to prove none is written.
+				orig := append([]*flatPage(nil), ft.pages...)
+				pristine := clonePages(orig)
+				ed := edit(&ft)
+				for k := 0; k < 10; k++ {
+					switch {
+					case len(pool) > 0 && rng.Intn(3) == 0: // remove a live prefix
+						i := rng.Intn(len(pool))
+						p := pool[i]
+						pool[i] = pool[len(pool)-1]
+						pool = pool[:len(pool)-1]
+						if !ed.remove(p) {
+							t.Fatalf("remove(%v) reported absent for a live prefix", p)
+						}
+						pt.Delete(p)
+						delete(live, p)
+					case rng.Intn(4) == 0: // remove an absent prefix: must be a no-op
+						p := randomPrefix(rng, fam, maxLen)
+						if _, ok := live[p]; ok {
+							continue
+						}
+						if ed.remove(p) {
+							t.Fatalf("remove(%v) reported present for an absent prefix", p)
+						}
+					default: // insert (fresh or overwrite)
+						p := randomPrefix(rng, fam, maxLen)
+						v := int32(rng.Intn(1 << 20))
+						ed.insert(p, v)
+						pt.Insert(p, int(v))
+						if _, ok := live[p]; !ok {
+							pool = append(pool, p)
+						}
+						live[p] = v
+					}
+				}
+				checkFlatAgainst(t, "edited", &ft, pt, rng, live)
+				fresh := compileTrie(pt)
+				checkFlatAgainst(t, "recompiled", &fresh, pt, rng, live)
+				// COW: every page the pre-edit copy pointed at is
+				// bit-identical — the edit cloned instead of writing through.
+				for i, pg := range orig {
+					if *pg != *pristine[i] {
+						t.Fatalf("shared page %d mutated by the edit session", i)
+					}
+				}
+				// Every reported relocation names a vertex that exists.
+				for _, p := range ed.reloc {
+					if ft.find(p) < 0 && pt.Find(p) != nil {
+						t.Fatalf("relocated vertex %v not findable after edit", p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// clonePages snapshots page CONTENTS (not just pointers) so the test can
+// prove the edit session never wrote through a shared page.
+func clonePages(pages []*flatPage) []*flatPage {
+	out := make([]*flatPage, len(pages))
+	for i, pg := range pages {
+		if pg != nil {
+			cp := *pg
+			out[i] = &cp
+		}
+	}
+	return out
+}
+
+// TestFlatEditRootCollapse pins the root-reset path: removing the last
+// prefix drops the whole page table, exactly like trie.Delete nilling
+// the root, and a later insert rebuilds from scratch.
+func TestFlatEditRootCollapse(t *testing.T) {
+	pt := trie.New(ip.IPv4)
+	p := ip.MustParsePrefix("10.0.0.0/8")
+	pt.Insert(p, 7)
+	ft := compileTrie(pt)
+	ed := edit(&ft)
+	if !ed.remove(p) {
+		t.Fatal("remove of the only prefix failed")
+	}
+	if ft.n != 0 || ft.pages != nil || ft.dead != 0 {
+		t.Fatalf("root collapse left n=%d pages=%d dead=%d", ft.n, len(ft.pages), ft.dead)
+	}
+	ed.insert(p, 9)
+	if got := ft.find(p); got < 0 || ft.node(uint32(got)).value != 9 {
+		t.Fatalf("reinsert after collapse: find=%d", got)
+	}
+}
+
+// TestCoalesce pins the batching semantics: last-wins per (space,
+// prefix), first-occurrence order, and op spaces kept apart so a local
+// announce never swallows a sender withdraw of the same prefix.
+func TestCoalesce(t *testing.T) {
+	p1 := ip.MustParsePrefix("10.0.0.0/8")
+	p2 := ip.MustParsePrefix("10.1.0.0/16")
+	in := []RouteOp{
+		{Kind: OpAnnounce, Prefix: p1, Value: 1},
+		{Kind: OpAnnounce, Prefix: p2, Value: 2},
+		{Kind: OpSenderWithdraw, Prefix: p1},
+		{Kind: OpWithdraw, Prefix: p1},
+		{Kind: OpAnnounce, Prefix: p1, Value: 3},
+		{Kind: OpInvalidate, Prefix: p1},
+	}
+	out, merged := coalesce(in)
+	if merged != 2 {
+		t.Fatalf("merged %d ops, want 2", merged)
+	}
+	want := []RouteOp{
+		{Kind: OpAnnounce, Prefix: p1, Value: 3}, // last local op on p1 wins, keeps slot 0
+		{Kind: OpAnnounce, Prefix: p2, Value: 2},
+		{Kind: OpSenderWithdraw, Prefix: p1}, // different space: survives
+		{Kind: OpInvalidate, Prefix: p1},     // validity space: survives
+	}
+	if len(out) != len(want) {
+		t.Fatalf("coalesce kept %d ops, want %d: %+v", len(out), len(want), out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, out[i], want[i])
+		}
+	}
+	// The input slice must be left intact (callers may retain it).
+	if in[0].Value != 1 {
+		t.Fatal("coalesce mutated its input")
+	}
+}

@@ -13,12 +13,25 @@ import (
 // RCU publishes compiled snapshots of a live clue table with read-copy-
 // update semantics: readers load the current *Snapshot with one atomic
 // pointer read and never take a lock, never block and never observe a
-// half-applied change; writers serialize on a mutex, mutate the master
-// core.Table off the packet path, produce a new snapshot (an incremental
-// patch for single-entry changes, a full recompile for trie changes) and
-// publish it with an atomic store. Old snapshots die by garbage
-// collection once the last in-flight packet drops them — the GC plays
-// the role of RCU's grace period.
+// half-applied change; writers mutate the master core.Table off the
+// packet path, produce a new snapshot and publish it with an atomic
+// store. Old snapshots die by garbage collection once the last in-flight
+// packet drops them — the GC plays the role of RCU's grace period.
+//
+// Writers come in three grades, cheapest first:
+//
+//   - Single-entry patches (Learn, Invalidate, Revalidate): clone one
+//     slot row, publish. Serialized on mu, held for microseconds.
+//   - Batched route changes (Apply, or Enqueue through the bounded
+//     writer queue): patch the snapshot copy-on-write at subtree
+//     granularity — page-cloned flat tries, recompiled slot rows for
+//     the affected entries only — one publication per batch. See
+//     apply.go.
+//   - Full recompiles (Mutate, SetTelemetry, and the degrade paths of
+//     Apply): the expensive Compile runs off the patch lock, holding
+//     only compileMu, so concurrent Learn/Invalidate patches are never
+//     serialized behind a rebuild; entries they patched meanwhile are
+//     replayed onto the fresh snapshot before it publishes.
 //
 // This replaces core.ConcurrentTable's read-lock on the hot path: that
 // wrapper still pays an atomic RMW on a shared cache line per packet
@@ -26,21 +39,54 @@ import (
 // benchmarks measure. Here the read side is wait-free.
 type RCU struct {
 	snap atomic.Pointer[Snapshot]
-	mu   sync.Mutex // serializes writers; the master table is only touched under it
-	tab  *core.Table
-	met  Metrics // writer-side telemetry; zero value records nothing
+
+	// compileMu serializes trie mutators and snapshot rebuilds (Apply,
+	// Mutate, SetTelemetry). Lock order: compileMu before mu. Holding it
+	// keeps the master's tries stable while Compile reads them off mu.
+	compileMu sync.Mutex
+	// mu guards the master table's entry state, the published-snapshot
+	// swap and the metrics. Entry-grade writers (Learn/Invalidate/
+	// Revalidate) take only mu, so they stay fast while a rebuild
+	// compiles.
+	mu  sync.Mutex
+	tab *core.Table
+	met Metrics // writer-side telemetry; zero value records nothing
+	mk  EngineMaker
+
+	// rebuilding/dirty implement the off-lock rebuild: while a compile
+	// runs outside mu, entry patches append their clue here and the
+	// rebuild replays them onto the fresh snapshot before publishing.
+	rebuilding bool
+	dirty      []ip.Prefix
+	// compileHook, when set (tests only), runs at the start of every
+	// off-lock compile section — a deterministic barrier for pinning
+	// that entry patches do not convoy behind rebuilds.
+	compileHook func()
+
+	// qmu guards q, the bounded coalescing writer queue (apply.go).
+	qmu sync.Mutex
+	q   applyQueue
 }
 
 // Metrics are the RCU writer-side counters: how often the published
-// snapshot was swapped, and by which mechanism. All fields may be nil
-// (telemetry counters are nil-safe), so the zero Metrics records
-// nothing. Readers are deliberately uninstrumented here — per-packet
-// accounting lives in the snapshot's PacketMetrics.
+// snapshot was swapped, by which mechanism, and how the batching layer
+// degraded. All fields may be nil (telemetry counters are nil-safe), so
+// the zero Metrics records nothing. Readers are deliberately
+// uninstrumented here — per-packet accounting lives in the snapshot's
+// PacketMetrics.
 type Metrics struct {
 	Swaps      *telemetry.Counter // snapshot publications of any kind
 	Patches    *telemetry.Counter // single-entry incremental patches
 	Recompiles *telemetry.Counter // full Compile rebuilds
 	Learns     *telemetry.Counter // successful on-the-fly Learn calls
+
+	Applies     *telemetry.Counter // incremental Apply batches published
+	AppliedOps  *telemetry.Counter // route ops folded into published Apply batches
+	Coalesced   *telemetry.Counter // ops merged away by batching/coalescing
+	Overflows   *telemetry.Counter // writer-queue overflows: batch degraded to a recompile
+	Fallbacks   *telemetry.Counter // Apply batches too broad for patching: degraded to a recompile
+	Compactions *telemetry.Counter // rebuilds reclaiming dead trie slots / abandoned resumes
+	Defensive   *telemetry.Counter // defensive rebuilds: entry vanished under a patch
 }
 
 // SetMetrics attaches writer-side counters. Safe against concurrent
@@ -52,12 +98,12 @@ func (r *RCU) SetMetrics(m Metrics) {
 }
 
 // SetTelemetry attaches per-packet metrics to the master table and
-// republishes so the running snapshot records into it.
+// republishes (off the patch lock) so the running snapshot records into
+// it.
 func (r *RCU) SetTelemetry(pm *telemetry.PacketMetrics) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.tab.SetTelemetry(pm)
-	r.publish(Compile(r.tab), r.met.Recompiles)
+	r.compileMu.Lock()
+	defer r.compileMu.Unlock()
+	r.rebuild(func(t *core.Table) { t.SetTelemetry(pm) }, r.met.Recompiles)
 }
 
 // publish stores a new snapshot and counts the swap. Caller holds r.mu.
@@ -124,12 +170,7 @@ func (r *RCU) Learn(dest ip.Addr, clueLen int) bool {
 		return false
 	}
 	r.met.Learns.Inc()
-	e, ok := r.tab.ExportEntry(clue)
-	if !ok { // unreachable after a successful Learn; recompile defensively
-		r.publish(Compile(r.tab), r.met.Recompiles)
-		return true
-	}
-	r.publish(r.snap.Load().patch(e), r.met.Patches)
+	r.patchEntry(clue)
 	return true
 }
 
@@ -158,27 +199,73 @@ func (r *RCU) Revalidate(clue ip.Prefix) bool {
 	return true
 }
 
-// patchEntry publishes the master's current record for clue. Caller holds
-// r.mu.
+// patchEntry publishes the master's current record for clue and, while
+// an off-lock rebuild is compiling, queues the clue for replay onto the
+// rebuilt snapshot. Caller holds r.mu.
 func (r *RCU) patchEntry(clue ip.Prefix) {
+	if r.rebuilding {
+		r.dirty = append(r.dirty, clue)
+	}
 	if e, ok := r.tab.ExportEntry(clue); ok {
 		r.publish(r.snap.Load().patch(e), r.met.Patches)
 		return
 	}
-	r.publish(Compile(r.tab), r.met.Recompiles) // entry vanished: fall back to a rebuild
+	// Entry vanished under us: unreachable through the public surface
+	// (clues are never removed), so treat it as corruption and rebuild
+	// defensively — counted on its own so a recompile spike can be told
+	// apart from routine route churn.
+	r.met.Defensive.Inc()
+	r.publish(Compile(r.tab), r.met.Recompiles)
 }
 
-// Mutate runs fn on the master table under the writer lock and publishes
-// a full recompile. This is the route-change path (trie edits, engine
-// swaps, UpdateLocal/UpdateSender, preprocessing): anything a single-
-// entry patch cannot express. Readers continue on the old snapshot until
-// the store — the paper's semantics, where a forwarding table is swapped
-// wholesale on routing updates.
-func (r *RCU) Mutate(fn func(*core.Table)) {
+// rebuild recompiles the master table and publishes the result, running
+// the expensive Compile OFF the patch lock: concurrent Learn/Invalidate/
+// Revalidate calls keep patching the live snapshot meanwhile, and their
+// entries are replayed onto the fresh snapshot before it publishes, so
+// nothing they wrote is lost to the rebuild race. The caller must hold
+// compileMu (which keeps the tries the compile reads stable) and must
+// NOT hold mu.
+func (r *RCU) rebuild(mutate func(*core.Table), how *telemetry.Counter) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	fn(r.tab)
-	r.publish(Compile(r.tab), r.met.Recompiles)
+	if mutate != nil {
+		mutate(r.tab)
+	}
+	cfg := r.tab.Config()
+	exp := r.tab.Export()
+	tel := r.tab.Telemetry()
+	r.rebuilding = true
+	r.dirty = r.dirty[:0]
+	r.mu.Unlock()
+
+	if r.compileHook != nil {
+		r.compileHook()
+	}
+	s := compileExported(cfg, exp, tel)
+
+	r.mu.Lock()
+	for _, c := range r.dirty {
+		if e, ok := r.tab.ExportEntry(c); ok {
+			s = s.patch(e)
+		}
+	}
+	r.dirty = r.dirty[:0]
+	r.rebuilding = false
+	r.publish(s, how)
+	r.mu.Unlock()
+}
+
+// Mutate runs fn on the master table and publishes a full recompile.
+// This is the arbitrary-route-change path (trie edits, engine swaps,
+// UpdateLocal/UpdateSender, preprocessing): anything neither a single-
+// entry patch nor an Apply batch can express. fn runs under the writer
+// locks; the recompile itself does not hold the patch lock, so
+// concurrent Learn patches land without waiting for it. Readers
+// continue on the old snapshot until the store — the paper's semantics,
+// where a forwarding table is swapped wholesale on routing updates.
+func (r *RCU) Mutate(fn func(*core.Table)) {
+	r.compileMu.Lock()
+	defer r.compileMu.Unlock()
+	r.rebuild(fn, r.met.Recompiles)
 }
 
 // Len returns the entry count of the current snapshot.

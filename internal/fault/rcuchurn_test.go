@@ -1,0 +1,32 @@
+package fault
+
+import "testing"
+
+// TestRCUChurnSoak races the three RCU writer grades against wait-free
+// readers and a learning pipeline. Deterministic tables, bounded size:
+// this is the churn-soak smoke CI runs under -race.
+func TestRCUChurnSoak(t *testing.T) {
+	cfg := ChurnConfig{Seed: 5, Workers: 4, Packets: 1500, Flips: 150, TableSize: 1200}
+	res, err := RCUChurnSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d answers matched neither route state", res.Violations)
+	}
+	if res.Flips != cfg.Flips {
+		t.Fatalf("applied %d flips, want %d", res.Flips, cfg.Flips)
+	}
+	if res.SenderFlips == 0 {
+		t.Fatal("no sender flips applied")
+	}
+	if res.Forwarded != uint64(cfg.Packets) {
+		t.Fatalf("pipeline forwarded %d packets, want %d", res.Forwarded, cfg.Packets)
+	}
+	if res.Applies == 0 && res.Recompiles == 0 {
+		t.Fatal("no batches published: the queue never drained")
+	}
+	if res.Packets == 0 {
+		t.Fatal("checkers processed nothing")
+	}
+}

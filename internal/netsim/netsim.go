@@ -133,7 +133,12 @@ func (r *Router) rebuildTables() {
 	}
 	for _, up := range upstreams {
 		if r.net.fastpath {
-			fast[up] = fastpath.NewRCU(r.newMasterTable(up))
+			rcu := fastpath.NewRCU(r.newMasterTable(up))
+			// Route diffs arrive as incremental Apply batches (see
+			// ApplyTables); compiled engines snapshot the trie, so the
+			// batch path needs a rebuilder.
+			rcu.SetEngineMaker(func(t *trie.Trie) lookup.ClueEngine { return lookup.NewPatricia(t) })
+			fast[up] = rcu
 		} else {
 			clue[up] = core.NewConcurrentTable(r.newMasterTable(up))
 		}

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/fib"
 	"repro/internal/ip"
@@ -52,9 +53,13 @@ func (n *Network) ApplyTables(tables map[string]*fib.Table) error {
 	}
 	// Repair clue tables: local updates at the changed router, sender
 	// updates at the routers that learned clues from it. Interpreted
-	// tables are repaired under their write lock (Mutate); compiled
-	// fastpath tables go through RCU.Mutate, which recompiles and
-	// republishes one snapshot per table after the full diff is applied.
+	// tables are repaired under their write lock (Mutate). Compiled
+	// fastpath tables absorb the same transition as one incremental
+	// Apply batch — the diff rendered as a BGP-shaped update whose ops
+	// use ensure semantics, so replaying them against the live trie the
+	// loop above already edited converges instead of corrupting — and the
+	// published snapshot is patched copy-on-write at subtree granularity
+	// rather than recompiled per table.
 	for name, diff := range changes {
 		r := n.routers[name]
 		engine := r.engine
@@ -67,14 +72,17 @@ func (n *Network) ApplyTables(tables map[string]*fib.Table) error {
 		for _, tab := range r.clueTables {
 			tab.Mutate(repairLocal)
 		}
+		u := diffUpdate(r.table, diff)
+		ops := u.Ops()
 		for _, rcu := range r.fastTables {
-			rcu.Mutate(repairLocal)
+			rcu.Apply(ops)
 		}
 		repairSender := func(t *core.Table) {
 			for _, p := range diff {
 				t.UpdateSender(p)
 			}
 		}
+		sops := u.SenderOps()
 		for _, other := range n.routers {
 			if other == r {
 				continue
@@ -83,7 +91,7 @@ func (n *Network) ApplyTables(tables map[string]*fib.Table) error {
 				tab.Mutate(repairSender)
 			}
 			if rcu, ok := other.fastTables[name]; ok {
-				rcu.Mutate(repairSender)
+				rcu.Apply(sops)
 			}
 		}
 	}
@@ -91,4 +99,19 @@ func (n *Network) ApplyTables(tables map[string]*fib.Table) error {
 	// (they will, via r.engine), and existing tables of unchanged routers
 	// are untouched.
 	return nil
+}
+
+// diffUpdate renders an already-applied fib diff as one BGP UPDATE: a
+// prefix still present in the table announces with its interned hop ID,
+// a vanished one withdraws.
+func diffUpdate(tab *fib.Table, diff []ip.Prefix) bgp.Update {
+	var u bgp.Update
+	for _, p := range diff {
+		if hop, ok := tab.NextHop(p); ok {
+			u.Announced = append(u.Announced, bgp.Announcement{Prefix: p, NextHop: tab.HopID(hop)})
+		} else {
+			u.Withdrawn = append(u.Withdrawn, p)
+		}
+	}
+	return u
 }

@@ -1,0 +1,55 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/fastpath"
+	"repro/internal/fib"
+	"repro/internal/ip"
+)
+
+// RemoveOrigin withdraws an origination: the prefix disappears from the
+// next ComputeTables result network-wide (all scoped variants of p at
+// that router are removed). It reports how many origin records matched.
+// Together with Originate/OriginateScoped this lets a simulation drive
+// IGP-shaped churn — recompute, diff, replay — instead of hand-editing
+// tables.
+func (t *Topology) RemoveOrigin(router string, p ip.Prefix) (int, error) {
+	i, ok := t.idx[router]
+	if !ok {
+		return 0, fmt.Errorf("routing: unknown router %q", router)
+	}
+	kept := t.origins[i][:0]
+	removed := 0
+	for _, o := range t.origins[i] {
+		if o.prefix == p {
+			removed++
+			continue
+		}
+		kept = append(kept, o)
+	}
+	t.origins[i] = kept
+	return removed, nil
+}
+
+// FibDiffOps advances a router's live forwarding table from its current
+// state to next (e.g. a fresh ComputeTables result around a topology
+// change) and returns the same transition as route operations for a
+// fastpath.RCU to absorb incrementally. cur is updated in place —
+// exactly what netsim.ApplyTables does by hand — so its interned hop IDs
+// stay stable and the announce values match the IDs a live trie built
+// from cur already stores. New next hops are interned on first use.
+func FibDiffOps(cur, next *fib.Table) []fastpath.RouteOp {
+	diff := cur.Diff(next)
+	ops := make([]fastpath.RouteOp, 0, len(diff))
+	for _, p := range diff {
+		if hop, ok := next.NextHop(p); ok {
+			cur.Add(p, hop) // interns the hop name if it is new
+			ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpAnnounce, Prefix: p, Value: cur.HopID(hop)})
+		} else {
+			cur.Remove(p)
+			ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpWithdraw, Prefix: p})
+		}
+	}
+	return ops
+}

@@ -1,0 +1,97 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/fastpath"
+	"repro/internal/ip"
+)
+
+// TestRemoveOriginFibDiffOps drives the IGP-churn loop the adapters
+// exist for: mutate originations, recompute, and express the resulting
+// per-router table transition as RouteOps for an RCU to absorb.
+func TestRemoveOriginFibDiffOps(t *testing.T) {
+	top := NewTopology()
+	if err := top.AddLink("A", "B", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddLink("B", "C", 1); err != nil {
+		t.Fatal(err)
+	}
+	p1 := ip.MustParsePrefix("10.0.0.0/8")
+	p2 := ip.MustParsePrefix("10.1.0.0/16")
+	for _, p := range []ip.Prefix{p1, p2} {
+		if err := top.Originate("C", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := top.ComputeTables()["A"]
+
+	// Withdraw one origination, grow the topology with a router A has
+	// never seen (a brand-new next hop for its table), recompute.
+	if _, err := top.RemoveOrigin("nope", p2); err == nil {
+		t.Fatal("RemoveOrigin accepted an unknown router")
+	}
+	n, err := top.RemoveOrigin("C", p2)
+	if err != nil || n != 1 {
+		t.Fatalf("RemoveOrigin = (%d, %v), want (1, nil)", n, err)
+	}
+	if n, _ := top.RemoveOrigin("C", p2); n != 0 {
+		t.Fatalf("second RemoveOrigin matched %d records, want 0", n)
+	}
+	if err := top.AddLink("A", "D", 1); err != nil {
+		t.Fatal(err)
+	}
+	p3 := ip.MustParsePrefix("172.16.0.0/12")
+	if err := top.Originate("D", p3); err != nil {
+		t.Fatal(err)
+	}
+	next := top.ComputeTables()["A"]
+
+	if cur.HopID("D") != -1 {
+		t.Fatal("test premise broken: cur already knows hop D")
+	}
+	ops := FibDiffOps(cur, next)
+
+	var sawWithdraw, sawAnnounce bool
+	for _, op := range ops {
+		switch op.Kind {
+		case fastpath.OpWithdraw:
+			if op.Prefix != p2 {
+				t.Fatalf("unexpected withdraw of %v", op.Prefix)
+			}
+			sawWithdraw = true
+		case fastpath.OpAnnounce:
+			if op.Prefix != p3 {
+				t.Fatalf("unexpected announce of %v", op.Prefix)
+			}
+			if op.Value < 0 {
+				t.Fatalf("announce of %v carries uninterned hop ID %d", op.Prefix, op.Value)
+			}
+			sawAnnounce = true
+		default:
+			t.Fatalf("unexpected op kind %d", op.Kind)
+		}
+	}
+	if !sawWithdraw || !sawAnnounce {
+		t.Fatalf("diff ops missing a transition: %+v", ops)
+	}
+
+	// FibDiffOps advanced cur in place: it now matches next, the new hop
+	// is interned, and the announce value is its ID.
+	if d := cur.Diff(next); len(d) != 0 {
+		t.Fatalf("cur still differs from next on %v", d)
+	}
+	id := cur.HopID("D")
+	if id < 0 {
+		t.Fatal("new next hop D was not interned into cur")
+	}
+	for _, op := range ops {
+		if op.Kind == fastpath.OpAnnounce && op.Prefix == p3 && op.Value != id {
+			t.Fatalf("announce value %d != interned hop ID %d", op.Value, id)
+		}
+	}
+	if _, ok := cur.NextHop(p2); ok {
+		t.Fatal("withdrawn prefix still present in cur")
+	}
+}

@@ -93,6 +93,50 @@ func (h *Histogram) Snapshot() (buckets []uint64, count, sum uint64) {
 	return buckets, count, sum
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the bucket
+// counts, Prometheus-style: find the bucket holding the q-th
+// observation and interpolate linearly inside it. Values in the +Inf
+// bucket report the largest finite bound (the histogram cannot resolve
+// beyond its bounds — size them so the tail bucket stays empty). An
+// empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	buckets, count, _ := h.Snapshot()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	var cum float64
+	for i, b := range buckets {
+		prev := cum
+		cum += float64(b)
+		if cum < rank || b == 0 {
+			continue
+		}
+		if i >= len(h.bounds) { // +Inf bucket: clamp to the last finite bound
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return float64(h.bounds[len(h.bounds)-1])
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(h.bounds[i-1])
+		}
+		hi := float64(h.bounds[i])
+		return lo + (hi-lo)*(rank-prev)/float64(b)
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {
 	_, count, _ := h.Snapshot()

@@ -110,6 +110,39 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "latency", []uint64{10, 100, 1000})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	// 90 observations land in (10, 100], 10 in (100, 1000].
+	for i := 0; i < 90; i++ {
+		h.Observe(50)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	// p50 interpolates inside the (10, 100] bucket: 10 + 90*(50/90).
+	if got := h.Quantile(0.5); got < 10 || got > 100 {
+		t.Fatalf("p50 = %v, want inside (10, 100]", got)
+	}
+	// p99 lands in the (100, 1000] bucket.
+	if got := h.Quantile(0.99); got <= 100 || got > 1000 {
+		t.Fatalf("p99 = %v, want inside (100, 1000]", got)
+	}
+	// Quantiles are monotone and clamped.
+	if h.Quantile(-1) > h.Quantile(0.5) || h.Quantile(0.5) > h.Quantile(2) {
+		t.Fatal("quantiles not monotone under clamping")
+	}
+	// +Inf-bucket observations clamp to the largest finite bound.
+	h2 := r.NewHistogram("inf", "", []uint64{10})
+	h2.Observe(10000)
+	if got := h2.Quantile(0.5); got != 10 {
+		t.Fatalf("overflow quantile = %v, want clamp to 10", got)
+	}
+}
+
 func TestHistogramPanicsOnBadBounds(t *testing.T) {
 	defer func() {
 		if recover() == nil {
