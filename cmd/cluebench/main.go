@@ -55,9 +55,25 @@ func main() {
 		jsonBench = flag.Bool("json", false, "run the wall-clock fastpath benchmarks and write BENCH_fastpath.json instead of the paper tables")
 		cpus      = flag.String("cpus", "", "comma-separated worker counts (e.g. 1,2,4,8): run the sharded-pipeline scaling sweep and write BENCH_pipeline.json instead of the paper tables")
 		churnSwp  = flag.Bool("churn", false, "run the BGP churn replay sweep (updates/sec × burst shape) and write BENCH_churn.json instead of the paper tables")
+		scaleSwp  = flag.String("scalebench", "", "comma-separated IPv4 prefix counts (e.g. 100000,1000000): run the modern-scale flat-vs-compressed sweep and write BENCH_scale.json instead of the paper tables")
+		scaleV6   = flag.String("scalev6", "", "comma-separated IPv6 prefix counts for -scalebench (empty = IPv4 only)")
 	)
 	flag.Parse()
 
+	if *scaleSwp != "" {
+		v4, err := parseCountList("-scalebench", *scaleSwp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v6, err := parseCountList("-scalev6", *scaleV6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runScaleBench("BENCH_scale.json", *seed, v4, v6); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *churnSwp {
 		if err := runChurnBench("BENCH_churn.json", *seed); err != nil {
 			log.Fatal(err)

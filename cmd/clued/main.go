@@ -624,6 +624,34 @@ func run(ctx context.Context, cfg config) (*result, error) {
 				Defensive: reg.NewCounter("clued_rcu_defensive_total",
 					"defensive rebuilds: entry vanished under a patch", lbl),
 			})
+			// Snapshot memory accounting: gauges read the live snapshot
+			// at scrape time, so a recompile that flips the layout (or a
+			// compaction that shrinks the slot tables) shows up without
+			// any instrumentation on the write path.
+			fp := r.fast
+			for _, g := range []struct {
+				name, help string
+				read       func(fastpath.MemStats) uint64
+			}{
+				{"clued_fastpath_slot_bytes", "fastpath snapshot clue slot-table bytes",
+					func(m fastpath.MemStats) uint64 { return uint64(m.SlotBytes) }},
+				{"clued_fastpath_trie_index_bytes", "fastpath snapshot trie index bytes (tries + value dictionaries)",
+					func(m fastpath.MemStats) uint64 { return uint64(m.TrieIndexBytes()) }},
+				{"clued_fastpath_resume_bytes", "fastpath snapshot delegate resume-handle bytes",
+					func(m fastpath.MemStats) uint64 { return uint64(m.ResumeBytes) }},
+				{"clued_fastpath_compressed", "1 when the live snapshot uses the entropy-compressed trie layout",
+					func(m fastpath.MemStats) uint64 {
+						if m.Compressed {
+							return 1
+						}
+						return 0
+					}},
+			} {
+				read := g.read
+				reg.NewGauge(g.name, g.help,
+					func() uint64 { return read(fp.Snapshot().MemStats()) },
+					telemetry.L("router", name))
+			}
 			r.clues = r.fast
 		} else {
 			r.clues = core.NewConcurrentTable(ct)

@@ -95,6 +95,7 @@ func get(t *testing.T, url string) (string, error) {
 // match the final per-router outcome counters exactly.
 func TestMetricsMatchFinalStats(t *testing.T) {
 	cfg := testConfig()
+	cfg.useFast = true // exercise the RCU path so the snapshot memory gauges are live
 	cfg.metricsAddr = "127.0.0.1:0"
 	cfg.linger = 10 * time.Second
 	addrCh := make(chan string, 1)
@@ -184,6 +185,36 @@ func TestMetricsMatchFinalStats(t *testing.T) {
 			t.Errorf("router %s: scraped packets %d != report %d", rep.name, scrapedTotal, rep.packets)
 		}
 	}
+	// The snapshot memory gauges read the live snapshot at scrape time:
+	// every router must expose them, a router that has learned entries
+	// has non-empty slot tables, and a chain this small stays on the
+	// flat layout. (clued runs the Patricia engine, so the trie index
+	// lives in the delegate engine and the snapshot's own index gauge
+	// may legitimately read zero.)
+	for _, fam := range []string{
+		"clued_fastpath_slot_bytes", "clued_fastpath_trie_index_bytes",
+		"clued_fastpath_resume_bytes", "clued_fastpath_compressed",
+	} {
+		vals := scrape(body, fam, "router")
+		for _, rep := range out.res.routers {
+			v, ok := vals[rep.name][rep.name]
+			if !ok {
+				t.Errorf("router %s: gauge %s missing from scrape", rep.name, fam)
+				continue
+			}
+			switch fam {
+			case "clued_fastpath_slot_bytes":
+				if rep.entries > 0 && v == 0 {
+					t.Errorf("router %s: %d entries but zero slot bytes", rep.name, rep.entries)
+				}
+			case "clued_fastpath_compressed":
+				if v != 0 {
+					t.Errorf("router %s: tiny table reports the compressed layout", rep.name)
+				}
+			}
+		}
+	}
+
 	errs := scrape(body, "clued_errors_total", "kind")
 	for _, rep := range out.res.routers {
 		for kind, want := range map[string]uint64{

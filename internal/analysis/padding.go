@@ -28,10 +28,13 @@ const cacheLine = 64
 //     on one line is exactly the producer/consumer false sharing the
 //     padding exists to prevent.
 //   - When the struct is used as a slice or array element anywhere in
-//     the package, its size must be a whole number of cache lines —
-//     otherwise element k's tail and element k+1's head share a line
-//     across the array, defeating per-worker isolation no matter how
-//     the interior is padded.
+//     the package, its size must tile cache lines exactly: a whole
+//     number of lines per element, or (for small read-mostly nodes like
+//     the fastpath's packed trie nodes) a whole number of elements per
+//     line. Anything else puts one element's tail and the next one's
+//     head on a shared line across the array — defeating per-worker
+//     isolation for written structs, and costing an extra line fill per
+//     straddling access for packed lookup nodes.
 //
 // Generic structs are checked per instantiation found in the package
 // (Ring[Packet], not the uninstantiated Ring[T]): layout depends on the
@@ -218,10 +221,12 @@ func checkPaddedStruct(p *Pass, ts *ast.TypeSpec, named *types.Named, st *types.
 		}
 	}
 
-	// Array/slice elements must tile whole cache lines.
-	if elements[types.TypeString(named, nil)] && size%cacheLine != 0 {
+	// Array/slice elements must tile cache lines exactly: N lines per
+	// element, or N elements per line.
+	if elements[types.TypeString(named, nil)] &&
+		size%cacheLine != 0 && (size <= 0 || cacheLine%size != 0) {
 		p.Reportf(PaddingLayout, ts.Pos(), Error,
-			"%s is a slice/array element but sizeof = %d (not a multiple of %d): adjacent elements share a cache line — grow the trailing padding by %d bytes",
+			"%s is a slice/array element but sizeof = %d does not tile %d-byte cache lines: adjacent elements straddle a line — grow the trailing padding by %d bytes",
 			label, size, cacheLine, cacheLine-size%cacheLine)
 	}
 }

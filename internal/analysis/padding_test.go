@@ -72,6 +72,20 @@ type Ring[T any] struct {
 type packet struct{ a, b uint64 }
 
 var r Ring[packet]
+
+// A packed read-mostly node may tile a line with several elements
+// (here two 32-byte nodes per 64-byte line), like fastpath's cnode.
+//
+//cluevet:padded
+type node struct {
+	bits   uint64
+	more   uint64
+	extra  uint64
+	child  uint32
+	values uint32
+}
+
+var nodes []node
 `
 	got := runOne(t, PaddingLayout, DefaultConfig(), fixture{path: "test/padgood", src: src})
 	checkDiags(t, got, nil)

@@ -252,7 +252,13 @@ func (r *RCU) apply(ops []RouteOp, overflow bool, premerged int) {
 	}
 	touched := applyOps(r.tab, ops, r.mk)
 	snap := r.snap.Load()
-	if overflow || 4*len(touched) >= snap.Len()+16 {
+	// Degrade to a full recompile when the batch cannot be patched in
+	// place: queue overflow, an affected-entry set that rivals the
+	// table, or a compressed snapshot — the packed multibit layout has
+	// no incremental edit path by design (ISSUE 8: recompile beats
+	// writer complexity at that scale), so every batch takes the
+	// counted recompile.
+	if overflow || snap.compressed || 4*len(touched) >= snap.Len()+16 {
 		if !overflow {
 			r.met.Fallbacks.Inc()
 		}

@@ -1,0 +1,464 @@
+package fastpath
+
+import (
+	"math/bits"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// ctrie is the entropy-compressed compilation of a binary prefix trie,
+// built for modern-scale tables (~1M IPv4 prefixes) where the flatTrie's
+// 12-bytes-per-binary-vertex layout blows the last-level cache. It is a
+// level-compressed multibit trie with stride 6: one packed node covers a
+// full 6-level binary subtree (62 internal vertices plus 64 boundary
+// vertices), so the million-route case needs hundreds of thousands of
+// nodes instead of millions of binary vertices. The techniques are the
+// ones from the FIB-compression literature (arXiv:1402.1194): leaf
+// pushing (a marked boundary vertex with no subtree is folded into its
+// parent's bitmap instead of costing a node), popcount-indexed child and
+// value arrays (no per-child pointers), and a next-hop dictionary
+// (values stored as 16-bit indices into the table's small set of
+// distinct next hops whenever that set fits).
+//
+// Both IPv4 (width 32 = 6·5+2) and IPv6 (width 128 = 6·21+2) are ≡ 2
+// (mod 6), so the deepest node layer spans only two relative levels; the
+// same bitmaps simply stay mostly empty there.
+//
+// The contract inherited from flatTrie is exact charge identity with the
+// binary walk: a lookup that starts at depth d0 and would terminate at
+// binary depth e charges e−d0+1 references — one per binary vertex on
+// the path, including the start vertex — even though the compressed walk
+// touches only ⌈(e−d0)/6⌉+1 nodes. The termination depth is recomputed
+// arithmetically from the node bitmaps (see deepestVertexOnPath), which
+// encode exactly which binary vertices exist. An empty ctrie reports no
+// match at zero charge, like an empty flatTrie.
+//
+// Within a node, binary vertices at relative depths 1..5 are addressed
+// heap-style in marksLo: the vertex reached by the j-bit path value p
+// (relative depth j) is bit (1<<j)−2+p, so depth 1 occupies bits 0–1,
+// depth 2 bits 2–5, … depth 5 bits 30–61. Bit 63 marks the node's own
+// root vertex (relative depth 0). marksHi has one bit per 6-bit chunk
+// value c: the boundary vertex at relative depth 6 below path c is
+// marked. subs has the same indexing and records which boundary
+// vertices own a child node (a real subtree below the boundary); a
+// vertex may have both bits set, in which case its value is stored
+// twice — once in this node's run and once as the child's root value —
+// so neither walk direction needs the other's node.
+type ctrie struct {
+	nodes  []cnode
+	values []uint16 // per-mark dictionary indices, in node/value-run order
+	dict   []int32  // distinct next-hop values, first-occurrence order
+	wide   []int32  // direct values when >65536 distinct next hops
+	width  int      // address width in bits (32 or 128)
+	marks  int      // marked binary vertices (== prefix count)
+}
+
+// cnode is one stride-6 node of the compressed trie: 32 bytes, two per
+// 64-byte cache line, with the three bitmaps a lookup reads first
+// co-located at the front of the struct. Children are stored
+// contiguously starting at childBase (chunk-value order, popcount
+// indexed); the node's value run starts at valueBase and holds, in
+// order, the root value (if marked), the marksLo values in ascending
+// bit order, then the marksHi values in ascending chunk order.
+//
+//cluevet:padded
+type cnode struct {
+	marksLo   uint64 // bit 63: root vertex marked; bits 0..61: heap-indexed marks, relative depths 1..5
+	marksHi   uint64 // bit c: boundary vertex (relative depth 6) below chunk value c is marked
+	subs      uint64 // bit c: boundary vertex below chunk value c has a child node
+	childBase uint32 // index of first child in nodes
+	valueBase uint32 // index of first value in values/wide
+}
+
+const (
+	cnodeBytes = 32
+	cRootMark  = uint64(1) << 63
+	cHeapMask  = uint64(1)<<62 - 1
+
+	// cBoundary flags a find() handle that names a leaf-pushed boundary
+	// vertex: the low bits index the *parent* node and the vertex itself
+	// exists only as a marksHi bit. Fits int32 alongside node indices.
+	cBoundary = uint32(1) << 30
+)
+
+// extract returns the n-bit (n ≤ 6) chunk of the left-aligned address
+// (hi, lo) starting at bit position d. Callers guarantee d+n ≤ 128.
+func extract(hi, lo uint64, d, n int) uint32 {
+	s := 128 - d - n
+	var v uint64
+	switch {
+	case s >= 64:
+		v = hi >> (s - 64)
+	case s > 0:
+		v = hi<<(64-s) | lo>>s
+	default:
+		v = lo
+	}
+	return uint32(v) & (1<<n - 1)
+}
+
+// heapBit returns the marksLo bit index of the internal vertex at
+// relative depth j (1 ≤ j ≤ 5) reached by the j-bit path value p.
+func heapBit(j int, p uint32) uint {
+	return uint(1)<<j - 2 + uint(p)
+}
+
+// val decodes the i-th stored value.
+func (ct *ctrie) val(i uint32) int32 {
+	if ct.wide != nil {
+		return ct.wide[i]
+	}
+	return ct.dict[ct.values[i]]
+}
+
+// valRoot returns the value of the node's root vertex (bit 63 set).
+func (ct *ctrie) valRoot(n *cnode) int32 { return ct.val(n.valueBase) }
+
+// valLo returns the value of the internal mark at marksLo bit hb.
+func (ct *ctrie) valLo(n *cnode, hb uint) int32 {
+	r := uint32(n.marksLo>>63) + uint32(bits.OnesCount64(n.marksLo&cHeapMask&(uint64(1)<<hb-1)))
+	return ct.val(n.valueBase + r)
+}
+
+// valHi returns the value of the boundary mark below chunk value c.
+func (ct *ctrie) valHi(n *cnode, c uint32) int32 {
+	r := uint32(n.marksLo>>63) + uint32(bits.OnesCount64(n.marksLo&cHeapMask)) +
+		uint32(bits.OnesCount64(n.marksHi&(uint64(1)<<c-1)))
+	return ct.val(n.valueBase + r)
+}
+
+// child returns the node index of the child below chunk value c; the
+// caller has checked the subs bit.
+func (n *cnode) child(c uint32) uint32 {
+	return n.childBase + uint32(bits.OnesCount64(n.subs&(uint64(1)<<c-1)))
+}
+
+// subtreeNonempty reports whether the binary vertex at relative depth j
+// (1 ≤ j ≤ 5), path value p, exists in node n: it is marked, or some
+// deeper internal mark lies under it, or a boundary vertex (pushed mark
+// or child subtree) lies under it. span is the node's chunk width
+// (6, or width−D at the bottom of the address space).
+func subtreeNonempty(n *cnode, p uint32, j, span int) bool {
+	if n.marksLo&(uint64(1)<<heapBit(j, p)) != 0 {
+		return true
+	}
+	top := span
+	if top > 5 {
+		top = 5
+	}
+	for j2 := j + 1; j2 <= top; j2++ {
+		w := uint(j2 - j)
+		m := (uint64(1)<<(1<<w) - 1) << heapBit(j2, p<<w)
+		if n.marksLo&m != 0 {
+			return true
+		}
+	}
+	if span == 6 {
+		w := uint(6 - j)
+		m := (uint64(1)<<(1<<w) - 1) << (uint(p) << w)
+		if (n.marksHi|n.subs)&m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// deepestVertexOnPath returns the largest relative depth (0..span) at
+// which a binary vertex exists along the span-bit path c through node
+// n. Relative depth 0 (the node's own root vertex) always exists, so
+// the result is ≥ 0 and the caller can charge depth arithmetic on it.
+func deepestVertexOnPath(n *cnode, c uint32, span int) int {
+	if span == 6 && (n.marksHi|n.subs)&(uint64(1)<<c) != 0 {
+		return 6
+	}
+	top := span
+	if top > 5 {
+		top = 5
+	}
+	for j := top; j >= 1; j-- {
+		if subtreeNonempty(n, c>>(span-j), j, span) {
+			return j
+		}
+	}
+	return 0
+}
+
+// deepestLoMark returns the deepest internal mark along path c at
+// relative depths [minRel, maxRel] of node n, with its value.
+func (ct *ctrie) deepestLoMark(n *cnode, c uint32, span, minRel, maxRel int) (int, int32, bool) {
+	for j := maxRel; j >= minRel; j-- {
+		hb := heapBit(j, c>>(span-j))
+		if n.marksLo&(uint64(1)<<hb) != 0 {
+			return j, ct.valLo(n, hb), true
+		}
+	}
+	return 0, 0, false
+}
+
+// compileCTrie lays t out as a compressed multibit trie. Nodes are
+// emitted in BFS order over stride boundaries, so — like flatTrie — the
+// top of the trie occupies one dense run of cache lines. Runs in O(N)
+// over the binary vertices.
+func compileCTrie(t *trie.Trie) ctrie {
+	ct := ctrie{width: t.Family().Width()}
+	root := t.Root()
+	if root == nil {
+		return ct
+	}
+	// First pass stores values directly; a dictionary is cut over at the
+	// end if the distinct set fits 16-bit indices.
+	var vals []int32
+	type lv struct {
+		n *trie.Node
+		p uint32
+	}
+	var cur, next []lv
+	queue := []*trie.Node{root}
+	for qi := 0; qi < len(queue); qi++ {
+		sn := queue[qi]
+		D := sn.Prefix().Len()
+		span := ct.width - D
+		if span > 6 {
+			span = 6
+		}
+		nd := cnode{valueBase: uint32(len(vals))}
+		if sn.Marked() {
+			nd.marksLo |= cRootMark
+			vals = append(vals, int32(sn.Value()))
+			if qi == 0 {
+				// Deeper node roots were already counted as their
+				// parent's marksHi bit; only the trie root is new.
+				ct.marks++
+			}
+		}
+		cur = append(cur[:0], lv{sn, 0})
+		for j := 1; j <= span; j++ {
+			next = next[:0]
+			for _, e := range cur {
+				for b := byte(0); b < 2; b++ {
+					c := e.n.Child(b)
+					if c == nil {
+						continue
+					}
+					p := e.p<<1 | uint32(b)
+					if j < 6 {
+						if c.Marked() {
+							nd.marksLo |= uint64(1) << heapBit(j, p)
+							vals = append(vals, int32(c.Value()))
+							ct.marks++
+						}
+						next = append(next, lv{c, p})
+						continue
+					}
+					// Boundary level: marks are leaf-pushed into this
+					// node; real subtrees become child nodes (below).
+					if c.Marked() {
+						nd.marksHi |= uint64(1) << p
+						ct.marks++
+					}
+					next = append(next, lv{c, p})
+				}
+			}
+			cur, next = next, cur
+		}
+		if span == 6 {
+			// cur now holds the boundary vertices in ascending chunk
+			// order; append marksHi values (after all marksLo values, as
+			// the value-run order requires) and enqueue child subtrees.
+			nd.childBase = uint32(len(queue))
+			for _, e := range cur {
+				if e.n.Marked() {
+					vals = append(vals, int32(e.n.Value()))
+				}
+				if e.n.HasChildren() {
+					nd.subs |= uint64(1) << e.p
+					queue = append(queue, e.n)
+				}
+			}
+		}
+		ct.nodes = append(ct.nodes, nd)
+	}
+	ct.wide = vals
+	// Dictionary cutover: if the distinct next-hop set fits uint16,
+	// store 2-byte indices plus a small dictionary instead of 4-byte
+	// values. First-occurrence order keeps compilation deterministic.
+	idx := make(map[int32]uint16, 64)
+	for _, v := range vals {
+		if _, ok := idx[v]; !ok {
+			if len(idx) == 1<<16 {
+				return ct
+			}
+			idx[v] = uint16(len(idx))
+		}
+	}
+	ct.dict = make([]int32, len(idx))
+	for v, i := range idx {
+		ct.dict[i] = v
+	}
+	ct.values = make([]uint16, len(vals))
+	for i, v := range vals {
+		ct.values[i] = idx[v]
+	}
+	ct.wide = nil
+	return ct
+}
+
+// find locates the binary vertex for prefix p and returns a handle
+// usable as a lookupFrom start: the node index whose root is the
+// vertex, or nodeIdx|cBoundary when the vertex is a leaf-pushed
+// boundary mark of node nodeIdx, or −1 if the vertex does not exist.
+// Mirrors flatTrie.find / trie.Find.
+func (ct *ctrie) find(p ip.Prefix) int32 {
+	if len(ct.nodes) == 0 {
+		return -1
+	}
+	hi, lo := p.Addr().Halves()
+	L := p.Len()
+	ni := uint32(0)
+	D := 0
+	for {
+		n := &ct.nodes[ni]
+		rem := L - D
+		if rem == 0 {
+			return int32(ni)
+		}
+		if rem < 6 {
+			if subtreeNonempty(n, extract(hi, lo, D, rem), rem, minInt(6, ct.width-D)) {
+				return int32(ni)
+			}
+			return -1
+		}
+		c := extract(hi, lo, D, 6)
+		if n.subs&(uint64(1)<<c) != 0 {
+			ci := n.child(c)
+			if rem == 6 {
+				return int32(ci)
+			}
+			ni = ci
+			D += 6
+			continue
+		}
+		if rem == 6 && n.marksHi&(uint64(1)<<c) != 0 {
+			return int32(ni) | int32(cBoundary)
+		}
+		return -1
+	}
+}
+
+// markedOf reports whether the vertex named by a find handle h for
+// prefix p is marked (mirrors trie.Node.Marked for compiled slots).
+func (ct *ctrie) markedOf(h int32, p ip.Prefix) bool {
+	if h < 0 {
+		return false
+	}
+	hi, lo := p.Addr().Halves()
+	if uint32(h)&cBoundary != 0 {
+		n := &ct.nodes[uint32(h)&^cBoundary]
+		return n.marksHi&(uint64(1)<<extract(hi, lo, p.Len()-6, 6)) != 0
+	}
+	n := &ct.nodes[h]
+	rel := p.Len() % 6
+	if rel == 0 {
+		return n.marksLo&cRootMark != 0
+	}
+	return n.marksLo&(uint64(1)<<heapBit(rel, extract(hi, lo, p.Len()-rel, rel))) != 0
+}
+
+// lookupFrom walks dest's path from the vertex named by handle (a find
+// result ≥ 0; depth d0 = that vertex's depth) to the deepest existing
+// vertex, returning the longest-match depth, its value, and whether any
+// mark at depth ≥ d0 lies on the path. Charges exactly one counter
+// reference per binary vertex on the walk — e−d0+1 for termination
+// depth e — matching trie.LookupFrom and flatTrie.lookupFrom
+// reference-for-reference. Charges are posted as the walk's frontier
+// advances, before the node reads they account for.
+func (ct *ctrie) lookupFrom(handle uint32, d0 int, dest ip.Addr, cnt *mem.Counter) (int32, int32, bool) {
+	if len(ct.nodes) == 0 {
+		return 0, 0, false
+	}
+	cnt.Add(1) // the start vertex, like flatTrie's first iteration
+	hi, lo := dest.Halves()
+	if handle&cBoundary != 0 {
+		// Leaf-pushed boundary vertex: marked and childless, so the
+		// walk starts and terminates on it.
+		n := &ct.nodes[handle&^cBoundary]
+		c := extract(hi, lo, d0-6, 6)
+		if n.marksHi&(uint64(1)<<c) != 0 {
+			return int32(d0), ct.valHi(n, c), true
+		}
+		return 0, 0, false
+	}
+	ni := handle
+	D := d0 - d0%6 // depth of the current node's root vertex
+	rel0 := d0 - D
+	best, bestVal := int32(-1), int32(0)
+	n := &ct.nodes[ni]
+	if rel0 == 0 {
+		if n.marksLo&cRootMark != 0 {
+			best, bestVal = int32(d0), ct.valRoot(n)
+		}
+	} else {
+		hb := heapBit(rel0, extract(hi, lo, D, rel0))
+		if n.marksLo&(uint64(1)<<hb) != 0 {
+			best, bestVal = int32(d0), ct.valLo(n, hb)
+		}
+	}
+	minRel := rel0 + 1 // marks shallower than the start vertex don't count
+	frontier := d0     // deepest vertex charged so far
+	for {
+		span := ct.width - D
+		if span > 6 {
+			span = 6
+		}
+		c := extract(hi, lo, D, span)
+		if span == 6 && n.subs&(uint64(1)<<c) != 0 {
+			// The whole chunk exists on the path: collect the deepest
+			// mark in this node, charge through the boundary, descend.
+			if n.marksHi&(uint64(1)<<c) != 0 {
+				best, bestVal = int32(D+6), ct.valHi(n, c)
+			} else if j, v, ok := ct.deepestLoMark(n, c, span, minRel, 5); ok {
+				best, bestVal = int32(D+j), v
+			}
+			cnt.Add(D + 6 - frontier)
+			frontier = D + 6
+			ni = n.child(c)
+			n = &ct.nodes[ni]
+			D += 6
+			minRel = 1
+			continue
+		}
+		// Terminal node: the walk dies inside this span.
+		if span == 6 && n.marksHi&(uint64(1)<<c) != 0 {
+			best, bestVal = int32(D+6), ct.valHi(n, c)
+		} else {
+			top := span
+			if top > 5 {
+				top = 5
+			}
+			if j, v, ok := ct.deepestLoMark(n, c, span, minRel, top); ok {
+				best, bestVal = int32(D+j), v
+			}
+		}
+		cnt.Add(D + deepestVertexOnPath(n, c, span) - frontier)
+		break
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestVal, true
+}
+
+// memBytes returns the node-array and value/dictionary footprints.
+func (ct *ctrie) memBytes() (nodeBytes, dictBytes int) {
+	return len(ct.nodes) * cnodeBytes,
+		len(ct.values)*2 + len(ct.dict)*4 + len(ct.wide)*4
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

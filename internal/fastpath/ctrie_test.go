@@ -1,0 +1,297 @@
+package fastpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// checkCTrieAgainst verifies ct is walk-identical (result AND reference
+// charge) to the pointer trie pt: full lookups from the root, restricted
+// lookups started from every live prefix's vertex (over destinations
+// inside that prefix, as the clue contract guarantees), and structural
+// find/markedOf agreement over the live set.
+func checkCTrieAgainst(t *testing.T, tag string, ct *ctrie, pt *trie.Trie, rng *rand.Rand, live map[ip.Prefix]int32) {
+	t.Helper()
+	fam := pt.Family()
+	randAddr := func() ip.Addr {
+		if fam == ip.IPv4 {
+			return ip.AddrFrom32(uint32(rng.Uint64()))
+		}
+		return ip.AddrFrom128(rng.Uint64(), rng.Uint64())
+	}
+	for i := 0; i < 300; i++ {
+		d := randAddr()
+		var cw, cg mem.Counter
+		wantP, wantV, wantOK := pt.Lookup(d, &cw)
+		gotLen, gotV, gotOK := ct.lookupFrom(0, 0, d, &cg)
+		if wantOK != gotOK || (wantOK && (int(gotLen) != wantP.Len() || int(gotV) != wantV)) {
+			t.Fatalf("%s: dest %v: trie (%v,%d,%v) ctrie (len %d,%d,%v)",
+				tag, d, wantP, wantV, wantOK, gotLen, gotV, gotOK)
+		}
+		if cw.Count() != cg.Count() {
+			t.Fatalf("%s: dest %v: trie charged %d refs, ctrie %d", tag, d, cw.Count(), cg.Count())
+		}
+	}
+	for p, v := range live {
+		h := ct.find(p)
+		if h < 0 {
+			t.Fatalf("%s: find(%v) = -1 for a live prefix", tag, p)
+		}
+		if !ct.markedOf(h, p) {
+			t.Fatalf("%s: markedOf(find(%v)) = false for a live prefix", tag, p)
+		}
+		start := pt.Find(p)
+		if start == nil {
+			t.Fatalf("%s: pointer trie lost live prefix %v", tag, p)
+		}
+		// Restricted walks from the clue vertex: destinations drawn
+		// inside p, plus p's own base address (exact-match case).
+		for i := 0; i < 4; i++ {
+			d := randAddr()
+			hi, lo := d.Halves()
+			ph, pl := p.Addr().Halves()
+			mh, ml := maskHi[uint8(p.Len())], maskLo[uint8(p.Len())]
+			d = ip.AddrFrom128(ph&mh|hi&^mh, pl&ml|lo&^ml)
+			if fam == ip.IPv4 {
+				h2, _ := d.Halves()
+				d = ip.AddrFrom32(uint32(h2 >> 32))
+			}
+			var cw, cg mem.Counter
+			wantP, wantV, wantOK := pt.LookupFrom(start, d, &cw)
+			gotLen, gotV, gotOK := ct.lookupFrom(uint32(h), p.Len(), d, &cg)
+			if wantOK != gotOK || (wantOK && (int(gotLen) != wantP.Len() || int(gotV) != wantV)) {
+				t.Fatalf("%s: from %v dest %v: trie (%v,%d,%v) ctrie (len %d,%d,%v)",
+					tag, p, d, wantP, wantV, wantOK, gotLen, gotV, gotOK)
+			}
+			if cw.Count() != cg.Count() {
+				t.Fatalf("%s: from %v dest %v: trie charged %d refs, ctrie %d",
+					tag, p, d, cw.Count(), cg.Count())
+			}
+		}
+		if tv, ok := pt.Get(p); !ok || int32(tv) != v {
+			t.Fatalf("%s: live map drifted from trie at %v", tag, p)
+		}
+	}
+}
+
+// TestCTrieEquivalence fuzzes random tables through compileCTrie against
+// the pointer trie, both families, several densities and seeds.
+func TestCTrieEquivalence(t *testing.T) {
+	for _, fam := range []ip.Family{ip.IPv4, ip.IPv6} {
+		maxLen := 32
+		if fam == ip.IPv6 {
+			maxLen = 128
+		}
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(7000*int64(fam) + seed))
+			pt := trie.New(fam)
+			live := map[ip.Prefix]int32{}
+			n := 40 << uint(seed%3) // 40, 80, 160
+			for i := 0; i < n; i++ {
+				p := randomPrefix(rng, fam, maxLen)
+				v := int32(rng.Intn(1 << 20))
+				pt.Insert(p, int(v))
+				live[p] = v
+			}
+			ct := compileCTrie(pt)
+			if ct.marks != pt.Size() {
+				t.Fatalf("fam %v seed %d: ctrie counted %d marks, trie has %d", fam, seed, ct.marks, pt.Size())
+			}
+			checkCTrieAgainst(t, fam.String(), &ct, pt, rng, live)
+			// Absent prefixes must not be found.
+			for i := 0; i < 50; i++ {
+				p := randomPrefix(rng, fam, maxLen)
+				if _, ok := live[p]; ok {
+					continue
+				}
+				if pt.Find(p) == nil && ct.find(p) >= 0 {
+					t.Fatalf("fam %v seed %d: find(%v) found an absent vertex", fam, seed, p)
+				}
+				if pt.Find(p) != nil && ct.find(p) < 0 {
+					t.Fatalf("fam %v seed %d: find(%v) missed an existing vertex", fam, seed, p)
+				}
+			}
+		}
+	}
+}
+
+// TestCTrieClustered exercises the layout the modern generator actually
+// produces — dense runs of sibling /24s under shared /16 aggregates —
+// where leaf pushing and the child bitmaps do the compression work.
+func TestCTrieClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pt := trie.New(ip.IPv4)
+	live := map[ip.Prefix]int32{}
+	for a := 0; a < 40; a++ {
+		base := uint32(rng.Intn(0xE0))<<24 | uint32(rng.Intn(256))<<16
+		agg := ip.PrefixFrom(ip.AddrFrom32(base), 16)
+		v := int32(rng.Intn(100))
+		pt.Insert(agg, int(v))
+		live[agg] = v
+		run := 1 + rng.Intn(40)
+		start := uint32(rng.Intn(200))
+		for i := 0; i < run; i++ {
+			p := ip.PrefixFrom(ip.AddrFrom32(base|(start+uint32(i))<<8), 24)
+			pv := int32(rng.Intn(100))
+			pt.Insert(p, int(pv))
+			live[p] = pv
+		}
+	}
+	ct := compileCTrie(pt)
+	checkCTrieAgainst(t, "clustered", &ct, pt, rng, live)
+	nodeBytes, dictBytes := ct.memBytes()
+	perPrefix := float64(nodeBytes+dictBytes) / float64(pt.Size())
+	// Sibling runs must compress well below the flat trie's cost; this
+	// clustered fixture sits far under the 8 B/prefix modern-scale gate.
+	flat := compileTrie(pt)
+	if perPrefix >= float64(flat.memBytes())/float64(pt.Size()) {
+		t.Fatalf("compressed %0.1f B/prefix not below flat %0.1f B/prefix",
+			perPrefix, float64(flat.memBytes())/float64(pt.Size()))
+	}
+}
+
+// TestCTrieDegenerate pins the edge tables the packed layout must not
+// mishandle: empty, a single default route, and saturated all-/32 and
+// deep-IPv6 shapes where every walk crosses multiple stride boundaries.
+func TestCTrieDegenerate(t *testing.T) {
+	var cnt mem.Counter
+
+	// Empty: no nodes, no match, zero charge, find misses.
+	empty := compileCTrie(trie.New(ip.IPv4))
+	if l, v, ok := empty.lookupFrom(0, 0, ip.AddrFrom32(42), &cnt); ok || l != 0 || v != 0 {
+		t.Fatalf("empty ctrie lookup = (%d,%d,%v)", l, v, ok)
+	}
+	if cnt.Count() != 0 {
+		t.Fatalf("empty ctrie charged %d refs", cnt.Count())
+	}
+	if empty.find(ip.PrefixFrom(ip.AddrFrom32(0), 0)) >= 0 {
+		t.Fatal("empty ctrie find(/0) succeeded")
+	}
+
+	// Single /0: one node, root mark only; every lookup matches at
+	// length 0 for exactly one charge.
+	pt := trie.New(ip.IPv4)
+	pt.Insert(ip.PrefixFrom(ip.AddrFrom32(0), 0), 7)
+	one := compileCTrie(pt)
+	cnt.Reset()
+	if l, v, ok := one.lookupFrom(0, 0, ip.AddrFrom32(0xDEADBEEF), &cnt); !ok || l != 0 || v != 7 {
+		t.Fatalf("/0 lookup = (%d,%d,%v)", l, v, ok)
+	}
+	if cnt.Count() != 1 {
+		t.Fatalf("/0 lookup charged %d refs, want 1", cnt.Count())
+	}
+	if len(one.nodes) != 1 {
+		t.Fatalf("/0 table compiled to %d nodes, want 1", len(one.nodes))
+	}
+
+	// All-/32 under one /24: the full boundary-crossing ladder, checked
+	// charge-for-charge against the pointer trie.
+	rng := rand.New(rand.NewSource(5))
+	full := trie.New(ip.IPv4)
+	live := map[ip.Prefix]int32{}
+	for h := 0; h < 256; h++ {
+		p := ip.PrefixFrom(ip.AddrFrom32(0x0A000000|uint32(h)), 32)
+		full.Insert(p, h)
+		live[p] = int32(h)
+	}
+	ct := compileCTrie(full)
+	checkCTrieAgainst(t, "all-32", &ct, full, rng, live)
+
+	// IPv6 /128 chain: width 128 ≡ 2 (mod 6) — the last node spans only
+	// two relative levels; pin that the short-span arithmetic holds.
+	v6 := trie.New(ip.IPv6)
+	live6 := map[ip.Prefix]int32{}
+	for i := 0; i < 8; i++ {
+		p := ip.PrefixFrom(ip.AddrFrom128(rng.Uint64(), rng.Uint64()), 128)
+		v6.Insert(p, i)
+		live6[p] = int32(i)
+	}
+	ct6 := compileCTrie(v6)
+	checkCTrieAgainst(t, "v6-128", &ct6, v6, rng, live6)
+}
+
+// TestCTrieDictionary pins the next-hop dictionary: a table with few
+// distinct values stores 16-bit indices, and the decoded values match;
+// the wide fallback is exercised through a synthetic cutover.
+func TestCTrieDictionary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pt := trie.New(ip.IPv4)
+	live := map[ip.Prefix]int32{}
+	for i := 0; i < 500; i++ {
+		p := randomPrefix(rng, ip.IPv4, 28)
+		v := int32(rng.Intn(16)) // 16 distinct next hops
+		pt.Insert(p, int(v))
+		live[p] = v
+	}
+	ct := compileCTrie(pt)
+	if ct.wide != nil {
+		t.Fatal("small-value table did not cut over to the dictionary")
+	}
+	if len(ct.dict) > 16 {
+		t.Fatalf("dictionary has %d entries for 16 distinct values", len(ct.dict))
+	}
+	checkCTrieAgainst(t, "dict", &ct, pt, rng, live)
+
+	// Force the wide representation and re-check equivalence: decode
+	// must behave identically through either value store.
+	wideVals := make([]int32, len(ct.values))
+	for i, vi := range ct.values {
+		wideVals[i] = ct.dict[vi]
+	}
+	wide := ct
+	wide.wide = wideVals
+	wide.values = nil
+	wide.dict = nil
+	checkCTrieAgainst(t, "wide", &wide, pt, rng, live)
+}
+
+// newTestTable builds a warm Advance table on the Regular engine over
+// rt, preprocessing rt's own prefixes as clues.
+func newTestTable(tb testing.TB, rt *trie.Trie) *core.Table {
+	tb.Helper()
+	tab := core.MustNewTable(core.Config{
+		Method: core.Advance, Engine: lookup.NewRegular(rt),
+		Local: rt, Sender: rt.Contains,
+	})
+	tab.Preprocess(rt.Prefixes())
+	return tab
+}
+
+// TestCompressedSnapshotMemStats pins the MemStats accounting against
+// the structures it claims to measure, for both layouts.
+func TestCompressedSnapshotMemStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pt := trie.New(ip.IPv4)
+	for i := 0; i < 400; i++ {
+		pt.Insert(randomPrefix(rng, ip.IPv4, 28), rng.Intn(8))
+	}
+	tab := newTestTable(t, pt)
+	for _, layout := range []Layout{LayoutFlat, LayoutCompressed} {
+		s := CompileLayout(tab, layout)
+		m := s.MemStats()
+		if m.Compressed != (layout == LayoutCompressed) {
+			t.Fatalf("layout %v: Compressed = %v", layout, m.Compressed)
+		}
+		if m.Entries != s.Len() {
+			t.Fatalf("layout %v: Entries %d != Len %d", layout, m.Entries, s.Len())
+		}
+		if m.LocalTrieBytes <= 0 || m.SlotBytes < 0 || m.TotalBytes() < m.TrieIndexBytes() {
+			t.Fatalf("layout %v: implausible MemStats %+v", layout, m)
+		}
+		if layout == LayoutCompressed {
+			want := len(s.clocal.nodes) * cnodeBytes
+			if m.LocalTrieBytes != want {
+				t.Fatalf("compressed LocalTrieBytes %d, want %d", m.LocalTrieBytes, want)
+			}
+			if m.DictBytes != len(s.clocal.values)*2+len(s.clocal.dict)*4 {
+				t.Fatalf("compressed DictBytes %d inconsistent", m.DictBytes)
+			}
+		}
+	}
+}

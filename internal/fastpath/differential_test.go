@@ -18,6 +18,7 @@ import (
 	"repro/internal/lookup"
 	"repro/internal/mem"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/trie"
 )
 
@@ -170,6 +171,179 @@ func TestDifferentialEngines(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestDifferentialCompressed drives the compressed layout through the
+// same engine × method × verify × family matrix, pinning it packet for
+// packet (outcome, next hop, refs) to BOTH the core table and the flat
+// snapshot, and telemetry counter for telemetry counter to the flat
+// snapshot over the identical workload.
+func TestDifferentialCompressed(t *testing.T) {
+	for _, fam := range []struct {
+		name string
+		pair *pairFixture
+	}{
+		{"IPv4", v4Pair(t, 1200)},
+		{"IPv6", v6Pair(t, 800)},
+	} {
+		fam.pair.perturb(13)
+		for _, e := range lookup.All(fam.pair.rt) {
+			for _, m := range []core.Method{core.Simple, core.Advance} {
+				for _, verify := range []bool{false, true} {
+					if verify && m != core.Advance {
+						continue
+					}
+					name := fam.name + "/" + m.String() + "/" + e.Name()
+					if verify {
+						name += "/verify"
+					}
+					t.Run(name, func(t *testing.T) {
+						p := fam.pair
+						tab := newTable(t, p, m, e, verify)
+						flatTel := telemetry.NewPacketMetrics(telemetry.NewRegistry(), "flat", core.OutcomeLabels())
+						compTel := telemetry.NewPacketMetrics(telemetry.NewRegistry(), "comp", core.OutcomeLabels())
+						tab.SetTelemetry(flatTel)
+						flat := fastpath.CompileLayout(tab, fastpath.LayoutFlat)
+						tab.SetTelemetry(compTel)
+						comp := fastpath.CompileLayout(tab, fastpath.LayoutCompressed)
+						tab.SetTelemetry(nil)
+						if flat.Compressed() {
+							t.Fatal("LayoutFlat produced a compressed snapshot")
+						}
+						if (e.Name() == "Regular" || verify) != comp.Compressed() {
+							t.Fatalf("compressed=%v for engine %s verify=%v", comp.Compressed(), e.Name(), verify)
+						}
+						for i := range p.dests {
+							d, c := p.dests[i], p.clues[i]
+							var cw, cf, cg mem.Counter
+							w := tab.Process(d, c, &cw)
+							f := flat.Process(d, c, &cf)
+							g := comp.Process(d, c, &cg)
+							if w != g || f != g {
+								t.Fatalf("dest %v clue %d: core %+v flat %+v compressed %+v", d, c, w, f, g)
+							}
+							if cw.Count() != cg.Count() || cf.Count() != cg.Count() {
+								t.Fatalf("dest %v clue %d: refs core %d flat %d compressed %d",
+									d, c, cw.Count(), cf.Count(), cg.Count())
+							}
+						}
+						for i := 0; i < 64; i++ {
+							var cw, cg mem.Counter
+							w := flat.ProcessNoClue(p.dests[i], &cw)
+							g := comp.ProcessNoClue(p.dests[i], &cg)
+							if w != g || cw.Count() != cg.Count() {
+								t.Fatalf("NoClue dest %v: flat %+v (%d refs) compressed %+v (%d refs)",
+									p.dests[i], w, cw.Count(), g, cg.Count())
+							}
+						}
+						// Telemetry equality: same packets, same outcome
+						// counts, same aggregate refs on both layouts.
+						// (checkPacket ran each workload packet once per
+						// snapshot; the NoClue loop adds 64 more to each.)
+						if flatTel.Packets() != compTel.Packets() || flatTel.Refs() != compTel.Refs() {
+							t.Fatalf("telemetry diverged: flat %d packets/%d refs, compressed %d packets/%d refs",
+								flatTel.Packets(), flatTel.Refs(), compTel.Packets(), compTel.Refs())
+						}
+						for o := range core.OutcomeLabels() {
+							if flatTel.OutcomeCount(o) != compTel.OutcomeCount(o) {
+								t.Fatalf("telemetry outcome %v: flat %d, compressed %d",
+									core.Outcome(o), flatTel.OutcomeCount(o), compTel.OutcomeCount(o))
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialCompressedRCU keeps a compressed-layout RCU in
+// lockstep with a learning core table through the Learn, Invalidate and
+// Revalidate write grades: every publication recompiles or patches the
+// compressed snapshot, and the read side must never diverge.
+func TestDifferentialCompressedRCU(t *testing.T) {
+	p := v4Pair(t, 800)
+	p.perturb(17)
+	ref := core.MustNewTable(core.Config{
+		Method: core.Advance, Engine: lookup.NewRegular(p.rt),
+		Local: p.rt, Sender: p.st.Contains,
+		Learn: true, LearnLimit: 40,
+	})
+	live := core.MustNewTable(core.Config{
+		Method: core.Advance, Engine: lookup.NewRegular(p.rt),
+		Local: p.rt, Sender: p.st.Contains,
+		Learn: true, LearnLimit: 40,
+	})
+	rcu := fastpath.NewRCULayout(live, fastpath.LayoutCompressed)
+	if !rcu.Snapshot().Compressed() {
+		t.Fatal("NewRCULayout(LayoutCompressed) published a flat snapshot")
+	}
+	for i := range p.dests {
+		d, c := p.dests[i], p.clues[i]
+		var cw, cg mem.Counter
+		w := ref.Process(d, c, &cw)
+		g := rcu.Process(d, c, &cg)
+		if w != g || cw.Count() != cg.Count() {
+			t.Fatalf("packet %d dest %v clue %d: core %+v (%d refs) rcu %+v (%d refs)",
+				i, d, c, w, cw.Count(), g, cg.Count())
+		}
+		if g.Outcome == core.OutcomeMiss {
+			rcu.Learn(d, c)
+		}
+	}
+	if rcu.Len() != ref.Len() {
+		t.Fatalf("learned tables diverged: core %d entries, rcu %d", ref.Len(), rcu.Len())
+	}
+	if !rcu.Snapshot().Compressed() {
+		t.Fatal("patching lost the compressed layout")
+	}
+	var victims []ip.Prefix
+	for i := 0; i < len(p.dests) && len(victims) < 30; i += 9 {
+		if bmp, _, ok := p.st.Lookup(p.dests[i], nil); ok {
+			victims = append(victims, bmp)
+		}
+	}
+	for _, v := range victims {
+		if ref.Invalidate(v) != rcu.Invalidate(v) {
+			t.Fatalf("Invalidate(%v) disagreed", v)
+		}
+	}
+	for i := range p.dests {
+		checkPacket(t, "invalidated", ref.Process, rcu.Process, p.dests[i], p.clues[i])
+	}
+}
+
+// TestCompressedApplyDegrades pins the ISSUE-8 writer contract: Apply on
+// a compressed snapshot cannot patch in place, so every batch must take
+// the counted recompile path (Fallbacks + Recompiles) and still leave
+// the published snapshot equal to a from-scratch compile.
+func TestCompressedApplyDegrades(t *testing.T) {
+	p := v4Pair(t, 400)
+	live := newTable(t, p, core.Advance, lookup.NewRegular(p.rt), false)
+	rcu := fastpath.NewRCULayout(live, fastpath.LayoutCompressed)
+	reg := telemetry.NewRegistry()
+	fallbacks := reg.NewCounter("fallbacks", "")
+	recompiles := reg.NewCounter("recompiles", "")
+	applies := reg.NewCounter("applies", "")
+	rcu.SetMetrics(fastpath.Metrics{Fallbacks: fallbacks, Recompiles: recompiles, Applies: applies})
+	ops := []fastpath.RouteOp{
+		{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[0], 26), Value: 991},
+		{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[1], 24), Value: 992},
+		{Kind: fastpath.OpWithdraw, Prefix: ip.PrefixFrom(p.dests[2], 28)},
+	}
+	rcu.Apply(ops)
+	if fallbacks.Value() != 1 || recompiles.Value() != 1 || applies.Value() != 0 {
+		t.Fatalf("compressed Apply: fallbacks=%d recompiles=%d applies=%d, want 1/1/0",
+			fallbacks.Value(), recompiles.Value(), applies.Value())
+	}
+	snap := rcu.Snapshot()
+	if !snap.Compressed() {
+		t.Fatal("degrade recompile lost the compressed layout")
+	}
+	ref := fastpath.CompileLayout(live, fastpath.LayoutCompressed)
+	for i := range p.dests {
+		checkPacket(t, "post-apply", ref.Process, snap.Process, p.dests[i], p.clues[i])
 	}
 }
 

@@ -107,18 +107,41 @@ func hashKey(hi, lo uint64) uint64 {
 // Snapshot is an immutable compiled clue table. All exported methods are
 // safe for unsynchronized concurrent use; none of them allocate.
 type Snapshot struct {
-	width   int
-	fam     ip.Family
-	flat    bool // engine is Regular: walks run on the flat tries below
-	verify  bool
-	lens    []lenTable
-	local   flatTrie // flat mode: the receiver's compiled trie
-	sender  flatTrie // Verify: the sender's compiled trie
-	engine  lookup.Engine
-	resumes []lookup.Resume // delegate mode: per-entry compiled restricted searches
-	entries int
-	tel     *telemetry.PacketMetrics // inherited from the master table at Compile
+	width      int
+	fam        ip.Family
+	flat       bool // engine is Regular: walks run on the flat tries below
+	verify     bool
+	compressed bool // tries are ctries (entropy-compressed) instead of flatTries
+	lens       []lenTable
+	local      flatTrie // flat mode: the receiver's compiled trie
+	sender     flatTrie // Verify: the sender's compiled trie
+	clocal     ctrie    // compressed counterparts of local/sender
+	csender    ctrie
+	engine     lookup.Engine
+	resumes    []lookup.Resume // delegate mode: per-entry compiled restricted searches
+	entries    int
+	tel        *telemetry.PacketMetrics // inherited from the master table at Compile
 }
+
+// Layout selects the trie representation a snapshot compiles to.
+type Layout int
+
+const (
+	// LayoutAuto picks per table: flat below autoCompressNodes binary
+	// vertices (1999-scale tables, where the 12-byte-node flat trie fits
+	// cache and supports in-place Apply patches), compressed above it
+	// (modern BGP scale, where bytes/prefix decides throughput).
+	LayoutAuto Layout = iota
+	// LayoutFlat forces the popcount-bitmap flat tries (flattrie.go).
+	LayoutFlat
+	// LayoutCompressed forces the multibit packed tries (ctrie.go).
+	LayoutCompressed
+)
+
+// autoCompressNodes is the LayoutAuto cutover, in binary trie vertices
+// across the tries a snapshot compiles (~20k prefixes and up): paper-
+// scale fixtures stay flat, modern-scale tables compress.
+const autoCompressNodes = 1 << 17
 
 // Compile snapshots a clue table. It runs off the packet path and is not
 // charged references (like the paper's preprocessing). The table must be
@@ -126,9 +149,14 @@ type Snapshot struct {
 // is exactly what core's UpdateLocal/UpdateSender/Revalidate maintain;
 // later mutations of the live table or its tries do not affect the
 // snapshot (flat mode copies the tries) but do require recompiling to be
-// visible.
+// visible. The trie representation is chosen per LayoutAuto.
 func Compile(t *core.Table) *Snapshot {
-	return compileExported(t.Config(), t.Export(), t.Telemetry())
+	return CompileLayout(t, LayoutAuto)
+}
+
+// CompileLayout is Compile with an explicit trie representation.
+func CompileLayout(t *core.Table, layout Layout) *Snapshot {
+	return compileExported(t.Config(), t.Export(), t.Telemetry(), layout)
 }
 
 // compileExported builds a snapshot from an already-exported entry set.
@@ -138,7 +166,7 @@ func Compile(t *core.Table) *Snapshot {
 // rebuild-holding writers, so they are stable for the duration, while
 // the exported entries are value copies that no concurrent Learn can
 // touch.
-func compileExported(cfg core.Config, entries []core.ExportedEntry, tel *telemetry.PacketMetrics) *Snapshot {
+func compileExported(cfg core.Config, entries []core.ExportedEntry, tel *telemetry.PacketMetrics, layout Layout) *Snapshot {
 	s := &Snapshot{
 		width:  cfg.Local.Family().Width(),
 		fam:    cfg.Local.Family(),
@@ -148,10 +176,38 @@ func compileExported(cfg core.Config, entries []core.ExportedEntry, tel *telemet
 	}
 	if _, ok := cfg.Engine.(*lookup.RegularEngine); ok {
 		s.flat = true
-		s.local = compileTrie(cfg.Local)
+	}
+	switch layout {
+	case LayoutFlat:
+		// compressed stays false
+	case LayoutCompressed:
+		s.compressed = true
+	default:
+		need := 0
+		if s.flat {
+			need = cfg.Local.NodeCount()
+		}
+		if cfg.Verify {
+			need += cfg.SenderTrie.NodeCount()
+		}
+		s.compressed = need >= autoCompressNodes
+	}
+	if !s.flat && !cfg.Verify {
+		s.compressed = false // no tries to compress; keep Apply patchable
+	}
+	if s.flat {
+		if s.compressed {
+			s.clocal = compileCTrie(cfg.Local)
+		} else {
+			s.local = compileTrie(cfg.Local)
+		}
 	}
 	if cfg.Verify {
-		s.sender = compileTrie(cfg.SenderTrie)
+		if s.compressed {
+			s.csender = compileCTrie(cfg.SenderTrie)
+		} else {
+			s.sender = compileTrie(cfg.SenderTrie)
+		}
 	}
 	s.lens = make([]lenTable, s.width+1)
 	perLen := make([][]core.ExportedEntry, s.width+1)
@@ -204,7 +260,11 @@ func (s *Snapshot) compileSlot(e core.ExportedEntry) slot {
 	case s.flat:
 		// The Regular engine resumes at the clue vertex of the live trie;
 		// the flat walk starts at the same vertex of the compiled copy.
-		sl.resume = s.local.find(e.Clue)
+		if s.compressed {
+			sl.resume = s.clocal.find(e.Clue)
+		} else {
+			sl.resume = s.local.find(e.Clue)
+		}
 		if sl.resume < 0 {
 			sl.flags |= slotFinal // vertex gone: nothing below the clue anymore
 		}
@@ -213,9 +273,16 @@ func (s *Snapshot) compileSlot(e core.ExportedEntry) slot {
 		s.resumes = append(s.resumes, e.Resume)
 	}
 	if s.verify {
-		sl.sender = s.sender.find(e.Clue)
-		if sl.sender >= 0 && s.sender.node(uint32(sl.sender)).meta&fMarked != 0 {
-			sl.flags |= slotSenderMarked
+		if s.compressed {
+			sl.sender = s.csender.find(e.Clue)
+			if s.csender.markedOf(sl.sender, e.Clue) {
+				sl.flags |= slotSenderMarked
+			}
+		} else {
+			sl.sender = s.sender.find(e.Clue)
+			if sl.sender >= 0 && s.sender.node(uint32(sl.sender)).meta&fMarked != 0 {
+				sl.flags |= slotSenderMarked
+			}
 		}
 	}
 	return sl
@@ -248,6 +315,66 @@ func (s *Snapshot) Len() int { return s.entries }
 // engine) as opposed to delegating restricted searches to a compiled
 // engine.
 func (s *Snapshot) Flat() bool { return s.flat }
+
+// Compressed reports whether the snapshot's tries use the entropy-
+// compressed multibit layout (ctrie.go). Compressed snapshots cannot be
+// patched in place by RCU.Apply; batches degrade to the counted
+// recompile path instead.
+func (s *Snapshot) Compressed() bool { return s.compressed }
+
+// MemStats is the per-structure memory accounting of a compiled
+// snapshot, in bytes of backing array (headers and the Snapshot struct
+// itself excluded). It is what the clued /metrics gauges and the
+// cluebench scale sweep report.
+type MemStats struct {
+	Compressed      bool
+	Entries         int // compiled clue entries across all slot tables
+	SlotBytes       int // open-addressed clue slot tables (32 B/slot, all lengths)
+	LocalTrieBytes  int // local trie index: flat pages or packed multibit nodes
+	SenderTrieBytes int // sender trie index (Verify), same representation
+	DictBytes       int // compressed value arrays + next-hop dictionary
+	ResumeBytes     int // delegate-mode per-entry resume handles
+	LocalNodes      int // nodes in the local trie (binary vertices flat, multibit nodes compressed)
+	SenderNodes     int
+}
+
+// TrieIndexBytes is the trie-side footprint — the quantity the
+// bytes/prefix acceptance gate measures (slot tables excluded, since
+// they scale with learned clues rather than routes).
+func (m MemStats) TrieIndexBytes() int {
+	return m.LocalTrieBytes + m.SenderTrieBytes + m.DictBytes
+}
+
+// TotalBytes is the full snapshot footprint.
+func (m MemStats) TotalBytes() int {
+	return m.SlotBytes + m.TrieIndexBytes() + m.ResumeBytes
+}
+
+// MemStats walks the snapshot's backing arrays and returns the
+// per-structure byte accounting. It allocates nothing and is safe on a
+// published snapshot.
+func (s *Snapshot) MemStats() MemStats {
+	m := MemStats{Compressed: s.compressed, Entries: s.entries}
+	for _, lt := range s.lens {
+		m.SlotBytes += len(lt.slots) * 32
+	}
+	m.ResumeBytes = len(s.resumes) * 16 // two words per lookup.Resume interface
+	if s.compressed {
+		var d int
+		m.LocalTrieBytes, d = s.clocal.memBytes()
+		m.DictBytes += d
+		m.SenderTrieBytes, d = s.csender.memBytes()
+		m.DictBytes += d
+		m.LocalNodes = len(s.clocal.nodes)
+		m.SenderNodes = len(s.csender.nodes)
+	} else {
+		m.LocalTrieBytes = s.local.memBytes()
+		m.SenderTrieBytes = s.sender.memBytes()
+		m.LocalNodes = s.local.n - s.local.dead
+		m.SenderNodes = s.sender.n - s.sender.dead
+	}
+	return m
+}
 
 // Telemetry returns the metrics bundle inherited from the master table
 // at Compile (nil when the table had none attached).
@@ -361,7 +488,14 @@ func (s *Snapshot) applyEntry(sl *slot, dest ip.Addr, clueLen int, cnt *mem.Coun
 		return core.Result{Prefix: ip.PrefixFrom(dest, int(sl.fdLen)), Value: int(sl.value), OK: true, Outcome: core.OutcomeFD}
 	}
 	if s.flat {
-		if l, v, ok := s.local.lookupFrom(uint32(sl.resume), clueLen, dest, cnt); ok {
+		var l, v int32
+		var ok bool
+		if s.compressed {
+			l, v, ok = s.clocal.lookupFrom(uint32(sl.resume), clueLen, dest, cnt)
+		} else {
+			l, v, ok = s.local.lookupFrom(uint32(sl.resume), clueLen, dest, cnt)
+		}
+		if ok {
 			return core.Result{Prefix: ip.PrefixFrom(dest, int(l)), Value: int(v), OK: true, Outcome: core.OutcomeResumeHit}
 		}
 	} else if p, v, ok := s.resumes[sl.resume].Lookup(dest, cnt); ok {
@@ -383,7 +517,13 @@ func (s *Snapshot) refuted(sl *slot, dest ip.Addr, clueLen int, cnt *mem.Counter
 	if sl.flags&slotSenderMarked == 0 {
 		return true
 	}
-	l, _, ok := s.sender.lookupFrom(uint32(sl.sender), clueLen, dest, cnt)
+	var l int32
+	var ok bool
+	if s.compressed {
+		l, _, ok = s.csender.lookupFrom(uint32(sl.sender), clueLen, dest, cnt)
+	} else {
+		l, _, ok = s.sender.lookupFrom(uint32(sl.sender), clueLen, dest, cnt)
+	}
 	return ok && int(l) > clueLen
 }
 
@@ -398,7 +538,14 @@ func (s *Snapshot) refuted(sl *slot, dest ip.Addr, clueLen int, cnt *mem.Counter
 func (s *Snapshot) fullLookup(dest ip.Addr, cnt *mem.Counter, o core.Outcome, before int) core.Result {
 	var r core.Result
 	if s.flat {
-		if l, v, ok := s.local.lookupFrom(0, 0, dest, cnt); ok {
+		var l, v int32
+		var ok bool
+		if s.compressed {
+			l, v, ok = s.clocal.lookupFrom(0, 0, dest, cnt)
+		} else {
+			l, v, ok = s.local.lookupFrom(0, 0, dest, cnt)
+		}
+		if ok {
 			r = core.Result{Prefix: ip.PrefixFrom(dest, int(l)), Value: int(v), OK: true, Outcome: o}
 		} else {
 			r = core.Result{Outcome: o}

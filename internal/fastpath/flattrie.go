@@ -338,3 +338,10 @@ func (ed *flatEdit) remove(p ip.Prefix) bool {
 func siblingOf(p ip.Prefix, i int, b byte) ip.Prefix {
 	return ip.PrefixFrom(p.Addr().WithBit(i, b), i+1)
 }
+
+// memBytes returns the page-backed footprint of the flat trie: every
+// allocated page (12 bytes per vertex slot, live or dead) plus the page
+// table itself.
+func (ft *flatTrie) memBytes() int {
+	return len(ft.pages)*pageSize*12 + len(ft.pages)*8
+}

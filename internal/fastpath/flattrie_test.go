@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/ip"
+	"repro/internal/lookup"
 	"repro/internal/mem"
 	"repro/internal/trie"
 )
@@ -212,5 +214,113 @@ func TestCoalesce(t *testing.T) {
 	// The input slice must be left intact (callers may retain it).
 	if in[0].Value != 1 {
 		t.Fatal("coalesce mutated its input")
+	}
+}
+
+// TestFlatEditMaxDepth drives flatEdit subtree cloning at the full
+// address width: /32 IPv4 and /128 IPv6 chains, where an insert or
+// remove clones the longest possible vertex path and sibling
+// relocations happen at the deepest pages. Every batch is checked
+// walk- and charge-identical against the pointer trie, and COW is
+// proven by content-comparing the pre-edit pages.
+func TestFlatEditMaxDepth(t *testing.T) {
+	for _, fam := range []ip.Family{ip.IPv4, ip.IPv6} {
+		width := fam.Width()
+		rng := rand.New(rand.NewSource(500 + int64(fam)))
+		pt := trie.New(fam)
+		live := map[ip.Prefix]int32{}
+		mk := func(base uint64, last uint64) ip.Prefix {
+			if fam == ip.IPv4 {
+				return ip.PrefixFrom(ip.AddrFrom32(uint32(base<<8|last)), width)
+			}
+			return ip.PrefixFrom(ip.AddrFrom128(base, last), width)
+		}
+		// Deep cluster: full-width leaves sharing long common stems, so
+		// edits split and re-join chains at maximum depth.
+		base := rng.Uint64() >> 40
+		for i := 0; i < 48; i++ {
+			p := mk(base, uint64(i*5%256))
+			v := int32(rng.Intn(1 << 16))
+			pt.Insert(p, int(v))
+			live[p] = v
+		}
+		ft := compileTrie(pt)
+		checkFlatAgainst(t, "maxdepth-compiled", &ft, pt, rng, live)
+		for batch := 0; batch < 8; batch++ {
+			orig := append([]*flatPage(nil), ft.pages...)
+			pristine := clonePages(orig)
+			ed := edit(&ft)
+			for k := 0; k < 6; k++ {
+				p := mk(base, uint64(rng.Intn(256)))
+				if v, ok := live[p]; ok && rng.Intn(2) == 0 {
+					_ = v
+					if !ed.remove(p) {
+						t.Fatalf("remove(%v) reported absent for a live max-depth leaf", p)
+					}
+					pt.Delete(p)
+					delete(live, p)
+				} else {
+					v := int32(rng.Intn(1 << 16))
+					ed.insert(p, v)
+					pt.Insert(p, int(v))
+					live[p] = v
+				}
+			}
+			checkFlatAgainst(t, "maxdepth-edited", &ft, pt, rng, live)
+			for i, pg := range orig {
+				if *pg != *pristine[i] {
+					t.Fatalf("fam %v: shared page %d mutated by a max-depth edit", fam, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotDegenerateTables compiles the degenerate tables — empty,
+// a single /0 default route, and an all-/32 table — under both the flat
+// and the packed compressed layout, and pins Process equality (result
+// and refs) against the interpreting core table for each.
+func TestSnapshotDegenerateTables(t *testing.T) {
+	type fixture struct {
+		name string
+		fill func(*trie.Trie)
+	}
+	fixtures := []fixture{
+		{"empty", func(*trie.Trie) {}},
+		{"default-route", func(rt *trie.Trie) {
+			rt.Insert(ip.PrefixFrom(ip.AddrFrom32(0), 0), 1)
+		}},
+		{"all-32", func(rt *trie.Trie) {
+			for h := 0; h < 512; h++ {
+				rt.Insert(ip.PrefixFrom(ip.AddrFrom32(0xC0A80000|uint32(h)), 32), h%9)
+			}
+		}},
+	}
+	rng := rand.New(rand.NewSource(8))
+	for _, fx := range fixtures {
+		rt := trie.New(ip.IPv4)
+		fx.fill(rt)
+		tab := core.MustNewTable(core.Config{
+			Method: core.Advance, Engine: lookup.NewRegular(rt),
+			Local: rt, Sender: rt.Contains,
+		})
+		tab.Preprocess(rt.Prefixes())
+		for _, layout := range []Layout{LayoutFlat, LayoutCompressed} {
+			snap := CompileLayout(tab, layout)
+			for i := 0; i < 300; i++ {
+				d := ip.AddrFrom32(uint32(rng.Uint64()))
+				if i%3 == 0 {
+					d = ip.AddrFrom32(0xC0A80000 | uint32(rng.Intn(1024))) // inside all-32's cluster
+				}
+				c := rng.Intn(37) - 2
+				var cw, cg mem.Counter
+				w := tab.Process(d, c, &cw)
+				g := snap.Process(d, c, &cg)
+				if w != g || cw.Count() != cg.Count() {
+					t.Fatalf("%s/%v dest %v clue %d: core %+v (%d refs) snap %+v (%d refs)",
+						fx.name, layout, d, c, w, cw.Count(), g, cg.Count())
+				}
+			}
+		}
 	}
 }

@@ -53,6 +53,11 @@ type RCU struct {
 	met Metrics // writer-side telemetry; zero value records nothing
 	mk  EngineMaker
 
+	// layout is the trie representation every compile under this RCU
+	// uses (LayoutAuto by default). Immutable after construction, so
+	// writers of any grade can read it without coordination.
+	layout Layout
+
 	// rebuilding/dirty implement the off-lock rebuild: while a compile
 	// runs outside mu, entry patches append their clue here and the
 	// rebuild replays them onto the fresh snapshot before publishing.
@@ -84,7 +89,7 @@ type Metrics struct {
 	AppliedOps  *telemetry.Counter // route ops folded into published Apply batches
 	Coalesced   *telemetry.Counter // ops merged away by batching/coalescing
 	Overflows   *telemetry.Counter // writer-queue overflows: batch degraded to a recompile
-	Fallbacks   *telemetry.Counter // Apply batches too broad for patching: degraded to a recompile
+	Fallbacks   *telemetry.Counter // Apply batches unpatchable in place (too broad, or compressed snapshot): degraded to a recompile
 	Compactions *telemetry.Counter // rebuilds reclaiming dead trie slots / abandoned resumes
 	Defensive   *telemetry.Counter // defensive rebuilds: entry vanished under a patch
 }
@@ -117,8 +122,15 @@ func (r *RCU) publish(s *Snapshot, how *telemetry.Counter) {
 // directly afterwards (readers would keep seeing the old snapshot, and a
 // later writer would publish the unsynchronized edits).
 func NewRCU(t *core.Table) *RCU {
-	r := &RCU{tab: t}
-	r.snap.Store(Compile(t))
+	return NewRCULayout(t, LayoutAuto)
+}
+
+// NewRCULayout is NewRCU with an explicit trie representation, used by
+// benchmarks and by operators pinning a layout regardless of table
+// size. Every rebuild this RCU performs keeps the chosen layout.
+func NewRCULayout(t *core.Table, layout Layout) *RCU {
+	r := &RCU{tab: t, layout: layout}
+	r.snap.Store(CompileLayout(t, layout))
 	return r
 }
 
@@ -215,7 +227,7 @@ func (r *RCU) patchEntry(clue ip.Prefix) {
 	// defensively — counted on its own so a recompile spike can be told
 	// apart from routine route churn.
 	r.met.Defensive.Inc()
-	r.publish(Compile(r.tab), r.met.Recompiles)
+	r.publish(CompileLayout(r.tab, r.layout), r.met.Recompiles)
 }
 
 // rebuild recompiles the master table and publishes the result, running
@@ -240,7 +252,7 @@ func (r *RCU) rebuild(mutate func(*core.Table), how *telemetry.Counter) {
 	if r.compileHook != nil {
 		r.compileHook()
 	}
-	s := compileExported(cfg, exp, tel)
+	s := compileExported(cfg, exp, tel, r.layout)
 
 	r.mu.Lock()
 	for _, c := range r.dirty {

@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+)
+
+// These tests pin generator output byte-for-byte at fixed seeds, for
+// the paper-shaped generator and the modern-shaped one alike. Every
+// benchmark table in EXPERIMENTS.md cites a seed; these goldens are
+// what make those citations reproducible. If a generator change trips
+// one, it invalidates all published numbers — bump the seeds in the
+// docs and re-run the sweeps rather than just updating the strings.
+
+func pinPrefixes(t *testing.T, label string, got []ip.Prefix, want []string) {
+	t.Helper()
+	if len(got) < len(want) {
+		t.Fatalf("%s: only %d prefixes, want at least %d", label, len(got), len(want))
+	}
+	for i, w := range want {
+		if s := got[i].String(); s != w {
+			t.Fatalf("%s: prefix %d = %s, want %s", label, i, s, w)
+		}
+	}
+}
+
+func TestGoldenModernV4(t *testing.T) {
+	u := NewModernUniverse(2026, ip.IPv4, 50000)
+	pinPrefixes(t, "modern-v4 seed 2026", u.Prefixes(), []string{
+		"120.29.45.0/24",
+		"114.167.108.0/23",
+		"114.167.110.0/23",
+		"114.167.112.0/23",
+		"21.28.241.0/24",
+		"17.165.200.0/22",
+		"17.165.204.0/22",
+		"125.128.158.0/24",
+		"125.128.159.0/24",
+		"125.128.160.0/24",
+		"125.128.161.0/24",
+		"125.128.162.0/24",
+	})
+}
+
+func TestGoldenModernV6(t *testing.T) {
+	u := NewModernUniverse(2026, ip.IPv6, 20000)
+	pinPrefixes(t, "modern-v6 seed 2026", u.Prefixes(), []string{
+		"32a2:a713:b91e::/48",
+		"3f17:18cb:ce70::/44",
+		"3f17:18cb:ce80::/44",
+		"3f17:18cb:ce90::/44",
+		"3caa:392e:e975::/48",
+		"2253:d540:3200::/40",
+		"2253:d540:3300::/40",
+		"29f7:f083:945f::/48",
+		"29f7:f083:9460::/48",
+		"29f7:f083:9461::/48",
+		"29f7:f083:9462::/48",
+		"29f7:f083:9463::/48",
+	})
+}
+
+func TestGoldenPaperV4(t *testing.T) {
+	routers := PaperRouters(1999, 0.1)
+	att, ok := routers["AT&T-1"]
+	if !ok {
+		t.Fatal("PaperRouters(1999, 0.1) lost router AT&T-1")
+	}
+	if att.Len() != 2341 {
+		t.Fatalf("AT&T-1 holds %d prefixes, want 2341", att.Len())
+	}
+	pinPrefixes(t, "paper AT&T-1 seed 1999", att.Prefixes(), []string{
+		"24.17.212.0/24",
+		"24.116.89.0/24",
+		"24.138.252.0/24",
+		"24.175.108.0/22",
+		"24.175.108.112/29",
+		"24.175.109.128/27",
+		"24.193.194.0/24",
+		"24.244.0.0/19",
+		"25.16.135.0/24",
+		"25.140.102.0/24",
+		"25.160.0.0/14",
+		"25.163.216.0/23",
+	})
+}
+
+func TestGoldenPaperV6(t *testing.T) {
+	u := NewUniverseV6(41, 4000)
+	sender := u.Router(RouterSpec{Name: "v6-sender", Size: 2500, Divergence: 0.03})
+	pinPrefixes(t, "paper v6-sender seed 41", sender.Prefixes(), []string{
+		"2001:18:1000::/36",
+		"2001:18:1391:8000::/50",
+		"2001:2c:915c::/48",
+		"2001:2c:915c:55a0::/61",
+		"2001:31:1000::/36",
+		"2001:77:a000::/36",
+		"2001:96:7b60::/44",
+		"2001:9c:fb3a::/48",
+	})
+}

@@ -1,0 +1,205 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fib"
+	"repro/internal/ip"
+)
+
+// This file generates modern-shaped tables: a 2026 full BGP view rather
+// than the 1999 snapshot buildUniverse models. The shape differs from
+// the paper era in three load-bearing ways:
+//
+//   - Scale: ~1M IPv4 / ~200k IPv6 prefixes instead of tens of
+//     thousands, which is what pushes the compiled fastpath out of
+//     last-level cache and motivates the compressed snapshot layout.
+//   - Length histogram: sharply peaked at /24 (IPv4, ~60% of routes)
+//     and /48 (IPv6, ~48%), with secondary mass at the allocation
+//     lengths (/16, /19–/22; /32, /29) — the distribution every
+//     routing-table report has shown for two decades.
+//   - Clustering: address space is handed out in blocks, so
+//     deaggregated routes arrive as runs of consecutive same-length
+//     siblings (a /20 split into 16 /24s), not as uniform random bits.
+//     That clustering is exactly the redundancy the entropy-compressed
+//     trie exploits, so the generator must reproduce it for the
+//     bytes/prefix numbers to mean anything.
+//
+// Everything is deterministic by seed, like the paper-shaped generator:
+// the golden-seed tests pin the first prefixes of both.
+
+// modernLengths4 is the IPv4 prefix-length mix, in parts per 1000,
+// shaped after contemporary full-view reports (peak at /24, secondary
+// mass at the RIR allocation lengths).
+var modernLengths4 = [][2]int{
+	{10, 1}, {12, 2}, {13, 3}, {14, 4}, {15, 5}, {16, 35}, {17, 15},
+	{18, 20}, {19, 30}, {20, 45}, {21, 45}, {22, 100}, {23, 80},
+	{24, 600}, {25, 5}, {26, 4}, {27, 3}, {28, 2}, {29, 1},
+}
+
+// modernLengths6 is the IPv6 mix: peaked at /48 (site assignments) with
+// mass at /32 (LIR allocations) and the sparse lengths between; capped
+// at /64 so modern tables never out-range the paper's own generator.
+var modernLengths6 = [][2]int{
+	{19, 1}, {20, 2}, {24, 3}, {28, 6}, {29, 40}, {30, 12}, {32, 130},
+	{33, 12}, {34, 12}, {35, 10}, {36, 50}, {38, 12}, {40, 70},
+	{42, 12}, {44, 70}, {46, 30}, {47, 20}, {48, 480}, {52, 8},
+	{56, 12}, {64, 8},
+}
+
+// defaultModernHops is the next-hop alphabet size: a border router
+// peers with a few dozen neighbors, and route mass concentrates on the
+// big transits — hence the zipf draw, not a uniform one.
+const defaultModernHops = 48
+
+// ModernUniverse is a deterministic modern-shaped route universe.
+// Router views are sampled from it the way Universe's are: skip
+// sampling by divergence, so two routers drawn from one universe agree
+// on most of the table.
+type ModernUniverse struct {
+	seed     int64
+	fam      ip.Family
+	prefixes []ip.Prefix
+	hops     []uint16 // per-prefix next-hop index, zipf-skewed
+	hopNames []string
+}
+
+// NewModernUniverse generates a universe of exactly size distinct
+// prefixes for the family, deterministic in seed. Generation cost is
+// O(size); a 1M-prefix universe builds in a few hundred milliseconds.
+func NewModernUniverse(seed int64, fam ip.Family, size int) *ModernUniverse {
+	u := &ModernUniverse{
+		seed:     seed,
+		fam:      fam,
+		prefixes: make([]ip.Prefix, 0, size),
+		hops:     make([]uint16, 0, size),
+		hopNames: make([]string, defaultModernHops),
+	}
+	for i := range u.hopNames {
+		u.hopNames[i] = fmt.Sprintf("hop-%02d", i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// s=1.2 concentrates ~half the route mass on the top few hops.
+	zipf := rand.NewZipf(rng, 1.2, 2, defaultModernHops-1)
+	lengths := modernLengths4
+	if fam == ip.IPv6 {
+		lengths = modernLengths6
+	}
+	totalW := 0
+	for _, lw := range lengths {
+		totalW += lw[1]
+	}
+	seen := make(map[ip.Prefix]struct{}, size+size/4)
+	emit := func(p ip.Prefix) {
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
+		u.prefixes = append(u.prefixes, p)
+		u.hops = append(u.hops, uint16(zipf.Uint64()))
+	}
+	for len(u.prefixes) < size {
+		// Draw a length from the histogram.
+		w := rng.Intn(totalW)
+		l := lengths[len(lengths)-1][0]
+		for _, lw := range lengths {
+			if w < lw[1] {
+				l = lw[0]
+				break
+			}
+			w -= lw[1]
+		}
+		p := ip.PrefixFrom(modernBase(rng, fam), l)
+		// ~70% of draws start a run of consecutive same-length siblings
+		// (a deaggregated allocation); run lengths are geometric with
+		// mean ~5.6, capped so one draw can't blow the histogram.
+		run := 1
+		if rng.Float64() < 0.7 {
+			for rng.Float64() < 0.82 && run < 64 {
+				run++
+			}
+		}
+		for i := 0; i < run && len(u.prefixes) < size; i++ {
+			emit(p)
+			np, ok := nextSibling(p)
+			if !ok {
+				break
+			}
+			p = np
+		}
+	}
+	return u
+}
+
+// modernBase draws a base address with a realistic high-bit shape:
+// IPv4 anywhere in unicast space (first octet 1–223, skipping loopback),
+// IPv6 in global-unicast 2000::/3.
+func modernBase(rng *rand.Rand, fam ip.Family) ip.Addr {
+	if fam == ip.IPv4 {
+		first := 1 + rng.Intn(223)
+		if first == 127 {
+			first = 128
+		}
+		return ip.AddrFrom32(uint32(first)<<24 | rng.Uint32()&0x00FFFFFF)
+	}
+	hi := uint64(0x2000)<<48 | rng.Uint64()&0x1FFFFFFFFFFFFFFF
+	return ip.AddrFrom128(hi, rng.Uint64())
+}
+
+// nextSibling returns the prefix one step to the right at the same
+// length — the next block of a deaggregated allocation — and false on
+// address-space wraparound. Only lengths ≤ 64 occur in the modern
+// histograms, so the arithmetic stays in the high word.
+func nextSibling(p ip.Prefix) (ip.Prefix, bool) {
+	l := p.Len()
+	if l == 0 || l > 64 {
+		return p, false
+	}
+	hi, _ := p.Addr().Halves()
+	step := uint64(1) << (64 - uint(l))
+	nhi := hi + step
+	if nhi < hi {
+		return p, false // wraps for IPv4 too: its /≤32 step overflows hi exactly on 32-bit wrap
+	}
+	a := ip.AddrFrom128(nhi, 0)
+	if p.Family() == ip.IPv4 {
+		a = ip.AddrFrom32(uint32(nhi >> 32))
+	}
+	return ip.PrefixFrom(a, l), true
+}
+
+// Len returns the universe's prefix count.
+func (u *ModernUniverse) Len() int { return len(u.prefixes) }
+
+// Family returns the universe's address family.
+func (u *ModernUniverse) Family() ip.Family { return u.fam }
+
+// Prefixes returns the generated prefixes in generation order. The
+// caller must not mutate the slice.
+func (u *ModernUniverse) Prefixes() []ip.Prefix { return u.prefixes }
+
+// Router samples a router's view: the first prefixes of the universe
+// with a divergence fraction independently skipped (per router name, so
+// two routers differ in which routes they are missing), each mapped to
+// its universe next hop. Size is capped by what the universe holds.
+func (u *ModernUniverse) Router(name string, size int, divergence float64) *fib.Table {
+	rng := rand.New(rand.NewSource(u.seed ^ int64(hashName(name))<<20))
+	t := fib.New(name, u.fam)
+	for i, p := range u.prefixes {
+		if t.Len() >= size {
+			break
+		}
+		if divergence > 0 && rng.Float64() < divergence {
+			continue
+		}
+		t.Add(p, u.hopNames[u.hops[i]])
+	}
+	return t
+}
+
+// ModernTable is the one-call convenience for benchmarks: a single
+// router holding exactly size modern-shaped prefixes.
+func ModernTable(seed int64, fam ip.Family, size int) *fib.Table {
+	return NewModernUniverse(seed, fam, size).Router("modern", size, 0)
+}

@@ -1,0 +1,190 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+)
+
+// TestModernHistogram pins the generated length distribution to the
+// modern shape: the /24 (IPv4) and /48 (IPv6) peaks carry the expected
+// share of the table, and every emitted length comes from the
+// histogram.
+func TestModernHistogram(t *testing.T) {
+	for _, tc := range []struct {
+		fam       ip.Family
+		size      int
+		peak      int
+		lo, hi    float64
+		histogram [][2]int
+	}{
+		{ip.IPv4, 100000, 24, 0.53, 0.67, modernLengths4},
+		{ip.IPv6, 50000, 48, 0.41, 0.55, modernLengths6},
+	} {
+		u := NewModernUniverse(7, tc.fam, tc.size)
+		if u.Len() != tc.size {
+			t.Fatalf("%v: generated %d prefixes, want %d", tc.fam, u.Len(), tc.size)
+		}
+		allowed := map[int]bool{}
+		for _, lw := range tc.histogram {
+			allowed[lw[0]] = true
+		}
+		counts := map[int]int{}
+		for _, p := range u.Prefixes() {
+			if p.Family() != tc.fam {
+				t.Fatalf("%v: prefix %v has wrong family", tc.fam, p)
+			}
+			if !allowed[p.Len()] {
+				t.Fatalf("%v: prefix %v has off-histogram length", tc.fam, p)
+			}
+			counts[p.Len()]++
+		}
+		share := float64(counts[tc.peak]) / float64(tc.size)
+		if share < tc.lo || share > tc.hi {
+			t.Fatalf("%v: /%d carries %.2f of the table, want [%.2f, %.2f]",
+				tc.fam, tc.peak, share, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestModernClustering verifies the deaggregation runs the compressed
+// trie depends on: a large fraction of consecutive same-length sibling
+// pairs must be exactly adjacent in address space.
+func TestModernClustering(t *testing.T) {
+	u := NewModernUniverse(3, ip.IPv4, 50000)
+	ps := u.Prefixes()
+	adjacent := 0
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Len() != ps[i-1].Len() {
+			continue
+		}
+		if ns, ok := nextSibling(ps[i-1]); ok && ns == ps[i] {
+			adjacent++
+		}
+	}
+	if frac := float64(adjacent) / float64(len(ps)); frac < 0.5 {
+		t.Fatalf("only %.2f of prefixes continue a sibling run, want >= 0.5", frac)
+	}
+}
+
+// TestModernNextHopSkew pins the zipf draw: the most popular next hop
+// must carry far more than a uniform share of routes, and more than one
+// hop must appear.
+func TestModernNextHopSkew(t *testing.T) {
+	tab := ModernTable(11, ip.IPv4, 30000)
+	byHop := map[string]int{}
+	for _, p := range tab.Prefixes() {
+		hop, ok := tab.NextHop(p)
+		if !ok {
+			t.Fatalf("prefix %v lost its next hop", p)
+		}
+		byHop[hop]++
+	}
+	if len(byHop) < 8 {
+		t.Fatalf("only %d distinct next hops in a 30k table", len(byHop))
+	}
+	top := 0
+	for _, n := range byHop {
+		if n > top {
+			top = n
+		}
+	}
+	uniform := float64(tab.Len()) / float64(defaultModernHops)
+	if float64(top) < 3*uniform {
+		t.Fatalf("top hop carries %d routes, want >= 3x the uniform share %.0f", top, uniform)
+	}
+}
+
+// TestModernRouterDivergence checks the sampled-view contract: two
+// routers drawn with divergence share most of the table but each misses
+// routes the other holds, and divergence 0 reproduces the universe head.
+func TestModernRouterDivergence(t *testing.T) {
+	u := NewModernUniverse(21, ip.IPv4, 40000)
+	a := u.Router("border-a", 30000, 0.05)
+	b := u.Router("border-b", 30000, 0.05)
+	if a.Len() != 30000 || b.Len() != 30000 {
+		t.Fatalf("router sizes %d/%d, want 30000", a.Len(), b.Len())
+	}
+	onlyA, shared := 0, 0
+	for _, p := range a.Prefixes() {
+		if b.Contains(p) {
+			shared++
+		} else {
+			onlyA++
+		}
+	}
+	if onlyA == 0 {
+		t.Fatal("divergent routers are identical")
+	}
+	if float64(shared) < 0.85*float64(a.Len()) {
+		t.Fatalf("routers share only %d of %d routes", shared, a.Len())
+	}
+	exact := u.Router("anything", 1000, 0)
+	for i, p := range u.Prefixes()[:1000] {
+		if !exact.Contains(p) {
+			t.Fatalf("divergence-0 router missing universe prefix %d (%v)", i, p)
+		}
+	}
+}
+
+// TestModernDeterminism requires bit-identical output for equal seeds
+// and different output for different seeds — table cells across
+// benchmark runs must be comparable.
+func TestModernDeterminism(t *testing.T) {
+	a := NewModernUniverse(5, ip.IPv4, 20000)
+	b := NewModernUniverse(5, ip.IPv4, 20000)
+	for i := range a.prefixes {
+		if a.prefixes[i] != b.prefixes[i] || a.hops[i] != b.hops[i] {
+			t.Fatalf("same seed diverged at prefix %d", i)
+		}
+	}
+	c := NewModernUniverse(6, ip.IPv4, 20000)
+	same := 0
+	for i := range a.prefixes {
+		if a.prefixes[i] == c.prefixes[i] {
+			same++
+		}
+	}
+	if same > len(a.prefixes)/10 {
+		t.Fatalf("different seeds agree on %d of %d prefixes", same, len(a.prefixes))
+	}
+}
+
+// TestNextSibling pins the sibling-step arithmetic at the edges: both
+// families, the wrap guard, and length bounds.
+func TestNextSibling(t *testing.T) {
+	p := ip.MustParsePrefix("10.0.4.0/22")
+	n, ok := nextSibling(p)
+	if !ok || n != ip.MustParsePrefix("10.0.8.0/22") {
+		t.Fatalf("nextSibling(%v) = %v, %v", p, n, ok)
+	}
+	if _, ok := nextSibling(ip.MustParsePrefix("255.255.255.0/24")); ok {
+		t.Fatal("IPv4 wraparound not caught")
+	}
+	p6 := ip.MustParsePrefix("2001:db8::/48")
+	n6, ok := nextSibling(p6)
+	if !ok || n6 != ip.MustParsePrefix("2001:db8:1::/48") {
+		t.Fatalf("nextSibling(%v) = %v, %v", p6, n6, ok)
+	}
+	if _, ok := nextSibling(ip.PrefixFrom(ip.AddrFrom32(0), 0)); ok {
+		t.Fatal("/0 must have no sibling")
+	}
+}
+
+// TestModernWorkloadCompatible checks that the standard workload
+// generator draws in-table destinations from a modern router — the
+// pairing every scale benchmark relies on.
+func TestModernWorkloadCompatible(t *testing.T) {
+	tab := ModernTable(9, ip.IPv4, 20000)
+	w := NewWorkload(1, tab)
+	trie := tab.Trie()
+	hits := 0
+	for i := 0; i < 500; i++ {
+		if _, _, ok := trie.Lookup(w.Next(), nil); ok {
+			hits++
+		}
+	}
+	if hits < 450 {
+		t.Fatalf("only %d/500 workload destinations hit the modern table", hits)
+	}
+}
