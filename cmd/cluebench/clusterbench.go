@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// clusterRecord is one (chain length, I/O mode) cell of the cluster
+// sweep: a real multi-process clued chain over loopback UDP, driven
+// unpaced by the windowed generator (internal/cluster.Generate).
+type clusterRecord struct {
+	Shape      string  `json:"shape"`
+	Nodes      int     `json:"nodes"`
+	BatchIO    bool    `json:"batch_io"`
+	Packets    int     `json:"packets"`
+	Sent       uint64  `json:"sent"`
+	Received   uint64  `json:"received"`
+	LossPct    float64 `json:"loss_pct"`
+	GoodputPPS float64 `json:"goodput_pps"`
+	P50Ns      float64 `json:"p50_ns"`
+	P99Ns      float64 `json:"p99_ns"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	// BatchSpeedup is goodput batched/fallback at the same chain length;
+	// set on batched rows only.
+	BatchSpeedup float64 `json:"batch_speedup,omitempty"`
+}
+
+func (r clusterRecord) sanitize() clusterRecord {
+	r.LossPct = finite(r.LossPct)
+	r.GoodputPPS = finite(r.GoodputPPS)
+	r.P50Ns = finite(r.P50Ns)
+	r.P99Ns = finite(r.P99Ns)
+	r.ElapsedMs = finite(r.ElapsedMs)
+	r.BatchSpeedup = finite(r.BatchSpeedup)
+	return r
+}
+
+type clusterReport struct {
+	HostCPUs   int             `json:"host_cpus"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Seed       int64           `json:"seed"`
+	Prefixes   int             `json:"prefixes"`
+	Note       string          `json:"note"`
+	Records    []clusterRecord `json:"records"`
+}
+
+// runClusterBench launches a real clued chain at each requested length,
+// once with batched socket I/O (sendmmsg/recvmmsg) and once with the
+// single-datagram fallback, drives it unpaced with the windowed
+// generator, and writes the pkts/s-vs-daemons sweep to path
+// (BENCH_cluster.json). Latencies are end-to-end, stamp to sink.
+func runClusterBench(path string, seed int64, lengths []int) error {
+	const (
+		prefixes = 2000
+		packets  = 20000
+		flows    = 256
+	)
+	rep := clusterReport{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Prefixes:   prefixes,
+		Note: "pkts/s vs chain length over real clued processes on loopback UDP: " +
+			"cluegen's windowed generator sends unpaced into the head, every hop " +
+			"rewrites the clue on the fast path, the tail forwards deliveries to " +
+			"the sink; latencies are end-to-end send-stamp to sink-collection, " +
+			"batch_speedup is batched/fallback goodput at the same length.",
+	}
+
+	dir, err := os.MkdirTemp("", "clusterbench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fmt.Println("building clued...")
+	bin, err := cluster.BuildDaemon(dir)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cluster sweep: chains of %v × {batched, fallback}, %d packets each\n",
+		lengths, packets)
+	for _, n := range lengths {
+		var goodput [2]float64 // [fallback, batched]
+		for _, batch := range []bool{false, true} {
+			res, err := runClusterCell(bin, cluster.Spec{
+				Shape:    cluster.ShapeChain,
+				Nodes:    n,
+				Prefixes: prefixes,
+				Seed:     seed,
+				BatchIO:  batch,
+			}, packets, flows)
+			if err != nil {
+				return fmt.Errorf("chain %d batchio=%v: %w", n, batch, err)
+			}
+			rec := clusterRecord{
+				Shape:      string(cluster.ShapeChain),
+				Nodes:      n,
+				BatchIO:    batch,
+				Packets:    packets,
+				Sent:       res.Sent,
+				Received:   res.Received,
+				LossPct:    100 * float64(res.Sent-res.Received) / float64(max(res.Sent, 1)),
+				GoodputPPS: res.GoodputPPS,
+				P50Ns:      res.P50,
+				P99Ns:      res.P99,
+				ElapsedMs:  float64(res.Elapsed.Nanoseconds()) / 1e6,
+			}
+			if batch {
+				goodput[1] = res.GoodputPPS
+				if goodput[0] > 0 {
+					rec.BatchSpeedup = res.GoodputPPS / goodput[0]
+				}
+			} else {
+				goodput[0] = res.GoodputPPS
+			}
+			rep.Records = append(rep.Records, rec.sanitize())
+			fmt.Printf("  chain %d batchio=%-5v  %8.0f pkts/s  p50 %-10v p99 %-10v loss %.1f%%\n",
+				n, batch, res.GoodputPPS,
+				time.Duration(res.P50).Round(time.Microsecond),
+				time.Duration(res.P99).Round(time.Microsecond),
+				100*float64(res.Sent-res.Received)/float64(max(res.Sent, 1)))
+		}
+		if goodput[0] > 0 {
+			fmt.Printf("  chain %d batched/fallback goodput ratio: %.2fx\n",
+				n, goodput[1]/goodput[0])
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
+	return nil
+}
+
+// clusterTrials is how many measured generator passes each cell runs;
+// the best-goodput pass is recorded. Single sub-second passes on a busy
+// host swing ±50% from scheduler noise; best-of-N measures the chain's
+// capacity, not the noise.
+const clusterTrials = 3
+
+// runClusterCell launches one topology, warms the clue tables with an
+// unrecorded pass (steady-state forwarding is what the curve is about —
+// the first packets per flow take the miss-and-learn path), then runs
+// clusterTrials measured passes and returns the best. A fresh cluster
+// per cell keeps cells independent.
+func runClusterCell(bin string, s cluster.Spec, packets, flows int) (*cluster.GenResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c, err := cluster.Launch(ctx, bin, s)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	g := cluster.GenConfig{
+		Packets: packets,
+		Flows:   flows,
+		Seed:    s.Seed + int64(s.Nodes), // distinct workload per length
+	}
+	warm := g
+	warm.Packets = max(packets/4, flows)
+	if _, err := c.Generate(ctx, warm); err != nil {
+		return nil, err
+	}
+	var best *cluster.GenResult
+	for i := 0; i < clusterTrials; i++ {
+		res, err := c.Generate(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.GoodputPPS > best.GoodputPPS {
+			best = res
+		}
+	}
+	return best, nil
+}

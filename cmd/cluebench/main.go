@@ -57,8 +57,25 @@ func main() {
 		churnSwp  = flag.Bool("churn", false, "run the BGP churn replay sweep (updates/sec × burst shape) and write BENCH_churn.json instead of the paper tables")
 		scaleSwp  = flag.String("scalebench", "", "comma-separated IPv4 prefix counts (e.g. 100000,1000000): run the modern-scale flat-vs-compressed sweep and write BENCH_scale.json instead of the paper tables")
 		scaleV6   = flag.String("scalev6", "", "comma-separated IPv6 prefix counts for -scalebench (empty = IPv4 only)")
+		clusterL  = flag.String("cluster", "", "comma-separated chain lengths (e.g. 2,3,5): run the multi-process cluster sweep over loopback UDP and write BENCH_cluster.json instead of the paper tables")
 	)
 	flag.Parse()
+
+	if *clusterL != "" {
+		lengths, err := parseCountList("-cluster", *clusterL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range lengths {
+			if n < 2 {
+				log.Fatalf("-cluster: chain length %d: need at least 2 nodes", n)
+			}
+		}
+		if err := runClusterBench("BENCH_cluster.json", *seed, lengths); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *scaleSwp != "" {
 		v4, err := parseCountList("-scalebench", *scaleSwp)

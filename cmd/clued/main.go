@@ -14,10 +14,12 @@
 // registry as a Prometheus /metrics endpoint plus a /trace tail of the
 // most recent per-packet hop events while the daemon runs.
 //
-// The daemon is hardened the way a long-running process must be: read
-// deadlines on every socket, SIGINT/SIGTERM-driven graceful shutdown with
-// final statistics, malformed-datagram and no-route counters instead of
-// silent drops, and bounded retry with backoff on UDP send errors. With
+// The daemon is hardened the way a long-running process must be:
+// event-driven shutdown that unblocks every socket reader, graceful
+// drain with final statistics, malformed-datagram and no-route counters
+// instead of silent drops, and bounded non-blocking retry with per-peer
+// backoff windows on UDP send errors (a failing peer sheds its own
+// traffic; it never stalls the worker loop or other peers' sends). With
 // -faults it feeds its own wire through the internal/fault injector —
 // corrupted clues and mangled datagrams — and must still deliver every
 // packet that survives the wire, routed exactly as a full lookup would.
@@ -51,9 +53,12 @@ import (
 	"os/signal"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/batchio"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fastpath"
 	"repro/internal/fault"
@@ -67,11 +72,28 @@ import (
 	"repro/internal/telemetry"
 )
 
-// sendRetries bounds the retry loop on UDP send errors; backoff starts at
-// sendBackoff and quadruples per attempt (1ms, 4ms, 16ms).
+// sendRetries bounds immediate, non-sleeping resubmission of a failing
+// batch. Past the bound the remaining frames are dropped and counted
+// and the peer enters a backoff window — sends to it are dropped on
+// sight until the window expires, so a dead peer costs the worker loop
+// nothing (the old inline time.Sleep backoff head-of-line-blocked every
+// other peer sharing the worker). Windows start at sendBackoff and
+// quadruple per consecutive failing batch, capped at maxSendBackoff.
 const (
-	sendRetries = 3
-	sendBackoff = time.Millisecond
+	sendRetries    = 3
+	sendBackoff    = time.Millisecond
+	maxSendBackoff = 64 * time.Millisecond
+)
+
+// egressBatch bounds frames buffered per peer before an auto-flush;
+// readBatch and workerBatch size the ingress side. A worker drains at
+// most workerBatch datagrams from its ring, then flushes its egress —
+// with mmsg batching, one drained batch costs one syscall per distinct
+// next hop instead of one per packet.
+const (
+	egressBatch = 64
+	readBatch   = 64
+	workerBatch = 64
 )
 
 // traceCapacity is how many recent hop events the daemon's /trace endpoint
@@ -99,6 +121,8 @@ type routerTel struct {
 	expired   *telemetry.Counter
 	sendFail  *telemetry.Counter
 	sendRetry *telemetry.Counter
+	sendDrop  *telemetry.Counter
+	delivered *telemetry.Counter
 	// Per-pipeline-worker accounting, populated only in -workers mode:
 	// datagrams drained and datagrams the data path rejected, per worker.
 	workerPkts []*telemetry.Counter
@@ -118,6 +142,9 @@ func newRouterTel(reg *telemetry.Registry, router string, workers int) *routerTe
 		expired:   errc("expired"),
 		sendFail:  errc("send-fail"),
 		sendRetry: errc("send-retry"),
+		sendDrop:  errc("send-drop"),
+		delivered: reg.NewCounter("clued_delivered_total",
+			"packets delivered locally at this router", lbl),
 	}
 	for w := 0; w < workers; w++ {
 		wl := telemetry.L("worker", fmt.Sprint(w))
@@ -129,48 +156,103 @@ func newRouterTel(reg *telemetry.Registry, router string, workers int) *routerTe
 	return t
 }
 
+// peerLink is one next hop's send state: the socket address plus the
+// non-blocking failure backoff. suppressUntil is a wall-clock nanosecond
+// deadline; while it lies in the future the peer is in a backoff window
+// and frames to it are dropped and counted instead of attempted.
+// failStreak counts consecutive failing batches and grows the window.
+// Both are only ever accessed atomically; addr and name are immutable.
+type peerLink struct {
+	name          string
+	addr          *net.UDPAddr
+	suppressUntil atomic.Int64
+	failStreak    atomic.Int32
+}
+
+// egress is the per-worker frame batcher: frames group by next hop and
+// flush as one batched write per peer per drained ring batch.
+type egress = pipeline.Egress[*peerLink, []byte]
+
 // udpRouter is one chain hop: a UDP socket plus a clue-routing engine.
 type udpRouter struct {
 	name    string
 	conn    *net.UDPConn
+	bconn   *batchio.Conn // wraps conn for batched I/O (toggle: -batchio)
 	table   *fib.Table
 	clues   clueForwarder
-	fast    *fastpath.RCU           // non-nil in -fastpath mode: misses learn through it
-	peers   map[string]*net.UDPAddr // next-hop name -> socket address
-	inj     *fault.Injector         // nil when -faults is 0
+	fast    *fastpath.RCU        // non-nil in -fastpath mode: misses learn through it
+	peers   map[string]*peerLink // next-hop name -> link state
+	sink    *peerLink            // node mode: delivered packets forward here raw
+	inj     *fault.Injector      // nil when -faults is 0
 	verbose bool
 	workers int            // pipeline workers per router; <= 1 is the serial loop
-	done    chan<- ip.Addr // delivery notifications
+	done    chan<- ip.Addr // delivery notifications; nil in node mode
 	tel     *routerTel
 	tracer  *telemetry.HopTracer
+	// sendHook, when non-nil, replaces the physical batched write — the
+	// test seam for forcing per-peer send failures.
+	sendHook func(p *peerLink, frames [][]byte) (int, error)
+}
+
+// newEgress builds one worker's egress, bound to its batchio Writer.
+func (r *udpRouter) newEgress(w *batchio.Writer) *egress {
+	return pipeline.NewEgress(egressBatch, func(p *peerLink, frames [][]byte) {
+		r.sendBatch(w, p, frames)
+	})
+}
+
+// unblock releases every goroutine parked in a read on this router's
+// socket: an immediate deadline makes pending and future reads return a
+// timeout at once. Called at shutdown, after the serve context is
+// canceled — the loops observe the canceled context and exit instead of
+// polling a 200 ms deadline awake. A failed deadline set (fd already in
+// teardown) falls back to closing the socket, and is logged rather than
+// swallowed.
+func (r *udpRouter) unblock() {
+	if err := r.conn.SetReadDeadline(time.Now()); err != nil {
+		log.Printf("%s: shutdown unblock: %v (closing socket)", r.name, err)
+		r.conn.Close()
+	}
 }
 
 // serve reads datagrams until the context is canceled or the socket is
-// closed. The read deadline keeps the loop responsive to cancellation; a
-// deadline expiry is not an error. With -workers it instead fans the
-// socket out to a per-router pipeline.
+// closed. Readers block in the kernel with no deadline churn; shutdown
+// cancels the context and calls unblock. With -workers it instead fans
+// the socket out to a per-router pipeline.
 func (r *udpRouter) serve(ctx context.Context) {
 	if r.workers > 1 {
 		r.servePipelined(ctx)
 		return
 	}
-	buf := make([]byte, 2048)
+	// Single-worker fast path: same batched I/O discipline as the
+	// pipeline — receive up to readBatch datagrams per wakeup (one
+	// recvmmsg when batching is on) and flush the egress once per
+	// received batch, not once per packet. Each datagram gets its own
+	// buffer because emitted frames alias the input in place; the flush
+	// before the next Recv keeps that sound.
+	eg := r.newEgress(r.bconn.NewWriter())
+	rd := r.bconn.NewReader()
+	bufs := make([][]byte, readBatch)
+	sizes := make([]int, readBatch)
+	for i := range bufs {
+		bufs[i] = make([]byte, 2048)
+	}
 	for {
-		if err := r.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond)); err != nil {
-			return
-		}
-		n, _, err := r.conn.ReadFromUDP(buf)
+		k, err := rd.Recv(bufs, sizes)
 		if ctx.Err() != nil {
 			return
 		}
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
-				continue
+				continue // stray deadline from before this serve; not shutdown
 			}
 			return // socket closed: shut down
 		}
-		_ = r.handle(buf[:n]) // drops are accounted in the error taxonomy counters
+		for i := 0; i < k; i++ {
+			_ = r.handle(bufs[i][:sizes[i]], eg) // drops are accounted in the error taxonomy counters
+		}
+		eg.Flush()
 	}
 }
 
@@ -185,10 +267,14 @@ type dgram struct {
 // single producer of its own SPSC ring, feeding N workers that run the
 // normal handle path. The clue tables (ConcurrentTable or RCU) and all
 // telemetry are already safe under concurrent handle calls, so workers
-// need no shared state beyond them. On shutdown the readers exit first
-// (context or socket close), then the rings are closed and every worker
-// drains what remains before returning — a graceful drain, no datagram
-// accepted from the socket is dropped by the pipeline itself.
+// need no shared state beyond them. Readers receive up to readBatch
+// datagrams per wakeup (one recvmmsg when batching is on) and workers
+// drain their rings in batches, flushing one batched write per next hop
+// per drained batch. On shutdown the readers exit first (context
+// cancellation plus unblock, or socket close), then the rings are
+// closed and every worker drains what remains before returning — a
+// graceful drain, no datagram accepted from the socket is dropped by
+// the pipeline itself.
 func (r *udpRouter) servePipelined(ctx context.Context) {
 	rings := make([]*pipeline.Ring[dgram], r.workers)
 	for i := range rings {
@@ -200,19 +286,25 @@ func (r *udpRouter) servePipelined(ctx context.Context) {
 		go func(w int) {
 			defer workWG.Done()
 			ring := rings[w]
+			eg := r.newEgress(r.bconn.NewWriter())
+			batch := make([]dgram, workerBatch)
 			for {
-				d, ok := ring.TryPop()
-				if !ok {
+				n := ring.PopBatch(batch)
+				if n == 0 {
 					if ring.Drained() {
+						eg.Flush()
 						return
 					}
 					runtime.Gosched()
 					continue
 				}
-				if err := r.handle(d.buf[:d.n]); err != nil {
-					r.tel.workerErrs[w].Inc()
+				for i := 0; i < n; i++ {
+					if err := r.handle(batch[i].buf[:batch[i].n], eg); err != nil {
+						r.tel.workerErrs[w].Inc()
+					}
+					r.tel.workerPkts[w].Inc()
 				}
-				r.tel.workerPkts[w].Inc()
+				eg.Flush() // frames reference ring buffers; flush before the next drain
 			}
 		}(i)
 	}
@@ -222,25 +314,30 @@ func (r *udpRouter) servePipelined(ctx context.Context) {
 		go func(w int) {
 			defer readWG.Done()
 			ring := rings[w]
-			var d dgram
+			rd := r.bconn.NewReader()
+			ds := make([]dgram, readBatch)
+			bufs := make([][]byte, readBatch)
+			sizes := make([]int, readBatch)
+			for i := range ds {
+				bufs[i] = ds[i].buf[:]
+			}
 			for {
-				if err := r.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond)); err != nil {
-					return
-				}
-				n, _, err := r.conn.ReadFromUDP(d.buf[:])
+				k, err := rd.Recv(bufs, sizes)
 				if ctx.Err() != nil {
 					return
 				}
 				if err != nil {
 					var ne net.Error
 					if errors.As(err, &ne) && ne.Timeout() {
-						continue
+						continue // stray deadline; shutdown cancels ctx first
 					}
 					return
 				}
-				d.n = n
-				if !ring.Push(d) {
-					return // ring closed underneath us: shutting down
+				for i := 0; i < k; i++ {
+					ds[i].n = sizes[i]
+					if !ring.Push(ds[i]) {
+						return // ring closed underneath us: shutting down
+					}
 				}
 			}
 		}(i)
@@ -268,51 +365,65 @@ func (r *udpRouter) trace(dest ip.Addr, clueIn int, res core.Result, refs int) {
 	})
 }
 
-// handle runs the data path on one datagram. The returned error reports
-// why a packet died (malformed, expired, no route, re-marshal failure,
-// unknown hop); the specific taxonomy counters are still incremented
-// here, the error return feeds the per-worker counters in -workers mode.
-func (r *udpRouter) handle(pkt []byte) error {
+// handle runs the data path on one datagram, buffering output frames on
+// eg (the caller flushes once per drained batch). The returned error
+// reports why a packet died (malformed, expired, no route, re-marshal
+// failure, unknown hop); the specific taxonomy counters are still
+// incremented here, the error return feeds the per-worker counters in
+// -workers mode.
+func (r *udpRouter) handle(pkt []byte, eg *egress) error {
 	if len(pkt) > 0 && pkt[0]>>4 == 6 {
-		return r.handleV6(pkt)
+		return r.handleV6(pkt, eg)
 	}
-	h, payloadOff, err := header.ParseIPv4(pkt)
-	if err != nil {
-		r.tel.malformed.Inc()
-		if r.verbose {
-			log.Printf("%s: dropping bad packet: %v", r.name, err)
+	// Zero-alloc peek for the two hot wire shapes; the allocating parse
+	// both serves the cold shapes and diagnoses malformed packets. h
+	// stays nil on the fast path until (and unless) a re-marshal needs
+	// the full header.
+	dst, ttl, clueIn, payloadOff, fast := header.PeekIPv4(pkt)
+	var h *header.IPv4
+	if !fast {
+		var err error
+		h, payloadOff, err = header.ParseIPv4(pkt)
+		if err != nil {
+			r.tel.malformed.Inc()
+			if r.verbose {
+				log.Printf("%s: dropping bad packet: %v", r.name, err)
+			}
+			return fmt.Errorf("malformed: %w", err)
 		}
-		return fmt.Errorf("malformed: %w", err)
+		dst, ttl = h.Dst, h.TTL
+		clueIn = header.NoClue
+		if h.Clue != nil {
+			clueIn = h.Clue.Len
+		}
 	}
-	if h.TTL == 0 {
+	if ttl == 0 {
 		r.tel.expired.Inc()
-		return fmt.Errorf("ttl expired for %v", h.Dst)
+		return fmt.Errorf("ttl expired for %v", dst)
 	}
 	var cnt mem.Counter
 	var res core.Result
-	clueIn := -1
-	if h.Clue != nil {
-		clueIn = h.Clue.Len
-		res = r.clues.Process(h.Dst, h.Clue.Len, &cnt)
+	if clueIn >= 0 {
+		res = r.clues.Process(dst, clueIn, &cnt)
 		if r.fast != nil && res.Outcome == core.OutcomeMiss {
-			r.fast.Learn(h.Dst, h.Clue.Len) // snapshots learn off the read path
+			r.fast.Learn(dst, clueIn) // snapshots learn off the read path
 		}
 	} else {
-		res = r.clues.ProcessNoClue(h.Dst, &cnt)
+		res = r.clues.ProcessNoClue(dst, &cnt)
 	}
-	r.trace(h.Dst, clueIn, res, cnt.Count())
+	r.trace(dst, clueIn, res, cnt.Count())
 	if !res.OK {
 		r.tel.noRoute.Inc()
-		log.Printf("%s: no route for %v", r.name, h.Dst)
-		return fmt.Errorf("no route for %v", h.Dst)
+		log.Printf("%s: no route for %v", r.name, dst)
+		return fmt.Errorf("no route for %v", dst)
 	}
 	if r.verbose {
-		log.Printf("%s: %v clue=%v -> %v via %s (%d refs, %v)",
-			r.name, h.Dst, h.Clue, res.Prefix, r.table.HopName(res.Value), cnt.Count(), res.Outcome)
+		log.Printf("%s: %v clue=%d -> %v via %s (%d refs, %v)",
+			r.name, dst, clueIn, res.Prefix, r.table.HopName(res.Value), cnt.Count(), res.Outcome)
 	}
 	next := r.table.HopName(res.Value)
 	if next == routing.LocalHop {
-		r.done <- h.Dst
+		r.deliver(pkt, dst, eg)
 		return nil
 	}
 	peer, ok := r.peers[next]
@@ -320,22 +431,56 @@ func (r *udpRouter) handle(pkt []byte) error {
 		log.Printf("%s: unknown next hop %q", r.name, next)
 		return fmt.Errorf("unknown next hop %q", next)
 	}
-	// Rewrite the clue with this router's BMP, decrement TTL, re-marshal.
+	// Rewrite the clue with this router's BMP and decrement TTL — in
+	// place when the packet already carries the plain clue option (the
+	// interior-hop common case; no allocation, no payload copy),
+	// otherwise the parse → re-marshal path.
+	clue := r.egressClue(res.Prefix.Clue())
+	if clue != nil && !clue.HasIndex && header.RewriteClueIPv4(pkt, payloadOff, clue.Len) {
+		r.emit(pkt, peer, eg)
+		return nil
+	}
+	if h == nil {
+		// Shape change (a head adding the first clue, an injector
+		// stripping or indexing one): fall back to the full parse — it
+		// cannot fail on a shape the peek accepted.
+		var err error
+		if h, _, err = header.ParseIPv4(pkt); err != nil {
+			r.tel.malformed.Inc()
+			return fmt.Errorf("malformed: %w", err)
+		}
+	}
 	h.TTL--
-	h.Clue = r.egressClue(res.Prefix.Clue())
+	h.Clue = clue
 	out, err := h.Marshal(len(pkt) - payloadOff)
 	if err != nil {
 		log.Printf("%s: re-marshal: %v", r.name, err)
 		return fmt.Errorf("re-marshal: %w", err)
 	}
 	out = append(out, pkt[payloadOff:]...)
-	r.send(out, peer)
+	r.emit(out, peer, eg)
 	return nil
+}
+
+// deliver accounts a locally-delivered packet and, in node mode,
+// forwards the arrived bytes unchanged to the collector sink (the
+// packet is not re-routed: the copy is the delivery notification the
+// generator computes end-to-end latency from).
+func (r *udpRouter) deliver(pkt []byte, dst ip.Addr, eg *egress) {
+	r.tel.delivered.Inc()
+	if r.sink != nil {
+		// pkt aliases the worker's ring buffer, which lives until the
+		// next drain — after the flush this egress sees at batch end.
+		eg.Add(r.sink, pkt)
+	}
+	if r.done != nil {
+		r.done <- dst
+	}
 }
 
 // handleV6 is the IPv6 data path: same clue logic, 7-bit clue in a
 // hop-by-hop option.
-func (r *udpRouter) handleV6(pkt []byte) error {
+func (r *udpRouter) handleV6(pkt []byte, eg *egress) error {
 	h, payloadOff, err := header.ParseIPv6(pkt)
 	if err != nil {
 		r.tel.malformed.Inc()
@@ -368,7 +513,7 @@ func (r *udpRouter) handleV6(pkt []byte) error {
 	}
 	next := r.table.HopName(res.Value)
 	if next == routing.LocalHop {
-		r.done <- h.Dst
+		r.deliver(pkt, h.Dst, eg)
 		return nil
 	}
 	peer, ok := r.peers[next]
@@ -384,7 +529,7 @@ func (r *udpRouter) handleV6(pkt []byte) error {
 		return fmt.Errorf("v6 re-marshal: %w", err)
 	}
 	out = append(out, pkt[payloadOff:]...)
-	r.send(out, peer)
+	r.emit(out, peer, eg)
 	return nil
 }
 
@@ -403,34 +548,124 @@ func (r *udpRouter) egressClue(clueLen int) *header.ClueOption {
 	return &header.ClueOption{Len: clueLen}
 }
 
-// send writes a datagram (via the injector's transport classes when
-// faults are on), retrying each physical send with bounded backoff.
-func (r *udpRouter) send(out []byte, peer *net.UDPAddr) {
+// emit buffers a datagram for peer on the worker's egress (via the
+// injector's transport classes when faults are on). The physical write
+// happens at the egress flush, batched per peer.
+func (r *udpRouter) emit(out []byte, peer *peerLink, eg *egress) {
 	if r.inj == nil {
-		r.sendOne(out, peer)
+		eg.Add(peer, out)
 		return
 	}
 	frames, _ := r.inj.Transport(out)
 	for _, f := range frames {
-		r.sendOne(f, peer)
+		eg.Add(peer, f)
 	}
 }
 
-func (r *udpRouter) sendOne(b []byte, peer *net.UDPAddr) {
-	backoff := sendBackoff
-	for attempt := 0; ; attempt++ {
-		_, err := r.conn.WriteToUDP(b, peer)
-		if err == nil {
+// sendBatch writes one peer's frames. Failure handling never sleeps in
+// the worker loop: a failing batch is resubmitted immediately up to
+// sendRetries times; past the bound the rest of the batch is dropped
+// and counted and the peer enters a growing backoff window, during
+// which further batches to it are dropped on sight. A single success
+// resets the peer. Live peers sharing the worker are unaffected either
+// way — the regression test pins that a dead peer does not reduce their
+// goodput.
+func (r *udpRouter) sendBatch(w *batchio.Writer, p *peerLink, frames [][]byte) {
+	if time.Now().UnixNano() < p.suppressUntil.Load() {
+		r.tel.sendDrop.Add(uint64(len(frames)))
+		return
+	}
+	write := r.sendHook
+	if write == nil {
+		write = func(p *peerLink, frames [][]byte) (int, error) {
+			return w.Send(frames, p.addr)
+		}
+	}
+	off := 0
+	var lastErr error
+	for attempt := 0; attempt <= sendRetries; attempt++ {
+		n, err := write(p, frames[off:])
+		off += n
+		if off == len(frames) && err == nil {
+			p.failStreak.Store(0)
 			return
 		}
-		if attempt == sendRetries {
-			r.tel.sendFail.Inc()
-			log.Printf("%s: send to %s abandoned after %d retries: %v", r.name, peer, attempt, err)
-			return
+		if err != nil {
+			lastErr = err
+			if attempt < sendRetries {
+				r.tel.sendRetry.Inc()
+			}
 		}
-		r.tel.sendRetry.Inc()
-		time.Sleep(backoff)
-		backoff *= 4
+	}
+	dropped := len(frames) - off
+	r.tel.sendFail.Add(uint64(dropped))
+	streak := p.failStreak.Add(1)
+	window := sendBackoff
+	for i := int32(1); i < streak && window < maxSendBackoff; i++ {
+		window *= 4
+	}
+	if window > maxSendBackoff {
+		window = maxSendBackoff
+	}
+	p.suppressUntil.Store(time.Now().Add(window).UnixNano())
+	log.Printf("%s: send to %s (%s): %d frame(s) dropped after %d retries, backing off %v: %v",
+		r.name, p.name, p.addr, dropped, sendRetries, window, lastErr)
+}
+
+// registerFastpathMetrics attaches one router's RCU writer counters and
+// snapshot memory gauges to the registry — shared by the all-in-one
+// chain and by cluster node mode, so both export the identical series.
+func registerFastpathMetrics(reg *telemetry.Registry, router string, fp *fastpath.RCU) {
+	lbl := telemetry.L("router", router)
+	fp.SetMetrics(fastpath.Metrics{
+		Swaps: reg.NewCounter("clued_rcu_swaps_total",
+			"RCU snapshot publications", lbl),
+		Patches: reg.NewCounter("clued_rcu_patches_total",
+			"RCU single-entry snapshot patches", lbl),
+		Recompiles: reg.NewCounter("clued_rcu_recompiles_total",
+			"RCU full snapshot recompiles", lbl),
+		Learns: reg.NewCounter("clued_rcu_learns_total",
+			"clues learned through the RCU writer", lbl),
+		Applies: reg.NewCounter("clued_rcu_applies_total",
+			"incremental Apply batches published", lbl),
+		AppliedOps: reg.NewCounter("clued_rcu_applied_ops_total",
+			"route ops folded into published Apply batches", lbl),
+		Coalesced: reg.NewCounter("clued_rcu_coalesced_total",
+			"route ops merged away by batching", lbl),
+		Overflows: reg.NewCounter("clued_rcu_overflows_total",
+			"writer-queue overflows degraded to a recompile", lbl),
+		Fallbacks: reg.NewCounter("clued_rcu_fallbacks_total",
+			"Apply batches too broad for patching", lbl),
+		Compactions: reg.NewCounter("clued_rcu_compactions_total",
+			"snapshot compactions reclaiming dead slots", lbl),
+		Defensive: reg.NewCounter("clued_rcu_defensive_total",
+			"defensive rebuilds: entry vanished under a patch", lbl),
+	})
+	// Snapshot memory accounting: gauges read the live snapshot
+	// at scrape time, so a recompile that flips the layout (or a
+	// compaction that shrinks the slot tables) shows up without
+	// any instrumentation on the write path.
+	for _, g := range []struct {
+		name, help string
+		read       func(fastpath.MemStats) uint64
+	}{
+		{"clued_fastpath_slot_bytes", "fastpath snapshot clue slot-table bytes",
+			func(m fastpath.MemStats) uint64 { return uint64(m.SlotBytes) }},
+		{"clued_fastpath_trie_index_bytes", "fastpath snapshot trie index bytes (tries + value dictionaries)",
+			func(m fastpath.MemStats) uint64 { return uint64(m.TrieIndexBytes()) }},
+		{"clued_fastpath_resume_bytes", "fastpath snapshot delegate resume-handle bytes",
+			func(m fastpath.MemStats) uint64 { return uint64(m.ResumeBytes) }},
+		{"clued_fastpath_compressed", "1 when the live snapshot uses the entropy-compressed trie layout",
+			func(m fastpath.MemStats) uint64 {
+				if m.Compressed {
+					return 1
+				}
+				return 0
+			}},
+	} {
+		read := g.read
+		reg.NewGauge(g.name, g.help,
+			func() uint64 { return read(fp.Snapshot().MemStats()) }, lbl)
 	}
 }
 
@@ -451,6 +686,10 @@ type config struct {
 	// workers > 1 runs each router's data path as a sharded pipeline:
 	// that many socket readers and ring-fed workers per router.
 	workers int
+	// batchio batches socket I/O through sendmmsg/recvmmsg where the
+	// platform supports it; false forces the one-datagram-per-syscall
+	// fallback (the mode the cluster benchmark compares against).
+	batchio bool
 	// metricsAddr serves /metrics (Prometheus) and /trace on this address
 	// while the daemon runs; empty disables. onMetricsReady, when set, is
 	// called with the bound address (metricsAddr may use port 0).
@@ -470,7 +709,7 @@ type routerReport struct {
 	refs     uint64
 	outcomes [core.NumOutcomes]uint64
 	malformed, noRoute, expired,
-	sendFail, sendRetry uint64
+	sendFail, sendRetry, sendDrop uint64
 	entries int
 	learned int
 }
@@ -573,6 +812,7 @@ func run(ctx context.Context, cfg config) (*result, error) {
 			return nil, fmt.Errorf("listen: %w", err)
 		}
 		defer conn.Close()
+		_ = conn.SetReadBuffer(4 << 20) // absorb bursts; kernel clamps to rmem_max
 		addrs[name] = conn.LocalAddr().(*net.UDPAddr)
 		tab := tables[name]
 		tr := tab.Trie()
@@ -585,9 +825,12 @@ func run(ctx context.Context, cfg config) (*result, error) {
 			// an adversarial wire from growing the table without bound.
 			LearnLimit: 1 << 12,
 		})
+		bc := batchio.New(conn)
+		bc.SetBatching(cfg.batchio)
 		r := &udpRouter{
 			name:    name,
 			conn:    conn,
+			bconn:   bc,
 			table:   tab,
 			inj:     inj,
 			verbose: cfg.verbose,
@@ -599,59 +842,7 @@ func run(ctx context.Context, cfg config) (*result, error) {
 		ct.SetTelemetry(r.tel.pm) // Process records outcomes and refs/packet
 		if cfg.useFast {
 			r.fast = fastpath.NewRCU(ct)
-			lbl := telemetry.L("router", name)
-			r.fast.SetMetrics(fastpath.Metrics{
-				Swaps: reg.NewCounter("clued_rcu_swaps_total",
-					"RCU snapshot publications", lbl),
-				Patches: reg.NewCounter("clued_rcu_patches_total",
-					"RCU single-entry snapshot patches", lbl),
-				Recompiles: reg.NewCounter("clued_rcu_recompiles_total",
-					"RCU full snapshot recompiles", lbl),
-				Learns: reg.NewCounter("clued_rcu_learns_total",
-					"clues learned through the RCU writer", lbl),
-				Applies: reg.NewCounter("clued_rcu_applies_total",
-					"incremental Apply batches published", lbl),
-				AppliedOps: reg.NewCounter("clued_rcu_applied_ops_total",
-					"route ops folded into published Apply batches", lbl),
-				Coalesced: reg.NewCounter("clued_rcu_coalesced_total",
-					"route ops merged away by batching", lbl),
-				Overflows: reg.NewCounter("clued_rcu_overflows_total",
-					"writer-queue overflows degraded to a recompile", lbl),
-				Fallbacks: reg.NewCounter("clued_rcu_fallbacks_total",
-					"Apply batches too broad for patching", lbl),
-				Compactions: reg.NewCounter("clued_rcu_compactions_total",
-					"snapshot compactions reclaiming dead slots", lbl),
-				Defensive: reg.NewCounter("clued_rcu_defensive_total",
-					"defensive rebuilds: entry vanished under a patch", lbl),
-			})
-			// Snapshot memory accounting: gauges read the live snapshot
-			// at scrape time, so a recompile that flips the layout (or a
-			// compaction that shrinks the slot tables) shows up without
-			// any instrumentation on the write path.
-			fp := r.fast
-			for _, g := range []struct {
-				name, help string
-				read       func(fastpath.MemStats) uint64
-			}{
-				{"clued_fastpath_slot_bytes", "fastpath snapshot clue slot-table bytes",
-					func(m fastpath.MemStats) uint64 { return uint64(m.SlotBytes) }},
-				{"clued_fastpath_trie_index_bytes", "fastpath snapshot trie index bytes (tries + value dictionaries)",
-					func(m fastpath.MemStats) uint64 { return uint64(m.TrieIndexBytes()) }},
-				{"clued_fastpath_resume_bytes", "fastpath snapshot delegate resume-handle bytes",
-					func(m fastpath.MemStats) uint64 { return uint64(m.ResumeBytes) }},
-				{"clued_fastpath_compressed", "1 when the live snapshot uses the entropy-compressed trie layout",
-					func(m fastpath.MemStats) uint64 {
-						if m.Compressed {
-							return 1
-						}
-						return 0
-					}},
-			} {
-				read := g.read
-				reg.NewGauge(g.name, g.help,
-					func() uint64 { return read(fp.Snapshot().MemStats()) },
-					telemetry.L("router", name))
-			}
+			registerFastpathMetrics(reg, name, r.fast)
 			r.clues = r.fast
 		} else {
 			r.clues = core.NewConcurrentTable(ct)
@@ -666,12 +857,22 @@ func run(ctx context.Context, cfg config) (*result, error) {
 		routers[name] = r
 	}
 	var serveWG sync.WaitGroup
-	serveCtx, stopServe := context.WithCancel(ctx)
+	serveCtx, cancelServe := context.WithCancel(ctx)
+	// stopServe is the event-driven shutdown: cancel the context, then
+	// unblock every reader parked in a kernel read — no poll interval,
+	// so shutdown latency is the cost of a deadline set, not up to 200 ms
+	// of deadline polling (the shutdown-latency test pins this).
+	stopServe := func() {
+		cancelServe()
+		for _, r := range routers {
+			r.unblock()
+		}
+	}
 	defer stopServe()
 	for _, r := range routers {
-		r.peers = make(map[string]*net.UDPAddr)
+		r.peers = make(map[string]*peerLink)
 		for name, a := range addrs {
-			r.peers[name] = a
+			r.peers[name] = &peerLink{name: name, addr: a}
 		}
 		serveWG.Add(1)
 		go func(r *udpRouter) { defer serveWG.Done(); r.serve(serveCtx) }(r)
@@ -773,6 +974,7 @@ wait:
 			expired:   r.tel.expired.Value(),
 			sendFail:  r.tel.sendFail.Value(),
 			sendRetry: r.tel.sendRetry.Value(),
+			sendDrop:  r.tel.sendDrop.Value(),
 			entries:   r.clues.Len(),
 			learned:   r.clues.Learned(),
 		}
@@ -808,7 +1010,7 @@ wait:
 func report(w io.Writer, cfg config, res *result) {
 	fmt.Fprintf(w, "delivered %d/%d packets end to end\n\n", res.delivered, cfg.packets)
 	tab := mem.NewTable("Router", "Packets", "Refs", "Refs/packet",
-		"Malformed", "No-route", "Expired", "Send-fail", "Send-retry", "Entries", "Learned")
+		"Malformed", "No-route", "Expired", "Send-fail", "Send-retry", "Send-drop", "Entries", "Learned")
 	for _, s := range res.routers {
 		perPkt := 0.0
 		if s.packets > 0 {
@@ -817,7 +1019,7 @@ func report(w io.Writer, cfg config, res *result) {
 		tab.AddRow(s.name, fmt.Sprint(s.packets), fmt.Sprint(s.refs),
 			fmt.Sprintf("%.2f", perPkt), fmt.Sprint(s.malformed),
 			fmt.Sprint(s.noRoute), fmt.Sprint(s.expired),
-			fmt.Sprint(s.sendFail), fmt.Sprint(s.sendRetry),
+			fmt.Sprint(s.sendFail), fmt.Sprint(s.sendRetry), fmt.Sprint(s.sendDrop),
 			fmt.Sprint(s.entries), fmt.Sprint(s.learned))
 	}
 	fmt.Fprintln(w, tab.String())
@@ -857,16 +1059,58 @@ func main() {
 		useFast     = flag.Bool("fastpath", false, "route through compiled fastpath snapshots (internal/fastpath) instead of interpreted clue tables")
 		sequential  = flag.Bool("seq", false, "send each packet only after the previous one was delivered (deterministic learning order)")
 		workers     = flag.Int("workers", 1, "pipeline workers (and socket readers) per router; 1 is the serial loop")
+		useBatchIO  = flag.Bool("batchio", true, "batch socket I/O with sendmmsg/recvmmsg where supported; false forces one datagram per syscall")
 		pprofAddr   = flag.String("pprof", "", "listen address for net/http/pprof, e.g. localhost:6060 (empty disables)")
 		metricsAddr = flag.String("metrics", "", "listen address for /metrics (Prometheus) and /trace, e.g. localhost:9090 (empty disables)")
 		linger      = flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the run, for a final scrape")
+
+		// Cluster node mode (see node.go and internal/cluster): -node
+		// turns the process into one hop of a multi-daemon topology.
+		nodeName    = flag.String("node", "", "cluster node mode: run as this single node of a -shape topology")
+		shape       = flag.String("shape", "chain", "cluster topology: chain or mesh (node mode)")
+		nodes       = flag.Int("nodes", 3, "cluster node count (node mode)")
+		prefixes    = flag.Int("prefixes", 2000, "cluster universe prefix count (node mode)")
+		clusterSeed = flag.Int64("clusterseed", 1, "cluster universe/topology seed (node mode)")
+		method      = flag.String("method", "simple", "clue method of non-head chain nodes: simple or advance (node mode)")
+		layout      = flag.String("layout", "auto", "fastpath trie layout: auto, flat or compressed (node mode)")
 	)
 	flag.Parse()
-	if *nRouters < 2 {
-		log.Fatal("-routers must be at least 2")
-	}
 	if *workers < 1 {
 		log.Fatal("-workers must be at least 1")
+	}
+	if *nodeName != "" {
+		m, err := cluster.ParseMethod(*method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := cluster.ParseLayout(*layout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		addr := *metricsAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		os.Exit(runNode(ctx, nodeConfig{
+			name: *nodeName,
+			spec: cluster.Spec{
+				Shape:    cluster.Shape(*shape),
+				Nodes:    *nodes,
+				Prefixes: *prefixes,
+				Seed:     *clusterSeed,
+				Method:   m,
+				Layout:   l,
+				Workers:  *workers,
+				BatchIO:  *useBatchIO,
+			},
+			metricsAddr: addr,
+			verbose:     *verbose,
+		}))
+	}
+	if *nRouters < 2 {
+		log.Fatal("-routers must be at least 2")
 	}
 	if *pprofAddr != "" {
 		// Opt-in profiling: the blank net/http/pprof import registers the
@@ -896,6 +1140,7 @@ func main() {
 		useFast:    *useFast,
 		sequential: *sequential,
 		workers:    *workers,
+		batchio:    *useBatchIO,
 		linger:     *linger,
 	}
 	if *metricsAddr != "" {

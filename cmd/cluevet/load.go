@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -187,6 +188,14 @@ func goFilesIn(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _GOOS/_GOARCH
+		// filename suffixes) for the host platform, as the compiler
+		// would — otherwise both halves of a tagged platform split
+		// (e.g. internal/batchio's mmsg files) parse into one package
+		// and type-checking reports every symbol redeclared.
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		names = append(names, name)

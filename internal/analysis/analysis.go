@@ -143,6 +143,9 @@ func DefaultConfig() Config {
 			// seed-named hot routine added there must face the same gate.
 			"repro/cmd/clued":     true,
 			"repro/cmd/cluebench": true,
+			// The cluster load generator's send loop must stay
+			// allocation-free to measure the daemons, not itself.
+			"repro/cmd/cluegen": true,
 		},
 		GoroutinePackages: map[string]bool{
 			"repro/cmd/clued":         true,

@@ -1,0 +1,131 @@
+// Package batchio provides batched datagram I/O over a *net.UDPConn.
+//
+// On Linux (amd64/arm64) a Writer submits a whole batch of datagrams with
+// one sendmmsg(2) call and a Reader drains up to a whole batch with one
+// recvmmsg(2) call, both through the connection's SyscallConn so the
+// runtime poller still owns readiness and deadlines: the syscalls run
+// non-blocking (MSG_DONTWAIT) and EAGAIN parks the goroutine on the
+// poller instead of spinning. Everywhere else — and on Linux when
+// batching is disabled at runtime — the same API degrades to the
+// portable one-datagram-at-a-time loop (WriteToUDP/ReadFromUDP), so
+// callers write one code path and the build tag picks the fast one.
+//
+// Writers and Readers hold reusable per-goroutine scratch (iovecs,
+// mmsghdrs, sockaddrs); one Conn may be shared by many of them, matching
+// a daemon with N socket readers and N egress workers on one socket.
+package batchio
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// Conn wraps a UDP socket for batched I/O. The zero toggle state is
+// "batch when the platform can"; SetBatching(false) forces the portable
+// fallback at runtime, which is how the cluster benchmark measures the
+// syscall-amortization win on identical topologies.
+type Conn struct {
+	udp     *net.UDPConn
+	sys     sysConn // platform handle; inert on non-mmsg builds
+	batched bool
+	// gsoOff latches when the kernel rejects a UDP_SEGMENT send (pre-4.18,
+	// or a filtered socket): all Writers on the conn stop attempting GSO
+	// and use plain sendmmsg. Atomic because Writers may run concurrently.
+	gsoOff atomic.Bool
+}
+
+// New wraps c. The socket is probed for raw access once, up front; if
+// the platform build has no mmsg support (or raw access fails), the Conn
+// silently runs the portable path and Batched reports false.
+func New(c *net.UDPConn) *Conn {
+	bc := &Conn{udp: c}
+	bc.batched = bc.sys.init(c)
+	return bc
+}
+
+// SetBatching enables or disables mmsg batching at runtime. Enabling is
+// a no-op on builds without mmsg support. Must be called before Writers
+// and Readers are created, not concurrently with I/O.
+func (c *Conn) SetBatching(on bool) {
+	if !on {
+		c.batched = false
+		return
+	}
+	c.batched = c.sys.ok()
+}
+
+// Batched reports whether batch calls actually use sendmmsg/recvmmsg.
+func (c *Conn) Batched() bool { return c.batched }
+
+// UDP returns the wrapped socket (for deadlines, local address, close).
+func (c *Conn) UDP() *net.UDPConn { return c.udp }
+
+// Writer sends batches of datagrams. Not safe for concurrent use;
+// create one per sending goroutine.
+type Writer struct {
+	c *Conn
+	s sendScratch
+}
+
+// NewWriter returns a Writer backed by c.
+func (c *Conn) NewWriter() *Writer { return &Writer{c: c} }
+
+// Send transmits bufs as individual datagrams to addr (nil means the
+// connected peer). It returns the number of datagrams fully handed to
+// the kernel and the first error, if any. On the batched path the whole
+// batch costs one syscall when the socket buffer keeps up.
+func (w *Writer) Send(bufs [][]byte, addr *net.UDPAddr) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	if w.c.batched {
+		return w.sendMmsg(bufs, addr)
+	}
+	return w.sendLoop(bufs, addr)
+}
+
+// sendLoop is the portable one-datagram-per-syscall path.
+func (w *Writer) sendLoop(bufs [][]byte, addr *net.UDPAddr) (int, error) {
+	for i, b := range bufs {
+		var err error
+		if addr == nil {
+			_, err = w.c.udp.Write(b)
+		} else {
+			_, err = w.c.udp.WriteToUDP(b, addr)
+		}
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(bufs), nil
+}
+
+// Reader receives batches of datagrams. Not safe for concurrent use;
+// create one per receiving goroutine.
+type Reader struct {
+	c *Conn
+	s recvScratch
+}
+
+// NewReader returns a Reader backed by c.
+func (c *Conn) NewReader() *Reader { return &Reader{c: c} }
+
+// Recv blocks until at least one datagram is available (or the read
+// deadline expires), then fills as many of bufs as the kernel has ready
+// without blocking again. sizes[i] receives the length of datagram i.
+// It returns the number of datagrams received; on the portable path
+// that is always at most one.
+func (r *Reader) Recv(bufs [][]byte, sizes []int) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	if r.c.batched {
+		return r.recvMmsg(bufs, sizes)
+	}
+	n, _, err := r.c.udp.ReadFromUDP(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}

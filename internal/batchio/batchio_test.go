@@ -1,0 +1,217 @@
+package batchio
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T) (tx, rx *net.UDPConn) {
+	t.Helper()
+	var err error
+	rx, err = net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	t.Cleanup(func() { rx.Close() })
+	tx, err = net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	t.Cleanup(func() { tx.Close() })
+	return tx, rx
+}
+
+// roundTrip pushes a batch of distinct datagrams through one (tx, rx)
+// pair and checks every byte comes back, in both toggle states.
+func roundTrip(t *testing.T, batched bool) {
+	tx, rx := pair(t)
+	wc, rc := New(tx), New(rx)
+	wc.SetBatching(batched)
+	rc.SetBatching(batched)
+	if batched && !wc.Batched() {
+		t.Skip("mmsg batching unavailable on this platform")
+	}
+
+	const n = 17
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("datagram-%02d-%s", i, string(make([]byte, i))))
+	}
+	w := wc.NewWriter()
+	sent, err := w.Send(out, rx.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if sent != n {
+		t.Fatalf("Send sent %d of %d", sent, n)
+	}
+
+	r := rc.NewReader()
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, 2048)
+	}
+	sizes := make([]int, len(bufs))
+	if err := rx.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for got < n {
+		k, err := r.Recv(bufs, sizes)
+		if err != nil {
+			t.Fatalf("Recv after %d datagrams: %v", got, err)
+		}
+		for i := 0; i < k; i++ {
+			want := out[got]
+			if string(bufs[i][:sizes[i]]) != string(want) {
+				t.Fatalf("datagram %d: got %d bytes %q, want %d bytes %q",
+					got, sizes[i], bufs[i][:sizes[i]], len(want), want)
+			}
+			got++
+		}
+	}
+}
+
+func TestRoundTripBatched(t *testing.T)  { roundTrip(t, true) }
+func TestRoundTripFallback(t *testing.T) { roundTrip(t, false) }
+
+func TestConnectedSend(t *testing.T) {
+	_, rx := pair(t)
+	tx, err := net.DialUDP("udp4", nil, rx.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer tx.Close()
+	wc := New(tx)
+	out := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	sent, err := wc.NewWriter().Send(out, nil) // nil addr: connected peer
+	if err != nil || sent != len(out) {
+		t.Fatalf("Send = %d, %v", sent, err)
+	}
+	buf := make([]byte, 64)
+	if err := rx.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range out {
+		n, _, err := rx.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf[:n]) != string(want) {
+			t.Fatalf("got %q want %q", buf[:n], want)
+		}
+	}
+}
+
+// TestDeadlineUnblocks pins the shutdown mechanism the daemon relies
+// on: a reader blocked in Recv is released by a read deadline in both
+// I/O modes, surfacing a timeout error rather than hanging.
+func TestDeadlineUnblocks(t *testing.T) {
+	for _, batched := range []bool{true, false} {
+		t.Run(fmt.Sprintf("batched=%v", batched), func(t *testing.T) {
+			_, rx := pair(t)
+			rc := New(rx)
+			rc.SetBatching(batched)
+			if batched && !rc.Batched() {
+				t.Skip("mmsg batching unavailable on this platform")
+			}
+			r := rc.NewReader()
+			bufs := [][]byte{make([]byte, 2048)}
+			sizes := make([]int, 1)
+			start := time.Now()
+			if err := rx.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+			_, err := r.Recv(bufs, sizes)
+			if err == nil {
+				t.Fatal("Recv returned without error on an idle socket")
+			}
+			var ne net.Error
+			if !errors.Is(err, os.ErrDeadlineExceeded) && !(errors.As(err, &ne) && ne.Timeout()) {
+				t.Fatalf("Recv error %v is not a deadline timeout", err)
+			}
+			if waited := time.Since(start); waited > 3*time.Second {
+				t.Fatalf("deadline took %v to fire", waited)
+			}
+		})
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	tx, rx := pair(t)
+	if n, err := New(tx).NewWriter().Send(nil, rx.LocalAddr().(*net.UDPAddr)); n != 0 || err != nil {
+		t.Fatalf("empty Send = %d, %v", n, err)
+	}
+	if n, err := New(rx).NewReader().Recv(nil, nil); n != 0 || err != nil {
+		t.Fatalf("empty Recv = %d, %v", n, err)
+	}
+}
+
+func TestBatchingAvailableOnLinux(t *testing.T) {
+	if runtime.GOOS != "linux" || (runtime.GOARCH != "amd64" && runtime.GOARCH != "arm64") {
+		t.Skip("mmsg build not selected here")
+	}
+	tx, _ := pair(t)
+	if !New(tx).Batched() {
+		t.Fatal("mmsg batching should be available on linux/amd64+arm64")
+	}
+}
+
+// TestRoundTripGSO exercises the UDP_SEGMENT path: every frame in the
+// batch is the same size, so the batched writer submits whole
+// super-datagrams (several, the batch exceeds udpMaxSegments on mmsg
+// builds); the receiver must still see one ordinary datagram per frame,
+// in order and byte-identical. On platforms or kernels without GSO the
+// writer degrades to sendmmsg and the test still passes.
+func TestRoundTripGSO(t *testing.T) {
+	tx, rx := pair(t)
+	wc, rc := New(tx), New(rx)
+	if !wc.Batched() {
+		t.Skip("mmsg batching unavailable on this platform")
+	}
+	const n, sz = 150, 44
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, sz)
+		for j := range b {
+			b[j] = byte(i + j*7)
+		}
+		out[i] = b
+	}
+	sent, err := wc.NewWriter().Send(out, rx.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if sent != n {
+		t.Fatalf("Send sent %d of %d", sent, n)
+	}
+	r := rc.NewReader()
+	bufs := make([][]byte, 32)
+	for i := range bufs {
+		bufs[i] = make([]byte, 2048)
+	}
+	sizes := make([]int, len(bufs))
+	if err := rx.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for got := 0; got < n; {
+		k, err := r.Recv(bufs, sizes)
+		if err != nil {
+			t.Fatalf("Recv after %d datagrams: %v", got, err)
+		}
+		for i := 0; i < k; i++ {
+			if sizes[i] != sz {
+				t.Fatalf("datagram %d: %d bytes, want %d (GSO split wrong?)", got, sizes[i], sz)
+			}
+			if string(bufs[i][:sz]) != string(out[got]) {
+				t.Fatalf("datagram %d: payload mismatch", got)
+			}
+			got++
+		}
+	}
+}

@@ -1,0 +1,321 @@
+//go:build linux && (amd64 || arm64)
+
+package batchio
+
+import (
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// The kernel ABI structs, laid out by hand for the 64-bit ports we
+// build the fast path on. struct msghdr is 56 bytes with 4 bytes of
+// tail padding after msg_flags; struct mmsghdr appends msg_len and pads
+// to 64 bytes. Getting the tail padding wrong shifts msg_len into the
+// next element's msg_name and the kernel stomps it — the round-trip
+// test reads every field back to pin the layout.
+type iovec struct {
+	base *byte
+	len  uint64
+}
+
+type msghdr struct {
+	name       *byte
+	namelen    uint32
+	_          [4]byte
+	iov        *iovec
+	iovlen     uint64
+	control    *byte
+	controllen uint64
+	flags      int32
+	_          [4]byte
+}
+
+type mmsghdr struct {
+	hdr msghdr
+	len uint32
+	_   [4]byte
+}
+
+type rawSockaddrInet4 struct {
+	family uint16
+	port   [2]byte // network byte order
+	addr   [4]byte
+	zero   [8]byte
+}
+
+// sysConn holds the raw-syscall handle on mmsg-capable builds.
+type sysConn struct {
+	rc syscall.RawConn
+}
+
+func (s *sysConn) init(c *net.UDPConn) bool {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return false
+	}
+	s.rc = rc
+	return true
+}
+
+func (s *sysConn) ok() bool { return s.rc != nil }
+
+// UDP generalized segmentation offload: a cmsg of level SOL_UDP, type
+// UDP_SEGMENT carrying the segment size makes one sendmsg submit a whole
+// equal-sized batch as a single super-datagram — one syscall AND one
+// trip through the kernel's UDP send path; the stack segments it into
+// ordinary datagrams at transmit (the receiver needs nothing special).
+// Linux 4.18+; a kernel without it returns EINVAL and the Conn latches
+// back to plain sendmmsg.
+const (
+	solUDP     = 17
+	udpSegment = 103
+	// udpMaxSegments is the kernel's UDP_MAX_SEGMENTS bound on segments
+	// per GSO send (the conservative value; newer kernels allow more).
+	udpMaxSegments = 64
+	// udpMaxPayload bounds one datagram's UDP payload (65535 minus the
+	// IPv4 and UDP headers); a GSO batch must fit inside it.
+	udpMaxPayload = 65507
+)
+
+// cmsghdr is struct cmsghdr on the 64-bit ports.
+type cmsghdr struct {
+	len   uint64
+	level int32
+	typ   int32
+}
+
+// gsoControl is a control buffer holding exactly one UDP_SEGMENT cmsg:
+// the 16-byte header, 2 bytes of segment size, padded to alignment.
+type gsoControl struct {
+	hdr  cmsghdr
+	data [2]byte
+	_    [6]byte
+}
+
+// sendScratch is a Writer's reusable syscall plumbing.
+type sendScratch struct {
+	hdrs []mmsghdr
+	iovs []iovec
+	sa   rawSockaddrInet4
+	ctrl gsoControl
+}
+
+func (s *sendScratch) grow(n int) {
+	if cap(s.hdrs) < n {
+		s.hdrs = make([]mmsghdr, n)
+		s.iovs = make([]iovec, n)
+	}
+	s.hdrs = s.hdrs[:n]
+	s.iovs = s.iovs[:n]
+}
+
+// sendMmsg transmits bufs with as few sendmmsg calls as the socket
+// buffer allows. addr must be IPv4 (the repo's wire is always udp4);
+// nil addr sends to the connected peer.
+func (w *Writer) sendMmsg(bufs [][]byte, addr *net.UDPAddr) (int, error) {
+	s := &w.s
+	s.grow(len(bufs))
+	var name *byte
+	var namelen uint32
+	if addr != nil {
+		ip4 := addr.IP.To4()
+		if ip4 == nil {
+			return 0, net.InvalidAddrError("batchio: non-IPv4 destination")
+		}
+		s.sa = rawSockaddrInet4{family: syscall.AF_INET}
+		s.sa.port[0] = byte(addr.Port >> 8)
+		s.sa.port[1] = byte(addr.Port)
+		copy(s.sa.addr[:], ip4)
+		name = (*byte)(unsafe.Pointer(&s.sa))
+		namelen = uint32(unsafe.Sizeof(s.sa))
+	}
+	if len(bufs) > 1 && !w.c.gsoOff.Load() {
+		if n, handled, err := w.sendGSO(bufs, name, namelen); handled {
+			return n, err
+		}
+	}
+	for i, b := range bufs {
+		s.iovs[i] = iovec{base: &b[0], len: uint64(len(b))}
+		s.hdrs[i] = mmsghdr{hdr: msghdr{
+			name: name, namelen: namelen,
+			iov: &s.iovs[i], iovlen: 1,
+		}}
+	}
+	sent := 0
+	for sent < len(bufs) {
+		var n int
+		var opErr error
+		err := w.c.sys.rc.Write(func(fd uintptr) bool {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&s.hdrs[sent])), uintptr(len(bufs)-sent),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if errno == syscall.EAGAIN {
+				return false // park on the poller until writable
+			}
+			if errno != 0 {
+				opErr = errno
+			} else {
+				n = int(r1)
+			}
+			return true
+		})
+		runtime.KeepAlive(bufs)
+		if err == nil {
+			err = opErr
+		}
+		if err != nil {
+			return sent, err
+		}
+		if n <= 0 {
+			break
+		}
+		sent += n
+	}
+	return sent, nil
+}
+
+// sendGSO submits bufs as UDP_SEGMENT super-datagrams: the batch's
+// frames become one scatter-gather sendmsg whose cmsg tells the kernel
+// the segment size — the whole batch traverses the UDP send path once
+// and is split back into ordinary datagrams at transmit. handled is
+// false — nothing sent — when the batch is not GSO-shaped (frames of
+// mixed sizes, which plain sendmmsg serves fine) or when the kernel
+// rejects UDP_SEGMENT, which also latches GSO off for the Conn.
+func (w *Writer) sendGSO(bufs [][]byte, name *byte, namelen uint32) (int, bool, error) {
+	seg := len(bufs[0])
+	if seg == 0 || seg > udpMaxPayload {
+		return 0, false, nil
+	}
+	for _, b := range bufs[1:] {
+		if len(b) != seg {
+			return 0, false, nil
+		}
+	}
+	s := &w.s
+	s.grow(len(bufs))
+	for i, b := range bufs {
+		s.iovs[i] = iovec{base: &b[0], len: uint64(seg)}
+	}
+	s.ctrl = gsoControl{
+		hdr:  cmsghdr{len: uint64(unsafe.Sizeof(cmsghdr{}) + 2), level: solUDP, typ: udpSegment},
+		data: [2]byte{byte(seg), byte(seg >> 8)}, // native (little) endian u16
+	}
+	maxRun := udpMaxSegments
+	if m := udpMaxPayload / seg; m < maxRun {
+		maxRun = m
+	}
+	sent := 0
+	for sent < len(bufs) {
+		run := len(bufs) - sent
+		if run > maxRun {
+			run = maxRun
+		}
+		s.hdrs[0] = mmsghdr{hdr: msghdr{
+			name: name, namelen: namelen,
+			iov: &s.iovs[sent], iovlen: uint64(run),
+			control: (*byte)(unsafe.Pointer(&s.ctrl)), controllen: uint64(unsafe.Sizeof(s.ctrl)),
+		}}
+		var opErr error
+		ok := false
+		err := w.c.sys.rc.Write(func(fd uintptr) bool {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&s.hdrs[0])), 1,
+				syscall.MSG_DONTWAIT, 0, 0)
+			if errno == syscall.EAGAIN {
+				return false // park on the poller until writable
+			}
+			if errno != 0 {
+				opErr = errno
+			} else {
+				ok = r1 == 1
+			}
+			return true
+		})
+		runtime.KeepAlive(bufs)
+		if err == nil {
+			err = opErr
+		}
+		if err != nil {
+			if sent == 0 && isGSOUnsupported(err) {
+				w.c.gsoOff.Store(true)
+				return 0, false, nil
+			}
+			return sent, true, err
+		}
+		if !ok {
+			break
+		}
+		sent += run
+	}
+	return sent, true, nil
+}
+
+// isGSOUnsupported reports whether a send error means the kernel (or
+// this socket) cannot do UDP_SEGMENT at all, as opposed to a transient
+// send failure.
+func isGSOUnsupported(err error) bool {
+	return err == syscall.EINVAL || err == syscall.ENOPROTOOPT || err == syscall.EOPNOTSUPP
+}
+
+// recvScratch is a Reader's reusable syscall plumbing. Source addresses
+// are received but not surfaced: the daemons route on the IP header
+// inside the payload, never on the UDP source.
+type recvScratch struct {
+	hdrs  []mmsghdr
+	iovs  []iovec
+	names []rawSockaddrInet4
+}
+
+func (s *recvScratch) grow(n int) {
+	if cap(s.hdrs) < n {
+		s.hdrs = make([]mmsghdr, n)
+		s.iovs = make([]iovec, n)
+		s.names = make([]rawSockaddrInet4, n)
+	}
+	s.hdrs = s.hdrs[:n]
+	s.iovs = s.iovs[:n]
+	s.names = s.names[:n]
+}
+
+// recvMmsg blocks for the first datagram via the poller, then drains up
+// to len(bufs) ready datagrams in the same syscall.
+func (r *Reader) recvMmsg(bufs [][]byte, sizes []int) (int, error) {
+	s := &r.s
+	s.grow(len(bufs))
+	for i, b := range bufs {
+		s.iovs[i] = iovec{base: &b[0], len: uint64(len(b))}
+		s.hdrs[i] = mmsghdr{hdr: msghdr{
+			name: (*byte)(unsafe.Pointer(&s.names[i])), namelen: uint32(unsafe.Sizeof(s.names[i])),
+			iov: &s.iovs[i], iovlen: 1,
+		}}
+	}
+	var n int
+	var opErr error
+	err := r.c.sys.rc.Read(func(fd uintptr) bool {
+		r1, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&s.hdrs[0])), uintptr(len(bufs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false // park until readable or deadline
+		}
+		if errno != 0 {
+			opErr = errno
+		} else {
+			n = int(r1)
+		}
+		return true
+	})
+	runtime.KeepAlive(bufs)
+	if err == nil {
+		err = opErr
+	}
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		sizes[i] = int(s.hdrs[i].len)
+	}
+	return n, nil
+}

@@ -1,0 +1,30 @@
+//go:build !linux || !(amd64 || arm64)
+
+package batchio
+
+import "net"
+
+// sysConn on builds without sendmmsg/recvmmsg: batching is never
+// available and the portable one-datagram loops carry all traffic.
+type sysConn struct{}
+
+func (s *sysConn) init(*net.UDPConn) bool { return false }
+func (s *sysConn) ok() bool               { return false }
+
+type sendScratch struct{}
+type recvScratch struct{}
+
+// The batched entry points are unreachable (Conn.batched is always
+// false here); they exist so batchio.go compiles unchanged.
+func (w *Writer) sendMmsg(bufs [][]byte, addr *net.UDPAddr) (int, error) {
+	return w.sendLoop(bufs, addr)
+}
+
+func (r *Reader) recvMmsg(bufs [][]byte, sizes []int) (int, error) {
+	n, _, err := r.c.udp.ReadFromUDP(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package batchio
+
+// The frozen syscall package predates sendmmsg (kernel 3.0); the
+// numbers are part of the stable ABI and will never change per arch.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package batchio
+
+// arm64 uses the generic unified syscall table.
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

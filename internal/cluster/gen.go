@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batchio"
+	"repro/internal/header"
+	"repro/internal/ip"
+	"repro/internal/telemetry"
+)
+
+// stampMagic marks a generator payload; the collector ignores anything
+// else that lands on the sink.
+const stampMagic = 0x434C474E // "CLGN"
+
+// StampLen is the generator payload size: magic(4) | flow(4) | seq(4) |
+// sendNs(8), big-endian. sendNs is nanoseconds since the generator's
+// own epoch, so end-to-end latency needs no clock sync: the process
+// that stamps is the process that collects (daemons forward delivered
+// packets to the sink unchanged, payload included).
+const StampLen = 20
+
+// AppendStamp appends one packet stamp to dst.
+func AppendStamp(dst []byte, flow, seq uint32, sendNs int64) []byte {
+	var s [StampLen]byte
+	binary.BigEndian.PutUint32(s[0:], stampMagic)
+	binary.BigEndian.PutUint32(s[4:], flow)
+	binary.BigEndian.PutUint32(s[8:], seq)
+	binary.BigEndian.PutUint64(s[12:], uint64(sendNs))
+	return append(dst, s[:]...)
+}
+
+// genBurst is how many frames the generator marshals between pacer
+// checks and sends as one batched write.
+const genBurst = 64
+
+// GenConfig parameterizes one load run against a launched cluster.
+type GenConfig struct {
+	Packets int
+	// PPS is the paced send rate (token bucket at genBurst granularity);
+	// 0 sends as fast as the socket accepts.
+	PPS int
+	// Flows is how many distinct destinations the run cycles through
+	// (packet i belongs to flow i%Flows; seq numbers increase per flow).
+	// Destinations are drawn zipf-skewed from the spec's universe.
+	Flows int
+	// ZipfS is the destination popularity exponent (see synth.DestSampler).
+	ZipfS float64
+	// Seed draws the flow destinations; independent of the spec seed so
+	// the same cluster can be driven by different workloads.
+	Seed int64
+	// Seq sends each packet only after the previous one was collected at
+	// the sink — deterministic learning order, used by the differential
+	// test. Overrides PPS.
+	Seq bool
+	// Window bounds packets in flight (sent but not yet collected) on
+	// unpaced runs, so the generator exerts backpressure instead of
+	// overrunning the head daemon's receive queue: loss-free maximum
+	// throughput. 0 defaults to 1024 when PPS is 0; negative disables
+	// the bound.
+	Window int
+	// Timeout bounds the whole run (default 60s).
+	Timeout time.Duration
+}
+
+// GenResult is what a completed load run measured.
+type GenResult struct {
+	Sent      uint64
+	Received  uint64
+	Reordered uint64 // deliveries whose per-flow seq went backwards
+	// Elapsed spans first send to last collection; GoodputPPS is
+	// Received over it.
+	Elapsed    time.Duration
+	GoodputPPS float64
+	// P50/P99 are end-to-end latency quantiles in nanoseconds,
+	// interpolated from Latency's buckets.
+	P50, P99 float64
+	// Latency is the full e2e histogram (cluegen prints its buckets).
+	Latency *telemetry.Histogram
+}
+
+// quiesce is how long the collector waits without a new delivery before
+// concluding the wire has gone quiet (packets can die legitimately only
+// under injected faults, but a gate on lost packets belongs to the
+// caller — the generator must terminate either way).
+const quiesce = 2 * time.Second
+
+// Generate drives the cluster: paced, seeded, stamped traffic into the
+// head node, deliveries collected at the sink.
+func (c *Cluster) Generate(ctx context.Context, g GenConfig) (*GenResult, error) {
+	if g.Packets <= 0 {
+		return nil, errors.New("cluster: GenConfig.Packets must be positive")
+	}
+	if g.Flows <= 0 {
+		g.Flows = 256
+	}
+	if g.Flows > g.Packets {
+		g.Flows = g.Packets
+	}
+	if g.ZipfS == 0 {
+		g.ZipfS = 1.2
+	}
+	if g.Timeout <= 0 {
+		g.Timeout = 60 * time.Second
+	}
+	if g.Window == 0 && g.PPS == 0 {
+		g.Window = 1024
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.Timeout)
+	defer cancel()
+
+	// One destination per flow, zipf-popular, always routable.
+	sampler := c.Spec.Universe().DestSampler(g.Seed, g.ZipfS)
+	dests := make([]ip.Addr, g.Flows)
+	for i := range dests {
+		dests[i] = sampler.Next()
+	}
+
+	src, err := net.DialUDP("udp4", nil, c.Head().Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial head: %w", err)
+	}
+	defer src.Close()
+	bs := batchio.New(src)
+	bs.SetBatching(c.Spec.BatchIO)
+	sw := bs.NewWriter()
+
+	bsink := batchio.New(c.Sink)
+	bsink.SetBatching(c.Spec.BatchIO)
+
+	reg := telemetry.NewRegistry()
+	hist := reg.NewHistogram("cluegen_e2e_latency_ns",
+		"end-to-end latency, send stamp to sink collection",
+		telemetry.ExpBounds(1000, 2, 24))
+
+	epoch := time.Now()
+	var (
+		received, reordered atomic.Uint64
+		lastRecvNs          atomic.Int64
+	)
+	var notify chan struct{}
+	if g.Seq {
+		notify = make(chan struct{}, g.Packets)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rd := bsink.NewReader()
+		bufs := make([][]byte, genBurst)
+		sizes := make([]int, genBurst)
+		for i := range bufs {
+			bufs[i] = make([]byte, 2048)
+		}
+		lastSeq := make([]int64, g.Flows)
+		for i := range lastSeq {
+			lastSeq[i] = -1
+		}
+		for {
+			k, err := rd.Recv(bufs, sizes)
+			if err != nil {
+				return // deadline popped by the shutdown below, or closed
+			}
+			nowNs := time.Since(epoch).Nanoseconds()
+			for i := 0; i < k; i++ {
+				pkt := bufs[i][:sizes[i]]
+				_, _, _, off, ok := header.PeekIPv4(pkt)
+				if !ok {
+					var err error
+					if _, off, err = header.ParseIPv4(pkt); err != nil {
+						continue
+					}
+				}
+				if len(pkt)-off < StampLen {
+					continue
+				}
+				p := pkt[off:]
+				if binary.BigEndian.Uint32(p) != stampMagic {
+					continue
+				}
+				flow := binary.BigEndian.Uint32(p[4:])
+				seq := binary.BigEndian.Uint32(p[8:])
+				sendNs := int64(binary.BigEndian.Uint64(p[12:]))
+				if lat := nowNs - sendNs; lat >= 0 {
+					hist.Observe(uint64(lat))
+				}
+				if int(flow) < len(lastSeq) {
+					if int64(seq) <= lastSeq[flow] {
+						reordered.Add(1)
+					} else {
+						lastSeq[flow] = int64(seq)
+					}
+				}
+				received.Add(1)
+				lastRecvNs.Store(nowNs)
+				if notify != nil {
+					notify <- struct{}{}
+				}
+			}
+		}
+	}()
+	// Unblock the collector on every exit path. The sink socket belongs
+	// to the cluster and outlives this run, so clear the poison deadline
+	// afterwards — a later Generate on the same cluster must block again.
+	stopCollector := func() {
+		c.Sink.SetReadDeadline(time.Now())
+		wg.Wait()
+		c.Sink.SetReadDeadline(time.Time{})
+	}
+
+	// Per-flow frame templates: within a flow the header never changes
+	// (ID stays 0 — nothing fragments on loopback — so the checksum is
+	// static too), so each packet is a template copy into a reusable
+	// burst buffer plus a fresh stamp. The send loop allocates nothing.
+	tmpl := make([][]byte, g.Flows)
+	for f := range tmpl {
+		h := &header.IPv4{
+			TTL: 64, Protocol: 17,
+			Src: ip.MustParseAddr("10.0.0.1"), Dst: dests[f],
+		}
+		b, err := h.Marshal(StampLen)
+		if err != nil {
+			stopCollector()
+			return nil, fmt.Errorf("cluster: marshal: %w", err)
+		}
+		tmpl[f] = b
+	}
+	scratch := make([][]byte, genBurst)
+	for i := range scratch {
+		scratch[i] = make([]byte, 0, len(tmpl[0])+StampLen)
+	}
+
+	start := time.Now()
+	frames := make([][]byte, 0, genBurst)
+	flush := func() error {
+		for off := 0; off < len(frames); {
+			n, err := sw.Send(frames[off:], nil)
+			off += n
+			if err != nil {
+				return fmt.Errorf("cluster: send: %w", err)
+			}
+		}
+		frames = frames[:0]
+		return nil
+	}
+	var sent uint64
+	for i := 0; i < g.Packets; i++ {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		flow := uint32(i % g.Flows)
+		seq := uint32(i / g.Flows)
+		buf := append(scratch[len(frames)][:0], tmpl[flow]...)
+		frames = append(frames, AppendStamp(buf, flow, seq, time.Since(epoch).Nanoseconds()))
+		sent++
+		switch {
+		case g.Seq:
+			if err := flush(); err != nil {
+				stopCollector()
+				return nil, err
+			}
+			select {
+			case <-notify:
+			case <-ctx.Done():
+				i = g.Packets // timed out waiting for a delivery; stop sending
+			}
+		case len(frames) == genBurst || i == g.Packets-1:
+			if err := flush(); err != nil {
+				stopCollector()
+				return nil, err
+			}
+			if g.Window > 0 {
+				// Backpressure: stall until the cluster drains to within
+				// the window. A stall that outlives quiesce means the
+				// missing packets are lost, not queued — stop waiting.
+				for sent-received.Load() >= uint64(g.Window) && ctx.Err() == nil {
+					last := lastRecvNs.Load()
+					if last > 0 && time.Since(epoch).Nanoseconds()-last > quiesce.Nanoseconds() {
+						break
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			if g.PPS > 0 {
+				// Token-bucket pacing at burst granularity: sleep until
+				// packet i's scheduled time.
+				target := start.Add(time.Duration(float64(i+1) / float64(g.PPS) * float64(time.Second)))
+				if d := time.Until(target); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		stopCollector()
+		return nil, err
+	}
+
+	// Drain: all sent packets collected, the wire quiet, or timeout.
+	for received.Load() < sent && ctx.Err() == nil {
+		last := lastRecvNs.Load()
+		if last > 0 && time.Since(epoch).Nanoseconds()-last > quiesce.Nanoseconds() {
+			break
+		}
+		if lastRecvNs.Load() == 0 && time.Since(start) > quiesce {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stopCollector()
+
+	elapsed := time.Since(start)
+	if ns := lastRecvNs.Load(); ns > 0 {
+		elapsed = time.Duration(ns - start.Sub(epoch).Nanoseconds())
+	}
+	res := &GenResult{
+		Sent:      sent,
+		Received:  received.Load(),
+		Reordered: reordered.Load(),
+		Elapsed:   elapsed,
+		P50:       hist.Quantile(0.50),
+		P99:       hist.Quantile(0.99),
+		Latency:   hist,
+	}
+	if elapsed > 0 {
+		res.GoodputPPS = float64(res.Received) / elapsed.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Handshake protocol between the launcher and a clued -node daemon, over
+// the daemon's stdio (stdout strictly carries protocol lines; logs go to
+// stderr):
+//
+//	daemon → launcher:  CLUSTER listen=<udp-addr> metrics=<http-addr>
+//	launcher → daemon:  PEERS name=addr name=addr ... sink=addr
+//	daemon → launcher:  READY
+//
+// After READY the daemon serves until SIGTERM or stdin EOF (the EOF
+// path makes daemons die with a crashed launcher instead of leaking).
+const (
+	bannerPrefix = "CLUSTER "
+	peersPrefix  = "PEERS "
+	readyLine    = "READY"
+	// SinkPeer is the reserved peer name for the generator's collector
+	// socket: packets a daemon delivers locally are forwarded to it raw.
+	SinkPeer = "sink"
+)
+
+// handshakeTimeout bounds each step of the launch handshake per node.
+const handshakeTimeout = 30 * time.Second
+
+// Banner formats the daemon's handshake line (its half of the protocol;
+// the daemon side of clued prints exactly this).
+func Banner(listen, metrics string) string {
+	return fmt.Sprintf("%slisten=%s metrics=%s", bannerPrefix, listen, metrics)
+}
+
+// Ready is the daemon's confirmation line.
+func Ready() string { return readyLine }
+
+// ParsePeers parses a PEERS address-book line into name → address
+// (including the SinkPeer entry).
+func ParsePeers(line string) (map[string]string, error) {
+	if !strings.HasPrefix(line, peersPrefix) {
+		return nil, fmt.Errorf("cluster: want %q line, got %q", strings.TrimSpace(peersPrefix), line)
+	}
+	out := map[string]string{}
+	for _, f := range strings.Fields(line[len(peersPrefix):]) {
+		k, v, found := strings.Cut(f, "=")
+		if !found {
+			return nil, fmt.Errorf("cluster: bad peer entry %q", f)
+		}
+		out[k] = v
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty address book %q", line)
+	}
+	return out, nil
+}
+
+// EntryLine canonically formats one exported clue-table entry — the
+// /entries dump format, and what the differential test compares a
+// netsim replay's ExportClues against.
+func EntryLine(e core.ExportedEntry) string {
+	return fmt.Sprintf("%v valid=%v", e.Clue, e.Valid)
+}
+
+// Node is one running daemon.
+type Node struct {
+	Name    string
+	Addr    *net.UDPAddr // data socket (other daemons and the generator send here)
+	Metrics string       // host:port of the /metrics endpoint
+
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	lines chan string // stdout protocol lines
+	errc  chan error  // resolved once by cmd.Wait
+}
+
+// readLine returns the next stdout line within the timeout.
+func (n *Node) readLine(timeout time.Duration) (string, error) {
+	select {
+	case l, ok := <-n.lines:
+		if !ok {
+			return "", fmt.Errorf("cluster: node %s: stdout closed during handshake", n.Name)
+		}
+		return l, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("cluster: node %s: handshake timeout", n.Name)
+	}
+}
+
+// ScrapeMetrics fetches and parses the node's /metrics endpoint.
+func (n *Node) ScrapeMetrics() (*Metrics, error) {
+	body, err := scrapeURL("http://"+n.Metrics+"/metrics", handshakeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Metrics{Samples: ParseProm(body)}, nil
+}
+
+// Entries fetches the node's /entries dump: its learned clue-table
+// entries, one canonical line per entry, sorted.
+func (n *Node) Entries() ([]string, error) {
+	body, err := scrapeURL("http://"+n.Metrics+"/entries", handshakeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return SortedLines(body), nil
+}
+
+// Cluster is a running multi-daemon topology plus the collector (sink)
+// socket deliveries are forwarded to.
+type Cluster struct {
+	Spec  Spec
+	Nodes []*Node
+	// Sink is the collector socket: every daemon forwards packets it
+	// delivers locally here, unchanged. The generator reads it to count
+	// deliveries and compute end-to-end latency from the stamps it sent.
+	Sink *net.UDPConn
+}
+
+// Node returns a node by name, or nil.
+func (c *Cluster) Node(name string) *Node {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Head returns the injection point (c0), where the generator sends.
+func (c *Cluster) Head() *Node { return c.Nodes[0] }
+
+// Launch starts one clued -node process per node of the spec, performs
+// the stdio handshake, and returns once every daemon has confirmed
+// READY. binary is the clued executable (see BuildDaemon). On any error
+// the partial cluster is torn down.
+func Launch(ctx context.Context, binary string, s Spec) (*Cluster, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sink, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: sink socket: %w", err)
+	}
+	// Deliveries from the whole cluster funnel into this one socket; a
+	// deep queue keeps collection loss-free at wire rate (clamped to
+	// rmem_max by the kernel).
+	_ = sink.SetReadBuffer(4 << 20)
+	c := &Cluster{Spec: s, Sink: sink}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+
+	for _, name := range s.NodeNames() {
+		n, err := startNode(ctx, binary, s, name)
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+
+	// Everyone is listening: distribute the address book, then collect
+	// the READY confirmations.
+	var book strings.Builder
+	book.WriteString(strings.TrimSuffix(peersPrefix, " "))
+	for _, n := range c.Nodes {
+		fmt.Fprintf(&book, " %s=%s", n.Name, n.Addr)
+	}
+	fmt.Fprintf(&book, " %s=%s\n", SinkPeer, sink.LocalAddr())
+	for _, n := range c.Nodes {
+		if _, err := io.WriteString(n.stdin, book.String()); err != nil {
+			return nil, fmt.Errorf("cluster: node %s: write peers: %w", n.Name, err)
+		}
+	}
+	for _, n := range c.Nodes {
+		line, err := n.readLine(handshakeTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if line != readyLine {
+			return nil, fmt.Errorf("cluster: node %s: want %q, got %q", n.Name, readyLine, line)
+		}
+	}
+	ok = true
+	return c, nil
+}
+
+// startNode execs one daemon and completes the banner half of the
+// handshake.
+func startNode(ctx context.Context, binary string, s Spec, name string) (*Node, error) {
+	args := []string{
+		"-node", name,
+		"-shape", string(s.Shape),
+		"-nodes", fmt.Sprint(s.Nodes),
+		"-prefixes", fmt.Sprint(s.Prefixes),
+		"-clusterseed", fmt.Sprint(s.Seed),
+		"-method", MethodName(s.Method),
+		"-layout", LayoutName(s.Layout),
+		"-workers", fmt.Sprint(max(1, s.Workers)),
+		fmt.Sprintf("-batchio=%v", s.BatchIO),
+		"-metrics", "127.0.0.1:0",
+	}
+	cmd := exec.CommandContext(ctx, binary, args...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("cluster: start node %s: %w", name, err)
+	}
+	n := &Node{Name: name, cmd: cmd, stdin: stdin,
+		lines: make(chan string, 4), errc: make(chan error, 1)}
+	//cluevet:ignore - joined via n.errc in Node.stop
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			select {
+			case n.lines <- sc.Text():
+			default: // post-handshake chatter nobody reads; drop it
+			}
+		}
+		close(n.lines)
+		n.errc <- cmd.Wait()
+	}()
+
+	banner, err := n.readLine(handshakeTimeout)
+	if err != nil {
+		n.stop()
+		return nil, err
+	}
+	if !strings.HasPrefix(banner, bannerPrefix) {
+		n.stop()
+		return nil, fmt.Errorf("cluster: node %s: bad banner %q", name, banner)
+	}
+	for _, f := range strings.Fields(banner[len(bannerPrefix):]) {
+		k, v, found := strings.Cut(f, "=")
+		if !found {
+			continue
+		}
+		switch k {
+		case "listen":
+			addr, err := net.ResolveUDPAddr("udp4", v)
+			if err != nil {
+				n.stop()
+				return nil, fmt.Errorf("cluster: node %s: listen addr %q: %w", name, v, err)
+			}
+			n.Addr = addr
+		case "metrics":
+			n.Metrics = v
+		}
+	}
+	if n.Addr == nil || n.Metrics == "" {
+		n.stop()
+		return nil, fmt.Errorf("cluster: node %s: incomplete banner %q", name, banner)
+	}
+	return n, nil
+}
+
+// stop terminates one daemon: SIGTERM, bounded wait, then SIGKILL.
+func (n *Node) stop() error {
+	if n.cmd.Process == nil {
+		return nil
+	}
+	n.stdin.Close()
+	_ = n.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-n.errc:
+		return err
+	case <-time.After(5 * time.Second):
+		_ = n.cmd.Process.Kill()
+		return <-n.errc
+	}
+}
+
+// Close tears the cluster down: every daemon is signaled and reaped, the
+// sink socket closed. Safe on a partially-launched cluster.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.Nodes {
+		if err := n.stop(); err != nil && first == nil {
+			first = fmt.Errorf("cluster: node %s exit: %w", n.Name, err)
+		}
+	}
+	if c.Sink != nil {
+		c.Sink.Close()
+	}
+	return first
+}
+
+// BuildDaemon compiles the clued binary into dir and returns its path.
+// The go toolchain the repo is built with must be on PATH (true in CI
+// and dev shells; callers skip when it is not).
+func BuildDaemon(dir string) (string, error) {
+	bin := filepath.Join(dir, "clued")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/clued")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("cluster: build clued: %w\n%s", err, out)
+	}
+	return bin, nil
+}

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/netsim"
+)
+
+// daemonBinary builds clued once per test process (skipping when the
+// toolchain or loopback sockets are unavailable).
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+func daemonBinary(t *testing.T) string {
+	t.Helper()
+	requireLoopback(t)
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "clued-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin, buildErr = BuildDaemon(dir)
+	})
+	if buildErr != nil {
+		t.Skipf("cannot build clued: %v", buildErr)
+	}
+	return builtBin
+}
+
+func requireLoopback(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("cannot open loopback sockets in this environment: %v", err)
+	}
+	c.Close()
+}
+
+func launchOrSkip(t *testing.T, s Spec) *Cluster {
+	t.Helper()
+	bin := daemonBinary(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	c, err := Launch(ctx, bin, s)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestClusterChainEndToEnd is the harness smoke: a real 3-daemon chain
+// over loopback UDP delivers every generated packet to the sink, with
+// zero malformed datagrams and zero no-route drops at every hop, and
+// every hop's /metrics is scrapeable.
+func TestClusterChainEndToEnd(t *testing.T) {
+	s := Spec{Shape: ShapeChain, Nodes: 3, Prefixes: 300, Seed: 11,
+		Method: core.Simple, Layout: fastpath.LayoutAuto, Workers: 1, BatchIO: true}
+	c := launchOrSkip(t, s)
+
+	res, err := c.Generate(context.Background(), GenConfig{
+		Packets: 400, PPS: 4000, Flows: 64, Seed: 21, Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received != res.Sent {
+		t.Fatalf("received %d of %d packets", res.Received, res.Sent)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("latency quantiles unsound: p50=%v p99=%v", res.P50, res.P99)
+	}
+	for _, n := range c.Nodes {
+		m, err := n.ScrapeMetrics()
+		if err != nil {
+			t.Fatalf("scrape %s: %v", n.Name, err)
+		}
+		if got := m.Value("clued_packets_total", "router", n.Name); got != res.Sent {
+			t.Errorf("%s processed %d packets, want %d", n.Name, got, res.Sent)
+		}
+		for _, kind := range []string{"malformed", "no-route", "expired"} {
+			if got := m.Value("clued_errors_total", "router", n.Name, "kind", kind); got != 0 {
+				t.Errorf("%s: %d %s errors, want 0", n.Name, got, kind)
+			}
+		}
+	}
+	// Only the tail delivers in a chain; every delivery was forwarded to
+	// the sink and collected.
+	tail := c.Nodes[len(c.Nodes)-1]
+	m, err := tail.ScrapeMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Value("clued_delivered_total", "router", tail.Name); got != res.Sent {
+		t.Errorf("tail delivered %d, want %d", got, res.Sent)
+	}
+}
+
+// TestClusterMeshEndToEnd: the preferential-attachment mesh delivers
+// all traffic injected at c0, with deliveries spread over the nodes
+// that originate the destinations.
+func TestClusterMeshEndToEnd(t *testing.T) {
+	s := Spec{Shape: ShapeMesh, Nodes: 4, Prefixes: 200, Seed: 5,
+		Method: core.Simple, Layout: fastpath.LayoutAuto, Workers: 1, BatchIO: true}
+	c := launchOrSkip(t, s)
+
+	res, err := c.Generate(context.Background(), GenConfig{
+		Packets: 300, PPS: 4000, Flows: 50, Seed: 9, Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received != res.Sent {
+		t.Fatalf("received %d of %d packets", res.Received, res.Sent)
+	}
+	var delivered uint64
+	for _, n := range c.Nodes {
+		m, err := n.ScrapeMetrics()
+		if err != nil {
+			t.Fatalf("scrape %s: %v", n.Name, err)
+		}
+		delivered += m.Value("clued_delivered_total", "router", n.Name)
+		if got := m.Value("clued_errors_total", "router", n.Name, "kind", "no-route"); got != 0 {
+			t.Errorf("%s: %d no-route drops, want 0", n.Name, got)
+		}
+	}
+	if delivered != res.Sent {
+		t.Errorf("cluster delivered %d, want %d", delivered, res.Sent)
+	}
+}
+
+// TestDifferentialVsNetsim is the clued↔simulator differential: the
+// same spec, the same lock-step destination sequence, driven once
+// through a real 3-daemon UDP chain and once through netsim, must
+// produce identical per-hop outcome counts and identical learned
+// clue-entry sets at every hop — across both clue methods and both
+// fastpath trie layouts. This is the test that catches a wire-path bug
+// (header rewrite, clue option, learning order) that the in-process
+// harnesses cannot see.
+func TestDifferentialVsNetsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 12 daemon processes")
+	}
+	const packets, flows = 240, 48
+	for _, method := range []core.Method{core.Simple, core.Advance} {
+		for _, layout := range []fastpath.Layout{fastpath.LayoutFlat, fastpath.LayoutCompressed} {
+			name := fmt.Sprintf("%s/%s", MethodName(method), LayoutName(layout))
+			t.Run(name, func(t *testing.T) {
+				s := Spec{Shape: ShapeChain, Nodes: 3, Prefixes: 400, Seed: 13,
+					Method: method, Layout: layout, Workers: 1, BatchIO: true}
+				c := launchOrSkip(t, s)
+				res, err := c.Generate(context.Background(), GenConfig{
+					Packets: packets, Flows: flows, Seed: 31, Seq: true,
+					Timeout: 90 * time.Second,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Received != res.Sent || res.Sent != packets {
+					t.Fatalf("lock-step run delivered %d of %d (sent %d)", res.Received, packets, res.Sent)
+				}
+
+				// Replay the identical workload through the simulator.
+				tables, err := s.Tables()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim := netsim.New(tables)
+				for _, nn := range s.NodeNames() {
+					sim.Router(nn).SetMethod(method)
+				}
+				sim.SetFastPath(true)
+				dests := s.Universe().Dests(31, flows, 1.2)
+				for i := 0; i < packets; i++ {
+					tr, err := sim.Send("c0", dests[i%flows])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !tr.Delivered {
+						t.Fatalf("netsim dropped packet %d (%v): %v", i, dests[i%flows], tr.Drop)
+					}
+				}
+
+				// Per-hop outcome counts must agree exactly.
+				names := s.NodeNames()
+				for i, nn := range names {
+					m, err := c.Node(nn).ScrapeMetrics()
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotOut := m.Outcomes("clued_packets_total")
+					simOut := sim.Router(nn).Outcomes()
+					for o, want := range simOut {
+						if got := gotOut[o.String()]; got != uint64(want) {
+							t.Errorf("%s: outcome %q = %d on the wire, %d in netsim",
+								nn, o, got, want)
+						}
+					}
+					var wireTotal uint64
+					for _, v := range gotOut {
+						wireTotal += v
+					}
+					var simTotal uint64
+					for _, v := range simOut {
+						simTotal += uint64(v)
+					}
+					if wireTotal != simTotal {
+						t.Errorf("%s: %d packets on the wire, %d in netsim", nn, wireTotal, simTotal)
+					}
+
+					// Learned clue-entry sets must be identical. The daemon's
+					// single table corresponds to netsim's table for this
+					// node's unique chain upstream ("" at the head).
+					upstream := ""
+					if i > 0 {
+						upstream = names[i-1]
+					}
+					var simLines []string
+					for _, e := range sim.Router(nn).ExportClues(upstream) {
+						simLines = append(simLines, EntryLine(e))
+					}
+					sort.Strings(simLines)
+					wireLines, err := c.Node(nn).Entries()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(wireLines) != len(simLines) {
+						t.Fatalf("%s: %d learned entries on the wire, %d in netsim",
+							nn, len(wireLines), len(simLines))
+					}
+					for j := range wireLines {
+						if wireLines[j] != simLines[j] {
+							t.Fatalf("%s: learned entry %d differs: wire %q, netsim %q",
+								nn, j, wireLines[j], simLines[j])
+						}
+					}
+				}
+			})
+		}
+	}
+}

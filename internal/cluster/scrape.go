@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sample is one Prometheus exposition line: a metric name, its label
+// set, and the value. The registry exports only unsigned integral
+// counters and gauges, so the value is a uint64.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  uint64
+}
+
+// Label returns a label value ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParseProm parses a Prometheus text-exposition body into samples,
+// skipping comments and anything that does not parse as an unsigned
+// value (histogram sums can be floats; the harness never needs them at
+// sub-integer precision and they parse fine).
+func ParseProm(body string) []Sample {
+	var out []Sample
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		f, err := strconv.ParseFloat(valStr, 64)
+		if err != nil || f < 0 {
+			continue
+		}
+		s := Sample{Value: uint64(f), Labels: map[string]string{}}
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			s.Name = series[:i]
+			inner := strings.TrimSuffix(series[i+1:], "}")
+			for _, kv := range splitLabels(inner) {
+				eq := strings.IndexByte(kv, '=')
+				if eq < 0 {
+					continue
+				}
+				v := strings.Trim(kv[eq+1:], `"`)
+				s.Labels[kv[:eq]] = v
+			}
+		} else {
+			s.Name = series
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}
+
+// Metrics is one scrape of one daemon, with lookup helpers.
+type Metrics struct {
+	Samples []Sample
+}
+
+// Value sums every sample of name whose labels all match the given
+// key=value pairs (passed as alternating key, value strings; a
+// dangling key with no value matches nothing, so the sum is 0).
+func (m *Metrics) Value(name string, kv ...string) uint64 {
+	if len(kv)%2 != 0 {
+		return 0
+	}
+	var sum uint64
+next:
+	for _, s := range m.Samples {
+		if s.Name != name {
+			continue
+		}
+		for i := 0; i < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				continue next
+			}
+		}
+		sum += s.Value
+	}
+	return sum
+}
+
+// Outcomes returns the per-outcome packet counts of the prefix_packets_total
+// counter vector (e.g. "clued_packets_total"), keyed by outcome label.
+func (m *Metrics) Outcomes(metric string) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, s := range m.Samples {
+		if s.Name == metric {
+			out[s.Labels["outcome"]] += s.Value
+		}
+	}
+	return out
+}
+
+// scrapeURL GETs a URL and returns the body, with a bounded timeout.
+func scrapeURL(url string, timeout time.Duration) (string, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("cluster: GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// SortedLines splits a newline-separated body (the /entries dump) into
+// sorted, trimmed, non-empty lines — a canonical set representation.
+func SortedLines(body string) []string {
+	var out []string
+	for _, l := range strings.Split(body, "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

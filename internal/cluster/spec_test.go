@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/routing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	for _, tc := range []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Shape: ShapeChain, Nodes: 2, Prefixes: 10}, true},
+		{Spec{Shape: ShapeChain, Nodes: 1, Prefixes: 10}, false},
+		{Spec{Shape: ShapeMesh, Nodes: 4, Prefixes: 10}, true},
+		{Spec{Shape: ShapeMesh, Nodes: 2, Prefixes: 10}, false},
+		{Spec{Shape: ShapeMesh, Nodes: 4, Prefixes: 10, Method: core.Advance}, false},
+		{Spec{Shape: "ring", Nodes: 4, Prefixes: 10}, false},
+		{Spec{Shape: ShapeChain, Nodes: 2, Prefixes: 0}, false},
+	} {
+		err := tc.spec.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", tc.spec, err, tc.ok)
+		}
+	}
+}
+
+// TestChainTables pins the chain semantics: every node routes every
+// universe prefix, interior nodes forward down the chain, and the tail
+// owns everything locally — so all traffic crosses all hops.
+func TestChainTables(t *testing.T) {
+	s := Spec{Shape: ShapeChain, Nodes: 3, Prefixes: 50, Seed: 7}
+	tabs, err := s.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("got %d tables, want 3", len(tabs))
+	}
+	prefs := s.Universe().Prefixes()
+	for i, name := range s.NodeNames() {
+		tab := tabs[name]
+		wantNext := routing.LocalHop
+		if i < s.Nodes-1 {
+			wantNext = s.NodeNames()[i+1]
+		}
+		for _, p := range prefs {
+			next, ok := tab.NextHop(p)
+			if !ok {
+				t.Fatalf("%s: no route for %v", name, p)
+			}
+			if next != wantNext {
+				t.Fatalf("%s routes %v via %q, want %q", name, p, next, wantNext)
+			}
+		}
+	}
+}
+
+// TestTablesDeterministic: the same spec must derive identical tables in
+// any process — the property the launcher's ship-no-state design needs.
+func TestTablesDeterministic(t *testing.T) {
+	s := Spec{Shape: ShapeMesh, Nodes: 5, Prefixes: 120, Seed: 3}
+	a, err := s.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefs := s.Universe().Prefixes()
+	for name := range a {
+		for _, p := range prefs {
+			na, oka := a[name].NextHop(p)
+			nb, okb := b[name].NextHop(p)
+			if oka != okb || na != nb {
+				t.Fatalf("%s: route for %v differs across identical specs", name, p)
+			}
+		}
+	}
+}
+
+// TestNodeConfigMirrorsNetsim pins the method rule: the head is always
+// Simple (its upstream is the generator), interior Advance nodes get a
+// sender predicate over the upstream's prefixes.
+func TestNodeConfigMirrorsNetsim(t *testing.T) {
+	s := Spec{Shape: ShapeChain, Nodes: 3, Prefixes: 40, Seed: 1, Method: core.Advance}
+	head, err := s.NodeConfig("c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Config.Method != core.Simple || head.Upstream != "" {
+		t.Fatalf("head: method=%v upstream=%q, want Simple with no upstream", head.Config.Method, head.Upstream)
+	}
+	mid, err := s.NodeConfig("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Config.Method != core.Advance || mid.Upstream != "c0" {
+		t.Fatalf("mid: method=%v upstream=%q, want Advance from c0", mid.Config.Method, mid.Upstream)
+	}
+	if mid.Config.Sender == nil {
+		t.Fatal("mid: Advance config has no sender predicate")
+	}
+	for _, p := range s.Universe().Prefixes() {
+		if !mid.Config.Sender(p) {
+			t.Fatalf("sender predicate rejects upstream prefix %v", p)
+		}
+	}
+
+	s.Method = core.Simple
+	mid, err = s.NodeConfig("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Config.Method != core.Simple {
+		t.Fatalf("simple spec built %v table", mid.Config.Method)
+	}
+
+	if _, err := s.NodeConfig("nope"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestFlagRoundTrips(t *testing.T) {
+	for _, l := range []fastpath.Layout{fastpath.LayoutAuto, fastpath.LayoutFlat, fastpath.LayoutCompressed} {
+		got, err := ParseLayout(LayoutName(l))
+		if err != nil || got != l {
+			t.Errorf("layout %v round-trips to %v (%v)", l, got, err)
+		}
+	}
+	for _, m := range []core.Method{core.Simple, core.Advance} {
+		got, err := ParseMethod(MethodName(m))
+		if err != nil || got != m {
+			t.Errorf("method %v round-trips to %v (%v)", m, got, err)
+		}
+	}
+	if _, err := ParseLayout("sideways"); err == nil {
+		t.Error("bad layout accepted")
+	}
+	if _, err := ParseMethod("psychic"); err == nil {
+		t.Error("bad method accepted")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	book, err := ParsePeers("PEERS c0=127.0.0.1:1 c1=127.0.0.1:2 sink=127.0.0.1:3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(book) != 3 || book["c1"] != "127.0.0.1:2" || book[SinkPeer] != "127.0.0.1:3" {
+		t.Fatalf("parsed %v", book)
+	}
+	for _, bad := range []string{"PEERS", "PEERS malformed", "NOISE c0=x"} {
+		if _, err := ParsePeers(bad + "\n"); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseProm(t *testing.T) {
+	body := `# HELP clued_packets_total packets
+# TYPE clued_packets_total counter
+clued_packets_total{router="c0",outcome="miss"} 7
+clued_packets_total{router="c0",outcome="hit, final"} 35
+clued_errors_total{router="c0",kind="no-route"} 0
+clued_table_entries{router="c0"} 12
+bare_metric 3
+`
+	m := &Metrics{Samples: ParseProm(body)}
+	if got := m.Value("clued_packets_total", "router", "c0", "outcome", "miss"); got != 7 {
+		t.Fatalf("miss count = %d, want 7", got)
+	}
+	// Quoted-comma label values must survive label splitting.
+	if got := m.Value("clued_packets_total", "outcome", "hit, final"); got != 35 {
+		t.Fatalf("quoted-comma outcome = %d, want 35", got)
+	}
+	if got := m.Value("clued_packets_total"); got != 42 {
+		t.Fatalf("summed packets = %d, want 42", got)
+	}
+	if got := m.Value("bare_metric"); got != 3 {
+		t.Fatalf("bare metric = %d, want 3", got)
+	}
+	out := m.Outcomes("clued_packets_total")
+	if out["miss"] != 7 || out["hit, final"] != 35 {
+		t.Fatalf("outcomes = %v", out)
+	}
+}
+
+func TestSortedLines(t *testing.T) {
+	got := SortedLines("b\n\n  a  \nc\n")
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -146,6 +146,14 @@ func (c *ConcurrentTable) Learned() int {
 	return c.t.Learned()
 }
 
+// Export returns the wrapped table's entries in unspecified order, under
+// the read lock — the differential-testing surface, not a hot path.
+func (c *ConcurrentTable) Export() []ExportedEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Export()
+}
+
 // Len returns the number of entries.
 func (c *ConcurrentTable) Len() int {
 	c.mu.RLock()

@@ -1,0 +1,218 @@
+// Metrics arithmetic suite: pins the writer-side counter deltas of every
+// writer grade (single-entry Learn patch, Apply batch, Mutate recompile)
+// across both trie layouts. The load-bearing case is the compressed-
+// snapshot Apply degrade the ISSUE flags as a possible double count:
+// Fallbacks records the cause and Recompiles the mechanism of ONE
+// publication — Swaps must advance by exactly one, and the invariant
+//
+//	Swaps == Patches + Applies + Recompiles
+//
+// must hold after every operation (cause counters like Fallbacks and
+// Overflows are outside the sum by design).
+package fastpath_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/mem"
+	"repro/internal/telemetry"
+)
+
+// metricsFixture builds a fully-populated Metrics and a reader that
+// snapshots every counter by name.
+func metricsFixture() (fastpath.Metrics, func() map[string]uint64) {
+	reg := telemetry.NewRegistry()
+	c := func(name string) *telemetry.Counter { return reg.NewCounter(name, "") }
+	m := fastpath.Metrics{
+		Swaps: c("swaps"), Patches: c("patches"), Recompiles: c("recompiles"),
+		Learns: c("learns"), Applies: c("applies"), AppliedOps: c("applied_ops"),
+		Coalesced: c("coalesced"), Overflows: c("overflows"), Fallbacks: c("fallbacks"),
+		Compactions: c("compactions"), Defensive: c("defensive"),
+	}
+	read := func() map[string]uint64 {
+		return map[string]uint64{
+			"swaps": m.Swaps.Value(), "patches": m.Patches.Value(),
+			"recompiles": m.Recompiles.Value(), "learns": m.Learns.Value(),
+			"applies": m.Applies.Value(), "applied_ops": m.AppliedOps.Value(),
+			"coalesced": m.Coalesced.Value(), "overflows": m.Overflows.Value(),
+			"fallbacks": m.Fallbacks.Value(), "compactions": m.Compactions.Value(),
+			"defensive": m.Defensive.Value(),
+		}
+	}
+	return m, read
+}
+
+// learnTable builds a learning (non-preprocessed) table so the workload
+// still contains misses for the Learn grade to consume.
+func learnTable(p *pairFixture) *core.Table {
+	return core.MustNewTable(core.Config{
+		Method: core.Advance, Engine: lookup.NewRegular(p.rt),
+		Local: p.rt, Sender: p.st.Contains,
+		Learn: true, LearnLimit: 40,
+	})
+}
+
+// checkInvariant asserts the publication identity on a counter snapshot.
+func checkInvariant(t *testing.T, got map[string]uint64) {
+	t.Helper()
+	if got["swaps"] != got["patches"]+got["applies"]+got["recompiles"] {
+		t.Fatalf("swap invariant broken: swaps=%d patches=%d applies=%d recompiles=%d",
+			got["swaps"], got["patches"], got["applies"], got["recompiles"])
+	}
+}
+
+// TestMetricsWriterGrades is the grade × layout delta matrix. Every
+// unnamed counter must stay zero: a compressed Apply that bumped both
+// Fallbacks-as-a-swap and Recompiles-as-a-swap would fail here on the
+// swaps delta, and an Apply counted as both Applies and Recompiles
+// fails on either count.
+func TestMetricsWriterGrades(t *testing.T) {
+	layouts := []struct {
+		name       string
+		layout     fastpath.Layout
+		compressed bool
+	}{
+		{"Flat", fastpath.LayoutFlat, false},
+		{"Compressed", fastpath.LayoutCompressed, true},
+	}
+	grades := []struct {
+		name string
+		run  func(t *testing.T, rcu *fastpath.RCU, p *pairFixture)
+		want func(compressed bool) map[string]uint64
+	}{
+		{
+			name: "Learn",
+			run: func(t *testing.T, rcu *fastpath.RCU, p *pairFixture) {
+				for i := range p.dests {
+					if p.clues[i] < 0 {
+						continue
+					}
+					var refs mem.Counter
+					if rcu.Process(p.dests[i], p.clues[i], &refs).Outcome == core.OutcomeMiss {
+						if !rcu.Learn(p.dests[i], p.clues[i]) {
+							t.Fatalf("Learn(%v, %d) refused a fresh miss", p.dests[i], p.clues[i])
+						}
+						return
+					}
+				}
+				t.Fatal("workload produced no learnable miss")
+			},
+			// Single-entry patch on either layout: one publication via
+			// Patches, even on the packed representation (entries carry
+			// their own slot rows; no trie rebuild needed).
+			want: func(bool) map[string]uint64 {
+				return map[string]uint64{"learns": 1, "patches": 1, "swaps": 1}
+			},
+		},
+		{
+			name: "Apply",
+			run: func(t *testing.T, rcu *fastpath.RCU, p *pairFixture) {
+				rcu.Apply([]fastpath.RouteOp{
+					{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[0], 26), Value: 71},
+					{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[1], 24), Value: 72},
+					{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[2], 28), Value: 73},
+				})
+			},
+			want: func(compressed bool) map[string]uint64 {
+				if compressed {
+					// The degrade: the batch cannot patch a packed trie in
+					// place, so Fallbacks counts the cause, Recompiles the
+					// mechanism — one swap total, and Applies stays zero.
+					return map[string]uint64{"fallbacks": 1, "recompiles": 1, "swaps": 1}
+				}
+				return map[string]uint64{"applies": 1, "applied_ops": 3, "swaps": 1}
+			},
+		},
+		{
+			name: "Mutate",
+			run: func(t *testing.T, rcu *fastpath.RCU, p *pairFixture) {
+				rcu.Mutate(func(*core.Table) {})
+			},
+			want: func(bool) map[string]uint64 {
+				return map[string]uint64{"recompiles": 1, "swaps": 1}
+			},
+		},
+	}
+	for _, lo := range layouts {
+		for _, g := range grades {
+			t.Run(lo.name+"/"+g.name, func(t *testing.T) {
+				p := v4Pair(t, 200)
+				rcu := fastpath.NewRCULayout(learnTable(p), lo.layout)
+				if rcu.Snapshot().Compressed() != lo.compressed {
+					t.Fatalf("layout %v published compressed=%v", lo.layout, rcu.Snapshot().Compressed())
+				}
+				m, read := metricsFixture()
+				rcu.SetMetrics(m)
+				g.run(t, rcu, p)
+				got := read()
+				want := g.want(lo.compressed)
+				for name, v := range got {
+					if v != want[name] {
+						t.Errorf("%s = %d, want %d", name, v, want[name])
+					}
+				}
+				checkInvariant(t, got)
+				if rcu.Snapshot().Compressed() != lo.compressed {
+					t.Fatalf("operation changed the snapshot layout (compressed=%v)",
+						rcu.Snapshot().Compressed())
+				}
+			})
+		}
+	}
+}
+
+// TestMetricsSwapInvariantUnderChurn mixes all the writer grades —
+// learning misses, Apply batches, Invalidate/Revalidate patches and a
+// Mutate — on both layouts and re-checks the publication identity after
+// every single operation, not just at the end.
+func TestMetricsSwapInvariantUnderChurn(t *testing.T) {
+	for _, lo := range []struct {
+		name   string
+		layout fastpath.Layout
+	}{
+		{"Flat", fastpath.LayoutFlat},
+		{"Compressed", fastpath.LayoutCompressed},
+	} {
+		t.Run(lo.name, func(t *testing.T) {
+			p := v4Pair(t, 400)
+			rcu := fastpath.NewRCULayout(learnTable(p), lo.layout)
+			m, read := metricsFixture()
+			rcu.SetMetrics(m)
+			step := func() { checkInvariant(t, read()) }
+			for i := range p.dests {
+				if p.clues[i] < 0 {
+					continue
+				}
+				var refs mem.Counter
+				if rcu.Process(p.dests[i], p.clues[i], &refs).Outcome == core.OutcomeMiss {
+					rcu.Learn(p.dests[i], p.clues[i])
+					step()
+				}
+				if i%97 == 0 {
+					rcu.Apply([]fastpath.RouteOp{
+						{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[i], 25), Value: i},
+					})
+					step()
+				}
+				if i%131 == 0 {
+					if bmp, _, ok := p.st.Lookup(p.dests[i], nil); ok {
+						rcu.Invalidate(bmp)
+						step()
+						rcu.Revalidate(bmp)
+						step()
+					}
+				}
+			}
+			rcu.Mutate(func(*core.Table) {})
+			got := read()
+			checkInvariant(t, got)
+			if got["swaps"] == 0 {
+				t.Fatal("churn produced no publications; the test exercised nothing")
+			}
+		})
+	}
+}

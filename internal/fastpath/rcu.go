@@ -79,6 +79,13 @@ type RCU struct {
 // the zero Metrics records nothing. Readers are deliberately
 // uninstrumented here — per-packet accounting lives in the snapshot's
 // PacketMetrics.
+//
+// Mechanism counters partition the swaps: Swaps == Patches + Applies +
+// Recompiles always. Overflows, Fallbacks, Compactions and Defensive
+// are cause counters layered on top — a degraded Apply on a compressed
+// snapshot counts Fallbacks (why) plus Recompiles (how) for its single
+// publication, never an Applies as well (metrics_test.go pins the
+// arithmetic).
 type Metrics struct {
 	Swaps      *telemetry.Counter // snapshot publications of any kind
 	Patches    *telemetry.Counter // single-entry incremental patches
@@ -288,4 +295,14 @@ func (r *RCU) Learned() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.tab.Learned()
+}
+
+// Export returns the master table's entries in unspecified order, under
+// the writer lock. It is a debugging and differential-testing surface
+// (the cluster harness compares a live daemon's learned set against a
+// simulated replay through it), not a hot path.
+func (r *RCU) Export() []core.ExportedEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tab.Export()
 }

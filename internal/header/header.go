@@ -179,6 +179,58 @@ func ParseIPv4(b []byte) (*IPv4, int, error) {
 	return h, hl, nil
 }
 
+// PeekIPv4 extracts the fields the forwarding fast path needs —
+// destination, TTL, payload offset, and the clue length (NoClue when
+// absent) — without allocating a header struct. It recognizes exactly
+// the two hot wire shapes: the 20-byte optionless header (a packet from
+// a clueless host) and the 24-byte header leading with the plain 3-byte
+// clue option (what every clue hop emits). ok is false — with version,
+// length, and checksum errors NOT yet diagnosed — for anything else;
+// callers fall back to ParseIPv4, which allocates but handles every
+// shape and produces the proper error taxonomy.
+func PeekIPv4(b []byte) (dst ip.Addr, ttl byte, clueLen, hl int, ok bool) {
+	if len(b) < 20 || b[0]>>4 != 4 {
+		return dst, 0, 0, 0, false
+	}
+	hl = int(b[0]&0x0F) * 4
+	clueLen = NoClue
+	switch {
+	case hl == 20:
+	case hl == 24 && len(b) >= 24 && b[20] == ClueOptionKind && b[21] == 3 && b[22] <= 32:
+		clueLen = int(b[22])
+	default:
+		return dst, 0, 0, 0, false
+	}
+	if len(b) < hl || Checksum(b[:hl]) != 0 {
+		return dst, 0, 0, 0, false
+	}
+	return ip.AddrFrom32(binary.BigEndian.Uint32(b[16:])), b[8], clueLen, hl, true
+}
+
+// RewriteClueIPv4 is the forwarding fast path: it rewrites pkt's clue
+// option and decrements TTL in place, refreshing the header checksum,
+// when the packet already carries the plain 3-byte clue option (no
+// §3.3.1 index) at the front of its options — the shape every interior
+// hop of a clue chain both receives and would re-emit. It avoids the
+// parse-struct → re-marshal → copy round trip of the general path: no
+// allocation, and the checksum recompute spans only the header. hl is
+// the header length ParseIPv4 returned for pkt. Returns false — pkt
+// untouched — when the packet is not that shape (no option, an indexed
+// option, TTL already zero) and the caller must re-marshal instead.
+func RewriteClueIPv4(pkt []byte, hl, clueLen int) bool {
+	if hl < 24 || len(pkt) < hl || pkt[20] != ClueOptionKind || pkt[21] != 3 {
+		return false
+	}
+	if pkt[8] == 0 || clueLen < 0 || clueLen > 32 {
+		return false
+	}
+	pkt[8]--                // TTL
+	pkt[22] = byte(clueLen) // clue
+	pkt[10], pkt[11] = 0, 0
+	binary.BigEndian.PutUint16(pkt[10:], Checksum(pkt[:hl]))
+	return true
+}
+
 // Checksum computes the Internet checksum (RFC 1071) over b; computing it
 // over a header whose checksum field is filled yields 0 for a valid header.
 func Checksum(b []byte) uint16 {

@@ -293,3 +293,72 @@ func TestQuickIPv4RoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestRewriteClueIPv4(t *testing.T) {
+	h := &IPv4{
+		TTL: 64, Protocol: 17,
+		Src:  ip.MustParseAddr("10.0.0.1"),
+		Dst:  ip.MustParseAddr("192.168.7.9"),
+		Clue: &ClueOption{Len: 24},
+	}
+	b, err := h.Marshal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := append(b, 0xAA, 0xBB, 0xCC)
+	if !RewriteClueIPv4(pkt, len(b), 17) {
+		t.Fatal("RewriteClueIPv4 refused the plain-clue shape")
+	}
+	got, hl, err := ParseIPv4(pkt)
+	if err != nil {
+		t.Fatalf("rewritten packet does not parse (checksum?): %v", err)
+	}
+	if hl != len(b) || got.TTL != 63 || got.Clue == nil || got.Clue.Len != 17 {
+		t.Errorf("after rewrite: hl=%d ttl=%d clue=%+v", hl, got.TTL, got.Clue)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.Protocol != 17 {
+		t.Errorf("rewrite disturbed other fields: %+v", got)
+	}
+	if pkt[len(b)] != 0xAA || pkt[len(b)+2] != 0xCC {
+		t.Error("rewrite disturbed the payload")
+	}
+}
+
+func TestRewriteClueIPv4Refusals(t *testing.T) {
+	marshal := func(h *IPv4) []byte {
+		t.Helper()
+		b, err := h.Marshal(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	src, dst := ip.MustParseAddr("1.2.3.4"), ip.MustParseAddr("5.6.7.8")
+	noClue := marshal(&IPv4{TTL: 9, Src: src, Dst: dst})
+	indexed := marshal(&IPv4{TTL: 9, Src: src, Dst: dst,
+		Clue: &ClueOption{Len: 8, HasIndex: true, Index: 7}})
+	expired := marshal(&IPv4{TTL: 0, Src: src, Dst: dst, Clue: &ClueOption{Len: 8}})
+	plain := marshal(&IPv4{TTL: 9, Src: src, Dst: dst, Clue: &ClueOption{Len: 8}})
+	cases := []struct {
+		name    string
+		pkt     []byte
+		hl, len int
+	}{
+		{"no option", noClue, 20, 20},
+		{"indexed option", indexed, len(indexed), 30},
+		{"ttl zero", expired, len(expired), 8},
+		{"clue out of range", plain, len(plain), 33},
+	}
+	for _, c := range cases {
+		before := append([]byte(nil), c.pkt...)
+		if RewriteClueIPv4(c.pkt, c.hl, c.len) {
+			t.Errorf("%s: rewrite accepted", c.name)
+		}
+		for i := range c.pkt {
+			if c.pkt[i] != before[i] {
+				t.Errorf("%s: refused rewrite still mutated byte %d", c.name, i)
+				break
+			}
+		}
+	}
+}

@@ -243,6 +243,21 @@ func (r *Router) fastTable(upstream string) *fastpath.RCU {
 	return r.fastTables[upstream]
 }
 
+// ExportClues returns the clue-table entries this router holds for
+// packets arriving from the given upstream neighbor ("" is the injection
+// point), in unspecified order, in whichever representation the network
+// currently runs. The cluster harness's differential test compares these
+// learned sets against a live daemon's /entries dump.
+func (r *Router) ExportClues(upstream string) []core.ExportedEntry {
+	if fp := r.fastTables[upstream]; fp != nil {
+		return fp.Export()
+	}
+	if ct := r.clueTables[upstream]; ct != nil {
+		return ct.Export()
+	}
+	return nil
+}
+
 // RouterStats accumulates one router's forwarding load across Send calls —
 // the quantity Figure 1 is about ("we expect the heavily loaded routers at
 // the heart of the Internet backbone to be the least loaded by our

@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/ip"
+)
+
+// DestSampler draws destination addresses from a universe with a
+// zipf-skewed popularity over prefixes — the traffic-side complement of
+// the table generator: a few destinations carry most of the load, the
+// long tail exercises the rest of the table. Each draw picks a prefix
+// by zipf rank over generation order and randomizes the host bits
+// inside it, so destinations are always routable in any router sampled
+// from the same universe (at zero divergence). Deterministic by seed.
+type DestSampler struct {
+	u    *ModernUniverse
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// DestSampler returns a sampler over u's prefixes. s is the zipf
+// exponent (values ≤ 1 clamp to a near-uniform 1.0001; the traffic
+// literature's usual choice is 1.1–1.3).
+func (u *ModernUniverse) DestSampler(seed int64, s float64) *DestSampler {
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &DestSampler{
+		u:    u,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, s, 1, uint64(len(u.prefixes)-1)),
+	}
+}
+
+// Next draws one destination address.
+func (d *DestSampler) Next() ip.Addr {
+	p := d.u.prefixes[d.zipf.Uint64()]
+	l := p.Len()
+	if p.Family() == ip.IPv4 {
+		base := p.Addr().Uint32()
+		if l >= 32 {
+			return p.Addr()
+		}
+		mask := ^uint32(0) >> uint(l)
+		return ip.AddrFrom32(base | d.rng.Uint32()&mask)
+	}
+	hi, lo := p.Addr().Halves()
+	// Modern-universe prefixes are ≤ /64, so host bits span the tail of
+	// the high word plus the whole low word.
+	if l < 64 {
+		mask := ^uint64(0) >> uint(l)
+		hi |= d.rng.Uint64() & mask
+	}
+	lo = d.rng.Uint64()
+	return ip.AddrFrom128(hi, lo)
+}
+
+// Dests draws n destinations in one call (tests and small workloads;
+// the generator streams from Next to avoid materializing millions).
+func (u *ModernUniverse) Dests(seed int64, n int, s float64) []ip.Addr {
+	d := u.DestSampler(seed, s)
+	out := make([]ip.Addr, n)
+	for i := range out {
+		out[i] = d.Next()
+	}
+	return out
+}

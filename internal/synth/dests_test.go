@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+)
+
+func TestDestSamplerDeterministic(t *testing.T) {
+	u := NewModernUniverse(7, ip.IPv4, 2000)
+	a := u.Dests(11, 500, 1.2)
+	b := u.Dests(11, 500, 1.2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := u.Dests(12, 500, 1.2)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical destination stream")
+	}
+}
+
+// TestDestSamplerRoutable pins the property the cluster harness relies
+// on for its zero-no-route gate: every sampled destination falls inside
+// some universe prefix, for both families.
+func TestDestSamplerRoutable(t *testing.T) {
+	for _, fam := range []ip.Family{ip.IPv4, ip.IPv6} {
+		u := NewModernUniverse(3, fam, 1500)
+		prefs := u.Prefixes()
+		for i, dest := range u.Dests(5, 300, 1.2) {
+			ok := false
+			for _, p := range prefs {
+				if p.Contains(dest) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("%v dest %d (%v) outside every universe prefix", fam, i, dest)
+			}
+		}
+	}
+}
+
+// TestDestSamplerSkew checks the zipf shape: a strongly skewed sampler
+// concentrates draws on few distinct prefixes, a near-uniform one
+// spreads them out.
+func TestDestSamplerSkew(t *testing.T) {
+	u := NewModernUniverse(7, ip.IPv4, 5000)
+	distinct := func(s float64) int {
+		d := u.DestSampler(9, s)
+		seen := make(map[ip.Addr]struct{})
+		for i := 0; i < 3000; i++ {
+			seen[d.Next()] = struct{}{}
+		}
+		return len(seen)
+	}
+	skewed, flat := distinct(2.5), distinct(1.0)
+	if skewed >= flat {
+		t.Fatalf("zipf skew has no effect: distinct(s=2.5)=%d >= distinct(s=1.0)=%d", skewed, flat)
+	}
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+// ExpBounds builds a geometric bucket ladder for NewHistogram: n bounds
+// starting at lo, each subsequent bound the previous times factor,
+// rounded and bumped to stay strictly increasing (the histogram
+// constructor's invariant). It is the standard shape for latency
+// histograms, where the interesting resolution is relative, not
+// absolute: ExpBounds(1000, 2, 20) spans 1 µs to ~0.5 s in nanoseconds
+// at a constant ~2× relative error.
+func ExpBounds(lo uint64, factor float64, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	if lo == 0 {
+		lo = 1
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	bounds := make([]uint64, 0, n)
+	f := float64(lo)
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		b := uint64(f + 0.5)
+		if b <= prev {
+			b = prev + 1
+		}
+		bounds = append(bounds, b)
+		prev = b
+		f *= factor
+	}
+	return bounds
+}

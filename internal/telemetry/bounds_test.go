@@ -1,0 +1,49 @@
+package telemetry
+
+import "testing"
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(1000, 2, 5)
+	want := []uint64{1000, 2000, 4000, 8000, 16000}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds[%d] = %d, want %d", i, b[i], want[i])
+		}
+	}
+}
+
+func TestExpBoundsStrictlyIncreasing(t *testing.T) {
+	// A factor close to 1 would produce duplicate rounded bounds without
+	// the bump; the result must still satisfy the histogram invariant.
+	for _, tc := range []struct {
+		lo     uint64
+		factor float64
+		n      int
+	}{
+		{1, 1.05, 40},
+		{0, 0.5, 10}, // degenerate inputs clamp instead of panicking
+		{7, 3, 30},
+	} {
+		b := ExpBounds(tc.lo, tc.factor, tc.n)
+		if len(b) != tc.n {
+			t.Fatalf("ExpBounds(%d,%v,%d) len = %d", tc.lo, tc.factor, tc.n, len(b))
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("ExpBounds(%d,%v,%d) not strictly increasing at %d: %v",
+					tc.lo, tc.factor, tc.n, i, b[i-1:i+1])
+			}
+		}
+		// Must be accepted by the histogram constructor.
+		NewRegistry().NewHistogram("b", "", b)
+	}
+}
+
+func TestExpBoundsEmpty(t *testing.T) {
+	if b := ExpBounds(1, 2, 0); b != nil {
+		t.Fatalf("n=0 returned %v", b)
+	}
+}
