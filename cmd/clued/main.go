@@ -635,11 +635,17 @@ func registerFastpathMetrics(reg *telemetry.Registry, router string, fp *fastpat
 		Overflows: reg.NewCounter("clued_rcu_overflows_total",
 			"writer-queue overflows degraded to a recompile", lbl),
 		Fallbacks: reg.NewCounter("clued_rcu_fallbacks_total",
-			"Apply batches too broad for patching", lbl),
+			"Apply batches unpatchable in place (all causes)", lbl),
 		Compactions: reg.NewCounter("clued_rcu_compactions_total",
 			"snapshot compactions reclaiming dead slots", lbl),
 		Defensive: reg.NewCounter("clued_rcu_defensive_total",
 			"defensive rebuilds: entry vanished under a patch", lbl),
+		FallbacksBroad: reg.NewCounter("clued_rcu_fallbacks_broad_total",
+			"Apply fallbacks: affected-entry set rivaled the table", lbl),
+		FallbacksDict: reg.NewCounter("clued_rcu_fallbacks_dict_total",
+			"Apply fallbacks: compressed next-hop dictionary would overflow", lbl),
+		FallbacksNodes: reg.NewCounter("clued_rcu_fallbacks_nodes_total",
+			"Apply fallbacks: compressed edit rewrote a table-rivaling node share", lbl),
 	})
 	// Snapshot memory accounting: gauges read the live snapshot
 	// at scrape time, so a recompile that flips the layout (or a

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/fastpath"
 	"repro/internal/synth"
 )
 
@@ -93,6 +94,68 @@ func TestReplayShort(t *testing.T) {
 	}
 }
 
+// TestReplayShortCompressed replays the smoke stream against the packed
+// stride-6 layout: since ISSUE 10 Apply patches the compressed snapshot
+// in place, so the run must publish through Applies and sweep clean
+// against the full recompile. On a 600-entry table a storm burst can
+// still take the layout-independent broad-batch degrade (the flat run
+// does too), but the packed-specific causes — dictionary overflow,
+// node-share — must never fire on standard churn.
+func TestReplayShortCompressed(t *testing.T) {
+	cfg := Config{
+		Seed: 21, TableSize: 600, Bursts: 60,
+		Workers: 2, PacketsPerBurst: 64, ProbeEvery: 3,
+		Layout: fastpath.LayoutCompressed,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SweepMismatches != 0 {
+		t.Fatalf("%d/%d sweep packets disagree with the full recompile", res.SweepMismatches, res.SweepPackets)
+	}
+	if res.Stalls != 0 {
+		t.Fatalf("%d probes never became visible", res.Stalls)
+	}
+	if res.Writer.Applies == 0 {
+		t.Fatal("no incremental Apply batches published — the stream bypassed the fast path")
+	}
+	if res.Writer.FallbacksDict != 0 || res.Writer.FallbacksNodes != 0 {
+		t.Fatalf("packed edit sessions aborted on standard churn: dict=%d nodes=%d",
+			res.Writer.FallbacksDict, res.Writer.FallbacksNodes)
+	}
+	if res.Writer.Fallbacks != res.Writer.FallbacksBroad+res.Writer.FallbacksDict+res.Writer.FallbacksNodes {
+		t.Fatalf("fallback partition broken: %d != %d+%d+%d", res.Writer.Fallbacks,
+			res.Writer.FallbacksBroad, res.Writer.FallbacksDict, res.Writer.FallbacksNodes)
+	}
+}
+
+// TestReplayModernCompressed is the modern-scale smoke: a compressed
+// replay over a modern-shaped (deaggregation runs, /24-peaked) table,
+// sized down from the benchmark's 1M so the unit suite stays fast.
+func TestReplayModernCompressed(t *testing.T) {
+	res, err := Run(Config{
+		Seed: 24, Modern: true, TableSize: 4000, Bursts: 40,
+		Workers: 2, PacketsPerBurst: 48, ProbeEvery: 4,
+		Layout: fastpath.LayoutCompressed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SweepMismatches != 0 {
+		t.Fatalf("%d/%d sweep packets disagree with the full recompile", res.SweepMismatches, res.SweepPackets)
+	}
+	if res.Stalls != 0 {
+		t.Fatalf("%d probes never became visible", res.Stalls)
+	}
+	if res.Probes == 0 || res.Writer.Applies == 0 {
+		t.Fatalf("degenerate run: probes=%d applies=%d", res.Probes, res.Writer.Applies)
+	}
+	if res.Writer.Fallbacks != 0 {
+		t.Fatalf("compressed Apply degraded %d times on modern-shaped churn", res.Writer.Fallbacks)
+	}
+}
+
 // TestReplayShortV6 runs the smoke replay over IPv6 tables.
 func TestReplayShortV6(t *testing.T) {
 	res, err := Run(Config{
@@ -157,6 +220,35 @@ func BenchmarkChurnReplay(b *testing.B) {
 		}
 		if r.Stalls != 0 || r.SweepMismatches != 0 {
 			b.Fatalf("stalls=%d mismatches=%d", r.Stalls, r.SweepMismatches)
+		}
+		res = r
+	}
+	b.ReportMetric(res.P99, "p99-µs")
+	if res.BaselinePPS > 0 {
+		b.ReportMetric(res.ChurnPPS/res.BaselinePPS, "vs-baseline")
+	}
+}
+
+// BenchmarkChurnReplayCompressed is the same bench-smoke fixture against
+// the packed layout, so CI exercises the in-place compressed patch path
+// end to end (and fails on any fallback or sweep mismatch).
+func BenchmarkChurnReplayCompressed(b *testing.B) {
+	var res Result
+	for i := 0; i < b.N; i++ {
+		r, err := Run(Config{
+			Seed: 31, TableSize: 600, Bursts: 40,
+			Workers: 2, PacketsPerBurst: 64,
+			Layout: fastpath.LayoutCompressed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Stalls != 0 || r.SweepMismatches != 0 {
+			b.Fatalf("stalls=%d mismatches=%d", r.Stalls, r.SweepMismatches)
+		}
+		if r.Writer.FallbacksDict != 0 || r.Writer.FallbacksNodes != 0 {
+			b.Fatalf("packed edit sessions aborted: dict=%d nodes=%d",
+				r.Writer.FallbacksDict, r.Writer.FallbacksNodes)
 		}
 		res = r
 	}

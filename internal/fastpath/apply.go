@@ -9,18 +9,22 @@ import (
 
 // This file is the incremental route-change path: RCU.Apply patches the
 // published snapshot copy-on-write at subtree granularity — cloned
-// flat-trie pages and recompiled slot rows only — instead of recompiling
-// the whole table the way Mutate does. A batch of RouteOps flows
+// trie pages (flat or packed-multibit) and recompiled slot rows only —
+// instead of recompiling the whole table the way Mutate does. A batch
+// of RouteOps flows
 //
 //	Enqueue (bounded, coalescing)  →  Apply  →  applyOps (master table)
 //	                                        →  Snapshot.applyOps (COW patch)
 //	                                        →  publish
 //
-// with three explicit degrade points, each surfaced as a telemetry
-// counter and each ending in a full recompile rather than unbounded
-// staleness: a writer-queue overflow (Overflows), a batch whose affected
-// entry set rivals the table (Fallbacks), and accumulated dead slots
-// from relocations/prunes or abandoned delegate resumes (Compactions).
+// with explicit degrade points, each surfaced as a telemetry counter
+// and each ending in a full recompile rather than unbounded staleness:
+// a writer-queue overflow (Overflows), a batch whose affected entry set
+// rivals the table (FallbacksBroad), a compressed batch that would
+// overflow the 16-bit next-hop dictionary (FallbacksDict) or touch a
+// table-rivaling share of packed nodes (FallbacksNodes), and
+// accumulated dead slots from relocations/prunes or abandoned delegate
+// resumes (Compactions).
 
 // RouteOpKind discriminates RouteOp.
 type RouteOpKind uint8
@@ -161,71 +165,133 @@ func applyOps(t *core.Table, ops []RouteOp, mk EngineMaker) []ip.Prefix {
 	return touched
 }
 
+// applyFallback is Snapshot.applyOps's reason for refusing to patch a
+// batch in place; the caller discards the half-edited copy and degrades
+// to a counted recompile.
+type applyFallback uint8
+
+const (
+	fbNone  applyFallback = iota
+	fbDict                // compressed: batch would overflow the 16-bit next-hop dictionary
+	fbNodes               // compressed: edit touched a table-rivaling share of packed nodes
+)
+
 // applyOps returns a copy of s with the batch patched in copy-on-write:
-// trie edits replayed onto page-cloned flat tries, and every touched
-// entry (exps: the recomputed/flipped set, plus the at-most-one entry
-// per relocated flat-trie vertex) re-slotted into privately cloned rows.
-// eng is the table's current engine (fresh when an EngineMaker ran).
-// export resolves a relocated vertex's clue against the master table.
+// trie edits replayed onto page-cloned tries (flatEdit for the flat
+// layout, ctrieEdit for the compressed one), and every touched entry
+// (exps: the recomputed/flipped set, plus the entries whose cached
+// trie handles a relocation made stale) re-slotted into privately
+// cloned rows. eng is the table's current engine (fresh when an
+// EngineMaker ran). export resolves a relocated vertex's clue against
+// the master table.
 //
 // The second result requests compaction: dead slots from relocations
-// and prunes outnumber half the live vertices, or abandoned delegate
-// resumes outnumber the entries — time to fold the garbage away with a
-// full recompile, off the patch lock.
+// and prunes outnumber half the live vertices (node or value slots for
+// the compressed layout), or abandoned delegate resumes outnumber the
+// entries — time to fold the garbage away with a full recompile, off
+// the patch lock. A non-fbNone third result means the batch could not
+// be patched (the returned snapshot is nil and nothing published reads
+// the abandoned edits).
 //
 //cluevet:ctor - builds the patched copy before publication
-func (s *Snapshot) applyOps(ops []RouteOp, exps []core.ExportedEntry, eng lookup.Engine, export func(ip.Prefix) (core.ExportedEntry, bool)) (*Snapshot, bool) {
+func (s *Snapshot) applyOps(ops []RouteOp, exps []core.ExportedEntry, eng lookup.Engine, export func(ip.Prefix) (core.ExportedEntry, bool)) (*Snapshot, bool, applyFallback) {
 	ns := *s
 	ns.lens = append([]lenTable(nil), s.lens...)
 	ns.resumes = append([]lookup.Resume(nil), s.resumes...)
 	ns.engine = eng
 	var reloc []ip.Prefix
-	if ns.flat {
-		ed := edit(&ns.local)
-		for _, op := range ops {
-			switch op.Kind {
-			case OpAnnounce:
-				ed.insert(op.Prefix, int32(op.Value))
-			case OpWithdraw:
-				ed.remove(op.Prefix)
+	compact := len(ns.resumes) > 2*ns.entries+64
+	if ns.compressed {
+		work := 0
+		if ns.flat {
+			ed := cedit(&ns.clocal)
+			for _, op := range ops {
+				switch op.Kind {
+				case OpAnnounce:
+					ed.insert(op.Prefix, int32(op.Value))
+				case OpWithdraw:
+					ed.remove(op.Prefix)
+				}
 			}
-		}
-		reloc = append(reloc, ed.reloc...)
-	}
-	if ns.verify {
-		ed := edit(&ns.sender)
-		for _, op := range ops {
-			switch op.Kind {
-			case OpSenderAnnounce:
-				ed.insert(op.Prefix, int32(op.Value))
-			case OpSenderWithdraw:
-				ed.remove(op.Prefix)
+			if ed.full {
+				return nil, false, fbDict
 			}
+			reloc = append(reloc, ed.reloc...)
+			work += ed.work
 		}
-		reloc = append(reloc, ed.reloc...)
+		if ns.verify {
+			ed := cedit(&ns.csender)
+			for _, op := range ops {
+				switch op.Kind {
+				case OpSenderAnnounce:
+					ed.insert(op.Prefix, int32(op.Value))
+				case OpSenderWithdraw:
+					ed.remove(op.Prefix)
+				}
+			}
+			if ed.full {
+				return nil, false, fbDict
+			}
+			reloc = append(reloc, ed.reloc...)
+			work += ed.work
+		}
+		live := ns.clocal.n - ns.clocal.dead + ns.csender.n - ns.csender.dead
+		if 2*work >= live+64 {
+			// The edit rewrote a table-rivaling share of packed nodes:
+			// a recompile costs about the same and resets the garbage.
+			return nil, false, fbNodes
+		}
+		compact = compact || ns.clocal.wantCompact() || ns.csender.wantCompact()
+	} else {
+		if ns.flat {
+			ed := edit(&ns.local)
+			for _, op := range ops {
+				switch op.Kind {
+				case OpAnnounce:
+					ed.insert(op.Prefix, int32(op.Value))
+				case OpWithdraw:
+					ed.remove(op.Prefix)
+				}
+			}
+			reloc = append(reloc, ed.reloc...)
+		}
+		if ns.verify {
+			ed := edit(&ns.sender)
+			for _, op := range ops {
+				switch op.Kind {
+				case OpSenderAnnounce:
+					ed.insert(op.Prefix, int32(op.Value))
+				case OpSenderWithdraw:
+					ed.remove(op.Prefix)
+				}
+			}
+			reloc = append(reloc, ed.reloc...)
+		}
+		compact = compact || 2*ns.local.dead > ns.local.n-ns.local.dead ||
+			2*ns.sender.dead > ns.sender.n-ns.sender.dead
 	}
-	owned := make([]bool, len(ns.lens))
+	ps := newPatchSession(len(ns.lens))
 	for _, e := range exps {
-		ns.reslot(e, owned)
+		ns.reslot(e, ps)
 	}
 	for _, c := range reloc {
 		if e, ok := export(c); ok {
-			ns.reslot(e, owned)
+			ns.reslot(e, ps)
 		}
 	}
-	compact := 2*ns.local.dead > ns.local.n-ns.local.dead ||
-		2*ns.sender.dead > ns.sender.n-ns.sender.dead ||
-		len(ns.resumes) > 2*ns.entries+64
-	return &ns, compact
+	return &ns, compact, fbNone
 }
 
 // Apply applies a batch of route operations: the master table absorbs
 // them under the patch lock, and the published snapshot is patched
 // copy-on-write — affected slot rows and written trie pages only — in
-// one publication for the whole batch. Concurrent Learn/Invalidate
-// patches and wait-free readers proceed as usual. Batches whose
-// affected-entry set rivals the table degrade to a full (off-lock)
-// recompile, counted by Metrics.Fallbacks.
+// one publication for the whole batch, on either trie layout (flat
+// pages via flatEdit, packed multibit nodes via ctrieEdit). Concurrent
+// Learn/Invalidate patches and wait-free readers proceed as usual.
+// Batches whose affected-entry set rivals the table, would overflow the
+// compressed next-hop dictionary, or rewrite a table-rivaling share of
+// packed nodes degrade to a full (off-lock) recompile, counted by
+// Metrics.Fallbacks and its per-cause counters.
 //
 // Ops use ensure semantics (announce = present with value, withdraw =
 // absent), so replaying a batch that is partially reflected in the
@@ -253,14 +319,15 @@ func (r *RCU) apply(ops []RouteOp, overflow bool, premerged int) {
 	touched := applyOps(r.tab, ops, r.mk)
 	snap := r.snap.Load()
 	// Degrade to a full recompile when the batch cannot be patched in
-	// place: queue overflow, an affected-entry set that rivals the
-	// table, or a compressed snapshot — the packed multibit layout has
-	// no incremental edit path by design (ISSUE 8: recompile beats
-	// writer complexity at that scale), so every batch takes the
-	// counted recompile.
-	if overflow || snap.compressed || 4*len(touched) >= snap.Len()+16 {
+	// place: queue overflow, or an affected-entry set that rivals the
+	// table (patching would recompile most slot rows anyway). Both
+	// layouts patch incrementally otherwise — the compressed one since
+	// ISSUE 10 (ctrie_edit.go); its two extra degrade causes surface
+	// from Snapshot.applyOps below.
+	if overflow || 4*len(touched) >= snap.Len()+16 {
 		if !overflow {
 			r.met.Fallbacks.Inc()
+			r.met.FallbacksBroad.Inc()
 		}
 		r.mu.Unlock()
 		r.rebuild(nil, r.met.Recompiles)
@@ -272,7 +339,19 @@ func (r *RCU) apply(ops []RouteOp, overflow bool, premerged int) {
 			exps = append(exps, e)
 		}
 	}
-	ns, compact := snap.applyOps(ops, exps, r.tab.Config().Engine, r.tab.ExportEntry)
+	ns, compact, fb := snap.applyOps(ops, exps, r.tab.Config().Engine, r.tab.ExportEntry)
+	if fb != fbNone {
+		r.met.Fallbacks.Inc()
+		switch fb {
+		case fbDict:
+			r.met.FallbacksDict.Inc()
+		case fbNodes:
+			r.met.FallbacksNodes.Inc()
+		}
+		r.mu.Unlock()
+		r.rebuild(nil, r.met.Recompiles)
+		return
+	}
 	r.met.AppliedOps.Add(uint64(len(ops)))
 	r.publish(ns, r.met.Applies)
 	r.mu.Unlock()

@@ -4,7 +4,9 @@
 // recompile of a reference table that absorbed the same route changes
 // through core's own maintenance path, one op at a time. Runs the whole
 // engine × method × family matrix with Learn/Invalidate churn
-// interleaved between batches.
+// interleaved between batches, on both trie layouts: the flat slot rows
+// and the packed stride-6 layout, whose subtree patches (ISSUE 10) must
+// produce the identical snapshot without ever degrading to a recompile.
 package fastpath_test
 
 import (
@@ -101,28 +103,37 @@ func refApplyOp(ref *core.Table, mk fastpath.EngineMaker, op fastpath.RouteOp) {
 // packet, reference charge for reference charge, and telemetry record
 // for telemetry record.
 func TestApplyDifferential(t *testing.T) {
+	layouts := []struct {
+		name   string
+		layout fastpath.Layout
+	}{
+		{"Flat", fastpath.LayoutFlat},
+		{"Compressed", fastpath.LayoutCompressed},
+	}
 	for _, fam := range []string{"IPv4", "IPv6"} {
 		base := applyPair(t, fam)
-		for _, eng := range applyEngines {
-			for _, m := range []core.Method{core.Simple, core.Advance} {
-				for _, verify := range []bool{false, true} {
-					if verify && m != core.Advance {
-						continue
+		for _, lo := range layouts {
+			for _, eng := range applyEngines {
+				for _, m := range []core.Method{core.Simple, core.Advance} {
+					for _, verify := range []bool{false, true} {
+						if verify && m != core.Advance {
+							continue
+						}
+						name := fmt.Sprintf("%s/%s/%s/%s", lo.name, fam, m, eng.name)
+						if verify {
+							name += "/verify"
+						}
+						t.Run(name, func(t *testing.T) {
+							runApplyDifferential(t, base, eng.mk, m, verify, lo.layout)
+						})
 					}
-					name := fmt.Sprintf("%s/%s/%s", fam, m, eng.name)
-					if verify {
-						name += "/verify"
-					}
-					t.Run(name, func(t *testing.T) {
-						runApplyDifferential(t, base, eng.mk, m, verify)
-					})
 				}
 			}
 		}
 	}
 }
 
-func runApplyDifferential(t *testing.T, base *pairFixture, mk fastpath.EngineMaker, m core.Method, verify bool) {
+func runApplyDifferential(t *testing.T, base *pairFixture, mk fastpath.EngineMaker, m core.Method, verify bool, layout fastpath.Layout) {
 	t.Helper()
 	width := base.sender.Family().Width()
 	// Two disjoint copies of the same routing state: the live side is
@@ -148,11 +159,13 @@ func runApplyDifferential(t *testing.T, base *pairFixture, mk fastpath.EngineMak
 	pmRef := telemetry.NewPacketMetrics(telemetry.NewRegistry(), "ref", core.OutcomeLabels())
 	live := mkTable(liveRT, liveST, pmLive)
 	ref := mkTable(refRT, refST, pmRef)
-	rcu := fastpath.NewRCU(live)
+	rcu := fastpath.NewRCULayout(live, layout)
 	rcu.SetEngineMaker(mk)
 	reg := telemetry.NewRegistry()
 	applies := reg.NewCounter("applies", "")
-	rcu.SetMetrics(fastpath.Metrics{Applies: applies})
+	fbDict := reg.NewCounter("fallbacks_dict", "")
+	fbNodes := reg.NewCounter("fallbacks_nodes", "")
+	rcu.SetMetrics(fastpath.Metrics{Applies: applies, FallbacksDict: fbDict, FallbacksNodes: fbNodes})
 
 	// Clue entries that exist in both tables, for validity churn.
 	var clues []ip.Prefix
@@ -240,10 +253,18 @@ func runApplyDifferential(t *testing.T, base *pairFixture, mk fastpath.EngineMak
 			}
 		}
 
-		sweep(fmt.Sprintf("batch %d", batch), rcu.Snapshot(), fastpath.Compile(ref))
+		sweep(fmt.Sprintf("batch %d", batch), rcu.Snapshot(), fastpath.CompileLayout(ref, layout))
 	}
 	if applies.Value() == 0 {
 		t.Fatal("no batch took the incremental path; the differential never exercised Apply")
+	}
+	// Deliberately broad batches (a /14 over a small universe) may take
+	// the pre-existing broad-batch degrade on either layout, but the
+	// packed edit path itself must never abort: no dictionary overflow,
+	// no node-share degrade.
+	if fbDict.Value() != 0 || fbNodes.Value() != 0 {
+		t.Fatalf("compressed edit session aborted: dict=%d nodes=%d, want 0/0",
+			fbDict.Value(), fbNodes.Value())
 	}
 	if pmLive.Packets() != pmRef.Packets() || pmLive.Refs() != pmRef.Refs() {
 		t.Fatalf("telemetry diverged: live %d pkts / %d refs, ref %d pkts / %d refs",

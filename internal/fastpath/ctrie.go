@@ -47,12 +47,47 @@ import (
 // twice — once in this node's run and once as the child's root value —
 // so neither walk direction needs the other's node.
 type ctrie struct {
-	nodes  []cnode
+	pages  []*cpage
+	n      int      // node slots allocated (append order; includes dead slots)
+	dead   int      // abandoned node slots: relocated child runs and pruned nodes
+	vdead  int      // abandoned value slots: relocated value runs
 	values []uint16 // per-mark dictionary indices, in node/value-run order
 	dict   []int32  // distinct next-hop values, first-occurrence order
 	wide   []int32  // direct values when >65536 distinct next hops
 	width  int      // address width in bits (32 or 128)
 	marks  int      // marked binary vertices (== prefix count)
+}
+
+// Page geometry: 128 nodes × 32 B = 4 KiB per page. Pages are the
+// copy-on-write unit of the incremental edit path (ctrieEdit), exactly
+// like flatTrie's: an Apply batch clones only the pages it writes,
+// leaving the rest shared with the published snapshot. The inner index
+// is masked, so a walk pays one bounds check per node (the page table).
+const (
+	cpageShift = 7
+	cpageSize  = 1 << cpageShift
+	cpageMask  = cpageSize - 1
+)
+
+// cpage is one copy-on-write unit of packed nodes.
+type cpage [cpageSize]cnode
+
+// node returns the packed node at index i.
+//
+//cluevet:hotpath
+func (ct *ctrie) node(i uint32) *cnode {
+	return &ct.pages[i>>cpageShift][i&cpageMask]
+}
+
+// grow appends k node slots (adding pages as needed) and returns the
+// index of the first.
+func (ct *ctrie) grow(k int) uint32 {
+	base := ct.n
+	ct.n += k
+	for ct.n > len(ct.pages)*cpageSize {
+		ct.pages = append(ct.pages, new(cpage))
+	}
+	return uint32(base)
 }
 
 // cnode is one stride-6 node of the compressed trie: 32 bytes, two per
@@ -278,7 +313,7 @@ func compileCTrie(t *trie.Trie) ctrie {
 				}
 			}
 		}
-		ct.nodes = append(ct.nodes, nd)
+		*ct.node(ct.grow(1)) = nd // BFS order: node index == queue index qi
 	}
 	ct.wide = vals
 	// Dictionary cutover: if the distinct next-hop set fits uint16,
@@ -311,7 +346,7 @@ func compileCTrie(t *trie.Trie) ctrie {
 // boundary mark of node nodeIdx, or −1 if the vertex does not exist.
 // Mirrors flatTrie.find / trie.Find.
 func (ct *ctrie) find(p ip.Prefix) int32 {
-	if len(ct.nodes) == 0 {
+	if ct.n == 0 {
 		return -1
 	}
 	hi, lo := p.Addr().Halves()
@@ -319,7 +354,7 @@ func (ct *ctrie) find(p ip.Prefix) int32 {
 	ni := uint32(0)
 	D := 0
 	for {
-		n := &ct.nodes[ni]
+		n := ct.node(ni)
 		rem := L - D
 		if rem == 0 {
 			return int32(ni)
@@ -355,10 +390,10 @@ func (ct *ctrie) markedOf(h int32, p ip.Prefix) bool {
 	}
 	hi, lo := p.Addr().Halves()
 	if uint32(h)&cBoundary != 0 {
-		n := &ct.nodes[uint32(h)&^cBoundary]
+		n := ct.node(uint32(h) &^ cBoundary)
 		return n.marksHi&(uint64(1)<<extract(hi, lo, p.Len()-6, 6)) != 0
 	}
-	n := &ct.nodes[h]
+	n := ct.node(uint32(h))
 	rel := p.Len() % 6
 	if rel == 0 {
 		return n.marksLo&cRootMark != 0
@@ -375,15 +410,17 @@ func (ct *ctrie) markedOf(h int32, p ip.Prefix) bool {
 // reference-for-reference. Charges are posted as the walk's frontier
 // advances, before the node reads they account for.
 func (ct *ctrie) lookupFrom(handle uint32, d0 int, dest ip.Addr, cnt *mem.Counter) (int32, int32, bool) {
-	if len(ct.nodes) == 0 {
+	if ct.n == 0 {
 		return 0, 0, false
 	}
 	cnt.Add(1) // the start vertex, like flatTrie's first iteration
+	pages := ct.pages
 	hi, lo := dest.Halves()
 	if handle&cBoundary != 0 {
 		// Leaf-pushed boundary vertex: marked and childless, so the
 		// walk starts and terminates on it.
-		n := &ct.nodes[handle&^cBoundary]
+		h := handle &^ cBoundary
+		n := &pages[h>>cpageShift][h&cpageMask]
 		c := extract(hi, lo, d0-6, 6)
 		if n.marksHi&(uint64(1)<<c) != 0 {
 			return int32(d0), ct.valHi(n, c), true
@@ -394,7 +431,7 @@ func (ct *ctrie) lookupFrom(handle uint32, d0 int, dest ip.Addr, cnt *mem.Counte
 	D := d0 - d0%6 // depth of the current node's root vertex
 	rel0 := d0 - D
 	best, bestVal := int32(-1), int32(0)
-	n := &ct.nodes[ni]
+	n := &pages[ni>>cpageShift][ni&cpageMask]
 	if rel0 == 0 {
 		if n.marksLo&cRootMark != 0 {
 			best, bestVal = int32(d0), ct.valRoot(n)
@@ -424,7 +461,7 @@ func (ct *ctrie) lookupFrom(handle uint32, d0 int, dest ip.Addr, cnt *mem.Counte
 			cnt.Add(D + 6 - frontier)
 			frontier = D + 6
 			ni = n.child(c)
-			n = &ct.nodes[ni]
+			n = &pages[ni>>cpageShift][ni&cpageMask]
 			D += 6
 			minRel = 1
 			continue
@@ -450,9 +487,11 @@ func (ct *ctrie) lookupFrom(handle uint32, d0 int, dest ip.Addr, cnt *mem.Counte
 	return best, bestVal, true
 }
 
-// memBytes returns the node-array and value/dictionary footprints.
+// memBytes returns the node-page and value/dictionary footprints. Pages
+// are counted whole (12 dead slots in a page still occupy its bytes),
+// plus the page table itself.
 func (ct *ctrie) memBytes() (nodeBytes, dictBytes int) {
-	return len(ct.nodes) * cnodeBytes,
+	return len(ct.pages)*cpageSize*cnodeBytes + len(ct.pages)*8,
 		len(ct.values)*2 + len(ct.dict)*4 + len(ct.wide)*4
 }
 

@@ -1,0 +1,194 @@
+package fastpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/trie"
+)
+
+// TestCTrieEditLockstep fuzzes ctrieEdit against the pointer trie: a
+// compiled ctrie absorbs random insert/remove batches (one edit session
+// per batch, the way Snapshot.applyOps uses it) in lockstep with
+// trie.Insert/Delete, and after every batch must be walk-identical and
+// charge-identical to the pointer trie — the same contract compileCTrie
+// meets from scratch. It also pins the handle-relocation contract: the
+// find handle of any vertex that survived the batch and was neither a
+// batch target nor reported in reloc must still resolve to the same
+// marked vertex and the same restricted-walk behavior.
+func TestCTrieEditLockstep(t *testing.T) {
+	for _, fam := range []ip.Family{ip.IPv4, ip.IPv6} {
+		maxLen := 32
+		if fam == ip.IPv6 {
+			maxLen = 128
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(8100*int64(fam) + seed))
+			pt := trie.New(fam)
+			live := map[ip.Prefix]int32{}
+			for i := 0; i < 120; i++ {
+				p := randomPrefix(rng, fam, maxLen)
+				v := int32(rng.Intn(48))
+				pt.Insert(p, int(v))
+				live[p] = v
+			}
+			ct := compileCTrie(pt)
+			var keys []ip.Prefix
+			for batch := 0; batch < 14; batch++ {
+				keys = keys[:0]
+				for p := range live {
+					keys = append(keys, p)
+				}
+				oldH := make(map[ip.Prefix]int32, len(keys))
+				for _, p := range keys {
+					oldH[p] = ct.find(p)
+				}
+				ed := cedit(&ct)
+				targets := map[ip.Prefix]bool{}
+				nops := 1 + rng.Intn(24)
+				for i := 0; i < nops; i++ {
+					if rng.Intn(3) == 0 && len(keys) > 0 {
+						p := keys[rng.Intn(len(keys))]
+						ed.remove(p)
+						pt.Delete(p)
+						delete(live, p)
+						targets[p] = true
+						continue
+					}
+					p := randomPrefix(rng, fam, maxLen)
+					v := int32(rng.Intn(48))
+					if !ed.insert(p, v) {
+						t.Fatalf("fam %v seed %d: insert(%v) hit the dictionary limit on %d values", fam, seed, p, len(ct.dict))
+					}
+					pt.Insert(p, int(v))
+					live[p] = v
+					targets[p] = true
+				}
+				if ct.marks != pt.Size() {
+					t.Fatalf("fam %v seed %d batch %d: ctrie counts %d marks, trie has %d",
+						fam, seed, batch, ct.marks, pt.Size())
+				}
+				checkCTrieAgainst(t, fam.String()+"-edit", &ct, pt, rng, live)
+				relocd := map[ip.Prefix]bool{}
+				for _, p := range ed.reloc {
+					relocd[p] = true
+				}
+				for p, h := range oldH {
+					if h < 0 || targets[p] || relocd[p] {
+						continue
+					}
+					if _, ok := live[p]; !ok {
+						continue
+					}
+					if !ct.markedOf(h, p) {
+						t.Fatalf("fam %v seed %d batch %d: stale handle for %v not reported in reloc", fam, seed, batch, p)
+					}
+					// The surviving handle must behave like a fresh one.
+					d := p.Addr()
+					var c1, c2 mem.Counter
+					l1, v1, ok1 := ct.lookupFrom(uint32(h), p.Len(), d, &c1)
+					l2, v2, ok2 := ct.lookupFrom(uint32(ct.find(p)), p.Len(), d, &c2)
+					if l1 != l2 || v1 != v2 || ok1 != ok2 || c1.Count() != c2.Count() {
+						t.Fatalf("fam %v seed %d batch %d: handle for %v drifted: (%d,%d,%v,%d) vs fresh (%d,%d,%v,%d)",
+							fam, seed, batch, p, l1, v1, ok1, c1.Count(), l2, v2, ok2, c2.Count())
+					}
+				}
+				if ct.dead < 0 || ct.dead > ct.n || ct.vdead < 0 {
+					t.Fatalf("fam %v seed %d batch %d: implausible garbage accounting dead=%d/%d vdead=%d",
+						fam, seed, batch, ct.dead, ct.n, ct.vdead)
+				}
+			}
+			// Drain the table through the edit path: the ctrie must end
+			// empty, like a pointer trie with every prefix deleted.
+			ed := cedit(&ct)
+			for p := range live {
+				if !ed.remove(p) {
+					t.Fatalf("fam %v seed %d: drain remove(%v) reported absent", fam, seed, p)
+				}
+				pt.Delete(p)
+			}
+			if ct.n != 0 || ct.marks != 0 {
+				t.Fatalf("fam %v seed %d: drained ctrie kept %d nodes / %d marks", fam, seed, ct.n, ct.marks)
+			}
+			var cnt mem.Counter
+			if _, _, ok := ct.lookupFrom(0, 0, p0Addr(fam), &cnt); ok || cnt.Count() != 0 {
+				t.Fatalf("fam %v seed %d: drained ctrie still answers", fam, seed)
+			}
+		}
+	}
+}
+
+func p0Addr(fam ip.Family) ip.Addr {
+	if fam == ip.IPv4 {
+		return ip.AddrFrom32(0x0A000001)
+	}
+	return ip.AddrFrom128(0x20010DB800000000, 1)
+}
+
+// TestCTrieEditWide pins the wide value store (no dictionary): edits on
+// a wide ctrie splice int32 runs and can never hit the dictionary
+// limit.
+func TestCTrieEditWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pt := trie.New(ip.IPv4)
+	live := map[ip.Prefix]int32{}
+	for i := 0; i < 200; i++ {
+		p := randomPrefix(rng, ip.IPv4, 28)
+		v := int32(rng.Intn(1 << 20))
+		pt.Insert(p, int(v))
+		live[p] = v
+	}
+	ct := compileCTrie(pt)
+	// Force the wide representation, as a >65536-distinct-hop table
+	// would compile to.
+	wideVals := make([]int32, len(ct.values))
+	for i, vi := range ct.values {
+		wideVals[i] = ct.dict[vi]
+	}
+	ct.wide, ct.values, ct.dict = wideVals, nil, nil
+	for batch := 0; batch < 6; batch++ {
+		ed := cedit(&ct)
+		for i := 0; i < 20; i++ {
+			p := randomPrefix(rng, ip.IPv4, 28)
+			v := int32(rng.Intn(1 << 20))
+			if !ed.insert(p, v) {
+				t.Fatal("wide edit reported a dictionary limit")
+			}
+			pt.Insert(p, int(v))
+			live[p] = v
+		}
+		checkCTrieAgainst(t, "wide-edit", &ct, pt, rng, live)
+	}
+}
+
+// TestCTrieEditDictOverflow pins the degrade contract: a session that
+// would push the dictionary past 16-bit indices reports failure and
+// sets full, and the caller can discard the half-edited copy.
+func TestCTrieEditDictOverflow(t *testing.T) {
+	pt := trie.New(ip.IPv4)
+	for i := 0; i < 1<<16; i++ {
+		pt.Insert(ip.PrefixFrom(ip.AddrFrom32(0x0A000000|uint32(i)), 32), i)
+	}
+	ct := compileCTrie(pt)
+	if ct.wide != nil || len(ct.dict) != 1<<16 {
+		t.Fatalf("fixture: wide=%v dict=%d, want a full dictionary", ct.wide != nil, len(ct.dict))
+	}
+	ed := cedit(&ct)
+	// An existing value still fits.
+	if !ed.insert(ip.PrefixFrom(ip.AddrFrom32(0x0B000000), 32), 7) {
+		t.Fatal("insert of an existing next hop hit the dictionary limit")
+	}
+	// A 65537th distinct value cannot.
+	if ed.insert(ip.PrefixFrom(ip.AddrFrom32(0x0C000000), 32), 1<<20) {
+		t.Fatal("insert of a 65537th distinct next hop succeeded")
+	}
+	if !ed.full {
+		t.Fatal("dictionary overflow did not mark the session full")
+	}
+	// Once full, the session refuses everything (the caller degrades).
+	if ed.insert(ip.PrefixFrom(ip.AddrFrom32(0x0D000000), 32), 7) {
+		t.Fatal("full session accepted another insert")
+	}
+}

@@ -186,8 +186,8 @@ func TestCTrieDegenerate(t *testing.T) {
 	if cnt.Count() != 1 {
 		t.Fatalf("/0 lookup charged %d refs, want 1", cnt.Count())
 	}
-	if len(one.nodes) != 1 {
-		t.Fatalf("/0 table compiled to %d nodes, want 1", len(one.nodes))
+	if one.n != 1 {
+		t.Fatalf("/0 table compiled to %d nodes, want 1", one.n)
 	}
 
 	// All-/32 under one /24: the full boundary-crossing ladder, checked
@@ -285,7 +285,7 @@ func TestCompressedSnapshotMemStats(t *testing.T) {
 			t.Fatalf("layout %v: implausible MemStats %+v", layout, m)
 		}
 		if layout == LayoutCompressed {
-			want := len(s.clocal.nodes) * cnodeBytes
+			want := len(s.clocal.pages)*cpageSize*cnodeBytes + len(s.clocal.pages)*8
 			if m.LocalTrieBytes != want {
 				t.Fatalf("compressed LocalTrieBytes %d, want %d", m.LocalTrieBytes, want)
 			}

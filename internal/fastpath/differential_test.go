@@ -314,11 +314,12 @@ func TestDifferentialCompressedRCU(t *testing.T) {
 	}
 }
 
-// TestCompressedApplyDegrades pins the ISSUE-8 writer contract: Apply on
-// a compressed snapshot cannot patch in place, so every batch must take
-// the counted recompile path (Fallbacks + Recompiles) and still leave
-// the published snapshot equal to a from-scratch compile.
-func TestCompressedApplyDegrades(t *testing.T) {
+// TestCompressedApplyPatches pins the ISSUE-10 writer contract: Apply on
+// a compressed snapshot patches the packed trie in place (Applies, never
+// Fallbacks for a modest batch) and the patched snapshot must equal a
+// from-scratch compile of the same table — packet for packet, ref for
+// ref — across repeated batches of announces and withdraws.
+func TestCompressedApplyPatches(t *testing.T) {
 	p := v4Pair(t, 400)
 	live := newTable(t, p, core.Advance, lookup.NewRegular(p.rt), false)
 	rcu := fastpath.NewRCULayout(live, fastpath.LayoutCompressed)
@@ -327,23 +328,25 @@ func TestCompressedApplyDegrades(t *testing.T) {
 	recompiles := reg.NewCounter("recompiles", "")
 	applies := reg.NewCounter("applies", "")
 	rcu.SetMetrics(fastpath.Metrics{Fallbacks: fallbacks, Recompiles: recompiles, Applies: applies})
-	ops := []fastpath.RouteOp{
-		{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[0], 26), Value: 991},
-		{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[1], 24), Value: 992},
-		{Kind: fastpath.OpWithdraw, Prefix: ip.PrefixFrom(p.dests[2], 28)},
-	}
-	rcu.Apply(ops)
-	if fallbacks.Value() != 1 || recompiles.Value() != 1 || applies.Value() != 0 {
-		t.Fatalf("compressed Apply: fallbacks=%d recompiles=%d applies=%d, want 1/1/0",
-			fallbacks.Value(), recompiles.Value(), applies.Value())
-	}
-	snap := rcu.Snapshot()
-	if !snap.Compressed() {
-		t.Fatal("degrade recompile lost the compressed layout")
-	}
-	ref := fastpath.CompileLayout(live, fastpath.LayoutCompressed)
-	for i := range p.dests {
-		checkPacket(t, "post-apply", ref.Process, snap.Process, p.dests[i], p.clues[i])
+	for round := 0; round < 5; round++ {
+		ops := []fastpath.RouteOp{
+			{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[3*round], 26), Value: 991 + round},
+			{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[3*round+1], 24), Value: 1091 + round},
+			{Kind: fastpath.OpWithdraw, Prefix: ip.PrefixFrom(p.dests[3*round+2], 28)},
+		}
+		rcu.Apply(ops)
+		if applies.Value() != uint64(round+1) || fallbacks.Value() != 0 || recompiles.Value() != 0 {
+			t.Fatalf("round %d: applies=%d fallbacks=%d recompiles=%d, want %d/0/0",
+				round, applies.Value(), fallbacks.Value(), recompiles.Value(), round+1)
+		}
+		snap := rcu.Snapshot()
+		if !snap.Compressed() {
+			t.Fatal("in-place patch lost the compressed layout")
+		}
+		ref := fastpath.CompileLayout(live, fastpath.LayoutCompressed)
+		for i := range p.dests {
+			checkPacket(t, "post-apply", ref.Process, snap.Process, p.dests[i], p.clues[i])
+		}
 	}
 }
 

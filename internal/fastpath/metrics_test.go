@@ -1,14 +1,17 @@
 // Metrics arithmetic suite: pins the writer-side counter deltas of every
 // writer grade (single-entry Learn patch, Apply batch, Mutate recompile)
-// across both trie layouts. The load-bearing case is the compressed-
-// snapshot Apply degrade the ISSUE flags as a possible double count:
-// Fallbacks records the cause and Recompiles the mechanism of ONE
-// publication — Swaps must advance by exactly one, and the invariant
+// across both trie layouts. Two invariants must hold after every
+// operation:
 //
-//	Swaps == Patches + Applies + Recompiles
+//	Swaps     == Patches + Applies + Recompiles
+//	Fallbacks == FallbacksBroad + FallbacksDict + FallbacksNodes
 //
-// must hold after every operation (cause counters like Fallbacks and
-// Overflows are outside the sum by design).
+// The load-bearing cases are the compressed-snapshot Apply paths: a
+// modest batch now patches the packed trie in place (Applies, not
+// Fallbacks+Recompiles — ISSUE 10), and the remaining degrades each
+// count Fallbacks plus exactly one cause counter while Recompiles
+// records the mechanism of ONE publication (cause counters like
+// Fallbacks and Overflows are outside the swap sum by design).
 package fastpath_test
 
 import (
@@ -20,6 +23,7 @@ import (
 	"repro/internal/lookup"
 	"repro/internal/mem"
 	"repro/internal/telemetry"
+	"repro/internal/trie"
 )
 
 // metricsFixture builds a fully-populated Metrics and a reader that
@@ -31,7 +35,9 @@ func metricsFixture() (fastpath.Metrics, func() map[string]uint64) {
 		Swaps: c("swaps"), Patches: c("patches"), Recompiles: c("recompiles"),
 		Learns: c("learns"), Applies: c("applies"), AppliedOps: c("applied_ops"),
 		Coalesced: c("coalesced"), Overflows: c("overflows"), Fallbacks: c("fallbacks"),
-		Compactions: c("compactions"), Defensive: c("defensive"),
+		FallbacksBroad: c("fallbacks_broad"), FallbacksDict: c("fallbacks_dict"),
+		FallbacksNodes: c("fallbacks_nodes"),
+		Compactions:    c("compactions"), Defensive: c("defensive"),
 	}
 	read := func() map[string]uint64 {
 		return map[string]uint64{
@@ -39,8 +45,11 @@ func metricsFixture() (fastpath.Metrics, func() map[string]uint64) {
 			"recompiles": m.Recompiles.Value(), "learns": m.Learns.Value(),
 			"applies": m.Applies.Value(), "applied_ops": m.AppliedOps.Value(),
 			"coalesced": m.Coalesced.Value(), "overflows": m.Overflows.Value(),
-			"fallbacks": m.Fallbacks.Value(), "compactions": m.Compactions.Value(),
-			"defensive": m.Defensive.Value(),
+			"fallbacks":       m.Fallbacks.Value(),
+			"fallbacks_broad": m.FallbacksBroad.Value(),
+			"fallbacks_dict":  m.FallbacksDict.Value(),
+			"fallbacks_nodes": m.FallbacksNodes.Value(),
+			"compactions":     m.Compactions.Value(), "defensive": m.Defensive.Value(),
 		}
 	}
 	return m, read
@@ -56,20 +65,24 @@ func learnTable(p *pairFixture) *core.Table {
 	})
 }
 
-// checkInvariant asserts the publication identity on a counter snapshot.
+// checkInvariant asserts the publication identity and the fallback
+// partition on a counter snapshot.
 func checkInvariant(t *testing.T, got map[string]uint64) {
 	t.Helper()
 	if got["swaps"] != got["patches"]+got["applies"]+got["recompiles"] {
 		t.Fatalf("swap invariant broken: swaps=%d patches=%d applies=%d recompiles=%d",
 			got["swaps"], got["patches"], got["applies"], got["recompiles"])
 	}
+	if got["fallbacks"] != got["fallbacks_broad"]+got["fallbacks_dict"]+got["fallbacks_nodes"] {
+		t.Fatalf("fallback partition broken: fallbacks=%d broad=%d dict=%d nodes=%d",
+			got["fallbacks"], got["fallbacks_broad"], got["fallbacks_dict"], got["fallbacks_nodes"])
+	}
 }
 
 // TestMetricsWriterGrades is the grade × layout delta matrix. Every
-// unnamed counter must stay zero: a compressed Apply that bumped both
-// Fallbacks-as-a-swap and Recompiles-as-a-swap would fail here on the
-// swaps delta, and an Apply counted as both Applies and Recompiles
-// fails on either count.
+// unnamed counter must stay zero: a compressed Apply that still degraded
+// to a recompile would fail on fallbacks/recompiles, and an Apply
+// counted as both Applies and Recompiles fails on either count.
 func TestMetricsWriterGrades(t *testing.T) {
 	layouts := []struct {
 		name       string
@@ -117,13 +130,10 @@ func TestMetricsWriterGrades(t *testing.T) {
 					{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[2], 28), Value: 73},
 				})
 			},
-			want: func(compressed bool) map[string]uint64 {
-				if compressed {
-					// The degrade: the batch cannot patch a packed trie in
-					// place, so Fallbacks counts the cause, Recompiles the
-					// mechanism — one swap total, and Applies stays zero.
-					return map[string]uint64{"fallbacks": 1, "recompiles": 1, "swaps": 1}
-				}
+			// Both layouts now patch in place (ISSUE 10): a modest batch
+			// edits the packed subtrees copy-on-write instead of
+			// degrading to a recompile, so the deltas are identical.
+			want: func(bool) map[string]uint64 {
 				return map[string]uint64{"applies": 1, "applied_ops": 3, "swaps": 1}
 			},
 		},
@@ -215,4 +225,66 @@ func TestMetricsSwapInvariantUnderChurn(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestMetricsCompressedDictOverflow pins the one genuine degrade left on
+// the compressed Apply path: a batch introducing a 65537th distinct next
+// hop cannot keep 16-bit dictionary indices, so it counts Fallbacks +
+// FallbacksDict and recompiles (which cuts the value store over to the
+// wide representation) — after which further batches patch in place
+// again.
+func TestMetricsCompressedDictOverflow(t *testing.T) {
+	rt := trie.New(ip.IPv4)
+	for i := 0; i < 1<<16; i++ {
+		rt.Insert(ip.PrefixFrom(ip.AddrFrom32(0x0A000000|uint32(i)), 32), i)
+	}
+	st := trie.New(ip.IPv4)
+	st.Insert(ip.PrefixFrom(ip.AddrFrom32(0x0A000000), 8), 1)
+	tab := core.MustNewTable(core.Config{
+		Method: core.Advance, Engine: lookup.NewRegular(rt),
+		Local: rt, Sender: st.Contains,
+	})
+	rcu := fastpath.NewRCULayout(tab, fastpath.LayoutCompressed)
+	if !rcu.Snapshot().Compressed() {
+		t.Fatal("fixture did not publish a compressed snapshot")
+	}
+	m, read := metricsFixture()
+	rcu.SetMetrics(m)
+	// Reusing an existing next hop patches in place.
+	rcu.Apply([]fastpath.RouteOp{
+		{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(ip.AddrFrom32(0x0B000000), 32), Value: 7},
+	})
+	got := read()
+	if got["applies"] != 1 || got["fallbacks"] != 0 {
+		t.Fatalf("existing-hop announce: applies=%d fallbacks=%d, want 1/0", got["applies"], got["fallbacks"])
+	}
+	// A 65537th distinct next hop overflows the dictionary.
+	rcu.Apply([]fastpath.RouteOp{
+		{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(ip.AddrFrom32(0x0C000000), 32), Value: 1 << 20},
+	})
+	got = read()
+	want := map[string]uint64{
+		"applies": 1, "applied_ops": 1, "swaps": 2,
+		"fallbacks": 1, "fallbacks_dict": 1, "recompiles": 1,
+	}
+	for name, v := range got {
+		if v != want[name] {
+			t.Errorf("%s = %d, want %d", name, v, want[name])
+		}
+	}
+	checkInvariant(t, got)
+	if !rcu.Snapshot().Compressed() {
+		t.Fatal("degrade recompile lost the compressed layout")
+	}
+	// The recompile cut over to the wide store; the next new-hop batch
+	// patches in place again.
+	rcu.Apply([]fastpath.RouteOp{
+		{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(ip.AddrFrom32(0x0D000000), 32), Value: 1<<20 + 1},
+	})
+	got = read()
+	if got["applies"] != 2 || got["fallbacks"] != 1 || got["swaps"] != 3 {
+		t.Fatalf("post-cutover announce: applies=%d fallbacks=%d swaps=%d, want 2/1/3",
+			got["applies"], got["fallbacks"], got["swaps"])
+	}
+	checkInvariant(t, got)
 }

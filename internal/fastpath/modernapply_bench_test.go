@@ -1,0 +1,69 @@
+package fastpath_test
+
+// Modern-scale Apply microbenchmarks: one coalesced BGP-burst-sized
+// batch against a 1M-prefix modern-shaped table, per layout. These are
+// the writer-side numbers behind the BENCH_churn.json modern cells —
+// run them when churn visibility regresses to see whether the master
+// table maintenance or the snapshot patch moved.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastpath"
+	"repro/internal/ip"
+	"repro/internal/lookup"
+	"repro/internal/synth"
+)
+
+func benchModernRCU(b *testing.B, layout fastpath.Layout) *fastpath.RCU {
+	b.Helper()
+	const size = 1_000_000
+	mu := synth.NewModernUniverse(7, ip.IPv4, size+size/4)
+	sfib := mu.Router("bench-sender", size, 0.05)
+	rfib := mu.Router("bench-recv", size, 0.05)
+	st, rt := sfib.Trie(), rfib.Trie()
+	tab := core.MustNewTable(core.Config{
+		Method: core.Advance, Engine: lookup.NewRegular(rt),
+		Local: rt, Sender: st.Contains,
+		Verify: true, SenderTrie: st,
+	})
+	tab.Preprocess(sfib.Prefixes())
+	return fastpath.NewRCULayout(tab, layout)
+}
+
+func benchApplyBatch(i int) []fastpath.RouteOp {
+	ops := make([]fastpath.RouteOp, 0, 12)
+	for j := 0; j < 8; j++ {
+		a := ip.AddrFrom32(0xC0000000 | uint32(i*64+j)<<8)
+		ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(a, 24), Value: 40 + (i+j)%20})
+	}
+	for j := 0; j < 4; j++ {
+		a := ip.AddrFrom32(0xC0000000 | uint32((i-1)*64+j)<<8)
+		ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpWithdraw, Prefix: ip.PrefixFrom(a, 24)})
+	}
+	for j := 0; j < 4; j++ {
+		a := ip.AddrFrom32(0xC8000000 | uint32(i*64+j)<<8)
+		ops = append(ops, fastpath.RouteOp{Kind: fastpath.OpSenderAnnounce, Prefix: ip.PrefixFrom(a, 24), Value: 40 + j})
+	}
+	return ops
+}
+
+func BenchmarkModernApply(b *testing.B) {
+	for _, lo := range []struct {
+		name   string
+		layout fastpath.Layout
+	}{
+		{"Flat", fastpath.LayoutFlat},
+		{"Compressed", fastpath.LayoutCompressed},
+	} {
+		b.Run(lo.name, func(b *testing.B) {
+			rcu := benchModernRCU(b, lo.layout)
+			rcu.Apply(benchApplyBatch(1 << 12)) // warm the clue shadow index
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rcu.Apply(benchApplyBatch(i + 1))
+			}
+		})
+	}
+}

@@ -1,9 +1,11 @@
 // Snapshot-swap stress: wait-free readers hammering Process/ProcessBatch
-// while a writer learns, invalidates, revalidates and recompiles. Run
-// under -race in CI; without the detector it still checks the structural
-// invariant that every published snapshot is internally consistent (a
-// matching prefix always contains the destination, outcomes stay in
-// range).
+// while a writer learns, invalidates, revalidates, applies route batches
+// and recompiles — on both trie layouts, so the compressed subtree
+// patches (ISSUE 10) publish under the same race as the flat row edits.
+// Run under -race in CI; without the detector it still checks the
+// structural invariant that every published snapshot is internally
+// consistent (a matching prefix always contains the destination,
+// outcomes stay in range).
 package fastpath_test
 
 import (
@@ -18,6 +20,21 @@ import (
 )
 
 func TestSnapshotSwapStress(t *testing.T) {
+	for _, lo := range []struct {
+		name       string
+		layout     fastpath.Layout
+		compressed bool
+	}{
+		{"Flat", fastpath.LayoutFlat, false},
+		{"Compressed", fastpath.LayoutCompressed, true},
+	} {
+		t.Run(lo.name, func(t *testing.T) {
+			runSnapshotSwapStress(t, lo.layout, lo.compressed)
+		})
+	}
+}
+
+func runSnapshotSwapStress(t *testing.T, layout fastpath.Layout, compressed bool) {
 	p := v4Pair(t, 2048)
 	p.perturb(13)
 	live := core.MustNewTable(core.Config{
@@ -25,7 +42,10 @@ func TestSnapshotSwapStress(t *testing.T) {
 		Local: p.rt, Sender: p.st.Contains, Learn: true,
 	})
 	live.Preprocess(p.sender.Prefixes()[:p.sender.Len()/2]) // leave room to learn
-	rcu := fastpath.NewRCU(live)
+	rcu := fastpath.NewRCULayout(live, layout)
+	if rcu.Snapshot().Compressed() != compressed {
+		t.Fatalf("layout %v published compressed=%v", layout, rcu.Snapshot().Compressed())
+	}
 
 	var stop atomic.Bool
 	var processed atomic.Int64
@@ -65,19 +85,28 @@ func TestSnapshotSwapStress(t *testing.T) {
 		}(r)
 	}
 
-	// Writer: invalidate/revalidate churn plus periodic full recompiles
-	// through Mutate, like a routing-update storm.
+	// Writer: invalidate/revalidate churn, Apply batches (in-place trie
+	// patches on both layouts) and periodic full recompiles through
+	// Mutate, like a routing-update storm.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		clues := p.sender.Prefixes()
 		for i := 0; i < 400 && !stop.Load(); i++ {
 			c := clues[i%len(clues)]
-			switch i % 5 {
+			switch i % 7 {
 			case 0, 1:
 				rcu.Invalidate(c)
 			case 2, 3:
 				rcu.Revalidate(c)
+			case 4:
+				rcu.Apply([]fastpath.RouteOp{
+					{Kind: fastpath.OpAnnounce, Prefix: ip.PrefixFrom(p.dests[i%len(p.dests)], 26), Value: 9000 + i},
+				})
+			case 5:
+				rcu.Apply([]fastpath.RouteOp{
+					{Kind: fastpath.OpWithdraw, Prefix: ip.PrefixFrom(p.dests[(i*31)%len(p.dests)], 26)},
+				})
 			default:
 				rcu.Mutate(func(tab *core.Table) {
 					tab.UpdateLocal(c)
@@ -90,5 +119,8 @@ func TestSnapshotSwapStress(t *testing.T) {
 	wg.Wait()
 	if processed.Load() == 0 {
 		t.Fatal("readers made no progress")
+	}
+	if rcu.Snapshot().Compressed() != compressed {
+		t.Fatalf("stress changed the snapshot layout (compressed=%v)", rcu.Snapshot().Compressed())
 	}
 }

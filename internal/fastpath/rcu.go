@@ -24,9 +24,9 @@ import (
 //     slot row, publish. Serialized on mu, held for microseconds.
 //   - Batched route changes (Apply, or Enqueue through the bounded
 //     writer queue): patch the snapshot copy-on-write at subtree
-//     granularity — page-cloned flat tries, recompiled slot rows for
-//     the affected entries only — one publication per batch. See
-//     apply.go.
+//     granularity — page-cloned tries (flat or packed multibit),
+//     recompiled slot rows for the affected entries only — one
+//     publication per batch. See apply.go and ctrie_edit.go.
 //   - Full recompiles (Mutate, SetTelemetry, and the degrade paths of
 //     Apply): the expensive Compile runs off the patch lock, holding
 //     only compileMu, so concurrent Learn/Invalidate patches are never
@@ -82,10 +82,14 @@ type RCU struct {
 //
 // Mechanism counters partition the swaps: Swaps == Patches + Applies +
 // Recompiles always. Overflows, Fallbacks, Compactions and Defensive
-// are cause counters layered on top — a degraded Apply on a compressed
-// snapshot counts Fallbacks (why) plus Recompiles (how) for its single
-// publication, never an Applies as well (metrics_test.go pins the
-// arithmetic).
+// are cause counters layered on top — a degraded Apply counts Fallbacks
+// (why) plus Recompiles (how) for its single publication, never an
+// Applies as well (metrics_test.go pins the arithmetic). Fallbacks is
+// itself partitioned by cause: Fallbacks == FallbacksBroad +
+// FallbacksDict + FallbacksNodes (queue overflows are counted by
+// Overflows alone). Both trie layouts patch Apply batches in place;
+// the dictionary and node-budget causes can only fire on compressed
+// snapshots.
 type Metrics struct {
 	Swaps      *telemetry.Counter // snapshot publications of any kind
 	Patches    *telemetry.Counter // single-entry incremental patches
@@ -96,9 +100,13 @@ type Metrics struct {
 	AppliedOps  *telemetry.Counter // route ops folded into published Apply batches
 	Coalesced   *telemetry.Counter // ops merged away by batching/coalescing
 	Overflows   *telemetry.Counter // writer-queue overflows: batch degraded to a recompile
-	Fallbacks   *telemetry.Counter // Apply batches unpatchable in place (too broad, or compressed snapshot): degraded to a recompile
+	Fallbacks   *telemetry.Counter // Apply batches unpatchable in place: degraded to a recompile (total of the three causes below)
 	Compactions *telemetry.Counter // rebuilds reclaiming dead trie slots / abandoned resumes
 	Defensive   *telemetry.Counter // defensive rebuilds: entry vanished under a patch
+
+	FallbacksBroad *telemetry.Counter // fallback cause: affected-entry set rivals the table
+	FallbacksDict  *telemetry.Counter // fallback cause: batch would overflow the compressed 16-bit next-hop dictionary
+	FallbacksNodes *telemetry.Counter // fallback cause: compressed edit rewrote a table-rivaling share of packed nodes
 }
 
 // SetMetrics attaches writer-side counters. Safe against concurrent

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fastpath"
 	"repro/internal/ip"
 	"repro/internal/lookup"
 	"repro/internal/mem"
@@ -28,6 +29,10 @@ type ChurnConfig struct {
 	Divergence float64
 	// LearnLimit caps clue learning. Default 1<<14.
 	LearnLimit int
+	// Layout picks the snapshot trie representation for RCUChurnSoak
+	// (ChurnSoak has no snapshot and ignores it). The zero value is
+	// fastpath.LayoutAuto.
+	Layout fastpath.Layout
 }
 
 func (cfg *ChurnConfig) fill() {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/ip"
 	"repro/internal/lookup"
+	"repro/internal/mem"
 	"repro/internal/pipeline"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
@@ -28,8 +29,17 @@ type RCUChurnResult struct {
 	Forwarded uint64 // packets drained by the pipeline during the race
 	Learned   int    // entries the pipeline's misses taught the table
 
+	// Mismatches counts post-quiesce packets where the settled snapshot
+	// differed from a from-scratch compile of the same table — outcome,
+	// next hop or memory charge. Any nonzero value means the incremental
+	// write path corrupted the published trie.
+	Mismatches int
+	// Compressed reports the settled snapshot's layout, so callers can
+	// assert the soak really exercised the packed representation.
+	Compressed bool
+
 	// Writer-side counter snapshot: how the update machinery behaved.
-	Patches, Applies, Recompiles, Overflows uint64
+	Patches, Applies, Recompiles, Overflows, Fallbacks uint64
 }
 
 // RCUChurnSoak is ChurnSoak's sibling for the RCU fast path: where
@@ -93,8 +103,9 @@ func RCUChurnSoak(cfg ChurnConfig) (RCUChurnResult, error) {
 		Applies:    reg.NewCounter("soak_applies", "apply batches"),
 		Recompiles: reg.NewCounter("soak_recompiles", "full recompiles"),
 		Overflows:  reg.NewCounter("soak_overflows", "queue overflows"),
+		Fallbacks:  reg.NewCounter("soak_fallbacks", "unpatchable batches"),
 	}
-	rcu := fastpath.NewRCU(tab)
+	rcu := fastpath.NewRCULayout(tab, cfg.Layout)
 	rcu.SetMetrics(met)
 	rcu.StartApplier(64)
 
@@ -179,9 +190,32 @@ func RCUChurnSoak(cfg ChurnConfig) (RCUChurnResult, error) {
 		res.Packets++
 	}
 	res.Violations = violations
+
+	// Differential sweep: the settled snapshot — however many patches,
+	// applies and recompiles it absorbed — must be indistinguishable from
+	// compiling the quiesced table from scratch, memory charge included.
+	snap := rcu.Snapshot()
+	fresh := fastpath.CompileLayout(tab, cfg.Layout)
+	res.Compressed = snap.Compressed()
+	for _, p := range pkts {
+		var cs, cf mem.Counter
+		var rs, rf core.Result
+		if p.clue == NoClue {
+			rs = snap.ProcessNoClue(p.dest, &cs)
+			rf = fresh.ProcessNoClue(p.dest, &cf)
+		} else {
+			rs = snap.Process(p.dest, p.clue, &cs)
+			rf = fresh.Process(p.dest, p.clue, &cf)
+		}
+		if rs != rf || cs.Count() != cf.Count() {
+			res.Mismatches++
+		}
+	}
+
 	res.Patches = met.Patches.Value()
 	res.Applies = met.Applies.Value()
 	res.Recompiles = met.Recompiles.Value()
 	res.Overflows = met.Overflows.Value()
+	res.Fallbacks = met.Fallbacks.Value()
 	return res, nil
 }
